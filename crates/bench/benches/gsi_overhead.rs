@@ -1,0 +1,28 @@
+//! The paper's Section 5 claim: "GSI increases simulation time by on
+//! average 5%". This bench runs the same kernel with the stall collectors
+//! enabled and disabled; compare the two medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi_sim::{Simulator, SystemConfig};
+use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use std::hint::black_box;
+
+fn run_once(profiling: bool) -> u64 {
+    let style = LocalMemStyle::Scratchpad;
+    let cfg = ImplicitConfig::small(style);
+    let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+    let mut sim = Simulator::new(sys);
+    sim.set_profiling(profiling);
+    implicit::run(&mut sim, &cfg).expect("implicit completes").run.cycles
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gsi_overhead");
+    g.sample_size(20);
+    g.bench_function("profiling_on", |b| b.iter(|| black_box(run_once(true))));
+    g.bench_function("profiling_off", |b| b.iter(|| black_box(run_once(false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

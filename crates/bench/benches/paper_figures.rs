@@ -1,0 +1,28 @@
+//! Criterion benches wrapping each paper experiment at the small scale, so
+//! `cargo bench` exercises every figure's pipeline end to end and tracks
+//! simulator performance over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi_bench::{figure_6_1, figure_6_2, figure_6_3, figure_6_4, Scale};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("figure_6_1_uts", |b| {
+        b.iter(|| black_box(figure_6_1(Scale::Small)))
+    });
+    g.bench_function("figure_6_2_utsd", |b| {
+        b.iter(|| black_box(figure_6_2(Scale::Small)))
+    });
+    g.bench_function("figure_6_3_implicit", |b| {
+        b.iter(|| black_box(figure_6_3(Scale::Small)))
+    });
+    g.bench_function("figure_6_4_mshr_sweep", |b| {
+        b.iter(|| black_box(figure_6_4(Scale::Small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches over the whole workload suite: tracks simulator
+//! performance per workload class (lock-bound, gather-bound, atomics-bound,
+//! tile-bound, barrier-bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi_sim::{Simulator, SystemConfig};
+use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi_workloads::uts::{self, UtsConfig, Variant};
+use gsi_workloads::{histogram, reduction, spmv, stencil};
+use std::hint::black_box;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_suite");
+    g.sample_size(10);
+    g.bench_function("utsd_denovo", |b| {
+        b.iter(|| {
+            let sys = SystemConfig::paper()
+                .with_gpu_cores(4)
+                .with_protocol(gsi_mem::Protocol::DeNovo);
+            let mut sim = Simulator::new(sys);
+            black_box(
+                uts::run(&mut sim, &UtsConfig::small(), Variant::Decentralized).unwrap().run,
+            )
+        })
+    });
+    g.bench_function("implicit_stash", |b| {
+        b.iter(|| {
+            let style = LocalMemStyle::Stash;
+            let sys =
+                SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+            let mut sim = Simulator::new(sys);
+            black_box(implicit::run(&mut sim, &ImplicitConfig::small(style)).unwrap().run)
+        })
+    });
+    g.bench_function("spmv", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+            black_box(spmv::run(&mut sim, &spmv::SpmvConfig::small()).unwrap().run)
+        })
+    });
+    g.bench_function("histogram", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+            black_box(
+                histogram::run(&mut sim, &histogram::HistogramConfig::small()).unwrap().run,
+            )
+        })
+    });
+    g.bench_function("stencil_tiled", |b| {
+        b.iter(|| {
+            let cfg = stencil::StencilConfig::small(stencil::StencilVariant::Tiled);
+            let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+            black_box(stencil::run(&mut sim, &cfg).unwrap().run)
+        })
+    });
+    g.bench_function("reduction", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+            black_box(
+                reduction::run(&mut sim, &reduction::ReductionConfig::small()).unwrap().run,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

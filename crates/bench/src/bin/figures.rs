@@ -1,0 +1,117 @@
+//! Regenerate the GSI paper's tables and figures.
+//!
+//! ```text
+//! figures [--fig 6.1|6.2|6.3|6.4|all] [--table-5-1] [--scale small|paper]
+//!         [--csv DIR] [--overhead]
+//! ```
+
+use gsi_bench::{
+    figure_6_1, figure_6_2, figure_6_3, figure_6_4, profiling_overhead, table_5_1, FigureResult,
+    Scale,
+};
+use gsi_core::report::percent_change;
+use gsi_core::StallKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig 6.1|6.2|6.3|6.4|all] [--table-5-1] \
+         [--scale small|paper] [--csv DIR] [--overhead]"
+    );
+    std::process::exit(2);
+}
+
+fn emit(result: &FigureResult, csv_dir: Option<&str>, slug: &str) {
+    println!("{}", result.figure.render_all(60));
+    for (name, run) in &result.runs {
+        println!(
+            "  {name}: {} cycles, {} instructions",
+            run.cycles, run.instructions
+        );
+    }
+    // Headline numbers the paper quotes in the text.
+    if result.runs.len() >= 2 {
+        let base = &result.runs[0];
+        for (name, run) in &result.runs[1..] {
+            let d = percent_change(base.1.cycles, run.cycles);
+            println!(
+                "  {name} vs {base_name}: execution time {d:+.1}%  \
+                 (mem-data {dd:+.1}%, mem-struct {ds:+.1}%, no-stall {dn:+.1}%)",
+                base_name = base.0,
+                dd = percent_change(
+                    base.1.breakdown.cycles(StallKind::MemoryData),
+                    run.breakdown.cycles(StallKind::MemoryData)
+                ),
+                ds = percent_change(
+                    base.1.breakdown.cycles(StallKind::MemoryStructural),
+                    run.breakdown.cycles(StallKind::MemoryStructural)
+                ),
+                dn = percent_change(
+                    base.1.breakdown.cycles(StallKind::NoStall),
+                    run.breakdown.cycles(StallKind::NoStall)
+                ),
+            );
+        }
+        println!();
+    }
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/{slug}.csv");
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        std::fs::write(&path, result.figure.to_csv()).expect("write csv");
+        println!("  wrote {path}\n");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig = String::from("all");
+    let mut scale = Scale::Paper;
+    let mut csv: Option<String> = None;
+    let mut want_table = false;
+    let mut want_overhead = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig" => fig = it.next().unwrap_or_else(|| usage()).clone(),
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--csv" => csv = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--table-5-1" => want_table = true,
+            "--overhead" => want_overhead = true,
+            _ => usage(),
+        }
+    }
+
+    if want_table {
+        println!("{}", table_5_1());
+    }
+    if !["all", "6.1", "6.2", "6.3", "6.4"].contains(&fig.as_str()) {
+        eprintln!("unknown figure `{fig}`");
+        usage();
+    }
+    let all = fig == "all";
+    if all || fig == "6.1" {
+        emit(&figure_6_1(scale), csv.as_deref(), "figure_6_1");
+    }
+    if all || fig == "6.2" {
+        emit(&figure_6_2(scale), csv.as_deref(), "figure_6_2");
+    }
+    if all || fig == "6.3" {
+        emit(&figure_6_3(scale), csv.as_deref(), "figure_6_3");
+    }
+    if all || fig == "6.4" {
+        emit(&figure_6_4(scale), csv.as_deref(), "figure_6_4");
+    }
+    if want_overhead {
+        let (on, off) = profiling_overhead(scale);
+        println!(
+            "GSI profiling overhead: {on:.3}s with profiling, {off:.3}s without \
+             ({:+.1}%)",
+            (on - off) / off * 100.0
+        );
+    }
+}

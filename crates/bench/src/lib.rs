@@ -1,0 +1,228 @@
+//! # gsi-bench — the paper's evaluation, regenerated
+//!
+//! One entry point per figure of the GSI paper:
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table 5.1 | [`table_5_1`] | `figures --table-5-1` |
+//! | Figure 6.1 (UTS, GPU coherence vs DeNovo) | [`figure_6_1`] | `figures --fig 6.1` |
+//! | Figure 6.2 (UTSD) | [`figure_6_2`] | `figures --fig 6.2` |
+//! | Figure 6.3 (implicit: scratchpad / +DMA / stash) | [`figure_6_3`] | `figures --fig 6.3` |
+//! | Figure 6.4 (MSHR sweep 32→256) | [`figure_6_4`] | `figures --fig 6.4` |
+//! | §5 "GSI adds ~5% simulation time" | `benches/gsi_overhead.rs` | `cargo bench` |
+//!
+//! Every figure function returns both the rendered [`Figure`] (three
+//! panels: execution-time breakdown, memory-data sub-breakdown,
+//! memory-structural sub-breakdown, all normalized to the first
+//! configuration, exactly as the paper presents them) and the raw
+//! [`KernelRun`]s for deeper inspection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gsi_core::report::Figure;
+use gsi_mem::Protocol;
+use gsi_sim::{KernelRun, Simulator, SystemConfig};
+use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi_workloads::uts::{self, UtsConfig, Variant};
+
+/// Experiment scale: the paper-like sizes, or a fast scale for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-like sizes (seconds per figure).
+    Paper,
+    /// Reduced sizes (sub-second), same qualitative shapes.
+    Small,
+}
+
+impl Scale {
+    fn uts(self) -> UtsConfig {
+        match self {
+            Scale::Paper => UtsConfig::paper(),
+            Scale::Small => UtsConfig::small(),
+        }
+    }
+
+    fn implicit(self, style: LocalMemStyle) -> ImplicitConfig {
+        match self {
+            Scale::Paper => ImplicitConfig::paper(style),
+            Scale::Small => ImplicitConfig::small(style),
+        }
+    }
+
+    fn gpu_cores(self) -> usize {
+        match self {
+            Scale::Paper => 15,
+            Scale::Small => 4,
+        }
+    }
+}
+
+/// A figure plus the raw runs behind each of its entries.
+#[derive(Debug)]
+pub struct FigureResult {
+    /// The renderable figure (first entry is the normalization baseline).
+    pub figure: Figure,
+    /// `(config name, run)` in figure order.
+    pub runs: Vec<(String, KernelRun)>,
+}
+
+impl FigureResult {
+    fn new(title: &str, runs: Vec<(String, KernelRun)>) -> Self {
+        let mut figure = Figure::new(title);
+        for (name, run) in &runs {
+            figure.push(name.clone(), run.breakdown.clone());
+        }
+        FigureResult { figure, runs }
+    }
+
+    /// The run for a named configuration.
+    pub fn run(&self, name: &str) -> &KernelRun {
+        &self.runs.iter().find(|(n, _)| n == name).expect("known config").1
+    }
+}
+
+/// Render Table 5.1 for the paper configuration.
+pub fn table_5_1() -> String {
+    SystemConfig::paper().table_5_1()
+}
+
+fn protocol_comparison(title: &str, scale: Scale, variant: Variant) -> FigureResult {
+    let cfg = scale.uts();
+    let mut runs = Vec::new();
+    for (name, protocol) in
+        [("GPU coherence", Protocol::GpuCoherence), ("DeNovo", Protocol::DeNovo)]
+    {
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(scale.gpu_cores())
+            .with_protocol(protocol);
+        let mut sim = Simulator::new(sys);
+        let out = uts::run(&mut sim, &cfg, variant).expect("UTS completes");
+        runs.push((name.to_string(), out.run));
+    }
+    FigureResult::new(title, runs)
+}
+
+/// Figure 6.1: stall cycle breakdowns for UTS, GPU coherence vs DeNovo,
+/// normalized to GPU coherence.
+pub fn figure_6_1(scale: Scale) -> FigureResult {
+    protocol_comparison(
+        "Figure 6.1: Stall cycle breakdowns for UTS (normalized to GPU coherence)",
+        scale,
+        Variant::Centralized,
+    )
+}
+
+/// Figure 6.2: stall cycle breakdowns for UTSD, normalized to GPU
+/// coherence.
+pub fn figure_6_2(scale: Scale) -> FigureResult {
+    protocol_comparison(
+        "Figure 6.2: Stall cycle breakdowns for UTSD (normalized to GPU coherence)",
+        scale,
+        Variant::Decentralized,
+    )
+}
+
+fn implicit_comparison(title: &str, scale: Scale, mshr: Option<usize>) -> FigureResult {
+    let mut runs = Vec::new();
+    for style in LocalMemStyle::ALL {
+        let cfg = scale.implicit(style);
+        let mut sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        if let Some(m) = mshr {
+            sys = sys.with_mshr(m);
+        }
+        let mut sim = Simulator::new(sys);
+        let out = implicit::run(&mut sim, &cfg).expect("implicit completes");
+        runs.push((style.to_string(), out.run));
+    }
+    FigureResult::new(title, runs)
+}
+
+/// Figure 6.3: stall cycle breakdowns for the implicit microbenchmark
+/// (scratchpad, scratchpad+DMA, stash), normalized to baseline scratchpad.
+pub fn figure_6_3(scale: Scale) -> FigureResult {
+    implicit_comparison(
+        "Figure 6.3: Stall cycle breakdowns for implicit (normalized to scratchpad)",
+        scale,
+        None,
+    )
+}
+
+/// Figure 6.4: the MSHR sensitivity sweep — every local-memory style at
+/// every MSHR size (store buffer scaled along), normalized to baseline
+/// scratchpad with a 32-entry MSHR. Returns one `FigureResult` whose
+/// entries are `style/mshr` combinations in sweep order.
+pub fn figure_6_4(scale: Scale) -> FigureResult {
+    let sizes: &[usize] = match scale {
+        Scale::Paper => &[32, 64, 128, 256],
+        Scale::Small => &[8, 32],
+    };
+    let mut runs = Vec::new();
+    for &m in sizes {
+        for style in LocalMemStyle::ALL {
+            let cfg = scale.implicit(style);
+            let sys = SystemConfig::paper()
+                .with_gpu_cores(1)
+                .with_local_mem(style.mem_kind())
+                .with_mshr(m);
+            let mut sim = Simulator::new(sys);
+            let out = implicit::run(&mut sim, &cfg).expect("implicit completes");
+            runs.push((format!("{style}/mshr{m}"), out.run));
+        }
+    }
+    FigureResult::new(
+        "Figure 6.4: implicit with varying MSHR sizes (normalized to scratchpad/mshr-min)",
+        runs,
+    )
+}
+
+/// Measure GSI's profiling overhead (the paper reports ~5% simulation-time
+/// overhead): returns `(with_profiling_secs, without_profiling_secs)` for
+/// one implicit run.
+pub fn profiling_overhead(scale: Scale) -> (f64, f64) {
+    let style = LocalMemStyle::Scratchpad;
+    let cfg = scale.implicit(style);
+    let mut secs = [0.0f64; 2];
+    for (i, profiling) in [true, false].into_iter().enumerate() {
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        sim.set_profiling(profiling);
+        let t0 = std::time::Instant::now();
+        implicit::run(&mut sim, &cfg).expect("implicit completes");
+        secs[i] = t0.elapsed().as_secs_f64();
+    }
+    (secs[0], secs[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::report::Panel;
+
+    #[test]
+    fn figure_6_1_small_has_two_entries() {
+        let f = figure_6_1(Scale::Small);
+        assert_eq!(f.runs.len(), 2);
+        let text = f.figure.render(Panel::Execution, 40);
+        assert!(text.contains("GPU coherence"));
+        assert!(text.contains("DeNovo"));
+    }
+
+    #[test]
+    fn figure_6_3_small_has_three_entries() {
+        let f = figure_6_3(Scale::Small);
+        assert_eq!(f.runs.len(), 3);
+        assert!(f.run("stash").cycles > 0);
+    }
+
+    #[test]
+    fn figure_6_4_small_sweeps() {
+        let f = figure_6_4(Scale::Small);
+        assert_eq!(f.runs.len(), 6);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(table_5_1().contains("Table 5.1"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Accumulated stall-cycle breakdowns, the unit of reporting.
+
+use crate::stall::{MemDataCause, MemStructCause, StallKind};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// A complete stall breakdown: cycles per category, plus the memory data and
+/// memory structural sub-breakdowns.
+///
+/// Breakdowns form a commutative monoid under [`Add`]: per-SM breakdowns are
+/// summed into a machine-wide breakdown, and breakdowns of repeated runs can
+/// be merged.
+///
+/// ```
+/// use gsi_core::{StallBreakdown, StallKind};
+/// let mut b = StallBreakdown::new();
+/// b.add_cycle(StallKind::NoStall);
+/// b.add_cycle(StallKind::Synchronization);
+/// assert_eq!(b.total_cycles(), 2);
+/// assert_eq!(b.cycles(StallKind::Synchronization), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    kinds: [u64; 8],
+    mem_data: [u64; 5],
+    mem_struct: [u64; 5],
+}
+
+impl StallBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one cycle to `kind` (no sub-classification).
+    #[inline]
+    pub fn add_cycle(&mut self, kind: StallKind) {
+        self.kinds[kind.index()] += 1;
+    }
+
+    /// Charge `n` cycles to `kind`.
+    #[inline]
+    pub fn add_cycles(&mut self, kind: StallKind, n: u64) {
+        self.kinds[kind.index()] += n;
+    }
+
+    /// Charge `n` memory-data stall cycles to the sub-bucket for `cause`.
+    ///
+    /// This only updates the sub-breakdown; the top-level
+    /// [`StallKind::MemoryData`] count is charged per cycle by
+    /// [`add_cycle`](Self::add_cycle) when the cycle verdict is recorded.
+    #[inline]
+    pub fn add_mem_data(&mut self, cause: MemDataCause, n: u64) {
+        self.mem_data[cause.index()] += n;
+    }
+
+    /// Charge `n` memory-structural stall cycles to the sub-bucket for
+    /// `cause`.
+    #[inline]
+    pub fn add_mem_struct(&mut self, cause: MemStructCause, n: u64) {
+        self.mem_struct[cause.index()] += n;
+    }
+
+    /// Cycles charged to `kind`.
+    #[inline]
+    pub fn cycles(&self, kind: StallKind) -> u64 {
+        self.kinds[kind.index()]
+    }
+
+    /// Memory-data stall cycles attributed to `cause`.
+    #[inline]
+    pub fn mem_data_cycles(&self, cause: MemDataCause) -> u64 {
+        self.mem_data[cause.index()]
+    }
+
+    /// Memory-structural stall cycles attributed to `cause`.
+    #[inline]
+    pub fn mem_struct_cycles(&self, cause: MemStructCause) -> u64 {
+        self.mem_struct[cause.index()]
+    }
+
+    /// Total cycles across all categories (the SM-cycles of execution).
+    pub fn total_cycles(&self) -> u64 {
+        self.kinds.iter().sum()
+    }
+
+    /// Total stall cycles (everything except `NoStall`).
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_cycles() - self.cycles(StallKind::NoStall)
+    }
+
+    /// Sum of the memory-data sub-buckets.
+    pub fn mem_data_total(&self) -> u64 {
+        self.mem_data.iter().sum()
+    }
+
+    /// Sum of the memory-structural sub-buckets.
+    pub fn mem_struct_total(&self) -> u64 {
+        self.mem_struct.iter().sum()
+    }
+
+    /// Fraction of total cycles charged to `kind`; 0 when the breakdown is
+    /// empty.
+    pub fn fraction(&self, kind: StallKind) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles(kind) as f64 / total as f64
+        }
+    }
+
+    /// Iterate over `(kind, cycles)` pairs in taxonomy order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallKind, u64)> + '_ {
+        StallKind::ALL.iter().map(move |&k| (k, self.cycles(k)))
+    }
+
+    /// Iterate over the memory-data sub-breakdown.
+    pub fn iter_mem_data(&self) -> impl Iterator<Item = (MemDataCause, u64)> + '_ {
+        MemDataCause::ALL.iter().map(move |&c| (c, self.mem_data_cycles(c)))
+    }
+
+    /// Iterate over the memory-structural sub-breakdown.
+    pub fn iter_mem_struct(&self) -> impl Iterator<Item = (MemStructCause, u64)> + '_ {
+        MemStructCause::ALL.iter().map(move |&c| (c, self.mem_struct_cycles(c)))
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for i in 0..8 {
+            self.kinds[i] += other.kinds[i];
+        }
+        for i in 0..5 {
+            self.mem_data[i] += other.mem_data[i];
+            self.mem_struct[i] += other.mem_struct[i];
+        }
+    }
+
+    /// Per-category values scaled so that `reference`'s total is 1.0 — the
+    /// normalization used by every figure in the paper.
+    ///
+    /// Returns `(kind, normalized)` in taxonomy order. When the reference is
+    /// empty all values are 0.
+    pub fn normalized_to(&self, reference: &StallBreakdown) -> Vec<(StallKind, f64)> {
+        let denom = reference.total_cycles();
+        StallKind::ALL
+            .iter()
+            .map(|&k| {
+                let v = if denom == 0 { 0.0 } else { self.cycles(k) as f64 / denom as f64 };
+                (k, v)
+            })
+            .collect()
+    }
+}
+
+impl Add for StallBreakdown {
+    type Output = StallBreakdown;
+    fn add(mut self, rhs: StallBreakdown) -> StallBreakdown {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&StallBreakdown> for StallBreakdown {
+    fn add_assign(&mut self, rhs: &StallBreakdown) {
+        self.merge(rhs);
+    }
+}
+
+impl<'a> std::iter::Sum<&'a StallBreakdown> for StallBreakdown {
+    fn sum<I: Iterator<Item = &'a StallBreakdown>>(iter: I) -> Self {
+        let mut acc = StallBreakdown::new();
+        for b in iter {
+            acc.merge(b);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StallBreakdown {
+        let mut b = StallBreakdown::new();
+        b.add_cycles(StallKind::NoStall, 10);
+        b.add_cycles(StallKind::MemoryData, 5);
+        b.add_cycles(StallKind::MemoryStructural, 3);
+        b.add_cycles(StallKind::Synchronization, 2);
+        b.add_mem_data(MemDataCause::L2, 4);
+        b.add_mem_data(MemDataCause::MainMemory, 1);
+        b.add_mem_struct(MemStructCause::MshrFull, 3);
+        b
+    }
+
+    #[test]
+    fn totals() {
+        let b = sample();
+        assert_eq!(b.total_cycles(), 20);
+        assert_eq!(b.total_stall_cycles(), 10);
+        assert_eq!(b.mem_data_total(), 5);
+        assert_eq!(b.mem_struct_total(), 3);
+    }
+
+    #[test]
+    fn fractions() {
+        let b = sample();
+        assert!((b.fraction(StallKind::NoStall) - 0.5).abs() < 1e-12);
+        assert_eq!(StallBreakdown::new().fraction(StallKind::NoStall), 0.0);
+    }
+
+    #[test]
+    fn merge_is_componentwise_sum() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.total_cycles(), 40);
+        assert_eq!(a.mem_data_cycles(MemDataCause::L2), 8);
+        assert_eq!(a.mem_struct_cycles(MemStructCause::MshrFull), 6);
+    }
+
+    #[test]
+    fn add_and_sum_agree_with_merge() {
+        let a = sample() + sample();
+        let s: StallBreakdown = [sample(), sample()].iter().sum();
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn normalization_against_reference() {
+        let a = sample();
+        let norm = a.normalized_to(&a);
+        let total: f64 = norm.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+
+        let mut double = sample();
+        double.merge(&sample());
+        let norm2 = double.normalized_to(&a);
+        let total2: f64 = norm2.iter().map(|(_, v)| v).sum();
+        assert!((total2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_to_empty_reference_is_zero() {
+        let a = sample();
+        for (_, v) in a.normalized_to(&StallBreakdown::new()) {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let b = sample();
+        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), b.total_cycles());
+        assert_eq!(b.iter_mem_data().map(|(_, v)| v).sum::<u64>(), b.mem_data_total());
+        assert_eq!(b.iter_mem_struct().map(|(_, v)| v).sum::<u64>(), b.mem_struct_total());
+    }
+}

@@ -1,0 +1,459 @@
+//! Algorithms 1 and 2 of the paper: instruction and issue-cycle stall
+//! classification.
+
+use crate::stall::{MemStructCause, RequestId, StallKind};
+use serde::{Deserialize, Serialize};
+
+/// The hazards observed for one warp instruction considered by the issue
+/// stage in one cycle.
+///
+/// This is the input to Algorithm 1. Each field corresponds to one branch of
+/// the paper's priority chain; several may be true at once, and the
+/// classifier picks the *strongest* (the one most likely to still hold next
+/// cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrHazards {
+    /// The next instruction to issue is unavailable (instruction-buffer
+    /// refetch after a taken branch).
+    pub control: bool,
+    /// The warp is blocked on a pending synchronization (acquire, release,
+    /// or thread-block barrier).
+    pub synchronization: bool,
+    /// The instruction has a data hazard on a pending load; the id of the
+    /// outstanding request is recorded so the stall can later be attributed
+    /// to the level that services it.
+    pub mem_data: Option<RequestId>,
+    /// The instruction has a structural hazard on the load/store unit, with
+    /// the rejection cause.
+    pub mem_structural: Option<MemStructCause>,
+    /// The instruction has a data hazard on a pending compute operation.
+    pub compute_data: bool,
+    /// The instruction has a structural hazard on a compute unit.
+    pub compute_structural: bool,
+}
+
+impl InstrHazards {
+    /// No hazards: the instruction can issue.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Convenience constructor for a control hazard.
+    pub fn control() -> Self {
+        Self { control: true, ..Self::default() }
+    }
+
+    /// Convenience constructor for a synchronization hazard.
+    pub fn synchronization() -> Self {
+        Self { synchronization: true, ..Self::default() }
+    }
+
+    /// Convenience constructor for a data hazard on the given pending load.
+    pub fn mem_data(req: RequestId) -> Self {
+        Self { mem_data: Some(req), ..Self::default() }
+    }
+
+    /// Convenience constructor for a load/store-unit structural hazard.
+    pub fn mem_structural(cause: MemStructCause) -> Self {
+        Self { mem_structural: Some(cause), ..Self::default() }
+    }
+
+    /// Convenience constructor for a data hazard on a pending compute op.
+    pub fn compute_data() -> Self {
+        Self { compute_data: true, ..Self::default() }
+    }
+
+    /// Convenience constructor for a compute-unit structural hazard.
+    pub fn compute_structural() -> Self {
+        Self { compute_structural: true, ..Self::default() }
+    }
+
+    /// True when no hazard prevents issue.
+    pub fn can_issue(&self) -> bool {
+        !self.control
+            && !self.synchronization
+            && self.mem_data.is_none()
+            && self.mem_structural.is_none()
+            && !self.compute_data
+            && !self.compute_structural
+    }
+}
+
+/// Algorithm 1: classify one considered warp instruction by the *strongest*
+/// stall cause present.
+///
+/// Priority (strongest first): control, synchronization, memory data,
+/// memory structural, compute data, compute structural; otherwise the
+/// instruction can issue and the result is [`StallKind::NoStall`]. The
+/// "idle" case of the paper's Algorithm 1 (no active warps at all) has no
+/// per-instruction input and is handled by [`judge_cycle`] when the
+/// considered set is empty.
+///
+/// ```
+/// use gsi_core::{classify_instruction, InstrHazards, StallKind};
+/// let mut h = InstrHazards::synchronization();
+/// h.compute_data = true; // both present: sync is stronger
+/// assert_eq!(classify_instruction(&h), StallKind::Synchronization);
+/// ```
+pub fn classify_instruction(h: &InstrHazards) -> StallKind {
+    if h.control {
+        StallKind::Control
+    } else if h.synchronization {
+        StallKind::Synchronization
+    } else if h.mem_data.is_some() {
+        StallKind::MemoryData
+    } else if h.mem_structural.is_some() {
+        StallKind::MemoryStructural
+    } else if h.compute_data {
+        StallKind::ComputeData
+    } else if h.compute_structural {
+        StallKind::ComputeStructural
+    } else {
+        StallKind::NoStall
+    }
+}
+
+/// The order in which Algorithm 2 selects among the stall causes present
+/// in a cycle.
+///
+/// The paper notes (Chapter 7) that GSI's methodology generalizes: "when
+/// studying architectural changes that affect functional unit congestion or
+/// latency, compute stalls may be prioritized ... instead of memory
+/// stalls". A `CyclePriority` captures that choice; the default is the
+/// paper's memory-focused Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CyclePriority {
+    order: [StallKind; 6],
+}
+
+impl CyclePriority {
+    /// The paper's Algorithm 2 ordering: memory structural, memory data,
+    /// synchronization, compute structural, compute data, control.
+    pub fn memory_focused() -> Self {
+        CyclePriority {
+            order: [
+                StallKind::MemoryStructural,
+                StallKind::MemoryData,
+                StallKind::Synchronization,
+                StallKind::ComputeStructural,
+                StallKind::ComputeData,
+                StallKind::Control,
+            ],
+        }
+    }
+
+    /// Prioritize compute stalls — for studying functional-unit congestion
+    /// or latency changes.
+    pub fn compute_focused() -> Self {
+        CyclePriority {
+            order: [
+                StallKind::ComputeStructural,
+                StallKind::ComputeData,
+                StallKind::Synchronization,
+                StallKind::MemoryStructural,
+                StallKind::MemoryData,
+                StallKind::Control,
+            ],
+        }
+    }
+
+    /// Prioritize control stalls — for studying divergence-related software
+    /// changes.
+    pub fn control_focused() -> Self {
+        CyclePriority {
+            order: [
+                StallKind::Control,
+                StallKind::Synchronization,
+                StallKind::MemoryStructural,
+                StallKind::MemoryData,
+                StallKind::ComputeStructural,
+                StallKind::ComputeData,
+            ],
+        }
+    }
+
+    /// A custom ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending kind if `order` is not a permutation of the
+    /// six stall categories (everything except `NoStall` and `Idle`).
+    pub fn custom(order: [StallKind; 6]) -> Result<Self, StallKind> {
+        for (i, k) in order.iter().enumerate() {
+            if matches!(k, StallKind::NoStall | StallKind::Idle) {
+                return Err(*k);
+            }
+            if order[..i].contains(k) {
+                return Err(*k);
+            }
+        }
+        Ok(CyclePriority { order })
+    }
+
+    /// The ordering, highest priority first.
+    pub fn order(&self) -> &[StallKind; 6] {
+        &self.order
+    }
+}
+
+impl Default for CyclePriority {
+    fn default() -> Self {
+        Self::memory_focused()
+    }
+}
+
+/// Algorithm 2: classify the issue cycle from the classifications of the
+/// individual considered instructions.
+///
+/// Priority (selected first): no-stall (if anything issued), memory
+/// structural, memory data, synchronization, compute structural, compute
+/// data, control, idle. The cycle takes the *weakest* stall cause found —
+/// the cause of the instruction closest to issuing — except that memory and
+/// synchronization stalls are deliberately prioritized over compute stalls
+/// (the paper's focus is the memory system), so this is not an exact
+/// inversion of Algorithm 1.
+///
+/// `issued` must be true when at least one instruction issued this cycle.
+pub fn classify_cycle(issued: bool, instr_kinds: &[StallKind]) -> StallKind {
+    classify_cycle_with(&CyclePriority::memory_focused(), issued, instr_kinds)
+}
+
+/// [`classify_cycle`] under an explicit [`CyclePriority`].
+pub fn classify_cycle_with(
+    priority: &CyclePriority,
+    issued: bool,
+    instr_kinds: &[StallKind],
+) -> StallKind {
+    if issued {
+        return StallKind::NoStall;
+    }
+    for &k in priority.order() {
+        if instr_kinds.contains(&k) {
+            return k;
+        }
+    }
+    StallKind::Idle
+}
+
+/// The outcome of classifying one issue cycle: the chosen category plus the
+/// detail needed for sub-classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleVerdict {
+    /// The category charged to this cycle.
+    pub kind: StallKind,
+    /// For [`StallKind::MemoryStructural`] cycles, the rejection cause of
+    /// the instruction that determined the verdict.
+    pub mem_structural: Option<MemStructCause>,
+    /// For [`StallKind::MemoryData`] cycles, the outstanding request the
+    /// stall should be charged to in the attribution ledger.
+    pub blocking_request: Option<RequestId>,
+}
+
+impl CycleVerdict {
+    /// A verdict with no sub-classification detail.
+    pub fn bare(kind: StallKind) -> Self {
+        CycleVerdict { kind, mem_structural: None, blocking_request: None }
+    }
+}
+
+/// Run Algorithm 1 over every considered instruction and Algorithm 2 over
+/// the results, returning the cycle verdict with sub-classification detail
+/// taken from the first instruction whose classification matches the cycle's.
+///
+/// An empty `considered` slice yields an [`StallKind::Idle`] verdict (the
+/// "no active warps" case), unless `issued` is true.
+pub fn judge_cycle(issued: bool, considered: &[InstrHazards]) -> CycleVerdict {
+    judge_cycle_with(&CyclePriority::memory_focused(), issued, considered)
+}
+
+/// [`judge_cycle`] under an explicit [`CyclePriority`].
+pub fn judge_cycle_with(
+    priority: &CyclePriority,
+    issued: bool,
+    considered: &[InstrHazards],
+) -> CycleVerdict {
+    if issued {
+        return CycleVerdict::bare(StallKind::NoStall);
+    }
+    let kinds: Vec<StallKind> = considered.iter().map(classify_instruction).collect();
+    let kind = classify_cycle_with(priority, false, &kinds);
+    let mut verdict = CycleVerdict::bare(kind);
+    if let Some(pos) = kinds.iter().position(|&k| k == kind) {
+        let h = &considered[pos];
+        match kind {
+            StallKind::MemoryStructural => verdict.mem_structural = h.mem_structural,
+            StallKind::MemoryData => verdict.blocking_request = h.mem_data,
+            _ => {}
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stall::MemDataCause;
+
+    #[test]
+    fn instruction_priority_chain() {
+        // Build a hazard set with everything on, then peel from strongest.
+        let mut h = InstrHazards {
+            control: true,
+            synchronization: true,
+            mem_data: Some(RequestId(1)),
+            mem_structural: Some(MemStructCause::MshrFull),
+            compute_data: true,
+            compute_structural: true,
+        };
+        assert_eq!(classify_instruction(&h), StallKind::Control);
+        h.control = false;
+        assert_eq!(classify_instruction(&h), StallKind::Synchronization);
+        h.synchronization = false;
+        assert_eq!(classify_instruction(&h), StallKind::MemoryData);
+        h.mem_data = None;
+        assert_eq!(classify_instruction(&h), StallKind::MemoryStructural);
+        h.mem_structural = None;
+        assert_eq!(classify_instruction(&h), StallKind::ComputeData);
+        h.compute_data = false;
+        assert_eq!(classify_instruction(&h), StallKind::ComputeStructural);
+        h.compute_structural = false;
+        assert_eq!(classify_instruction(&h), StallKind::NoStall);
+        assert!(h.can_issue());
+    }
+
+    #[test]
+    fn cycle_priority_chain() {
+        let all = [
+            StallKind::Control,
+            StallKind::Synchronization,
+            StallKind::MemoryData,
+            StallKind::MemoryStructural,
+            StallKind::ComputeData,
+            StallKind::ComputeStructural,
+        ];
+        assert_eq!(classify_cycle(false, &all), StallKind::MemoryStructural);
+        let without = |k: StallKind| -> Vec<StallKind> {
+            all.iter().copied().filter(|&x| x != k).collect()
+        };
+        let mut rest = without(StallKind::MemoryStructural);
+        assert_eq!(classify_cycle(false, &rest), StallKind::MemoryData);
+        rest.retain(|&x| x != StallKind::MemoryData);
+        assert_eq!(classify_cycle(false, &rest), StallKind::Synchronization);
+        rest.retain(|&x| x != StallKind::Synchronization);
+        assert_eq!(classify_cycle(false, &rest), StallKind::ComputeStructural);
+        rest.retain(|&x| x != StallKind::ComputeStructural);
+        assert_eq!(classify_cycle(false, &rest), StallKind::ComputeData);
+        rest.retain(|&x| x != StallKind::ComputeData);
+        assert_eq!(classify_cycle(false, &rest), StallKind::Control);
+        rest.retain(|&x| x != StallKind::Control);
+        assert_eq!(classify_cycle(false, &rest), StallKind::Idle);
+    }
+
+    #[test]
+    fn issue_wins_over_everything() {
+        assert_eq!(
+            classify_cycle(true, &[StallKind::MemoryStructural]),
+            StallKind::NoStall
+        );
+        let v = judge_cycle(true, &[InstrHazards::mem_structural(MemStructCause::MshrFull)]);
+        assert_eq!(v.kind, StallKind::NoStall);
+    }
+
+    #[test]
+    fn empty_cycle_is_idle() {
+        assert_eq!(classify_cycle(false, &[]), StallKind::Idle);
+        assert_eq!(judge_cycle(false, &[]).kind, StallKind::Idle);
+    }
+
+    #[test]
+    fn verdict_carries_structural_cause() {
+        let considered = [
+            InstrHazards::synchronization(),
+            InstrHazards::mem_structural(MemStructCause::PendingRelease),
+        ];
+        let v = judge_cycle(false, &considered);
+        assert_eq!(v.kind, StallKind::MemoryStructural);
+        assert_eq!(v.mem_structural, Some(MemStructCause::PendingRelease));
+        assert_eq!(v.blocking_request, None);
+    }
+
+    #[test]
+    fn verdict_carries_blocking_request() {
+        let considered = [
+            InstrHazards::compute_data(),
+            InstrHazards::mem_data(RequestId(99)),
+        ];
+        let v = judge_cycle(false, &considered);
+        assert_eq!(v.kind, StallKind::MemoryData);
+        assert_eq!(v.blocking_request, Some(RequestId(99)));
+    }
+
+    #[test]
+    fn verdict_detail_comes_from_first_matching_instruction() {
+        let considered = [
+            InstrHazards::mem_structural(MemStructCause::BankConflict),
+            InstrHazards::mem_structural(MemStructCause::MshrFull),
+        ];
+        let v = judge_cycle(false, &considered);
+        assert_eq!(v.mem_structural, Some(MemStructCause::BankConflict));
+    }
+
+    #[test]
+    fn priority_variants_reorder_selection() {
+        let kinds = [StallKind::ComputeData, StallKind::MemoryData, StallKind::Control];
+        assert_eq!(
+            classify_cycle_with(&CyclePriority::memory_focused(), false, &kinds),
+            StallKind::MemoryData
+        );
+        assert_eq!(
+            classify_cycle_with(&CyclePriority::compute_focused(), false, &kinds),
+            StallKind::ComputeData
+        );
+        assert_eq!(
+            classify_cycle_with(&CyclePriority::control_focused(), false, &kinds),
+            StallKind::Control
+        );
+    }
+
+    #[test]
+    fn custom_priority_validation() {
+        let ok = CyclePriority::custom([
+            StallKind::Control,
+            StallKind::ComputeData,
+            StallKind::ComputeStructural,
+            StallKind::MemoryData,
+            StallKind::MemoryStructural,
+            StallKind::Synchronization,
+        ]);
+        assert!(ok.is_ok());
+        let dup = CyclePriority::custom([
+            StallKind::Control,
+            StallKind::Control,
+            StallKind::ComputeStructural,
+            StallKind::MemoryData,
+            StallKind::MemoryStructural,
+            StallKind::Synchronization,
+        ]);
+        assert_eq!(dup, Err(StallKind::Control));
+        let bad = CyclePriority::custom([
+            StallKind::NoStall,
+            StallKind::Control,
+            StallKind::ComputeStructural,
+            StallKind::MemoryData,
+            StallKind::MemoryStructural,
+            StallKind::Synchronization,
+        ]);
+        assert_eq!(bad, Err(StallKind::NoStall));
+    }
+
+    #[test]
+    fn default_priority_is_the_papers() {
+        assert_eq!(CyclePriority::default(), CyclePriority::memory_focused());
+    }
+
+    #[test]
+    fn mem_data_cause_unused_but_linked() {
+        // Keep MemDataCause in scope for the module docs.
+        assert_eq!(MemDataCause::ALL.len(), 5);
+    }
+}

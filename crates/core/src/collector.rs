@@ -1,0 +1,292 @@
+//! The per-SM stall collector: the object the simulator drives each cycle.
+
+use crate::breakdown::StallBreakdown;
+use crate::classify::CycleVerdict;
+use crate::ledger::AttributionLedger;
+use crate::stall::{MemDataCause, RequestId, StallKind};
+
+/// Collects the stall breakdown for one SM.
+///
+/// The issue stage calls [`record_cycle`](Self::record_cycle) once per cycle
+/// with the verdict produced by [`judge_cycle`](crate::judge_cycle); the
+/// memory system calls [`on_fill`](Self::on_fill) whenever a load completes,
+/// carrying the service point so pending memory-data charges can be
+/// committed.
+///
+/// Profiling can be disabled ([`set_enabled`](Self::set_enabled)) to measure
+/// GSI's own overhead; a disabled collector records nothing.
+///
+/// ```
+/// use gsi_core::*;
+/// let mut c = StallCollector::new();
+/// let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(1))]);
+/// c.record_cycle(&v);
+/// c.on_fill(RequestId(1), MemDataCause::L2);
+/// assert_eq!(c.breakdown().cycles(StallKind::MemoryData), 1);
+/// assert_eq!(c.breakdown().mem_data_cycles(MemDataCause::L2), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StallCollector {
+    breakdown: StallBreakdown,
+    ledger: AttributionLedger,
+    enabled: bool,
+    unresolved: u64,
+    /// Optional Aerialvision-style time series: one breakdown per epoch of
+    /// `epoch_len` cycles.
+    epoch_len: u64,
+    epoch_cursor: u64,
+    epochs: Vec<StallBreakdown>,
+}
+
+impl StallCollector {
+    /// A new, enabled collector.
+    pub fn new() -> Self {
+        StallCollector {
+            breakdown: StallBreakdown::new(),
+            ledger: AttributionLedger::new(),
+            enabled: true,
+            unresolved: 0,
+            epoch_len: 0,
+            epoch_cursor: 0,
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Additionally record a time series: one breakdown per `epoch_len`
+    /// cycles (the per-interval view Aerialvision pioneered, which the
+    /// paper cites as related work). Pass 0 to disable.
+    pub fn set_epoch_len(&mut self, epoch_len: u64) {
+        self.epoch_len = epoch_len;
+        self.epoch_cursor = 0;
+        self.epochs.clear();
+    }
+
+    /// The recorded epochs so far (empty unless
+    /// [`set_epoch_len`](Self::set_epoch_len) enabled the series).
+    ///
+    /// Retroactive memory-data attributions are booked to the epoch in
+    /// which the fill returns.
+    pub fn epochs(&self) -> &[StallBreakdown] {
+        &self.epochs
+    }
+
+    /// Enable or disable recording. Disabled collectors ignore all events.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the collector is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record the verdict for one issue cycle.
+    ///
+    /// Memory-structural verdicts are booked to their sub-bucket
+    /// immediately; memory-data verdicts charge the blocking request in the
+    /// ledger for later commitment.
+    pub fn record_cycle(&mut self, verdict: &CycleVerdict) {
+        if !self.enabled {
+            return;
+        }
+        self.breakdown.add_cycle(verdict.kind);
+        if self.epoch_len > 0 {
+            if self.epoch_cursor == 0 {
+                self.epochs.push(StallBreakdown::new());
+            }
+            self.epochs.last_mut().expect("pushed").add_cycle(verdict.kind);
+            self.epoch_cursor = (self.epoch_cursor + 1) % self.epoch_len;
+        }
+        match verdict.kind {
+            StallKind::MemoryStructural => {
+                if let Some(cause) = verdict.mem_structural {
+                    self.breakdown.add_mem_struct(cause, 1);
+                    if let Some(e) = self.epochs.last_mut() {
+                        e.add_mem_struct(cause, 1);
+                    }
+                }
+            }
+            StallKind::MemoryData => {
+                if let Some(req) = verdict.blocking_request {
+                    self.ledger.charge(req);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A load completed: commit any stall cycles charged against it to the
+    /// sub-bucket for its service point.
+    pub fn on_fill(&mut self, req: RequestId, serviced_at: MemDataCause) {
+        if !self.enabled {
+            return;
+        }
+        let cycles = self.ledger.commit(req);
+        if cycles > 0 {
+            self.breakdown.add_mem_data(serviced_at, cycles);
+            if let Some(e) = self.epochs.last_mut() {
+                e.add_mem_data(serviced_at, cycles);
+            }
+        }
+    }
+
+    /// The breakdown accumulated so far.
+    ///
+    /// Note that memory-data charges for still-in-flight requests are not
+    /// yet visible in the sub-breakdown; call [`finish`](Self::finish) at end
+    /// of simulation first.
+    pub fn breakdown(&self) -> &StallBreakdown {
+        &self.breakdown
+    }
+
+    /// Finish collection: drain charges against requests that never
+    /// completed (booked as [`MemDataCause::MainMemory`], the conservative
+    /// choice) and return the final breakdown.
+    pub fn finish(mut self) -> StallBreakdown {
+        let dangling = self.ledger.drain_unresolved();
+        if dangling > 0 {
+            self.unresolved = dangling;
+            self.breakdown.add_mem_data(MemDataCause::MainMemory, dangling);
+        }
+        self.breakdown
+    }
+
+    /// Stall cycles whose request never completed (diagnostic; only nonzero
+    /// after [`finish`](Self::finish) found dangling charges).
+    pub fn unresolved_cycles(&self) -> u64 {
+        self.unresolved
+    }
+
+    /// Reset all state, keeping the enabled flag and epoch length.
+    pub fn reset(&mut self) {
+        let enabled = self.enabled;
+        let epoch_len = self.epoch_len;
+        *self = StallCollector::new();
+        self.enabled = enabled;
+        self.epoch_len = epoch_len;
+    }
+
+    /// Take the recorded epochs, leaving the series empty.
+    pub fn take_epochs(&mut self) -> Vec<StallBreakdown> {
+        std::mem::take(&mut self.epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{judge_cycle, InstrHazards};
+    use crate::stall::MemStructCause;
+
+    #[test]
+    fn records_structural_subcause_immediately() {
+        let mut c = StallCollector::new();
+        let v = judge_cycle(false, &[InstrHazards::mem_structural(MemStructCause::PendingDma)]);
+        c.record_cycle(&v);
+        assert_eq!(c.breakdown().cycles(StallKind::MemoryStructural), 1);
+        assert_eq!(c.breakdown().mem_struct_cycles(MemStructCause::PendingDma), 1);
+    }
+
+    #[test]
+    fn mem_data_committed_on_fill() {
+        let mut c = StallCollector::new();
+        let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(5))]);
+        c.record_cycle(&v);
+        c.record_cycle(&v);
+        // Not yet committed.
+        assert_eq!(c.breakdown().mem_data_total(), 0);
+        assert_eq!(c.breakdown().cycles(StallKind::MemoryData), 2);
+        c.on_fill(RequestId(5), MemDataCause::RemoteL1);
+        assert_eq!(c.breakdown().mem_data_cycles(MemDataCause::RemoteL1), 2);
+    }
+
+    #[test]
+    fn finish_books_dangling_charges_to_main_memory() {
+        let mut c = StallCollector::new();
+        let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(1))]);
+        c.record_cycle(&v);
+        let b = c.finish();
+        assert_eq!(b.mem_data_cycles(MemDataCause::MainMemory), 1);
+        assert_eq!(b.mem_data_total(), b.cycles(StallKind::MemoryData));
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut c = StallCollector::new();
+        c.set_enabled(false);
+        assert!(!c.is_enabled());
+        let v = judge_cycle(false, &[InstrHazards::synchronization()]);
+        c.record_cycle(&v);
+        c.on_fill(RequestId(1), MemDataCause::L1);
+        assert_eq!(c.breakdown().total_cycles(), 0);
+    }
+
+    #[test]
+    fn reset_preserves_enabled_flag() {
+        let mut c = StallCollector::new();
+        c.set_enabled(false);
+        c.reset();
+        assert!(!c.is_enabled());
+        c.set_enabled(true);
+        c.record_cycle(&CycleVerdict::bare(StallKind::Idle));
+        c.reset();
+        assert!(c.is_enabled());
+        assert_eq!(c.breakdown().total_cycles(), 0);
+    }
+
+    #[test]
+    fn epochs_partition_the_breakdown() {
+        let mut c = StallCollector::new();
+        c.set_epoch_len(3);
+        for i in 0..10 {
+            let kind = if i % 2 == 0 { StallKind::NoStall } else { StallKind::Idle };
+            c.record_cycle(&CycleVerdict::bare(kind));
+        }
+        assert_eq!(c.epochs().len(), 4, "10 cycles / 3 per epoch -> 4 epochs");
+        let total: u64 = c.epochs().iter().map(|e| e.total_cycles()).sum();
+        assert_eq!(total, c.breakdown().total_cycles());
+        assert_eq!(c.epochs()[0].total_cycles(), 3);
+        assert_eq!(c.epochs()[3].total_cycles(), 1);
+    }
+
+    #[test]
+    fn epoch_series_disabled_by_default() {
+        let mut c = StallCollector::new();
+        c.record_cycle(&CycleVerdict::bare(StallKind::Idle));
+        assert!(c.epochs().is_empty());
+    }
+
+    #[test]
+    fn fills_book_into_current_epoch() {
+        let mut c = StallCollector::new();
+        c.set_epoch_len(2);
+        let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(9))]);
+        c.record_cycle(&v);
+        c.record_cycle(&v);
+        c.record_cycle(&v); // second epoch begins
+        c.on_fill(RequestId(9), MemDataCause::L2);
+        let epochs = c.epochs();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[1].mem_data_cycles(MemDataCause::L2), 3);
+    }
+
+    #[test]
+    fn subtotals_partition_totals_after_finish() {
+        let mut c = StallCollector::new();
+        // 3 mem-data cycles on two requests, 2 structural, 1 no-stall.
+        let v1 = judge_cycle(false, &[InstrHazards::mem_data(RequestId(1))]);
+        let v2 = judge_cycle(false, &[InstrHazards::mem_data(RequestId(2))]);
+        c.record_cycle(&v1);
+        c.record_cycle(&v1);
+        c.record_cycle(&v2);
+        let vs = judge_cycle(false, &[InstrHazards::mem_structural(MemStructCause::MshrFull)]);
+        c.record_cycle(&vs);
+        c.record_cycle(&vs);
+        c.record_cycle(&judge_cycle(true, &[]));
+        c.on_fill(RequestId(1), MemDataCause::L2);
+        let b = c.finish();
+        assert_eq!(b.cycles(StallKind::MemoryData), b.mem_data_total());
+        assert_eq!(b.cycles(StallKind::MemoryStructural), b.mem_struct_total());
+        assert_eq!(b.total_cycles(), 6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Retroactive attribution of memory-data stall cycles.
+//!
+//! The sub-category of a memory data stall is *where the dependency load was
+//! serviced* (Section 4.3) — information that only exists once the fill
+//! returns. The ledger accumulates stall cycles charged against an
+//! outstanding request and commits them to the right bucket when the
+//! request's provenance becomes known.
+
+use crate::stall::RequestId;
+use std::collections::HashMap;
+
+/// Accumulates memory-data stall cycles charged to in-flight requests.
+///
+/// ```
+/// use gsi_core::{AttributionLedger, MemDataCause, RequestId};
+/// let mut ledger = AttributionLedger::new();
+/// ledger.charge(RequestId(3));
+/// ledger.charge(RequestId(3));
+/// assert_eq!(ledger.commit(RequestId(3)), 2); // fill arrived; 2 cycles to book
+/// assert_eq!(ledger.commit(RequestId(3)), 0); // idempotent
+/// # let _ = MemDataCause::L2;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AttributionLedger {
+    pending: HashMap<RequestId, u64>,
+}
+
+impl AttributionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one stall cycle against an outstanding request.
+    pub fn charge(&mut self, req: RequestId) {
+        *self.pending.entry(req).or_insert(0) += 1;
+    }
+
+    /// The request completed: remove and return the cycles accumulated
+    /// against it (zero if none were charged).
+    #[must_use]
+    pub fn commit(&mut self, req: RequestId) -> u64 {
+        self.pending.remove(&req).unwrap_or(0)
+    }
+
+    /// Cycles currently charged to `req` but not yet committed.
+    pub fn outstanding(&self, req: RequestId) -> u64 {
+        self.pending.get(&req).copied().unwrap_or(0)
+    }
+
+    /// Number of requests with uncommitted charges.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no charges are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drain every uncommitted charge, returning the total.
+    ///
+    /// Used at end of simulation for requests that never completed (there
+    /// should be none in a correct run; a nonzero result is a diagnostic).
+    pub fn drain_unresolved(&mut self) -> u64 {
+        let total = self.pending.values().sum();
+        self.pending.clear();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut l = AttributionLedger::new();
+        for _ in 0..5 {
+            l.charge(RequestId(1));
+        }
+        l.charge(RequestId(2));
+        assert_eq!(l.outstanding(RequestId(1)), 5);
+        assert_eq!(l.outstanding(RequestId(2)), 1);
+        assert_eq!(l.outstanding(RequestId(3)), 0);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn commit_removes() {
+        let mut l = AttributionLedger::new();
+        l.charge(RequestId(9));
+        assert_eq!(l.commit(RequestId(9)), 1);
+        assert!(l.is_empty());
+        assert_eq!(l.commit(RequestId(9)), 0);
+    }
+
+    #[test]
+    fn commit_unknown_is_zero() {
+        let mut l = AttributionLedger::new();
+        assert_eq!(l.commit(RequestId(1234)), 0);
+    }
+
+    #[test]
+    fn drain_unresolved_clears() {
+        let mut l = AttributionLedger::new();
+        l.charge(RequestId(1));
+        l.charge(RequestId(1));
+        l.charge(RequestId(2));
+        assert_eq!(l.drain_unresolved(), 3);
+        assert!(l.is_empty());
+        assert_eq!(l.drain_unresolved(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # GSI core — GPU Stall Inspector
+//!
+//! This crate implements the contribution of *"GSI: A GPU Stall Inspector to
+//! characterize the sources of memory stalls for tightly coupled GPUs"*
+//! (Alsop, ISPASS 2016): a per-cycle stall attribution methodology for the
+//! issue stage of a GPU streaming multiprocessor (SM).
+//!
+//! The methodology has two levels:
+//!
+//! 1. **Instruction classification** ([`classify_instruction`], Algorithm 1 of
+//!    the paper): every warp instruction considered by the issue stage in a
+//!    cycle is assigned the stall cause that is most *strongly* preventing it
+//!    from issuing.
+//! 2. **Cycle classification** ([`judge_cycle`], Algorithm 2): a cycle in
+//!    which no instruction issues is assigned the *weakest* stall cause found
+//!    among the considered instructions — the cause of the instruction that
+//!    was closest to issuing, and therefore the most profitable to remove.
+//!
+//! Memory **data** stalls are sub-classified by where the dependency load was
+//! serviced ([`MemDataCause`]). Because the service point is unknown while
+//! the load is still in flight, stall cycles are first charged to the
+//! outstanding request in an [`AttributionLedger`] and committed to the right
+//! bucket when the fill returns. Memory **structural** stalls are
+//! sub-classified by the cause of the load/store-unit rejection
+//! ([`MemStructCause`]), which is known immediately.
+//!
+//! The [`StallCollector`] ties the pieces together for one SM, and
+//! [`report`] renders breakdowns the way the paper's figures do (normalized
+//! stacked bars, one per configuration).
+//!
+//! ```
+//! use gsi_core::{InstrHazards, MemStructCause, StallKind, judge_cycle};
+//!
+//! // Two warps were considered this cycle: one blocked on a pending load,
+//! // one rejected by a full MSHR. Nothing issued.
+//! let blocked_on_load = InstrHazards::mem_data(gsi_core::RequestId(7));
+//! let rejected = InstrHazards::mem_structural(MemStructCause::MshrFull);
+//! let verdict = judge_cycle(false, &[blocked_on_load, rejected]);
+//! // Algorithm 2 gives memory structural stalls the highest priority.
+//! assert_eq!(verdict.kind, StallKind::MemoryStructural);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod classify;
+mod collector;
+mod ledger;
+pub mod report;
+mod stall;
+
+pub use breakdown::StallBreakdown;
+pub use classify::{
+    classify_cycle, classify_cycle_with, classify_instruction, judge_cycle, judge_cycle_with,
+    CyclePriority, CycleVerdict, InstrHazards,
+};
+pub use collector::StallCollector;
+pub use ledger::AttributionLedger;
+pub use stall::{MemDataCause, MemStructCause, RequestId, StallKind};

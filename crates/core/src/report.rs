@@ -1,0 +1,435 @@
+//! Rendering stall breakdowns the way the paper's figures present them:
+//! stacked horizontal bars, one per configuration, normalized to a baseline,
+//! plus CSV output for external plotting.
+
+use crate::breakdown::StallBreakdown;
+use crate::stall::{MemDataCause, MemStructCause, StallKind};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Which panel of a paper figure to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Panel {
+    /// Panel (a): the full execution-time breakdown across all eight
+    /// categories.
+    Execution,
+    /// Panel (b): the memory data stall sub-breakdown.
+    MemData,
+    /// Panel (c): the memory structural stall sub-breakdown.
+    MemStruct,
+}
+
+/// One ASCII glyph per category, used as the bar fill.
+fn kind_glyph(kind: StallKind) -> char {
+    match kind {
+        StallKind::NoStall => '#',
+        StallKind::Idle => '.',
+        StallKind::Control => 'c',
+        StallKind::Synchronization => 's',
+        StallKind::MemoryData => 'd',
+        StallKind::MemoryStructural => 'm',
+        StallKind::ComputeData => 'k',
+        StallKind::ComputeStructural => 'u',
+    }
+}
+
+fn mem_data_glyph(cause: MemDataCause) -> char {
+    match cause {
+        MemDataCause::L1 => '1',
+        MemDataCause::L1Coalescing => 'o',
+        MemDataCause::L2 => '2',
+        MemDataCause::RemoteL1 => 'r',
+        MemDataCause::MainMemory => 'M',
+    }
+}
+
+fn mem_struct_glyph(cause: MemStructCause) -> char {
+    match cause {
+        MemStructCause::MshrFull => 'H',
+        MemStructCause::StoreBufferFull => 'B',
+        MemStructCause::BankConflict => 'K',
+        MemStructCause::PendingRelease => 'R',
+        MemStructCause::PendingDma => 'A',
+    }
+}
+
+/// A named collection of breakdowns that renders as one paper-style figure.
+///
+/// The first entry is the normalization baseline, matching the paper's
+/// "normalized to GPU coherence" / "normalized to baseline scratchpad"
+/// presentation.
+///
+/// ```
+/// use gsi_core::{report::Figure, StallBreakdown, StallKind};
+/// let mut base = StallBreakdown::new();
+/// base.add_cycles(StallKind::NoStall, 50);
+/// base.add_cycles(StallKind::Synchronization, 50);
+/// let mut better = StallBreakdown::new();
+/// better.add_cycles(StallKind::NoStall, 50);
+/// better.add_cycles(StallKind::Synchronization, 10);
+/// let fig = Figure::new("demo")
+///     .with_entry("baseline", base)
+///     .with_entry("improved", better);
+/// let text = fig.render(gsi_core::report::Panel::Execution, 40);
+/// assert!(text.contains("baseline"));
+/// assert!(text.contains("improved"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title (e.g. `"Figure 6.2: UTSD"`).
+    pub title: String,
+    /// Configurations in presentation order; the first is the baseline.
+    pub entries: Vec<(String, StallBreakdown)>,
+}
+
+impl Figure {
+    /// Create an empty figure with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Figure { title: title.into(), entries: Vec::new() }
+    }
+
+    /// Append a configuration (builder style).
+    #[must_use]
+    pub fn with_entry(mut self, name: impl Into<String>, b: StallBreakdown) -> Self {
+        self.entries.push((name.into(), b));
+        self
+    }
+
+    /// Append a configuration.
+    pub fn push(&mut self, name: impl Into<String>, b: StallBreakdown) {
+        self.entries.push((name.into(), b));
+    }
+
+    /// The baseline breakdown (first entry), if any.
+    pub fn baseline(&self) -> Option<&StallBreakdown> {
+        self.entries.first().map(|(_, b)| b)
+    }
+
+    fn segments(&self, panel: Panel, b: &StallBreakdown) -> Vec<(char, &'static str, u64)> {
+        match panel {
+            Panel::Execution => StallKind::ALL
+                .iter()
+                .map(|&k| (kind_glyph(k), k.short(), b.cycles(k)))
+                .collect(),
+            Panel::MemData => MemDataCause::ALL
+                .iter()
+                .map(|&c| (mem_data_glyph(c), c.short(), b.mem_data_cycles(c)))
+                .collect(),
+            Panel::MemStruct => MemStructCause::ALL
+                .iter()
+                .map(|&c| (mem_struct_glyph(c), c.short(), b.mem_struct_cycles(c)))
+                .collect(),
+        }
+    }
+
+    fn panel_total(panel: Panel, b: &StallBreakdown) -> u64 {
+        match panel {
+            Panel::Execution => b.total_cycles(),
+            Panel::MemData => b.mem_data_total(),
+            Panel::MemStruct => b.mem_struct_total(),
+        }
+    }
+
+    /// Render one panel as normalized stacked text bars of at most `width`
+    /// characters for the baseline, with a legend and a numeric table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render(&self, panel: Panel, width: usize) -> String {
+        assert!(width > 0, "bar width must be nonzero");
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let denom = self.baseline().map(|b| Self::panel_total(panel, b)).unwrap_or(0);
+        let name_w = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+
+        let mut used: Vec<(char, &'static str)> = Vec::new();
+        for (name, b) in &self.entries {
+            let segs = self.segments(panel, b);
+            let mut bar = String::new();
+            for (glyph, label, v) in &segs {
+                if *v > 0 && !used.iter().any(|(g, _)| g == glyph) {
+                    used.push((*glyph, label));
+                }
+                let chars = if denom == 0 {
+                    0
+                } else {
+                    ((*v as f64 / denom as f64) * width as f64).round() as usize
+                };
+                for _ in 0..chars {
+                    bar.push(*glyph);
+                }
+            }
+            let norm = if denom == 0 {
+                0.0
+            } else {
+                Self::panel_total(panel, b) as f64 / denom as f64
+            };
+            let _ = writeln!(out, "{name:>name_w$} |{bar} {norm:.2}");
+        }
+        if !used.is_empty() {
+            let legend: Vec<String> =
+                used.iter().map(|(g, label)| format!("{g}={label}")).collect();
+            let _ = writeln!(out, "legend: {}", legend.join("  "));
+        }
+        out
+    }
+
+    /// Render one panel with each bar normalized to its own total (a
+    /// composition view): every bar is `width` characters and shows the
+    /// category mix, which is the right view when entries have very
+    /// different absolute magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render_fractions(&self, panel: Panel, width: usize) -> String {
+        assert!(width > 0, "bar width must be nonzero");
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let name_w = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut used: Vec<(char, &'static str)> = Vec::new();
+        for (name, b) in &self.entries {
+            let segs = self.segments(panel, b);
+            let denom = Self::panel_total(panel, b);
+            let mut bar = String::new();
+            for (glyph, label, v) in &segs {
+                if *v > 0 && !used.iter().any(|(g, _)| g == glyph) {
+                    used.push((*glyph, label));
+                }
+                let chars = if denom == 0 {
+                    0
+                } else {
+                    ((*v as f64 / denom as f64) * width as f64).round() as usize
+                };
+                for _ in 0..chars {
+                    bar.push(*glyph);
+                }
+            }
+            let _ = writeln!(out, "{name:>name_w$} |{bar}");
+        }
+        if !used.is_empty() {
+            let legend: Vec<String> =
+                used.iter().map(|(g, label)| format!("{g}={label}")).collect();
+            let _ = writeln!(out, "legend: {}", legend.join("  "));
+        }
+        out
+    }
+
+    /// Render all three panels.
+    pub fn render_all(&self, width: usize) -> String {
+        let mut out = String::new();
+        for (panel, tag) in [
+            (Panel::Execution, "(a) execution time breakdown"),
+            (Panel::MemData, "(b) memory data stall breakdown"),
+            (Panel::MemStruct, "(c) memory structural stall breakdown"),
+        ] {
+            let _ = writeln!(out, "--- {tag} ---");
+            out.push_str(&self.render(panel, width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV with one row per configuration: absolute cycle counts of every
+    /// category and sub-category, plus totals.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("config,total");
+        for k in StallKind::ALL {
+            let _ = write!(out, ",{}", k.short());
+        }
+        for c in MemDataCause::ALL {
+            let _ = write!(out, ",data:{}", c.short());
+        }
+        for c in MemStructCause::ALL {
+            let _ = write!(out, ",struct:{}", c.short());
+        }
+        out.push('\n');
+        for (name, b) in &self.entries {
+            let _ = write!(out, "{name},{}", b.total_cycles());
+            for k in StallKind::ALL {
+                let _ = write!(out, ",{}", b.cycles(k));
+            }
+            for c in MemDataCause::ALL {
+                let _ = write!(out, ",{}", b.mem_data_cycles(c));
+            }
+            for c in MemStructCause::ALL {
+                let _ = write!(out, ",{}", b.mem_struct_cycles(c));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an epoch series as a one-line timeline: one glyph per epoch,
+/// showing the dominant stall category in that interval (ties broken by
+/// taxonomy order). Useful for seeing phases — e.g. a kernel's copy-in,
+/// compute, and writeback phases have visibly different dominant stalls.
+///
+/// ```
+/// use gsi_core::{report::render_timeline, StallBreakdown, StallKind};
+/// let mut busy = StallBreakdown::new();
+/// busy.add_cycles(StallKind::NoStall, 10);
+/// let mut stalled = StallBreakdown::new();
+/// stalled.add_cycles(StallKind::MemoryData, 10);
+/// let line = render_timeline(&[busy, stalled]);
+/// assert!(line.starts_with("#d"));
+/// ```
+pub fn render_timeline(epochs: &[StallBreakdown]) -> String {
+    let mut out = String::new();
+    for e in epochs {
+        let (kind, _) = StallKind::ALL
+            .iter()
+            .map(|&k| (k, e.cycles(k)))
+            .max_by_key(|&(k, v)| (v, std::cmp::Reverse(k.index())))
+            .unwrap_or((StallKind::Idle, 0));
+        out.push(kind_glyph(kind));
+    }
+    out
+}
+
+/// Percentage change from `from` to `to` (e.g. `-28.0` for a 28% drop).
+/// Returns 0 when `from` is zero.
+pub fn percent_change(from: u64, to: u64) -> f64 {
+    if from == 0 {
+        0.0
+    } else {
+        (to as f64 - from as f64) / from as f64 * 100.0
+    }
+}
+
+/// Multiplicative factor from `from` to `to` (e.g. `13.0` for "13X").
+/// Returns `f64::INFINITY` when `from` is zero and `to` nonzero, 1.0 when
+/// both are zero.
+pub fn factor(from: u64, to: u64) -> f64 {
+    if from == 0 {
+        if to == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        to as f64 / from as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(no_stall: u64, sync: u64, mem: u64) -> StallBreakdown {
+        let mut b = StallBreakdown::new();
+        b.add_cycles(StallKind::NoStall, no_stall);
+        b.add_cycles(StallKind::Synchronization, sync);
+        b.add_cycles(StallKind::MemoryData, mem);
+        b.add_mem_data(MemDataCause::L2, mem);
+        b
+    }
+
+    #[test]
+    fn render_includes_names_legend_and_normalization() {
+        let fig = Figure::new("t")
+            .with_entry("base", sample(10, 10, 0))
+            .with_entry("half", sample(5, 5, 0));
+        let text = fig.render(Panel::Execution, 20);
+        assert!(text.contains("base"));
+        assert!(text.contains("half"));
+        assert!(text.contains("legend:"));
+        assert!(text.contains("1.00"));
+        assert!(text.contains("0.50"));
+    }
+
+    #[test]
+    fn bar_length_tracks_magnitude() {
+        let fig = Figure::new("t")
+            .with_entry("base", sample(20, 0, 0))
+            .with_entry("tiny", sample(1, 0, 0));
+        let text = fig.render(Panel::Execution, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        let base_hashes = lines[1].matches('#').count();
+        let tiny_hashes = lines[2].matches('#').count();
+        assert_eq!(base_hashes, 40);
+        assert!(tiny_hashes <= 2);
+    }
+
+    #[test]
+    fn mem_data_panel_uses_subbreakdown() {
+        let fig = Figure::new("t").with_entry("only", sample(0, 0, 8));
+        let text = fig.render(Panel::MemData, 16);
+        assert!(text.contains('2'), "L2 glyph expected: {text}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let fig = Figure::new("t")
+            .with_entry("a", sample(1, 2, 3))
+            .with_entry("b", sample(4, 5, 6));
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("config,total"));
+        assert!(lines[1].starts_with("a,6"));
+        assert!(lines[2].starts_with("b,15"));
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), cols);
+    }
+
+    #[test]
+    fn empty_figure_renders_without_panic() {
+        let fig = Figure::new("empty");
+        let text = fig.render(Panel::Execution, 10);
+        assert!(text.contains("empty"));
+    }
+
+    #[test]
+    fn render_all_has_three_panels() {
+        let fig = Figure::new("t").with_entry("x", sample(1, 1, 1));
+        let text = fig.render_all(10);
+        assert!(text.contains("(a)"));
+        assert!(text.contains("(b)"));
+        assert!(text.contains("(c)"));
+    }
+
+    #[test]
+    fn fraction_view_normalizes_each_bar() {
+        let fig = Figure::new("t")
+            .with_entry("big", sample(1000, 1000, 0))
+            .with_entry("small", sample(1, 1, 0));
+        let text = fig.render_fractions(Panel::Execution, 20);
+        // Both bars are full width despite the 1000x magnitude difference.
+        for line in text.lines().skip(1).take(2) {
+            let bar_len = line.chars().filter(|&c| c == '#' || c == 's').count();
+            assert!((19..=21).contains(&bar_len), "{line}");
+        }
+    }
+
+    #[test]
+    fn timeline_shows_dominant_kind_per_epoch() {
+        let mut a = StallBreakdown::new();
+        a.add_cycles(StallKind::NoStall, 5);
+        a.add_cycles(StallKind::MemoryData, 2);
+        let mut b = StallBreakdown::new();
+        b.add_cycles(StallKind::Synchronization, 9);
+        let mut c = StallBreakdown::new();
+        c.add_cycles(StallKind::MemoryStructural, 4);
+        assert_eq!(render_timeline(&[a, b, c]), "#sm");
+        assert_eq!(render_timeline(&[]), "");
+    }
+
+    #[test]
+    fn percent_change_and_factor() {
+        assert!((percent_change(100, 72) - -28.0).abs() < 1e-9);
+        assert_eq!(percent_change(0, 5), 0.0);
+        assert_eq!(factor(2, 26), 13.0);
+        assert_eq!(factor(0, 0), 1.0);
+        assert!(factor(0, 3).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "bar width")]
+    fn zero_width_panics() {
+        Figure::new("t").render(Panel::Execution, 0);
+    }
+}

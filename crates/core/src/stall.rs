@@ -1,0 +1,299 @@
+//! The stall taxonomy of the paper (Chapter 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of one issue cycle or one considered warp instruction.
+///
+/// These are the eight categories of Section 4.1 of the paper. `NoStall`
+/// means an instruction was able to issue; every other variant names the
+/// condition that prevented issue.
+///
+/// ```
+/// use gsi_core::StallKind;
+/// assert_eq!(StallKind::ALL.len(), 8);
+/// assert_eq!(StallKind::MemoryData.to_string(), "memory data");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StallKind {
+    /// An instruction was able to issue this cycle.
+    NoStall,
+    /// No active warps were available to issue instructions.
+    Idle,
+    /// The instruction supplied by the instruction buffer is not the next
+    /// instruction to be executed in the warp (e.g. refetch after a taken
+    /// branch).
+    Control,
+    /// The warp is blocked on a pending synchronization operation: an
+    /// acquire, a release, or a thread-block barrier.
+    Synchronization,
+    /// The instruction depends on the output of a pending load.
+    MemoryData,
+    /// A ready memory instruction was rejected by the load/store unit.
+    MemoryStructural,
+    /// The instruction depends on the output of a pending compute
+    /// (non-memory) instruction.
+    ComputeData,
+    /// A compute instruction could not issue because the appropriate compute
+    /// unit is occupied.
+    ComputeStructural,
+}
+
+impl StallKind {
+    /// All eight categories, in taxonomy order.
+    pub const ALL: [StallKind; 8] = [
+        StallKind::NoStall,
+        StallKind::Idle,
+        StallKind::Control,
+        StallKind::Synchronization,
+        StallKind::MemoryData,
+        StallKind::MemoryStructural,
+        StallKind::ComputeData,
+        StallKind::ComputeStructural,
+    ];
+
+    /// Dense index of this kind within [`StallKind::ALL`], usable as an
+    /// array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            StallKind::NoStall => 0,
+            StallKind::Idle => 1,
+            StallKind::Control => 2,
+            StallKind::Synchronization => 3,
+            StallKind::MemoryData => 4,
+            StallKind::MemoryStructural => 5,
+            StallKind::ComputeData => 6,
+            StallKind::ComputeStructural => 7,
+        }
+    }
+
+    /// Short fixed-width label used in bar-chart legends.
+    pub fn short(self) -> &'static str {
+        match self {
+            StallKind::NoStall => "nostall",
+            StallKind::Idle => "idle",
+            StallKind::Control => "control",
+            StallKind::Synchronization => "sync",
+            StallKind::MemoryData => "mem-data",
+            StallKind::MemoryStructural => "mem-struct",
+            StallKind::ComputeData => "comp-data",
+            StallKind::ComputeStructural => "comp-struct",
+        }
+    }
+
+    /// True for either memory stall category.
+    pub fn is_memory(self) -> bool {
+        matches!(self, StallKind::MemoryData | StallKind::MemoryStructural)
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallKind::NoStall => "no stall",
+            StallKind::Idle => "idle",
+            StallKind::Control => "control",
+            StallKind::Synchronization => "synchronization",
+            StallKind::MemoryData => "memory data",
+            StallKind::MemoryStructural => "memory structural",
+            StallKind::ComputeData => "compute data",
+            StallKind::ComputeStructural => "compute structural",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a dependency load was serviced (Section 4.3).
+///
+/// Memory data stalls are sub-classified by the level of the memory
+/// hierarchy that ultimately supplied the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemDataCause {
+    /// Satisfied by the local L1 cache (hit, or LSU-internal delay).
+    L1,
+    /// Missed in L1 but satisfied by the response to another outstanding
+    /// request for the same line (an MSHR merge).
+    L1Coalescing,
+    /// Satisfied by the shared L2 cache.
+    L2,
+    /// Satisfied by a remote core's L1 cache. Only possible under protocols
+    /// like DeNovo that allow ownership in L1 caches.
+    RemoteL1,
+    /// Satisfied by main memory.
+    MainMemory,
+}
+
+impl MemDataCause {
+    /// All five service points, nearest first.
+    pub const ALL: [MemDataCause; 5] = [
+        MemDataCause::L1,
+        MemDataCause::L1Coalescing,
+        MemDataCause::L2,
+        MemDataCause::RemoteL1,
+        MemDataCause::MainMemory,
+    ];
+
+    /// Dense index within [`MemDataCause::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MemDataCause::L1 => 0,
+            MemDataCause::L1Coalescing => 1,
+            MemDataCause::L2 => 2,
+            MemDataCause::RemoteL1 => 3,
+            MemDataCause::MainMemory => 4,
+        }
+    }
+
+    /// Short label for legends.
+    pub fn short(self) -> &'static str {
+        match self {
+            MemDataCause::L1 => "L1",
+            MemDataCause::L1Coalescing => "L1-coalesce",
+            MemDataCause::L2 => "L2",
+            MemDataCause::RemoteL1 => "remote-L1",
+            MemDataCause::MainMemory => "mem",
+        }
+    }
+}
+
+impl fmt::Display for MemDataCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemDataCause::L1 => "L1 cache",
+            MemDataCause::L1Coalescing => "L1 coalescing",
+            MemDataCause::L2 => "L2 cache",
+            MemDataCause::RemoteL1 => "remote L1 cache",
+            MemDataCause::MainMemory => "main memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why the load/store unit rejected a ready memory instruction
+/// (Section 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemStructCause {
+    /// No free miss-status holding register.
+    MshrFull,
+    /// No free write-combining store buffer entry.
+    StoreBufferFull,
+    /// Accesses were not evenly strided across cache or local-memory banks.
+    BankConflict,
+    /// A release operation is draining prior stores; subsequent stores are
+    /// blocked until the flush completes.
+    PendingRelease,
+    /// The instruction touches scratchpad data whose DMA transfer has not
+    /// yet completed.
+    PendingDma,
+}
+
+impl MemStructCause {
+    /// All five rejection causes.
+    pub const ALL: [MemStructCause; 5] = [
+        MemStructCause::MshrFull,
+        MemStructCause::StoreBufferFull,
+        MemStructCause::BankConflict,
+        MemStructCause::PendingRelease,
+        MemStructCause::PendingDma,
+    ];
+
+    /// Dense index within [`MemStructCause::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MemStructCause::MshrFull => 0,
+            MemStructCause::StoreBufferFull => 1,
+            MemStructCause::BankConflict => 2,
+            MemStructCause::PendingRelease => 3,
+            MemStructCause::PendingDma => 4,
+        }
+    }
+
+    /// Short label for legends.
+    pub fn short(self) -> &'static str {
+        match self {
+            MemStructCause::MshrFull => "MSHR-full",
+            MemStructCause::StoreBufferFull => "SB-full",
+            MemStructCause::BankConflict => "bank-conflict",
+            MemStructCause::PendingRelease => "pend-release",
+            MemStructCause::PendingDma => "pend-DMA",
+        }
+    }
+}
+
+impl fmt::Display for MemStructCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemStructCause::MshrFull => "full MSHR",
+            MemStructCause::StoreBufferFull => "full store buffer",
+            MemStructCause::BankConflict => "bank conflict",
+            MemStructCause::PendingRelease => "pending release",
+            MemStructCause::PendingDma => "pending DMA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of an outstanding memory request, used to charge stall cycles
+/// to a load whose service point is not yet known.
+///
+/// Request ids are allocated by the memory system and must be unique among
+/// in-flight requests of one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_match_all() {
+        for (i, k) in StallKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn mem_data_indices_are_dense() {
+        for (i, c) in MemDataCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn mem_struct_indices_are_dense() {
+        for (i, c) in MemStructCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for k in StallKind::ALL {
+            let s = k.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn memory_kinds() {
+        assert!(StallKind::MemoryData.is_memory());
+        assert!(StallKind::MemoryStructural.is_memory());
+        assert!(!StallKind::Synchronization.is_memory());
+        assert!(!StallKind::NoStall.is_memory());
+    }
+
+    #[test]
+    fn request_id_display() {
+        assert_eq!(RequestId(42).to_string(), "req#42");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the classification algorithms and breakdown algebra.
+
+use gsi_core::{
+    classify_cycle, classify_instruction, judge_cycle, InstrHazards, MemDataCause,
+    MemStructCause, RequestId, StallBreakdown, StallCollector, StallKind,
+};
+use proptest::prelude::*;
+
+fn arb_mem_struct() -> impl Strategy<Value = MemStructCause> {
+    prop_oneof![
+        Just(MemStructCause::MshrFull),
+        Just(MemStructCause::StoreBufferFull),
+        Just(MemStructCause::BankConflict),
+        Just(MemStructCause::PendingRelease),
+        Just(MemStructCause::PendingDma),
+    ]
+}
+
+fn arb_hazards() -> impl Strategy<Value = InstrHazards> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(arb_mem_struct()),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(control, synchronization, req, ms, cd, cs)| InstrHazards {
+            control,
+            synchronization,
+            mem_data: req.map(RequestId),
+            mem_structural: ms,
+            compute_data: cd,
+            compute_structural: cs,
+        })
+}
+
+proptest! {
+    /// Algorithm 1 returns NoStall iff no hazard is present.
+    #[test]
+    fn instruction_classification_is_no_stall_iff_clean(h in arb_hazards()) {
+        prop_assert_eq!(classify_instruction(&h) == StallKind::NoStall, h.can_issue());
+    }
+
+    /// Algorithm 1 never invents hazards: the returned kind's flag is set.
+    #[test]
+    fn instruction_classification_reflects_a_real_hazard(h in arb_hazards()) {
+        match classify_instruction(&h) {
+            StallKind::Control => prop_assert!(h.control),
+            StallKind::Synchronization => prop_assert!(h.synchronization),
+            StallKind::MemoryData => prop_assert!(h.mem_data.is_some()),
+            StallKind::MemoryStructural => prop_assert!(h.mem_structural.is_some()),
+            StallKind::ComputeData => prop_assert!(h.compute_data),
+            StallKind::ComputeStructural => prop_assert!(h.compute_structural),
+            StallKind::NoStall => prop_assert!(h.can_issue()),
+            StallKind::Idle => prop_assert!(false, "Algorithm 1 never yields Idle"),
+        }
+    }
+
+    /// Algorithm 2 yields a kind that was actually present (or Idle/NoStall).
+    #[test]
+    fn cycle_classification_picks_present_kind(
+        hazards in proptest::collection::vec(arb_hazards(), 0..8),
+        issued in any::<bool>(),
+    ) {
+        let kinds: Vec<StallKind> = hazards.iter().map(classify_instruction).collect();
+        let verdict = classify_cycle(issued, &kinds);
+        if issued {
+            prop_assert_eq!(verdict, StallKind::NoStall);
+        } else if kinds.iter().all(|&k| k == StallKind::NoStall) && !kinds.is_empty() {
+            // All considered could issue but none did (slot limits): the
+            // weakest-stall rule has nothing to blame, so Idle results.
+            prop_assert_eq!(verdict, StallKind::Idle);
+        } else if kinds.is_empty() {
+            prop_assert_eq!(verdict, StallKind::Idle);
+        } else {
+            prop_assert!(kinds.contains(&verdict), "{:?} not in {:?}", verdict, kinds);
+        }
+    }
+
+    /// judge_cycle's sub-classification detail comes from a matching
+    /// instruction.
+    #[test]
+    fn verdict_detail_is_consistent(
+        hazards in proptest::collection::vec(arb_hazards(), 0..8),
+    ) {
+        let v = judge_cycle(false, &hazards);
+        if v.kind == StallKind::MemoryStructural {
+            prop_assert!(hazards.iter().any(|h| h.mem_structural == v.mem_structural));
+        }
+        if v.kind == StallKind::MemoryData {
+            prop_assert!(hazards.iter().any(|h| h.mem_data == v.blocking_request));
+        }
+    }
+
+    /// Breakdown merge is commutative and associative; totals are linear.
+    #[test]
+    fn breakdown_algebra(
+        counts_a in proptest::collection::vec(0u64..1000, 8),
+        counts_b in proptest::collection::vec(0u64..1000, 8),
+        counts_c in proptest::collection::vec(0u64..1000, 8),
+    ) {
+        let mk = |counts: &[u64]| {
+            let mut b = StallBreakdown::new();
+            for (k, &n) in StallKind::ALL.iter().zip(counts) {
+                b.add_cycles(*k, n);
+            }
+            b
+        };
+        let (a, b, c) = (mk(&counts_a), mk(&counts_b), mk(&counts_c));
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!(
+            (a.clone() + b.clone()) + c.clone(),
+            a.clone() + (b.clone() + c.clone())
+        );
+        prop_assert_eq!(
+            (a.clone() + b.clone()).total_cycles(),
+            a.total_cycles() + b.total_cycles()
+        );
+    }
+
+    /// The collector conserves cycles: every recorded verdict lands in
+    /// exactly one bucket, and committed memory-data cycles equal charged
+    /// ones.
+    #[test]
+    fn collector_conserves_cycles(
+        cycles in proptest::collection::vec((arb_hazards(), any::<bool>()), 1..100),
+    ) {
+        let mut c = StallCollector::new();
+        let mut outstanding = Vec::new();
+        let mut recorded = 0u64;
+        for (h, fill_now) in &cycles {
+            let v = judge_cycle(false, std::slice::from_ref(h));
+            c.record_cycle(&v);
+            recorded += 1;
+            if let Some(req) = v.blocking_request {
+                outstanding.push(req);
+            }
+            if *fill_now {
+                if let Some(req) = outstanding.pop() {
+                    c.on_fill(req, MemDataCause::L2);
+                }
+            }
+        }
+        let b = c.finish();
+        prop_assert_eq!(b.total_cycles(), recorded);
+        prop_assert_eq!(b.mem_data_total(), b.cycles(StallKind::MemoryData));
+    }
+
+    /// Normalization against self always sums to 1 for non-empty breakdowns.
+    #[test]
+    fn self_normalization_sums_to_one(
+        counts in proptest::collection::vec(0u64..1000, 8),
+    ) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let mut b = StallBreakdown::new();
+        for (k, &n) in StallKind::ALL.iter().zip(&counts) {
+            b.add_cycles(*k, n);
+        }
+        let total: f64 = b.normalized_to(&b).iter().map(|(_, v)| v).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,422 @@
+//! A parser for the textual assembly the disassembler prints, so kernels
+//! round-trip through text: `Program -> Display -> parse == Program`.
+//!
+//! The format is exactly what [`Program`]'s `Display` emits:
+//!
+//! ```text
+//! .kernel spin
+//!    0:  ldi r1, 4096
+//!    1:  atom.cas.Acquire r2, [r1], 0, 1
+//!    2:  branz r2, @1
+//!    3:  exit
+//! ```
+//!
+//! Branch targets are absolute instruction indices (`@N`), matching the
+//! resolved representation; the [`ProgramBuilder`](crate::ProgramBuilder)
+//! remains the way to write kernels with symbolic labels.
+
+use crate::instr::{AluOp, AtomOp, BranchCond, Instr, MemSem, Operand, Reg};
+use crate::program::Program;
+use std::fmt;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let Some(n) = tok.strip_prefix('r') else {
+        return err(line, format!("expected register, got `{tok}`"));
+    };
+    match n.parse::<u8>() {
+        Ok(v) => Ok(Reg(v)),
+        Err(_) => err(line, format!("bad register `{tok}`")),
+    }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    } else {
+        match tok.parse::<i64>() {
+            Ok(v) => Ok(Operand::Imm(v)),
+            Err(_) => err(line, format!("expected operand, got `{tok}`")),
+        }
+    }
+}
+
+/// Parse `[rN+OFF]` into `(reg, offset)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected memory operand `[rN+OFF]`, got `{tok}`"),
+        })?;
+    // The offset is signed and printed as `+{offset}` with offset possibly
+    // negative, i.e. `r2+-8`.
+    match inner.split_once('+') {
+        Some((r, off)) => {
+            let reg = parse_reg(r, line)?;
+            let offset = off
+                .parse::<i64>()
+                .map_err(|_| ParseError { line, message: format!("bad offset `{off}`") })?;
+            Ok((reg, offset))
+        }
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<usize, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let Some(n) = tok.strip_prefix('@') else {
+        return err(line, format!("expected branch target `@N`, got `{tok}`"));
+    };
+    n.parse::<usize>()
+        .map_err(|_| ParseError { line, message: format!("bad target `{tok}`") })
+}
+
+fn parse_alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::DivU,
+        "remu" => AluOp::RemU,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "minu" => AluOp::MinU,
+        "maxu" => AluOp::MaxU,
+        "sltu" => AluOp::SltU,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        _ => return None,
+    })
+}
+
+fn parse_instr(text: &str, line: usize) -> Result<Instr, ParseError> {
+    let mut parts = text.split_whitespace();
+    let Some(mnemonic) = parts.next() else {
+        return err(line, "empty instruction");
+    };
+    let rest: Vec<&str> = parts.collect();
+    let arg = |i: usize| -> Result<&str, ParseError> {
+        rest.get(i).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("`{mnemonic}` is missing operand {i}"),
+        })
+    };
+
+    if let Some(op) = parse_alu_op(mnemonic) {
+        return Ok(Instr::Alu {
+            op,
+            dst: parse_reg(arg(0)?, line)?,
+            a: parse_operand(arg(1)?, line)?,
+            b: parse_operand(arg(2)?, line)?,
+        });
+    }
+    match mnemonic {
+        "ldi" => Ok(Instr::Ldi {
+            dst: parse_reg(arg(0)?, line)?,
+            imm: {
+                let tok = arg(1)?.trim_end_matches(',');
+                tok.parse::<u64>().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad immediate `{tok}`"),
+                })?
+            },
+        }),
+        "sel" => Ok(Instr::Sel {
+            dst: parse_reg(arg(0)?, line)?,
+            cond: parse_reg(arg(1)?, line)?,
+            a: parse_operand(arg(2)?, line)?,
+            b: parse_operand(arg(3)?, line)?,
+        }),
+        "ld.g" | "ld.l" => {
+            let dst = parse_reg(arg(0)?, line)?;
+            let (addr, offset) = parse_mem(arg(1)?, line)?;
+            Ok(if mnemonic == "ld.g" {
+                Instr::LdGlobal { dst, addr, offset }
+            } else {
+                Instr::LdLocal { dst, addr, offset }
+            })
+        }
+        "st.g" | "st.l" => {
+            let (addr, offset) = parse_mem(arg(0)?, line)?;
+            let src = parse_operand(arg(1)?, line)?;
+            Ok(if mnemonic == "st.g" {
+                Instr::StGlobal { src, addr, offset }
+            } else {
+                Instr::StLocal { src, addr, offset }
+            })
+        }
+        m if m.starts_with("atom.") => {
+            let mut dots = m.splitn(3, '.');
+            dots.next(); // "atom"
+            let op = match dots.next() {
+                Some("cas") => AtomOp::Cas,
+                Some("exch") => AtomOp::Exch,
+                Some("add") => AtomOp::Add,
+                Some("ld") => AtomOp::Load,
+                Some("st") => AtomOp::Store,
+                other => return err(line, format!("bad atomic op `{other:?}`")),
+            };
+            let sem = match dots.next() {
+                Some("Relaxed") => MemSem::Relaxed,
+                Some("Acquire") => MemSem::Acquire,
+                Some("Release") => MemSem::Release,
+                Some("AcqRel") => MemSem::AcqRel,
+                other => return err(line, format!("bad memory semantics `{other:?}`")),
+            };
+            let dst = parse_reg(arg(0)?, line)?;
+            let (addr, _) = parse_mem(arg(1)?, line)?;
+            let a = parse_operand(arg(2)?, line)?;
+            let b = parse_operand(arg(3)?, line)?;
+            Ok(Instr::Atom { op, dst, addr, a, b, sem })
+        }
+        "bar" => Ok(Instr::Bar),
+        "braz" | "branz" => {
+            let reg = parse_reg(arg(0)?, line)?;
+            let target = parse_target(arg(1)?, line)?;
+            let cond = if mnemonic == "braz" {
+                BranchCond::Zero(reg)
+            } else {
+                BranchCond::NonZero(reg)
+            };
+            Ok(Instr::Bra { cond, target })
+        }
+        "braz.div" | "branz.div" => {
+            // `branz.div r1, @T, join @J`
+            let reg = parse_reg(arg(0)?, line)?;
+            let target = parse_target(arg(1)?, line)?;
+            if arg(2)? != "join" {
+                return err(line, "expected `join @N`");
+            }
+            let join = parse_target(arg(3)?, line)?;
+            let cond = if mnemonic == "braz.div" {
+                BranchCond::Zero(reg)
+            } else {
+                BranchCond::NonZero(reg)
+            };
+            Ok(Instr::BraDiv { cond, target, join })
+        }
+        "jmp" => Ok(Instr::Jmp { target: parse_target(arg(0)?, line)? }),
+        "dma.ld" | "dma.st" => {
+            // ld: `dma.ld [local], [global], bytes`; st: `dma.st [global], [local], bytes`
+            let (first, _) = parse_mem(arg(0)?, line)?;
+            let (second, _) = parse_mem(arg(1)?, line)?;
+            let bytes = arg(2)?
+                .trim_end_matches(',')
+                .parse::<u64>()
+                .map_err(|_| ParseError { line, message: "bad byte count".into() })?;
+            Ok(if mnemonic == "dma.ld" {
+                Instr::DmaLoad { global: second, local: first, bytes }
+            } else {
+                Instr::DmaStore { global: first, local: second, bytes }
+            })
+        }
+        "stash.map" => {
+            // `stash.map [local], [global], bytes, wb=bool`
+            let (local, _) = parse_mem(arg(0)?, line)?;
+            let (global, _) = parse_mem(arg(1)?, line)?;
+            let bytes = arg(2)?
+                .trim_end_matches(',')
+                .parse::<u64>()
+                .map_err(|_| ParseError { line, message: "bad byte count".into() })?;
+            let wb = match arg(3)? {
+                "wb=true" => true,
+                "wb=false" => false,
+                other => return err(line, format!("expected wb=..., got `{other}`")),
+            };
+            Ok(Instr::StashMap { global, local, bytes, writeback: wb })
+        }
+        "exit" => Ok(Instr::Exit),
+        "nop" => Ok(Instr::Nop),
+        other => err(line, format!("unknown mnemonic `{other}`")),
+    }
+}
+
+/// Parse a program in the disassembly format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on malformed input,
+/// missing headers, or branch targets outside the program.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut name = None;
+    let mut instrs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(n) = line.strip_prefix(".kernel") {
+            if name.is_some() {
+                return err(line_no, "duplicate .kernel header");
+            }
+            name = Some(n.trim().to_string());
+            continue;
+        }
+        if name.is_none() {
+            return err(line_no, "missing .kernel header");
+        }
+        // Strip an optional `N:` position prefix.
+        let body = match line.split_once(':') {
+            Some((pos, rest)) if pos.trim().chars().all(|c| c.is_ascii_digit()) => rest.trim(),
+            _ => line,
+        };
+        instrs.push(parse_instr(body, line_no)?);
+    }
+    let Some(name) = name else {
+        return err(0, "empty input");
+    };
+    if instrs.is_empty() {
+        return err(0, "program has no instructions");
+    }
+    // Validate branch targets.
+    for (pc, i) in instrs.iter().enumerate() {
+        let check = |t: usize| -> Result<(), ParseError> {
+            if t < instrs.len() {
+                Ok(())
+            } else {
+                err(pc + 1, format!("branch target @{t} out of range"))
+            }
+        };
+        match i {
+            Instr::Bra { target, .. } | Instr::Jmp { target } => check(*target)?,
+            Instr::BraDiv { target, join, .. } => {
+                check(*target)?;
+                check(*join)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(Program::from_parts(name, instrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// A program exercising every instruction variant.
+    fn kitchen_sink() -> Program {
+        let mut b = ProgramBuilder::new("sink");
+        b.add(Reg(1), Reg(2), Operand::Imm(-5));
+        b.mul(Reg(3), Reg(1), Reg(1));
+        b.ldi(Reg(4), u64::MAX);
+        b.sel(Reg(5), Reg(4), Reg(1), Operand::Imm(0));
+        b.ld_global(Reg(6), Reg(1), 16);
+        b.st_global(Reg(6), Reg(1), -8);
+        b.ld_local(Reg(7), Reg(1), 0);
+        b.st_local(Operand::Imm(3), Reg(1), 24);
+        b.atom_cas(Reg(8), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.atom_store(Reg(1), Operand::Imm(0), MemSem::Release);
+        b.bar();
+        let l = b.label();
+        b.bra_z(Reg(8), l);
+        let l2 = b.label();
+        let j = b.label();
+        b.bra_div_nz(Reg(5), l2, j);
+        b.nop();
+        b.jmp_to(j);
+        b.bind(l2);
+        b.nop();
+        b.bind(j);
+        b.bind(l);
+        b.dma_load(Reg(1), Reg(2), 128);
+        b.dma_store(Reg(1), Reg(2), 128);
+        b.stash_map(Reg(1), Reg(2), 256, true);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let p = kitchen_sink();
+        let text = p.to_string();
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn hand_written_assembly_parses() {
+        let text = "\
+            .kernel spin\n\
+            # spin until the CAS wins\n\
+            ldi r1, 4096\n\
+            atom.cas.Acquire r2, [r1], 0, 1\n\
+            branz r2, @1\n\
+            exit\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.name(), "spin");
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.fetch(1), Some(Instr::Atom { sem: MemSem::Acquire, .. })));
+    }
+
+    #[test]
+    fn position_prefixes_are_optional_and_ignored() {
+        let a = parse_program(".kernel t\n0: nop\n1: exit\n").unwrap();
+        let b = parse_program(".kernel t\nnop\nexit\n").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program(".kernel t\nnop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let e = parse_program("nop\n").unwrap_err();
+        assert!(e.message.contains(".kernel"));
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_error() {
+        let e = parse_program(".kernel t\njmp @9\nexit\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn parsed_programs_execute() {
+        let text = "\
+            .kernel addloop\n\
+            ldi r1, 3\n\
+            ldi r2, 0\n\
+            add r2, r2, 10\n\
+            sub r1, r1, 1\n\
+            branz r1, @2\n\
+            exit\n";
+        let p = parse_program(text).unwrap();
+        let mut i = crate::interp::Interp::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.regs[0][2], 30);
+    }
+}

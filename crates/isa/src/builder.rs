@@ -1,0 +1,555 @@
+//! An assembler-style builder for [`Program`]s with symbolic labels.
+
+use crate::instr::{AluOp, AtomOp, BranchCond, Instr, MemSem, Operand, Reg};
+use crate::program::Program;
+use crate::NUM_REGS;
+use std::fmt;
+
+/// A symbolic branch target. Create with [`ProgramBuilder::label`], place
+/// with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors detected by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced by a branch but never bound to a position.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    RebindLabel(usize),
+    /// An instruction names a register outside `r0..r{NUM_REGS-1}`.
+    RegOutOfRange {
+        /// Index of the offending instruction.
+        pc: usize,
+        /// The register.
+        reg: Reg,
+    },
+    /// The program has no instructions.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l} referenced but never bound"),
+            BuildError::RebindLabel(l) => write!(f, "label {l} bound twice"),
+            BuildError::RegOutOfRange { pc, reg } => {
+                write!(f, "instruction {pc} uses out-of-range register {reg}")
+            }
+            BuildError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally assembles a [`Program`].
+///
+/// Every emit method returns `&mut Self` for chaining. Labels may be bound
+/// before or after the branches that reference them.
+///
+/// ```
+/// use gsi_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new("count");
+/// let done = b.label();
+/// b.ldi(Reg(0), 3);
+/// let top = b.here();
+/// b.subi(Reg(0), Reg(0), 1);
+/// b.bra_z(Reg(0), done);
+/// b.jmp_to(top);
+/// b.bind(done);
+/// b.exit();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 5);
+/// # Ok::<(), gsi_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    /// label id -> bound pc
+    bound: Vec<Option<usize>>,
+    /// (pc, label) pairs to patch at build time
+    fixups: Vec<(usize, Label)>,
+    /// (pc, label) pairs patching the `join` slot of divergent branches
+    join_fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Declare a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Bind `label` to the current position (the next emitted instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a logic error in the caller).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.instrs.len());
+    }
+
+    /// Declare a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction count (the pc of the next instruction).
+    pub fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emit `dst = op(a, b)`.
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instr::Alu { op, dst, a: a.into(), b: b.into() })
+    }
+
+    /// Emit `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// Emit `dst = a + imm`.
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, Operand::Imm(imm))
+    }
+
+    /// Emit `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// Emit `dst = a - imm`.
+    pub fn subi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, Operand::Imm(imm))
+    }
+
+    /// Emit `dst = a * b` (SFU pipeline).
+    pub fn mul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// Emit `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::And, dst, a, b)
+    }
+
+    /// Emit `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Or, dst, a, b)
+    }
+
+    /// Emit `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// Emit `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Shl, dst, a, b)
+    }
+
+    /// Emit `dst = a >> b`.
+    pub fn shr(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Shr, dst, a, b)
+    }
+
+    /// Emit `dst = (a < b) as u64` (unsigned).
+    pub fn sltu(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::SltU, dst, a, b)
+    }
+
+    /// Emit `dst = (a == b) as u64`.
+    pub fn seq(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Seq, dst, a, b)
+    }
+
+    /// Emit `dst = (a != b) as u64`.
+    pub fn sne(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sne, dst, a, b)
+    }
+
+    /// Emit `dst = a % b` (SFU pipeline).
+    pub fn remu(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::RemU, dst, a, b)
+    }
+
+    /// Emit `dst = a / b` (SFU pipeline).
+    pub fn divu(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::DivU, dst, a, b)
+    }
+
+    /// Emit `dst = imm`.
+    pub fn ldi(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Ldi { dst, imm })
+    }
+
+    /// Emit `dst = src` (a register-to-register move).
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.alu(AluOp::Or, dst, src, Operand::Imm(0))
+    }
+
+    /// Emit `dst = if cond != 0 { a } else { b }` (per lane).
+    pub fn sel(
+        &mut self,
+        dst: Reg,
+        cond: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instr::Sel { dst, cond, a: a.into(), b: b.into() })
+    }
+
+    /// Emit a global load.
+    pub fn ld_global(&mut self, dst: Reg, addr: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::LdGlobal { dst, addr, offset })
+    }
+
+    /// Emit a global store.
+    pub fn st_global(&mut self, src: impl Into<Operand>, addr: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::StGlobal { src: src.into(), addr, offset })
+    }
+
+    /// Emit a scratchpad/stash load.
+    pub fn ld_local(&mut self, dst: Reg, addr: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::LdLocal { dst, addr, offset })
+    }
+
+    /// Emit a scratchpad/stash store.
+    pub fn st_local(&mut self, src: impl Into<Operand>, addr: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::StLocal { src: src.into(), addr, offset })
+    }
+
+    /// Emit a compare-and-swap at `[addr]`: `dst = old`, and if
+    /// `old == cmp`, memory becomes `swap`.
+    pub fn atom_cas(
+        &mut self,
+        dst: Reg,
+        addr: Reg,
+        cmp: impl Into<Operand>,
+        swap: impl Into<Operand>,
+        sem: MemSem,
+    ) -> &mut Self {
+        self.push(Instr::Atom { op: AtomOp::Cas, dst, addr, a: cmp.into(), b: swap.into(), sem })
+    }
+
+    /// Emit an atomic exchange.
+    pub fn atom_exch(
+        &mut self,
+        dst: Reg,
+        addr: Reg,
+        val: impl Into<Operand>,
+        sem: MemSem,
+    ) -> &mut Self {
+        self.push(Instr::Atom {
+            op: AtomOp::Exch,
+            dst,
+            addr,
+            a: val.into(),
+            b: Operand::Imm(0),
+            sem,
+        })
+    }
+
+    /// Emit an atomic fetch-and-add.
+    pub fn atom_add(
+        &mut self,
+        dst: Reg,
+        addr: Reg,
+        val: impl Into<Operand>,
+        sem: MemSem,
+    ) -> &mut Self {
+        self.push(Instr::Atom {
+            op: AtomOp::Add,
+            dst,
+            addr,
+            a: val.into(),
+            b: Operand::Imm(0),
+            sem,
+        })
+    }
+
+    /// Emit an atomic load (serviced at L2, can carry acquire semantics).
+    pub fn atom_load(&mut self, dst: Reg, addr: Reg, sem: MemSem) -> &mut Self {
+        self.push(Instr::Atom {
+            op: AtomOp::Load,
+            dst,
+            addr,
+            a: Operand::Imm(0),
+            b: Operand::Imm(0),
+            sem,
+        })
+    }
+
+    /// Emit an atomic store (serviced at L2, can carry release semantics).
+    pub fn atom_store(&mut self, addr: Reg, val: impl Into<Operand>, sem: MemSem) -> &mut Self {
+        self.push(Instr::Atom {
+            op: AtomOp::Store,
+            dst: Reg(0),
+            addr,
+            a: val.into(),
+            b: Operand::Imm(0),
+            sem,
+        })
+    }
+
+    /// Emit a thread-block barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.push(Instr::Bar)
+    }
+
+    /// Emit a branch taken when lane 0's `reg` is zero.
+    pub fn bra_z(&mut self, reg: Reg, target: Label) -> &mut Self {
+        let pc = self.instrs.len();
+        self.fixups.push((pc, target));
+        self.push(Instr::Bra { cond: BranchCond::Zero(reg), target: usize::MAX })
+    }
+
+    /// Emit a branch taken when lane 0's `reg` is nonzero.
+    pub fn bra_nz(&mut self, reg: Reg, target: Label) -> &mut Self {
+        let pc = self.instrs.len();
+        self.fixups.push((pc, target));
+        self.push(Instr::Bra { cond: BranchCond::NonZero(reg), target: usize::MAX })
+    }
+
+    /// Emit a *divergent* branch: lanes whose `reg` is nonzero jump to
+    /// `target`, the rest fall through; both sides reconverge at `join`.
+    ///
+    /// The canonical structured layout is:
+    ///
+    /// ```text
+    ///   branz.div cond, THEN, JOIN
+    ///   <else block>
+    ///   jmp JOIN
+    /// THEN:
+    ///   <then block>
+    /// JOIN:
+    /// ```
+    pub fn bra_div_nz(&mut self, reg: Reg, target: Label, join: Label) -> &mut Self {
+        let pc = self.instrs.len();
+        self.fixups.push((pc, target));
+        self.join_fixups.push((pc, join));
+        self.push(Instr::BraDiv {
+            cond: BranchCond::NonZero(reg),
+            target: usize::MAX,
+            join: usize::MAX,
+        })
+    }
+
+    /// Emit a *divergent* branch taken by lanes whose `reg` is zero (see
+    /// [`bra_div_nz`](Self::bra_div_nz)).
+    pub fn bra_div_z(&mut self, reg: Reg, target: Label, join: Label) -> &mut Self {
+        let pc = self.instrs.len();
+        self.fixups.push((pc, target));
+        self.join_fixups.push((pc, join));
+        self.push(Instr::BraDiv {
+            cond: BranchCond::Zero(reg),
+            target: usize::MAX,
+            join: usize::MAX,
+        })
+    }
+
+    /// Emit an unconditional jump.
+    pub fn jmp_to(&mut self, target: Label) -> &mut Self {
+        let pc = self.instrs.len();
+        self.fixups.push((pc, target));
+        self.push(Instr::Jmp { target: usize::MAX })
+    }
+
+    /// Emit a DMA transfer from global memory into the scratchpad.
+    pub fn dma_load(&mut self, global: Reg, local: Reg, bytes: u64) -> &mut Self {
+        self.push(Instr::DmaLoad { global, local, bytes })
+    }
+
+    /// Emit a DMA transfer from the scratchpad back to global memory.
+    pub fn dma_store(&mut self, global: Reg, local: Reg, bytes: u64) -> &mut Self {
+        self.push(Instr::DmaStore { global, local, bytes })
+    }
+
+    /// Emit a stash mapping installation.
+    pub fn stash_map(&mut self, global: Reg, local: Reg, bytes: u64, writeback: bool) -> &mut Self {
+        self.push(Instr::StashMap { global, local, bytes, writeback })
+    }
+
+    /// Emit `exit`.
+    pub fn exit(&mut self) -> &mut Self {
+        self.push(Instr::Exit)
+    }
+
+    /// Emit `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Resolve labels and validate the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program is empty, references an unbound
+    /// label, or names a register outside the architectural range.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if self.instrs.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        for (pc, label) in &self.fixups {
+            let target = self.bound[label.0].ok_or(BuildError::UnboundLabel(label.0))?;
+            match &mut self.instrs[*pc] {
+                Instr::Bra { target: t, .. }
+                | Instr::Jmp { target: t }
+                | Instr::BraDiv { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        for (pc, label) in &self.join_fixups {
+            let join = self.bound[label.0].ok_or(BuildError::UnboundLabel(label.0))?;
+            match &mut self.instrs[*pc] {
+                Instr::BraDiv { join: j, .. } => *j = join,
+                other => unreachable!("join fixup on non-divergent-branch {other:?}"),
+            }
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let check = |r: Reg| -> Result<(), BuildError> {
+                if (r.0 as usize) < NUM_REGS {
+                    Ok(())
+                } else {
+                    Err(BuildError::RegOutOfRange { pc, reg: r })
+                }
+            };
+            for r in i.sources() {
+                check(r)?;
+            }
+            if let Some(d) = i.dest() {
+                check(d)?;
+            }
+        }
+        Ok(Program::from_parts(self.name, self.instrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new("t");
+        let fwd = b.label();
+        let back = b.here();
+        b.bra_z(Reg(0), fwd);
+        b.jmp_to(back);
+        b.bind(fwd);
+        b.exit();
+        let p = b.build().unwrap();
+        match p.fetch(0).unwrap() {
+            Instr::Bra { target, .. } => assert_eq!(*target, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(1).unwrap() {
+            Instr::Jmp { target } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp_to(l);
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new("t").build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn out_of_range_register_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.add(Reg(40), Reg(0), Operand::Imm(1));
+        match b.build() {
+            Err(BuildError::RegOutOfRange { pc: 0, reg }) => assert_eq!(reg, Reg(40)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn rebinding_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn sugar_emits_expected_shapes() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 7);
+        b.mov(Reg(2), Reg(1));
+        b.sel(Reg(3), Reg(2), Reg(1), Operand::Imm(0));
+        b.atom_cas(Reg(4), Reg(5), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.bar();
+        b.exit();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(matches!(p.fetch(3).unwrap(), Instr::Atom { op: AtomOp::Cas, sem: MemSem::Acquire, .. }));
+    }
+
+    #[test]
+    fn chaining_works() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(0), 1).addi(Reg(0), Reg(0), 1).exit();
+        assert_eq!(b.build().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn divergent_branch_resolves_both_labels() {
+        let mut b = ProgramBuilder::new("t");
+        let then_l = b.label();
+        let join_l = b.label();
+        b.bra_div_nz(Reg(1), then_l, join_l);
+        b.nop(); // else
+        b.jmp_to(join_l);
+        b.bind(then_l);
+        b.nop(); // then
+        b.bind(join_l);
+        b.exit();
+        let p = b.build().unwrap();
+        match p.fetch(0).unwrap() {
+            Instr::BraDiv { target, join, .. } => {
+                assert_eq!(*target, 3);
+                assert_eq!(*join, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_error_display() {
+        assert!(BuildError::Empty.to_string().contains("no instructions"));
+        assert!(BuildError::UnboundLabel(3).to_string().contains("3"));
+    }
+}

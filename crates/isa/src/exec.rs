@@ -1,0 +1,93 @@
+//! Functional semantics of ALU operations.
+
+use crate::instr::AluOp;
+
+/// Evaluate an ALU operation on two 64-bit values.
+///
+/// All arithmetic wraps. Division by zero yields 0 and remainder by zero
+/// yields the dividend, so programs can never fault.
+///
+/// ```
+/// use gsi_isa::{eval_alu, AluOp};
+/// assert_eq!(eval_alu(AluOp::Add, u64::MAX, 1), 0);
+/// assert_eq!(eval_alu(AluOp::SltU, 3, 5), 1);
+/// assert_eq!(eval_alu(AluOp::DivU, 7, 0), 0);
+/// ```
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::DivU => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::RemU => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::MinU => a.min(b),
+        AluOp::MaxU => a.max(b),
+        AluOp::SltU => u64::from(a < b),
+        AluOp::Seq => u64::from(a == b),
+        AluOp::Sne => u64::from(a != b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(eval_alu(AluOp::Add, u64::MAX, 2), 1);
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Mul, 1 << 63, 2), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(eval_alu(AluOp::DivU, 10, 0), 0);
+        assert_eq!(eval_alu(AluOp::RemU, 10, 0), 10);
+        assert_eq!(eval_alu(AluOp::DivU, 10, 3), 3);
+        assert_eq!(eval_alu(AluOp::RemU, 10, 3), 1);
+    }
+
+    #[test]
+    fn comparisons_produce_bool_ints() {
+        assert_eq!(eval_alu(AluOp::SltU, 1, 2), 1);
+        assert_eq!(eval_alu(AluOp::SltU, 2, 1), 0);
+        assert_eq!(eval_alu(AluOp::Seq, 4, 4), 1);
+        assert_eq!(eval_alu(AluOp::Sne, 4, 4), 0);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(eval_alu(AluOp::Shl, 1, 64), 1); // 64 % 64 == 0
+        assert_eq!(eval_alu(AluOp::Shr, 8, 3), 1);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(eval_alu(AluOp::MinU, 3, 9), 3);
+        assert_eq!(eval_alu(AluOp::MaxU, 3, 9), 9);
+    }
+
+    #[test]
+    fn bitwise() {
+        assert_eq!(eval_alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+    }
+}

@@ -1,0 +1,511 @@
+//! Instruction definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose register index (`r0` .. `r31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An ALU operand: a register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read the per-lane register.
+    Reg(Reg),
+    /// A sign-extended immediate (stored as the raw bit pattern).
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Arithmetic/logic operations. All arithmetic wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (executes on the SFU pipeline).
+    Mul,
+    /// Unsigned division; division by zero yields 0 (executes on the SFU).
+    DivU,
+    /// Unsigned remainder; remainder by zero yields the dividend (SFU).
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// Unsigned minimum.
+    MinU,
+    /// Unsigned maximum.
+    MaxU,
+    /// `1` if `a < b` (unsigned) else `0`.
+    SltU,
+    /// `1` if `a == b` else `0`.
+    Seq,
+    /// `1` if `a != b` else `0`.
+    Sne,
+}
+
+impl AluOp {
+    /// Which execution pipeline the operation uses, which determines its
+    /// latency and the structural-hazard unit it occupies.
+    pub fn unit(self) -> ExecUnit {
+        match self {
+            AluOp::Mul | AluOp::DivU | AluOp::RemU => ExecUnit::Sfu,
+            _ => ExecUnit::Alu,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::DivU => "divu",
+            AluOp::RemU => "remu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::MinU => "minu",
+            AluOp::MaxU => "maxu",
+            AluOp::SltU => "sltu",
+            AluOp::Seq => "seq",
+            AluOp::Sne => "sne",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Compute pipelines of the SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// The main integer/FP ALU pipeline (short latency, wide).
+    Alu,
+    /// The special-function unit (long latency, narrow).
+    Sfu,
+}
+
+/// Memory-ordering semantics carried by an atomic operation.
+///
+/// Under the data-race-free consistency model the paper uses, acquires
+/// self-invalidate the L1 and releases flush the store buffer before
+/// completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSem {
+    /// No ordering.
+    Relaxed,
+    /// Acquire: subsequent reads see writes ordered before the paired
+    /// release.
+    Acquire,
+    /// Release: prior writes are made visible before this operation.
+    Release,
+    /// Both acquire and release.
+    AcqRel,
+}
+
+impl MemSem {
+    /// True for `Acquire` and `AcqRel`.
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemSem::Acquire | MemSem::AcqRel)
+    }
+
+    /// True for `Release` and `AcqRel`.
+    pub fn is_release(self) -> bool {
+        matches!(self, MemSem::Release | MemSem::AcqRel)
+    }
+}
+
+/// Read-modify-write operations, all serviced at the shared L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomOp {
+    /// Compare-and-swap: `dst = old; if old == a { mem = b }`.
+    Cas,
+    /// Exchange: `dst = old; mem = a`.
+    Exch,
+    /// Fetch-and-add: `dst = old; mem = old + a`.
+    Add,
+    /// Atomic read: `dst = old` (used for acquiring loads of flags).
+    Load,
+    /// Atomic write: `mem = a` (used for releasing stores of flags).
+    Store,
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Cas => "cas",
+            AtomOp::Exch => "exch",
+            AtomOp::Add => "add",
+            AtomOp::Load => "ld",
+            AtomOp::Store => "st",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions, evaluated on lane 0 (warp-uniform branching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Taken when lane 0's register is zero.
+    Zero(Reg),
+    /// Taken when lane 0's register is nonzero.
+    NonZero(Reg),
+}
+
+/// One instruction of the virtual ISA.
+///
+/// Branch targets are instruction indices into the owning
+/// [`Program`](crate::Program); the [`ProgramBuilder`](crate::ProgramBuilder)
+/// resolves symbolic labels to indices at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = op(a, b)` per lane.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Load immediate: `dst = imm` per lane.
+    Ldi {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// Predicated select: `dst = if cond != 0 { a } else { b }` per lane.
+    Sel {
+        /// Destination register.
+        dst: Reg,
+        /// Per-lane condition register.
+        cond: Reg,
+        /// Value when the condition is nonzero.
+        a: Operand,
+        /// Value when the condition is zero.
+        b: Operand,
+    },
+    /// Load a 64-bit word from global memory: `dst = mem[addr + offset]`
+    /// per lane.
+    LdGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// Per-lane base address register.
+        addr: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Store a 64-bit word to global memory: `mem[addr + offset] = src`
+    /// per lane.
+    StGlobal {
+        /// Value to store.
+        src: Operand,
+        /// Per-lane base address register.
+        addr: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Load from the SM-local scratchpad/stash space.
+    LdLocal {
+        /// Destination register.
+        dst: Reg,
+        /// Per-lane local address register.
+        addr: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Store to the SM-local scratchpad/stash space.
+    StLocal {
+        /// Value to store.
+        src: Operand,
+        /// Per-lane local address register.
+        addr: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Atomic read-modify-write at the shared L2.
+    ///
+    /// Executes on lane 0 only (the one-thread-per-warp idiom used for
+    /// locks); the result is broadcast to `dst` in every lane.
+    Atom {
+        /// Operation.
+        op: AtomOp,
+        /// Destination register receiving the old value.
+        dst: Reg,
+        /// Address register (lane 0).
+        addr: Reg,
+        /// First operand (compare value for CAS, store value otherwise).
+        a: Operand,
+        /// Second operand (swap value for CAS; unused otherwise).
+        b: Operand,
+        /// Ordering semantics.
+        sem: MemSem,
+    },
+    /// Thread-block barrier.
+    Bar,
+    /// Conditional branch (warp-uniform, lane-0 condition).
+    Bra {
+        /// Condition.
+        cond: BranchCond,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Divergent conditional branch: the condition is evaluated *per lane*.
+    /// Lanes where it holds jump to `target`; the rest fall through. Both
+    /// sides reconverge at `join` (the immediate post-dominator), managed
+    /// by the SM's SIMT reconvergence stack.
+    BraDiv {
+        /// Per-lane condition.
+        cond: BranchCond,
+        /// Taken-side target instruction index.
+        target: usize,
+        /// Reconvergence point both sides meet at.
+        join: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Start a DMA transfer from global memory into the scratchpad
+    /// (scratchpad+DMA configuration). Non-blocking; scratchpad accesses to
+    /// the mapped range stall until the transfer completes.
+    DmaLoad {
+        /// Register holding the global base address (lane 0).
+        global: Reg,
+        /// Register holding the scratchpad byte offset of the destination
+        /// (lane 0).
+        local: Reg,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// Start a DMA transfer from the scratchpad back to global memory.
+    /// The kernel does not complete until the transfer drains.
+    DmaStore {
+        /// Register holding the global base address (lane 0).
+        global: Reg,
+        /// Register holding the scratchpad byte offset of the source
+        /// (lane 0).
+        local: Reg,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// Install a stash mapping from a local range to a global range (stash
+    /// configuration). Accesses load on demand; dirty data is lazily written
+    /// back at kernel end when `writeback` is set.
+    StashMap {
+        /// Register holding the global base address (lane 0).
+        global: Reg,
+        /// Register holding the stash byte offset the range maps to
+        /// (lane 0).
+        local: Reg,
+        /// Mapped size in bytes.
+        bytes: u64,
+        /// Whether dirty stash data is written back at kernel end.
+        writeback: bool,
+    },
+    /// Terminate the warp.
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// True for instructions that go to the load/store unit.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdGlobal { .. }
+                | Instr::StGlobal { .. }
+                | Instr::LdLocal { .. }
+                | Instr::StLocal { .. }
+                | Instr::Atom { .. }
+                | Instr::DmaLoad { .. }
+                | Instr::DmaStore { .. }
+        )
+    }
+
+    /// The registers this instruction reads.
+    pub fn sources(&self) -> Vec<Reg> {
+        fn op(v: &mut Vec<Reg>, o: &Operand) {
+            if let Operand::Reg(r) = o {
+                v.push(*r);
+            }
+        }
+        let mut v = Vec::new();
+        match self {
+            Instr::Alu { a, b, .. } => {
+                op(&mut v, a);
+                op(&mut v, b);
+            }
+            Instr::Sel { cond, a, b, .. } => {
+                v.push(*cond);
+                op(&mut v, a);
+                op(&mut v, b);
+            }
+            Instr::LdGlobal { addr, .. } | Instr::LdLocal { addr, .. } => v.push(*addr),
+            Instr::StGlobal { src, addr, .. } | Instr::StLocal { src, addr, .. } => {
+                op(&mut v, src);
+                v.push(*addr);
+            }
+            Instr::Atom { addr, a, b, .. } => {
+                v.push(*addr);
+                op(&mut v, a);
+                op(&mut v, b);
+            }
+            Instr::Bra { cond, .. } | Instr::BraDiv { cond, .. } => match cond {
+                BranchCond::Zero(r) | BranchCond::NonZero(r) => v.push(*r),
+            },
+            Instr::DmaLoad { global, local, .. }
+            | Instr::DmaStore { global, local, .. }
+            | Instr::StashMap { global, local, .. } => {
+                v.push(*global);
+                v.push(*local);
+            }
+            Instr::Ldi { .. } | Instr::Bar | Instr::Jmp { .. } | Instr::Exit | Instr::Nop => {}
+        }
+        v
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match self {
+            Instr::Alu { dst, .. }
+            | Instr::Ldi { dst, .. }
+            | Instr::Sel { dst, .. }
+            | Instr::LdGlobal { dst, .. }
+            | Instr::LdLocal { dst, .. }
+            | Instr::Atom { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::Ldi { dst, imm } => write!(f, "ldi {dst}, {imm}"),
+            Instr::Sel { dst, cond, a, b } => write!(f, "sel {dst}, {cond}, {a}, {b}"),
+            Instr::LdGlobal { dst, addr, offset } => write!(f, "ld.g {dst}, [{addr}+{offset}]"),
+            Instr::StGlobal { src, addr, offset } => write!(f, "st.g [{addr}+{offset}], {src}"),
+            Instr::LdLocal { dst, addr, offset } => write!(f, "ld.l {dst}, [{addr}+{offset}]"),
+            Instr::StLocal { src, addr, offset } => write!(f, "st.l [{addr}+{offset}], {src}"),
+            Instr::Atom { op, dst, addr, a, b, sem } => {
+                write!(f, "atom.{op}.{sem:?} {dst}, [{addr}], {a}, {b}")
+            }
+            Instr::Bar => write!(f, "bar"),
+            Instr::Bra { cond, target } => match cond {
+                BranchCond::Zero(r) => write!(f, "braz {r}, @{target}"),
+                BranchCond::NonZero(r) => write!(f, "branz {r}, @{target}"),
+            },
+            Instr::BraDiv { cond, target, join } => match cond {
+                BranchCond::Zero(r) => write!(f, "braz.div {r}, @{target}, join @{join}"),
+                BranchCond::NonZero(r) => write!(f, "branz.div {r}, @{target}, join @{join}"),
+            },
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::DmaLoad { global, local, bytes } => {
+                write!(f, "dma.ld [{local}], [{global}], {bytes}")
+            }
+            Instr::DmaStore { global, local, bytes } => {
+                write!(f, "dma.st [{global}], [{local}], {bytes}")
+            }
+            Instr::StashMap { global, local, bytes, writeback } => {
+                write!(f, "stash.map [{local}], [{global}], {bytes}, wb={writeback}")
+            }
+            Instr::Exit => write!(f, "exit"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_and_dest() {
+        let i = Instr::Alu { op: AluOp::Add, dst: Reg(3), a: Reg(1).into(), b: Operand::Imm(4) };
+        assert_eq!(i.sources(), vec![Reg(1)]);
+        assert_eq!(i.dest(), Some(Reg(3)));
+
+        let st = Instr::StGlobal { src: Reg(2).into(), addr: Reg(5), offset: 8 };
+        assert_eq!(st.sources(), vec![Reg(2), Reg(5)]);
+        assert_eq!(st.dest(), None);
+
+        let bra = Instr::Bra { cond: BranchCond::NonZero(Reg(7)), target: 0 };
+        assert_eq!(bra.sources(), vec![Reg(7)]);
+    }
+
+    #[test]
+    fn memory_instruction_predicate() {
+        assert!(Instr::LdGlobal { dst: Reg(0), addr: Reg(1), offset: 0 }.is_memory());
+        assert!(Instr::DmaLoad { global: Reg(0), local: Reg(1), bytes: 64 }.is_memory());
+        assert!(!Instr::Bar.is_memory());
+        assert!(!Instr::Nop.is_memory());
+    }
+
+    #[test]
+    fn sfu_ops_route_to_sfu() {
+        assert_eq!(AluOp::Mul.unit(), ExecUnit::Sfu);
+        assert_eq!(AluOp::DivU.unit(), ExecUnit::Sfu);
+        assert_eq!(AluOp::Add.unit(), ExecUnit::Alu);
+        assert_eq!(AluOp::Xor.unit(), ExecUnit::Alu);
+    }
+
+    #[test]
+    fn mem_sem_predicates() {
+        assert!(MemSem::Acquire.is_acquire());
+        assert!(!MemSem::Acquire.is_release());
+        assert!(MemSem::AcqRel.is_acquire());
+        assert!(MemSem::AcqRel.is_release());
+        assert!(!MemSem::Relaxed.is_acquire());
+        assert!(MemSem::Release.is_release());
+    }
+
+    #[test]
+    fn display_roundtrips_basic_shapes() {
+        let i = Instr::LdGlobal { dst: Reg(1), addr: Reg(2), offset: 16 };
+        assert_eq!(i.to_string(), "ld.g r1, [r2+16]");
+        assert_eq!(Instr::Bar.to_string(), "bar");
+    }
+}

@@ -1,0 +1,445 @@
+//! A host-side reference interpreter for single-warp programs.
+//!
+//! The interpreter defines the *architectural* semantics of the ISA —
+//! lockstep lanes, divergence via a reconvergence stack, immediate memory —
+//! with no timing model at all. It exists for differential testing: any
+//! program run through the cycle-level simulator must leave memory and
+//! registers in exactly the state the interpreter computes (see the
+//! `prop_differential` integration tests).
+//!
+//! Scope: one warp. Barriers are no-ops (a single warp trivially satisfies
+//! them), atomics execute immediately on the leader lane, and DMA/stash
+//! instructions perform their functional copies eagerly.
+
+use crate::instr::{AtomOp, BranchCond, Instr, Operand};
+use crate::program::Program;
+use crate::{eval_alu, NUM_REGS, WARP_LANES};
+use std::collections::HashMap;
+
+/// Why interpretation stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step limit was reached (probably a non-terminating program).
+    StepLimit,
+    /// `exit` executed while the reconvergence stack was non-empty.
+    ExitInDivergence,
+    /// The program counter left the program without an `exit`.
+    PcOutOfRange(usize),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "step limit reached"),
+            InterpError::ExitInDivergence => write!(f, "exit inside a divergent region"),
+            InterpError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[derive(Debug, Clone, Copy)]
+struct SimtEntry {
+    rpc: usize,
+    mask: u32,
+    pc: usize,
+}
+
+/// The interpreter state for one warp.
+#[derive(Debug, Clone)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// Per-lane register files.
+    pub regs: Vec<[u64; NUM_REGS]>,
+    /// Global memory (sparse words).
+    pub gmem: HashMap<u64, u64>,
+    /// Local (scratchpad) memory words, by word-aligned byte offset.
+    pub lmem: HashMap<u64, u64>,
+    /// Stash mappings: `(local, global, bytes)` ranges; local accesses that
+    /// hit a mapping read/write global memory through it.
+    pub stash_maps: Vec<(u64, u64, u64)>,
+    pc: usize,
+    active_mask: u32,
+    stack: Vec<SimtEntry>,
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// A fresh warp at pc 0 with zeroed registers and empty memories.
+    pub fn new(program: &'p Program) -> Self {
+        Interp {
+            program,
+            regs: vec![[0; NUM_REGS]; WARP_LANES],
+            gmem: HashMap::new(),
+            lmem: HashMap::new(),
+            stash_maps: Vec::new(),
+            pc: 0,
+            active_mask: u32::MAX,
+            stack: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Read a global word (zero if unwritten).
+    pub fn read_gmem(&self, addr: u64) -> u64 {
+        self.gmem.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Write a global word.
+    pub fn write_gmem(&mut self, addr: u64, value: u64) {
+        self.gmem.insert(addr & !7, value);
+    }
+
+    fn local_read(&self, addr: u64) -> u64 {
+        let addr = addr & !7;
+        for &(l, g, bytes) in &self.stash_maps {
+            if addr >= l && addr < l + bytes {
+                return self.gmem.get(&(g + (addr - l))).copied().unwrap_or(0);
+            }
+        }
+        self.lmem.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn local_write(&mut self, addr: u64, value: u64) {
+        let addr = addr & !7;
+        for &(l, g, bytes) in &self.stash_maps.clone() {
+            if addr >= l && addr < l + bytes {
+                self.gmem.insert(g + (addr - l), value);
+                return;
+            }
+        }
+        self.lmem.insert(addr, value);
+    }
+
+    fn op_val(&self, lane: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.regs[lane][r.0 as usize],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn leader(&self) -> usize {
+        self.active_mask.trailing_zeros() as usize
+    }
+
+    fn lane_active(&self, lane: usize) -> bool {
+        self.active_mask & (1 << lane) != 0
+    }
+
+    /// Run to `exit` or error, executing at most `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run(&mut self, max_steps: u64) -> Result<(), InterpError> {
+        while self.executed < max_steps {
+            // Reconvergence check, exactly as the SM does it.
+            while let Some(&top) = self.stack.last() {
+                if self.pc != top.rpc {
+                    break;
+                }
+                self.stack.pop();
+                self.active_mask = top.mask;
+                self.pc = top.pc;
+            }
+            let instr = *self
+                .program
+                .fetch(self.pc)
+                .ok_or(InterpError::PcOutOfRange(self.pc))?;
+            self.executed += 1;
+            match instr {
+                Instr::Alu { op, dst, a, b } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let v = eval_alu(op, self.op_val(lane, a), self.op_val(lane, b));
+                            self.regs[lane][dst.0 as usize] = v;
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::Ldi { dst, imm } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            self.regs[lane][dst.0 as usize] = imm;
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::Sel { dst, cond, a, b } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let c = self.regs[lane][cond.0 as usize];
+                            let v = if c != 0 {
+                                self.op_val(lane, a)
+                            } else {
+                                self.op_val(lane, b)
+                            };
+                            self.regs[lane][dst.0 as usize] = v;
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::LdGlobal { dst, addr, offset } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let a = self.regs[lane][addr.0 as usize]
+                                .wrapping_add(offset as u64);
+                            self.regs[lane][dst.0 as usize] = self.read_gmem(a);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::StGlobal { src, addr, offset } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let a = self.regs[lane][addr.0 as usize]
+                                .wrapping_add(offset as u64);
+                            let v = self.op_val(lane, src);
+                            self.write_gmem(a, v);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::LdLocal { dst, addr, offset } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let a = self.regs[lane][addr.0 as usize]
+                                .wrapping_add(offset as u64);
+                            self.regs[lane][dst.0 as usize] = self.local_read(a);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::StLocal { src, addr, offset } => {
+                    for lane in 0..WARP_LANES {
+                        if self.lane_active(lane) {
+                            let a = self.regs[lane][addr.0 as usize]
+                                .wrapping_add(offset as u64);
+                            let v = self.op_val(lane, src);
+                            self.local_write(a, v);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::Atom { op, dst, addr, a, b, .. } => {
+                    let leader = self.leader();
+                    let address = self.regs[leader][addr.0 as usize];
+                    let av = self.op_val(leader, a);
+                    let bv = self.op_val(leader, b);
+                    let old = self.read_gmem(address);
+                    let (new, ret) = match op {
+                        AtomOp::Cas => {
+                            if old == av {
+                                (bv, old)
+                            } else {
+                                (old, old)
+                            }
+                        }
+                        AtomOp::Exch => (av, old),
+                        AtomOp::Add => (old.wrapping_add(av), old),
+                        AtomOp::Load => (old, old),
+                        AtomOp::Store => (av, old),
+                    };
+                    self.write_gmem(address, new);
+                    if op != AtomOp::Store {
+                        for lane in 0..WARP_LANES {
+                            if self.lane_active(lane) {
+                                self.regs[lane][dst.0 as usize] = ret;
+                            }
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::Bar => {
+                    // A single warp satisfies the barrier immediately.
+                    self.pc += 1;
+                }
+                Instr::Bra { cond, target } => {
+                    let leader = self.leader();
+                    let taken = match cond {
+                        BranchCond::Zero(r) => self.regs[leader][r.0 as usize] == 0,
+                        BranchCond::NonZero(r) => self.regs[leader][r.0 as usize] != 0,
+                    };
+                    self.pc = if taken { target } else { self.pc + 1 };
+                }
+                Instr::BraDiv { cond, target, join } => {
+                    let cur = self.active_mask;
+                    let mut taken = 0u32;
+                    for lane in 0..WARP_LANES {
+                        if cur & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let t = match cond {
+                            BranchCond::Zero(r) => self.regs[lane][r.0 as usize] == 0,
+                            BranchCond::NonZero(r) => self.regs[lane][r.0 as usize] != 0,
+                        };
+                        if t {
+                            taken |= 1 << lane;
+                        }
+                    }
+                    let not_taken = cur & !taken;
+                    if taken == 0 {
+                        self.pc += 1;
+                    } else if not_taken == 0 {
+                        self.pc = target;
+                    } else {
+                        self.stack.push(SimtEntry { rpc: join, mask: cur, pc: join });
+                        self.stack.push(SimtEntry { rpc: join, mask: taken, pc: target });
+                        self.active_mask = not_taken;
+                        self.pc += 1;
+                    }
+                }
+                Instr::Jmp { target } => self.pc = target,
+                Instr::DmaLoad { global, local, bytes } => {
+                    let leader = self.leader();
+                    let g = self.regs[leader][global.0 as usize];
+                    let l = self.regs[leader][local.0 as usize];
+                    for off in (0..bytes).step_by(8) {
+                        let v = self.read_gmem(g + off);
+                        self.lmem.insert((l + off) & !7, v);
+                    }
+                    self.pc += 1;
+                }
+                Instr::DmaStore { global, local, bytes } => {
+                    let leader = self.leader();
+                    let g = self.regs[leader][global.0 as usize];
+                    let l = self.regs[leader][local.0 as usize];
+                    for off in (0..bytes).step_by(8) {
+                        let v = self.lmem.get(&((l + off) & !7)).copied().unwrap_or(0);
+                        self.write_gmem(g + off, v);
+                    }
+                    self.pc += 1;
+                }
+                Instr::StashMap { global, local, bytes, .. } => {
+                    let leader = self.leader();
+                    let g = self.regs[leader][global.0 as usize];
+                    let l = self.regs[leader][local.0 as usize];
+                    self.stash_maps.push((l, g, bytes));
+                    self.pc += 1;
+                }
+                Instr::Exit => {
+                    if !self.stack.is_empty() {
+                        return Err(InterpError::ExitInDivergence);
+                    }
+                    return Ok(());
+                }
+                Instr::Nop => self.pc += 1,
+            }
+        }
+        Err(InterpError::StepLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{MemSem, Reg};
+
+    #[test]
+    fn straight_line_and_loop() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 5);
+        b.ldi(Reg(2), 0);
+        let top = b.here();
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.regs[0][2], 5 + 4 + 3 + 2 + 1);
+        assert_eq!(i.regs[31][2], 15, "all lanes in lockstep");
+    }
+
+    #[test]
+    fn divergence_per_lane() {
+        let mut b = ProgramBuilder::new("t");
+        let then_l = b.label();
+        let join_l = b.label();
+        b.and(Reg(2), Reg(0), Operand::Imm(1));
+        b.bra_div_nz(Reg(2), then_l, join_l);
+        b.ldi(Reg(3), 100);
+        b.jmp_to(join_l);
+        b.bind(then_l);
+        b.ldi(Reg(3), 200);
+        b.bind(join_l);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        for lane in 0..WARP_LANES {
+            i.regs[lane][0] = lane as u64;
+        }
+        i.run(1000).unwrap();
+        for lane in 0..WARP_LANES {
+            let want = if lane % 2 == 1 { 200 } else { 100 };
+            assert_eq!(i.regs[lane][3], want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn memory_and_atomics() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x100);
+        b.st_global(Operand::Imm(7), Reg(1), 0);
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.atom_add(Reg(3), Reg(1), Operand::Imm(3), MemSem::Relaxed);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.regs[0][2], 7);
+        assert_eq!(i.regs[0][3], 7, "fetch-add returns the old value");
+        assert_eq!(i.read_gmem(0x100), 10);
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let mut b = ProgramBuilder::new("t");
+        let top = b.here();
+        b.jmp_to(top);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(50), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn stash_mapping_reads_through_to_global() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x1000); // global base
+        b.ldi(Reg(2), 0); // local base
+        b.stash_map(Reg(1), Reg(2), 64, true);
+        b.ld_local(Reg(3), Reg(2), 8);
+        b.st_local(Operand::Imm(9), Reg(2), 16);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        i.write_gmem(0x1008, 42);
+        i.run(100).unwrap();
+        assert_eq!(i.regs[0][3], 42);
+        assert_eq!(i.read_gmem(0x1010), 9, "stash stores are coherent");
+    }
+
+    #[test]
+    fn dma_round_trip() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x2000);
+        b.ldi(Reg(2), 0);
+        b.dma_load(Reg(1), Reg(2), 64);
+        b.ld_local(Reg(3), Reg(2), 0);
+        b.addi(Reg(3), Reg(3), 1);
+        b.st_local(Reg(3), Reg(2), 0);
+        b.ldi(Reg(4), 0x3000);
+        b.dma_store(Reg(4), Reg(2), 64);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut i = Interp::new(&p);
+        i.write_gmem(0x2000, 10);
+        i.run(100).unwrap();
+        assert_eq!(i.read_gmem(0x3000), 11);
+    }
+}

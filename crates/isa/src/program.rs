@@ -1,0 +1,95 @@
+//! Executable programs (kernels).
+
+use crate::instr::Instr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A finished kernel: a named sequence of instructions with resolved branch
+/// targets. Build one with [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(name: String, instrs: Vec<Instr>) -> Self {
+        Program { name, instrs }
+    }
+
+    /// Construct a program directly from instructions, bypassing the
+    /// builder's label machinery. Exposed for tests and tools only: branch
+    /// targets are taken as-is and not validated.
+    #[doc(hidden)]
+    pub fn from_parts_for_tests(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        Program { name: name.into(), instrs }
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// All instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".kernel {}", self.name)?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:4}:  {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Operand, Reg};
+
+    fn tiny() -> Program {
+        Program::from_parts(
+            "t".into(),
+            vec![
+                Instr::Alu { op: AluOp::Add, dst: Reg(0), a: Reg(0).into(), b: Operand::Imm(1) },
+                Instr::Exit,
+            ],
+        )
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = tiny();
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_some());
+        assert!(p.fetch(2).is_none());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let text = tiny().to_string();
+        assert!(text.contains(".kernel t"));
+        assert!(text.contains("exit"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property test: every representable program round-trips through its
+//! textual disassembly.
+
+use gsi_isa::asm::parse_program;
+use gsi_isa::{AluOp, AtomOp, BranchCond, Instr, MemSem, Operand, Program, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<i64>().prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::DivU),
+        Just(AluOp::RemU),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::MinU),
+        Just(AluOp::MaxU),
+        Just(AluOp::SltU),
+        Just(AluOp::Seq),
+        Just(AluOp::Sne),
+    ]
+}
+
+fn arb_sem() -> impl Strategy<Value = MemSem> {
+    prop_oneof![
+        Just(MemSem::Relaxed),
+        Just(MemSem::Acquire),
+        Just(MemSem::Release),
+        Just(MemSem::AcqRel),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        arb_reg().prop_map(BranchCond::Zero),
+        arb_reg().prop_map(BranchCond::NonZero),
+    ]
+}
+
+/// Any instruction; branch targets drawn from 0..len are patched later.
+fn arb_instr(len: usize) -> impl Strategy<Value = Instr> {
+    let t = 0..len;
+    let t2 = 0..len;
+    let t3 = 0..len;
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::Ldi { dst, imm }),
+        (arb_reg(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(dst, cond, a, b)| Instr::Sel { dst, cond, a, b }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, addr, off)| Instr::LdGlobal { dst, addr, offset: off as i64 }),
+        (arb_operand(), arb_reg(), any::<i32>())
+            .prop_map(|(src, addr, off)| Instr::StGlobal { src, addr, offset: off as i64 }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, addr, off)| Instr::LdLocal { dst, addr, offset: off as i64 }),
+        (arb_operand(), arb_reg(), any::<i32>())
+            .prop_map(|(src, addr, off)| Instr::StLocal { src, addr, offset: off as i64 }),
+        (
+            prop_oneof![
+                Just(AtomOp::Cas),
+                Just(AtomOp::Exch),
+                Just(AtomOp::Add),
+                Just(AtomOp::Load),
+                Just(AtomOp::Store)
+            ],
+            arb_reg(),
+            arb_reg(),
+            arb_operand(),
+            arb_operand(),
+            arb_sem()
+        )
+            .prop_map(|(op, dst, addr, a, b, sem)| Instr::Atom { op, dst, addr, a, b, sem }),
+        Just(Instr::Bar),
+        (arb_cond(), t).prop_map(|(cond, target)| Instr::Bra { cond, target }),
+        (arb_cond(), t2, t3)
+            .prop_map(|(cond, target, join)| Instr::BraDiv { cond, target, join }),
+        (0..len).prop_map(|target| Instr::Jmp { target }),
+        (arb_reg(), arb_reg(), 1u64..64)
+            .prop_map(|(global, local, w)| Instr::DmaLoad { global, local, bytes: w * 8 }),
+        (arb_reg(), arb_reg(), 1u64..64)
+            .prop_map(|(global, local, w)| Instr::DmaStore { global, local, bytes: w * 8 }),
+        (arb_reg(), arb_reg(), 1u64..64, any::<bool>()).prop_map(|(global, local, w, wb)| {
+            Instr::StashMap { global, local, bytes: w * 8, writeback: wb }
+        }),
+        Just(Instr::Exit),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_program_round_trips_through_text(
+        instrs in proptest::collection::vec(arb_instr(16), 1..16),
+    ) {
+        // Clamp branch targets into range (the strategy drew from 0..16 but
+        // the vector may be shorter).
+        let len = instrs.len();
+        let clamped: Vec<Instr> = instrs
+            .into_iter()
+            .map(|i| match i {
+                Instr::Bra { cond, target } => Instr::Bra { cond, target: target % len },
+                Instr::Jmp { target } => Instr::Jmp { target: target % len },
+                Instr::BraDiv { cond, target, join } => {
+                    Instr::BraDiv { cond, target: target % len, join: join % len }
+                }
+                other => other,
+            })
+            .collect();
+        let p = Program::from_parts_for_tests("roundtrip", clamped);
+        let text = p.to_string();
+        let q = parse_program(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(p, q);
+    }
+}

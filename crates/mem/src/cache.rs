@@ -1,0 +1,219 @@
+//! A set-associative, LRU tag array. Timing-only: no data is stored.
+
+use crate::line::LineAddr;
+
+/// A line evicted by [`TagArray::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<S> {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Its state at eviction.
+    pub state: S,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<S> {
+    line: LineAddr,
+    state: S,
+    lru: u64,
+}
+
+/// A set-associative tag array with true-LRU replacement, generic over the
+/// per-line coherence state `S`.
+///
+/// ```
+/// use gsi_mem::{LineAddr, TagArray};
+/// let mut c: TagArray<()> = TagArray::new(2, 2); // 2 sets x 2 ways
+/// assert!(c.insert(LineAddr(0), ()).is_none());
+/// assert!(c.insert(LineAddr(2), ()).is_none()); // same set (2 % 2 == 0)
+/// let evicted = c.insert(LineAddr(4), ()).unwrap(); // set full: LRU out
+/// assert_eq!(evicted.line, LineAddr(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagArray<S> {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<Entry<S>>>,
+    stamp: u64,
+}
+
+impl<S> TagArray<S> {
+    /// Create a tag array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be nonzero");
+        TagArray { sets, ways, entries: (0..sets).map(|_| Vec::new()).collect(), stamp: 0 }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.sets
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// True when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Look up a line without updating LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<&S> {
+        let set = self.set_of(line);
+        self.entries[set].iter().find(|e| e.line == line).map(|e| &e.state)
+    }
+
+    /// Look up a line, updating LRU state on hit.
+    pub fn get(&mut self, line: LineAddr) -> Option<&mut S> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(line);
+        self.entries[set].iter_mut().find(|e| e.line == line).map(|e| {
+            e.lru = stamp;
+            &mut e.state
+        })
+    }
+
+    /// Install (or update) a line, evicting the LRU way if the set is full.
+    /// Returns the evicted line, if any.
+    pub fn insert(&mut self, line: LineAddr, state: S) -> Option<Evicted<S>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let set_entries = &mut self.entries[set];
+        if let Some(e) = set_entries.iter_mut().find(|e| e.line == line) {
+            e.state = state;
+            e.lru = stamp;
+            return None;
+        }
+        let evicted = if set_entries.len() == ways {
+            let (idx, _) = set_entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("nonempty set");
+            let old = set_entries.swap_remove(idx);
+            Some(Evicted { line: old.line, state: old.state })
+        } else {
+            None
+        };
+        set_entries.push(Entry { line, state, lru: stamp });
+        evicted
+    }
+
+    /// Remove a line, returning its state.
+    pub fn remove(&mut self, line: LineAddr) -> Option<S> {
+        let set = self.set_of(line);
+        let set_entries = &mut self.entries[set];
+        let idx = set_entries.iter().position(|e| e.line == line)?;
+        Some(set_entries.swap_remove(idx).state)
+    }
+
+    /// Keep only lines for which `f` returns true (used for acquire
+    /// self-invalidation).
+    pub fn retain(&mut self, mut f: impl FnMut(LineAddr, &S) -> bool) {
+        for set in &mut self.entries {
+            set.retain(|e| f(e.line, &e.state));
+        }
+    }
+
+    /// Iterate over `(line, state)` of every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
+        self.entries.iter().flatten().map(|e| (e.line, &e.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_capacity() {
+        let mut c: TagArray<u32> = TagArray::new(4, 2);
+        assert!(c.is_empty());
+        assert!(c.insert(LineAddr(0), 10).is_none());
+        assert_eq!(c.peek(LineAddr(0)), Some(&10));
+        assert_eq!(c.peek(LineAddr(4)), None);
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: TagArray<u32> = TagArray::new(1, 2);
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(1), 1);
+        // Touch line 0 so line 1 becomes LRU.
+        assert!(c.get(LineAddr(0)).is_some());
+        let ev = c.insert(LineAddr(2), 2).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+        assert_eq!(ev.state, 1);
+        assert!(c.peek(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c: TagArray<u32> = TagArray::new(1, 2);
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(1), 1);
+        // Peek at 0 (no LRU update): 0 is still LRU and must be evicted.
+        assert!(c.peek(LineAddr(0)).is_some());
+        let ev = c.insert(LineAddr(2), 2).unwrap();
+        assert_eq!(ev.line, LineAddr(0));
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c: TagArray<u32> = TagArray::new(1, 1);
+        c.insert(LineAddr(0), 1);
+        assert!(c.insert(LineAddr(0), 2).is_none());
+        assert_eq!(c.peek(LineAddr(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut c: TagArray<u32> = TagArray::new(2, 2);
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(1), 1);
+        c.insert(LineAddr(2), 2);
+        assert_eq!(c.remove(LineAddr(1)), Some(1));
+        assert_eq!(c.remove(LineAddr(1)), None);
+        c.retain(|_, &s| s > 0);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(LineAddr(2)).is_some());
+    }
+
+    #[test]
+    fn get_mut_allows_state_transitions() {
+        let mut c: TagArray<u32> = TagArray::new(1, 1);
+        c.insert(LineAddr(0), 1);
+        *c.get(LineAddr(0)).unwrap() = 9;
+        assert_eq!(c.peek(LineAddr(0)), Some(&9));
+    }
+
+    #[test]
+    fn sets_isolate_lines() {
+        let mut c: TagArray<u32> = TagArray::new(2, 1);
+        assert!(c.insert(LineAddr(0), 0).is_none());
+        assert!(c.insert(LineAddr(1), 1).is_none()); // different set
+        let ev = c.insert(LineAddr(2), 2).unwrap(); // conflicts with 0
+        assert_eq!(ev.line, LineAddr(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_geometry_panics() {
+        let _: TagArray<()> = TagArray::new(0, 1);
+    }
+}

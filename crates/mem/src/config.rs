@@ -1,0 +1,182 @@
+//! Memory-system configuration (the memory rows of the paper's Table 5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Which local-memory structure the SMs use (case study 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalMemKind {
+    /// The baseline software-managed scratchpad: data moves with explicit
+    /// load/store instructions through the core pipeline.
+    Scratchpad,
+    /// Scratchpad plus a D2MA-style DMA engine that transfers data in bulk,
+    /// bypassing the pipeline and the L1 but consuming MSHR entries.
+    ScratchpadDma,
+    /// The stash: a coherent, globally-mapped scratchpad that fills on
+    /// demand and writes dirty data back lazily.
+    Stash,
+}
+
+/// Sizing and latency parameters of the memory hierarchy.
+///
+/// Defaults reproduce Table 5.1: 32 KB 8-way L1 with 8 banks and a 1-cycle
+/// hit, 16 KB scratchpad/stash with 32 banks, a 4 MB 16-bank NUCA L2, a
+/// 32-entry MSHR, and a 32-entry write-combining store buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Coherence protocol for the GPU L1 caches.
+    pub protocol: crate::Protocol,
+    /// Local-memory structure.
+    pub local_kind: LocalMemKind,
+
+    /// L1 capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Number of L1 banks (conflicting line accesses serialize).
+    pub l1_banks: u32,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u64,
+
+    /// Miss-status holding registers per core.
+    pub mshr_entries: usize,
+    /// Write-combining store buffer entries per core.
+    pub store_buffer_entries: usize,
+    /// Store-buffer lines drained per cycle during a flush.
+    pub flush_rate: u32,
+
+    /// Scratchpad/stash capacity in bytes.
+    pub scratch_bytes: u64,
+    /// Scratchpad/stash banks.
+    pub scratch_banks: u32,
+
+    /// Number of L2 banks (one per mesh node).
+    pub l2_banks: usize,
+    /// Total L2 capacity in bytes across banks.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 bank access latency in cycles (tag + data + directory).
+    pub l2_bank_latency: u64,
+
+    /// Owner-L1 access latency for DeNovo remote fills.
+    pub remote_l1_latency: u64,
+
+    /// Main-memory access latency in cycles.
+    pub dram_latency: u64,
+    /// Minimum spacing between main-memory requests (bandwidth model).
+    pub dram_gap: u64,
+
+    /// DMA engine transfer rate: lines issued per cycle.
+    pub dma_lines_per_cycle: u32,
+
+    /// QuickRelease-style S-FIFO (Section 6.1.4 of the paper): track which
+    /// stores were ordered before each release so later memory requests may
+    /// keep issuing while the release drains. Eliminates pending-release
+    /// structural stalls for the non-releasing warps.
+    pub sfifo: bool,
+    /// DeNovo owned atomics (the paper's footnote 1 and Section 6.1.4):
+    /// atomics acquire line ownership, so repeated atomics from the same SM
+    /// are serviced at its L1 instead of the L2.
+    pub owned_atomics: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            protocol: crate::Protocol::GpuCoherence,
+            local_kind: LocalMemKind::Scratchpad,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_banks: 8,
+            l1_hit_latency: 1,
+            mshr_entries: 32,
+            store_buffer_entries: 32,
+            flush_rate: 1,
+            scratch_bytes: 16 * 1024,
+            scratch_banks: 32,
+            l2_banks: 16,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 16,
+            l2_bank_latency: 18,
+            remote_l1_latency: 5,
+            dram_latency: 170,
+            dram_gap: 4,
+            dma_lines_per_cycle: 1,
+            sfifo: false,
+            owned_atomics: false,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Table 5.1 parameters with the given protocol and local-memory kind.
+    pub fn paper(protocol: crate::Protocol, local_kind: LocalMemKind) -> Self {
+        MemConfig { protocol, local_kind, ..Default::default() }
+    }
+
+    /// L1 lines.
+    pub fn l1_lines(&self) -> usize {
+        (self.l1_bytes / crate::LINE_BYTES) as usize
+    }
+
+    /// L1 sets.
+    pub fn l1_sets(&self) -> usize {
+        self.l1_lines() / self.l1_ways
+    }
+
+    /// Lines per L2 bank.
+    pub fn l2_lines_per_bank(&self) -> usize {
+        (self.l2_bytes / crate::LINE_BYTES) as usize / self.l2_banks
+    }
+
+    /// Sets per L2 bank.
+    pub fn l2_sets_per_bank(&self) -> usize {
+        self.l2_lines_per_bank() / self.l2_ways
+    }
+
+    /// Scale the MSHR and store buffer together, as the paper's Figure 6.4
+    /// sweep does ("we also scale the store buffer size with the MSHR
+    /// size").
+    #[must_use]
+    pub fn with_mshr(mut self, entries: usize) -> Self {
+        self.mshr_entries = entries;
+        self.store_buffer_entries = entries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_5_1() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l1_ways, 8);
+        assert_eq!(c.l1_banks, 8);
+        assert_eq!(c.l1_hit_latency, 1);
+        assert_eq!(c.mshr_entries, 32);
+        assert_eq!(c.store_buffer_entries, 32);
+        assert_eq!(c.scratch_bytes, 16 * 1024);
+        assert_eq!(c.scratch_banks, 32);
+        assert_eq!(c.l2_banks, 16);
+        assert_eq!(c.l2_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_lines(), 512);
+        assert_eq!(c.l1_sets(), 64);
+        assert_eq!(c.l2_lines_per_bank(), 4096);
+        assert_eq!(c.l2_sets_per_bank(), 256);
+    }
+
+    #[test]
+    fn with_mshr_scales_store_buffer_too() {
+        let c = MemConfig::default().with_mshr(256);
+        assert_eq!(c.mshr_entries, 256);
+        assert_eq!(c.store_buffer_entries, 256);
+    }
+}

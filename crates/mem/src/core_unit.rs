@@ -1,0 +1,1472 @@
+//! The per-SM memory unit: L1 cache, MSHRs, write-combining store buffer,
+//! scratchpad/stash, and DMA engine, behind the load/store-unit interface
+//! the SM issue stage talks to.
+//!
+//! Every `try_*` method either accepts the access (performing all timing
+//! side effects) or rejects it with an [`LsuReject`] naming the structural
+//! hazard — exactly the sub-causes of the paper's memory structural stalls.
+
+use crate::config::{LocalMemKind, MemConfig};
+use crate::dma::{DmaDirection, DmaEngine, DmaTransfer};
+use crate::gmem::GlobalMem;
+use crate::line::{line_of, LineAddr, WordMask};
+use crate::mshr::{Mshr, MshrOutcome};
+use crate::msg::{AtomKind, MemMsg, Provenance};
+use crate::protocol::{L1State, Protocol};
+use crate::scratchpad::{bank_conflict_extra, Scratchpad};
+use crate::stash::{StashMapping, StashMem};
+use crate::store_buffer::StoreBuffer;
+use crate::TagArray;
+use gsi_core::{MemStructCause, RequestId};
+use gsi_noc::NodeId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Why the load/store unit rejected an access this cycle.
+///
+/// Maps one-to-one onto [`MemStructCause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LsuReject {
+    /// No free MSHR entry for a required line fetch.
+    MshrFull,
+    /// No free store-buffer entry for a written line.
+    StoreBufferFull,
+    /// The LSU is serializing a previous access's bank conflicts.
+    BankConflict,
+    /// A release is draining prior stores.
+    PendingRelease,
+    /// The access touches data covered by an incomplete DMA transfer.
+    PendingDma,
+}
+
+impl LsuReject {
+    /// The memory-structural stall sub-cause this rejection is booked as.
+    pub fn cause(self) -> MemStructCause {
+        match self {
+            LsuReject::MshrFull => MemStructCause::MshrFull,
+            LsuReject::StoreBufferFull => MemStructCause::StoreBufferFull,
+            LsuReject::BankConflict => MemStructCause::BankConflict,
+            LsuReject::PendingRelease => MemStructCause::PendingRelease,
+            LsuReject::PendingDma => MemStructCause::PendingDma,
+        }
+    }
+}
+
+/// An accepted load: the outstanding request tokens the scoreboard must
+/// wait on (one per line touched, including L1 hits, which complete after
+/// the hit latency).
+#[derive(Debug, Clone)]
+pub struct LoadIssued {
+    /// Request tokens; the destination register stays pending until every
+    /// one completes.
+    pub reqs: Vec<RequestId>,
+}
+
+/// A completed memory operation, handed back to the SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// One line of a load finished.
+    Load {
+        /// The request token from [`LoadIssued`].
+        req: RequestId,
+        /// Issuing warp.
+        warp: u16,
+        /// Destination register.
+        reg: u8,
+        /// Where the data was serviced (the paper's memory-data stall
+        /// sub-classification).
+        provenance: Provenance,
+    },
+    /// An atomic finished.
+    Atomic {
+        /// The request token returned by `try_atomic`.
+        req: RequestId,
+        /// Issuing warp.
+        warp: u16,
+        /// Destination register for the old value.
+        reg: u8,
+        /// The value returned by the operation.
+        value: u64,
+        /// Whether the atomic carried acquire semantics (the L1 has already
+        /// been self-invalidated).
+        acquire: bool,
+        /// Whether the atomic carried release semantics.
+        release: bool,
+        /// Whether the destination register should receive `value`
+        /// (false for atomic stores, which have no result).
+        write_dst: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TargetKind {
+    /// A register load through the L1.
+    Load { warp: u16, reg: u8, req: RequestId },
+    /// A stash on-demand fill (also completes a register load).
+    Stash { warp: u16, reg: u8, req: RequestId },
+    /// A DMA engine line fetch.
+    Dma,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MshrTarget {
+    kind: TargetKind,
+    primary: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AtomCtx {
+    warp: u16,
+    reg: u8,
+    addr: u64,
+    acquire: bool,
+    release: bool,
+    write_dst: bool,
+}
+
+/// Statistics for one core's memory unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreMemStats {
+    /// L1 load hits (line granularity).
+    pub l1_hits: u64,
+    /// L1 load misses sent to the hierarchy.
+    pub l1_misses: u64,
+    /// Loads merged into in-flight MSHR entries.
+    pub l1_coalesced: u64,
+    /// Store-buffer write combines.
+    pub sb_combines: u64,
+    /// Lines written through on flushes (GPU coherence / stash writeback).
+    pub flush_writes: u64,
+    /// Lines registered for ownership on flushes (DeNovo).
+    pub flush_registrations: u64,
+    /// Flush lines skipped because the line was already owned (DeNovo).
+    pub flush_owned_skips: u64,
+    /// Acquire self-invalidations performed.
+    pub acquire_invalidations: u64,
+    /// Lines invalidated by acquires.
+    pub lines_invalidated: u64,
+    /// DMA lines issued.
+    pub dma_lines: u64,
+    /// Stash on-demand fills.
+    pub stash_fills: u64,
+    /// Stash hits (valid-word accesses).
+    pub stash_hits: u64,
+    /// Remote-L1 fills served for other cores (DeNovo forwarding).
+    pub remote_serves: u64,
+    /// Atomics serviced locally at the owning L1 (owned-atomics mode).
+    pub owned_atomic_hits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled(Completion);
+
+impl Ord for Scheduled {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The memory unit of one SM.
+#[derive(Debug)]
+pub struct CoreMemUnit {
+    core: u8,
+    node: NodeId,
+    cfg: MemConfig,
+    l1: TagArray<L1State>,
+    mshr: Mshr<MshrTarget>,
+    sb: StoreBuffer,
+    /// Kernel-end stash writeback queue, drained after the store buffer.
+    endflush: Vec<(LineAddr, WordMask)>,
+    scratch: Scratchpad,
+    stash: StashMem,
+    dma: DmaEngine,
+    req_counter: u64,
+    lsu_free_at: u64,
+    lsu_busy_cause: MemStructCause,
+    flushing: bool,
+    release_flush: bool,
+    pending_wracks: HashMap<LineAddr, u32>,
+    pending_regs: HashMap<LineAddr, u32>,
+    /// S-FIFO watermark: the lines ordered before the pending release.
+    sfifo_pending: HashSet<LineAddr>,
+    /// Posted releases (S-FIFO): each waits for its own watermark to drain
+    /// before the release operation is sent to the L2.
+    deferred_releases: Vec<(HashSet<LineAddr>, MemMsg)>,
+    outstanding_atomics: HashMap<RequestId, AtomCtx>,
+    local_done: BinaryHeap<Reverse<(u64, u64, Scheduled)>>,
+    sched_seq: u64,
+    completions: Vec<Completion>,
+    outbox: Vec<(NodeId, MemMsg)>,
+    delayed_out: BinaryHeap<Reverse<(u64, u64, NodeId, MemMsg)>>,
+    stats: CoreMemStats,
+}
+
+/// The most lines one warp access can touch: 32 lanes x 8-byte words over
+/// 64-byte lines. MSHRs and store buffers smaller than this could never
+/// accept a fully strided warp access and would deadlock the replay loop.
+pub const MIN_QUEUE_ENTRIES: usize = 4;
+
+impl CoreMemUnit {
+    /// Create the memory unit for core `core` living at mesh node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MSHR or store buffer has fewer than
+    /// [`MIN_QUEUE_ENTRIES`] entries (a fully strided warp access would
+    /// never fit and the issue replay would livelock).
+    pub fn new(core: u8, node: NodeId, cfg: MemConfig) -> Self {
+        assert!(
+            cfg.mshr_entries >= MIN_QUEUE_ENTRIES,
+            "MSHR must hold at least one full warp access ({MIN_QUEUE_ENTRIES} lines)"
+        );
+        assert!(
+            cfg.store_buffer_entries >= MIN_QUEUE_ENTRIES,
+            "store buffer must hold at least one full warp access ({MIN_QUEUE_ENTRIES} lines)"
+        );
+        CoreMemUnit {
+            core,
+            node,
+            l1: TagArray::new(cfg.l1_sets(), cfg.l1_ways),
+            mshr: Mshr::new(cfg.mshr_entries),
+            sb: StoreBuffer::new(cfg.store_buffer_entries),
+            endflush: Vec::new(),
+            scratch: Scratchpad::new(cfg.scratch_bytes, cfg.scratch_banks),
+            stash: StashMem::new(),
+            dma: DmaEngine::new(),
+            req_counter: 0,
+            lsu_free_at: 0,
+            lsu_busy_cause: MemStructCause::BankConflict,
+            flushing: false,
+            release_flush: false,
+            pending_wracks: HashMap::new(),
+            pending_regs: HashMap::new(),
+            sfifo_pending: HashSet::new(),
+            deferred_releases: Vec::new(),
+            outstanding_atomics: HashMap::new(),
+            local_done: BinaryHeap::new(),
+            sched_seq: 0,
+            completions: Vec::new(),
+            outbox: Vec::new(),
+            delayed_out: BinaryHeap::new(),
+            stats: CoreMemStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this unit was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CoreMemStats {
+        &self.stats
+    }
+
+    fn alloc_req(&mut self) -> RequestId {
+        self.req_counter += 1;
+        RequestId((u64::from(self.core) << 48) | self.req_counter)
+    }
+
+    fn l2_node(&self, line: LineAddr) -> NodeId {
+        NodeId((line.0 % self.cfg.l2_banks as u64) as u8)
+    }
+
+    fn schedule(&mut self, ready: u64, c: Completion) {
+        self.local_done.push(Reverse((ready, self.sched_seq, Scheduled(c))));
+        self.sched_seq += 1;
+    }
+
+    fn lsu_check(&self, now: u64) -> Result<(), LsuReject> {
+        if now < self.lsu_free_at {
+            Err(match self.lsu_busy_cause {
+                MemStructCause::BankConflict => LsuReject::BankConflict,
+                MemStructCause::MshrFull => LsuReject::MshrFull,
+                MemStructCause::StoreBufferFull => LsuReject::StoreBufferFull,
+                MemStructCause::PendingRelease => LsuReject::PendingRelease,
+                MemStructCause::PendingDma => LsuReject::PendingDma,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn occupy_lsu(&mut self, now: u64, extra: u64) {
+        self.lsu_free_at = now + 1 + extra;
+        if extra > 0 {
+            self.lsu_busy_cause = MemStructCause::BankConflict;
+        }
+    }
+
+    fn l1_bank_extra(&self, lines: &BTreeSet<LineAddr>) -> u64 {
+        bank_conflict_extra(lines.iter().map(|l| (l.0 % u64::from(self.cfg.l1_banks), l.0)))
+    }
+
+    fn install_l1(&mut self, line: LineAddr, state: L1State) {
+        // Upgrades win: never downgrade an Owned line to Valid.
+        if let Some(s) = self.l1.get(line) {
+            if *s == L1State::Owned && state == L1State::Valid {
+                return;
+            }
+        }
+        if let Some(evicted) = self.l1.insert(line, state) {
+            if evicted.state == L1State::Owned {
+                let msg = MemMsg::OwnerWriteback { line: evicted.line, core: self.core };
+                let node = self.l2_node(evicted.line);
+                self.outbox.push((node, msg));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LSU entry points (called by the SM at issue)
+    // ------------------------------------------------------------------
+
+    /// Issue a global load for the given per-lane byte addresses.
+    ///
+    /// # Errors
+    ///
+    /// Rejects with the structural hazard preventing issue; the SM replays
+    /// the instruction next cycle.
+    pub fn try_global_load(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addrs: &[u64],
+    ) -> Result<LoadIssued, LsuReject> {
+        self.lsu_check(now)?;
+        let lines: BTreeSet<LineAddr> = addrs.iter().map(|&a| line_of(a)).collect();
+        // Plan: every line that misses L1 and has no in-flight fetch needs a
+        // free MSHR entry.
+        let new_misses = lines
+            .iter()
+            .filter(|&&l| self.l1.peek(l).is_none() && !self.mshr.contains(l))
+            .count();
+        if self.mshr.available() < new_misses {
+            self.lsu_busy_cause = MemStructCause::MshrFull;
+            return Err(LsuReject::MshrFull);
+        }
+        // Commit.
+        let mut reqs = Vec::with_capacity(lines.len());
+        for &line in &lines {
+            let req = self.alloc_req();
+            reqs.push(req);
+            if self.l1.get(line).is_some() {
+                self.stats.l1_hits += 1;
+                let done = now + self.cfg.l1_hit_latency;
+                self.schedule(done, Completion::Load { req, warp, reg, provenance: Provenance::L1 });
+            } else {
+                let primary = !self.mshr.contains(line);
+                let target = MshrTarget { kind: TargetKind::Load { warp, reg, req }, primary };
+                match self.mshr.allocate(line, target) {
+                    Ok(MshrOutcome::Primary) => {
+                        self.stats.l1_misses += 1;
+                        let msg =
+                            MemMsg::GetLine { line, reply_to: self.node, core: self.core };
+                        self.outbox.push((self.l2_node(line), msg));
+                    }
+                    Ok(MshrOutcome::Merged) => self.stats.l1_coalesced += 1,
+                    Err(_) => unreachable!("capacity was checked in the plan phase"),
+                }
+            }
+        }
+        let extra = self.l1_bank_extra(&lines);
+        self.occupy_lsu(now, extra);
+        Ok(LoadIssued { reqs })
+    }
+
+    /// Issue a global store for the given per-lane byte addresses. Stores
+    /// are non-blocking once buffered; the caller commits functional values
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Rejects when a release flush is draining ([`LsuReject::PendingRelease`])
+    /// or the store buffer is out of entries ([`LsuReject::StoreBufferFull`],
+    /// which also triggers a capacity flush).
+    pub fn try_global_store(&mut self, now: u64, addrs: &[u64]) -> Result<(), LsuReject> {
+        self.lsu_check(now)?;
+        if self.release_flush && !self.cfg.sfifo {
+            return Err(LsuReject::PendingRelease);
+        }
+        let mut per_line: BTreeMap<LineAddr, WordMask> = BTreeMap::new();
+        for &a in addrs {
+            per_line.entry(line_of(a)).or_default().set_addr(a);
+        }
+        let needed = per_line.keys().filter(|&&l| self.sb.would_allocate(l)).count();
+        if self.sb.available() < needed {
+            // The paper's store buffer is flushed when it becomes full.
+            self.begin_flush(false);
+            self.lsu_busy_cause = MemStructCause::StoreBufferFull;
+            return Err(LsuReject::StoreBufferFull);
+        }
+        for (&line, &mask) in &per_line {
+            match self.sb.record(line, mask) {
+                Ok(true) => self.stats.sb_combines += 1,
+                Ok(false) => {}
+                Err(()) => unreachable!("capacity was checked in the plan phase"),
+            }
+        }
+        let lines: BTreeSet<LineAddr> = per_line.keys().copied().collect();
+        let extra = self.l1_bank_extra(&lines);
+        self.occupy_lsu(now, extra);
+        Ok(())
+    }
+
+    /// Issue a local (scratchpad or stash) load.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on pending DMA (scratchpad+DMA), full MSHR (stash on-demand
+    /// fills), or LSU serialization.
+    pub fn try_local_load(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addrs: &[u64],
+    ) -> Result<LoadIssued, LsuReject> {
+        self.lsu_check(now)?;
+        match self.cfg.local_kind {
+            LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => {
+                if self.cfg.local_kind == LocalMemKind::ScratchpadDma
+                    && addrs.iter().any(|&a| self.dma.blocks_local(a))
+                {
+                    self.lsu_busy_cause = MemStructCause::PendingDma;
+                    return Err(LsuReject::PendingDma);
+                }
+                let req = self.alloc_req();
+                let extra = self.scratch.conflict_extra_cycles(addrs);
+                self.occupy_lsu(now, extra);
+                self.schedule(
+                    now + self.cfg.l1_hit_latency + extra,
+                    Completion::Load { req, warp, reg, provenance: Provenance::L1 },
+                );
+                Ok(LoadIssued { reqs: vec![req] })
+            }
+            LocalMemKind::Stash => self.try_stash_load(now, warp, reg, addrs),
+        }
+    }
+
+    fn try_stash_load(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addrs: &[u64],
+    ) -> Result<LoadIssued, LsuReject> {
+        // Split words into stash hits and on-demand misses (by global line).
+        let mut miss_lines: BTreeSet<LineAddr> = BTreeSet::new();
+        let mut any_hit = false;
+        for &a in addrs {
+            if self.stash.word_valid(a) || self.stash.translate(a).is_none() {
+                any_hit = true;
+            } else {
+                let global = self.stash.translate(a).expect("mapped");
+                miss_lines.insert(line_of(global));
+            }
+        }
+        let new_misses =
+            miss_lines.iter().filter(|&&l| !self.mshr.contains(l)).count();
+        if self.mshr.available() < new_misses {
+            self.lsu_busy_cause = MemStructCause::MshrFull;
+            return Err(LsuReject::MshrFull);
+        }
+        let mut reqs = Vec::new();
+        if any_hit {
+            self.stats.stash_hits += 1;
+            let req = self.alloc_req();
+            reqs.push(req);
+            let extra = self.scratch.conflict_extra_cycles(addrs);
+            self.occupy_lsu(now, extra);
+            self.schedule(
+                now + self.cfg.l1_hit_latency + extra,
+                Completion::Load { req, warp, reg, provenance: Provenance::L1 },
+            );
+        } else {
+            self.occupy_lsu(now, 0);
+        }
+        for &line in &miss_lines {
+            self.stats.stash_fills += 1;
+            let req = self.alloc_req();
+            reqs.push(req);
+            let primary = !self.mshr.contains(line);
+            let target = MshrTarget { kind: TargetKind::Stash { warp, reg, req }, primary };
+            match self.mshr.allocate(line, target) {
+                Ok(MshrOutcome::Primary) => {
+                    let msg = MemMsg::GetLine { line, reply_to: self.node, core: self.core };
+                    self.outbox.push((self.l2_node(line), msg));
+                }
+                Ok(MshrOutcome::Merged) => {}
+                Err(_) => unreachable!("capacity was checked in the plan phase"),
+            }
+        }
+        Ok(LoadIssued { reqs })
+    }
+
+    /// Issue a local (scratchpad or stash) store. Completes immediately;
+    /// the caller commits functional values via
+    /// [`local_write_word`](Self::local_write_word).
+    ///
+    /// # Errors
+    ///
+    /// Rejects on pending DMA or LSU serialization.
+    pub fn try_local_store(&mut self, now: u64, addrs: &[u64]) -> Result<(), LsuReject> {
+        self.lsu_check(now)?;
+        if self.cfg.local_kind == LocalMemKind::ScratchpadDma
+            && addrs.iter().any(|&a| self.dma.blocks_local(a))
+        {
+            self.lsu_busy_cause = MemStructCause::PendingDma;
+            return Err(LsuReject::PendingDma);
+        }
+        if self.cfg.local_kind == LocalMemKind::Stash {
+            for &a in addrs {
+                if self.stash.translate(a).is_some() {
+                    self.stash.mark_dirty(a);
+                }
+            }
+        }
+        let extra = self.scratch.conflict_extra_cycles(addrs);
+        self.occupy_lsu(now, extra);
+        Ok(())
+    }
+
+    /// Issue an atomic read-modify-write (serviced at the L2 bank).
+    ///
+    /// # Errors
+    ///
+    /// A release-semantics atomic is rejected with
+    /// [`LsuReject::PendingRelease`] until the store buffer has fully
+    /// drained (triggering the flush as a side effect).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_atomic(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addr: u64,
+        kind: AtomKind,
+        a: u64,
+        b: u64,
+        acquire: bool,
+        release: bool,
+        gmem: &mut GlobalMem,
+    ) -> Result<RequestId, LsuReject> {
+        self.lsu_check(now)?;
+        // A release store to a line this L1 already owns is cheaper served
+        // locally (the owned-atomics path below) than posted to the L2.
+        let locally_owned = self.cfg.owned_atomics
+            && self.cfg.protocol == Protocol::DeNovo
+            && self.l1.peek(line_of(addr)) == Some(&L1State::Owned);
+        if release && self.cfg.sfifo && kind == AtomKind::Store && !locally_owned {
+            // QuickRelease-style posted release: the warp continues
+            // immediately; the release operation itself is sent to the L2
+            // once every store ordered before it (the S-FIFO contents) has
+            // drained. Only pure release *stores* can be posted — CAS-style
+            // releases need their return value.
+            let watermark = self.watermark();
+            if !watermark.is_empty() {
+                self.begin_flush(false); // drain in the background
+            }
+            let req = self.alloc_req();
+            let msg =
+                MemMsg::AtomicOp { addr, kind, a, b, req, reply_to: self.node, core: self.core };
+            self.deferred_releases.push((watermark, msg));
+            if acquire {
+                self.self_invalidate();
+            }
+            self.schedule(
+                now + 1,
+                Completion::Atomic { req, warp, reg, value: 0, acquire, release, write_dst: false },
+            );
+            self.occupy_lsu(now, 0);
+            return Ok(req);
+        }
+        if release {
+            let ready = if self.cfg.sfifo {
+                if !self.release_flush {
+                    self.sfifo_pending = self.watermark();
+                }
+                self.sfifo_pending.is_empty()
+            } else {
+                self.flush_drained()
+            };
+            if !ready {
+                self.begin_flush(true);
+                self.lsu_busy_cause = MemStructCause::PendingRelease;
+                return Err(LsuReject::PendingRelease);
+            }
+            self.release_flush = false;
+        }
+        if !release && self.release_flush && !self.cfg.sfifo {
+            return Err(LsuReject::PendingRelease);
+        }
+        let req = self.alloc_req();
+        let write_dst = kind != AtomKind::Store;
+        let line = line_of(addr);
+        // Owned atomics: a line this L1 owns is serviced locally, without a
+        // round trip to the L2 (DeNovoSync-style; the paper's footnote 1).
+        if self.cfg.owned_atomics
+            && self.cfg.protocol == Protocol::DeNovo
+            && self.l1.peek(line) == Some(&L1State::Owned)
+        {
+            self.stats.owned_atomic_hits += 1;
+            let old = gmem.read_word(addr);
+            let (new, ret) = kind.apply(old, a, b);
+            gmem.write_word(addr, new);
+            if acquire {
+                self.self_invalidate();
+            }
+            self.schedule(
+                now + self.cfg.l1_hit_latency,
+                Completion::Atomic {
+                    req,
+                    warp,
+                    reg,
+                    value: ret,
+                    acquire,
+                    release,
+                    write_dst,
+                },
+            );
+            self.occupy_lsu(now, 0);
+            return Ok(req);
+        }
+        self.outstanding_atomics
+            .insert(req, AtomCtx { warp, reg, addr, acquire, release, write_dst });
+        let msg = MemMsg::AtomicOp { addr, kind, a, b, req, reply_to: self.node, core: self.core };
+        self.outbox.push((self.l2_node(line), msg));
+        self.occupy_lsu(now, 0);
+        Ok(req)
+    }
+
+    /// Start a DMA transfer (scratchpad+DMA configuration). The functional
+    /// copy happens now; the timing drains through the DMA engine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects only on LSU serialization.
+    pub fn start_dma(
+        &mut self,
+        now: u64,
+        transfer: DmaTransfer,
+        gmem: &mut GlobalMem,
+    ) -> Result<(), LsuReject> {
+        self.lsu_check(now)?;
+        for off in (0..transfer.bytes).step_by(8) {
+            match transfer.dir {
+                DmaDirection::ToScratchpad => {
+                    let v = gmem.read_word(transfer.global + off);
+                    self.scratch.write_word(transfer.local + off, v);
+                }
+                DmaDirection::ToGlobal => {
+                    let v = self.scratch.read_word(transfer.local + off);
+                    gmem.write_word(transfer.global + off, v);
+                }
+            }
+        }
+        self.dma.start(transfer);
+        self.occupy_lsu(now, 0);
+        Ok(())
+    }
+
+    /// Install a stash mapping (stash configuration).
+    ///
+    /// If the local range was previously mapped (a finished block's slot
+    /// being recycled), the old mapping's dirty data is lazily written back
+    /// through the flush engine before the new mapping takes effect.
+    pub fn add_stash_mapping(&mut self, m: StashMapping) {
+        let writeback = self.stash.unmap_overlapping(m.local, m.bytes);
+        if !writeback.is_empty() {
+            self.endflush.extend(writeback);
+            self.begin_flush(false);
+        }
+        self.stash.map(m);
+    }
+
+    // ------------------------------------------------------------------
+    // Functional access to the local address space
+    // ------------------------------------------------------------------
+
+    /// Read a local word: from the scratchpad, or through the stash mapping
+    /// into global memory.
+    pub fn local_read_word(&self, addr: u64, gmem: &GlobalMem) -> u64 {
+        match self.cfg.local_kind {
+            LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => {
+                self.scratch.read_word(addr)
+            }
+            LocalMemKind::Stash => match self.stash.translate(addr) {
+                Some(global) => gmem.read_word(global),
+                None => self.scratch.read_word(addr),
+            },
+        }
+    }
+
+    /// Write a local word (see [`local_read_word`](Self::local_read_word)).
+    pub fn local_write_word(&mut self, addr: u64, value: u64, gmem: &mut GlobalMem) {
+        match self.cfg.local_kind {
+            LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => {
+                self.scratch.write_word(addr, value);
+            }
+            LocalMemKind::Stash => match self.stash.translate(addr) {
+                Some(global) => gmem.write_word(global, value),
+                None => self.scratch.write_word(addr, value),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush / synchronization
+    // ------------------------------------------------------------------
+
+    fn begin_flush(&mut self, release: bool) {
+        self.flushing = true;
+        self.release_flush |= release;
+    }
+
+    /// True when nothing remains to drain: the condition that unblocks a
+    /// release.
+    pub fn flush_drained(&self) -> bool {
+        self.sb.is_empty()
+            && self.endflush.is_empty()
+            && self.pending_wracks.is_empty()
+            && self.pending_regs.is_empty()
+    }
+
+    /// Whether stores are currently blocked by a draining release.
+    pub fn release_blocked(&self) -> bool {
+        self.release_flush
+    }
+
+    /// Kernel end: flush the store buffer, queue the stash writeback, and
+    /// drain DMA. Poll [`drained`](Self::drained).
+    pub fn begin_kernel_end_flush(&mut self) {
+        self.endflush.extend(self.stash.writeback_set());
+        self.begin_flush(false);
+    }
+
+    /// True when every buffer, ack, registration, DMA transfer, and atomic
+    /// has drained — the SM's memory side is quiescent.
+    pub fn drained(&self) -> bool {
+        self.flush_drained()
+            && self.dma.all_complete()
+            && self.outstanding_atomics.is_empty()
+            && self.mshr.is_empty()
+            && self.deferred_releases.is_empty()
+    }
+
+    /// Reset per-kernel structures (after [`drained`](Self::drained)):
+    /// stash mappings, DMA transfers, and the scratchpad contents.
+    pub fn reset_for_kernel(&mut self) {
+        debug_assert!(self.drained(), "reset before the memory side drained");
+        self.stash.reset();
+        self.dma.reset();
+        self.scratch.clear();
+        self.flushing = false;
+        self.release_flush = false;
+    }
+
+    /// Acquire semantics: self-invalidate the L1 according to the protocol
+    /// (everything under GPU coherence; unowned lines under DeNovo).
+    pub fn self_invalidate(&mut self) {
+        let protocol = self.cfg.protocol;
+        let before = self.l1.len();
+        self.l1.retain(|_, s| !s.invalidated_on_acquire(protocol));
+        self.stats.acquire_invalidations += 1;
+        self.stats.lines_invalidated += (before - self.l1.len()) as u64;
+    }
+
+    /// Resident L1 lines (diagnostic).
+    pub fn l1_resident(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Resident L1 lines in `Owned` state (diagnostic).
+    pub fn l1_owned(&self) -> usize {
+        self.l1.iter().filter(|(_, s)| **s == L1State::Owned).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing (driven by the simulator)
+    // ------------------------------------------------------------------
+
+    /// The lines whose stores are ordered before a release issued now: the
+    /// store buffer, the kernel-end queue, and everything awaiting an ack.
+    fn watermark(&self) -> HashSet<LineAddr> {
+        let mut wm: HashSet<LineAddr> = self.sb.iter().map(|(l, _)| *l).collect();
+        wm.extend(self.endflush.iter().map(|(l, _)| *l));
+        wm.extend(self.pending_wracks.keys().copied());
+        wm.extend(self.pending_regs.keys().copied());
+        wm
+    }
+
+    /// True while stores to `line` are buffered or awaiting acknowledgment.
+    fn line_in_flight(&self, line: LineAddr) -> bool {
+        self.pending_wracks.contains_key(&line)
+            || self.pending_regs.contains_key(&line)
+            || self.sb.iter().any(|(l, _)| *l == line)
+            || self.endflush.iter().any(|(l, _)| *l == line)
+    }
+
+    /// A line finished draining somewhere: if nothing for it remains in
+    /// flight, it no longer gates a pending S-FIFO release.
+    fn maybe_clear_sfifo(&mut self, line: LineAddr) {
+        if self.sfifo_pending.contains(&line)
+            && !self.pending_wracks.contains_key(&line)
+            && !self.pending_regs.contains_key(&line)
+            && !self.sb.iter().any(|(l, _)| *l == line)
+            && !self.endflush.iter().any(|(l, _)| *l == line)
+        {
+            self.sfifo_pending.remove(&line);
+        }
+    }
+
+    /// Deliver a mesh message addressed to this core's node.
+    pub fn deliver(&mut self, now: u64, msg: MemMsg) {
+        match msg {
+            MemMsg::Fill { line, provenance } => {
+                let Some(targets) = self.mshr.complete(line) else { return };
+                let mut install = false;
+                for t in targets {
+                    match t.kind {
+                        TargetKind::Load { warp, reg, req } => {
+                            install = true;
+                            let p = if t.primary { provenance } else { Provenance::L1Coalescing };
+                            self.completions
+                                .push(Completion::Load { req, warp, reg, provenance: p });
+                        }
+                        TargetKind::Stash { warp, reg, req } => {
+                            self.stash.fill_global_line(line);
+                            let p = if t.primary { provenance } else { Provenance::L1Coalescing };
+                            self.completions
+                                .push(Completion::Load { req, warp, reg, provenance: p });
+                        }
+                        TargetKind::Dma => {
+                            self.dma.on_line_arrived(line);
+                        }
+                    }
+                }
+                if install {
+                    self.install_l1(line, L1State::Valid);
+                }
+            }
+            MemMsg::WriteAck { line } => {
+                if let Some(n) = self.pending_wracks.get_mut(&line) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.pending_wracks.remove(&line);
+                    }
+                }
+                self.maybe_clear_sfifo(line);
+            }
+            MemMsg::RegisterAck { line } => {
+                if let Some(n) = self.pending_regs.get_mut(&line) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.pending_regs.remove(&line);
+                    }
+                }
+                self.install_l1(line, L1State::Owned);
+                self.maybe_clear_sfifo(line);
+            }
+            MemMsg::AtomicResp { req, value } => {
+                if let Some(ctx) = self.outstanding_atomics.remove(&req) {
+                    if ctx.acquire {
+                        self.self_invalidate();
+                    }
+                    if self.cfg.owned_atomics && self.cfg.protocol == Protocol::DeNovo {
+                        // The bank granted this core ownership of the
+                        // atomic's line; later atomics hit locally.
+                        self.install_l1(line_of(ctx.addr), L1State::Owned);
+                    }
+                    self.completions.push(Completion::Atomic {
+                        req,
+                        warp: ctx.warp,
+                        reg: ctx.reg,
+                        value,
+                        acquire: ctx.acquire,
+                        release: ctx.release,
+                        write_dst: ctx.write_dst,
+                    });
+                }
+            }
+            MemMsg::FwdGet { line, reply_to } => {
+                // Serve a remote reader directly from our owned copy after
+                // the L1 access latency.
+                self.stats.remote_serves += 1;
+                let m = MemMsg::Fill { line, provenance: Provenance::RemoteL1 };
+                self.delayed_out.push(Reverse((
+                    now + self.cfg.remote_l1_latency,
+                    self.sched_seq,
+                    reply_to,
+                    m,
+                )));
+                self.sched_seq += 1;
+            }
+            MemMsg::Recall { line } => {
+                self.l1.remove(line);
+                let msg = MemMsg::OwnerWriteback { line, core: self.core };
+                self.outbox.push((self.l2_node(line), msg));
+            }
+            other => unreachable!("core received a request message: {other:?}"),
+        }
+    }
+
+    /// Advance one cycle: drain the flush engine and DMA engine, and move
+    /// scheduled local completions to the completion queue.
+    pub fn tick(&mut self, now: u64) {
+        // Delayed remote serves.
+        while let Some(Reverse((ready, _, _, _))) = self.delayed_out.peek() {
+            if *ready > now {
+                break;
+            }
+            let Reverse((_, _, to, msg)) = self.delayed_out.pop().expect("peeked");
+            self.outbox.push((to, msg));
+        }
+
+        // Posted releases whose ordered stores have all drained go to the
+        // L2 now.
+        if !self.deferred_releases.is_empty() {
+            let mut i = 0;
+            while i < self.deferred_releases.len() {
+                let ready = {
+                    let (wm, _) = &self.deferred_releases[i];
+                    !wm.iter().any(|&l| self.line_in_flight(l))
+                };
+                if ready {
+                    let (_, msg) = self.deferred_releases.remove(i);
+                    if let MemMsg::AtomicOp { addr, .. } = msg {
+                        self.outbox.push((self.l2_node(line_of(addr)), msg));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // A full store buffer flushes itself (paper, Section 5).
+        if self.sb.is_full() && !self.flushing {
+            self.begin_flush(false);
+        }
+
+        // Flush engine: drain store-buffer entries, then kernel-end stash
+        // writebacks, at the configured rate.
+        if self.flushing {
+            for _ in 0..self.cfg.flush_rate {
+                if let Some((line, mask)) = self.sb.pop_oldest() {
+                    self.drain_entry(line, mask, false);
+                } else if let Some((line, mask)) = self.endflush.first().copied() {
+                    self.endflush.remove(0);
+                    self.drain_entry(line, mask, true);
+                } else {
+                    break;
+                }
+            }
+            if self.flush_drained() {
+                self.flushing = false;
+                self.release_flush = false;
+            }
+        }
+
+        // DMA engine: issue lines at the configured rate.
+        for _ in 0..self.cfg.dma_lines_per_cycle {
+            let Some((line, dir)) = self.dma.next_line() else { break };
+            match dir {
+                DmaDirection::ToScratchpad => {
+                    let primary = !self.mshr.contains(line);
+                    let target = MshrTarget { kind: TargetKind::Dma, primary };
+                    if self.mshr.allocate(line, target).is_err() {
+                        break; // MSHR full: the engine waits.
+                    }
+                    if primary {
+                        let msg = MemMsg::GetLine { line, reply_to: self.node, core: self.core };
+                        self.outbox.push((self.l2_node(line), msg));
+                    }
+                }
+                DmaDirection::ToGlobal => {
+                    if self.sb.record(line, WordMask::FULL).is_err() {
+                        self.begin_flush(false);
+                        break; // Store buffer full: the engine waits.
+                    }
+                }
+            }
+            self.stats.dma_lines += 1;
+            self.dma.mark_issued();
+        }
+
+        // Local completions that are ready.
+        while let Some(Reverse((ready, _, _))) = self.local_done.peek() {
+            if *ready > now {
+                break;
+            }
+            let Reverse((_, _, Scheduled(c))) = self.local_done.pop().expect("peeked");
+            self.completions.push(c);
+        }
+    }
+
+    fn drain_entry(&mut self, line: LineAddr, mask: WordMask, force_write: bool) {
+        match self.cfg.protocol {
+            Protocol::DeNovo if !force_write => {
+                if self.l1.peek(line) == Some(&L1State::Owned) {
+                    // Already owned: the flush is free. This is the DeNovo
+                    // advantage the paper's UTSD case study measures.
+                    self.stats.flush_owned_skips += 1;
+                    self.maybe_clear_sfifo(line);
+                } else {
+                    self.stats.flush_registrations += 1;
+                    *self.pending_regs.entry(line).or_insert(0) += 1;
+                    let msg = MemMsg::RegisterOwner { line, reply_to: self.node, core: self.core };
+                    self.outbox.push((self.l2_node(line), msg));
+                }
+            }
+            _ => {
+                self.stats.flush_writes += 1;
+                *self.pending_wracks.entry(line).or_insert(0) += 1;
+                let msg = MemMsg::WriteWords { line, mask, reply_to: self.node };
+                self.outbox.push((self.l2_node(line), msg));
+            }
+        }
+    }
+
+    /// Take the messages produced since the last call, as
+    /// `(destination, message)` pairs.
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, MemMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Take the completions produced since the last call.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(protocol: Protocol, kind: LocalMemKind) -> CoreMemUnit {
+        let cfg = MemConfig { protocol, local_kind: kind, ..Default::default() };
+        CoreMemUnit::new(0, NodeId(0), cfg)
+    }
+
+    fn drain_completions(u: &mut CoreMemUnit, upto: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for now in 0..=upto {
+            u.tick(now);
+            out.extend(u.take_completions());
+        }
+        out
+    }
+
+    #[test]
+    fn l1_hit_completes_locally_with_l1_provenance() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        // Prime the line via a fill.
+        let issued = u.try_global_load(0, 0, 1, &[0x100]).unwrap();
+        assert_eq!(issued.reqs.len(), 1);
+        let out = u.take_outbox();
+        assert_eq!(out.len(), 1);
+        u.deliver(5, MemMsg::Fill { line: line_of(0x100), provenance: Provenance::L2 });
+        let c = u.take_completions();
+        assert!(matches!(c[0], Completion::Load { provenance: Provenance::L2, .. }));
+        // Second load hits.
+        let _ = u.try_global_load(10, 0, 2, &[0x108]).unwrap();
+        assert!(u.take_outbox().is_empty(), "hit must not generate traffic");
+        let c = drain_completions(&mut u, 12);
+        assert!(matches!(c[0], Completion::Load { provenance: Provenance::L1, .. }));
+        assert_eq!(u.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn coalesced_loads_merge_and_fill_together() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        u.try_global_load(0, 0, 1, &[0x200]).unwrap();
+        u.try_global_load(1, 1, 2, &[0x208]).unwrap(); // same line
+        assert_eq!(u.take_outbox().len(), 1, "one GetLine for both");
+        u.deliver(30, MemMsg::Fill { line: line_of(0x200), provenance: Provenance::MainMemory });
+        let c = u.take_completions();
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c[0], Completion::Load { provenance: Provenance::MainMemory, .. }));
+        assert!(
+            matches!(c[1], Completion::Load { provenance: Provenance::L1Coalescing, .. }),
+            "merged target is an L1-coalescing service"
+        );
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects() {
+        let cfg = MemConfig { mshr_entries: 4, ..Default::default() };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        u.try_global_load(0, 0, 1, &[0x000]).unwrap();
+        u.try_global_load(1, 1, 1, &[0x100]).unwrap();
+        u.try_global_load(2, 2, 1, &[0x200]).unwrap();
+        u.try_global_load(3, 3, 1, &[0x300]).unwrap();
+        let err = u.try_global_load(4, 4, 1, &[0x400]).unwrap_err();
+        assert_eq!(err, LsuReject::MshrFull);
+        assert_eq!(err.cause(), MemStructCause::MshrFull);
+    }
+
+    #[test]
+    fn lsu_serializes_on_bank_conflicts() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        // 8 L1 banks; lines 0 and 8 share bank 0 -> 1 extra cycle.
+        let addrs = [0u64, 8 * 64];
+        u.try_global_load(0, 0, 1, &addrs).unwrap();
+        let err = u.try_global_load(1, 1, 2, &[0x40]).unwrap_err();
+        assert_eq!(err, LsuReject::BankConflict);
+        assert!(u.try_global_load(2, 1, 2, &[0x40]).is_ok());
+    }
+
+    #[test]
+    fn store_buffer_full_rejects_and_triggers_flush() {
+        let cfg = MemConfig { store_buffer_entries: 4, ..Default::default() };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        u.try_global_store(0, &[0 * 64]).unwrap();
+        u.try_global_store(1, &[64]).unwrap();
+        u.try_global_store(2, &[2 * 64]).unwrap();
+        u.try_global_store(3, &[3 * 64]).unwrap();
+        let err = u.try_global_store(4, &[4 * 64]).unwrap_err();
+        assert_eq!(err, LsuReject::StoreBufferFull);
+        // The flush engine drains entries over the next cycles.
+        u.tick(3);
+        u.tick(4);
+        assert!(!u.take_outbox().is_empty(), "flush must emit write-throughs");
+    }
+
+    #[test]
+    fn store_combining_within_a_line() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        u.try_global_store(0, &[0x300]).unwrap();
+        u.try_global_store(1, &[0x308]).unwrap();
+        assert_eq!(u.stats().sb_combines, 1);
+    }
+
+    #[test]
+    fn release_blocks_until_flush_drains_gpu_coherence() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        u.try_global_store(0, &[0x400]).unwrap();
+        // Release atomic must be rejected while the buffer drains.
+        let err = u
+            .try_atomic(1, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new())
+            .unwrap_err();
+        assert_eq!(err, LsuReject::PendingRelease);
+        assert!(u.release_blocked());
+        // Other stores are blocked too.
+        assert_eq!(u.try_global_store(2, &[0x600]).unwrap_err(), LsuReject::PendingRelease);
+        // Drain: tick sends the write-through; ack it.
+        u.tick(2);
+        for (_, m) in u.take_outbox() {
+            if let MemMsg::WriteWords { line, .. } = m {
+                u.deliver(3, MemMsg::WriteAck { line });
+            }
+        }
+        u.tick(4);
+        assert!(!u.release_blocked());
+        assert!(u.try_atomic(5, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new()).is_ok());
+    }
+
+    #[test]
+    fn denovo_flush_registers_instead_of_writing_data() {
+        let mut u = unit(Protocol::DeNovo, LocalMemKind::Scratchpad);
+        u.try_global_store(0, &[0x700]).unwrap();
+        let _ = u.try_atomic(1, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
+        u.tick(2);
+        let out = u.take_outbox();
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, MemMsg::RegisterOwner { .. })),
+            "DeNovo flush sends registrations: {out:?}"
+        );
+        assert_eq!(u.stats().flush_registrations, 1);
+        // Ack: the line becomes owned.
+        u.deliver(3, MemMsg::RegisterAck { line: line_of(0x700) });
+        assert_eq!(u.l1_owned(), 1);
+        // A second store + flush to the same line is free.
+        u.tick(4);
+        assert!(!u.release_blocked());
+        u.try_global_store(5, &[0x708]).unwrap();
+        let _ = u.try_atomic(6, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
+        u.tick(7);
+        assert_eq!(u.stats().flush_owned_skips, 1);
+        assert_eq!(u.stats().flush_registrations, 1, "no new registration");
+    }
+
+    #[test]
+    fn acquire_invalidation_respects_protocol() {
+        for (protocol, survivors) in [(Protocol::GpuCoherence, 0), (Protocol::DeNovo, 1)] {
+            let mut u = unit(protocol, LocalMemKind::Scratchpad);
+            // One valid line via fill.
+            u.try_global_load(0, 0, 1, &[0x100]).unwrap();
+            u.take_outbox();
+            u.deliver(1, MemMsg::Fill { line: line_of(0x100), provenance: Provenance::L2 });
+            // One owned line via store+flush+ack (DeNovo) — emulate by
+            // delivering a RegisterAck directly.
+            u.deliver(2, MemMsg::RegisterAck { line: line_of(0x900) });
+            assert_eq!(u.l1_resident(), 2);
+            u.self_invalidate();
+            assert_eq!(u.l1_owned(), survivors, "protocol {protocol}");
+        }
+    }
+
+    #[test]
+    fn atomic_roundtrip_with_acquire_invalidates() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        u.try_global_load(0, 0, 1, &[0x100]).unwrap();
+        u.take_outbox();
+        u.deliver(1, MemMsg::Fill { line: line_of(0x100), provenance: Provenance::L2 });
+        u.take_completions();
+        assert_eq!(u.l1_resident(), 1);
+        let req = u.try_atomic(2, 3, 4, 0xA00, AtomKind::Cas, 0, 1, true, false, &mut GlobalMem::new()).unwrap();
+        let out = u.take_outbox();
+        assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
+        u.deliver(40, MemMsg::AtomicResp { req, value: 0 });
+        let c = u.take_completions();
+        assert!(matches!(
+            c[0],
+            Completion::Atomic { value: 0, acquire: true, warp: 3, reg: 4, write_dst: true, .. }
+        ));
+        assert_eq!(u.l1_resident(), 0, "acquire self-invalidated the L1");
+    }
+
+    #[test]
+    fn scratchpad_load_is_local_and_fast() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::Scratchpad);
+        let issued = u.try_local_load(0, 0, 1, &[0, 8, 16]).unwrap();
+        assert_eq!(issued.reqs.len(), 1);
+        assert!(u.take_outbox().is_empty());
+        let c = drain_completions(&mut u, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn dma_blocks_local_accesses_until_complete() {
+        let mut u = unit(Protocol::GpuCoherence, LocalMemKind::ScratchpadDma);
+        let mut gmem = GlobalMem::new();
+        gmem.write_word(0x1000, 77);
+        let t = DmaTransfer::new(0, 0x1000, 64, DmaDirection::ToScratchpad);
+        u.start_dma(0, t, &mut gmem).unwrap();
+        // Functional copy already happened.
+        assert_eq!(u.local_read_word(0, &gmem), 77);
+        // Timing: access blocked until the line arrives.
+        assert_eq!(u.try_local_load(1, 0, 1, &[0]).unwrap_err(), LsuReject::PendingDma);
+        u.tick(1); // engine issues the line
+        let out = u.take_outbox();
+        assert!(matches!(out[0].1, MemMsg::GetLine { .. }));
+        u.deliver(50, MemMsg::Fill { line: line_of(0x1000), provenance: Provenance::MainMemory });
+        assert!(u.try_local_load(51, 0, 1, &[0]).is_ok());
+    }
+
+    #[test]
+    fn dma_fetches_consume_mshr_entries() {
+        let cfg = MemConfig {
+            local_kind: LocalMemKind::ScratchpadDma,
+            mshr_entries: 4,
+            ..Default::default()
+        };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        let mut gmem = GlobalMem::new();
+        let t = DmaTransfer::new(0, 0x1000, 6 * 64, DmaDirection::ToScratchpad);
+        u.start_dma(0, t, &mut gmem).unwrap();
+        for c in 1..=5 {
+            u.tick(c); // fifth line blocked: MSHR full
+        }
+        assert_eq!(u.take_outbox().len(), 4);
+        // A global load now sees a full MSHR.
+        assert_eq!(u.try_global_load(4, 0, 1, &[0x5000]).unwrap_err(), LsuReject::MshrFull);
+    }
+
+    #[test]
+    fn stash_misses_fetch_on_demand_then_hit() {
+        let mut u = unit(Protocol::DeNovo, LocalMemKind::Stash);
+        u.add_stash_mapping(StashMapping { local: 0, global: 0x2000, bytes: 256, writeback: true });
+        let issued = u.try_local_load(0, 0, 1, &[0, 8]).unwrap();
+        assert_eq!(issued.reqs.len(), 1, "both words on one global line");
+        let out = u.take_outbox();
+        assert!(matches!(out[0].1, MemMsg::GetLine { .. }));
+        u.deliver(40, MemMsg::Fill { line: line_of(0x2000), provenance: Provenance::L2 });
+        let c = u.take_completions();
+        assert_eq!(c.len(), 1);
+        // Second access hits in the stash, no traffic.
+        u.try_local_load(41, 0, 2, &[0]).unwrap();
+        assert!(u.take_outbox().is_empty());
+        assert_eq!(u.stats().stash_fills, 1);
+    }
+
+    #[test]
+    fn stash_writeback_drains_at_kernel_end() {
+        let mut u = unit(Protocol::DeNovo, LocalMemKind::Stash);
+        let mut gmem = GlobalMem::new();
+        u.add_stash_mapping(StashMapping { local: 0, global: 0x3000, bytes: 64, writeback: true });
+        u.try_local_store(0, &[0]).unwrap();
+        u.local_write_word(0, 9, &mut gmem);
+        assert_eq!(gmem.read_word(0x3000), 9, "stash is coherent: writes hit global");
+        u.begin_kernel_end_flush();
+        assert!(!u.drained());
+        u.tick(1);
+        let out = u.take_outbox();
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, MemMsg::WriteWords { .. })),
+            "lazy writeback emits data: {out:?}"
+        );
+        for (_, m) in out {
+            if let MemMsg::WriteWords { line, .. } = m {
+                u.deliver(2, MemMsg::WriteAck { line });
+            }
+        }
+        u.tick(3);
+        assert!(u.drained());
+        u.reset_for_kernel();
+    }
+
+    #[test]
+    fn owned_eviction_writes_back() {
+        // 1-set config via tiny L1: 64 lines, 8 ways -> 8 sets. Fill one set
+        // with owned lines until eviction.
+        let cfg = MemConfig { l1_bytes: 8 * 64, l1_ways: 1, protocol: Protocol::DeNovo, ..Default::default() };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        // Two lines in the same set (8 sets, lines 0 and 8).
+        u.deliver(0, MemMsg::RegisterAck { line: LineAddr(0) });
+        u.deliver(1, MemMsg::RegisterAck { line: LineAddr(8) });
+        let out = u.take_outbox();
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, MemMsg::OwnerWriteback { line: LineAddr(0), .. })),
+            "evicting an owned line must write it back: {out:?}"
+        );
+    }
+
+    #[test]
+    fn recall_relinquishes_ownership() {
+        let mut u = unit(Protocol::DeNovo, LocalMemKind::Scratchpad);
+        u.deliver(0, MemMsg::RegisterAck { line: LineAddr(5) });
+        assert_eq!(u.l1_owned(), 1);
+        u.deliver(1, MemMsg::Recall { line: LineAddr(5) });
+        assert_eq!(u.l1_owned(), 0);
+        let out = u.take_outbox();
+        assert!(matches!(out.last().unwrap().1, MemMsg::OwnerWriteback { .. }));
+    }
+
+    #[test]
+    fn posted_release_waits_for_watermarked_stores() {
+        let cfg = MemConfig { sfifo: true, ..Default::default() };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        let mut gmem = GlobalMem::new();
+        u.try_global_store(0, &[0x400]).unwrap();
+        // The release store is accepted immediately (posted)...
+        let req = u
+            .try_atomic(1, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut gmem)
+            .unwrap();
+        let _ = req;
+        // ...and later stores are not blocked.
+        assert!(u.try_global_store(2, &[0x600]).is_ok());
+        // The release itself is not sent until the prior store is acked.
+        u.tick(3);
+        let out = u.take_outbox();
+        assert!(
+            !out.iter().any(|(_, m)| matches!(m, MemMsg::AtomicOp { .. })),
+            "release must wait for the watermark: {out:?}"
+        );
+        for (_, m) in out {
+            if let MemMsg::WriteWords { line, .. } = m {
+                u.deliver(4, MemMsg::WriteAck { line });
+            }
+        }
+        // Drain any remaining flush traffic and ack it.
+        for t in 5..40 {
+            u.tick(t);
+            for (_, m) in u.take_outbox() {
+                match m {
+                    MemMsg::WriteWords { line, .. } => u.deliver(t, MemMsg::WriteAck { line }),
+                    MemMsg::AtomicOp { .. } => {
+                        assert!(
+                            !u.line_in_flight(line_of(0x400)),
+                            "release sent before its store drained"
+                        );
+                        return; // success
+                    }
+                    _ => {}
+                }
+            }
+        }
+        panic!("posted release was never sent");
+    }
+
+    #[test]
+    fn owned_atomics_service_locally_after_grant() {
+        let cfg = MemConfig {
+            protocol: Protocol::DeNovo,
+            owned_atomics: true,
+            ..Default::default()
+        };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        let mut gmem = GlobalMem::new();
+        // First atomic goes to the L2.
+        let req = u
+            .try_atomic(0, 0, 1, 0x800, AtomKind::Add, 5, 0, false, false, &mut gmem)
+            .unwrap();
+        let out = u.take_outbox();
+        assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
+        // The bank executes it and grants ownership (response installs it).
+        gmem.write_word(0x800, 5);
+        u.deliver(30, MemMsg::AtomicResp { req, value: 0 });
+        assert_eq!(u.l1_owned(), 1);
+        assert_eq!(u.take_completions().len(), 1);
+        // Second atomic hits locally: no traffic, fast completion,
+        // functional effect applied immediately.
+        u.try_atomic(31, 0, 2, 0x800, AtomKind::Add, 3, 0, false, false, &mut gmem)
+            .unwrap();
+        assert!(u.take_outbox().is_empty(), "owned atomic must not leave the core");
+        assert_eq!(gmem.read_word(0x800), 8);
+        assert_eq!(u.stats().owned_atomic_hits, 1);
+        u.tick(32);
+        let c = u.take_completions();
+        assert!(matches!(c[0], Completion::Atomic { value: 5, .. }));
+    }
+
+    #[test]
+    fn recall_ends_local_atomic_service() {
+        let cfg = MemConfig {
+            protocol: Protocol::DeNovo,
+            owned_atomics: true,
+            ..Default::default()
+        };
+        let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
+        let mut gmem = GlobalMem::new();
+        u.deliver(0, MemMsg::RegisterAck { line: line_of(0x800) });
+        u.try_atomic(1, 0, 1, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem)
+            .unwrap();
+        assert_eq!(u.stats().owned_atomic_hits, 1);
+        // Another core wants the line: after the recall, atomics go to L2.
+        u.deliver(2, MemMsg::Recall { line: line_of(0x800) });
+        u.take_outbox();
+        u.try_atomic(3, 0, 2, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem)
+            .unwrap();
+        let out = u.take_outbox();
+        assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
+        assert_eq!(u.stats().owned_atomic_hits, 1, "no new local hit");
+    }
+
+    #[test]
+    fn fwd_get_serves_remote_reader_after_latency() {
+        let mut u = unit(Protocol::DeNovo, LocalMemKind::Scratchpad);
+        u.deliver(0, MemMsg::FwdGet { line: LineAddr(3), reply_to: NodeId(9) });
+        u.tick(0);
+        assert!(u.take_outbox().is_empty(), "serve takes the owner-L1 latency");
+        for t in 1..=u.config().remote_l1_latency {
+            u.tick(t);
+        }
+        let out = u.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(9));
+        assert!(matches!(
+            out[0].1,
+            MemMsg::Fill { provenance: Provenance::RemoteL1, .. }
+        ));
+        assert_eq!(u.stats().remote_serves, 1);
+    }
+}

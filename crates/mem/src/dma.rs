@@ -1,0 +1,237 @@
+//! The D2MA-style DMA engine for the scratchpad+DMA configuration.
+//!
+//! The engine transfers data between global memory and the scratchpad in
+//! bulk, bypassing the core pipeline and the L1 cache but consuming MSHR
+//! entries for its line fetches (which is why a larger MSHR lets it run
+//! further ahead — the effect Figure 6.4 of the paper studies). Scratchpad
+//! accesses that touch a range with an incomplete transfer are blocked at
+//! core granularity, per the paper's stated approximation of D2MA.
+
+use crate::line::{line_of, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaDirection {
+    /// Global memory → scratchpad (`dma.ld`).
+    ToScratchpad,
+    /// Scratchpad → global memory (`dma.st`).
+    ToGlobal,
+}
+
+/// One in-flight bulk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaTransfer {
+    /// Scratchpad byte offset.
+    pub local: u64,
+    /// Global byte address.
+    pub global: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Direction.
+    pub dir: DmaDirection,
+    issued_lines: u64,
+    arrived_lines: u64,
+}
+
+impl DmaTransfer {
+    /// Create a transfer descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the addresses or length are not word-aligned or the length
+    /// is zero.
+    pub fn new(local: u64, global: u64, bytes: u64, dir: DmaDirection) -> Self {
+        assert!(bytes > 0, "empty DMA transfer");
+        assert_eq!(local % 8, 0, "DMA local offset must be word-aligned");
+        assert_eq!(global % 8, 0, "DMA global address must be word-aligned");
+        assert_eq!(bytes % 8, 0, "DMA length must be word-aligned");
+        DmaTransfer { local, global, bytes, dir, issued_lines: 0, arrived_lines: 0 }
+    }
+
+    /// Total global lines the transfer touches.
+    pub fn total_lines(&self) -> u64 {
+        line_of(self.global + self.bytes - 1).0 - line_of(self.global).0 + 1
+    }
+
+    /// First global line of the transfer.
+    fn first_line(&self) -> LineAddr {
+        line_of(self.global)
+    }
+
+    fn covers_line(&self, line: LineAddr) -> bool {
+        line.0 >= self.first_line().0 && line.0 < self.first_line().0 + self.total_lines()
+    }
+
+    /// True when every line has been issued to the memory system (for
+    /// stores, handed to the store buffer).
+    pub fn fully_issued(&self) -> bool {
+        self.issued_lines == self.total_lines()
+    }
+
+    /// True when the transfer no longer blocks scratchpad accesses:
+    /// loads must have every line arrived; stores must be fully issued.
+    pub fn complete(&self) -> bool {
+        match self.dir {
+            DmaDirection::ToScratchpad => self.arrived_lines == self.total_lines(),
+            DmaDirection::ToGlobal => self.fully_issued(),
+        }
+    }
+
+    /// True when the transfer covers the scratchpad byte at `local`.
+    pub fn covers_local(&self, local: u64) -> bool {
+        local >= self.local && local < self.local + self.bytes
+    }
+}
+
+/// The per-SM DMA engine: a list of transfers serviced in order, issuing up
+/// to a configured number of lines per cycle.
+#[derive(Debug, Clone, Default)]
+pub struct DmaEngine {
+    transfers: Vec<DmaTransfer>,
+}
+
+impl DmaEngine {
+    /// An idle engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a transfer.
+    pub fn start(&mut self, t: DmaTransfer) {
+        self.transfers.push(t);
+    }
+
+    /// True when a scratchpad access at `local` must stall with a
+    /// pending-DMA structural hazard.
+    pub fn blocks_local(&self, local: u64) -> bool {
+        self.transfers.iter().any(|t| !t.complete() && t.covers_local(local))
+    }
+
+    /// True when every queued transfer has completed.
+    pub fn all_complete(&self) -> bool {
+        self.transfers.iter().all(DmaTransfer::complete)
+    }
+
+    /// True when any load transfer still has lines to fetch.
+    pub fn wants_issue(&self) -> bool {
+        self.transfers.iter().any(|t| !t.fully_issued())
+    }
+
+    /// The next line to issue, in transfer order: returns the global line
+    /// and the direction. Call [`mark_issued`](Self::mark_issued) once the
+    /// line has actually been accepted by the memory system.
+    pub fn next_line(&self) -> Option<(LineAddr, DmaDirection)> {
+        let t = self.transfers.iter().find(|t| !t.fully_issued())?;
+        Some((LineAddr(t.first_line().0 + t.issued_lines), t.dir))
+    }
+
+    /// Record that the line returned by [`next_line`](Self::next_line) was
+    /// issued.
+    pub fn mark_issued(&mut self) {
+        if let Some(t) = self.transfers.iter_mut().find(|t| !t.fully_issued()) {
+            t.issued_lines += 1;
+            // Store lines "arrive" when drained by the store buffer; for
+            // blocking purposes they only need to be issued.
+        }
+    }
+
+    /// A fetched line arrived for a load transfer.
+    pub fn on_line_arrived(&mut self, line: LineAddr) {
+        if let Some(t) = self.transfers.iter_mut().find(|t| {
+            t.dir == DmaDirection::ToScratchpad
+                && t.covers_line(line)
+                && t.arrived_lines < t.issued_lines
+        }) {
+            t.arrived_lines += 1;
+        }
+    }
+
+    /// Drop every transfer (kernel end, after completion).
+    pub fn reset(&mut self) {
+        self.transfers.clear();
+    }
+
+    /// Number of queued transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// True when no transfers are queued.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_accounting() {
+        let t = DmaTransfer::new(0, 0x1000, 256, DmaDirection::ToScratchpad);
+        assert_eq!(t.total_lines(), 4);
+        let t2 = DmaTransfer::new(0, 0x1000, 8, DmaDirection::ToScratchpad);
+        assert_eq!(t2.total_lines(), 1);
+    }
+
+    #[test]
+    fn load_blocks_until_all_lines_arrive() {
+        let mut e = DmaEngine::new();
+        e.start(DmaTransfer::new(0, 0x1000, 128, DmaDirection::ToScratchpad));
+        assert!(e.blocks_local(0));
+        assert!(e.blocks_local(120));
+        assert!(!e.blocks_local(128));
+        // Issue both lines.
+        let (l0, _) = e.next_line().unwrap();
+        assert_eq!(l0, line_of(0x1000));
+        e.mark_issued();
+        let (l1, _) = e.next_line().unwrap();
+        assert_eq!(l1, line_of(0x1040));
+        e.mark_issued();
+        assert!(e.next_line().is_none());
+        assert!(e.blocks_local(0), "issued but not arrived");
+        e.on_line_arrived(line_of(0x1000));
+        assert!(e.blocks_local(0));
+        e.on_line_arrived(line_of(0x1040));
+        assert!(!e.blocks_local(0));
+        assert!(e.all_complete());
+    }
+
+    #[test]
+    fn store_blocks_only_until_issued() {
+        let mut e = DmaEngine::new();
+        e.start(DmaTransfer::new(0, 0x1000, 128, DmaDirection::ToGlobal));
+        assert!(e.blocks_local(64));
+        e.mark_issued();
+        e.mark_issued();
+        assert!(!e.blocks_local(64));
+        assert!(e.all_complete());
+    }
+
+    #[test]
+    fn transfers_issue_in_order() {
+        let mut e = DmaEngine::new();
+        e.start(DmaTransfer::new(0, 0x1000, 64, DmaDirection::ToScratchpad));
+        e.start(DmaTransfer::new(64, 0x2000, 64, DmaDirection::ToScratchpad));
+        assert_eq!(e.next_line().unwrap().0, line_of(0x1000));
+        e.mark_issued();
+        assert_eq!(e.next_line().unwrap().0, line_of(0x2000));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_engine_is_complete() {
+        let e = DmaEngine::new();
+        assert!(e.all_complete());
+        assert!(!e.wants_issue());
+        assert!(e.next_line().is_none());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_transfer_panics() {
+        DmaTransfer::new(0, 0x1001, 64, DmaDirection::ToScratchpad);
+    }
+}

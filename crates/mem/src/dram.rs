@@ -1,0 +1,119 @@
+//! The main-memory channel model: fixed access latency plus a bandwidth
+//! constraint (a minimum gap between successive requests).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A single memory channel shared by all L2 banks.
+///
+/// Jobs carry an opaque payload `T` returned when the access completes.
+#[derive(Debug, Clone)]
+pub struct DramModel<T> {
+    latency: u64,
+    gap: u64,
+    next_free: u64,
+    jobs: BinaryHeap<Reverse<(u64, u64, JobWrap<T>)>>,
+    seq: u64,
+    /// Total requests serviced.
+    pub requests: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JobWrap<T>(T);
+
+impl<T: Eq> Ord for JobWrap<T> {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T: Eq> PartialOrd for JobWrap<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Eq> DramModel<T> {
+    /// A channel with the given access latency and request gap.
+    pub fn new(latency: u64, gap: u64) -> Self {
+        DramModel {
+            latency,
+            gap: gap.max(1),
+            next_free: 0,
+            jobs: BinaryHeap::new(),
+            seq: 0,
+            requests: 0,
+        }
+    }
+
+    /// Enqueue an access at cycle `now`; returns the completion cycle.
+    pub fn access(&mut self, now: u64, payload: T) -> u64 {
+        let start = now.max(self.next_free);
+        self.next_free = start + self.gap;
+        let done = start + self.latency;
+        self.jobs.push(Reverse((done, self.seq, JobWrap(payload))));
+        self.seq += 1;
+        self.requests += 1;
+        done
+    }
+
+    /// Pop every access completing at or before `now`.
+    pub fn complete(&mut self, now: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(Reverse((done, _, _))) = self.jobs.peek() {
+            if *done > now {
+                break;
+            }
+            let Reverse((_, _, JobWrap(p))) = self.jobs.pop().expect("peeked");
+            out.push(p);
+        }
+        out
+    }
+
+    /// Accesses still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_applies() {
+        let mut d: DramModel<u32> = DramModel::new(100, 4);
+        let done = d.access(10, 1);
+        assert_eq!(done, 110);
+        assert!(d.complete(109).is_empty());
+        assert_eq!(d.complete(110), vec![1]);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn bandwidth_gap_serializes_bursts() {
+        let mut d: DramModel<u32> = DramModel::new(100, 4);
+        let a = d.access(0, 0);
+        let b = d.access(0, 1);
+        let c = d.access(0, 2);
+        assert_eq!(a, 100);
+        assert_eq!(b, 104);
+        assert_eq!(c, 108);
+        assert_eq!(d.requests, 3);
+    }
+
+    #[test]
+    fn spaced_requests_see_no_queuing() {
+        let mut d: DramModel<u32> = DramModel::new(100, 4);
+        assert_eq!(d.access(0, 0), 100);
+        assert_eq!(d.access(50, 1), 150);
+    }
+
+    #[test]
+    fn completion_order_is_fifo_for_equal_times() {
+        let mut d: DramModel<u32> = DramModel::new(10, 1);
+        d.access(0, 7);
+        d.access(0, 8);
+        assert_eq!(d.complete(100), vec![7, 8]);
+    }
+}

@@ -1,0 +1,98 @@
+//! The functional global memory: the single source of data values.
+
+use std::collections::HashMap;
+
+/// A sparse, word-granular functional memory for the unified global address
+/// space shared by the CPU and GPU.
+///
+/// All addresses are byte addresses and must be 8-byte aligned; unwritten
+/// words read as zero.
+///
+/// ```
+/// use gsi_mem::GlobalMem;
+/// let mut m = GlobalMem::new();
+/// m.write_word(0x100, 42);
+/// assert_eq!(m.read_word(0x100), 42);
+/// assert_eq!(m.read_word(0x108), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem {
+    words: HashMap<u64, u64>,
+}
+
+impl GlobalMem {
+    /// An empty memory (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn read_word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % 8, 0, "unaligned read at {addr:#x}");
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Write the 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_word(&mut self, addr: u64, value: u64) {
+        assert_eq!(addr % 8, 0, "unaligned write at {addr:#x}");
+        if value == 0 {
+            self.words.remove(&addr);
+        } else {
+            self.words.insert(addr, value);
+        }
+    }
+
+    /// Number of nonzero words currently stored.
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        assert_eq!(GlobalMem::new().read_word(0), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = GlobalMem::new();
+        m.write_word(8, 7);
+        m.write_word(16, u64::MAX);
+        assert_eq!(m.read_word(8), 7);
+        assert_eq!(m.read_word(16), u64::MAX);
+        assert_eq!(m.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn writing_zero_reclaims_storage() {
+        let mut m = GlobalMem::new();
+        m.write_word(8, 7);
+        m.write_word(8, 0);
+        assert_eq!(m.read_word(8), 0);
+        assert_eq!(m.nonzero_words(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        GlobalMem::new().read_word(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_panics() {
+        GlobalMem::new().write_word(5, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # gsi-mem — the tightly coupled CPU-GPU memory hierarchy
+//!
+//! This crate models the memory system of the GSI paper's simulated machine
+//! (Table 5.1): per-core private L1 caches with MSHRs and write-combining
+//! store buffers, a banked NUCA L2 shared by every core, a main-memory
+//! channel, and the three local-memory structures of case study 2
+//! (scratchpad, scratchpad+DMA, and stash). Two coherence protocols are
+//! implemented:
+//!
+//! * **GPU coherence** — the conventional software protocol of modern GPUs:
+//!   reader-initiated invalidation (acquires self-invalidate the whole L1),
+//!   write-through of dirty data via the store buffer, and atomics serviced
+//!   at the L2.
+//! * **DeNovo** — the hybrid hardware-software protocol of Sinclair et al.:
+//!   stores obtain *ownership* by registering at the L2; owned lines survive
+//!   acquires, need no re-registration on later flushes, and are supplied to
+//!   remote readers by forwarding through the L2 directory (the source of
+//!   the paper's "remote L1" stall sub-category).
+//!
+//! ## Timing vs. function
+//!
+//! The hierarchy is a *timing* model: caches hold tags and states, never
+//! data. Functional values live in a single [`GlobalMem`]; plain loads and
+//! stores access it at issue in the SM, while atomics perform their
+//! read-modify-write at the L2 bank when serviced, so contended
+//! compare-and-swap races resolve in simulated-time order. This split is
+//! correct for the data-race-free programs the paper studies.
+//!
+//! The per-core façade is [`CoreMemUnit`]; the shared side is [`SharedMem`].
+//! Both are driven once per GPU cycle and exchange [`MemMsg`]s over a
+//! [`gsi_noc::Mesh`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod core_unit;
+mod dma;
+mod dram;
+mod gmem;
+mod line;
+mod mshr;
+mod msg;
+mod protocol;
+mod scratchpad;
+mod shared;
+mod stash;
+mod store_buffer;
+
+pub use cache::{Evicted, TagArray};
+pub use config::{LocalMemKind, MemConfig};
+pub use core_unit::{Completion, CoreMemStats, CoreMemUnit, LoadIssued, LsuReject, MIN_QUEUE_ENTRIES};
+pub use dma::{DmaDirection, DmaEngine, DmaTransfer};
+pub use dram::DramModel;
+pub use gmem::GlobalMem;
+pub use line::{line_of, word_index, LineAddr, WordMask, LINE_BYTES, WORDS_PER_LINE};
+pub use mshr::{Mshr, MshrOutcome};
+pub use msg::{AtomKind, MemMsg, Provenance};
+pub use protocol::{L1State, Protocol};
+pub use scratchpad::Scratchpad;
+pub use shared::{L2Stats, SharedMem};
+pub use stash::{StashMapping, StashMem};
+pub use store_buffer::StoreBuffer;

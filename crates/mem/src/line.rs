@@ -1,0 +1,129 @@
+//! Cache-line addressing helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per cache line throughout the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// 64-bit words per cache line.
+pub const WORDS_PER_LINE: u64 = LINE_BYTES / 8;
+
+/// A line-granular address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Byte address of the first byte of the line.
+    pub fn base(self) -> u64 {
+        self.0 * LINE_BYTES
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line@{:#x}", self.base())
+    }
+}
+
+/// The line containing a byte address.
+#[inline]
+pub fn line_of(addr: u64) -> LineAddr {
+    LineAddr(addr / LINE_BYTES)
+}
+
+/// The word slot (0..[`WORDS_PER_LINE`]) of a byte address within its line.
+#[inline]
+pub fn word_index(addr: u64) -> u32 {
+    ((addr % LINE_BYTES) / 8) as u32
+}
+
+/// A bitmask of dirty/valid 64-bit words within one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WordMask(pub u8);
+
+impl WordMask {
+    /// The empty mask.
+    pub const EMPTY: WordMask = WordMask(0);
+    /// All words set.
+    pub const FULL: WordMask = WordMask(0xff);
+
+    /// Mask with only the word containing `addr` set.
+    pub fn of_addr(addr: u64) -> WordMask {
+        WordMask(1 << word_index(addr))
+    }
+
+    /// Set the word containing `addr`.
+    pub fn set_addr(&mut self, addr: u64) {
+        self.0 |= 1 << word_index(addr);
+    }
+
+    /// True if the word containing `addr` is set.
+    pub fn contains_addr(self, addr: u64) -> bool {
+        self.0 & (1 << word_index(addr)) != 0
+    }
+
+    /// Union with another mask.
+    pub fn union(self, other: WordMask) -> WordMask {
+        WordMask(self.0 | other.0)
+    }
+
+    /// Number of words set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when no word is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over byte addresses of set words, given the owning line.
+    pub fn addrs(self, line: LineAddr) -> impl Iterator<Item = u64> {
+        let base = line.base();
+        (0..WORDS_PER_LINE as u32)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(move |i| base + u64::from(i) * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_word_decomposition() {
+        assert_eq!(line_of(0), LineAddr(0));
+        assert_eq!(line_of(63), LineAddr(0));
+        assert_eq!(line_of(64), LineAddr(1));
+        assert_eq!(word_index(0), 0);
+        assert_eq!(word_index(8), 1);
+        assert_eq!(word_index(63), 7);
+        assert_eq!(word_index(64), 0);
+        assert_eq!(LineAddr(2).base(), 128);
+    }
+
+    #[test]
+    fn word_mask_ops() {
+        let mut m = WordMask::EMPTY;
+        assert!(m.is_empty());
+        m.set_addr(8);
+        m.set_addr(24);
+        assert_eq!(m.count(), 2);
+        assert!(m.contains_addr(8));
+        assert!(m.contains_addr(11)); // same word as 8
+        assert!(!m.contains_addr(0));
+        let u = m.union(WordMask::of_addr(0));
+        assert_eq!(u.count(), 3);
+        assert_eq!(WordMask::FULL.count(), 8);
+    }
+
+    #[test]
+    fn mask_addrs_iterates_set_words() {
+        let mut m = WordMask::EMPTY;
+        m.set_addr(64);
+        m.set_addr(80);
+        let addrs: Vec<u64> = m.addrs(LineAddr(1)).collect();
+        assert_eq!(addrs, vec![64, 80]);
+    }
+}

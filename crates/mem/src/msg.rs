@@ -1,0 +1,213 @@
+//! The memory-protocol messages exchanged over the mesh.
+
+use crate::line::{LineAddr, WordMask};
+use gsi_core::RequestId;
+use gsi_noc::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a fill was serviced. This is exactly the paper's memory-data stall
+/// sub-classification, so we reuse [`gsi_core::MemDataCause`].
+pub type Provenance = gsi_core::MemDataCause;
+
+/// Atomic read-modify-write kinds understood by the L2 banks.
+///
+/// Mirrors `gsi_isa::AtomOp`; the SM layer maps between them so this crate
+/// stays independent of the ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AtomKind {
+    /// Compare-and-swap: returns old; writes `b` if old equals `a`.
+    Cas,
+    /// Exchange: returns old; writes `a`.
+    Exch,
+    /// Fetch-and-add: returns old; writes `old + a`.
+    Add,
+    /// Atomic read: returns old.
+    Load,
+    /// Atomic write: writes `a`; returns old.
+    Store,
+}
+
+impl AtomKind {
+    /// Apply the operation to the current value, returning
+    /// `(new_value, returned_value)`.
+    pub fn apply(self, old: u64, a: u64, b: u64) -> (u64, u64) {
+        match self {
+            AtomKind::Cas => {
+                if old == a {
+                    (b, old)
+                } else {
+                    (old, old)
+                }
+            }
+            AtomKind::Exch => (a, old),
+            AtomKind::Add => (old.wrapping_add(a), old),
+            AtomKind::Load => (old, old),
+            AtomKind::Store => (a, old),
+        }
+    }
+}
+
+/// Messages carried by the mesh between cores (L1 side) and L2 banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemMsg {
+    // ---- core -> L2 bank ----
+    /// Read request for a line.
+    GetLine {
+        /// Requested line.
+        line: LineAddr,
+        /// Node to send the fill to.
+        reply_to: NodeId,
+        /// Requesting core index (for directory checks).
+        core: u8,
+    },
+    /// GPU-coherence write-through of the dirty words of one line.
+    WriteWords {
+        /// Written line.
+        line: LineAddr,
+        /// Dirty words.
+        mask: WordMask,
+        /// Node to send the ack to.
+        reply_to: NodeId,
+    },
+    /// DeNovo ownership registration for one line.
+    RegisterOwner {
+        /// Line to own.
+        line: LineAddr,
+        /// Node to send the ack to.
+        reply_to: NodeId,
+        /// Requesting core index.
+        core: u8,
+    },
+    /// DeNovo writeback of an owned line (eviction or recall response).
+    OwnerWriteback {
+        /// Written-back line.
+        line: LineAddr,
+        /// Core relinquishing ownership (directory is only cleared when it
+        /// still names this core).
+        core: u8,
+    },
+    /// Atomic read-modify-write, serviced at the L2 bank (or forwarded to
+    /// the owning L1 under owned atomics).
+    AtomicOp {
+        /// Word address.
+        addr: u64,
+        /// Operation.
+        kind: AtomKind,
+        /// First operand.
+        a: u64,
+        /// Second operand.
+        b: u64,
+        /// Request token echoed in the response.
+        req: RequestId,
+        /// Node to send the response to.
+        reply_to: NodeId,
+        /// Requesting core index (for ownership grants).
+        core: u8,
+    },
+
+    // ---- L2 bank (or remote owner L1) -> core ----
+    /// Data response for a line; completes every MSHR target waiting on it.
+    Fill {
+        /// Filled line.
+        line: LineAddr,
+        /// Where the data came from.
+        provenance: Provenance,
+    },
+    /// Ack for one [`MemMsg::WriteWords`].
+    WriteAck {
+        /// Acked line.
+        line: LineAddr,
+    },
+    /// Ack for one [`MemMsg::RegisterOwner`]; the core installs the line in
+    /// `Owned` state.
+    RegisterAck {
+        /// Registered line.
+        line: LineAddr,
+    },
+    /// Atomic result.
+    AtomicResp {
+        /// Echoed request token.
+        req: RequestId,
+        /// The value returned by the operation (the old memory value).
+        value: u64,
+    },
+
+    // ---- L2 bank -> owner core (DeNovo) ----
+    /// The directory forwards a read of an owned line to its owner, which
+    /// responds directly to `reply_to` with a remote-L1 fill.
+    FwdGet {
+        /// Requested line.
+        line: LineAddr,
+        /// The original requester's node.
+        reply_to: NodeId,
+    },
+    /// The directory recalls ownership (another core is registering); the
+    /// owner invalidates and sends [`MemMsg::OwnerWriteback`].
+    Recall {
+        /// Recalled line.
+        line: LineAddr,
+    },
+}
+
+impl MemMsg {
+    /// Size in bytes on the mesh: 8-byte control header, plus 8 bytes per
+    /// data word carried.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            MemMsg::GetLine { .. }
+            | MemMsg::RegisterOwner { .. }
+            | MemMsg::WriteAck { .. }
+            | MemMsg::RegisterAck { .. }
+            | MemMsg::FwdGet { .. }
+            | MemMsg::Recall { .. } => 8,
+            MemMsg::AtomicOp { .. } => 24,
+            MemMsg::AtomicResp { .. } => 16,
+            MemMsg::WriteWords { mask, .. } => 8 + 8 * mask.count(),
+            MemMsg::Fill { .. } | MemMsg::OwnerWriteback { .. } => 8 + 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_semantics() {
+        assert_eq!(AtomKind::Cas.apply(0, 0, 1), (1, 0)); // success
+        assert_eq!(AtomKind::Cas.apply(2, 0, 1), (2, 2)); // failure
+        assert_eq!(AtomKind::Exch.apply(5, 9, 0), (9, 5));
+        assert_eq!(AtomKind::Add.apply(10, 3, 0), (13, 10));
+        assert_eq!(AtomKind::Add.apply(u64::MAX, 1, 0), (0, u64::MAX));
+        assert_eq!(AtomKind::Load.apply(7, 0, 0), (7, 7));
+        assert_eq!(AtomKind::Store.apply(7, 9, 0), (9, 7));
+    }
+
+    #[test]
+    fn control_messages_are_small_and_data_messages_large() {
+        let get = MemMsg::GetLine { line: LineAddr(1), reply_to: NodeId(0), core: 0 };
+        assert_eq!(get.size_bytes(), 8);
+        let fill = MemMsg::Fill { line: LineAddr(1), provenance: Provenance::L2 };
+        assert_eq!(fill.size_bytes(), 72);
+        // DeNovo registration carries no data: the traffic advantage of
+        // ownership over write-through.
+        let reg = MemMsg::RegisterOwner { line: LineAddr(1), reply_to: NodeId(0), core: 0 };
+        let wt = MemMsg::WriteWords {
+            line: LineAddr(1),
+            mask: WordMask::FULL,
+            reply_to: NodeId(0),
+        };
+        assert!(reg.size_bytes() < wt.size_bytes());
+        assert_eq!(wt.size_bytes(), 72);
+    }
+
+    #[test]
+    fn partial_write_through_scales_with_dirty_words() {
+        let one = MemMsg::WriteWords {
+            line: LineAddr(0),
+            mask: WordMask(0b1),
+            reply_to: NodeId(0),
+        };
+        assert_eq!(one.size_bytes(), 16);
+    }
+}

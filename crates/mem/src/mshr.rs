@@ -1,0 +1,152 @@
+//! Miss-status holding registers with request merging.
+
+use crate::line::LineAddr;
+use std::collections::HashMap;
+
+/// How an allocation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; a request must be sent to the next level.
+    Primary,
+    /// Merged into an existing entry for the same line; the target will be
+    /// satisfied by the response already in flight (the paper's
+    /// "L1 coalescing" service point).
+    Merged,
+}
+
+/// A fixed-capacity MSHR file tracking outstanding line fetches, generic
+/// over the per-target bookkeeping `T`.
+///
+/// ```
+/// use gsi_mem::{LineAddr, Mshr, MshrOutcome};
+/// let mut m: Mshr<&str> = Mshr::new(2);
+/// assert_eq!(m.allocate(LineAddr(1), "a").unwrap(), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(LineAddr(1), "b").unwrap(), MshrOutcome::Merged);
+/// assert_eq!(m.allocate(LineAddr(2), "c").unwrap(), MshrOutcome::Primary);
+/// assert!(m.allocate(LineAddr(3), "d").is_err()); // full
+/// assert_eq!(m.complete(LineAddr(1)), Some(vec!["a", "b"]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<T> {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<T>>,
+}
+
+impl<T> Mshr<T> {
+    /// An MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        Mshr { capacity, entries: HashMap::new() }
+    }
+
+    /// Entries in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are in use.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free entries.
+    pub fn available(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// True when no new entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when there is already an entry for `line` (an allocation for it
+    /// would merge).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Add a target for `line`, merging with an in-flight fetch when
+    /// possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(target)` (handing the target back) when a new entry is
+    /// needed but the file is full — the condition the paper books as a
+    /// "full MSHR" memory structural stall.
+    pub fn allocate(&mut self, line: LineAddr, target: T) -> Result<MshrOutcome, T> {
+        if let Some(targets) = self.entries.get_mut(&line) {
+            targets.push(target);
+            return Ok(MshrOutcome::Merged);
+        }
+        if self.is_full() {
+            return Err(target);
+        }
+        self.entries.insert(line, vec![target]);
+        Ok(MshrOutcome::Primary)
+    }
+
+    /// The fill for `line` arrived: free the entry and return its targets
+    /// in allocation order (primary first).
+    pub fn complete(&mut self, line: LineAddr) -> Option<Vec<T>> {
+        self.entries.remove(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_does_not_consume_capacity() {
+        let mut m: Mshr<u32> = Mshr::new(1);
+        assert_eq!(m.allocate(LineAddr(1), 0).unwrap(), MshrOutcome::Primary);
+        for i in 1..10 {
+            assert_eq!(m.allocate(LineAddr(1), i).unwrap(), MshrOutcome::Merged);
+        }
+        assert_eq!(m.len(), 1);
+        assert!(m.is_full());
+        assert_eq!(m.complete(LineAddr(1)).unwrap().len(), 10);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_rejection_returns_target() {
+        let mut m: Mshr<&str> = Mshr::new(1);
+        m.allocate(LineAddr(1), "x").unwrap();
+        assert_eq!(m.allocate(LineAddr(2), "y"), Err("y"));
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m: Mshr<u32> = Mshr::new(1);
+        assert_eq!(m.complete(LineAddr(7)), None);
+    }
+
+    #[test]
+    fn availability_tracks_allocations() {
+        let mut m: Mshr<u32> = Mshr::new(3);
+        assert_eq!(m.available(), 3);
+        m.allocate(LineAddr(1), 0).unwrap();
+        m.allocate(LineAddr(2), 0).unwrap();
+        assert_eq!(m.available(), 1);
+        m.complete(LineAddr(1));
+        assert_eq!(m.available(), 2);
+        assert!(m.contains(LineAddr(2)));
+        assert!(!m.contains(LineAddr(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _: Mshr<()> = Mshr::new(0);
+    }
+}

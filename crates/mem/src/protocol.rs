@@ -1,0 +1,71 @@
+//! Coherence protocols and L1 line states.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two GPU L1 coherence protocols compared in case study 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Conventional software GPU coherence: self-invalidate everything on
+    /// acquire, write dirty data through to the L2 on store-buffer flushes,
+    /// no ownership.
+    GpuCoherence,
+    /// DeNovo: self-invalidate only unowned lines on acquire; store-buffer
+    /// flushes obtain line ownership by registering at the L2 directory;
+    /// owned lines are supplied to remote readers by forwarding.
+    DeNovo,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::GpuCoherence => f.write_str("GPU coherence"),
+            Protocol::DeNovo => f.write_str("DeNovo"),
+        }
+    }
+}
+
+/// State of a line present in an L1 cache (absent lines are invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L1State {
+    /// A clean copy; discarded by acquire self-invalidation.
+    Valid,
+    /// A registered, dirty copy (DeNovo only). Survives acquires; must be
+    /// written back when evicted or recalled.
+    Owned,
+}
+
+impl L1State {
+    /// Whether acquire self-invalidation removes a line in this state under
+    /// the given protocol.
+    pub fn invalidated_on_acquire(self, protocol: Protocol) -> bool {
+        match (protocol, self) {
+            (Protocol::GpuCoherence, _) => true,
+            (Protocol::DeNovo, L1State::Valid) => true,
+            (Protocol::DeNovo, L1State::Owned) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_coherence_invalidates_everything() {
+        assert!(L1State::Valid.invalidated_on_acquire(Protocol::GpuCoherence));
+        assert!(L1State::Owned.invalidated_on_acquire(Protocol::GpuCoherence));
+    }
+
+    #[test]
+    fn denovo_keeps_owned_lines() {
+        assert!(L1State::Valid.invalidated_on_acquire(Protocol::DeNovo));
+        assert!(!L1State::Owned.invalidated_on_acquire(Protocol::DeNovo));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Protocol::GpuCoherence.to_string(), "GPU coherence");
+        assert_eq!(Protocol::DeNovo.to_string(), "DeNovo");
+    }
+}

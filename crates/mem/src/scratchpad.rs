@@ -1,0 +1,143 @@
+//! The software-managed scratchpad: a banked, directly addressed local
+//! memory private to a thread block's SM.
+
+/// A scratchpad memory holding functional data (unlike the caches, the
+/// scratchpad *is* the storage for its address space).
+///
+/// Addresses are byte offsets into the scratchpad, 8-byte aligned.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    words: Vec<u64>,
+    banks: u32,
+}
+
+impl Scratchpad {
+    /// A scratchpad of `bytes` capacity with `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or `bytes` is not a multiple of 8.
+    pub fn new(bytes: u64, banks: u32) -> Self {
+        assert!(banks > 0, "scratchpad banks must be nonzero");
+        assert_eq!(bytes % 8, 0, "scratchpad size must be word-aligned");
+        Scratchpad { words: vec![0; (bytes / 8) as usize], banks }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Read the word at byte offset `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range access.
+    pub fn read_word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % 8, 0, "unaligned scratchpad read at {addr:#x}");
+        self.words[(addr / 8) as usize]
+    }
+
+    /// Write the word at byte offset `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range access.
+    pub fn write_word(&mut self, addr: u64, value: u64) {
+        assert_eq!(addr % 8, 0, "unaligned scratchpad write at {addr:#x}");
+        self.words[(addr / 8) as usize] = value;
+    }
+
+    /// The bank servicing byte offset `addr` (word-interleaved).
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        ((addr / 8) % u64::from(self.banks)) as u32
+    }
+
+    /// Extra serialization cycles caused by bank conflicts among the given
+    /// word accesses: `max accesses to one bank - 1`, with accesses to the
+    /// same word in the same bank broadcast for free.
+    pub fn conflict_extra_cycles(&self, addrs: &[u64]) -> u64 {
+        bank_conflict_extra(addrs.iter().map(|&a| (self.bank_of(a) as u64, a / 8)))
+    }
+
+    /// Zero all contents (kernel re-launch).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Generic bank-conflict computation: given `(bank, word)` pairs, the extra
+/// cycles are `max distinct words mapped to one bank - 1`. Duplicate words
+/// broadcast.
+pub(crate) fn bank_conflict_extra(accesses: impl Iterator<Item = (u64, u64)>) -> u64 {
+    let mut per_bank: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+        std::collections::HashMap::new();
+    for (bank, word) in accesses {
+        per_bank.entry(bank).or_default().insert(word);
+    }
+    per_bank.values().map(|words| words.len() as u64).max().unwrap_or(1).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = Scratchpad::new(64, 4);
+        s.write_word(8, 99);
+        assert_eq!(s.read_word(8), 99);
+        assert_eq!(s.read_word(0), 0);
+        assert_eq!(s.bytes(), 64);
+    }
+
+    #[test]
+    fn bank_mapping_is_word_interleaved() {
+        let s = Scratchpad::new(256, 4);
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(8), 1);
+        assert_eq!(s.bank_of(32), 0);
+    }
+
+    #[test]
+    fn no_conflict_when_strided_across_banks() {
+        let s = Scratchpad::new(1024, 32);
+        let addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        assert_eq!(s.conflict_extra_cycles(&addrs), 0);
+    }
+
+    #[test]
+    fn full_conflict_when_same_bank() {
+        let s = Scratchpad::new(8192, 32);
+        // Stride of 32 words: every access hits bank 0.
+        let addrs: Vec<u64> = (0..4).map(|i| i * 32 * 8).collect();
+        assert_eq!(s.conflict_extra_cycles(&addrs), 3);
+    }
+
+    #[test]
+    fn same_word_broadcasts() {
+        let s = Scratchpad::new(64, 4);
+        let addrs = [16u64, 16, 16, 16];
+        assert_eq!(s.conflict_extra_cycles(&addrs), 0);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut s = Scratchpad::new(64, 4);
+        s.write_word(0, 5);
+        s.clear();
+        assert_eq!(s.read_word(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        Scratchpad::new(64, 4).read_word(3);
+    }
+
+    #[test]
+    fn empty_access_set_has_no_conflict() {
+        let s = Scratchpad::new(64, 4);
+        assert_eq!(s.conflict_extra_cycles(&[]), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The stash: a coherent, globally mapped scratchpad (Komuravelli et al.,
+//! summarized in Section 6.2.1 of the GSI paper).
+//!
+//! A stash mapping associates a local byte range with a global byte range.
+//! The first access to a mapped word generates a global request through the
+//! stash map (bypassing the L1); once the data returns the word is valid and
+//! all later accesses hit locally. Dirty words are lazily written back at
+//! kernel end when the mapping requests it. Because the stash is part of
+//! the coherent global address space, functional reads and writes go
+//! straight to global memory via the translation.
+
+use crate::line::{line_of, LineAddr, WordMask, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One local-to-global range mapping installed by `stash.map`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StashMapping {
+    /// Local byte offset the range starts at.
+    pub local: u64,
+    /// Global byte address the range maps to.
+    pub global: u64,
+    /// Range length in bytes.
+    pub bytes: u64,
+    /// Whether dirty data is written back at kernel end.
+    pub writeback: bool,
+}
+
+impl StashMapping {
+    /// Translate a local byte address covered by this mapping.
+    fn translate(&self, local: u64) -> Option<u64> {
+        if local >= self.local && local < self.local + self.bytes {
+            Some(self.global + (local - self.local))
+        } else {
+            None
+        }
+    }
+
+    /// Translate a global byte address back to local space.
+    fn reverse(&self, global: u64) -> Option<u64> {
+        if global >= self.global && global < self.global + self.bytes {
+            Some(self.local + (global - self.global))
+        } else {
+            None
+        }
+    }
+}
+
+/// The stash state for one SM: mappings plus per-word valid/dirty bits.
+#[derive(Debug, Clone, Default)]
+pub struct StashMem {
+    mappings: Vec<StashMapping>,
+    /// Local word-aligned byte addresses whose data is present.
+    valid: HashSet<u64>,
+    /// Local word-aligned byte addresses written since fill.
+    dirty: HashSet<u64>,
+}
+
+impl StashMem {
+    /// An empty stash with no mappings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is not word-aligned.
+    pub fn map(&mut self, m: StashMapping) {
+        assert_eq!(m.local % 8, 0, "stash mapping local offset must be word-aligned");
+        assert_eq!(m.global % 8, 0, "stash mapping global address must be word-aligned");
+        assert_eq!(m.bytes % 8, 0, "stash mapping length must be word-aligned");
+        self.mappings.push(m);
+    }
+
+    /// Number of installed mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Translate a local byte address to its global address, if mapped.
+    pub fn translate(&self, local: u64) -> Option<u64> {
+        self.mappings.iter().find_map(|m| m.translate(local))
+    }
+
+    /// Whether the word at `local` holds valid data (no fill needed).
+    pub fn word_valid(&self, local: u64) -> bool {
+        self.valid.contains(&(local & !7))
+    }
+
+    /// Mark the word at `local` valid (e.g. fully overwritten by a store).
+    pub fn mark_valid(&mut self, local: u64) {
+        self.valid.insert(local & !7);
+    }
+
+    /// Mark the word at `local` dirty (and valid).
+    pub fn mark_dirty(&mut self, local: u64) {
+        let w = local & !7;
+        self.valid.insert(w);
+        self.dirty.insert(w);
+    }
+
+    /// A global line fill arrived: mark every mapped local word of that
+    /// global line valid. Returns how many words became valid.
+    pub fn fill_global_line(&mut self, line: LineAddr) -> u32 {
+        let base = line.base();
+        let mut n = 0;
+        for off in (0..LINE_BYTES).step_by(8) {
+            let global = base + off;
+            for m in &self.mappings {
+                if let Some(local) = m.reverse(global) {
+                    if self.valid.insert(local) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// The global lines (with word masks) that must be written back at
+    /// kernel end: dirty words of writeback mappings.
+    pub fn writeback_set(&self) -> Vec<(LineAddr, WordMask)> {
+        let mut out: Vec<(LineAddr, WordMask)> = Vec::new();
+        let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        for local in dirty {
+            let Some(global) = self
+                .mappings
+                .iter()
+                .filter(|m| m.writeback)
+                .find_map(|m| m.translate(local))
+            else {
+                continue;
+            };
+            let line = line_of(global);
+            match out.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, mask)) => mask.set_addr(global),
+                None => out.push((line, WordMask::of_addr(global))),
+            }
+        }
+        out
+    }
+
+    /// Remove every mapping overlapping the local range
+    /// `[local, local + bytes)`, returning the lazy-writeback set (global
+    /// lines and dirty-word masks) of the removed mappings. Valid and dirty
+    /// bits in the range are cleared.
+    ///
+    /// This models stash reuse: when a new thread block maps its chunk over
+    /// a slot a finished block used, the old block's dirty data must be
+    /// written back before the region is recycled.
+    pub fn unmap_overlapping(&mut self, local: u64, bytes: u64) -> Vec<(LineAddr, WordMask)> {
+        let overlaps = |m: &StashMapping| m.local < local + bytes && local < m.local + m.bytes;
+        let removed: Vec<StashMapping> =
+            self.mappings.iter().copied().filter(|m| overlaps(m)).collect();
+        if removed.is_empty() {
+            return Vec::new();
+        }
+        // Writeback set of the removed mappings only.
+        let mut out: Vec<(LineAddr, WordMask)> = Vec::new();
+        let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        for local_word in dirty {
+            let Some(global) = removed
+                .iter()
+                .filter(|m| m.writeback)
+                .find_map(|m| m.translate(local_word))
+            else {
+                continue;
+            };
+            let line = line_of(global);
+            match out.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, mask)) => mask.set_addr(global),
+                None => out.push((line, WordMask::of_addr(global))),
+            }
+        }
+        // Clear word state covered by the removed mappings.
+        let covered =
+            |w: u64| removed.iter().any(|m| w >= m.local && w < m.local + m.bytes);
+        self.valid.retain(|&w| !covered(w));
+        self.dirty.retain(|&w| !covered(w));
+        self.mappings.retain(|m| !overlaps(m));
+        out
+    }
+
+    /// Drop all mappings and word state (kernel end, after writeback).
+    pub fn reset(&mut self) {
+        self.mappings.clear();
+        self.valid.clear();
+        self.dirty.clear();
+    }
+
+    /// Count of valid words (diagnostic).
+    pub fn valid_words(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Count of dirty words (diagnostic).
+    pub fn dirty_words(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped() -> StashMem {
+        let mut s = StashMem::new();
+        s.map(StashMapping { local: 0, global: 0x1000, bytes: 256, writeback: true });
+        s
+    }
+
+    #[test]
+    fn translation_within_and_outside_range() {
+        let s = mapped();
+        assert_eq!(s.translate(0), Some(0x1000));
+        assert_eq!(s.translate(248), Some(0x10F8));
+        assert_eq!(s.translate(256), None);
+        assert_eq!(s.mapping_count(), 1);
+    }
+
+    #[test]
+    fn first_touch_is_invalid_then_fill_validates() {
+        let mut s = mapped();
+        assert!(!s.word_valid(0));
+        // Global line 0x1000/64 = line 64 covers locals 0..64.
+        let n = s.fill_global_line(line_of(0x1000));
+        assert_eq!(n, 8);
+        assert!(s.word_valid(0));
+        assert!(s.word_valid(56));
+        assert!(!s.word_valid(64));
+    }
+
+    #[test]
+    fn stores_mark_dirty_and_valid() {
+        let mut s = mapped();
+        s.mark_dirty(16);
+        assert!(s.word_valid(16));
+        assert_eq!(s.dirty_words(), 1);
+    }
+
+    #[test]
+    fn writeback_set_groups_by_global_line() {
+        let mut s = mapped();
+        s.mark_dirty(0);
+        s.mark_dirty(8);
+        s.mark_dirty(64); // next global line
+        let wb = s.writeback_set();
+        assert_eq!(wb.len(), 2);
+        assert_eq!(wb[0].0, line_of(0x1000));
+        assert_eq!(wb[0].1.count(), 2);
+        assert_eq!(wb[1].0, line_of(0x1040));
+    }
+
+    #[test]
+    fn non_writeback_mappings_are_skipped() {
+        let mut s = StashMem::new();
+        s.map(StashMapping { local: 0, global: 0x2000, bytes: 64, writeback: false });
+        s.mark_dirty(0);
+        assert!(s.writeback_set().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = mapped();
+        s.mark_dirty(0);
+        s.reset();
+        assert_eq!(s.mapping_count(), 0);
+        assert_eq!(s.valid_words(), 0);
+        assert_eq!(s.dirty_words(), 0);
+    }
+
+    #[test]
+    fn unaligned_word_addresses_round_down() {
+        let mut s = mapped();
+        s.mark_valid(13);
+        assert!(s.word_valid(8));
+        assert!(s.word_valid(15));
+        assert!(!s.word_valid(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_mapping_panics() {
+        StashMem::new().map(StashMapping { local: 4, global: 0, bytes: 64, writeback: true });
+    }
+}

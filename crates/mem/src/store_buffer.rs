@@ -1,0 +1,167 @@
+//! The write-combining store buffer.
+//!
+//! Tracks pending writes at line granularity with per-word dirty masks,
+//! enabling write combining and non-blocking stores for both coherence
+//! protocols (Section 5 of the paper). The buffer is flushed when it becomes
+//! full, at the end of a kernel, and on a release operation.
+
+use crate::line::{LineAddr, WordMask};
+
+/// A fixed-capacity, FIFO-ordered write-combining buffer.
+///
+/// ```
+/// use gsi_mem::{LineAddr, StoreBuffer, WordMask};
+/// let mut sb = StoreBuffer::new(2);
+/// assert!(!sb.record(LineAddr(1), WordMask(0b01)).unwrap()); // new entry
+/// assert!(sb.record(LineAddr(1), WordMask(0b10)).unwrap());  // combined
+/// assert_eq!(sb.pop_oldest(), Some((LineAddr(1), WordMask(0b11))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    capacity: usize,
+    entries: Vec<(LineAddr, WordMask)>,
+}
+
+impl StoreBuffer {
+    /// A buffer with `capacity` line entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer capacity must be nonzero");
+        StoreBuffer { capacity, entries: Vec::new() }
+    }
+
+    /// Entries in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no new line entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Free entries.
+    pub fn available(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when recording `line` would need a new entry.
+    pub fn would_allocate(&self, line: LineAddr) -> bool {
+        !self.entries.iter().any(|(l, _)| *l == line)
+    }
+
+    /// Record dirty words for `line`, combining with an existing entry when
+    /// possible. Returns `Ok(true)` when combined, `Ok(false)` for a new
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when a new entry is needed but the buffer is full
+    /// (a "full store buffer" memory structural stall; the caller should
+    /// trigger a flush).
+    pub fn record(&mut self, line: LineAddr, mask: WordMask) -> Result<bool, ()> {
+        if let Some((_, m)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            *m = m.union(mask);
+            return Ok(true);
+        }
+        if self.is_full() {
+            return Err(());
+        }
+        self.entries.push((line, mask));
+        Ok(false)
+    }
+
+    /// Remove and return the oldest entry (flush order is FIFO).
+    pub fn pop_oldest(&mut self) -> Option<(LineAddr, WordMask)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    /// Remove a specific line's entry, returning its mask.
+    pub fn remove(&mut self, line: LineAddr) -> Option<WordMask> {
+        let idx = self.entries.iter().position(|(l, _)| *l == line)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterate over entries in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &(LineAddr, WordMask)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combining_does_not_consume_entries() {
+        let mut sb = StoreBuffer::new(1);
+        sb.record(LineAddr(1), WordMask(0b001)).unwrap();
+        sb.record(LineAddr(1), WordMask(0b100)).unwrap();
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.pop_oldest(), Some((LineAddr(1), WordMask(0b101))));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn full_rejection() {
+        let mut sb = StoreBuffer::new(1);
+        sb.record(LineAddr(1), WordMask(1)).unwrap();
+        assert!(sb.is_full());
+        assert_eq!(sb.record(LineAddr(2), WordMask(1)), Err(()));
+        // But combining into the existing line still works at capacity.
+        assert_eq!(sb.record(LineAddr(1), WordMask(2)), Ok(true));
+    }
+
+    #[test]
+    fn fifo_flush_order() {
+        let mut sb = StoreBuffer::new(3);
+        sb.record(LineAddr(3), WordMask(1)).unwrap();
+        sb.record(LineAddr(1), WordMask(1)).unwrap();
+        sb.record(LineAddr(2), WordMask(1)).unwrap();
+        assert_eq!(sb.pop_oldest().unwrap().0, LineAddr(3));
+        assert_eq!(sb.pop_oldest().unwrap().0, LineAddr(1));
+        assert_eq!(sb.pop_oldest().unwrap().0, LineAddr(2));
+        assert_eq!(sb.pop_oldest(), None);
+    }
+
+    #[test]
+    fn remove_specific_line() {
+        let mut sb = StoreBuffer::new(2);
+        sb.record(LineAddr(1), WordMask(1)).unwrap();
+        sb.record(LineAddr(2), WordMask(2)).unwrap();
+        assert_eq!(sb.remove(LineAddr(1)), Some(WordMask(1)));
+        assert_eq!(sb.remove(LineAddr(1)), None);
+        assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    fn would_allocate_predicts_record() {
+        let mut sb = StoreBuffer::new(1);
+        assert!(sb.would_allocate(LineAddr(9)));
+        sb.record(LineAddr(9), WordMask(1)).unwrap();
+        assert!(!sb.would_allocate(LineAddr(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        StoreBuffer::new(0);
+    }
+}

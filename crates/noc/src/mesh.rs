@@ -1,0 +1,382 @@
+//! The mesh topology, XY routing, and link-contention timing model.
+
+use crate::stats::NocStats;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A node of the mesh, identified by its index in row-major order
+/// (`id = y * width + x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u8);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Mesh geometry and per-hop timing parameters.
+///
+/// The defaults model the paper's 4×4 mesh: a 2-cycle router traversal and a
+/// 1-cycle link traversal per hop, 16-byte flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Mesh width (columns).
+    pub width: u8,
+    /// Mesh height (rows).
+    pub height: u8,
+    /// Cycles spent in each router on the path.
+    pub router_delay: u64,
+    /// Cycles spent on each link on the path.
+    pub link_delay: u64,
+    /// Flit size; a message occupies each link for
+    /// `ceil(size_bytes / flit_bytes)` cycles.
+    pub flit_bytes: u32,
+    /// Latency of a message whose source and destination are the same node
+    /// (e.g. an SM talking to its co-located L2 bank).
+    pub local_delay: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            router_delay: 2,
+            link_delay: 1,
+            flit_bytes: 16,
+            local_delay: 2,
+        }
+    }
+}
+
+impl MeshConfig {
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// `(x, y)` coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for this mesh.
+    pub fn coords(&self, n: NodeId) -> (u8, u8) {
+        assert!((n.0 as usize) < self.nodes(), "{n} out of range for mesh");
+        (n.0 % self.width, n.0 / self.width)
+    }
+
+    /// Manhattan hop distance between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Zero-load latency between two nodes for a message of `size_bytes`:
+    /// the delivery latency when no other traffic contends for links.
+    pub fn zero_load_latency(&self, a: NodeId, b: NodeId, size_bytes: u32) -> u64 {
+        let hops = self.hops(a, b);
+        if hops == 0 {
+            return self.local_delay;
+        }
+        let ser = self.serialization_cycles(size_bytes);
+        hops * (self.router_delay + self.link_delay) + self.router_delay + ser
+    }
+
+    /// Cycles a message of `size_bytes` occupies each link.
+    pub fn serialization_cycles(&self, size_bytes: u32) -> u64 {
+        u64::from(size_bytes.div_ceil(self.flit_bytes)).max(1)
+    }
+}
+
+/// Directions of the four links leaving each node.
+const DIR_E: usize = 0;
+const DIR_W: usize = 1;
+const DIR_N: usize = 2;
+const DIR_S: usize = 3;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight<T> {
+    deliver_at: u64,
+    seq: u64,
+    dst: NodeId,
+    payload: T,
+}
+
+impl<T: Eq> Ord for InFlight<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for InFlight<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The mesh interconnect carrying payloads of type `T`.
+///
+/// `send` computes the delivery time of a message given current link
+/// occupancy and reserves the links; `deliver` returns every message whose
+/// delivery time has been reached. Delivery order is deterministic:
+/// by delivery cycle, then by send order.
+#[derive(Debug, Clone)]
+pub struct Mesh<T: Eq> {
+    cfg: MeshConfig,
+    /// `links[node * 4 + dir]` = first cycle the link is free.
+    link_free: Vec<u64>,
+    in_flight: BinaryHeap<Reverse<InFlight<T>>>,
+    seq: u64,
+    stats: NocStats,
+}
+
+impl<T: Eq> Mesh<T> {
+    /// Create a mesh with the given configuration.
+    pub fn new(cfg: MeshConfig) -> Self {
+        Mesh {
+            link_free: vec![0; cfg.nodes() * 4],
+            in_flight: BinaryHeap::new(),
+            seq: 0,
+            cfg,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn link_index(&self, node: NodeId, dir: usize) -> usize {
+        node.0 as usize * 4 + dir
+    }
+
+    /// Inject a message at cycle `now`; returns the cycle at which it will be
+    /// delivered at `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&mut self, now: u64, src: NodeId, dst: NodeId, size_bytes: u32, payload: T) -> u64 {
+        let (mut x, mut y) = self.cfg.coords(src);
+        let (dx, dy) = self.cfg.coords(dst);
+        let ser = self.cfg.serialization_cycles(size_bytes);
+
+        let mut t = now;
+        let mut hops = 0u64;
+        let mut node = src;
+        // XY routing: move along X first, then Y, reserving each link.
+        while (x, y) != (dx, dy) {
+            let dir = if x < dx {
+                x += 1;
+                DIR_E
+            } else if x > dx {
+                x -= 1;
+                DIR_W
+            } else if y < dy {
+                y += 1;
+                DIR_S
+            } else {
+                y -= 1;
+                DIR_N
+            };
+            let li = self.link_index(node, dir);
+            let depart = t.max(self.link_free[li]);
+            let queued = depart - t;
+            self.link_free[li] = depart + ser;
+            t = depart + self.cfg.router_delay + self.cfg.link_delay;
+            self.stats.link_queue_cycles += queued;
+            hops += 1;
+            node = NodeId(y * self.cfg.width + x);
+        }
+        let deliver_at = if hops == 0 {
+            t + self.cfg.local_delay
+        } else {
+            // Ejection router + serialization of the payload into the
+            // destination.
+            t + self.cfg.router_delay + ser
+        };
+
+        self.stats.messages += 1;
+        self.stats.bytes += u64::from(size_bytes);
+        self.stats.total_hops += hops;
+        let latency = deliver_at - now;
+        self.stats.total_latency += latency;
+        self.stats.max_latency = self.stats.max_latency.max(latency);
+
+        self.in_flight.push(Reverse(InFlight { deliver_at, seq: self.seq, dst, payload }));
+        self.seq += 1;
+        deliver_at
+    }
+
+    /// Remove and return every message whose delivery cycle is `<= now`,
+    /// as `(destination, payload)` pairs in deterministic order.
+    pub fn deliver(&mut self, now: u64) -> Vec<(NodeId, T)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(msg) = self.in_flight.pop().expect("peeked");
+            out.push((msg.dst, msg.payload));
+        }
+        out
+    }
+
+    /// Earliest delivery cycle among in-flight messages, if any. Useful for
+    /// event-skipping when the system is otherwise quiescent.
+    pub fn next_delivery(&self) -> Option<u64> {
+        self.in_flight.peek().map(|Reverse(m)| m.deliver_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh<u32> {
+        Mesh::new(MeshConfig::default())
+    }
+
+    #[test]
+    fn coords_and_hops() {
+        let cfg = MeshConfig::default();
+        assert_eq!(cfg.coords(NodeId(0)), (0, 0));
+        assert_eq!(cfg.coords(NodeId(5)), (1, 1));
+        assert_eq!(cfg.coords(NodeId(15)), (3, 3));
+        assert_eq!(cfg.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(cfg.hops(NodeId(5), NodeId(5)), 0);
+        assert_eq!(cfg.hops(NodeId(0), NodeId(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        MeshConfig::default().coords(NodeId(16));
+    }
+
+    #[test]
+    fn zero_load_latency_scales_with_hops() {
+        let cfg = MeshConfig::default();
+        let near = cfg.zero_load_latency(NodeId(0), NodeId(1), 8);
+        let far = cfg.zero_load_latency(NodeId(0), NodeId(15), 8);
+        assert!(far > near);
+        // 1 hop: 1*(2+1) + 2 + 1 = 6
+        assert_eq!(near, 6);
+        // 6 hops: 6*3 + 2 + 1 = 21
+        assert_eq!(far, 21);
+    }
+
+    #[test]
+    fn local_messages_use_local_delay() {
+        let mut m = mesh();
+        let eta = m.send(10, NodeId(5), NodeId(5), 64, 1);
+        assert_eq!(eta, 12);
+    }
+
+    #[test]
+    fn delivery_matches_eta() {
+        let mut m = mesh();
+        let eta = m.send(0, NodeId(0), NodeId(3), 8, 42);
+        assert!(m.deliver(eta - 1).is_empty());
+        let got = m.deliver(eta);
+        assert_eq!(got, vec![(NodeId(3), 42)]);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let mut a = mesh();
+        let mut b = mesh();
+        let small = a.send(0, NodeId(0), NodeId(15), 8, 0);
+        let big = b.send(0, NodeId(0), NodeId(15), 72, 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn contention_delays_later_messages() {
+        let mut m = mesh();
+        // Fire 20 large messages down the same path in the same cycle.
+        let mut etas = Vec::new();
+        for i in 0..20 {
+            etas.push(m.send(0, NodeId(0), NodeId(3), 64, i));
+        }
+        // ETAs must be strictly increasing: each message queues behind the
+        // previous on the first link.
+        for w in etas.windows(2) {
+            assert!(w[1] > w[0], "expected queuing: {etas:?}");
+        }
+        assert!(m.stats().link_queue_cycles > 0);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut m = mesh();
+        let a = m.send(0, NodeId(0), NodeId(1), 64, 0);
+        let b = m.send(0, NodeId(4), NodeId(5), 64, 1);
+        assert_eq!(a, b, "independent rows should not interfere");
+    }
+
+    #[test]
+    fn delivery_order_is_deterministic_fifo() {
+        let mut m = mesh();
+        // Same src/dst/size => same path; delivery must preserve send order.
+        for i in 0..5 {
+            m.send(0, NodeId(0), NodeId(2), 16, i);
+        }
+        let got = m.deliver(u64::MAX);
+        let payloads: Vec<u32> = got.into_iter().map(|(_, p)| p).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(15), 8, 0);
+        m.send(0, NodeId(0), NodeId(1), 8, 1);
+        let s = m.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 16);
+        assert_eq!(s.total_hops, 7);
+        assert!(s.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn next_delivery_tracks_head() {
+        let mut m = mesh();
+        assert_eq!(m.next_delivery(), None);
+        let eta = m.send(0, NodeId(0), NodeId(1), 8, 9);
+        assert_eq!(m.next_delivery(), Some(eta));
+    }
+
+    #[test]
+    fn xy_routing_is_minimal_in_latency() {
+        // Latency equals the zero-load formula when the network is empty.
+        let cfg = MeshConfig::default();
+        for src in 0..16u8 {
+            for dst in 0..16u8 {
+                let mut m = mesh();
+                let eta = m.send(100, NodeId(src), NodeId(dst), 8, 0);
+                assert_eq!(
+                    eta - 100,
+                    cfg.zero_load_latency(NodeId(src), NodeId(dst), 8),
+                    "src={src} dst={dst}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Traffic statistics for the mesh.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`Mesh`](crate::Mesh) over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Messages injected.
+    pub messages: u64,
+    /// Payload bytes injected.
+    pub bytes: u64,
+    /// Sum of hop counts over all messages.
+    pub total_hops: u64,
+    /// Sum of end-to-end latencies.
+    pub total_latency: u64,
+    /// Maximum end-to-end latency observed.
+    pub max_latency: u64,
+    /// Cycles messages spent queued behind busy links (congestion measure).
+    pub link_queue_cycles: u64,
+}
+
+impl NocStats {
+    /// Mean end-to-end latency, 0 if no messages were sent.
+    pub fn avg_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.messages as f64
+        }
+    }
+
+    /// Mean hop count, 0 if no messages were sent.
+    pub fn avg_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_of_empty_stats_are_zero() {
+        let s = NocStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+    }
+
+    #[test]
+    fn averages() {
+        let s = NocStats { messages: 4, total_latency: 40, total_hops: 8, ..Default::default() };
+        assert_eq!(s.avg_latency(), 10.0);
+        assert_eq!(s.avg_hops(), 2.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the mesh: no message loss, latency lower bounds, and
+//! determinism.
+
+use gsi_noc::{Mesh, MeshConfig, NodeId};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u8..16).prop_map(NodeId)
+}
+
+proptest! {
+    /// Every injected message is delivered exactly once, at its ETA, to the
+    /// right node.
+    #[test]
+    fn no_loss_no_duplication(
+        msgs in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 1..60),
+    ) {
+        let mut mesh: Mesh<usize> = Mesh::new(MeshConfig::default());
+        let mut etas = Vec::new();
+        for (i, (src, dst, size)) in msgs.iter().enumerate() {
+            etas.push((mesh.send(0, *src, *dst, *size, i), *dst));
+        }
+        let horizon = etas.iter().map(|(t, _)| *t).max().unwrap();
+        let mut delivered = vec![false; msgs.len()];
+        for now in 0..=horizon {
+            for (node, payload) in mesh.deliver(now) {
+                prop_assert!(!delivered[payload], "duplicate delivery of {}", payload);
+                delivered[payload] = true;
+                prop_assert_eq!(node, etas[payload].1);
+                prop_assert_eq!(now, etas[payload].0, "delivery at the promised cycle");
+            }
+        }
+        prop_assert!(delivered.iter().all(|&d| d), "all messages delivered");
+        prop_assert_eq!(mesh.in_flight(), 0);
+    }
+
+    /// Latency is bounded below by the zero-load latency and is exactly it
+    /// for the first message on an idle mesh.
+    #[test]
+    fn latency_lower_bound(
+        first in (arb_node(), arb_node(), 1u32..200),
+        rest in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 0..30),
+    ) {
+        let cfg = MeshConfig::default();
+        let mut mesh: Mesh<u32> = Mesh::new(cfg);
+        let eta = mesh.send(0, first.0, first.1, first.2, 0);
+        prop_assert_eq!(eta, cfg.zero_load_latency(first.0, first.1, first.2));
+        for (i, (src, dst, size)) in rest.iter().enumerate() {
+            let eta = mesh.send(0, *src, *dst, *size, i as u32 + 1);
+            prop_assert!(eta >= cfg.zero_load_latency(*src, *dst, *size));
+        }
+    }
+
+    /// The same injection sequence produces the same delivery schedule.
+    #[test]
+    fn deterministic_schedule(
+        msgs in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 1..40),
+    ) {
+        let run = |msgs: &[(NodeId, NodeId, u32)]| {
+            let mut mesh: Mesh<usize> = Mesh::new(MeshConfig::default());
+            let etas: Vec<u64> = msgs
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d, z))| mesh.send(i as u64, *s, *d, *z, i))
+                .collect();
+            etas
+        };
+        prop_assert_eq!(run(&msgs), run(&msgs));
+    }
+
+    /// Congestion monotonicity: sending the same message later never makes
+    /// it arrive earlier.
+    #[test]
+    fn send_time_monotonicity(
+        src in arb_node(),
+        dst in arb_node(),
+        t1 in 0u64..100,
+        dt in 0u64..100,
+    ) {
+        let mut a: Mesh<u32> = Mesh::new(MeshConfig::default());
+        let mut b: Mesh<u32> = Mesh::new(MeshConfig::default());
+        let e1 = a.send(t1, src, dst, 64, 0);
+        let e2 = b.send(t1 + dt, src, dst, 64, 0);
+        prop_assert!(e2 >= e1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Kernel launch specifications.
+
+use gsi_isa::Program;
+use gsi_sm::WarpInit;
+
+/// Where a block landed: the SM and the hardware block slot it occupies.
+///
+/// The slot determines the block's scratchpad/stash partition (slot `k` of
+/// an SM owns bytes `k * chunk .. (k+1) * chunk` of its local memory); the
+/// SM id plays the role of CUDA's `%smid`, which the UTSD workload uses to
+/// pick its per-SM task queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchCtx {
+    /// SM index the block was dispatched to.
+    pub sm: u8,
+    /// Hardware block slot occupied while resident.
+    pub slot: usize,
+}
+
+/// Everything needed to launch a kernel: the program, the grid shape, and a
+/// per-warp register initializer.
+///
+/// The initializer plays the role of CUDA's special registers and kernel
+/// arguments: it is called once per warp at dispatch with the block id, the
+/// warp index within the block, and a [`LaunchCtx`] naming the SM the
+/// block landed on and the hardware block slot it occupies.
+pub struct LaunchSpec {
+    /// The kernel.
+    pub program: Program,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Warps per thread block.
+    pub warps_per_block: usize,
+    init: Box<dyn Fn(&mut WarpInit, u64, usize, LaunchCtx)>,
+}
+
+impl std::fmt::Debug for LaunchSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaunchSpec")
+            .field("program", &self.program.name())
+            .field("grid_blocks", &self.grid_blocks)
+            .field("warps_per_block", &self.warps_per_block)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LaunchSpec {
+    /// A launch of `grid_blocks` blocks of `warps_per_block` warps, with
+    /// all registers zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn new(program: Program, grid_blocks: u64, warps_per_block: usize) -> Self {
+        assert!(grid_blocks > 0, "empty grid");
+        assert!(warps_per_block > 0, "empty blocks");
+        LaunchSpec { program, grid_blocks, warps_per_block, init: Box::new(|_, _, _, _| {}) }
+    }
+
+    /// Set the per-warp register initializer
+    /// `(warp, block_id, warp_in_block, ctx)`.
+    #[must_use]
+    pub fn with_init(
+        mut self,
+        f: impl Fn(&mut WarpInit, u64, usize, LaunchCtx) + 'static,
+    ) -> Self {
+        self.init = Box::new(f);
+        self
+    }
+
+    /// Build the initial register state for one warp.
+    pub fn init_warp(&self, block: u64, warp: usize, ctx: LaunchCtx) -> WarpInit {
+        let mut w = WarpInit::zeroed();
+        (self.init)(&mut w, block, warp, ctx);
+        w
+    }
+
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> u64 {
+        self.grid_blocks * self.warps_per_block as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_isa::ProgramBuilder;
+
+    fn prog() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn init_receives_coordinates() {
+        let spec = LaunchSpec::new(prog(), 3, 2).with_init(|w, block, warp, ctx| {
+            w.set_uniform(0, block * 1000 + warp as u64 * 100 + ctx.sm as u64 * 10 + ctx.slot as u64);
+        });
+        let w = spec.init_warp(2, 1, LaunchCtx { sm: 4, slot: 3 });
+        assert_eq!(w.regs[0][0], 2143);
+        assert_eq!(spec.total_warps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        LaunchSpec::new(prog(), 0, 1);
+    }
+}

@@ -1,0 +1,589 @@
+//! The wired simulator and kernel execution loop.
+
+use crate::config::SystemConfig;
+use crate::launch::{LaunchCtx, LaunchSpec};
+use gsi_core::{StallBreakdown, StallCollector};
+use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
+use gsi_noc::{Mesh, NocStats, NodeId};
+use gsi_sm::{BlockInit, SmCore, SmStats, WarpProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel did not complete within the configured cycle budget —
+    /// usually a livelocked workload (e.g. a lock never released).
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+        /// Blocks that had completed.
+        blocks_done: u64,
+        /// Blocks in the grid.
+        blocks_total: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles, blocks_done, blocks_total } => write!(
+                f,
+                "kernel timed out after {cycles} cycles ({blocks_done}/{blocks_total} blocks done)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of one kernel execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// GPU cycles from launch to full drain (including the end-of-kernel
+    /// store-buffer flush and stash writeback, which the paper's release
+    /// semantics of kernel exit require).
+    pub cycles: u64,
+    /// Aggregate stall breakdown over all SMs (the paper's figures).
+    pub breakdown: StallBreakdown,
+    /// Per-SM breakdowns.
+    pub per_sm: Vec<StallBreakdown>,
+    /// Per-SM pipeline statistics.
+    pub sm_stats: Vec<SmStats>,
+    /// Per-SM memory statistics.
+    pub mem_stats: Vec<CoreMemStats>,
+    /// Shared L2/DRAM statistics (cumulative over the simulator lifetime).
+    pub l2_stats: L2Stats,
+    /// Mesh statistics (cumulative over the simulator lifetime).
+    pub noc_stats: NocStats,
+    /// Total instructions issued across SMs during this kernel.
+    pub instructions: u64,
+    /// Per-SM epoch series (empty unless
+    /// [`Simulator::set_timeline_epoch`] enabled it): one breakdown per
+    /// epoch per SM.
+    pub timelines: Vec<Vec<StallBreakdown>>,
+    /// Per-SM, per-warp issue-stage profiles (Algorithm-1 classifications
+    /// of each warp's considered instructions).
+    pub warp_profiles: Vec<Vec<WarpProfile>>,
+}
+
+struct Core {
+    sm: SmCore,
+    mem: CoreMemUnit,
+    collector: StallCollector,
+}
+
+/// The integrated CPU-GPU system simulator.
+///
+/// Create one with a [`SystemConfig`], initialize global memory through
+/// [`gmem_mut`](Self::gmem_mut), and execute kernels with
+/// [`run_kernel`](Self::run_kernel). Global memory persists across kernels,
+/// so multi-kernel workloads compose naturally.
+pub struct Simulator {
+    cfg: SystemConfig,
+    gmem: GlobalMem,
+    mesh: Mesh<MemMsg>,
+    shared: SharedMem,
+    cores: Vec<Core>,
+    cycle: u64,
+    profiling: bool,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("gpu_cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .field("profiling", &self.profiling)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Whether a message is addressed to the L2 bank co-located at a node
+/// (requests) rather than the core there (responses and forwards).
+fn bank_bound(msg: &MemMsg) -> bool {
+    matches!(
+        msg,
+        MemMsg::GetLine { .. }
+            | MemMsg::WriteWords { .. }
+            | MemMsg::RegisterOwner { .. }
+            | MemMsg::OwnerWriteback { .. }
+            | MemMsg::AtomicOp { .. }
+    )
+}
+
+impl Simulator {
+    /// Build the system described by `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let core_nodes: Vec<NodeId> = (0..cfg.gpu_cores as u8).map(NodeId).collect();
+        let cores = (0..cfg.gpu_cores as u8)
+            .map(|i| Core {
+                sm: SmCore::new(i, cfg.sm),
+                mem: CoreMemUnit::new(i, NodeId(i), cfg.mem),
+                collector: StallCollector::new(),
+            })
+            .collect();
+        Simulator {
+            gmem: GlobalMem::new(),
+            mesh: Mesh::new(cfg.mesh),
+            shared: SharedMem::new(cfg.mem, core_nodes),
+            cores,
+            cycle: 0,
+            profiling: true,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Functional global memory (read side).
+    pub fn gmem(&self) -> &GlobalMem {
+        &self.gmem
+    }
+
+    /// Functional global memory (write side), for workload initialization.
+    pub fn gmem_mut(&mut self) -> &mut GlobalMem {
+        &mut self.gmem
+    }
+
+    /// Additionally record per-epoch stall series (an Aerialvision-style
+    /// timeline): one breakdown per `epoch_len` cycles per SM, returned in
+    /// [`KernelRun::timelines`]. Pass 0 to disable.
+    pub fn set_timeline_epoch(&mut self, epoch_len: u64) {
+        for c in &mut self.cores {
+            c.collector.set_epoch_len(epoch_len);
+        }
+    }
+
+    /// Enable or disable GSI stall profiling (for overhead measurement).
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+        for c in &mut self.cores {
+            c.collector.set_enabled(enabled);
+        }
+    }
+
+    /// Current simulated GPU cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Execute a kernel to completion (including the end-of-kernel flush).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the kernel exceeds the configured
+    /// `max_cycles`.
+    pub fn run_kernel(&mut self, spec: &LaunchSpec) -> Result<KernelRun, SimError> {
+        let start = self.cycle;
+        let sm_stats_before: Vec<SmStats> = self.cores.iter().map(|c| *c.sm.stats()).collect();
+
+        // Kernel launch is an acquire: every SM self-invalidates its L1.
+        for c in &mut self.cores {
+            c.sm.set_program(spec.program.clone());
+            c.collector.reset();
+            c.mem.self_invalidate();
+        }
+
+        let warps = spec.warps_per_block;
+        let n_cores = self.cores.len() as u64;
+        let mut next_block = 0u64;
+        let mut blocks_done = 0u64;
+        let mut end_flush = false;
+
+        loop {
+            let now = self.cycle;
+            if now - start > self.cfg.max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: now - start,
+                    blocks_done,
+                    blocks_total: spec.grid_blocks,
+                });
+            }
+
+            // 1. Mesh deliveries: requests to banks, responses to cores.
+            for (node, msg) in self.mesh.deliver(now) {
+                if bank_bound(&msg) {
+                    self.shared.deliver(now, node, msg);
+                } else {
+                    self.cores[node.0 as usize].mem.deliver(now, msg);
+                }
+            }
+
+            // 2. Shared side.
+            self.shared.tick(now, &mut self.mesh, &mut self.gmem);
+
+            // 3. Block dispatch: blocks map to SMs round-robin (block id
+            //    modulo SM count), waiting for their home SM to have room.
+            while next_block < spec.grid_blocks {
+                let sm = (next_block % n_cores) as usize;
+                if !self.cores[sm].sm.has_capacity(warps) {
+                    break;
+                }
+                let ctx = LaunchCtx { sm: sm as u8, slot: self.cores[sm].sm.peek_next_slot() };
+                let block = BlockInit {
+                    block_id: next_block,
+                    warps: (0..warps).map(|w| spec.init_warp(next_block, w, ctx)).collect(),
+                };
+                self.cores[sm].sm.add_block(block);
+                next_block += 1;
+            }
+
+            // 4. Cores: memory unit first, then the SM issue stage.
+            for c in &mut self.cores {
+                c.mem.tick(now);
+                c.sm.tick(now, &mut c.mem, &mut self.gmem, &mut c.collector);
+                blocks_done += c.sm.take_completed_blocks().len() as u64;
+            }
+
+            // 5. Outgoing traffic.
+            for (i, c) in self.cores.iter_mut().enumerate() {
+                for (dst, msg) in c.mem.take_outbox() {
+                    self.mesh.send(now, NodeId(i as u8), dst, msg.size_bytes(), msg);
+                }
+            }
+
+            // 6. Kernel end: once every block has finished, kernel exit acts
+            //    as a release — flush store buffers and write back stashes,
+            //    then wait for full quiescence.
+            if !end_flush && blocks_done == spec.grid_blocks {
+                for c in &mut self.cores {
+                    c.mem.begin_kernel_end_flush();
+                }
+                end_flush = true;
+            }
+            if end_flush
+                && self.mesh.in_flight() == 0
+                && self.shared.quiescent()
+                && self.cores.iter().all(|c| c.mem.drained())
+            {
+                self.cycle += 1;
+                break;
+            }
+            self.cycle += 1;
+        }
+
+        // Gather results.
+        let per_sm: Vec<StallBreakdown> =
+            self.cores.iter().map(|c| c.collector.clone().finish()).collect();
+        let breakdown: StallBreakdown = per_sm.iter().sum();
+        let sm_stats: Vec<SmStats> = self.cores.iter().map(|c| *c.sm.stats()).collect();
+        let instructions = sm_stats
+            .iter()
+            .zip(&sm_stats_before)
+            .map(|(a, b)| a.instructions - b.instructions)
+            .sum();
+        let run = KernelRun {
+            cycles: self.cycle - start,
+            breakdown,
+            per_sm,
+            sm_stats,
+            mem_stats: self.cores.iter().map(|c| *c.mem.stats()).collect(),
+            l2_stats: *self.shared.stats(),
+            noc_stats: *self.mesh.stats(),
+            instructions,
+            timelines: self.cores.iter_mut().map(|c| c.collector.take_epochs()).collect(),
+            warp_profiles: self
+                .cores
+                .iter()
+                .map(|c| c.sm.warp_profiles().to_vec())
+                .collect(),
+        };
+        for c in &mut self.cores {
+            c.mem.reset_for_kernel();
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::StallKind;
+    use gsi_isa::{MemSem, Operand, ProgramBuilder, Reg};
+    use gsi_mem::Protocol;
+
+    fn tiny_cfg() -> SystemConfig {
+        SystemConfig::paper().with_gpu_cores(2)
+    }
+
+    #[test]
+    fn empty_kernel_completes() {
+        let mut b = ProgramBuilder::new("empty");
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        let run = sim.run_kernel(&spec).unwrap();
+        assert!(run.cycles >= 1);
+        assert_eq!(run.instructions, 1);
+    }
+
+    #[test]
+    fn stores_become_visible_after_kernel() {
+        let mut b = ProgramBuilder::new("store");
+        b.st_global(Operand::Imm(99), Reg(1), 0);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 4, 1)
+            .with_init(|w, block, _, _| w.set_uniform(1, 0x2000 + block * 8));
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.run_kernel(&spec).unwrap();
+        for blk in 0..4 {
+            assert_eq!(sim.gmem().read_word(0x2000 + blk * 8), 99);
+        }
+    }
+
+    #[test]
+    fn loads_read_initialized_memory() {
+        let mut b = ProgramBuilder::new("load");
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(2), Reg(2), 1);
+        b.st_global(Reg(2), Reg(1), 8);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1)
+            .with_init(|w, _, _, _| w.set_uniform(1, 0x3000));
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.gmem_mut().write_word(0x3000, 41);
+        let run = sim.run_kernel(&spec).unwrap();
+        assert_eq!(sim.gmem().read_word(0x3008), 42);
+        // The load-use gap appears as memory data stalls serviced at main
+        // memory (cold caches).
+        assert!(run.breakdown.mem_data_cycles(gsi_core::MemDataCause::MainMemory) > 0);
+    }
+
+    #[test]
+    fn breakdown_partitions_total_cycles() {
+        let mut b = ProgramBuilder::new("mix");
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(3), Reg(2), 1);
+        b.st_global(Reg(3), Reg(1), 0);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 2)
+            .with_init(|w, block, warp, _| {
+                w.set_uniform(1, 0x4000 + block * 0x100 + warp as u64 * 0x40)
+            });
+        let mut sim = Simulator::new(tiny_cfg());
+        let run = sim.run_kernel(&spec).unwrap();
+        // Per-SM breakdown totals equal the kernel cycle count (every SM is
+        // classified every cycle).
+        for (i, b) in run.per_sm.iter().enumerate() {
+            assert_eq!(b.total_cycles(), run.cycles, "sm {i}");
+        }
+        assert_eq!(run.breakdown.total_cycles(), run.cycles * 2);
+    }
+
+    #[test]
+    fn atomics_serialize_across_sms() {
+        // Both SMs atomically increment the same counter many times.
+        let mut b = ProgramBuilder::new("count");
+        b.ldi(Reg(1), 0x5000);
+        b.ldi(Reg(4), 10);
+        let top = b.here();
+        b.atom_add(Reg(2), Reg(1), Operand::Imm(1), MemSem::Relaxed);
+        // Wait for the result so increments are paced (and counted).
+        b.addi(Reg(3), Reg(2), 0);
+        b.subi(Reg(4), Reg(4), 1);
+        b.bra_nz(Reg(4), top);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.run_kernel(&spec).unwrap();
+        assert_eq!(sim.gmem().read_word(0x5000), 20);
+    }
+
+    #[test]
+    fn spin_lock_mutual_exclusion_across_sms() {
+        // Classic test-and-set lock protecting a non-atomic counter.
+        let lock = 0x6000u64;
+        let counter = 0x6100u64;
+        let mut b = ProgramBuilder::new("lock");
+        b.ldi(Reg(1), lock);
+        b.ldi(Reg(2), counter);
+        b.ldi(Reg(6), 5); // iterations
+        let loop_top = b.here();
+        let acquire = b.here();
+        b.atom_cas(Reg(3), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.bra_nz(Reg(3), acquire); // spin until CAS returns 0
+        b.ld_global(Reg(4), Reg(2), 0); // critical section: counter += 1
+        b.addi(Reg(4), Reg(4), 1);
+        b.st_global(Reg(4), Reg(2), 0);
+        b.atom_store(Reg(1), Operand::Imm(0), MemSem::Release); // unlock
+        b.subi(Reg(6), Reg(6), 1);
+        b.bra_nz(Reg(6), loop_top);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        let run = sim.run_kernel(&spec).unwrap();
+        assert_eq!(sim.gmem().read_word(counter), 10, "no lost updates");
+        assert_eq!(sim.gmem().read_word(lock), 0, "lock released");
+        assert!(
+            run.breakdown.cycles(StallKind::Synchronization) > 0,
+            "lock contention shows as synchronization stalls"
+        );
+    }
+
+    #[test]
+    fn denovo_and_gpu_coherence_agree_functionally() {
+        let mut results = Vec::new();
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            let mut b = ProgramBuilder::new("func");
+            b.ld_global(Reg(2), Reg(1), 0);
+            b.alu(gsi_isa::AluOp::Mul, Reg(2), Reg(2), Operand::Imm(3));
+            b.st_global(Reg(2), Reg(1), 0);
+            b.exit();
+            let spec = LaunchSpec::new(b.build().unwrap(), 4, 2).with_init(|w, blk, wp, _| {
+                w.set_per_lane(1, move |l| {
+                    0x7000 + blk * 0x400 + wp as u64 * 0x100 + l as u64 * 8
+                });
+            });
+            let mut sim = Simulator::new(tiny_cfg().with_protocol(protocol));
+            for a in (0x7000..0x8000).step_by(8) {
+                sim.gmem_mut().write_word(a, a);
+            }
+            sim.run_kernel(&spec).unwrap();
+            let snapshot: Vec<u64> =
+                (0x7000..0x8000).step_by(8).map(|a| sim.gmem().read_word(a)).collect();
+            results.push(snapshot);
+        }
+        assert_eq!(results[0], results[1], "protocols must agree on values");
+    }
+
+    #[test]
+    fn timeout_reports_progress() {
+        // A kernel that spins forever on a lock nobody releases.
+        let mut b = ProgramBuilder::new("hang");
+        b.ldi(Reg(1), 0x8000);
+        let spin = b.here();
+        b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.jmp_to(spin);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut cfg = tiny_cfg();
+        cfg.max_cycles = 5_000;
+        let mut sim = Simulator::new(cfg);
+        sim.gmem_mut().write_word(0x8000, 1); // lock already held
+        let err = sim.run_kernel(&spec).unwrap_err();
+        match err {
+            SimError::Timeout { blocks_done, blocks_total, .. } => {
+                assert_eq!(blocks_done, 0);
+                assert_eq!(blocks_total, 1);
+            }
+        }
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn profiling_off_records_nothing() {
+        let mut b = ProgramBuilder::new("p");
+        b.ldi(Reg(1), 1);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.set_profiling(false);
+        let run = sim.run_kernel(&spec).unwrap();
+        assert_eq!(run.breakdown.total_cycles(), 0);
+        assert!(run.cycles > 0, "timing still simulated");
+    }
+
+    #[test]
+    fn blocks_dispatch_round_robin_by_id() {
+        use std::sync::{Arc, Mutex};
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        let placements: Arc<Mutex<Vec<(u64, u8)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = placements.clone();
+        let spec = LaunchSpec::new(b.build().unwrap(), 6, 1).with_init(move |_, block, _, ctx| {
+            sink.lock().unwrap().push((block, ctx.sm));
+        });
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.run_kernel(&spec).unwrap();
+        let got = placements.lock().unwrap().clone();
+        for (block, sm) in got {
+            assert_eq!(sm as u64, block % 2, "block {block} must land on its home SM");
+        }
+    }
+
+    #[test]
+    fn block_slots_are_reused_after_completion() {
+        use std::sync::{Arc, Mutex};
+        // 1 SM limited to 2 resident blocks: slots 0 and 1 must be recycled
+        // across the 6-block grid.
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 3);
+        let top = b.here();
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.exit();
+        let slots: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = slots.clone();
+        let spec = LaunchSpec::new(b.build().unwrap(), 6, 1).with_init(move |_, _, _, ctx| {
+            sink.lock().unwrap().push(ctx.slot);
+        });
+        let mut cfg = SystemConfig::paper().with_gpu_cores(1);
+        cfg.sm.max_blocks = 2;
+        let mut sim = Simulator::new(cfg);
+        sim.run_kernel(&spec).unwrap();
+        let got = slots.lock().unwrap().clone();
+        assert_eq!(got.len(), 6);
+        assert!(got.iter().all(|&s| s < 2), "only two hardware slots exist: {got:?}");
+        assert!(got.contains(&0) && got.contains(&1));
+    }
+
+    #[test]
+    fn timeline_epochs_partition_the_run() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 20);
+        let top = b.here();
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.set_timeline_epoch(16);
+        let run = sim.run_kernel(&spec).unwrap();
+        assert_eq!(run.timelines.len(), 2, "one series per SM");
+        for series in &run.timelines {
+            let total: u64 = series.iter().map(|e| e.total_cycles()).sum();
+            assert_eq!(total, run.cycles);
+        }
+    }
+
+    #[test]
+    fn warp_profiles_are_returned_per_sm() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 1);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 2);
+        let mut sim = Simulator::new(tiny_cfg());
+        let run = sim.run_kernel(&spec).unwrap();
+        assert_eq!(run.warp_profiles.len(), 2);
+        let total_instr: u64 = run
+            .warp_profiles
+            .iter()
+            .flatten()
+            .map(|p| p.instructions)
+            .sum();
+        assert_eq!(total_instr, run.instructions);
+    }
+
+    #[test]
+    fn multi_kernel_memory_persistence() {
+        let mut store = ProgramBuilder::new("w");
+        store.st_global(Operand::Imm(7), Reg(1), 0);
+        store.exit();
+        let mut load = ProgramBuilder::new("r");
+        load.ld_global(Reg(2), Reg(1), 0);
+        load.st_global(Reg(2), Reg(1), 8);
+        load.exit();
+        let mut sim = Simulator::new(tiny_cfg());
+        let s1 = LaunchSpec::new(store.build().unwrap(), 1, 1)
+            .with_init(|w, _, _, _| w.set_uniform(1, 0x9000));
+        let s2 = LaunchSpec::new(load.build().unwrap(), 1, 1)
+            .with_init(|w, _, _, _| w.set_uniform(1, 0x9000));
+        sim.run_kernel(&s1).unwrap();
+        sim.run_kernel(&s2).unwrap();
+        assert_eq!(sim.gmem().read_word(0x9008), 7);
+    }
+}

@@ -1,0 +1,46 @@
+//! Thread-block state: barrier membership and completion tracking.
+
+use crate::warp::WarpInit;
+
+/// A thread block handed to an SM for execution.
+#[derive(Debug, Clone)]
+pub struct BlockInit {
+    /// The grid-wide block id.
+    pub block_id: u64,
+    /// The block's warps, in warp-id order.
+    pub warps: Vec<WarpInit>,
+}
+
+/// Resident-block bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockState {
+    pub block_id: u64,
+    /// The hardware block slot occupied while resident; determines the
+    /// block's scratchpad/stash partition.
+    pub slot: usize,
+    /// Indices of this block's warps in the SM warp table.
+    pub warp_ids: Vec<usize>,
+    /// Warps currently waiting at the barrier.
+    pub barrier_count: usize,
+    pub done: bool,
+}
+
+impl BlockState {
+    pub fn new(block_id: u64, slot: usize, warp_ids: Vec<usize>) -> Self {
+        BlockState { block_id, slot, warp_ids, barrier_count: 0, done: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_state_tracks_membership() {
+        let b = BlockState::new(7, 0, vec![0, 1, 2]);
+        assert_eq!(b.block_id, 7);
+        assert_eq!(b.warp_ids.len(), 3);
+        assert_eq!(b.barrier_count, 0);
+        assert!(!b.done);
+    }
+}

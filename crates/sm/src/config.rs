@@ -1,0 +1,77 @@
+//! SM pipeline configuration.
+
+use gsi_core::CyclePriority;
+use serde::{Deserialize, Serialize};
+
+/// Warp scheduling policy of the issue stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Greedy-then-oldest: keep issuing from the same warp until it stalls,
+    /// then fall back to the warp that has waited longest (GPGPU-Sim's GTO).
+    Gto,
+    /// Loose round-robin: rotate the starting warp each cycle.
+    RoundRobin,
+}
+
+/// Pipeline parameters of one SM.
+///
+/// Defaults model a GTX-480-class SM as configured by the paper: dual
+/// issue, up to 48 resident warps in 8 blocks, a short ALU pipeline, a
+/// long-latency SFU, and a 2-cycle instruction-buffer refill after taken
+/// branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Instructions issued per cycle (from distinct warps).
+    pub issue_width: usize,
+    /// Maximum resident warps.
+    pub max_warps: usize,
+    /// Maximum resident thread blocks.
+    pub max_blocks: usize,
+    /// Result latency of ALU-class operations.
+    pub alu_latency: u64,
+    /// Result latency of SFU-class operations (mul/div).
+    pub sfu_latency: u64,
+    /// ALU instructions accepted per cycle.
+    pub alu_per_cycle: u32,
+    /// SFU instructions accepted per cycle.
+    pub sfu_per_cycle: u32,
+    /// Cycles the instruction buffer is empty after a taken branch.
+    pub branch_refetch: u64,
+    /// Scheduling policy.
+    pub scheduler: SchedPolicy,
+    /// The Algorithm-2 selection order used when classifying stall cycles
+    /// (the paper's memory-focused order by default; see
+    /// [`CyclePriority`]).
+    pub cycle_priority: CyclePriority,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            issue_width: 2,
+            max_warps: 48,
+            max_blocks: 8,
+            alu_latency: 4,
+            sfu_latency: 16,
+            alu_per_cycle: 2,
+            sfu_per_cycle: 1,
+            branch_refetch: 2,
+            scheduler: SchedPolicy::Gto,
+            cycle_priority: CyclePriority::memory_focused(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SmConfig::default();
+        assert_eq!(c.issue_width, 2);
+        assert_eq!(c.max_warps, 48);
+        assert!(c.sfu_latency > c.alu_latency);
+        assert_eq!(c.scheduler, SchedPolicy::Gto);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gsi-sm — the streaming multiprocessor pipeline model
+//!
+//! A cycle-level model of a GPU SM in the style the GSI paper instruments:
+//! thread blocks of lockstep warps, a scoreboarded dual-issue stage, a
+//! greedy-then-oldest (or round-robin) warp scheduler, an instruction
+//! buffer with a refetch penalty after taken branches, ALU/SFU compute
+//! pipelines, and a load/store unit fronted by [`gsi_mem::CoreMemUnit`].
+//!
+//! The issue stage is where GSI lives: every cycle, every resident warp's
+//! next instruction is classified with Algorithm 1
+//! ([`gsi_core::classify_instruction`]), the cycle verdict is produced with
+//! Algorithm 2 ([`gsi_core::judge_cycle`]), and the verdict is recorded in
+//! the SM's [`gsi_core::StallCollector`].
+//!
+//! The SM is driven by `gsi-sim`, which owns the global memory, the mesh,
+//! and the shared L2; see that crate for a wired system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod config;
+mod scheduler;
+mod sm;
+mod warp;
+
+pub use block::BlockInit;
+pub use config::{SchedPolicy, SmConfig};
+pub use sm::{SmCore, SmStats, TraceEntry, WarpProfile};
+pub use warp::WarpInit;

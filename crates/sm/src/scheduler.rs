@@ -1,0 +1,92 @@
+//! Warp scheduling order for the issue stage.
+
+use crate::config::SchedPolicy;
+
+/// Computes the order in which warps are considered each cycle.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scheduler {
+    /// Greedy warp for GTO: the warp that issued most recently.
+    greedy: Option<usize>,
+    /// Rotation offset for round-robin.
+    rr_start: usize,
+}
+
+impl Scheduler {
+    /// The order to consider warp indices `0..n` this cycle.
+    ///
+    /// `last_issue` gives, for each warp, the last cycle it issued (for the
+    /// "oldest" half of greedy-then-oldest).
+    pub fn order(&self, policy: SchedPolicy, n: usize, last_issue: &[u64]) -> Vec<usize> {
+        match policy {
+            SchedPolicy::Gto => {
+                let mut rest: Vec<usize> = (0..n).collect();
+                // Oldest first: smallest last-issue cycle, ties by index.
+                rest.sort_by_key(|&w| (last_issue[w], w));
+                if let Some(g) = self.greedy {
+                    if g < n {
+                        let pos = rest.iter().position(|&w| w == g).expect("greedy in range");
+                        rest.remove(pos);
+                        rest.insert(0, g);
+                    }
+                }
+                rest
+            }
+            SchedPolicy::RoundRobin => {
+                (0..n).map(|i| (self.rr_start + i) % n.max(1)).collect()
+            }
+        }
+    }
+
+    /// Record that `warp` issued this cycle (it becomes the greedy warp).
+    pub fn issued(&mut self, warp: usize) {
+        self.greedy = Some(warp);
+    }
+
+    /// Advance to the next cycle (rotates round-robin).
+    pub fn next_cycle(&mut self, n: usize) {
+        if n > 0 {
+            self.rr_start = (self.rr_start + 1) % n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gto_prefers_greedy_then_oldest() {
+        let mut s = Scheduler::default();
+        let last = vec![5, 1, 3];
+        assert_eq!(s.order(SchedPolicy::Gto, 3, &last), vec![1, 2, 0]);
+        s.issued(2);
+        assert_eq!(s.order(SchedPolicy::Gto, 3, &last), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = Scheduler::default();
+        let last = vec![0; 3];
+        assert_eq!(s.order(SchedPolicy::RoundRobin, 3, &last), vec![0, 1, 2]);
+        s.next_cycle(3);
+        assert_eq!(s.order(SchedPolicy::RoundRobin, 3, &last), vec![1, 2, 0]);
+        s.next_cycle(3);
+        assert_eq!(s.order(SchedPolicy::RoundRobin, 3, &last), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_warp_set() {
+        let s = Scheduler::default();
+        assert!(s.order(SchedPolicy::Gto, 0, &[]).is_empty());
+        assert!(s.order(SchedPolicy::RoundRobin, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn gto_with_stale_greedy_out_of_range() {
+        let mut s = Scheduler::default();
+        s.issued(5);
+        let last = vec![0, 0];
+        // Greedy index 5 no longer exists; order falls back to oldest.
+        assert_eq!(s.order(SchedPolicy::Gto, 2, &last), vec![0, 1]);
+    }
+}

@@ -1,0 +1,1159 @@
+//! The SM core: completions, the GSI-instrumented issue stage, and
+//! functional execution.
+
+use crate::block::{BlockInit, BlockState};
+use crate::config::SmConfig;
+use crate::scheduler::Scheduler;
+use crate::warp::Warp;
+use gsi_core::{
+    classify_instruction, judge_cycle_with, InstrHazards, MemDataCause, StallCollector, StallKind,
+};
+use gsi_isa::{eval_alu, AtomOp, BranchCond, ExecUnit, Instr, Operand, Program, Reg};
+use gsi_mem::{
+    AtomKind, Completion, CoreMemUnit, DmaDirection, DmaTransfer, GlobalMem, LsuReject,
+    StashMapping,
+};
+use serde::{Deserialize, Serialize};
+
+/// Execution statistics for one SM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Cycles ticked.
+    pub cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Cycles in which at least one instruction issued.
+    pub issued_cycles: u64,
+    /// Global/local loads issued.
+    pub loads: u64,
+    /// Global/local stores issued.
+    pub stores: u64,
+    /// Atomics issued.
+    pub atomics: u64,
+    /// Barriers executed (per warp).
+    pub barriers: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Divergent branches executed (both sides ran serially).
+    pub divergent_branches: u64,
+}
+
+/// Per-warp issue-stage profile: how often Algorithm 1 classified this
+/// warp's next instruction into each category. The paper computes these
+/// per-instruction classifications as the input to Algorithm 2; keeping
+/// them per warp answers "which warps stall, and why" — useful when a few
+/// straggler warps dominate a kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpProfile {
+    /// Instructions this warp issued.
+    pub instructions: u64,
+    /// Cycles this warp was considered, by Algorithm-1 classification
+    /// (indexed by [`StallKind::index`]).
+    pub considered: [u64; 8],
+}
+
+impl WarpProfile {
+    /// Cycles this warp's instruction was classified as `kind`.
+    pub fn classified(&self, kind: StallKind) -> u64 {
+        self.considered[kind.index()]
+    }
+
+    /// Total cycles this warp was considered by the issue stage.
+    pub fn total_considered(&self) -> u64 {
+        self.considered.iter().sum()
+    }
+}
+
+/// One entry of the SM's instruction trace ring buffer (debugging aid).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Cycle the instruction issued.
+    pub cycle: u64,
+    /// Warp that issued it.
+    pub warp: usize,
+    /// Program counter.
+    pub pc: usize,
+    /// Disassembly of the instruction.
+    pub text: String,
+}
+
+/// One streaming multiprocessor.
+///
+/// Drive it once per GPU cycle with [`tick`](Self::tick) after the memory
+/// side has been ticked; the stall verdict for the cycle is recorded into
+/// the provided [`StallCollector`].
+#[derive(Debug)]
+pub struct SmCore {
+    id: u8,
+    cfg: SmConfig,
+    program: Option<Program>,
+    warps: Vec<Warp>,
+    blocks: Vec<BlockState>,
+    scheduler: Scheduler,
+    completed_blocks: Vec<u64>,
+    stats: SmStats,
+    profiles: Vec<WarpProfile>,
+    trace_capacity: usize,
+    trace: std::collections::VecDeque<TraceEntry>,
+}
+
+impl SmCore {
+    /// Create SM number `id`.
+    pub fn new(id: u8, cfg: SmConfig) -> Self {
+        SmCore {
+            id,
+            cfg,
+            program: None,
+            warps: Vec::new(),
+            blocks: Vec::new(),
+            scheduler: Scheduler::default(),
+            completed_blocks: Vec::new(),
+            stats: SmStats::default(),
+            profiles: Vec::new(),
+            trace_capacity: 0,
+            trace: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Keep a ring buffer of the last `capacity` issued instructions (0
+    /// disables tracing, the default). Tracing is a debugging aid: when a
+    /// kernel misbehaves, the tail of the trace shows exactly what each
+    /// warp last executed.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace_capacity = capacity;
+        self.trace.clear();
+    }
+
+    /// The trace ring buffer, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.trace.iter()
+    }
+
+    /// This SM's index.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// Install the kernel and clear all resident state (new launch).
+    pub fn set_program(&mut self, program: Program) {
+        self.program = Some(program);
+        self.warps.clear();
+        self.blocks.clear();
+        self.completed_blocks.clear();
+        self.scheduler = Scheduler::default();
+        self.profiles.clear();
+    }
+
+    /// Per-warp issue-stage profiles for the current kernel, in warp-id
+    /// order.
+    pub fn warp_profiles(&self) -> &[WarpProfile] {
+        &self.profiles
+    }
+
+    /// Number of warps that have not exited.
+    pub fn active_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.active).count()
+    }
+
+    /// Number of resident, unfinished blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.done).count()
+    }
+
+    /// True when no warp can ever issue again.
+    pub fn is_idle(&self) -> bool {
+        self.active_warps() == 0
+    }
+
+    /// Whether a block of `warps` warps can be accepted right now.
+    pub fn has_capacity(&self, warps: usize) -> bool {
+        self.resident_blocks() < self.cfg.max_blocks
+            && self.active_warps() + warps <= self.cfg.max_warps
+    }
+
+    /// Accept a block for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is installed or capacity is exceeded (callers
+    /// must check [`has_capacity`](Self::has_capacity)).
+    pub fn add_block(&mut self, block: BlockInit) {
+        assert!(self.program.is_some(), "no kernel installed");
+        assert!(self.has_capacity(block.warps.len()), "SM over capacity");
+        let block_idx = self.blocks.len();
+        let slot = self.peek_next_slot();
+        let mut warp_ids = Vec::with_capacity(block.warps.len());
+        for init in block.warps {
+            warp_ids.push(self.warps.len());
+            self.warps.push(Warp::new(block_idx, init));
+            self.profiles.push(WarpProfile::default());
+        }
+        self.blocks.push(BlockState::new(block.block_id, slot, warp_ids));
+    }
+
+    /// The hardware block slot the next accepted block will occupy: the
+    /// smallest slot not used by a resident block. Determines the block's
+    /// scratchpad/stash partition.
+    pub fn peek_next_slot(&self) -> usize {
+        let used: Vec<usize> =
+            self.blocks.iter().filter(|b| !b.done).map(|b| b.slot).collect();
+        (0..).find(|s| !used.contains(s)).expect("unbounded range")
+    }
+
+    /// Pop the ids of blocks that finished since the last call.
+    pub fn take_completed_blocks(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.completed_blocks)
+    }
+
+    /// Advance one cycle: retire completions, then run the issue stage and
+    /// record the cycle's stall verdict.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mem: &mut CoreMemUnit,
+        gmem: &mut GlobalMem,
+        collector: &mut StallCollector,
+    ) {
+        self.stats.cycles += 1;
+        self.retire_completions(mem, collector);
+        self.issue_stage(now, mem, gmem, collector);
+        self.scheduler.next_cycle(self.warps.len());
+        self.reap_blocks();
+    }
+
+    fn retire_completions(&mut self, mem: &mut CoreMemUnit, collector: &mut StallCollector) {
+        for c in mem.take_completions() {
+            match c {
+                Completion::Load { req, warp, reg, provenance } => {
+                    collector.on_fill(req, provenance);
+                    self.warps[warp as usize].complete_load(reg, req);
+                }
+                Completion::Atomic { req, warp, reg, value, acquire, release, write_dst } => {
+                    // Any stalls charged against a relaxed atomic are an L2
+                    // service (atomics always execute at the L2).
+                    collector.on_fill(req, MemDataCause::L2);
+                    let w = &mut self.warps[warp as usize];
+                    if write_dst {
+                        for lane in &mut w.regs {
+                            lane[reg as usize] = value;
+                        }
+                    }
+                    if acquire || release {
+                        w.sync_pending = false;
+                    } else {
+                        w.complete_load(reg, req);
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_stage(
+        &mut self,
+        now: u64,
+        mem: &mut CoreMemUnit,
+        gmem: &mut GlobalMem,
+        collector: &mut StallCollector,
+    ) {
+        let last_issue: Vec<u64> = self.warps.iter().map(|w| w.last_issue).collect();
+        let order = self.scheduler.order(self.cfg.scheduler, self.warps.len(), &last_issue);
+
+        let mut considered: Vec<InstrHazards> = Vec::new();
+        let mut issued = 0usize;
+        let mut alu_used = 0u32;
+        let mut sfu_used = 0u32;
+
+        for wi in order {
+            if !self.warps[wi].active {
+                continue;
+            }
+            let mut hz = InstrHazards::default();
+            let w = &self.warps[wi];
+            if now < w.ibuffer_ready_at {
+                hz.control = true;
+                considered.push(hz);
+                continue;
+            }
+            if w.sync_pending || w.at_barrier {
+                hz.synchronization = true;
+                considered.push(hz);
+                continue;
+            }
+            // SIMT reconvergence: when the running side reaches the join
+            // point, switch to the deferred side (or restore the full mask).
+            {
+                let w = &mut self.warps[wi];
+                while let Some(&top) = w.simt_stack.last() {
+                    if w.pc != top.rpc {
+                        break;
+                    }
+                    w.simt_stack.pop();
+                    w.active_mask = top.mask;
+                    if w.pc != top.pc {
+                        // Redirected fetch: pay the refetch penalty, like a
+                        // taken branch.
+                        w.pc = top.pc;
+                        w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
+                    }
+                }
+                if now < w.ibuffer_ready_at {
+                    hz.control = true;
+                    considered.push(hz);
+                    continue;
+                }
+            }
+            let w = &self.warps[wi];
+            let program = self.program.as_ref().expect("program installed");
+            let instr = program.fetch(w.pc).copied().unwrap_or(Instr::Exit);
+
+            // Data hazards: outstanding loads first (stronger), then
+            // compute results in flight.
+            let mut hazard_regs: Vec<Reg> = instr.sources();
+            if let Some(d) = instr.dest() {
+                hazard_regs.push(d);
+            }
+            for r in &hazard_regs {
+                if w.load_pending(r.0) {
+                    hz.mem_data = w.blocking_req(r.0);
+                    break;
+                }
+            }
+            if hz.mem_data.is_none()
+                && hazard_regs.iter().any(|r| w.compute_pending(r.0, now))
+            {
+                hz.compute_data = true;
+            }
+
+            if hz.can_issue() && issued < self.cfg.issue_width {
+                let pc_before = self.warps[wi].pc;
+                match self.execute(wi, instr, now, mem, gmem, &mut alu_used, &mut sfu_used) {
+                    Ok(()) => {
+                        issued += 1;
+                        self.stats.instructions += 1;
+                        self.profiles[wi].instructions += 1;
+                        self.warps[wi].last_issue = now;
+                        self.scheduler.issued(wi);
+                        if self.trace_capacity > 0 {
+                            if self.trace.len() == self.trace_capacity {
+                                self.trace.pop_front();
+                            }
+                            self.trace.push_back(TraceEntry {
+                                cycle: now,
+                                warp: wi,
+                                pc: pc_before,
+                                text: instr.to_string(),
+                            });
+                        }
+                    }
+                    Err(structural) => hz = structural,
+                }
+            }
+            self.profiles[wi].considered[classify_instruction(&hz).index()] += 1;
+            considered.push(hz);
+        }
+
+        let verdict = judge_cycle_with(&self.cfg.cycle_priority, issued > 0, &considered);
+        if issued > 0 {
+            self.stats.issued_cycles += 1;
+        }
+        collector.record_cycle(&verdict);
+    }
+
+    /// Attempt to issue `instr` from warp `wi`. On a structural hazard the
+    /// instruction stays put and the hazard is returned for classification.
+    fn execute(
+        &mut self,
+        wi: usize,
+        instr: Instr,
+        now: u64,
+        mem: &mut CoreMemUnit,
+        gmem: &mut GlobalMem,
+        alu_used: &mut u32,
+        sfu_used: &mut u32,
+    ) -> Result<(), InstrHazards> {
+        let take_unit = |unit: ExecUnit, alu_used: &mut u32, sfu_used: &mut u32, cfg: &SmConfig| {
+            match unit {
+                ExecUnit::Alu => {
+                    if *alu_used >= cfg.alu_per_cycle {
+                        return Err(InstrHazards::compute_structural());
+                    }
+                    *alu_used += 1;
+                    Ok(cfg.alu_latency)
+                }
+                ExecUnit::Sfu => {
+                    if *sfu_used >= cfg.sfu_per_cycle {
+                        return Err(InstrHazards::compute_structural());
+                    }
+                    *sfu_used += 1;
+                    Ok(cfg.sfu_latency)
+                }
+            }
+        };
+        let reject_to_hazard =
+            |r: LsuReject| InstrHazards::mem_structural(r.cause());
+
+        match instr {
+            Instr::Alu { op, dst, a, b } => {
+                let lat = take_unit(op.unit(), alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                let mask = w.active_mask;
+                for lane in 0..w.regs.len() {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let av = op_val(&w.regs[lane], a);
+                    let bv = op_val(&w.regs[lane], b);
+                    w.regs[lane][dst.0 as usize] = eval_alu(op, av, bv);
+                }
+                w.ready_at[dst.0 as usize] = now + lat;
+                w.pc += 1;
+            }
+            Instr::Ldi { dst, imm } => {
+                let lat = take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                let mask = w.active_mask;
+                for (lane, regs) in w.regs.iter_mut().enumerate() {
+                    if mask & (1 << lane) != 0 {
+                        regs[dst.0 as usize] = imm;
+                    }
+                }
+                w.ready_at[dst.0 as usize] = now + lat;
+                w.pc += 1;
+            }
+            Instr::Sel { dst, cond, a, b } => {
+                let lat = take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                let mask = w.active_mask;
+                for lane in 0..w.regs.len() {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let c = w.regs[lane][cond.0 as usize];
+                    let v = if c != 0 { op_val(&w.regs[lane], a) } else { op_val(&w.regs[lane], b) };
+                    w.regs[lane][dst.0 as usize] = v;
+                }
+                w.ready_at[dst.0 as usize] = now + lat;
+                w.pc += 1;
+            }
+            Instr::LdGlobal { dst, addr, offset } => {
+                let pairs = self.lane_addrs(wi, addr, offset);
+                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                let issued = mem
+                    .try_global_load(now, wi as u16, dst.0, &addrs)
+                    .map_err(reject_to_hazard)?;
+                let w = &mut self.warps[wi];
+                for &(lane, a) in &pairs {
+                    w.regs[lane][dst.0 as usize] = gmem.read_word(a);
+                }
+                for req in issued.reqs {
+                    w.add_pending_load(dst.0, req);
+                }
+                w.pc += 1;
+                self.stats.loads += 1;
+            }
+            Instr::StGlobal { src, addr, offset } => {
+                let pairs = self.lane_addrs(wi, addr, offset);
+                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                mem.try_global_store(now, &addrs).map_err(reject_to_hazard)?;
+                let w = &mut self.warps[wi];
+                for &(lane, a) in &pairs {
+                    gmem.write_word(a, op_val(&w.regs[lane], src));
+                }
+                w.pc += 1;
+                self.stats.stores += 1;
+            }
+            Instr::LdLocal { dst, addr, offset } => {
+                let pairs = self.lane_addrs(wi, addr, offset);
+                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                let issued = mem
+                    .try_local_load(now, wi as u16, dst.0, &addrs)
+                    .map_err(reject_to_hazard)?;
+                let w = &mut self.warps[wi];
+                for &(lane, a) in &pairs {
+                    w.regs[lane][dst.0 as usize] = mem.local_read_word(a, gmem);
+                }
+                for req in issued.reqs {
+                    w.add_pending_load(dst.0, req);
+                }
+                w.pc += 1;
+                self.stats.loads += 1;
+            }
+            Instr::StLocal { src, addr, offset } => {
+                let pairs = self.lane_addrs(wi, addr, offset);
+                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                mem.try_local_store(now, &addrs).map_err(reject_to_hazard)?;
+                let w = &mut self.warps[wi];
+                for &(lane, a) in &pairs {
+                    let v = op_val(&w.regs[lane], src);
+                    mem.local_write_word(a, v, gmem);
+                }
+                w.pc += 1;
+                self.stats.stores += 1;
+            }
+            Instr::Atom { op, dst, addr, a, b, sem } => {
+                let w = &self.warps[wi];
+                // Atomics execute on the warp's leader lane (lane 0 under
+                // full convergence).
+                let leader = &w.regs[w.leader()];
+                let address = leader[addr.0 as usize];
+                let av = op_val(leader, a);
+                let bv = op_val(leader, b);
+                let kind = match op {
+                    AtomOp::Cas => AtomKind::Cas,
+                    AtomOp::Exch => AtomKind::Exch,
+                    AtomOp::Add => AtomKind::Add,
+                    AtomOp::Load => AtomKind::Load,
+                    AtomOp::Store => AtomKind::Store,
+                };
+                let req = mem
+                    .try_atomic(
+                        now,
+                        wi as u16,
+                        dst.0,
+                        address,
+                        kind,
+                        av,
+                        bv,
+                        sem.is_acquire(),
+                        sem.is_release(),
+                        gmem,
+                    )
+                    .map_err(reject_to_hazard)?;
+                let w = &mut self.warps[wi];
+                if sem.is_acquire() || sem.is_release() {
+                    w.sync_pending = true;
+                } else {
+                    w.add_pending_load(dst.0, req);
+                }
+                w.pc += 1;
+                self.stats.atomics += 1;
+            }
+            Instr::Bar => {
+                assert!(
+                    self.warps[wi].simt_stack.is_empty(),
+                    "barrier inside a divergent region is not supported"
+                );
+                let block_idx = self.warps[wi].block;
+                {
+                    let w = &mut self.warps[wi];
+                    w.at_barrier = true;
+                    w.pc += 1;
+                }
+                self.blocks[block_idx].barrier_count += 1;
+                self.stats.barriers += 1;
+                self.maybe_release_barrier(block_idx);
+            }
+            Instr::Bra { cond, target } => {
+                take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                let lane0 = &w.regs[0];
+                let taken = match cond {
+                    BranchCond::Zero(r) => lane0[r.0 as usize] == 0,
+                    BranchCond::NonZero(r) => lane0[r.0 as usize] != 0,
+                };
+                if taken {
+                    w.pc = target;
+                    w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
+                    self.stats.taken_branches += 1;
+                } else {
+                    w.pc += 1;
+                }
+            }
+            Instr::BraDiv { cond, target, join } => {
+                take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                let cur = w.active_mask;
+                let mut taken: u32 = 0;
+                for lane in 0..w.regs.len() {
+                    if cur & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let v = match cond {
+                        BranchCond::Zero(r) => w.regs[lane][r.0 as usize] == 0,
+                        BranchCond::NonZero(r) => w.regs[lane][r.0 as usize] != 0,
+                    };
+                    if v {
+                        taken |= 1 << lane;
+                    }
+                }
+                let not_taken = cur & !taken;
+                if taken == 0 {
+                    w.pc += 1;
+                } else if not_taken == 0 {
+                    w.pc = target;
+                    w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
+                    self.stats.taken_branches += 1;
+                } else {
+                    // Diverge: run the fall-through side first; the taken
+                    // side and the full-mask restore wait on the stack.
+                    w.simt_stack.push(crate::warp::SimtEntry { rpc: join, mask: cur, pc: join });
+                    w.simt_stack.push(crate::warp::SimtEntry { rpc: join, mask: taken, pc: target });
+                    w.active_mask = not_taken;
+                    w.pc += 1;
+                    self.stats.divergent_branches += 1;
+                }
+            }
+            Instr::Jmp { target } => {
+                take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
+                let w = &mut self.warps[wi];
+                w.pc = target;
+                w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
+                self.stats.taken_branches += 1;
+            }
+            Instr::DmaLoad { global, local, bytes } => {
+                let g = self.warps[wi].regs[0][global.0 as usize];
+                let l = self.warps[wi].regs[0][local.0 as usize];
+                let t = DmaTransfer::new(l, g, bytes, DmaDirection::ToScratchpad);
+                mem.start_dma(now, t, gmem).map_err(reject_to_hazard)?;
+                self.warps[wi].pc += 1;
+            }
+            Instr::DmaStore { global, local, bytes } => {
+                let g = self.warps[wi].regs[0][global.0 as usize];
+                let l = self.warps[wi].regs[0][local.0 as usize];
+                let t = DmaTransfer::new(l, g, bytes, DmaDirection::ToGlobal);
+                mem.start_dma(now, t, gmem).map_err(reject_to_hazard)?;
+                self.warps[wi].pc += 1;
+            }
+            Instr::StashMap { global, local, bytes, writeback } => {
+                let g = self.warps[wi].regs[0][global.0 as usize];
+                let l = self.warps[wi].regs[0][local.0 as usize];
+                mem.add_stash_mapping(StashMapping { local: l, global: g, bytes, writeback });
+                self.warps[wi].pc += 1;
+            }
+            Instr::Exit => {
+                assert!(
+                    self.warps[wi].simt_stack.is_empty(),
+                    "exit inside a divergent region is not supported"
+                );
+                let block_idx = self.warps[wi].block;
+                self.warps[wi].active = false;
+                // An exiting warp may be the last one a barrier was waiting
+                // for.
+                self.maybe_release_barrier(block_idx);
+            }
+            Instr::Nop => {
+                self.warps[wi].pc += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `(lane, byte address)` pairs of the *active* lanes.
+    fn lane_addrs(&self, wi: usize, addr: Reg, offset: i64) -> Vec<(usize, u64)> {
+        let w = &self.warps[wi];
+        w.regs
+            .iter()
+            .enumerate()
+            .filter(|(lane, _)| w.lane_active(*lane))
+            .map(|(lane, regs)| (lane, regs[addr.0 as usize].wrapping_add(offset as u64)))
+            .collect()
+    }
+
+    fn maybe_release_barrier(&mut self, block_idx: usize) {
+        let block = &self.blocks[block_idx];
+        let active: Vec<usize> =
+            block.warp_ids.iter().copied().filter(|&w| self.warps[w].active).collect();
+        if active.is_empty() {
+            return;
+        }
+        let all_waiting = active.iter().all(|&w| self.warps[w].at_barrier);
+        if all_waiting {
+            for &w in &active {
+                self.warps[w].at_barrier = false;
+            }
+            self.blocks[block_idx].barrier_count = 0;
+        }
+    }
+
+    fn reap_blocks(&mut self) {
+        for b in &mut self.blocks {
+            if !b.done && b.warp_ids.iter().all(|&w| !self.warps[w].active) {
+                b.done = true;
+                self.completed_blocks.push(b.block_id);
+            }
+        }
+    }
+}
+
+fn op_val(lane: &[u64; gsi_isa::NUM_REGS], op: Operand) -> u64 {
+    match op {
+        Operand::Reg(r) => lane[r.0 as usize],
+        Operand::Imm(v) => v as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::WarpInit;
+    use gsi_core::{StallBreakdown, StallKind};
+    use gsi_isa::{MemSem, ProgramBuilder};
+    use gsi_mem::MemConfig;
+    use gsi_noc::NodeId;
+
+    struct Rig {
+        sm: SmCore,
+        mem: CoreMemUnit,
+        gmem: GlobalMem,
+        collector: StallCollector,
+        now: u64,
+    }
+
+    impl Rig {
+        fn new(program: Program) -> Self {
+            Self::with_mem(program, MemConfig::default())
+        }
+
+        fn with_mem(program: Program, mem_cfg: MemConfig) -> Self {
+            let mut sm = SmCore::new(0, SmConfig::default());
+            sm.set_program(program);
+            Rig {
+                sm,
+                mem: CoreMemUnit::new(0, NodeId(0), mem_cfg),
+                gmem: GlobalMem::new(),
+                collector: StallCollector::new(),
+                now: 0,
+            }
+        }
+
+        fn add_warp(&mut self, init: WarpInit) {
+            self.sm.add_block(BlockInit { block_id: 0, warps: vec![init] });
+        }
+
+        /// Tick until idle or the cycle limit, answering every memory
+        /// request locally with an immediate L2 fill after `mem_lat` cycles.
+        fn run(&mut self, limit: u64) {
+            let mut fills: Vec<(u64, gsi_mem::MemMsg)> = Vec::new();
+            while self.now < limit {
+                // Deliver due fills.
+                let mut rest = Vec::new();
+                for (t, m) in fills.drain(..) {
+                    if t <= self.now {
+                        self.mem.deliver(self.now, m);
+                    } else {
+                        rest.push((t, m));
+                    }
+                }
+                fills = rest;
+                self.mem.tick(self.now);
+                self.sm.tick(self.now, &mut self.mem, &mut self.gmem, &mut self.collector);
+                // Fake the L2: answer requests after 30 cycles.
+                for (_, msg) in self.mem.take_outbox() {
+                    match msg {
+                        gsi_mem::MemMsg::GetLine { line, .. } => {
+                            let fill = gsi_mem::MemMsg::Fill {
+                                line,
+                                provenance: gsi_mem::Provenance::L2,
+                            };
+                            fills.push((self.now + 30, fill));
+                        }
+                        gsi_mem::MemMsg::AtomicOp { addr, kind, a, b, req, .. } => {
+                            let old = self.gmem.read_word(addr);
+                            let (new, ret) = kind.apply(old, a, b);
+                            self.gmem.write_word(addr, new);
+                            fills.push((
+                                self.now + 30,
+                                gsi_mem::MemMsg::AtomicResp { req, value: ret },
+                            ));
+                        }
+                        gsi_mem::MemMsg::WriteWords { line, .. } => {
+                            fills.push((self.now + 20, gsi_mem::MemMsg::WriteAck { line }));
+                        }
+                        gsi_mem::MemMsg::RegisterOwner { line, .. } => {
+                            fills.push((self.now + 20, gsi_mem::MemMsg::RegisterAck { line }));
+                        }
+                        _ => {}
+                    }
+                }
+                self.now += 1;
+                if self.sm.is_idle() && fills.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        fn breakdown(self) -> StallBreakdown {
+            self.collector.finish()
+        }
+    }
+
+    #[test]
+    fn straight_line_alu_program_runs_to_exit() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 5);
+        b.addi(Reg(2), Reg(1), 3);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(100);
+        assert!(rig.sm.is_idle());
+        assert_eq!(rig.sm.stats().instructions, 3);
+        assert_eq!(rig.sm.warps[0].regs[0][2], 8);
+        assert_eq!(rig.sm.take_completed_blocks(), vec![0]);
+    }
+
+    #[test]
+    fn dependent_alu_ops_cause_compute_data_stalls() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 5);
+        b.addi(Reg(2), Reg(1), 1); // depends on r1 (4-cycle ALU)
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(100);
+        let bd = rig.breakdown();
+        assert!(bd.cycles(StallKind::ComputeData) > 0, "{bd:?}");
+    }
+
+    #[test]
+    fn load_use_causes_memory_data_stall_attributed_to_l2() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x1000);
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(3), Reg(2), 1); // use immediately
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.gmem.write_word(0x1000, 77);
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(200);
+        assert_eq!(rig.sm.warps[0].regs[0][3], 78, "functional value flows");
+        let bd = rig.breakdown();
+        assert!(bd.cycles(StallKind::MemoryData) > 0);
+        assert!(bd.mem_data_cycles(MemDataCause::L2) > 0, "{bd:?}");
+        assert_eq!(
+            bd.cycles(StallKind::MemoryData),
+            bd.mem_data_total(),
+            "every memory-data cycle is sub-classified"
+        );
+    }
+
+    #[test]
+    fn taken_branches_cause_control_stalls() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 3);
+        let top = b.here();
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(200);
+        let stats = *rig.sm.stats();
+        assert_eq!(stats.taken_branches, 2);
+        let bd = rig.breakdown();
+        assert!(bd.cycles(StallKind::Control) > 0, "{bd:?}");
+    }
+
+    #[test]
+    fn barrier_synchronizes_two_warps() {
+        // Warp 0 burns cycles before the barrier; warp 1 reaches it first
+        // and stalls on synchronization.
+        let mut b = ProgramBuilder::new("t");
+        // r1 = per-warp loop count (r1 preset), spin:
+        let top = b.here();
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.bar();
+        b.st_global(Operand::Imm(1), Reg(2), 0); // r2 = flag addr
+        b.exit();
+        let p = b.build().unwrap();
+        let mut rig = Rig::new(p);
+        let mut w0 = WarpInit::zeroed();
+        w0.set_uniform(1, 40);
+        w0.set_uniform(2, 0x100);
+        let mut w1 = WarpInit::zeroed();
+        w1.set_uniform(1, 1);
+        w1.set_uniform(2, 0x108);
+        rig.sm.add_block(BlockInit { block_id: 9, warps: vec![w0, w1] });
+        rig.run(500);
+        assert!(rig.sm.is_idle());
+        assert_eq!(rig.gmem.read_word(0x100), 1);
+        assert_eq!(rig.gmem.read_word(0x108), 1);
+        assert_eq!(rig.sm.take_completed_blocks(), vec![9]);
+        let bd = rig.breakdown();
+        assert!(bd.cycles(StallKind::Synchronization) > 0, "{bd:?}");
+    }
+
+    #[test]
+    fn acquire_atomic_blocks_warp_as_synchronization() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x200);
+        b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.addi(Reg(3), Reg(2), 0); // dependent on CAS result
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(300);
+        assert!(rig.sm.is_idle());
+        assert_eq!(rig.gmem.read_word(0x200), 1, "CAS succeeded");
+        assert_eq!(rig.sm.warps[0].regs[0][3], 0, "old value returned");
+        let bd = rig.breakdown();
+        assert!(bd.cycles(StallKind::Synchronization) > 0, "{bd:?}");
+    }
+
+    #[test]
+    fn idle_sm_records_idle_cycles() {
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        // Run 10 cycles beyond exit.
+        for now in 0..10 {
+            rig.mem.tick(now);
+            rig.sm.tick(now, &mut rig.mem, &mut rig.gmem, &mut rig.collector);
+        }
+        let bd = rig.collector.finish();
+        assert!(bd.cycles(StallKind::Idle) >= 8, "{bd:?}");
+    }
+
+    #[test]
+    fn per_lane_addresses_coalesce_to_lines() {
+        let mut b = ProgramBuilder::new("t");
+        // r1 = 0x1000 + lane*8 (preset per lane): one warp load = 4 lines.
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        let mut w = WarpInit::zeroed();
+        w.set_per_lane(1, |l| 0x1000 + l as u64 * 8);
+        rig.add_warp(w);
+        rig.run(200);
+        // 32 lanes x 8B = 256B = 4 lines.
+        assert_eq!(rig.mem.stats().l1_misses, 4);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        let p = b.build().unwrap();
+        let mut sm = SmCore::new(0, SmConfig { max_warps: 2, max_blocks: 1, ..Default::default() });
+        sm.set_program(p);
+        assert!(sm.has_capacity(2));
+        assert!(!sm.has_capacity(3));
+        sm.add_block(BlockInit { block_id: 0, warps: vec![WarpInit::zeroed()] });
+        assert!(!sm.has_capacity(1), "block slots exhausted");
+    }
+
+    #[test]
+    fn divergent_branch_runs_both_sides_and_reconverges() {
+        // Odd lanes: r2 = r1 * 2; even lanes: r2 = r1 + 100. Then all
+        // lanes: r3 = r2 + 1.
+        let mut b = ProgramBuilder::new("div");
+        let then_l = b.label();
+        let join_l = b.label();
+        b.and(Reg(4), Reg(1), Operand::Imm(1)); // odd?
+        b.bra_div_nz(Reg(4), then_l, join_l);
+        // else: even lanes
+        b.addi(Reg(2), Reg(1), 100);
+        b.jmp_to(join_l);
+        b.bind(then_l);
+        b.shl(Reg(2), Reg(1), Operand::Imm(1));
+        b.bind(join_l);
+        b.addi(Reg(3), Reg(2), 1);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        let mut w = WarpInit::zeroed();
+        w.set_per_lane(1, |l| l as u64);
+        rig.add_warp(w);
+        rig.run(300);
+        assert!(rig.sm.is_idle());
+        for lane in 0..32u64 {
+            let want = if lane % 2 == 1 { lane * 2 + 1 } else { lane + 100 + 1 };
+            assert_eq!(rig.sm.warps[0].regs[lane as usize][3], want, "lane {lane}");
+        }
+        assert_eq!(rig.sm.stats().divergent_branches, 1);
+        assert!(rig.sm.warps[0].simt_stack.is_empty());
+        assert_eq!(rig.sm.warps[0].active_mask, u32::MAX);
+    }
+
+    #[test]
+    fn nested_divergence_reconverges_in_order() {
+        // Outer: odd vs even; inner (odd side): multiples of 4 plus 1 vs rest.
+        let mut b = ProgramBuilder::new("nested");
+        let outer_then = b.label();
+        let outer_join = b.label();
+        let inner_then = b.label();
+        let inner_join = b.label();
+        b.and(Reg(4), Reg(1), Operand::Imm(1));
+        b.bra_div_nz(Reg(4), outer_then, outer_join);
+        b.addi(Reg(2), Reg(1), 1000); // even lanes
+        b.jmp_to(outer_join);
+        b.bind(outer_then);
+        b.and(Reg(5), Reg(1), Operand::Imm(2));
+        b.bra_div_nz(Reg(5), inner_then, inner_join);
+        b.addi(Reg(2), Reg(1), 10); // lanes % 4 == 1
+        b.jmp_to(inner_join);
+        b.bind(inner_then);
+        b.addi(Reg(2), Reg(1), 20); // lanes % 4 == 3
+        b.bind(inner_join);
+        b.bind(outer_join);
+        b.addi(Reg(3), Reg(2), 1);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        let mut w = WarpInit::zeroed();
+        w.set_per_lane(1, |l| l as u64);
+        rig.add_warp(w);
+        rig.run(500);
+        assert!(rig.sm.is_idle());
+        for lane in 0..32u64 {
+            let want = match lane % 4 {
+                0 | 2 => lane + 1000 + 1,
+                1 => lane + 10 + 1,
+                _ => lane + 20 + 1,
+            };
+            assert_eq!(rig.sm.warps[0].regs[lane as usize][3], want, "lane {lane}");
+        }
+        assert_eq!(rig.sm.stats().divergent_branches, 2);
+    }
+
+    #[test]
+    fn uniform_divergent_branch_does_not_split() {
+        let mut b = ProgramBuilder::new("uni");
+        let then_l = b.label();
+        let join_l = b.label();
+        b.ldi(Reg(4), 1); // all lanes nonzero: uniform taken
+        b.bra_div_nz(Reg(4), then_l, join_l);
+        b.ldi(Reg(2), 7); // skipped entirely
+        b.jmp_to(join_l);
+        b.bind(then_l);
+        b.ldi(Reg(2), 9);
+        b.bind(join_l);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(200);
+        assert_eq!(rig.sm.warps[0].regs[0][2], 9);
+        assert_eq!(rig.sm.stats().divergent_branches, 0);
+    }
+
+    #[test]
+    fn divergence_costs_control_stalls() {
+        // The same per-lane computation via Sel (predication) vs BraDiv.
+        let build = |divergent: bool| {
+            let mut b = ProgramBuilder::new("cmp");
+            b.and(Reg(4), Reg(1), Operand::Imm(1));
+            if divergent {
+                let then_l = b.label();
+                let join_l = b.label();
+                b.bra_div_nz(Reg(4), then_l, join_l);
+                b.addi(Reg(2), Reg(1), 100);
+                b.jmp_to(join_l);
+                b.bind(then_l);
+                b.shl(Reg(2), Reg(1), Operand::Imm(1));
+                b.bind(join_l);
+            } else {
+                b.addi(Reg(5), Reg(1), 100);
+                b.shl(Reg(6), Reg(1), Operand::Imm(1));
+                b.sel(Reg(2), Reg(4), Reg(6), Reg(5));
+            }
+            b.exit();
+            b.build().unwrap()
+        };
+        let mut runs = Vec::new();
+        for divergent in [false, true] {
+            let mut rig = Rig::new(build(divergent));
+            let mut w = WarpInit::zeroed();
+            w.set_per_lane(1, |l| l as u64);
+            rig.add_warp(w);
+            rig.run(300);
+            assert_eq!(rig.sm.warps[0].regs[5 % 32][2], if divergent { 10 } else { 10 });
+            runs.push(rig.breakdown());
+        }
+        assert!(
+            runs[1].cycles(StallKind::Control) > runs[0].cycles(StallKind::Control),
+            "divergence must show up as control stalls: {:?} vs {:?}",
+            runs[1].cycles(StallKind::Control),
+            runs[0].cycles(StallKind::Control),
+        );
+    }
+
+    #[test]
+    fn trace_records_the_last_issued_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 1);
+        b.addi(Reg(1), Reg(1), 1);
+        b.addi(Reg(1), Reg(1), 2);
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.sm.set_trace_capacity(2);
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(100);
+        let trace: Vec<_> = rig.sm.trace().collect();
+        assert_eq!(trace.len(), 2, "ring buffer keeps only the tail");
+        assert_eq!(trace[0].pc, 2);
+        assert!(trace[0].text.contains("add"));
+        assert_eq!(trace[1].pc, 3);
+        assert!(trace[1].text.contains("exit"));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let mut b = ProgramBuilder::new("t");
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(50);
+        assert_eq!(rig.sm.trace().count(), 0);
+    }
+
+    #[test]
+    fn warp_profiles_tally_per_warp_classifications() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x1000);
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(3), Reg(2), 1); // stalls on the load
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(200);
+        let p = rig.sm.warp_profiles()[0];
+        assert_eq!(p.instructions, 4);
+        assert!(p.classified(StallKind::MemoryData) > 0);
+        assert!(p.total_considered() >= p.instructions);
+    }
+
+    #[test]
+    fn straggler_warps_are_identifiable() {
+        // Warp 1 loops 30x; warp 0 exits immediately. Warp 1's profile must
+        // show far more activity.
+        let mut b = ProgramBuilder::new("t");
+        let skip = b.label();
+        b.bra_z(Reg(1), skip);
+        let top = b.here();
+        b.subi(Reg(1), Reg(1), 1);
+        b.bra_nz(Reg(1), top);
+        b.bind(skip);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut rig = Rig::new(p);
+        let w0 = WarpInit::zeroed();
+        let mut w1 = WarpInit::zeroed();
+        w1.set_uniform(1, 30);
+        rig.sm.add_block(BlockInit { block_id: 0, warps: vec![w0, w1] });
+        rig.run(500);
+        let profiles = rig.sm.warp_profiles();
+        assert!(profiles[1].instructions > profiles[0].instructions * 5);
+    }
+
+    #[test]
+    fn relaxed_atomic_does_not_sync_block() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), 0x300);
+        b.atom_add(Reg(2), Reg(1), Operand::Imm(5), MemSem::Relaxed);
+        b.ldi(Reg(4), 7); // independent work can issue while atomic in flight
+        b.addi(Reg(3), Reg(2), 0); // dependent -> memory data stall
+        b.exit();
+        let mut rig = Rig::new(b.build().unwrap());
+        rig.add_warp(WarpInit::zeroed());
+        rig.run(300);
+        assert_eq!(rig.gmem.read_word(0x300), 5);
+        let bd = rig.breakdown();
+        assert_eq!(bd.cycles(StallKind::Synchronization), 0, "{bd:?}");
+        assert!(bd.cycles(StallKind::MemoryData) > 0);
+    }
+}

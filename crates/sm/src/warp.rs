@@ -1,0 +1,205 @@
+//! Warp state: lockstep lanes, per-lane registers, and the scoreboard.
+
+use gsi_core::RequestId;
+use gsi_isa::{NUM_REGS, WARP_LANES};
+
+/// Initial state of one warp at block launch.
+#[derive(Debug, Clone)]
+pub struct WarpInit {
+    /// Per-lane initial register files (`[lane][reg]`).
+    pub regs: Vec<[u64; NUM_REGS]>,
+}
+
+impl WarpInit {
+    /// A warp whose lanes all start with zeroed registers.
+    pub fn zeroed() -> Self {
+        WarpInit { regs: vec![[0; NUM_REGS]; WARP_LANES] }
+    }
+
+    /// Set register `reg` of every lane to `value`.
+    pub fn set_uniform(&mut self, reg: u8, value: u64) {
+        for lane in &mut self.regs {
+            lane[reg as usize] = value;
+        }
+    }
+
+    /// Set register `reg` of each lane from a function of the lane index.
+    pub fn set_per_lane(&mut self, reg: u8, f: impl Fn(usize) -> u64) {
+        for (i, lane) in self.regs.iter_mut().enumerate() {
+            lane[reg as usize] = f(i);
+        }
+    }
+}
+
+/// One SIMT reconvergence-stack entry: when the running side's pc reaches
+/// `rpc`, execution switches to (`mask`, `pc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SimtEntry {
+    pub rpc: usize,
+    pub mask: u32,
+    pub pc: usize,
+}
+
+/// One resident warp.
+#[derive(Debug, Clone)]
+pub(crate) struct Warp {
+    /// Index of the owning block in the SM's block table.
+    pub block: usize,
+    pub pc: usize,
+    /// True until the warp executes `exit`.
+    pub active: bool,
+    /// Per-lane register files.
+    pub regs: Vec<[u64; NUM_REGS]>,
+    /// Outstanding load-line count per destination register.
+    pub pending_loads: [u8; NUM_REGS],
+    /// Outstanding request tokens per destination register, for stall
+    /// attribution.
+    pub pending_reqs: Vec<Vec<RequestId>>,
+    /// Cycle at which each register's pending compute result is ready.
+    pub ready_at: [u64; NUM_REGS],
+    /// An acquire/release atomic is in flight: the warp is blocked for
+    /// synchronization.
+    pub sync_pending: bool,
+    /// The warp is waiting at a thread-block barrier.
+    pub at_barrier: bool,
+    /// The instruction buffer refills until this cycle after a taken branch.
+    pub ibuffer_ready_at: u64,
+    /// Last cycle this warp issued (for greedy-then-oldest scheduling).
+    pub last_issue: u64,
+    /// Lanes currently executing (bit per lane).
+    pub active_mask: u32,
+    /// SIMT reconvergence stack for divergent branches.
+    pub simt_stack: Vec<SimtEntry>,
+}
+
+impl Warp {
+    pub fn new(block: usize, init: WarpInit) -> Self {
+        assert_eq!(init.regs.len(), WARP_LANES, "a warp has exactly {WARP_LANES} lanes");
+        Warp {
+            block,
+            pc: 0,
+            active: true,
+            regs: init.regs,
+            pending_loads: [0; NUM_REGS],
+            pending_reqs: vec![Vec::new(); NUM_REGS],
+            ready_at: [0; NUM_REGS],
+            sync_pending: false,
+            at_barrier: false,
+            ibuffer_ready_at: 0,
+            last_issue: 0,
+            active_mask: u32::MAX,
+            simt_stack: Vec::new(),
+        }
+    }
+
+    /// First active lane (the leader for scalar operations like atomics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no lane is active (an SM logic error).
+    pub fn leader(&self) -> usize {
+        assert!(self.active_mask != 0, "warp with no active lanes");
+        self.active_mask.trailing_zeros() as usize
+    }
+
+    /// Whether `lane` is currently active.
+    pub fn lane_active(&self, lane: usize) -> bool {
+        self.active_mask & (1 << lane) != 0
+    }
+
+    /// The first outstanding request blocking register `reg`, if any.
+    pub fn blocking_req(&self, reg: u8) -> Option<RequestId> {
+        self.pending_reqs[reg as usize].first().copied()
+    }
+
+    /// Record an outstanding load line for `reg`.
+    pub fn add_pending_load(&mut self, reg: u8, req: RequestId) {
+        self.pending_loads[reg as usize] += 1;
+        self.pending_reqs[reg as usize].push(req);
+    }
+
+    /// A load line completed for `reg`.
+    pub fn complete_load(&mut self, reg: u8, req: RequestId) {
+        let r = reg as usize;
+        if let Some(pos) = self.pending_reqs[r].iter().position(|&x| x == req) {
+            self.pending_reqs[r].remove(pos);
+            self.pending_loads[r] -= 1;
+        }
+    }
+
+    /// True when `reg` has a data hazard from an outstanding load.
+    pub fn load_pending(&self, reg: u8) -> bool {
+        self.pending_loads[reg as usize] > 0
+    }
+
+    /// True when `reg`'s compute result is not ready at `now`.
+    pub fn compute_pending(&self, reg: u8, now: u64) -> bool {
+        self.ready_at[reg as usize] > now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_helpers() {
+        let mut w = WarpInit::zeroed();
+        w.set_uniform(3, 42);
+        w.set_per_lane(4, |l| l as u64 * 2);
+        assert_eq!(w.regs[0][3], 42);
+        assert_eq!(w.regs[31][3], 42);
+        assert_eq!(w.regs[5][4], 10);
+    }
+
+    #[test]
+    fn scoreboard_load_tracking() {
+        let mut w = Warp::new(0, WarpInit::zeroed());
+        assert!(!w.load_pending(2));
+        w.add_pending_load(2, RequestId(10));
+        w.add_pending_load(2, RequestId(11));
+        assert!(w.load_pending(2));
+        assert_eq!(w.blocking_req(2), Some(RequestId(10)));
+        w.complete_load(2, RequestId(10));
+        assert!(w.load_pending(2));
+        assert_eq!(w.blocking_req(2), Some(RequestId(11)));
+        w.complete_load(2, RequestId(11));
+        assert!(!w.load_pending(2));
+        // Unknown completions are ignored.
+        w.complete_load(2, RequestId(99));
+        assert!(!w.load_pending(2));
+    }
+
+    #[test]
+    fn compute_pending_window() {
+        let mut w = Warp::new(0, WarpInit::zeroed());
+        w.ready_at[5] = 10;
+        assert!(w.compute_pending(5, 9));
+        assert!(!w.compute_pending(5, 10));
+    }
+
+    #[test]
+    fn leader_follows_the_mask() {
+        let mut w = Warp::new(0, WarpInit::zeroed());
+        assert_eq!(w.leader(), 0);
+        w.active_mask = 0b1100;
+        assert_eq!(w.leader(), 2);
+        assert!(w.lane_active(3));
+        assert!(!w.lane_active(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no active lanes")]
+    fn empty_mask_panics() {
+        let mut w = Warp::new(0, WarpInit::zeroed());
+        w.active_mask = 0;
+        w.leader();
+    }
+
+    #[test]
+    #[should_panic(expected = "32 lanes")]
+    fn wrong_lane_count_panics() {
+        let init = WarpInit { regs: vec![[0; NUM_REGS]; 3] };
+        Warp::new(0, init);
+    }
+}

@@ -1,0 +1,407 @@
+//! The *implicit* microbenchmark — case study 2 of the GSI paper
+//! (from the stash paper of Komuravelli et al.).
+//!
+//! An array is partitioned into per-thread-block chunks; every thread loads
+//! its element into the block's local memory, transforms it, and writes it
+//! back. Three local-memory organizations are compared:
+//!
+//! * [`LocalMemStyle::Scratchpad`] — explicit copy-in/copy-out through the
+//!   core pipeline (pollutes registers and the L1; the extra address
+//!   arithmetic throttles the memory request rate).
+//! * [`LocalMemStyle::ScratchpadDma`] — a D2MA-style engine bulk-loads the
+//!   chunk (and stores it back), bypassing the pipeline; accesses to a
+//!   pending transfer stall the core (pending-DMA structural stalls).
+//! * [`LocalMemStyle::Stash`] — the chunk is *mapped*; data loads on
+//!   demand at first touch and dirty data writes back lazily.
+//!
+//! The transform applied `compute_iters` times per element is
+//! `v ← (v ^ (v >> 7)) + 0x9E37`, mirrored exactly by the host reference
+//! in [`expected_value`].
+
+use gsi_mem::LocalMemKind;
+use gsi_isa::{Operand, Program, ProgramBuilder, Reg, WARP_LANES};
+use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Which local-memory organization the kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalMemStyle {
+    /// Baseline software-managed scratchpad.
+    Scratchpad,
+    /// Scratchpad with a DMA engine (D2MA-style).
+    ScratchpadDma,
+    /// The stash.
+    Stash,
+}
+
+impl LocalMemStyle {
+    /// The memory-system configuration this style requires.
+    pub fn mem_kind(self) -> LocalMemKind {
+        match self {
+            LocalMemStyle::Scratchpad => LocalMemKind::Scratchpad,
+            LocalMemStyle::ScratchpadDma => LocalMemKind::ScratchpadDma,
+            LocalMemStyle::Stash => LocalMemKind::Stash,
+        }
+    }
+
+    /// All three styles, in the paper's presentation order.
+    pub const ALL: [LocalMemStyle; 3] =
+        [LocalMemStyle::Scratchpad, LocalMemStyle::ScratchpadDma, LocalMemStyle::Stash];
+}
+
+impl std::fmt::Display for LocalMemStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LocalMemStyle::Scratchpad => "scratchpad",
+            LocalMemStyle::ScratchpadDma => "scratchpad+DMA",
+            LocalMemStyle::Stash => "stash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImplicitConfig {
+    /// Total array elements (one 64-bit word each).
+    pub elems: u64,
+    /// Warps per thread block; the chunk is `warps * 32` elements.
+    pub warps_per_block: usize,
+    /// Transform applications per element.
+    pub compute_iters: u64,
+    /// Local-memory organization.
+    pub style: LocalMemStyle,
+}
+
+impl ImplicitConfig {
+    /// The paper-scale run: 16 K elements in 128-element chunks on one SM.
+    pub fn paper(style: LocalMemStyle) -> Self {
+        ImplicitConfig { elems: 16 * 1024, warps_per_block: 4, compute_iters: 4, style }
+    }
+
+    /// A small run for tests.
+    pub fn small(style: LocalMemStyle) -> Self {
+        ImplicitConfig { elems: 1024, warps_per_block: 2, compute_iters: 2, style }
+    }
+
+    /// Elements per thread block.
+    pub fn chunk_elems(&self) -> u64 {
+        (self.warps_per_block * WARP_LANES) as u64
+    }
+
+    /// Bytes per thread-block chunk.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_elems() * 8
+    }
+
+    /// Thread blocks in the grid.
+    pub fn grid_blocks(&self) -> u64 {
+        self.elems.div_ceil(self.chunk_elems())
+    }
+
+    fn validate(&self) {
+        assert!(self.elems > 0, "empty array");
+        assert_eq!(
+            self.elems % self.chunk_elems(),
+            0,
+            "array must be a whole number of chunks"
+        );
+        assert!(self.compute_iters >= 1, "at least one transform");
+    }
+}
+
+/// Base address of the array in global memory.
+pub const ARRAY_BASE: u64 = 0x40_0000;
+
+/// Initial value of element `i`.
+pub fn initial_value(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9) ^ 0x5555_5555
+}
+
+/// One application of the kernel's transform.
+fn transform(v: u64) -> u64 {
+    (v ^ (v >> 7)).wrapping_add(0x9E37)
+}
+
+/// The value element `i` must hold after the kernel.
+pub fn expected_value(i: u64, compute_iters: u64) -> u64 {
+    let mut v = initial_value(i);
+    for _ in 0..compute_iters {
+        v = transform(v);
+    }
+    v
+}
+
+// Register conventions. Only the raw CUDA-equivalent inputs are
+// preloaded (thread id, array base, block id, slot base, warp id); all
+// addressing arithmetic happens in the kernel, because the *instruction
+// overhead* of software scratchpad management is one of the effects the
+// paper measures.
+const R_TID: Reg = Reg(0); // flat thread id within the block (per lane)
+const R_ABASE: Reg = Reg(1); // array base address (uniform)
+const R_LBASE: Reg = Reg(2); // local base of this block's slot (uniform)
+const R_WARP: Reg = Reg(3); // warp index within the block (uniform)
+const R_BID: Reg = Reg(4); // block id (uniform)
+const R_GADDR: Reg = Reg(5);
+const R_LADDR: Reg = Reg(6);
+const R_V: Reg = Reg(7);
+const R_T: Reg = Reg(8);
+const R_CNT: Reg = Reg(9);
+const R_GBASE: Reg = Reg(10); // computed chunk base
+
+/// Emit the per-element transform on `R_V` (3 ALU instructions).
+fn emit_transform(b: &mut ProgramBuilder) {
+    b.shr(R_T, R_V, Operand::Imm(7));
+    b.xor(R_V, R_V, R_T);
+    b.addi(R_V, R_V, 0x9E37);
+}
+
+/// Emit `R_GBASE = R_ABASE + R_BID * chunk_bytes` (the chunk base every
+/// variant needs).
+fn emit_chunk_base(b: &mut ProgramBuilder, chunk: u64) {
+    b.mul(R_T, R_BID, Operand::Imm(chunk as i64));
+    b.add(R_GBASE, R_ABASE, R_T);
+}
+
+/// Emit `R_GADDR = R_GBASE + R_TID * 8`.
+fn emit_global_addr(b: &mut ProgramBuilder) {
+    b.shl(R_T, R_TID, Operand::Imm(3));
+    b.add(R_GADDR, R_GBASE, R_T);
+}
+
+/// Emit `R_LADDR = R_LBASE + R_TID * 8`.
+fn emit_local_addr(b: &mut ProgramBuilder) {
+    b.shl(R_T, R_TID, Operand::Imm(3));
+    b.add(R_LADDR, R_LBASE, R_T);
+}
+
+/// Emit the compute loop over the local copy at `R_LADDR`.
+fn emit_compute_loop(b: &mut ProgramBuilder, iters: u64) {
+    b.ldi(R_CNT, iters);
+    let top = b.here();
+    b.ld_local(R_V, R_LADDR, 0);
+    emit_transform(b);
+    b.st_local(R_V, R_LADDR, 0);
+    b.subi(R_CNT, R_CNT, 1);
+    b.bra_nz(R_CNT, top);
+}
+
+/// Build the kernel for `cfg.style`.
+pub fn build_program(cfg: &ImplicitConfig) -> Program {
+    cfg.validate();
+    let chunk = cfg.chunk_bytes();
+    match cfg.style {
+        LocalMemStyle::Scratchpad => {
+            let mut b = ProgramBuilder::new("implicit-scratchpad");
+            // Explicit copy-in: full address arithmetic plus a load/store
+            // pair per element. The interleaved address calculations are
+            // what limits the rate at which the baseline issues global
+            // loads (Section 6.2.3 of the paper), and the copies pollute
+            // registers and the L1.
+            emit_chunk_base(&mut b, chunk);
+            emit_global_addr(&mut b);
+            emit_local_addr(&mut b);
+            b.ld_global(R_V, R_GADDR, 0);
+            b.st_local(R_V, R_LADDR, 0);
+            b.bar();
+            // Compute phase recomputes its local address, as register-
+            // starved real kernels do.
+            emit_local_addr(&mut b);
+            emit_compute_loop(&mut b, cfg.compute_iters);
+            b.bar();
+            // Explicit copy-out, with the address arithmetic again.
+            emit_global_addr(&mut b);
+            emit_local_addr(&mut b);
+            b.ld_local(R_V, R_LADDR, 0);
+            b.st_global(R_V, R_GADDR, 0);
+            b.exit();
+            b.build().expect("scratchpad kernel assembles")
+        }
+        LocalMemStyle::ScratchpadDma => {
+            let mut b = ProgramBuilder::new("implicit-dma");
+            let after_ld = b.label();
+            let after_st = b.label();
+            emit_chunk_base(&mut b, chunk);
+            emit_local_addr(&mut b);
+            // Warp 0 starts the bulk load; everyone else just blocks on the
+            // pending transfer at first use.
+            b.bra_nz(R_WARP, after_ld);
+            b.dma_load(R_GBASE, R_LBASE, chunk);
+            b.bind(after_ld);
+            b.bar();
+            emit_compute_loop(&mut b, cfg.compute_iters);
+            b.bar();
+            b.bra_nz(R_WARP, after_st);
+            b.dma_store(R_GBASE, R_LBASE, chunk);
+            b.bind(after_st);
+            b.exit();
+            b.build().expect("dma kernel assembles")
+        }
+        LocalMemStyle::Stash => {
+            let mut b = ProgramBuilder::new("implicit-stash");
+            let after_map = b.label();
+            emit_chunk_base(&mut b, chunk);
+            // The stash is directly addressed: one local address, no
+            // per-element global addressing at all.
+            emit_local_addr(&mut b);
+            b.bra_nz(R_WARP, after_map);
+            b.stash_map(R_GBASE, R_LBASE, chunk, true);
+            b.bind(after_map);
+            b.bar();
+            emit_compute_loop(&mut b, cfg.compute_iters);
+            // Dirty stash data writes back lazily (on remap or kernel end).
+            b.exit();
+            b.build().expect("stash kernel assembles")
+        }
+    }
+}
+
+/// Initialize the array.
+pub fn init_memory(sim: &mut Simulator, cfg: &ImplicitConfig) {
+    let g = sim.gmem_mut();
+    for i in 0..cfg.elems {
+        g.write_word(ARRAY_BASE + i * 8, initial_value(i));
+    }
+}
+
+/// Build the launch for `cfg`.
+pub fn launch_spec(cfg: &ImplicitConfig) -> LaunchSpec {
+    let program = build_program(cfg);
+    let chunk = cfg.chunk_bytes();
+    let _ = chunk;
+    LaunchSpec::new(program, cfg.grid_blocks(), cfg.warps_per_block).with_init(
+        move |w, block, warp, ctx| {
+            w.set_per_lane(R_TID.0, move |lane| (warp * WARP_LANES + lane) as u64);
+            w.set_uniform(R_ABASE.0, ARRAY_BASE);
+            w.set_uniform(R_LBASE.0, ctx.slot as u64 * chunk);
+            w.set_uniform(R_WARP.0, warp as u64);
+            w.set_uniform(R_BID.0, block);
+        },
+    )
+}
+
+/// The outcome of a verified implicit run.
+#[derive(Debug, Clone)]
+pub struct ImplicitRun {
+    /// The kernel execution record.
+    pub run: KernelRun,
+    /// Elements verified against the host reference.
+    pub verified_elems: u64,
+}
+
+/// Run the microbenchmark on `sim` (whose memory configuration must match
+/// `cfg.style`) and verify every element of the result.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if the simulator's memory configuration does not match
+/// `cfg.style`, or if any element verifies incorrectly.
+pub fn run(sim: &mut Simulator, cfg: &ImplicitConfig) -> Result<ImplicitRun, SimError> {
+    assert_eq!(
+        sim.config().mem.local_kind,
+        cfg.style.mem_kind(),
+        "simulator local-memory configuration must match the workload style"
+    );
+    assert!(
+        cfg.chunk_bytes() * sim.config().sm.max_blocks as u64
+            <= sim.config().mem.scratch_bytes,
+        "resident blocks must fit in the scratchpad/stash"
+    );
+    init_memory(sim, cfg);
+    let spec = launch_spec(cfg);
+    let run = sim.run_kernel(&spec)?;
+    for i in 0..cfg.elems {
+        let got = sim.gmem().read_word(ARRAY_BASE + i * 8);
+        let want = expected_value(i, cfg.compute_iters);
+        assert_eq!(got, want, "element {i} wrong under {}", cfg.style);
+    }
+    Ok(ImplicitRun { run, verified_elems: cfg.elems })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::{MemStructCause, StallKind};
+    use gsi_sim::SystemConfig;
+
+    fn sim_for(style: LocalMemStyle) -> Simulator {
+        Simulator::new(
+            SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind()),
+        )
+    }
+
+    #[test]
+    fn host_reference_transform() {
+        assert_ne!(expected_value(0, 1), initial_value(0));
+        assert_eq!(expected_value(5, 0), initial_value(5));
+        // transform is deterministic and iteration-sensitive
+        assert_ne!(expected_value(7, 1), expected_value(7, 2));
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = ImplicitConfig::small(LocalMemStyle::Scratchpad);
+        assert_eq!(c.chunk_elems(), 64);
+        assert_eq!(c.chunk_bytes(), 512);
+        assert_eq!(c.grid_blocks(), 16);
+    }
+
+    #[test]
+    fn all_three_styles_run_and_verify() {
+        for style in LocalMemStyle::ALL {
+            let cfg = ImplicitConfig::small(style);
+            let mut sim = sim_for(style);
+            let out = run(&mut sim, &cfg).unwrap();
+            assert_eq!(out.verified_elems, cfg.elems, "{style}");
+            assert!(out.run.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn dma_and_stash_issue_fewer_instructions_than_scratchpad() {
+        let mut counts = Vec::new();
+        for style in LocalMemStyle::ALL {
+            let cfg = ImplicitConfig::small(style);
+            let mut sim = sim_for(style);
+            let out = run(&mut sim, &cfg).unwrap();
+            counts.push((style, out.run.instructions));
+        }
+        let scratch = counts[0].1;
+        let dma = counts[1].1;
+        let stash = counts[2].1;
+        assert!(dma < scratch, "DMA offloads the copies: {counts:?}");
+        assert!(stash < scratch, "stash loads implicitly: {counts:?}");
+    }
+
+    #[test]
+    fn dma_run_shows_pending_dma_stalls() {
+        let cfg = ImplicitConfig::small(LocalMemStyle::ScratchpadDma);
+        let mut sim = sim_for(LocalMemStyle::ScratchpadDma);
+        let out = run(&mut sim, &cfg).unwrap();
+        assert!(
+            out.run.breakdown.mem_struct_cycles(MemStructCause::PendingDma) > 0,
+            "{:?}",
+            out.run.breakdown
+        );
+    }
+
+    #[test]
+    fn scratchpad_run_has_memory_data_stalls() {
+        let cfg = ImplicitConfig::small(LocalMemStyle::Scratchpad);
+        let mut sim = sim_for(LocalMemStyle::Scratchpad);
+        let out = run(&mut sim, &cfg).unwrap();
+        assert!(out.run.breakdown.cycles(StallKind::MemoryData) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_simulator_config_panics() {
+        let cfg = ImplicitConfig::small(LocalMemStyle::Stash);
+        let mut sim = sim_for(LocalMemStyle::Scratchpad);
+        let _ = run(&mut sim, &cfg);
+    }
+}

@@ -1,0 +1,52 @@
+//! # gsi-workloads — the paper's case-study workloads
+//!
+//! The GSI paper demonstrates its stall-attribution methodology on three
+//! workloads, all re-implemented here against the `gsi-isa` virtual ISA:
+//!
+//! * [`uts`] — **Unbalanced Tree Search**: a task-queue algorithm
+//!   processing a tree of unknown shape. A single global queue protected by
+//!   one lock makes it synchronization-dominated (case study 1, Figure 6.1).
+//! * UTSD (via [`uts::Variant::Decentralized`]) — UTS
+//!   with per-SM local task queues that overflow into the global queue,
+//!   drastically reducing lock contention and exposing the memory-system
+//!   differences between GPU coherence and DeNovo (Figure 6.2).
+//! * [`implicit`] — the **implicit microbenchmark** of the stash paper:
+//!   a streaming array transform run on three local-memory organizations —
+//!   baseline scratchpad, scratchpad+DMA, and stash (Figures 6.3 and 6.4).
+//!
+//! Beyond the paper's two case studies, four more kernels exercise the
+//! stall classes from different angles (the "broader class of parallel
+//! applications" the paper's introduction motivates):
+//!
+//! * [`spmv`] — ELLPACK sparse matrix-vector multiply: irregular gathers,
+//!   memory-data-stall bound.
+//! * [`histogram`] — atomic bin updates: L2 atomics contention (and
+//!   ownership migration under owned atomics).
+//! * [`stencil`] — a tiled 3-point stencil: the workload scratchpads are
+//!   genuinely good at, in tiled and global variants.
+//! * [`reduction`] — block tree reduction: barriers, predicated lockstep
+//!   execution, and a final atomics hot spot.
+//! * [`bfs`] — level-synchronous breadth-first search: the irregular graph
+//!   traversal family the paper's introduction motivates, with one kernel
+//!   launch per level (multi-kernel coherence) and CAS-claimed vertices.
+//! * [`gemm`] — tiled dense matrix multiply: the canonical scratchpad
+//!   showcase (tile reuse, per-step barriers), with an untiled comparison
+//!   variant.
+//!
+//! Every workload initializes global memory, builds its kernel, runs it on
+//! a [`gsi_sim::Simulator`], and *verifies the functional result* against a
+//! host-side reference, so the timing experiments can never silently
+//! compute the wrong answer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod gemm;
+pub mod hash;
+pub mod histogram;
+pub mod implicit;
+pub mod reduction;
+pub mod spmv;
+pub mod stencil;
+pub mod uts;

@@ -1,0 +1,240 @@
+//! Parallel sum reduction: block-level tree reduction in the scratchpad
+//! (barrier per level), then one atomic add of each block's partial sum
+//! into the global total. Exercises barriers, predicated lockstep execution
+//! (no divergence), scratchpad reuse, and a final atomics hot spot.
+
+use crate::hash::splitmix64;
+use gsi_isa::{MemSem, Operand, Program, ProgramBuilder, Reg, WARP_LANES};
+use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// Input elements (one per thread).
+    pub elems: u64,
+    /// Warps per block; the block reduces `warps * 32` elements.
+    pub warps_per_block: usize,
+    /// Seed fixing the input.
+    pub seed: u64,
+}
+
+impl ReductionConfig {
+    /// A medium instance.
+    pub fn medium() -> Self {
+        ReductionConfig { elems: 16 * 1024, warps_per_block: 4, seed: 0xADD }
+    }
+
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        ReductionConfig { elems: 2048, warps_per_block: 2, seed: 0xADD }
+    }
+
+    /// Threads per block.
+    pub fn block_threads(&self) -> u64 {
+        (self.warps_per_block * WARP_LANES) as u64
+    }
+
+    /// Blocks in the grid.
+    pub fn grid_blocks(&self) -> u64 {
+        self.elems.div_ceil(self.block_threads())
+    }
+
+    fn validate(&self) {
+        assert!(self.elems > 0, "empty reduction");
+        assert_eq!(self.elems % self.block_threads(), 0, "whole blocks only");
+        assert!(self.block_threads().is_power_of_two(), "tree reduction needs a power of two");
+    }
+}
+
+/// Memory layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionLayout {
+    /// Input array base.
+    pub input: u64,
+    /// The global total (one word).
+    pub total: u64,
+}
+
+impl ReductionLayout {
+    /// Lay out the arrays for `cfg`.
+    pub fn new(cfg: &ReductionConfig) -> Self {
+        let base = 0xE0_0000u64;
+        ReductionLayout { input: base, total: base + cfg.elems * 8 }
+    }
+}
+
+/// Input element `i`.
+pub fn input_of(cfg: &ReductionConfig, i: u64) -> u64 {
+    splitmix64(cfg.seed ^ i) & 0xFFFF_FFFF // keep sums comfortably in range
+}
+
+/// Host reference: the wrapping sum of all inputs.
+pub fn expected_total(cfg: &ReductionConfig) -> u64 {
+    (0..cfg.elems).fold(0u64, |acc, i| acc.wrapping_add(input_of(cfg, i)))
+}
+
+// Registers: r0 = tid (per lane), r1 = block input base, r2 = total addr,
+// r3 = slot scratch base, r4 = warp id (uniform).
+const R_TID: Reg = Reg(0);
+const R_IN: Reg = Reg(1);
+const R_TOTAL: Reg = Reg(2);
+const R_LBASE: Reg = Reg(3);
+const R_WARP: Reg = Reg(4);
+const R_GA: Reg = Reg(5);
+const R_LA: Reg = Reg(6);
+const R_V: Reg = Reg(7);
+const R_P: Reg = Reg(8); // participation predicate
+const R_PART: Reg = Reg(9); // partner value
+const R_T: Reg = Reg(10);
+const R_OLD: Reg = Reg(11);
+
+/// Build the reduction kernel.
+pub fn build_program(cfg: &ReductionConfig) -> Program {
+    cfg.validate();
+    let threads = cfg.block_threads();
+    let mut b = ProgramBuilder::new("reduction");
+    // Load my element into the tile.
+    b.shl(R_GA, R_TID, Operand::Imm(3));
+    b.add(R_GA, R_GA, R_IN);
+    b.shl(R_LA, R_TID, Operand::Imm(3));
+    b.add(R_LA, R_LA, R_LBASE);
+    b.ld_global(R_V, R_GA, 0);
+    b.st_local(R_V, R_LA, 0);
+    b.bar();
+    // Tree: for stride s = threads/2 .. 1: tile[tid] += tile[tid + s]
+    // for tid < s. Lanes outside the active half execute the same
+    // instructions but write their own value back unchanged (Sel keeps the
+    // warp in lockstep: no divergent branches).
+    let mut s = threads / 2;
+    while s >= 1 {
+        // partner = tile[tid + s] if tid < s else tile[tid] (safe address)
+        b.sltu(R_P, R_TID, Operand::Imm(s as i64));
+        b.sel(R_T, R_P, Operand::Imm((s * 8) as i64), Operand::Imm(0));
+        b.add(R_T, R_T, R_LA);
+        b.ld_local(R_PART, R_T, 0);
+        b.ld_local(R_V, R_LA, 0);
+        // new = tid < s ? v + partner : v   (lanes >= s add 0)
+        b.sel(R_PART, R_P, R_PART, Operand::Imm(0));
+        b.add(R_V, R_V, R_PART);
+        b.st_local(R_V, R_LA, 0);
+        b.bar();
+        s /= 2;
+    }
+    // Warp 0 publishes the block sum: one atomic add per block.
+    let skip = b.label();
+    b.bra_nz(R_WARP, skip);
+    b.ld_local(R_V, R_LBASE, 0);
+    b.atom_add(R_OLD, R_TOTAL, R_V, MemSem::Relaxed);
+    b.bind(skip);
+    b.exit();
+    b.build().expect("reduction assembles")
+}
+
+/// Initialize the input and zero the total.
+pub fn init_memory(sim: &mut Simulator, cfg: &ReductionConfig, lay: &ReductionLayout) {
+    let g = sim.gmem_mut();
+    for i in 0..cfg.elems {
+        g.write_word(lay.input + i * 8, input_of(cfg, i));
+    }
+    g.write_word(lay.total, 0);
+}
+
+/// Build the launch.
+pub fn launch_spec(cfg: &ReductionConfig, lay: ReductionLayout) -> LaunchSpec {
+    let program = build_program(cfg);
+    let threads = cfg.block_threads();
+    let slot_bytes = (threads * 8).next_multiple_of(64);
+    LaunchSpec::new(program, cfg.grid_blocks(), cfg.warps_per_block).with_init(
+        move |w, block, warp, ctx| {
+            w.set_per_lane(R_TID.0, move |lane| (warp * WARP_LANES + lane) as u64);
+            w.set_uniform(R_IN.0, lay.input + block * threads * 8);
+            w.set_uniform(R_TOTAL.0, lay.total);
+            w.set_uniform(R_LBASE.0, ctx.slot as u64 * slot_bytes);
+            w.set_uniform(R_WARP.0, warp as u64);
+        },
+    )
+}
+
+/// The outcome of a verified reduction run.
+#[derive(Debug, Clone)]
+pub struct ReductionRun {
+    /// The kernel execution record.
+    pub run: KernelRun,
+    /// The reduced total.
+    pub total: u64,
+}
+
+/// Run the reduction on `sim` and verify the total.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if the total disagrees with the host reference, or if the tiles
+/// of resident blocks would overflow the scratchpad.
+pub fn run(sim: &mut Simulator, cfg: &ReductionConfig) -> Result<ReductionRun, SimError> {
+    let slot_bytes = (cfg.block_threads() * 8).next_multiple_of(64);
+    assert!(
+        slot_bytes * sim.config().sm.max_blocks as u64 <= sim.config().mem.scratch_bytes,
+        "tiles of resident blocks must fit in the scratchpad"
+    );
+    let lay = ReductionLayout::new(cfg);
+    init_memory(sim, cfg, &lay);
+    let spec = launch_spec(cfg, lay);
+    let run = sim.run_kernel(&spec)?;
+    let total = sim.gmem().read_word(lay.total);
+    assert_eq!(total, expected_total(cfg), "reduction total wrong");
+    Ok(ReductionRun { run, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::StallKind;
+    use gsi_sim::SystemConfig;
+
+    #[test]
+    fn runs_and_verifies() {
+        let cfg = ReductionConfig::small();
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = run(&mut sim, &cfg).unwrap();
+        assert_eq!(out.total, expected_total(&cfg));
+    }
+
+    #[test]
+    fn barriers_show_up_as_synchronization_stalls() {
+        let cfg = ReductionConfig::small();
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = run(&mut sim, &cfg).unwrap();
+        assert!(
+            out.run.breakdown.cycles(StallKind::Synchronization) > 0,
+            "{:?}",
+            out.run.breakdown
+        );
+        let barriers: u64 = out.run.sm_stats.iter().map(|s| s.barriers).sum();
+        // One barrier after the tile load plus one per tree level, per warp.
+        let levels = cfg.block_threads().trailing_zeros() as u64;
+        let warps = cfg.grid_blocks() * cfg.warps_per_block as u64;
+        assert_eq!(barriers, warps * (levels + 1));
+    }
+
+    #[test]
+    fn single_warp_blocks_also_reduce() {
+        let cfg = ReductionConfig { elems: 256, warps_per_block: 1, seed: 3 };
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+        let out = run(&mut sim, &cfg).unwrap();
+        assert_eq!(out.total, expected_total(&cfg));
+    }
+
+    #[test]
+    fn verifies_on_one_sm_and_many() {
+        for cores in [1usize, 8] {
+            let cfg = ReductionConfig::small();
+            let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(cores));
+            run(&mut sim, &cfg).unwrap();
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! Unbalanced Tree Search (UTS) and its decentralized variant (UTSD) —
+//! case study 1 of the GSI paper.
+//!
+//! A deterministic unbalanced tree is processed through task queues. Each
+//! queue element is a packed node descriptor `(depth << 56) | seed`; a
+//! node's child count and child seeds derive from a splitmix64 hash of its
+//! seed, so the tree's shape is fixed by the root seed and both the
+//! simulated kernel and a host-side reference ([`expected_nodes`]) can walk
+//! the exact same tree.
+//!
+//! * [`Variant::Centralized`] (UTS): one global queue under one global
+//!   lock. All workers serialize through it — the paper's
+//!   synchronization-stall-dominated baseline (Figure 6.1).
+//! * [`Variant::Decentralized`] (UTSD): each SM additionally has a local
+//!   queue under a local lock. Workers pop local-first and push local
+//!   unless the batch would overflow, in which case the whole batch spills
+//!   to the global queue (which is also how the root's children get
+//!   distributed across SMs). This mirrors the paper's UTSD (Figure 6.2).
+//!
+//! Termination uses the standard UTS trick: a global `remaining` counter
+//! (queued + in-flight nodes) updated with a fetch-and-add of
+//! `children - 1` per processed node; the worker that drives it to zero
+//! sets the `done` flag every worker polls.
+
+use crate::hash::{emit_splitmix, splitmix64};
+use gsi_isa::{MemSem, Operand, Program, ProgramBuilder, Reg};
+use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Mask selecting the 56-bit seed field of a node descriptor.
+pub const SEED_MASK: u64 = (1 << 56) - 1;
+
+/// Which task-queue organization to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// UTS: a single global task queue.
+    Centralized,
+    /// UTSD: per-SM local queues with global overflow.
+    Decentralized,
+}
+
+/// Tree shape and launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtsConfig {
+    /// Children of the root node (the UTS `b0` parameter).
+    pub root_children: u64,
+    /// Children of a non-leaf interior node (the UTS `m` parameter).
+    pub branch: u64,
+    /// Probability (out of 1000) that an interior node has children (the
+    /// UTS `q` parameter). `branch * q_per_mille < 1000` keeps the tree
+    /// finite in expectation.
+    pub q_per_mille: u64,
+    /// Hard depth cap guaranteeing termination.
+    pub max_depth: u64,
+    /// Root seed fixing the tree shape.
+    pub root_seed: u64,
+    /// Thread blocks in the grid (one worker per warp).
+    pub grid_blocks: u64,
+    /// Warps per block.
+    pub warps_per_block: usize,
+    /// UTSD local queue capacity (entries; must be a power of two).
+    pub local_cap: u64,
+}
+
+impl UtsConfig {
+    /// The scale used for the paper-style figures: 15 blocks of 4 warps
+    /// (60 workers, one block per SM) over a tree of a few thousand nodes.
+    pub fn paper() -> Self {
+        UtsConfig {
+            root_children: 96,
+            branch: 2,
+            q_per_mille: 460,
+            max_depth: 12,
+            root_seed: 0x1234_5678,
+            grid_blocks: 15,
+            warps_per_block: 4,
+            local_cap: 32,
+        }
+    }
+
+    /// A small tree for tests.
+    pub fn small() -> Self {
+        UtsConfig {
+            root_children: 12,
+            branch: 2,
+            q_per_mille: 350,
+            max_depth: 8,
+            root_seed: 0xBEEF,
+            grid_blocks: 4,
+            warps_per_block: 2,
+            local_cap: 8,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.root_children > 0, "root must have children");
+        assert!(self.branch > 0, "branch factor must be nonzero");
+        assert!(
+            self.branch * self.q_per_mille < 1000,
+            "supercritical tree (m*q >= 1): expected size is unbounded"
+        );
+        assert!(self.local_cap.is_power_of_two(), "local queue capacity must be a power of two");
+        assert!(self.max_depth >= 1 && self.max_depth < 200, "depth cap out of range");
+    }
+}
+
+/// Child count of a node at `depth` whose seed hashes to `h`.
+fn child_count(cfg: &UtsConfig, depth: u64, h: u64) -> u64 {
+    if depth == 0 {
+        cfg.root_children
+    } else if depth >= cfg.max_depth {
+        0
+    } else if h % 1000 < cfg.q_per_mille {
+        cfg.branch
+    } else {
+        0
+    }
+}
+
+/// Host-side reference walk of the tree: the exact number of nodes the
+/// kernel must process.
+///
+/// ```
+/// use gsi_workloads::uts::{expected_nodes, UtsConfig};
+/// let n = expected_nodes(&UtsConfig::small());
+/// assert!(n > UtsConfig::small().root_children);
+/// assert_eq!(n, expected_nodes(&UtsConfig::small()), "deterministic");
+/// ```
+pub fn expected_nodes(cfg: &UtsConfig) -> u64 {
+    let mut stack = vec![(0u64, cfg.root_seed & SEED_MASK)];
+    let mut count = 0u64;
+    while let Some((depth, seed)) = stack.pop() {
+        count += 1;
+        let h = splitmix64(seed);
+        let c = child_count(cfg, depth, h);
+        for i in 0..c {
+            let cs = splitmix64(h ^ (i + 1)) & SEED_MASK;
+            stack.push((depth + 1, cs));
+        }
+    }
+    count
+}
+
+/// Global-memory layout of the queues and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtsLayout {
+    /// Base byte address.
+    pub base: u64,
+    /// Global queue capacity in entries (sized to the exact tree).
+    pub global_cap: u64,
+    /// Local queue capacity in entries.
+    pub local_cap: u64,
+}
+
+impl UtsLayout {
+    /// Lay out the structures for `cfg` (global queue sized to the tree).
+    pub fn new(cfg: &UtsConfig) -> Self {
+        let nodes = expected_nodes(cfg);
+        UtsLayout {
+            base: 0x10_0000,
+            global_cap: (nodes + cfg.root_children + 64).next_power_of_two(),
+            local_cap: cfg.local_cap,
+        }
+    }
+
+    /// Global queue lock.
+    pub fn lock(&self) -> u64 {
+        self.base
+    }
+    /// Global queue head index.
+    pub fn head(&self) -> u64 {
+        self.base + 64
+    }
+    /// Global queue tail index.
+    pub fn tail(&self) -> u64 {
+        self.base + 128
+    }
+    /// Active-node counter.
+    pub fn remaining(&self) -> u64 {
+        self.base + 192
+    }
+    /// Completion flag.
+    pub fn done(&self) -> u64 {
+        self.base + 256
+    }
+    /// Processed-node counter (verification).
+    pub fn processed(&self) -> u64 {
+        self.base + 320
+    }
+    /// Global queue array base.
+    pub fn queue(&self) -> u64 {
+        self.base + 1024
+    }
+    fn local_base(&self, sm: u8) -> u64 {
+        let after_queue = self.queue() + self.global_cap * 8;
+        let stride = 256 + self.local_cap * 8;
+        after_queue + u64::from(sm) * stride.next_multiple_of(64)
+    }
+    /// SM `sm`'s local queue lock.
+    pub fn local_lock(&self, sm: u8) -> u64 {
+        self.local_base(sm)
+    }
+    /// SM `sm`'s local queue head index.
+    pub fn local_head(&self, sm: u8) -> u64 {
+        self.local_base(sm) + 64
+    }
+    /// SM `sm`'s local queue tail index.
+    pub fn local_tail(&self, sm: u8) -> u64 {
+        self.local_base(sm) + 128
+    }
+    /// SM `sm`'s local queue array base.
+    pub fn local_queue(&self, sm: u8) -> u64 {
+        self.local_base(sm) + 256
+    }
+}
+
+// Register conventions shared by both kernels.
+const R_LOCK: Reg = Reg(1);
+const R_HEAD: Reg = Reg(2);
+const R_TAIL: Reg = Reg(3);
+const R_REMAIN: Reg = Reg(4);
+const R_DONE: Reg = Reg(5);
+const R_QBASE: Reg = Reg(6);
+const R_PROC: Reg = Reg(7);
+const R_NODE: Reg = Reg(8);
+const R_DEPTH: Reg = Reg(9);
+const R_SEED: Reg = Reg(10);
+const R_H: Reg = Reg(11);
+const R_C: Reg = Reg(12);
+const R_I: Reg = Reg(13);
+const T0: Reg = Reg(14);
+const T1: Reg = Reg(15);
+const T2: Reg = Reg(16);
+const T3: Reg = Reg(17);
+const T4: Reg = Reg(18);
+const T5: Reg = Reg(19);
+const R_MASK: Reg = Reg(20);
+const R_ADDR: Reg = Reg(21);
+const R_LLOCK: Reg = Reg(22);
+const R_LHEAD: Reg = Reg(23);
+const R_LTAIL: Reg = Reg(24);
+const R_LQBASE: Reg = Reg(25);
+const R_LMASK: Reg = Reg(26);
+const R_LCAP: Reg = Reg(27);
+
+/// Emit decode + hash + child-count selection. Enters with the node in
+/// `R_NODE`; exits by jumping to `push` with `R_C > 0`, or to `counters`
+/// with `R_C == 0`.
+fn emit_decode_and_count(
+    b: &mut ProgramBuilder,
+    cfg: &UtsConfig,
+    push: gsi_isa::Label,
+    counters: gsi_isa::Label,
+) {
+    let no_children = b.label();
+    let is_root = b.label();
+    let m_children = b.label();
+    b.shr(R_DEPTH, R_NODE, Operand::Imm(56));
+    b.and(R_SEED, R_NODE, R_MASK);
+    emit_splitmix(b, R_H, R_SEED, T0);
+    b.seq(T0, R_DEPTH, Operand::Imm(0));
+    b.bra_nz(T0, is_root);
+    b.sltu(T0, R_DEPTH, Operand::Imm(cfg.max_depth as i64));
+    b.bra_z(T0, no_children);
+    b.remu(T0, R_H, Operand::Imm(1000));
+    b.sltu(T0, T0, Operand::Imm(cfg.q_per_mille as i64));
+    b.bra_nz(T0, m_children);
+    b.bind(no_children);
+    b.ldi(R_C, 0);
+    b.jmp_to(counters);
+    b.bind(is_root);
+    b.ldi(R_C, cfg.root_children);
+    b.jmp_to(push);
+    b.bind(m_children);
+    b.ldi(R_C, cfg.branch);
+    b.jmp_to(push);
+}
+
+/// Emit the child-descriptor computation for child index `R_I` (0-based)
+/// into `T4`, clobbering `T0`, `T3`, `T5`.
+fn emit_make_child(b: &mut ProgramBuilder) {
+    b.addi(T0, R_I, 1);
+    b.xor(T0, T0, R_H);
+    emit_splitmix(b, T4, T0, T3);
+    b.and(T4, T4, R_MASK);
+    b.addi(T5, R_DEPTH, 1);
+    b.shl(T5, T5, Operand::Imm(56));
+    b.or(T4, T4, T5);
+}
+
+/// Emit the per-node counter updates and the done-flag protocol. Enters
+/// with `R_C` holding the child count; exits by jumping to `main`.
+fn emit_counters(b: &mut ProgramBuilder, main: gsi_isa::Label) {
+    b.subi(T0, R_C, 1); // c - 1 (wraps to -1 for leaves)
+    b.atom_add(T1, R_REMAIN, T0, MemSem::Relaxed);
+    b.add(T1, T1, T0); // new remaining = old + (c-1)
+    b.atom_add(T2, R_PROC, Operand::Imm(1), MemSem::Relaxed);
+    b.bra_nz(T1, main);
+    b.atom_exch(T0, R_DONE, Operand::Imm(1), MemSem::Relaxed);
+    b.jmp_to(main);
+}
+
+/// Build the UTS kernel (single global queue).
+pub fn build_centralized(cfg: &UtsConfig) -> Program {
+    cfg.validate();
+    let mut b = ProgramBuilder::new("uts");
+    let main = b.label();
+    let exit_l = b.label();
+    let have = b.label();
+    let push = b.label();
+    let counters = b.label();
+
+    b.ldi(R_MASK, SEED_MASK);
+    b.bind(main);
+    b.ld_global(T0, R_DONE, 0);
+    b.bra_nz(T0, exit_l);
+    // Acquire the global lock (spin on CAS).
+    let acq = b.here();
+    b.atom_cas(T2, R_LOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, acq);
+    b.ld_global(T0, R_HEAD, 0);
+    b.ld_global(T1, R_TAIL, 0);
+    b.sne(T2, T0, T1);
+    b.bra_nz(T2, have);
+    // Empty: release and retry.
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+    b.jmp_to(main);
+    b.bind(have);
+    b.shl(R_ADDR, T0, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_QBASE);
+    b.ld_global(R_NODE, R_ADDR, 0);
+    b.addi(T0, T0, 1);
+    b.st_global(T0, R_HEAD, 0);
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+
+    emit_decode_and_count(&mut b, cfg, push, counters);
+
+    b.bind(push);
+    // Re-acquire the lock and push all children.
+    let acq2 = b.here();
+    b.atom_cas(T2, R_LOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, acq2);
+    b.ld_global(T1, R_TAIL, 0);
+    b.ldi(R_I, 0);
+    let child_loop = b.here();
+    emit_make_child(&mut b);
+    b.shl(R_ADDR, T1, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_QBASE);
+    b.st_global(T4, R_ADDR, 0);
+    b.addi(T1, T1, 1);
+    b.addi(R_I, R_I, 1);
+    b.sltu(T0, R_I, R_C);
+    b.bra_nz(T0, child_loop);
+    b.st_global(T1, R_TAIL, 0);
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+
+    b.bind(counters);
+    emit_counters(&mut b, main);
+    b.bind(exit_l);
+    b.exit();
+    b.build().expect("uts kernel assembles")
+}
+
+/// Build the UTSD kernel (per-SM local queues with global overflow).
+pub fn build_decentralized(cfg: &UtsConfig) -> Program {
+    cfg.validate();
+    let mut b = ProgramBuilder::new("utsd");
+    let main = b.label();
+    let exit_l = b.label();
+    let lhave = b.label();
+    let ghave = b.label();
+    let process = b.label();
+    let push = b.label();
+    let spill = b.label();
+    let counters = b.label();
+
+    b.ldi(R_MASK, SEED_MASK);
+    b.ldi(R_LMASK, cfg.local_cap - 1);
+    b.ldi(R_LCAP, cfg.local_cap);
+    b.bind(main);
+    b.ld_global(T0, R_DONE, 0);
+    b.bra_nz(T0, exit_l);
+    // Local pop attempt (spin: contention is intra-SM only).
+    let lacq = b.here();
+    b.atom_cas(T2, R_LLOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, lacq);
+    b.ld_global(T0, R_LHEAD, 0);
+    b.ld_global(T1, R_LTAIL, 0);
+    b.sne(T2, T0, T1);
+    b.bra_nz(T2, lhave);
+    b.atom_store(R_LLOCK, Operand::Imm(0), MemSem::Release);
+    // Global pop attempt (try once, then back to the main loop).
+    b.atom_cas(T2, R_LOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, main);
+    b.ld_global(T0, R_HEAD, 0);
+    b.ld_global(T1, R_TAIL, 0);
+    b.sne(T2, T0, T1);
+    b.bra_nz(T2, ghave);
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+    b.jmp_to(main);
+    b.bind(ghave);
+    b.shl(R_ADDR, T0, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_QBASE);
+    b.ld_global(R_NODE, R_ADDR, 0);
+    b.addi(T0, T0, 1);
+    b.st_global(T0, R_HEAD, 0);
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+    b.jmp_to(process);
+    b.bind(lhave);
+    b.and(R_ADDR, T0, R_LMASK);
+    b.shl(R_ADDR, R_ADDR, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_LQBASE);
+    b.ld_global(R_NODE, R_ADDR, 0);
+    b.addi(T0, T0, 1);
+    b.st_global(T0, R_LHEAD, 0);
+    b.atom_store(R_LLOCK, Operand::Imm(0), MemSem::Release);
+    b.bind(process);
+
+    emit_decode_and_count(&mut b, cfg, push, counters);
+
+    b.bind(push);
+    // Push local if the whole batch fits, else spill everything global.
+    let lacq2 = b.here();
+    b.atom_cas(T2, R_LLOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, lacq2);
+    b.ld_global(T0, R_LHEAD, 0);
+    b.ld_global(T1, R_LTAIL, 0);
+    b.sub(T2, T1, T0);
+    b.add(T2, T2, R_C);
+    b.sltu(T3, R_LCAP, T2); // overflow if cap < count + c
+    b.bra_nz(T3, spill);
+    b.ldi(R_I, 0);
+    let lchild = b.here();
+    emit_make_child(&mut b);
+    b.and(R_ADDR, T1, R_LMASK);
+    b.shl(R_ADDR, R_ADDR, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_LQBASE);
+    b.st_global(T4, R_ADDR, 0);
+    b.addi(T1, T1, 1);
+    b.addi(R_I, R_I, 1);
+    b.sltu(T2, R_I, R_C);
+    b.bra_nz(T2, lchild);
+    b.st_global(T1, R_LTAIL, 0);
+    b.atom_store(R_LLOCK, Operand::Imm(0), MemSem::Release);
+    b.jmp_to(counters);
+    b.bind(spill);
+    b.atom_store(R_LLOCK, Operand::Imm(0), MemSem::Release);
+    let gacq = b.here();
+    b.atom_cas(T2, R_LOCK, Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+    b.bra_nz(T2, gacq);
+    b.ld_global(T1, R_TAIL, 0);
+    b.ldi(R_I, 0);
+    let gchild = b.here();
+    emit_make_child(&mut b);
+    b.shl(R_ADDR, T1, Operand::Imm(3));
+    b.add(R_ADDR, R_ADDR, R_QBASE);
+    b.st_global(T4, R_ADDR, 0);
+    b.addi(T1, T1, 1);
+    b.addi(R_I, R_I, 1);
+    b.sltu(T2, R_I, R_C);
+    b.bra_nz(T2, gchild);
+    b.st_global(T1, R_TAIL, 0);
+    b.atom_store(R_LOCK, Operand::Imm(0), MemSem::Release);
+
+    b.bind(counters);
+    emit_counters(&mut b, main);
+    b.bind(exit_l);
+    b.exit();
+    b.build().expect("utsd kernel assembles")
+}
+
+/// Initialize global memory: the root node in the global queue and the
+/// `remaining` counter at 1.
+pub fn init_memory(sim: &mut Simulator, cfg: &UtsConfig, lay: &UtsLayout) {
+    let g = sim.gmem_mut();
+    let root = cfg.root_seed & SEED_MASK; // depth 0
+    g.write_word(lay.queue(), root);
+    g.write_word(lay.head(), 0);
+    g.write_word(lay.tail(), 1);
+    g.write_word(lay.remaining(), 1);
+    g.write_word(lay.done(), 0);
+    g.write_word(lay.processed(), 0);
+    g.write_word(lay.lock(), 0);
+}
+
+/// Build the launch for `variant`.
+pub fn launch_spec(cfg: &UtsConfig, lay: UtsLayout, variant: Variant) -> LaunchSpec {
+    let program = match variant {
+        Variant::Centralized => build_centralized(cfg),
+        Variant::Decentralized => build_decentralized(cfg),
+    };
+    LaunchSpec::new(program, cfg.grid_blocks, cfg.warps_per_block).with_init(
+        move |w, _block, _warp, ctx| {
+            w.set_uniform(R_LOCK.0, lay.lock());
+            w.set_uniform(R_HEAD.0, lay.head());
+            w.set_uniform(R_TAIL.0, lay.tail());
+            w.set_uniform(R_REMAIN.0, lay.remaining());
+            w.set_uniform(R_DONE.0, lay.done());
+            w.set_uniform(R_QBASE.0, lay.queue());
+            w.set_uniform(R_PROC.0, lay.processed());
+            if matches!(variant, Variant::Decentralized) {
+                w.set_uniform(R_LLOCK.0, lay.local_lock(ctx.sm));
+                w.set_uniform(R_LHEAD.0, lay.local_head(ctx.sm));
+                w.set_uniform(R_LTAIL.0, lay.local_tail(ctx.sm));
+                w.set_uniform(R_LQBASE.0, lay.local_queue(ctx.sm));
+            }
+        },
+    )
+}
+
+/// The outcome of a verified UTS/UTSD execution.
+#[derive(Debug, Clone)]
+pub struct UtsRun {
+    /// The kernel execution record.
+    pub run: KernelRun,
+    /// Nodes the GPU processed.
+    pub processed: u64,
+    /// Nodes the host reference says exist.
+    pub expected: u64,
+}
+
+/// Run `variant` on `sim` and verify every tree node was processed exactly
+/// once.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if the functional result is wrong (a simulator correctness bug).
+pub fn run(sim: &mut Simulator, cfg: &UtsConfig, variant: Variant) -> Result<UtsRun, SimError> {
+    let lay = UtsLayout::new(cfg);
+    init_memory(sim, cfg, &lay);
+    let spec = launch_spec(cfg, lay, variant);
+    let run = sim.run_kernel(&spec)?;
+    let processed = sim.gmem().read_word(lay.processed());
+    let expected = expected_nodes(cfg);
+    assert_eq!(
+        processed, expected,
+        "UTS processed a wrong number of nodes ({variant:?})"
+    );
+    assert_eq!(sim.gmem().read_word(lay.remaining()), 0, "remaining must drain");
+    assert_eq!(sim.gmem().read_word(lay.done()), 1, "done must be set");
+    assert_eq!(sim.gmem().read_word(lay.lock()), 0, "global lock must be free");
+    Ok(UtsRun { run, processed, expected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::StallKind;
+    use gsi_mem::Protocol;
+    use gsi_sim::SystemConfig;
+
+    fn sim(cores: usize, protocol: Protocol) -> Simulator {
+        Simulator::new(SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol))
+    }
+
+    #[test]
+    fn reference_tree_is_deterministic_and_bounded() {
+        let cfg = UtsConfig::small();
+        let n = expected_nodes(&cfg);
+        assert!(n >= 1 + cfg.root_children);
+        // Depth cap bounds the tree: every node has at most `branch`
+        // children over at most `max_depth` levels below the root's fanout.
+        let bound = 1 + cfg.root_children * (cfg.branch + 1).pow(cfg.max_depth as u32);
+        assert!(n < bound);
+    }
+
+    #[test]
+    fn kernels_assemble() {
+        let cfg = UtsConfig::paper();
+        let p1 = build_centralized(&cfg);
+        let p2 = build_decentralized(&cfg);
+        assert!(p1.len() > 30);
+        assert!(p2.len() > p1.len(), "UTSD has the extra local-queue paths");
+    }
+
+    #[test]
+    fn uts_small_runs_and_verifies_gpu_coherence() {
+        let cfg = UtsConfig::small();
+        let mut s = sim(4, Protocol::GpuCoherence);
+        let out = run(&mut s, &cfg, Variant::Centralized).unwrap();
+        assert_eq!(out.processed, out.expected);
+        // Lock contention must dominate: synchronization is the largest
+        // stall class (Figure 6.1a's shape).
+        let bd = &out.run.breakdown;
+        let sync = bd.cycles(StallKind::Synchronization);
+        for k in [StallKind::MemoryData, StallKind::MemoryStructural, StallKind::ComputeData] {
+            assert!(sync > bd.cycles(k), "sync should dominate {k}: {bd:?}");
+        }
+    }
+
+    #[test]
+    fn uts_small_runs_and_verifies_denovo() {
+        let cfg = UtsConfig::small();
+        let mut s = sim(4, Protocol::DeNovo);
+        let out = run(&mut s, &cfg, Variant::Centralized).unwrap();
+        assert_eq!(out.processed, out.expected);
+    }
+
+    #[test]
+    fn utsd_small_runs_and_verifies_both_protocols() {
+        let cfg = UtsConfig::small();
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            let mut s = sim(4, protocol);
+            let out = run(&mut s, &cfg, Variant::Decentralized).unwrap();
+            assert_eq!(out.processed, out.expected, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn utsd_is_faster_than_uts() {
+        let cfg = UtsConfig::small();
+        let mut s1 = sim(4, Protocol::GpuCoherence);
+        let uts = run(&mut s1, &cfg, Variant::Centralized).unwrap();
+        let mut s2 = sim(4, Protocol::GpuCoherence);
+        let utsd = run(&mut s2, &cfg, Variant::Decentralized).unwrap();
+        assert!(
+            utsd.run.cycles < uts.run.cycles,
+            "decentralized queues must cut execution time: {} vs {}",
+            utsd.run.cycles,
+            uts.run.cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "supercritical")]
+    fn supercritical_tree_rejected() {
+        let cfg = UtsConfig { q_per_mille: 600, branch: 2, ..UtsConfig::small() };
+        build_centralized(&cfg);
+    }
+}

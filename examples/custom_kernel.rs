@@ -1,0 +1,65 @@
+//! Using GSI to diagnose a kernel of your own: two variants of a strided
+//! reduction, one with severe scratchpad bank conflicts and one without.
+//! The stall breakdown pinpoints the difference — exactly the kind of
+//! "why is variant A slower" question the paper built GSI to answer.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use gsi::core::report::{Figure, Panel};
+use gsi::core::MemStructCause;
+use gsi::isa::{Operand, ProgramBuilder, Reg};
+use gsi::mem::LocalMemKind;
+use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+
+/// Build a kernel where each thread hammers a scratchpad word. With
+/// `stride` equal to the bank count (32), every lane of a warp maps to the
+/// same bank and the LSU serializes; with `stride == 1` accesses spread
+/// across all banks.
+fn kernel(stride: u64, rounds: u64) -> gsi::isa::Program {
+    let mut b = ProgramBuilder::new(if stride == 1 { "coalesced" } else { "conflicted" });
+    // r0 = tid (per lane); local addr = (tid * stride * 8) % scratch size
+    b.mul(Reg(2), Reg(0), Operand::Imm(stride as i64 * 8));
+    b.and(Reg(2), Reg(2), Operand::Imm(16 * 1024 - 1));
+    b.ldi(Reg(3), rounds);
+    let top = b.here();
+    b.ld_local(Reg(4), Reg(2), 0);
+    b.addi(Reg(4), Reg(4), 1);
+    b.st_local(Reg(4), Reg(2), 0);
+    b.subi(Reg(3), Reg(3), 1);
+    b.bra_nz(Reg(3), top);
+    b.exit();
+    b.build().expect("assembles")
+}
+
+fn run(stride: u64) -> gsi::StallBreakdown {
+    let sys = SystemConfig::paper()
+        .with_gpu_cores(1)
+        .with_local_mem(LocalMemKind::Scratchpad);
+    let mut sim = Simulator::new(sys);
+    let spec = LaunchSpec::new(kernel(stride, 64), 4, 4).with_init(|w, _block, warp, _ctx| {
+        w.set_per_lane(0, move |lane| (warp * 32 + lane) as u64);
+    });
+    let run = sim.run_kernel(&spec).expect("kernel completes");
+    println!(
+        "stride {stride:>2}: {:>7} cycles, bank-conflict stalls: {:>6}",
+        run.cycles,
+        run.breakdown.mem_struct_cycles(MemStructCause::BankConflict)
+    );
+    run.breakdown
+}
+
+fn main() {
+    println!("strided scratchpad update, 1 SM, 16 warps, 64 rounds\n");
+    let good = run(1);
+    let bad = run(32);
+    let fig = Figure::new("\nmemory structural stall breakdown (normalized to stride 32)")
+        .with_entry("stride 32", bad)
+        .with_entry("stride 1", good);
+    println!("{}", fig.render(Panel::MemStruct, 60));
+    println!(
+        "The breakdown attributes the slowdown to bank conflicts specifically,\n\
+         not to MSHR pressure or DRAM latency — no guesswork required."
+    );
+}

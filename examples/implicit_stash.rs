@@ -1,0 +1,47 @@
+//! Case study 2 of the paper: baseline scratchpad vs scratchpad+DMA vs
+//! stash on the implicit microbenchmark (one SM).
+//!
+//! ```text
+//! cargo run --release --example implicit_stash [-- small]
+//! ```
+
+use gsi::core::report::Figure;
+use gsi::core::{MemStructCause, StallKind};
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "small");
+    let mut fig =
+        Figure::new("implicit: stall cycle breakdowns (normalized to baseline scratchpad)");
+    for style in LocalMemStyle::ALL {
+        let cfg = if small {
+            ImplicitConfig::small(style)
+        } else {
+            ImplicitConfig::paper(style)
+        };
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        let out = implicit::run(&mut sim, &cfg).expect("microbenchmark completes");
+        let b = &out.run.breakdown;
+        println!(
+            "{style:14}: {:>8} cycles, {:>7} instructions | no-stall {:4.1}%, \
+             MSHR-full {:4.1}%, pending-DMA {:4.1}%",
+            out.run.cycles,
+            out.run.instructions,
+            b.fraction(StallKind::NoStall) * 100.0,
+            b.mem_struct_cycles(MemStructCause::MshrFull) as f64 / b.total_cycles() as f64
+                * 100.0,
+            b.mem_struct_cycles(MemStructCause::PendingDma) as f64 / b.total_cycles() as f64
+                * 100.0,
+        );
+        fig.push(style.to_string(), out.run.breakdown);
+    }
+    println!("\n{}", fig.render_all(60));
+    println!(
+        "Both DMA and stash eliminate the explicit copy instructions; the saved\n\
+         no-stall cycles are partly offset by memory structural stalls (full\n\
+         MSHR, pending DMA) from the higher memory request rate — the paper's\n\
+         Figure 6.3 observation."
+    );
+}

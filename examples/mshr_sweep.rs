@@ -1,0 +1,54 @@
+//! The paper's Figure 6.4: sweep the MSHR size (scaling the store buffer
+//! with it) for every local-memory organization and watch the bottleneck
+//! move.
+//!
+//! ```text
+//! cargo run --release --example mshr_sweep [-- small]
+//! ```
+
+use gsi::core::{MemDataCause, MemStructCause};
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "small");
+    let sizes: &[usize] = if small { &[8, 32] } else { &[32, 64, 128, 256] };
+
+    println!(
+        "{:>14} {:>6} {:>10} {:>12} {:>12} {:>12}",
+        "config", "MSHR", "cycles", "MSHR-full", "pend-DMA", "mem-data(mem)"
+    );
+    for style in LocalMemStyle::ALL {
+        for &mshr in sizes {
+            let cfg = if small {
+                ImplicitConfig::small(style)
+            } else {
+                ImplicitConfig::paper(style)
+            };
+            let sys = SystemConfig::paper()
+                .with_gpu_cores(1)
+                .with_local_mem(style.mem_kind())
+                .with_mshr(mshr);
+            let mut sim = Simulator::new(sys);
+            let out = implicit::run(&mut sim, &cfg).expect("microbenchmark completes");
+            let b = &out.run.breakdown;
+            println!(
+                "{:>14} {:>6} {:>10} {:>12} {:>12} {:>12}",
+                style.to_string(),
+                mshr,
+                out.run.cycles,
+                b.mem_struct_cycles(MemStructCause::MshrFull),
+                b.mem_struct_cycles(MemStructCause::PendingDma),
+                b.mem_data_cycles(MemDataCause::MainMemory),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Growing the MSHR drains the full-MSHR stalls for every organization,\n\
+         but the freed time reappears elsewhere: as memory data stalls for the\n\
+         scratchpad and stash (loads complete later than their uses), and as\n\
+         pending-DMA stalls for scratchpad+DMA (the engine runs further ahead\n\
+         of the compute phase) — the bottleneck migration of Figure 6.4."
+    );
+}

@@ -1,0 +1,44 @@
+//! An Aerialvision-style timeline: watch a kernel's *phases* by rendering
+//! the dominant stall category of every epoch. The implicit microbenchmark
+//! has three clearly visible phases — copy-in (memory bound), compute, and
+//! copy-out — and UTS shows its lock-convoy behaviour.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use gsi::core::report::render_timeline;
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+fn main() {
+    println!("one glyph per 64-cycle epoch; dominant stall per epoch");
+    println!("legend: #=no-stall .=idle c=control s=sync d=mem-data m=mem-struct\n");
+
+    // The implicit microbenchmark on one SM.
+    for style in LocalMemStyle::ALL {
+        let cfg = ImplicitConfig::small(style);
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        sim.set_timeline_epoch(64);
+        let out = implicit::run(&mut sim, &cfg).expect("completes");
+        println!("{style:>14} |{}|", render_timeline(&out.run.timelines[0]));
+    }
+
+    // UTS vs UTSD on one of four SMs: the synchronization convoy vs the
+    // decentralized version.
+    println!();
+    for variant in [Variant::Centralized, Variant::Decentralized] {
+        let cfg = UtsConfig::small();
+        let sys = SystemConfig::paper().with_gpu_cores(4);
+        let mut sim = Simulator::new(sys);
+        sim.set_timeline_epoch(256);
+        let out = uts::run(&mut sim, &cfg, variant).expect("completes");
+        let name = match variant {
+            Variant::Centralized => "UTS (SM0)",
+            Variant::Decentralized => "UTSD (SM0)",
+        };
+        println!("{name:>14} |{}| ({} cycles)", render_timeline(&out.run.timelines[0]), out.run.cycles);
+    }
+}

@@ -1,0 +1,101 @@
+//! Run every workload in the suite and print its GSI breakdown side by
+//! side — a tour of how different program shapes light up different stall
+//! classes.
+//!
+//! ```text
+//! cargo run --release --example workload_tour
+//! ```
+
+use gsi::core::report::{Figure, Panel};
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::{bfs, gemm, histogram, implicit, reduction, spmv, stencil, uts};
+
+fn main() {
+    let mut fig = Figure::new("stall breakdowns across the workload suite (per-workload scale)");
+
+    // UTS / UTSD (4 SMs).
+    let ucfg = uts::UtsConfig::small();
+    for (name, variant) in [
+        ("UTS", uts::Variant::Centralized),
+        ("UTSD", uts::Variant::Decentralized),
+    ] {
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = uts::run(&mut sim, &ucfg, variant).expect("completes");
+        fig.push(name, out.run.breakdown);
+    }
+
+    // Implicit (1 SM, scratchpad).
+    {
+        let style = implicit::LocalMemStyle::Scratchpad;
+        let cfg = implicit::ImplicitConfig::small(style);
+        let mut sim = Simulator::new(
+            SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind()),
+        );
+        let out = implicit::run(&mut sim, &cfg).expect("completes");
+        fig.push("implicit", out.run.breakdown);
+    }
+
+    // SpMV (4 SMs): irregular gathers.
+    {
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = spmv::run(&mut sim, &spmv::SpmvConfig::small()).expect("completes");
+        fig.push("spmv", out.run.breakdown);
+    }
+
+    // Histogram (4 SMs): atomics.
+    {
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out =
+            histogram::run(&mut sim, &histogram::HistogramConfig::small()).expect("completes");
+        fig.push("histogram", out.run.breakdown);
+    }
+
+    // Stencil, tiled and global (2 SMs).
+    for variant in [stencil::StencilVariant::Tiled, stencil::StencilVariant::Global] {
+        let cfg = stencil::StencilConfig::small(variant);
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+        let out = stencil::run(&mut sim, &cfg).expect("completes");
+        let name = match variant {
+            stencil::StencilVariant::Tiled => "stencil-tiled",
+            stencil::StencilVariant::Global => "stencil-global",
+        };
+        fig.push(name, out.run.breakdown);
+    }
+
+    // BFS (4 SMs): irregular traversal, summed over its levels.
+    {
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = bfs::run(&mut sim, &bfs::BfsConfig::small()).expect("completes");
+        let total: gsi::StallBreakdown = out.levels.iter().map(|r| &r.breakdown).sum();
+        fig.push("bfs", total);
+    }
+
+    // GEMM, tiled (4 SMs): scratchpad reuse.
+    {
+        let cfg = gemm::GemmConfig::small(gemm::GemmVariant::Tiled);
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out = gemm::run(&mut sim, &cfg).expect("completes");
+        fig.push("gemm-tiled", out.run.breakdown);
+    }
+
+    // Reduction (4 SMs): barriers.
+    {
+        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
+        let out =
+            reduction::run(&mut sim, &reduction::ReductionConfig::small()).expect("completes");
+        fig.push("reduction", out.run.breakdown);
+    }
+
+    // Composition view: each bar normalized to its own total, because the
+    // workloads differ in absolute length by 20x.
+    println!("{}", fig.render_fractions(Panel::Execution, 60));
+    println!(
+        "Reading the mix: UTS is synchronization-bound (s); UTSD trades most of\n\
+         that for memory-data stalls (d); spmv's irregular gather is almost\n\
+         pure memory-data; implicit splits between issue (#) and MSHR\n\
+         pressure (m); histogram keeps issuing (#) around its in-flight\n\
+         atomics (d); the tiled stencil spends a visibly larger share\n\
+         issuing (#) than the global variant, whose reads all pay the\n\
+         hierarchy; reduction is the most compute-shaped bar of the suite."
+    );
+}

@@ -1,0 +1,45 @@
+//! # gsi — GPU Stall Inspector
+//!
+//! A full reproduction of *"GSI: A GPU Stall Inspector to characterize the
+//! sources of memory stalls for tightly coupled GPUs"* (Alsop, ISPASS 2016):
+//! a cycle-level integrated CPU-GPU simulator with per-cycle stall
+//! attribution, two coherence protocols (conventional GPU coherence and
+//! DeNovo), scratchpad / scratchpad+DMA / stash local memories, and the
+//! paper's case-study workloads.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the stall taxonomy, Algorithms 1 & 2, attribution ledger,
+//!   and figure-style reports (the paper's contribution).
+//! * [`noc`] — the 4×4 mesh interconnect.
+//! * [`isa`] — the virtual SIMT instruction set and program builder.
+//! * [`mem`] — caches, MSHRs, store buffers, coherence, L2, DRAM,
+//!   scratchpad, stash, and DMA.
+//! * [`sm`] — the streaming-multiprocessor pipeline model.
+//! * [`sim`] — the wired system simulator (Table 5.1 configuration).
+//! * [`workloads`] — UTS, UTSD, and the implicit microbenchmark.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gsi::sim::{Simulator, SystemConfig};
+//! use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+//!
+//! // Build the paper's system with a single SM (case study 2 setup).
+//! let cfg = SystemConfig::paper().with_gpu_cores(1);
+//! let mut sim = Simulator::new(cfg);
+//! let run = implicit::run(&mut sim, &ImplicitConfig::small(LocalMemStyle::Scratchpad))
+//!     .expect("kernel completes");
+//! assert!(run.run.breakdown.total_cycles() > 0);
+//! ```
+
+#[doc(inline)]
+pub use gsi_core as core;
+pub use gsi_isa as isa;
+pub use gsi_mem as mem;
+pub use gsi_noc as noc;
+pub use gsi_sim as sim;
+pub use gsi_sm as sm;
+pub use gsi_workloads as workloads;
+
+pub use gsi_core::{MemDataCause, MemStructCause, StallBreakdown, StallKind};

@@ -1,0 +1,99 @@
+//! Starved-resource configurations: single-entry MSHRs and store buffers,
+//! single-banked memories, one-warp SMs. Everything must still complete and
+//! verify — only slower. Guards against deadlocks hiding behind ample
+//! defaults.
+
+use gsi::mem::Protocol;
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+fn starved(style: LocalMemStyle, protocol: Protocol) -> SystemConfig {
+    let mut sys = SystemConfig::paper()
+        .with_gpu_cores(2)
+        .with_protocol(protocol)
+        .with_local_mem(style.mem_kind());
+    // The architectural minimum: one full warp access (4 lines).
+    sys.mem.mshr_entries = gsi::mem::MIN_QUEUE_ENTRIES;
+    sys.mem.store_buffer_entries = gsi::mem::MIN_QUEUE_ENTRIES;
+    sys.mem.l1_banks = 1;
+    sys.mem.scratch_banks = 1;
+    sys
+}
+
+fn tiny_uts() -> UtsConfig {
+    UtsConfig {
+        root_children: 6,
+        branch: 2,
+        q_per_mille: 300,
+        max_depth: 5,
+        root_seed: 0x77,
+        grid_blocks: 2,
+        warps_per_block: 1,
+        local_cap: 4,
+    }
+}
+
+#[test]
+fn implicit_survives_single_entry_resources() {
+    for style in LocalMemStyle::ALL {
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            let cfg = ImplicitConfig {
+                elems: 128,
+                warps_per_block: 1,
+                compute_iters: 2,
+                style,
+            };
+            let mut sim = Simulator::new(starved(style, protocol));
+            let out = implicit::run(&mut sim, &cfg).expect("must complete, just slowly");
+            assert_eq!(out.verified_elems, cfg.elems, "{style} {protocol}");
+        }
+    }
+}
+
+#[test]
+fn uts_survives_single_entry_resources() {
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        for variant in [Variant::Centralized, Variant::Decentralized] {
+            let mut sim = Simulator::new(starved(LocalMemStyle::Scratchpad, protocol));
+            let out = uts::run(&mut sim, &tiny_uts(), variant).expect("must complete");
+            assert_eq!(out.processed, out.expected, "{protocol} {variant:?}");
+        }
+    }
+}
+
+#[test]
+fn starvation_costs_cycles_but_not_correctness() {
+    let cfg = ImplicitConfig { elems: 128, warps_per_block: 1, compute_iters: 2, style: LocalMemStyle::Scratchpad };
+    let mut rich = Simulator::new(
+        SystemConfig::paper().with_gpu_cores(2).with_local_mem(cfg.style.mem_kind()),
+    );
+    let mut poor = Simulator::new(starved(cfg.style, Protocol::GpuCoherence));
+    let fast = implicit::run(&mut rich, &cfg).expect("completes").run.cycles;
+    let slow = implicit::run(&mut poor, &cfg).expect("completes").run.cycles;
+    assert!(slow > fast, "starved resources must cost time: {slow} vs {fast}");
+}
+
+#[test]
+fn undersized_queues_are_rejected_at_construction() {
+    let mut sys = SystemConfig::paper().with_gpu_cores(1);
+    sys.mem.mshr_entries = 1;
+    let result = std::panic::catch_unwind(|| Simulator::new(sys));
+    assert!(result.is_err(), "an MSHR smaller than one warp access must be rejected");
+}
+
+#[test]
+fn one_warp_sm_executes_barriers() {
+    // A single-warp block's barrier must release immediately.
+    use gsi::isa::{ProgramBuilder, Reg};
+    use gsi::sim::LaunchSpec;
+    let mut b = ProgramBuilder::new("solo");
+    b.bar();
+    b.ldi(Reg(1), 1);
+    b.bar();
+    b.exit();
+    let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(1));
+    let run = sim.run_kernel(&spec).expect("completes");
+    assert_eq!(run.instructions, 4);
+}

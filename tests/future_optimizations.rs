@@ -1,0 +1,106 @@
+//! The two hardware optimizations Section 6.1.4 of the paper predicts would
+//! help, implemented and measured:
+//!
+//! * **S-FIFO** (QuickRelease): stores keep issuing while a release drains
+//!   — pending-release structural stalls should (almost) vanish.
+//! * **Owned atomics** (DeNovoSync): atomics acquire line ownership and are
+//!   serviced at the owning L1 — synchronization gets cheaper when locks
+//!   have locality (UTSD), and stays correct even when they do not (UTS).
+
+use gsi::core::{MemStructCause, StallKind};
+use gsi::mem::Protocol;
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+fn run(
+    variant: Variant,
+    protocol: Protocol,
+    sfifo: bool,
+    owned: bool,
+) -> (gsi::sim::KernelRun, u64) {
+    let cfg = UtsConfig::small();
+    let sys = SystemConfig::paper()
+        .with_gpu_cores(4)
+        .with_protocol(protocol)
+        .with_sfifo(sfifo)
+        .with_owned_atomics(owned);
+    let mut sim = Simulator::new(sys);
+    let out = uts::run(&mut sim, &cfg, variant).expect("tree search completes");
+    let owned_hits = out.run.mem_stats.iter().map(|m| m.owned_atomic_hits).sum();
+    (out.run, owned_hits)
+}
+
+#[test]
+fn sfifo_eliminates_pending_release_stalls() {
+    let (base, _) = run(Variant::Decentralized, Protocol::GpuCoherence, false, false);
+    let (sfifo, _) = run(Variant::Decentralized, Protocol::GpuCoherence, true, false);
+    let before = base.breakdown.mem_struct_cycles(MemStructCause::PendingRelease);
+    let after = sfifo.breakdown.mem_struct_cycles(MemStructCause::PendingRelease);
+    assert!(before > 0, "the baseline must have something to eliminate");
+    assert!(
+        after * 4 < before,
+        "S-FIFO must remove most pending-release stalls: {after} vs {before}"
+    );
+    assert!(
+        sfifo.cycles <= base.cycles,
+        "removing a stall source must not slow execution: {} vs {}",
+        sfifo.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn sfifo_applies_to_both_protocols_and_stays_correct() {
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        // `uts::run` verifies node counts internally.
+        let (runb, _) = run(Variant::Decentralized, protocol, false, false);
+        let (runs, _) = run(Variant::Decentralized, protocol, true, false);
+        assert!(runs.cycles <= runb.cycles, "{protocol}");
+    }
+}
+
+#[test]
+fn owned_atomics_hit_locally_when_locks_have_locality() {
+    // UTSD: each SM's local lock is reused by its own warps, so ownership
+    // sticks and most atomics are serviced at the L1.
+    let (base, base_hits) = run(Variant::Decentralized, Protocol::DeNovo, false, false);
+    let (owned, hits) = run(Variant::Decentralized, Protocol::DeNovo, false, true);
+    assert_eq!(base_hits, 0, "disabled mode never hits locally");
+    assert!(hits > 0, "owned atomics must be exercised");
+    assert!(
+        owned.breakdown.cycles(StallKind::Synchronization)
+            < base.breakdown.cycles(StallKind::Synchronization),
+        "local atomics must cut synchronization stalls: {} vs {}",
+        owned.breakdown.cycles(StallKind::Synchronization),
+        base.breakdown.cycles(StallKind::Synchronization),
+    );
+    assert!(owned.cycles < base.cycles, "{} vs {}", owned.cycles, base.cycles);
+}
+
+#[test]
+fn owned_atomics_survive_lock_ping_pong() {
+    // UTS: one global lock contended by every SM. Ownership migrates on
+    // every handoff (recall storms); correctness must hold regardless.
+    // `uts::run` verifies the processed-node count internally.
+    let (_, hits) = run(Variant::Centralized, Protocol::DeNovo, false, true);
+    // Whether this is profitable depends on contention; it merely must
+    // complete and verify (done inside `run`) while exercising migration.
+    let _ = hits;
+}
+
+#[test]
+fn optimizations_compose() {
+    let (both, hits) = run(Variant::Decentralized, Protocol::DeNovo, true, true);
+    let (neither, _) = run(Variant::Decentralized, Protocol::DeNovo, false, false);
+    assert!(hits > 0);
+    assert!(
+        both.cycles < neither.cycles,
+        "S-FIFO + owned atomics must beat the baseline: {} vs {}",
+        both.cycles,
+        neither.cycles
+    );
+    assert!(
+        both.breakdown.mem_struct_cycles(MemStructCause::PendingRelease)
+            <= neither.breakdown.mem_struct_cycles(MemStructCause::PendingRelease)
+    );
+}

@@ -1,0 +1,144 @@
+//! Validate that the latency windows of Table 5.1 *emerge* from the wired
+//! system: L1 hits in ~1 cycle, L2 hits in ~29-61 cycles, remote L1 hits in
+//! ~35-83 cycles, and main memory in ~197-261 cycles.
+//!
+//! Each probe runs a single-warp kernel whose only stall source is one
+//! load-use dependency, so the memory-data stall count is (latency - issue
+//! overlap) and lands inside the corresponding window.
+
+use gsi::core::MemDataCause;
+use gsi::isa::{Operand, ProgramBuilder, Reg};
+use gsi::mem::Protocol;
+use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+
+const PROBE_ADDR: u64 = 0x5_0000;
+
+/// One load at `PROBE_ADDR` followed by a dependent add.
+fn load_probe() -> gsi::isa::Program {
+    let mut b = ProgramBuilder::new("probe");
+    b.ldi(Reg(1), PROBE_ADDR);
+    b.ld_global(Reg(2), Reg(1), 0);
+    b.addi(Reg(3), Reg(2), 1);
+    b.st_global(Reg(3), Reg(1), 8);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// A kernel that dirties `PROBE_ADDR` (so DeNovo registers ownership at
+/// kernel end).
+fn store_probe() -> gsi::isa::Program {
+    let mut b = ProgramBuilder::new("dirty");
+    b.ldi(Reg(1), PROBE_ADDR);
+    b.st_global(Operand::Imm(7), Reg(1), 0);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// Launch `program` as a single block/warp pinned to an SM chosen by the
+/// grid (block 0 lands on SM 0 of the dispatch order).
+fn one_warp(program: gsi::isa::Program) -> LaunchSpec {
+    LaunchSpec::new(program, 1, 1)
+}
+
+fn mem_data_stalls(sim: &mut Simulator, spec: &LaunchSpec, bucket: MemDataCause) -> u64 {
+    let run = sim.run_kernel(spec).expect("probe completes");
+    run.breakdown.mem_data_cycles(bucket)
+}
+
+#[test]
+fn main_memory_window() {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    let stalls = mem_data_stalls(&mut sim, &one_warp(load_probe()), MemDataCause::MainMemory);
+    // Table 5.1: memory latency 197-261 cycles. The dependent instruction
+    // stalls for almost the whole round trip.
+    assert!(
+        (150..=300).contains(&stalls),
+        "main-memory load-use stall out of window: {stalls}"
+    );
+}
+
+#[test]
+fn l2_window() {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    // Warm the L2 with a first kernel (fill from DRAM).
+    sim.run_kernel(&one_warp(load_probe())).expect("warmup");
+    // Re-run: the launch acquire invalidates the L1, so this load hits L2.
+    let stalls = mem_data_stalls(&mut sim, &one_warp(load_probe()), MemDataCause::L2);
+    // Table 5.1: L2 hit latency 29-61 cycles.
+    assert!((20..=75).contains(&stalls), "L2 load-use stall out of window: {stalls}");
+}
+
+#[test]
+fn l1_window() {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    // Probe with two back-to-back dependent loads of the same line inside
+    // one kernel: the second is an L1 hit.
+    let mut b = ProgramBuilder::new("l1probe");
+    b.ldi(Reg(1), PROBE_ADDR);
+    b.ld_global(Reg(2), Reg(1), 0);
+    b.addi(Reg(3), Reg(2), 1); // wait for the miss
+    b.ld_global(Reg(4), Reg(1), 0); // L1 hit
+    b.addi(Reg(5), Reg(4), 1); // 1-cycle use-hit stall at most
+    b.exit();
+    let spec = one_warp(b.build().unwrap());
+    let stalls = mem_data_stalls(&mut sim, &spec, MemDataCause::L1);
+    // Table 5.1: L1 hit latency 1 cycle.
+    assert!(stalls <= 2, "L1 hit stall too large: {stalls}");
+}
+
+#[test]
+fn remote_l1_window_denovo() {
+    let mut sim =
+        Simulator::new(SystemConfig::paper().with_gpu_cores(2).with_protocol(Protocol::DeNovo));
+    // Kernel 1: block 0 (SM 0) dirties the line; the kernel-end flush
+    // registers ownership in SM 0's L1.
+    sim.run_kernel(&one_warp(store_probe())).expect("owner kernel");
+    // Kernel 2: two blocks; block 1 lands on SM 1 and loads the line, which
+    // the L2 directory forwards to SM 0.
+    let mut b = ProgramBuilder::new("reader");
+    b.ldi(Reg(1), PROBE_ADDR);
+    // Only block 1 does the measured load; block 0 exits immediately.
+    let skip = b.label();
+    b.bra_z(Reg(10), skip);
+    b.ld_global(Reg(2), Reg(1), 0);
+    b.addi(Reg(3), Reg(2), 1);
+    b.bind(skip);
+    b.exit();
+    let spec = LaunchSpec::new(b.build().unwrap(), 2, 1)
+        .with_init(|w, block, _, _| w.set_uniform(10, block));
+    let run = sim.run_kernel(&spec).expect("reader kernel");
+    let stalls = run.breakdown.mem_data_cycles(MemDataCause::RemoteL1);
+    // Table 5.1: remote L1 hit latency 35-83 cycles.
+    assert!(
+        (30..=95).contains(&stalls),
+        "remote-L1 load-use stall out of window: {stalls}"
+    );
+}
+
+#[test]
+fn gpu_coherence_never_hits_remote_l1() {
+    let mut sim = Simulator::new(
+        SystemConfig::paper().with_gpu_cores(2).with_protocol(Protocol::GpuCoherence),
+    );
+    sim.run_kernel(&one_warp(store_probe())).expect("writer kernel");
+    let run = sim.run_kernel(&one_warp(load_probe())).expect("reader kernel");
+    assert_eq!(
+        run.breakdown.mem_data_cycles(MemDataCause::RemoteL1),
+        0,
+        "write-through coherence has no L1 ownership to forward to"
+    );
+}
+
+#[test]
+fn coalesced_lanes_share_one_fill() {
+    // All 32 lanes load from the same line: one miss, no extra latency.
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    let mut b = ProgramBuilder::new("coalesce");
+    b.ld_global(Reg(2), Reg(1), 0);
+    b.addi(Reg(3), Reg(2), 1);
+    b.exit();
+    let spec = LaunchSpec::new(b.build().unwrap(), 1, 1)
+        .with_init(|w, _, _, _| w.set_per_lane(1, |lane| PROBE_ADDR + (lane as u64 % 8) * 8));
+    let run = sim.run_kernel(&spec).expect("kernel completes");
+    assert_eq!(run.mem_stats[0].l1_misses, 1, "one line, one miss");
+}

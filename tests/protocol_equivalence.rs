@@ -1,0 +1,80 @@
+//! Functional equivalence: coherence protocols and local-memory styles are
+//! *timing* choices — they must never change what a program computes.
+
+use gsi::mem::Protocol;
+use gsi::sim::{Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle, ARRAY_BASE};
+use gsi::workloads::uts::{self, expected_nodes, UtsConfig, Variant};
+
+#[test]
+fn uts_processes_the_same_tree_under_every_configuration() {
+    let cfg = UtsConfig::small();
+    let expected = expected_nodes(&cfg);
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        for variant in [Variant::Centralized, Variant::Decentralized] {
+            for cores in [1usize, 4] {
+                let sys =
+                    SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
+                let mut sim = Simulator::new(sys);
+                let out = uts::run(&mut sim, &cfg, variant).expect("completes");
+                assert_eq!(
+                    out.processed, expected,
+                    "{protocol} {variant:?} on {cores} SMs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn implicit_results_are_identical_across_styles() {
+    let mut snapshots: Vec<Vec<u64>> = Vec::new();
+    for style in LocalMemStyle::ALL {
+        let cfg = ImplicitConfig::small(style);
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        implicit::run(&mut sim, &cfg).expect("completes");
+        let snap: Vec<u64> = (0..cfg.elems)
+            .map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8))
+            .collect();
+        snapshots.push(snap);
+    }
+    assert_eq!(snapshots[0], snapshots[1], "scratchpad vs DMA");
+    assert_eq!(snapshots[0], snapshots[2], "scratchpad vs stash");
+}
+
+#[test]
+fn implicit_is_protocol_independent() {
+    let mut snapshots: Vec<Vec<u64>> = Vec::new();
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        let cfg = ImplicitConfig::small(LocalMemStyle::Scratchpad);
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(1)
+            .with_protocol(protocol)
+            .with_local_mem(gsi::mem::LocalMemKind::Scratchpad);
+        let mut sim = Simulator::new(sys);
+        implicit::run(&mut sim, &cfg).expect("completes");
+        let snap: Vec<u64> = (0..cfg.elems)
+            .map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8))
+            .collect();
+        snapshots.push(snap);
+    }
+    assert_eq!(snapshots[0], snapshots[1]);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    // Same configuration twice: identical cycle counts and breakdowns.
+    let run = |_: ()| {
+        let cfg = UtsConfig::small();
+        let sys =
+            SystemConfig::paper().with_gpu_cores(4).with_protocol(Protocol::DeNovo);
+        let mut sim = Simulator::new(sys);
+        uts::run(&mut sim, &cfg, Variant::Decentralized).expect("completes").run
+    };
+    let a = run(());
+    let b = run(());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.breakdown, b.breakdown);
+    assert_eq!(a.instructions, b.instructions);
+}

@@ -1,0 +1,52 @@
+//! Serialization guarantees: configurations and run reports round-trip
+//! through serde (the `gsi-run --json` export path), and a deserialized
+//! configuration reproduces the exact same simulation.
+
+use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+#[test]
+fn system_config_round_trips_and_reproduces_runs() {
+    let cfg = SystemConfig::paper()
+        .with_gpu_cores(4)
+        .with_protocol(gsi::mem::Protocol::DeNovo)
+        .with_mshr(64)
+        .with_sfifo(true);
+    let json = serde_json::to_string(&cfg).expect("serialize");
+    let back: SystemConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(cfg, back);
+
+    // The deserialized config must produce a bit-identical simulation.
+    let ucfg = UtsConfig::small();
+    let mut a = Simulator::new(cfg);
+    let mut b = Simulator::new(back);
+    let ra = uts::run(&mut a, &ucfg, Variant::Decentralized).unwrap().run;
+    let rb = uts::run(&mut b, &ucfg, Variant::Decentralized).unwrap().run;
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.breakdown, rb.breakdown);
+}
+
+#[test]
+fn kernel_run_serializes_completely() {
+    let mut b = gsi::isa::ProgramBuilder::new("t");
+    b.ldi(gsi::isa::Reg(1), 1);
+    b.exit();
+    let spec = LaunchSpec::new(b.build().unwrap(), 2, 1);
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    sim.set_timeline_epoch(8);
+    let run = sim.run_kernel(&spec).unwrap();
+    let json = serde_json::to_string(&run).expect("serialize");
+    let back: gsi::sim::KernelRun = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.cycles, run.cycles);
+    assert_eq!(back.breakdown, run.breakdown);
+    assert_eq!(back.timelines, run.timelines);
+    assert_eq!(back.warp_profiles, run.warp_profiles);
+}
+
+#[test]
+fn programs_serialize() {
+    let p = uts::build_centralized(&UtsConfig::small());
+    let json = serde_json::to_string(&p).expect("serialize");
+    let back: gsi::isa::Program = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(p, back);
+}

@@ -1,0 +1,113 @@
+//! Accounting invariants of the GSI methodology, checked on real runs:
+//! the breakdown partitions execution exactly, sub-breakdowns match their
+//! parent categories, and profiling changes observations only — never
+//! timing.
+
+use gsi::core::StallKind;
+use gsi::mem::Protocol;
+use gsi::sim::{KernelRun, Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+fn all_runs() -> Vec<(&'static str, KernelRun)> {
+    let mut out = Vec::new();
+    for (name, protocol, variant) in [
+        ("uts/gpu", Protocol::GpuCoherence, Variant::Centralized),
+        ("uts/denovo", Protocol::DeNovo, Variant::Centralized),
+        ("utsd/gpu", Protocol::GpuCoherence, Variant::Decentralized),
+        ("utsd/denovo", Protocol::DeNovo, Variant::Decentralized),
+    ] {
+        let sys = SystemConfig::paper().with_gpu_cores(4).with_protocol(protocol);
+        let mut sim = Simulator::new(sys);
+        out.push((name, uts::run(&mut sim, &UtsConfig::small(), variant).unwrap().run));
+    }
+    for style in LocalMemStyle::ALL {
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        let name = match style {
+            LocalMemStyle::Scratchpad => "implicit/scratchpad",
+            LocalMemStyle::ScratchpadDma => "implicit/dma",
+            LocalMemStyle::Stash => "implicit/stash",
+        };
+        out.push((name, implicit::run(&mut sim, &ImplicitConfig::small(style)).unwrap().run));
+    }
+    out
+}
+
+#[test]
+fn breakdown_partitions_execution_time() {
+    for (name, run) in all_runs() {
+        for (i, b) in run.per_sm.iter().enumerate() {
+            assert_eq!(
+                b.total_cycles(),
+                run.cycles,
+                "{name}: SM {i} must be classified every cycle"
+            );
+        }
+        assert_eq!(
+            run.breakdown.total_cycles(),
+            run.cycles * run.per_sm.len() as u64,
+            "{name}: aggregate"
+        );
+    }
+}
+
+#[test]
+fn sub_breakdowns_match_parent_categories() {
+    for (name, run) in all_runs() {
+        let b = &run.breakdown;
+        assert_eq!(
+            b.mem_data_total(),
+            b.cycles(StallKind::MemoryData),
+            "{name}: every memory-data stall cycle must be attributed to a service point"
+        );
+        assert_eq!(
+            b.mem_struct_total(),
+            b.cycles(StallKind::MemoryStructural),
+            "{name}: every memory-structural stall cycle must have a cause"
+        );
+    }
+}
+
+#[test]
+fn no_stall_cycles_match_issued_cycles() {
+    for (name, run) in all_runs() {
+        let issued: u64 = run.sm_stats.iter().map(|s| s.issued_cycles).sum();
+        assert_eq!(
+            run.breakdown.cycles(StallKind::NoStall),
+            issued,
+            "{name}: a cycle is NoStall iff at least one instruction issued"
+        );
+    }
+}
+
+#[test]
+fn profiling_is_observation_only() {
+    // The paper claims ~5% simulation-time overhead; correctness-wise the
+    // requirement is stronger: identical simulated timing.
+    let cfg = ImplicitConfig::small(LocalMemStyle::Scratchpad);
+    let mk = |profiling: bool| {
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(cfg.style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        sim.set_profiling(profiling);
+        implicit::run(&mut sim, &cfg).expect("completes").run
+    };
+    let on = mk(true);
+    let off = mk(false);
+    assert_eq!(on.cycles, off.cycles, "profiling must not perturb timing");
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(off.breakdown.total_cycles(), 0, "disabled collector records nothing");
+}
+
+#[test]
+fn instruction_counts_are_consistent() {
+    for (name, run) in all_runs() {
+        let per_sm: u64 = run.sm_stats.iter().map(|s| s.instructions).sum();
+        assert_eq!(run.instructions, per_sm, "{name}");
+        // Issued cycles can never exceed instructions (dual issue) nor
+        // undercount them by more than the issue width.
+        let issued: u64 = run.sm_stats.iter().map(|s| s.issued_cycles).sum();
+        assert!(issued <= per_sm, "{name}: issued cycles {issued} vs instrs {per_sm}");
+        assert!(per_sm <= issued * 2, "{name}: dual issue bounds");
+    }
+}
