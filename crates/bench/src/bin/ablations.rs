@@ -6,33 +6,110 @@
 //! * Algorithm-2 cycle priority: memory- vs compute- vs control-focused
 //!   attribution of the *same* execution (the paper's Chapter 7 point);
 //! * store-buffer flush rate: how fast releases drain;
+//! * Section 6.1.4's proposed optimizations (S-FIFO, owned atomics);
 //! * DeNovo remote-L1 service latency: the cost of ownership forwarding.
+//!
+//! Every row is an independent simulation, so the whole report is built as
+//! one parallel sweep: experiments are registered section by section, fanned
+//! across all cores by the sweep harness, and printed back in registration
+//! order — the output is identical to the old serial runner, just faster.
 //!
 //! ```text
 //! cargo run --release -p gsi-bench --bin ablations [-- small]
 //! ```
 
-use gsi_core::{CyclePriority, StallKind};
+use gsi_bench::sweep::{default_threads, run_sweep, Experiment};
+use gsi_core::{CyclePriority, MemDataCause, MemStructCause, StallKind};
 use gsi_mem::Protocol;
 use gsi_sim::{Simulator, SystemConfig};
 use gsi_sm::SchedPolicy;
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
 
+/// A UTS run as a sweep experiment (the config is rebuilt inside the
+/// closure so every worker thread starts from scratch).
+fn uts_exp(name: String, small: bool, sys: SystemConfig, variant: Variant) -> Experiment {
+    Experiment::new(name, move || {
+        let ucfg = if small { UtsConfig::small() } else { UtsConfig::paper() };
+        let mut sim = Simulator::new(sys);
+        uts::run(&mut sim, &ucfg, variant).expect("UTS completes").run
+    })
+}
+
+/// An implicit-microbenchmark run as a sweep experiment.
+fn implicit_exp(name: String, small: bool, sys: SystemConfig, style: LocalMemStyle) -> Experiment {
+    Experiment::new(name, move || {
+        let icfg = if small { ImplicitConfig::small(style) } else { ImplicitConfig::paper(style) };
+        let mut sim = Simulator::new(sys);
+        implicit::run(&mut sim, &icfg).expect("implicit completes").run
+    })
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "small");
-    let ucfg = if small { UtsConfig::small() } else { UtsConfig::paper() };
     let cores = if small { 4 } else { 15 };
 
-    println!("== Warp scheduler: GTO vs round-robin (UTSD, GPU coherence) ==");
-    for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
+    let schedulers = [SchedPolicy::Gto, SchedPolicy::RoundRobin];
+    let priorities = [
+        ("memory-focused (paper)", CyclePriority::memory_focused()),
+        ("compute-focused", CyclePriority::compute_focused()),
+        ("control-focused", CyclePriority::control_focused()),
+    ];
+    let flush_rates = [1u32, 2, 4];
+    let optimizations = [
+        ("GPU coherence baseline", Protocol::GpuCoherence, false, false),
+        ("GPU coherence + S-FIFO", Protocol::GpuCoherence, true, false),
+        ("DeNovo baseline", Protocol::DeNovo, false, false),
+        ("DeNovo + S-FIFO", Protocol::DeNovo, true, false),
+        ("DeNovo + owned atomics", Protocol::DeNovo, false, true),
+        ("DeNovo + both", Protocol::DeNovo, true, true),
+    ];
+    let latencies = [5u64, 20, 60];
+
+    let mut experiments = Vec::new();
+    for policy in schedulers {
         let sys = SystemConfig::paper().with_gpu_cores(cores).with_scheduler(policy);
-        let mut sim = Simulator::new(sys);
-        let out = uts::run(&mut sim, &ucfg, Variant::Decentralized).expect("completes");
-        let b = &out.run.breakdown;
+        experiments.push(uts_exp(format!("sched/{policy:?}"), small, sys, Variant::Decentralized));
+    }
+    for (name, priority) in priorities {
+        let style = LocalMemStyle::Scratchpad;
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(1)
+            .with_local_mem(style.mem_kind())
+            .with_cycle_priority(priority);
+        experiments.push(implicit_exp(format!("priority/{name}"), small, sys, style));
+    }
+    for rate in flush_rates {
+        let sys = SystemConfig::paper().with_gpu_cores(cores).with_flush_rate(rate);
+        experiments.push(uts_exp(format!("flush/{rate}"), small, sys, Variant::Decentralized));
+    }
+    for (name, protocol, sfifo, owned) in optimizations {
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(cores)
+            .with_protocol(protocol)
+            .with_sfifo(sfifo)
+            .with_owned_atomics(owned);
+        experiments.push(uts_exp(format!("opt/{name}"), small, sys, Variant::Decentralized));
+    }
+    for lat in latencies {
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(cores)
+            .with_protocol(Protocol::DeNovo)
+            .with_remote_l1_latency(lat);
+        experiments.push(uts_exp(format!("remote-l1/{lat}"), small, sys, Variant::Centralized));
+    }
+
+    let outcome = run_sweep(experiments, default_threads());
+    let mut rows = outcome.results.iter();
+    let mut next = move || &rows.next().expect("one result per experiment").run;
+
+    println!("== Warp scheduler: GTO vs round-robin (UTSD, GPU coherence) ==");
+    for policy in schedulers {
+        let run = next();
+        let b = &run.breakdown;
         println!(
             "  {policy:?}: {} cycles | sync {:.1}%  mem-data {:.1}%  mem-struct {:.1}%",
-            out.run.cycles,
+            run.cycles,
             b.fraction(StallKind::Synchronization) * 100.0,
             b.fraction(StallKind::MemoryData) * 100.0,
             b.fraction(StallKind::MemoryStructural) * 100.0,
@@ -40,24 +117,12 @@ fn main() {
     }
 
     println!("\n== Cycle-classification priority (same implicit/scratchpad run) ==");
-    for (name, priority) in [
-        ("memory-focused (paper)", CyclePriority::memory_focused()),
-        ("compute-focused", CyclePriority::compute_focused()),
-        ("control-focused", CyclePriority::control_focused()),
-    ] {
-        let style = LocalMemStyle::Scratchpad;
-        let icfg =
-            if small { ImplicitConfig::small(style) } else { ImplicitConfig::paper(style) };
-        let sys = SystemConfig::paper()
-            .with_gpu_cores(1)
-            .with_local_mem(style.mem_kind())
-            .with_cycle_priority(priority);
-        let mut sim = Simulator::new(sys);
-        let out = implicit::run(&mut sim, &icfg).expect("completes");
-        let b = &out.run.breakdown;
+    for (name, _) in priorities {
+        let run = next();
+        let b = &run.breakdown;
         println!(
             "  {name:>22}: {} cycles | mem-data {:>6}  mem-struct {:>6}  comp-data {:>6}  control {:>6}",
-            out.run.cycles,
+            run.cycles,
             b.cycles(StallKind::MemoryData),
             b.cycles(StallKind::MemoryStructural),
             b.cycles(StallKind::ComputeData),
@@ -67,59 +132,44 @@ fn main() {
     println!("  (identical timing; only the attribution of stall cycles moves)");
 
     println!("\n== Store-buffer flush rate (UTSD, GPU coherence) ==");
-    for rate in [1u32, 2, 4] {
-        let sys = SystemConfig::paper().with_gpu_cores(cores).with_flush_rate(rate);
-        let mut sim = Simulator::new(sys);
-        let out = uts::run(&mut sim, &ucfg, Variant::Decentralized).expect("completes");
+    for rate in flush_rates {
+        let run = next();
         println!(
             "  {rate} line/cycle: {} cycles | pending-release {:>7}",
-            out.run.cycles,
-            out.run
-                .breakdown
-                .mem_struct_cycles(gsi_core::MemStructCause::PendingRelease),
+            run.cycles,
+            run.breakdown.mem_struct_cycles(MemStructCause::PendingRelease),
         );
     }
 
     println!("\n== Section 6.1.4's proposed optimizations (UTSD) ==");
-    for (name, protocol, sfifo, owned) in [
-        ("GPU coherence baseline", Protocol::GpuCoherence, false, false),
-        ("GPU coherence + S-FIFO", Protocol::GpuCoherence, true, false),
-        ("DeNovo baseline", Protocol::DeNovo, false, false),
-        ("DeNovo + S-FIFO", Protocol::DeNovo, true, false),
-        ("DeNovo + owned atomics", Protocol::DeNovo, false, true),
-        ("DeNovo + both", Protocol::DeNovo, true, true),
-    ] {
-        let sys = SystemConfig::paper()
-            .with_gpu_cores(cores)
-            .with_protocol(protocol)
-            .with_sfifo(sfifo)
-            .with_owned_atomics(owned);
-        let mut sim = Simulator::new(sys);
-        let out = uts::run(&mut sim, &ucfg, Variant::Decentralized).expect("completes");
-        let owned_hits: u64 = out.run.mem_stats.iter().map(|m| m.owned_atomic_hits).sum();
+    for (name, _, _, _) in optimizations {
+        let run = next();
+        let owned_hits: u64 = run.mem_stats.iter().map(|m| m.owned_atomic_hits).sum();
         println!(
             "  {name:>24}: {:>7} cycles | sync {:>7}  pend-release {:>6}  owned-atomic hits {:>6}",
-            out.run.cycles,
-            out.run.breakdown.cycles(StallKind::Synchronization),
-            out.run
-                .breakdown
-                .mem_struct_cycles(gsi_core::MemStructCause::PendingRelease),
+            run.cycles,
+            run.breakdown.cycles(StallKind::Synchronization),
+            run.breakdown.mem_struct_cycles(MemStructCause::PendingRelease),
             owned_hits,
         );
     }
 
     println!("\n== DeNovo remote-L1 service latency (UTS, DeNovo) ==");
-    for lat in [5u64, 20, 60] {
-        let sys = SystemConfig::paper()
-            .with_gpu_cores(cores)
-            .with_protocol(Protocol::DeNovo)
-            .with_remote_l1_latency(lat);
-        let mut sim = Simulator::new(sys);
-        let out = uts::run(&mut sim, &ucfg, Variant::Centralized).expect("completes");
+    for lat in latencies {
+        let run = next();
         println!(
             "  owner access {lat:>2} cycles: {} cycles | remote-L1 data stalls {:>7}",
-            out.run.cycles,
-            out.run.breakdown.mem_data_cycles(gsi_core::MemDataCause::RemoteL1),
+            run.cycles,
+            run.breakdown.mem_data_cycles(MemDataCause::RemoteL1),
         );
     }
+
+    println!(
+        "\n({} experiments swept on {} threads: wall {:.2}s vs {:.2}s serial, {:.1}x)",
+        outcome.results.len(),
+        outcome.threads,
+        outcome.wall.as_secs_f64(),
+        outcome.serial_wall().as_secs_f64(),
+        outcome.speedup(),
+    );
 }

@@ -23,10 +23,7 @@ fn usage() -> ! {
 fn emit(result: &FigureResult, csv_dir: Option<&str>, slug: &str) {
     println!("{}", result.figure.render_all(60));
     for (name, run) in &result.runs {
-        println!(
-            "  {name}: {} cycles, {} instructions",
-            run.cycles, run.instructions
-        );
+        println!("  {name}: {} cycles, {} instructions", run.cycles, run.instructions);
     }
     // Headline numbers the paper quotes in the text.
     if result.runs.len() >= 2 {

@@ -10,15 +10,14 @@
 
 use gsi_core::report::{render_timeline, Figure, Panel};
 use gsi_core::{CyclePriority, StallKind};
+use gsi_isa::asm::parse_program;
 use gsi_mem::Protocol;
+use gsi_sim::LaunchSpec;
 use gsi_sim::{KernelRun, Simulator, SystemConfig};
 use gsi_sm::SchedPolicy;
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
-use gsi_isa::asm::parse_program;
-use gsi_sim::LaunchSpec;
 use gsi_workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
-use serde::Serialize;
 
 const WORKLOADS: &[&str] = &[
     "uts",
@@ -51,11 +50,13 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-#[derive(Debug, Serialize)]
-struct Report<'a> {
-    workload: &'a str,
-    config: &'a SystemConfig,
-    run: &'a KernelRun,
+fn report_json(workload: &str, config: &SystemConfig, run: &KernelRun) -> String {
+    gsi_json::obj! {
+        "workload" => workload,
+        "config" => config,
+        "run" => run,
+    }
+    .to_string_pretty()
 }
 
 struct Options {
@@ -199,11 +200,8 @@ fn main() {
     let run: KernelRun = match o.workload.as_str() {
         "uts" | "utsd" => {
             let cfg = if o.paper_scale { UtsConfig::paper() } else { UtsConfig::small() };
-            let variant = if o.workload == "uts" {
-                Variant::Centralized
-            } else {
-                Variant::Decentralized
-            };
+            let variant =
+                if o.workload == "uts" { Variant::Centralized } else { Variant::Decentralized };
             uts::run(&mut sim, &cfg, variant).expect("workload completes").run
         }
         w if w.starts_with("implicit") => {
@@ -250,7 +248,8 @@ fn main() {
             reduction::run(&mut sim, &cfg).expect("workload completes").run
         }
         "bfs" => {
-            let cfg = if o.paper_scale { bfs::BfsConfig::medium() } else { bfs::BfsConfig::small() };
+            let cfg =
+                if o.paper_scale { bfs::BfsConfig::medium() } else { bfs::BfsConfig::small() };
             let out = bfs::run(&mut sim, &cfg).expect("workload completes");
             // Aggregate the per-level kernels into one record for display.
             let mut levels = out.levels.into_iter();
@@ -273,13 +272,12 @@ fn main() {
                 std::process::exit(1);
             });
             let warps = o.warps;
-            let spec = LaunchSpec::new(program, o.blocks, warps).with_init(
-                move |w, block, warp, _ctx| {
+            let spec =
+                LaunchSpec::new(program, o.blocks, warps).with_init(move |w, block, warp, _ctx| {
                     w.set_per_lane(0, move |lane| {
                         block * (warps as u64 * 32) + (warp * 32 + lane) as u64
                     });
-                },
-            );
+                });
             sim.run_kernel(&spec).expect("custom kernel completes")
         }
         "gemm-tiled" | "gemm-global" => {
@@ -305,9 +303,7 @@ fn main() {
         std::fs::write(path, fig.to_csv()).expect("write csv");
     }
     if let Some(path) = &o.json {
-        let report = Report { workload: &o.workload, config: sim.config(), run: &run };
-        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, report_json(&o.workload, sim.config(), &run)).expect("write json");
     }
     if !o.quiet {
         println!(

@@ -1,0 +1,141 @@
+//! `sweep` — run the (workload × protocol × configuration) experiment grid
+//! across OS threads and write a machine-readable performance report.
+//!
+//! ```text
+//! sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]
+//! ```
+//!
+//! The report (default `BENCH_PR1.json`) records, per experiment, the
+//! simulated cycles, wall-clock seconds, and simulation rate, plus the
+//! sweep-level wall time against the serial sum — the evidence that the
+//! harness actually overlapped work.
+
+use gsi_bench::sweep::{default_threads, run_sweep, Experiment};
+use gsi_bench::Scale;
+use gsi_mem::Protocol;
+use gsi_sim::{Simulator, SystemConfig};
+use gsi_workloads::implicit::{self, LocalMemStyle};
+use gsi_workloads::uts::{self, Variant};
+
+fn usage() -> ! {
+    eprintln!("usage: sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+fn uts_experiment(name: &str, scale: Scale, variant: Variant, protocol: Protocol) -> Experiment {
+    let cfg = match scale {
+        Scale::Paper => gsi_workloads::uts::UtsConfig::paper(),
+        Scale::Small => gsi_workloads::uts::UtsConfig::small(),
+    };
+    let cores = match scale {
+        Scale::Paper => 15,
+        Scale::Small => 4,
+    };
+    Experiment::new(name, move || {
+        let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
+        let mut sim = Simulator::new(sys);
+        uts::run(&mut sim, &cfg, variant).expect("UTS completes").run
+    })
+}
+
+fn implicit_experiment(name: &str, scale: Scale, style: LocalMemStyle, mshr: usize) -> Experiment {
+    let cfg = match scale {
+        Scale::Paper => implicit::ImplicitConfig::paper(style),
+        Scale::Small => implicit::ImplicitConfig::small(style),
+    };
+    Experiment::new(name, move || {
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(1)
+            .with_local_mem(style.mem_kind())
+            .with_mshr(mshr);
+        let mut sim = Simulator::new(sys);
+        implicit::run(&mut sim, &cfg).expect("implicit completes").run
+    })
+}
+
+/// The experiment grid: both UTS variants under both protocols, and the
+/// implicit microbenchmark over every local-memory style at two MSHR
+/// sizes — the backbone of the paper's Figures 6.1–6.4.
+fn grid(scale: Scale) -> Vec<Experiment> {
+    let mut experiments = Vec::new();
+    for (wname, variant) in [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)] {
+        for (pname, protocol) in [("gpu", Protocol::GpuCoherence), ("denovo", Protocol::DeNovo)] {
+            experiments.push(uts_experiment(&format!("{wname}/{pname}"), scale, variant, protocol));
+        }
+    }
+    let mshrs: &[usize] = match scale {
+        Scale::Paper => &[32, 256],
+        Scale::Small => &[8, 32],
+    };
+    for style in LocalMemStyle::ALL {
+        for &m in mshrs {
+            experiments.push(implicit_experiment(
+                &format!("implicit-{style}/mshr{m}"),
+                scale,
+                style,
+                m,
+            ));
+        }
+    }
+    experiments
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut threads = default_threads();
+    let mut out = String::from("BENCH_PR1.json");
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+
+    let experiments = grid(scale);
+    let n = experiments.len();
+    if !quiet {
+        println!("sweeping {n} experiments on {threads} thread(s)...");
+    }
+    let outcome = run_sweep(experiments, threads);
+
+    if !quiet {
+        for r in &outcome.results {
+            let secs = r.wall.as_secs_f64();
+            println!(
+                "  {:<28} {:>9} cycles  {:>7.3}s  {:>12.0} cycles/s",
+                r.name,
+                r.run.cycles,
+                secs,
+                if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs },
+            );
+        }
+        println!(
+            "wall {:.3}s vs serial {:.3}s ({:.2}x on {} threads)",
+            outcome.wall.as_secs_f64(),
+            outcome.serial_wall().as_secs_f64(),
+            outcome.speedup(),
+            outcome.threads,
+        );
+    }
+
+    std::fs::write(&out, outcome.to_json().to_string_pretty()).expect("write report");
+    println!("wrote {out}");
+}

@@ -9,7 +9,7 @@
 //! | Figure 6.2 (UTSD) | [`figure_6_2`] | `figures --fig 6.2` |
 //! | Figure 6.3 (implicit: scratchpad / +DMA / stash) | [`figure_6_3`] | `figures --fig 6.3` |
 //! | Figure 6.4 (MSHR sweep 32→256) | [`figure_6_4`] | `figures --fig 6.4` |
-//! | §5 "GSI adds ~5% simulation time" | `benches/gsi_overhead.rs` | `cargo bench` |
+//! | §5 "GSI adds ~5% simulation time" | [`profiling_overhead`] | `figures --overhead` |
 //!
 //! Every figure function returns both the rendered [`Figure`] (three
 //! panels: execution-time breakdown, memory-data sub-breakdown,
@@ -20,11 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use gsi_core::report::Figure;
 use gsi_mem::Protocol;
 use gsi_sim::{KernelRun, Simulator, SystemConfig};
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
+use sweep::{default_threads, run_sweep, Experiment};
 
 /// Experiment scale: the paper-like sizes, or a fast scale for tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,20 +90,26 @@ pub fn table_5_1() -> String {
     SystemConfig::paper().table_5_1()
 }
 
+/// Run a list of experiments on all available cores and pair each result
+/// with its name, in submission order.
+fn sweep_runs(experiments: Vec<Experiment>) -> Vec<(String, KernelRun)> {
+    run_sweep(experiments, default_threads()).results.into_iter().map(|r| (r.name, r.run)).collect()
+}
+
 fn protocol_comparison(title: &str, scale: Scale, variant: Variant) -> FigureResult {
-    let cfg = scale.uts();
-    let mut runs = Vec::new();
-    for (name, protocol) in
-        [("GPU coherence", Protocol::GpuCoherence), ("DeNovo", Protocol::DeNovo)]
-    {
-        let sys = SystemConfig::paper()
-            .with_gpu_cores(scale.gpu_cores())
-            .with_protocol(protocol);
-        let mut sim = Simulator::new(sys);
-        let out = uts::run(&mut sim, &cfg, variant).expect("UTS completes");
-        runs.push((name.to_string(), out.run));
-    }
-    FigureResult::new(title, runs)
+    let experiments = [("GPU coherence", Protocol::GpuCoherence), ("DeNovo", Protocol::DeNovo)]
+        .into_iter()
+        .map(|(name, protocol)| {
+            let cfg = scale.uts();
+            let cores = scale.gpu_cores();
+            Experiment::new(name, move || {
+                let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
+                let mut sim = Simulator::new(sys);
+                uts::run(&mut sim, &cfg, variant).expect("UTS completes").run
+            })
+        })
+        .collect();
+    FigureResult::new(title, sweep_runs(experiments))
 }
 
 /// Figure 6.1: stall cycle breakdowns for UTS, GPU coherence vs DeNovo,
@@ -123,19 +132,29 @@ pub fn figure_6_2(scale: Scale) -> FigureResult {
     )
 }
 
-fn implicit_comparison(title: &str, scale: Scale, mshr: Option<usize>) -> FigureResult {
-    let mut runs = Vec::new();
-    for style in LocalMemStyle::ALL {
-        let cfg = scale.implicit(style);
+fn implicit_experiment(
+    name: String,
+    scale: Scale,
+    style: LocalMemStyle,
+    mshr: Option<usize>,
+) -> Experiment {
+    let cfg = scale.implicit(style);
+    Experiment::new(name, move || {
         let mut sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
         if let Some(m) = mshr {
             sys = sys.with_mshr(m);
         }
         let mut sim = Simulator::new(sys);
-        let out = implicit::run(&mut sim, &cfg).expect("implicit completes");
-        runs.push((style.to_string(), out.run));
-    }
-    FigureResult::new(title, runs)
+        implicit::run(&mut sim, &cfg).expect("implicit completes").run
+    })
+}
+
+fn implicit_comparison(title: &str, scale: Scale, mshr: Option<usize>) -> FigureResult {
+    let experiments = LocalMemStyle::ALL
+        .into_iter()
+        .map(|style| implicit_experiment(style.to_string(), scale, style, mshr))
+        .collect();
+    FigureResult::new(title, sweep_runs(experiments))
 }
 
 /// Figure 6.3: stall cycle breakdowns for the implicit microbenchmark
@@ -157,22 +176,20 @@ pub fn figure_6_4(scale: Scale) -> FigureResult {
         Scale::Paper => &[32, 64, 128, 256],
         Scale::Small => &[8, 32],
     };
-    let mut runs = Vec::new();
+    let mut experiments = Vec::new();
     for &m in sizes {
         for style in LocalMemStyle::ALL {
-            let cfg = scale.implicit(style);
-            let sys = SystemConfig::paper()
-                .with_gpu_cores(1)
-                .with_local_mem(style.mem_kind())
-                .with_mshr(m);
-            let mut sim = Simulator::new(sys);
-            let out = implicit::run(&mut sim, &cfg).expect("implicit completes");
-            runs.push((format!("{style}/mshr{m}"), out.run));
+            experiments.push(implicit_experiment(
+                format!("{style}/mshr{m}"),
+                scale,
+                style,
+                Some(m),
+            ));
         }
     }
     FigureResult::new(
         "Figure 6.4: implicit with varying MSHR sizes (normalized to scratchpad/mshr-min)",
-        runs,
+        sweep_runs(experiments),
     )
 }
 

@@ -1,0 +1,194 @@
+//! Parallel sweep harness: fan independent simulations across OS threads.
+//!
+//! Every experiment of the paper's evaluation is an independent
+//! (workload × protocol × configuration) simulation, so the sweep
+//! parallelizes trivially: a scoped thread pool pulls experiment indices
+//! off a shared atomic counter and each worker builds and runs its
+//! simulator from scratch. Results land in per-index slots, so the
+//! returned vector is in sweep order regardless of which thread finished
+//! when — output stays deterministic while wall-clock time drops to
+//! roughly the longest single experiment.
+//!
+//! Built on `std::thread::scope` only; no external thread-pool crates.
+
+use gsi_sim::KernelRun;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One independent simulation: a display name plus a closure that builds
+/// the simulator and runs the workload from scratch (so experiments share
+/// no mutable state and can run on any thread).
+pub struct Experiment {
+    name: String,
+    run: Box<dyn Fn() -> KernelRun + Send + Sync>,
+}
+
+impl Experiment {
+    /// Wrap a closure as a named experiment.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl Fn() -> KernelRun + Send + Sync + 'static,
+    ) -> Self {
+        Experiment { name: name.into(), run: Box::new(run) }
+    }
+
+    /// The experiment's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The outcome of one experiment: its run, plus how long it took.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// The experiment's name.
+    pub name: String,
+    /// The simulation result.
+    pub run: KernelRun,
+    /// Wall-clock time this experiment took on its worker thread.
+    pub wall: Duration,
+}
+
+/// All results of a sweep, in the order the experiments were submitted.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-experiment results, in submission order.
+    pub results: Vec<SweepResult>,
+    /// Wall-clock time for the whole sweep.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepOutcome {
+    /// Sum of per-experiment wall times — what a serial sweep would have
+    /// cost. `wall < serial_wall()` is the evidence that work overlapped.
+    pub fn serial_wall(&self) -> Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// Parallel speedup over a serial sweep.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.serial_wall().as_secs_f64() / wall
+        }
+    }
+
+    /// A machine-readable report of the sweep: per-experiment cycles,
+    /// wall time, and simulation rate, plus the aggregate evidence that
+    /// the sweep ran multi-threaded.
+    pub fn to_json(&self) -> gsi_json::Value {
+        let experiments: Vec<gsi_json::Value> = self
+            .results
+            .iter()
+            .map(|r| {
+                let secs = r.wall.as_secs_f64();
+                let rate = if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs };
+                gsi_json::obj! {
+                    "name" => r.name,
+                    "cycles" => r.run.cycles,
+                    "instructions" => r.run.instructions,
+                    "wall_seconds" => secs,
+                    "cycles_per_second" => rate,
+                }
+            })
+            .collect();
+        gsi_json::obj! {
+            "threads" => self.threads,
+            "wall_seconds" => self.wall.as_secs_f64(),
+            "serial_wall_seconds" => self.serial_wall().as_secs_f64(),
+            "speedup" => self.speedup(),
+            "experiments" => experiments,
+        }
+    }
+}
+
+/// The hardware parallelism available, defaulting to 1 when unknown.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run every experiment, `threads` at a time, and collect the results in
+/// submission order.
+///
+/// Work is distributed dynamically (an atomic next-index counter), so
+/// uneven experiment lengths still keep all workers busy. Determinism:
+/// each experiment builds its own simulator, and results are stored by
+/// index, so the outcome is identical to a serial sweep.
+///
+/// # Panics
+///
+/// Propagates a panic from any experiment once all workers have stopped.
+pub fn run_sweep(experiments: Vec<Experiment>, threads: usize) -> SweepOutcome {
+    let threads = threads.clamp(1, experiments.len().max(1));
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepResult>>> =
+        experiments.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(exp) = experiments.get(i) else { break };
+                let start = Instant::now();
+                let run = (exp.run)();
+                let result = SweepResult { name: exp.name.clone(), run, wall: start.elapsed() };
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("experiment ran"))
+        .collect();
+    SweepOutcome { results, wall: t0.elapsed(), threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_sim::{Simulator, SystemConfig};
+    use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+
+    fn tiny_experiment(name: &str) -> Experiment {
+        Experiment::new(name, || {
+            let style = LocalMemStyle::Scratchpad;
+            let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+            let mut sim = Simulator::new(sys);
+            implicit::run(&mut sim, &ImplicitConfig::small(style)).expect("completes").run
+        })
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let names = ["a", "b", "c", "d", "e"];
+        let outcome = run_sweep(names.iter().map(|n| tiny_experiment(n)).collect(), 4);
+        let got: Vec<&str> = outcome.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_sweep(vec![tiny_experiment("x"), tiny_experiment("y")], 1);
+        let parallel = run_sweep(vec![tiny_experiment("x"), tiny_experiment("y")], 2);
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.run, p.run);
+        }
+    }
+
+    #[test]
+    fn json_report_has_per_experiment_rows() {
+        let outcome = run_sweep(vec![tiny_experiment("only")], 1);
+        let v = outcome.to_json();
+        let rows = v.get("experiments").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("only"));
+        assert!(rows[0].get("cycles").unwrap().as_u64().unwrap() > 0);
+    }
+}

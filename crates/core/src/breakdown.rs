@@ -1,7 +1,6 @@
 //! Accumulated stall-cycle breakdowns, the unit of reporting.
 
 use crate::stall::{MemDataCause, MemStructCause, StallKind};
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// A complete stall breakdown: cycles per category, plus the memory data and
@@ -19,7 +18,7 @@ use std::ops::{Add, AddAssign};
 /// assert_eq!(b.total_cycles(), 2);
 /// assert_eq!(b.cycles(StallKind::Synchronization), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     kinds: [u64; 8],
     mem_data: [u64; 5],
@@ -176,6 +175,8 @@ impl<'a> std::iter::Sum<&'a StallBreakdown> for StallBreakdown {
         acc
     }
 }
+
+gsi_json::json_struct!(StallBreakdown { kinds, mem_data, mem_struct });
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,6 @@
 //! classification.
 
 use crate::stall::{MemStructCause, RequestId, StallKind};
-use serde::{Deserialize, Serialize};
 
 /// The hazards observed for one warp instruction considered by the issue
 /// stage in one cycle.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the paper's priority chain; several may be true at once, and the
 /// classifier picks the *strongest* (the one most likely to still hold next
 /// cycle).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InstrHazards {
     /// The next instruction to issue is unavailable (instruction-buffer
     /// refetch after a taken branch).
@@ -121,7 +120,7 @@ pub fn classify_instruction(h: &InstrHazards) -> StallKind {
 /// latency, compute stalls may be prioritized ... instead of memory
 /// stalls". A `CyclePriority` captures that choice; the default is the
 /// paper's memory-focused Algorithm 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CyclePriority {
     order: [StallKind; 6],
 }
@@ -237,7 +236,7 @@ pub fn classify_cycle_with(
 
 /// The outcome of classifying one issue cycle: the chosen category plus the
 /// detail needed for sub-classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleVerdict {
     /// The category charged to this cycle.
     pub kind: StallKind,
@@ -272,13 +271,28 @@ pub fn judge_cycle_with(
     issued: bool,
     considered: &[InstrHazards],
 ) -> CycleVerdict {
+    let mut kinds = Vec::new();
+    judge_cycle_scratch(priority, issued, considered, &mut kinds)
+}
+
+/// [`judge_cycle_with`] writing the intermediate Algorithm-1 results into a
+/// caller-provided scratch buffer, so the per-cycle issue stage does not
+/// allocate on stalled cycles. `kinds_scratch` is cleared first; its
+/// contents afterwards are the per-instruction classifications.
+pub fn judge_cycle_scratch(
+    priority: &CyclePriority,
+    issued: bool,
+    considered: &[InstrHazards],
+    kinds_scratch: &mut Vec<StallKind>,
+) -> CycleVerdict {
     if issued {
         return CycleVerdict::bare(StallKind::NoStall);
     }
-    let kinds: Vec<StallKind> = considered.iter().map(classify_instruction).collect();
-    let kind = classify_cycle_with(priority, false, &kinds);
+    kinds_scratch.clear();
+    kinds_scratch.extend(considered.iter().map(classify_instruction));
+    let kind = classify_cycle_with(priority, false, kinds_scratch);
     let mut verdict = CycleVerdict::bare(kind);
-    if let Some(pos) = kinds.iter().position(|&k| k == kind) {
+    if let Some(pos) = kinds_scratch.iter().position(|&k| k == kind) {
         let h = &considered[pos];
         match kind {
             StallKind::MemoryStructural => verdict.mem_structural = h.mem_structural,
@@ -288,6 +302,8 @@ pub fn judge_cycle_with(
     }
     verdict
 }
+
+gsi_json::json_struct!(CyclePriority { order });
 
 #[cfg(test)]
 mod tests {
@@ -332,9 +348,8 @@ mod tests {
             StallKind::ComputeStructural,
         ];
         assert_eq!(classify_cycle(false, &all), StallKind::MemoryStructural);
-        let without = |k: StallKind| -> Vec<StallKind> {
-            all.iter().copied().filter(|&x| x != k).collect()
-        };
+        let without =
+            |k: StallKind| -> Vec<StallKind> { all.iter().copied().filter(|&x| x != k).collect() };
         let mut rest = without(StallKind::MemoryStructural);
         assert_eq!(classify_cycle(false, &rest), StallKind::MemoryData);
         rest.retain(|&x| x != StallKind::MemoryData);
@@ -351,10 +366,7 @@ mod tests {
 
     #[test]
     fn issue_wins_over_everything() {
-        assert_eq!(
-            classify_cycle(true, &[StallKind::MemoryStructural]),
-            StallKind::NoStall
-        );
+        assert_eq!(classify_cycle(true, &[StallKind::MemoryStructural]), StallKind::NoStall);
         let v = judge_cycle(true, &[InstrHazards::mem_structural(MemStructCause::MshrFull)]);
         assert_eq!(v.kind, StallKind::NoStall);
     }
@@ -379,10 +391,7 @@ mod tests {
 
     #[test]
     fn verdict_carries_blocking_request() {
-        let considered = [
-            InstrHazards::compute_data(),
-            InstrHazards::mem_data(RequestId(99)),
-        ];
+        let considered = [InstrHazards::compute_data(), InstrHazards::mem_data(RequestId(99))];
         let v = judge_cycle(false, &considered);
         assert_eq!(v.kind, StallKind::MemoryData);
         assert_eq!(v.blocking_request, Some(RequestId(99)));
@@ -444,6 +453,35 @@ mod tests {
             StallKind::Synchronization,
         ]);
         assert_eq!(bad, Err(StallKind::NoStall));
+    }
+
+    #[test]
+    fn scratch_judge_is_bit_identical_to_the_allocating_reference() {
+        // Enumerate every hazard combination over a two-instruction window;
+        // the scratch-buffer variant must agree with the allocating wrapper
+        // (the reference path) on every input, reusing one buffer throughout.
+        let hazard = |bits: u32| InstrHazards {
+            control: bits & 1 != 0,
+            synchronization: bits & 2 != 0,
+            mem_data: (bits & 4 != 0).then_some(RequestId(u64::from(bits))),
+            mem_structural: (bits & 8 != 0).then_some(MemStructCause::BankConflict),
+            compute_data: bits & 16 != 0,
+            compute_structural: bits & 32 != 0,
+        };
+        let mut scratch = Vec::new();
+        for priority in [CyclePriority::memory_focused(), CyclePriority::compute_focused()] {
+            for a in 0..64u32 {
+                for b in 0..64u32 {
+                    for issued in [false, true] {
+                        let considered = [hazard(a), hazard(b)];
+                        let reference = judge_cycle_with(&priority, issued, &considered);
+                        let fast =
+                            judge_cycle_scratch(&priority, issued, &considered, &mut scratch);
+                        assert_eq!(reference, fast, "a={a} b={b} issued={issued}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

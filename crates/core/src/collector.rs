@@ -31,6 +31,14 @@ pub struct StallCollector {
     ledger: AttributionLedger,
     enabled: bool,
     unresolved: u64,
+    /// Issue-cycle verdicts recorded (for the conservation invariant: every
+    /// observed cycle must land in exactly one breakdown bucket).
+    observed_cycles: u64,
+    /// Memory-data cycles whose verdict carried no blocking request, so
+    /// they can never be sub-classified.
+    uncharged_mem_data: u64,
+    /// Memory-structural cycles whose verdict carried no rejection cause.
+    uncaused_mem_struct: u64,
     /// Optional Aerialvision-style time series: one breakdown per epoch of
     /// `epoch_len` cycles.
     epoch_len: u64,
@@ -46,6 +54,9 @@ impl StallCollector {
             ledger: AttributionLedger::new(),
             enabled: true,
             unresolved: 0,
+            observed_cycles: 0,
+            uncharged_mem_data: 0,
+            uncaused_mem_struct: 0,
             epoch_len: 0,
             epoch_cursor: 0,
             epochs: Vec::new(),
@@ -89,6 +100,7 @@ impl StallCollector {
         if !self.enabled {
             return;
         }
+        self.observed_cycles += 1;
         self.breakdown.add_cycle(verdict.kind);
         if self.epoch_len > 0 {
             if self.epoch_cursor == 0 {
@@ -104,15 +116,20 @@ impl StallCollector {
                     if let Some(e) = self.epochs.last_mut() {
                         e.add_mem_struct(cause, 1);
                     }
+                } else {
+                    self.uncaused_mem_struct += 1;
                 }
             }
             StallKind::MemoryData => {
                 if let Some(req) = verdict.blocking_request {
                     self.ledger.charge(req);
+                } else {
+                    self.uncharged_mem_data += 1;
                 }
             }
             _ => {}
         }
+        self.debug_check_invariants();
     }
 
     /// A load completed: commit any stall cycles charged against it to the
@@ -128,6 +145,29 @@ impl StallCollector {
                 e.add_mem_data(serviced_at, cycles);
             }
         }
+        self.debug_check_invariants();
+    }
+
+    /// GSI's accounting invariants, checked (in debug builds) after every
+    /// recorded event: every observed cycle lands in exactly one top-level
+    /// bucket, and each memory sub-breakdown partitions its parent once
+    /// in-flight and unattributable charges are accounted for.
+    fn debug_check_invariants(&self) {
+        debug_assert_eq!(
+            self.breakdown.total_cycles(),
+            self.observed_cycles,
+            "every observed cycle must land in exactly one bucket"
+        );
+        debug_assert_eq!(
+            self.breakdown.cycles(StallKind::MemoryData),
+            self.breakdown.mem_data_total() + self.ledger.pending_total() + self.uncharged_mem_data,
+            "memory-data cycles = committed + in-flight + unattributable"
+        );
+        debug_assert_eq!(
+            self.breakdown.cycles(StallKind::MemoryStructural),
+            self.breakdown.mem_struct_total() + self.uncaused_mem_struct,
+            "memory-structural sub-breakdown must sum to its parent"
+        );
     }
 
     /// The breakdown accumulated so far.
@@ -143,11 +183,17 @@ impl StallCollector {
     /// completed (booked as [`MemDataCause::MainMemory`], the conservative
     /// choice) and return the final breakdown.
     pub fn finish(mut self) -> StallBreakdown {
+        self.debug_check_invariants();
         let dangling = self.ledger.drain_unresolved();
         if dangling > 0 {
             self.unresolved = dangling;
             self.breakdown.add_mem_data(MemDataCause::MainMemory, dangling);
         }
+        debug_assert_eq!(
+            self.breakdown.cycles(StallKind::MemoryData),
+            self.breakdown.mem_data_total() + self.uncharged_mem_data,
+            "after finish, the memory-data sub-breakdown must sum to its parent"
+        );
         self.breakdown
     }
 
@@ -268,6 +314,24 @@ mod tests {
         let epochs = c.epochs();
         assert_eq!(epochs.len(), 2);
         assert_eq!(epochs[1].mem_data_cycles(MemDataCause::L2), 3);
+    }
+
+    #[test]
+    fn bare_verdicts_without_detail_stay_consistent() {
+        // Hand-built verdicts can lack a blocking request or rejection
+        // cause; the conservation invariants must still hold (the cycles
+        // are counted but never sub-classified).
+        let mut c = StallCollector::new();
+        c.record_cycle(&CycleVerdict::bare(StallKind::MemoryData));
+        c.record_cycle(&CycleVerdict::bare(StallKind::MemoryStructural));
+        let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(4))]);
+        c.record_cycle(&v);
+        c.on_fill(RequestId(4), MemDataCause::L1);
+        let b = c.finish();
+        assert_eq!(b.cycles(StallKind::MemoryData), 2);
+        assert_eq!(b.mem_data_total(), 1, "the bare cycle has no sub-bucket");
+        assert_eq!(b.cycles(StallKind::MemoryStructural), 1);
+        assert_eq!(b.mem_struct_total(), 0);
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl AttributionLedger {
         self.pending.len()
     }
 
+    /// Total cycles charged but not yet committed, across all requests.
+    pub fn pending_total(&self) -> u64 {
+        self.pending.values().sum()
+    }
+
     /// True when no charges are outstanding.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
@@ -110,5 +115,17 @@ mod tests {
         assert_eq!(l.drain_unresolved(), 3);
         assert!(l.is_empty());
         assert_eq!(l.drain_unresolved(), 0);
+    }
+
+    #[test]
+    fn pending_total_sums_all_requests() {
+        let mut l = AttributionLedger::new();
+        assert_eq!(l.pending_total(), 0);
+        l.charge(RequestId(1));
+        l.charge(RequestId(1));
+        l.charge(RequestId(2));
+        assert_eq!(l.pending_total(), 3);
+        let _ = l.commit(RequestId(1));
+        assert_eq!(l.pending_total(), 1);
     }
 }

@@ -52,8 +52,8 @@ mod stall;
 
 pub use breakdown::StallBreakdown;
 pub use classify::{
-    classify_cycle, classify_cycle_with, classify_instruction, judge_cycle, judge_cycle_with,
-    CyclePriority, CycleVerdict, InstrHazards,
+    classify_cycle, classify_cycle_with, classify_instruction, judge_cycle, judge_cycle_scratch,
+    judge_cycle_with, CyclePriority, CycleVerdict, InstrHazards,
 };
 pub use collector::StallCollector;
 pub use ledger::AttributionLedger;

@@ -4,11 +4,10 @@
 
 use crate::breakdown::StallBreakdown;
 use crate::stall::{MemDataCause, MemStructCause, StallKind};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Which panel of a paper figure to render.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Panel {
     /// Panel (a): the full execution-time breakdown across all eight
     /// categories.
@@ -74,7 +73,7 @@ fn mem_struct_glyph(cause: MemStructCause) -> char {
 /// assert!(text.contains("baseline"));
 /// assert!(text.contains("improved"));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure title (e.g. `"Figure 6.2: UTSD"`).
     pub title: String,
@@ -107,10 +106,9 @@ impl Figure {
 
     fn segments(&self, panel: Panel, b: &StallBreakdown) -> Vec<(char, &'static str, u64)> {
         match panel {
-            Panel::Execution => StallKind::ALL
-                .iter()
-                .map(|&k| (kind_glyph(k), k.short(), b.cycles(k)))
-                .collect(),
+            Panel::Execution => {
+                StallKind::ALL.iter().map(|&k| (kind_glyph(k), k.short(), b.cycles(k))).collect()
+            }
             Panel::MemData => MemDataCause::ALL
                 .iter()
                 .map(|&c| (mem_data_glyph(c), c.short(), b.mem_data_cycles(c)))
@@ -160,11 +158,8 @@ impl Figure {
                     bar.push(*glyph);
                 }
             }
-            let norm = if denom == 0 {
-                0.0
-            } else {
-                Self::panel_total(panel, b) as f64 / denom as f64
-            };
+            let norm =
+                if denom == 0 { 0.0 } else { Self::panel_total(panel, b) as f64 / denom as f64 };
             let _ = writeln!(out, "{name:>name_w$} |{bar} {norm:.2}");
         }
         if !used.is_empty() {
@@ -363,9 +358,8 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let fig = Figure::new("t")
-            .with_entry("a", sample(1, 2, 3))
-            .with_entry("b", sample(4, 5, 6));
+        let fig =
+            Figure::new("t").with_entry("a", sample(1, 2, 3)).with_entry("b", sample(4, 5, 6));
         let csv = fig.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);

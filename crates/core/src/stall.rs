@@ -1,6 +1,5 @@
 //! The stall taxonomy of the paper (Chapter 4).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classification of one issue cycle or one considered warp instruction.
@@ -14,7 +13,7 @@ use std::fmt;
 /// assert_eq!(StallKind::ALL.len(), 8);
 /// assert_eq!(StallKind::MemoryData.to_string(), "memory data");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StallKind {
     /// An instruction was able to issue this cycle.
     NoStall,
@@ -108,7 +107,7 @@ impl fmt::Display for StallKind {
 ///
 /// Memory data stalls are sub-classified by the level of the memory
 /// hierarchy that ultimately supplied the data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemDataCause {
     /// Satisfied by the local L1 cache (hit, or LSU-internal delay).
     L1,
@@ -173,7 +172,7 @@ impl fmt::Display for MemDataCause {
 
 /// Why the load/store unit rejected a ready memory instruction
 /// (Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemStructCause {
     /// No free miss-status holding register.
     MshrFull,
@@ -241,12 +240,45 @@ impl fmt::Display for MemStructCause {
 ///
 /// Request ids are allocated by the memory system and must be unique among
 /// in-flight requests of one SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "req#{}", self.0)
+    }
+}
+
+gsi_json::json_unit_enum!(StallKind {
+    NoStall,
+    Idle,
+    Control,
+    Synchronization,
+    MemoryData,
+    MemoryStructural,
+    ComputeData,
+    ComputeStructural,
+});
+
+gsi_json::json_unit_enum!(MemDataCause { L1, L1Coalescing, L2, RemoteL1, MainMemory });
+
+gsi_json::json_unit_enum!(MemStructCause {
+    MshrFull,
+    StoreBufferFull,
+    BankConflict,
+    PendingRelease,
+    PendingDma,
+});
+
+impl gsi_json::ToJson for RequestId {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::Value::U64(self.0)
+    }
+}
+
+impl gsi_json::FromJson for RequestId {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        v.as_u64().map(RequestId).ok_or_else(|| gsi_json::JsonError::expected("request id", v))
     }
 }
 

@@ -1,105 +1,141 @@
-//! Property tests for the classification algorithms and breakdown algebra.
+//! Randomized tests for the classification algorithms and breakdown
+//! algebra, driven by a fixed-seed SplitMix64 generator (deterministic, no
+//! external crates).
 
 use gsi_core::{
-    classify_cycle, classify_instruction, judge_cycle, InstrHazards, MemDataCause,
-    MemStructCause, RequestId, StallBreakdown, StallCollector, StallKind,
+    classify_cycle, classify_instruction, judge_cycle, InstrHazards, MemDataCause, MemStructCause,
+    RequestId, StallBreakdown, StallCollector, StallKind,
 };
-use proptest::prelude::*;
 
-fn arb_mem_struct() -> impl Strategy<Value = MemStructCause> {
-    prop_oneof![
-        Just(MemStructCause::MshrFull),
-        Just(MemStructCause::StoreBufferFull),
-        Just(MemStructCause::BankConflict),
-        Just(MemStructCause::PendingRelease),
-        Just(MemStructCause::PendingDma),
-    ]
-}
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
 
-fn arb_hazards() -> impl Strategy<Value = InstrHazards> {
-    (
-        any::<bool>(),
-        any::<bool>(),
-        proptest::option::of(any::<u64>()),
-        proptest::option::of(arb_mem_struct()),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(control, synchronization, req, ms, cd, cs)| InstrHazards {
-            control,
-            synchronization,
-            mem_data: req.map(RequestId),
-            mem_structural: ms,
-            compute_data: cd,
-            compute_structural: cs,
-        })
-}
-
-proptest! {
-    /// Algorithm 1 returns NoStall iff no hazard is present.
-    #[test]
-    fn instruction_classification_is_no_stall_iff_clean(h in arb_hazards()) {
-        prop_assert_eq!(classify_instruction(&h) == StallKind::NoStall, h.can_issue());
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
     }
 
-    /// Algorithm 1 never invents hazards: the returned kind's flag is set.
-    #[test]
-    fn instruction_classification_reflects_a_real_hazard(h in arb_hazards()) {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+const MEM_STRUCTS: &[MemStructCause] = &[
+    MemStructCause::MshrFull,
+    MemStructCause::StoreBufferFull,
+    MemStructCause::BankConflict,
+    MemStructCause::PendingRelease,
+    MemStructCause::PendingDma,
+];
+
+fn random_hazards(rng: &mut Rng) -> InstrHazards {
+    InstrHazards {
+        control: rng.flag(),
+        synchronization: rng.flag(),
+        mem_data: if rng.flag() { Some(RequestId(rng.next())) } else { None },
+        mem_structural: if rng.flag() {
+            Some(MEM_STRUCTS[rng.below(MEM_STRUCTS.len() as u64) as usize])
+        } else {
+            None
+        },
+        compute_data: rng.flag(),
+        compute_structural: rng.flag(),
+    }
+}
+
+/// Algorithm 1 returns NoStall iff no hazard is present.
+#[test]
+fn instruction_classification_is_no_stall_iff_clean() {
+    let mut rng = Rng::new(0xC04E_0001);
+    for _ in 0..256 {
+        let h = random_hazards(&mut rng);
+        assert_eq!(classify_instruction(&h) == StallKind::NoStall, h.can_issue());
+    }
+}
+
+/// Algorithm 1 never invents hazards: the returned kind's flag is set.
+#[test]
+fn instruction_classification_reflects_a_real_hazard() {
+    let mut rng = Rng::new(0xC04E_0002);
+    for _ in 0..256 {
+        let h = random_hazards(&mut rng);
         match classify_instruction(&h) {
-            StallKind::Control => prop_assert!(h.control),
-            StallKind::Synchronization => prop_assert!(h.synchronization),
-            StallKind::MemoryData => prop_assert!(h.mem_data.is_some()),
-            StallKind::MemoryStructural => prop_assert!(h.mem_structural.is_some()),
-            StallKind::ComputeData => prop_assert!(h.compute_data),
-            StallKind::ComputeStructural => prop_assert!(h.compute_structural),
-            StallKind::NoStall => prop_assert!(h.can_issue()),
-            StallKind::Idle => prop_assert!(false, "Algorithm 1 never yields Idle"),
+            StallKind::Control => assert!(h.control),
+            StallKind::Synchronization => assert!(h.synchronization),
+            StallKind::MemoryData => assert!(h.mem_data.is_some()),
+            StallKind::MemoryStructural => assert!(h.mem_structural.is_some()),
+            StallKind::ComputeData => assert!(h.compute_data),
+            StallKind::ComputeStructural => assert!(h.compute_structural),
+            StallKind::NoStall => assert!(h.can_issue()),
+            StallKind::Idle => panic!("Algorithm 1 never yields Idle"),
         }
     }
+}
 
-    /// Algorithm 2 yields a kind that was actually present (or Idle/NoStall).
-    #[test]
-    fn cycle_classification_picks_present_kind(
-        hazards in proptest::collection::vec(arb_hazards(), 0..8),
-        issued in any::<bool>(),
-    ) {
+/// Algorithm 2 yields a kind that was actually present (or Idle/NoStall).
+#[test]
+fn cycle_classification_picks_present_kind() {
+    let mut rng = Rng::new(0xC04E_0003);
+    for _ in 0..256 {
+        let n = rng.below(8) as usize;
+        let hazards: Vec<InstrHazards> = (0..n).map(|_| random_hazards(&mut rng)).collect();
+        let issued = rng.flag();
+
         let kinds: Vec<StallKind> = hazards.iter().map(classify_instruction).collect();
         let verdict = classify_cycle(issued, &kinds);
         if issued {
-            prop_assert_eq!(verdict, StallKind::NoStall);
+            assert_eq!(verdict, StallKind::NoStall);
         } else if kinds.iter().all(|&k| k == StallKind::NoStall) && !kinds.is_empty() {
             // All considered could issue but none did (slot limits): the
             // weakest-stall rule has nothing to blame, so Idle results.
-            prop_assert_eq!(verdict, StallKind::Idle);
+            assert_eq!(verdict, StallKind::Idle);
         } else if kinds.is_empty() {
-            prop_assert_eq!(verdict, StallKind::Idle);
+            assert_eq!(verdict, StallKind::Idle);
         } else {
-            prop_assert!(kinds.contains(&verdict), "{:?} not in {:?}", verdict, kinds);
+            assert!(kinds.contains(&verdict), "{verdict:?} not in {kinds:?}");
         }
     }
+}
 
-    /// judge_cycle's sub-classification detail comes from a matching
-    /// instruction.
-    #[test]
-    fn verdict_detail_is_consistent(
-        hazards in proptest::collection::vec(arb_hazards(), 0..8),
-    ) {
+/// judge_cycle's sub-classification detail comes from a matching
+/// instruction.
+#[test]
+fn verdict_detail_is_consistent() {
+    let mut rng = Rng::new(0xC04E_0004);
+    for _ in 0..256 {
+        let n = rng.below(8) as usize;
+        let hazards: Vec<InstrHazards> = (0..n).map(|_| random_hazards(&mut rng)).collect();
+
         let v = judge_cycle(false, &hazards);
         if v.kind == StallKind::MemoryStructural {
-            prop_assert!(hazards.iter().any(|h| h.mem_structural == v.mem_structural));
+            assert!(hazards.iter().any(|h| h.mem_structural == v.mem_structural));
         }
         if v.kind == StallKind::MemoryData {
-            prop_assert!(hazards.iter().any(|h| h.mem_data == v.blocking_request));
+            assert!(hazards.iter().any(|h| h.mem_data == v.blocking_request));
         }
     }
+}
 
-    /// Breakdown merge is commutative and associative; totals are linear.
-    #[test]
-    fn breakdown_algebra(
-        counts_a in proptest::collection::vec(0u64..1000, 8),
-        counts_b in proptest::collection::vec(0u64..1000, 8),
-        counts_c in proptest::collection::vec(0u64..1000, 8),
-    ) {
+/// Breakdown merge is commutative and associative; totals are linear.
+#[test]
+fn breakdown_algebra() {
+    let mut rng = Rng::new(0xC04E_0005);
+    for _ in 0..64 {
+        let draw = |rng: &mut Rng| -> Vec<u64> { (0..8).map(|_| rng.below(1000)).collect() };
+        let (counts_a, counts_b, counts_c) = (draw(&mut rng), draw(&mut rng), draw(&mut rng));
         let mk = |counts: &[u64]| {
             let mut b = StallBreakdown::new();
             for (k, &n) in StallKind::ALL.iter().zip(counts) {
@@ -108,24 +144,22 @@ proptest! {
             b
         };
         let (a, b, c) = (mk(&counts_a), mk(&counts_b), mk(&counts_c));
-        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
-        prop_assert_eq!(
-            (a.clone() + b.clone()) + c.clone(),
-            a.clone() + (b.clone() + c.clone())
-        );
-        prop_assert_eq!(
-            (a.clone() + b.clone()).total_cycles(),
-            a.total_cycles() + b.total_cycles()
-        );
+        assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        assert_eq!((a.clone() + b.clone()) + c.clone(), a.clone() + (b.clone() + c.clone()));
+        assert_eq!((a.clone() + b.clone()).total_cycles(), a.total_cycles() + b.total_cycles());
     }
+}
 
-    /// The collector conserves cycles: every recorded verdict lands in
-    /// exactly one bucket, and committed memory-data cycles equal charged
-    /// ones.
-    #[test]
-    fn collector_conserves_cycles(
-        cycles in proptest::collection::vec((arb_hazards(), any::<bool>()), 1..100),
-    ) {
+/// The collector conserves cycles: every recorded verdict lands in exactly
+/// one bucket, and committed memory-data cycles equal charged ones.
+#[test]
+fn collector_conserves_cycles() {
+    let mut rng = Rng::new(0xC04E_0006);
+    for _ in 0..64 {
+        let ncycles = 1 + rng.below(99) as usize;
+        let cycles: Vec<(InstrHazards, bool)> =
+            (0..ncycles).map(|_| (random_hazards(&mut rng), rng.flag())).collect();
+
         let mut c = StallCollector::new();
         let mut outstanding = Vec::new();
         let mut recorded = 0u64;
@@ -143,21 +177,24 @@ proptest! {
             }
         }
         let b = c.finish();
-        prop_assert_eq!(b.total_cycles(), recorded);
-        prop_assert_eq!(b.mem_data_total(), b.cycles(StallKind::MemoryData));
+        assert_eq!(b.total_cycles(), recorded);
+        assert_eq!(b.mem_data_total(), b.cycles(StallKind::MemoryData));
     }
+}
 
-    /// Normalization against self always sums to 1 for non-empty breakdowns.
-    #[test]
-    fn self_normalization_sums_to_one(
-        counts in proptest::collection::vec(0u64..1000, 8),
-    ) {
-        prop_assume!(counts.iter().sum::<u64>() > 0);
+/// Normalization against self always sums to 1 for non-empty breakdowns.
+#[test]
+fn self_normalization_sums_to_one() {
+    let mut rng = Rng::new(0xC04E_0007);
+    for _ in 0..64 {
         let mut b = StallBreakdown::new();
-        for (k, &n) in StallKind::ALL.iter().zip(&counts) {
-            b.add_cycles(*k, n);
+        for k in StallKind::ALL.iter() {
+            b.add_cycles(*k, rng.below(1000));
+        }
+        if b.total_cycles() == 0 {
+            continue;
         }
         let total: f64 = b.normalized_to(&b).iter().map(|(_, v)| v).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }

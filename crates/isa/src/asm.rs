@@ -66,13 +66,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
 /// Parse `[rN+OFF]` into `(reg, offset)`.
 fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
     let tok = tok.trim().trim_end_matches(',');
-    let inner = tok
-        .strip_prefix('[')
-        .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| ParseError {
-            line,
-            message: format!("expected memory operand `[rN+OFF]`, got `{tok}`"),
-        })?;
+    let inner = tok.strip_prefix('[').and_then(|t| t.strip_suffix(']')).ok_or_else(|| {
+        ParseError { line, message: format!("expected memory operand `[rN+OFF]`, got `{tok}`") }
+    })?;
     // The offset is signed and printed as `+{offset}` with offset possibly
     // negative, i.e. `r2+-8`.
     match inner.split_once('+') {
@@ -92,8 +88,7 @@ fn parse_target(tok: &str, line: usize) -> Result<usize, ParseError> {
     let Some(n) = tok.strip_prefix('@') else {
         return err(line, format!("expected branch target `@N`, got `{tok}`"));
     };
-    n.parse::<usize>()
-        .map_err(|_| ParseError { line, message: format!("bad target `{tok}`") })
+    n.parse::<usize>().map_err(|_| ParseError { line, message: format!("bad target `{tok}`") })
 }
 
 fn parse_alu_op(mnemonic: &str) -> Option<AluOp> {
@@ -143,10 +138,8 @@ fn parse_instr(text: &str, line: usize) -> Result<Instr, ParseError> {
             dst: parse_reg(arg(0)?, line)?,
             imm: {
                 let tok = arg(1)?.trim_end_matches(',');
-                tok.parse::<u64>().map_err(|_| ParseError {
-                    line,
-                    message: format!("bad immediate `{tok}`"),
-                })?
+                tok.parse::<u64>()
+                    .map_err(|_| ParseError { line, message: format!("bad immediate `{tok}`") })?
             },
         }),
         "sel" => Ok(Instr::Sel {
@@ -201,11 +194,8 @@ fn parse_instr(text: &str, line: usize) -> Result<Instr, ParseError> {
         "braz" | "branz" => {
             let reg = parse_reg(arg(0)?, line)?;
             let target = parse_target(arg(1)?, line)?;
-            let cond = if mnemonic == "braz" {
-                BranchCond::Zero(reg)
-            } else {
-                BranchCond::NonZero(reg)
-            };
+            let cond =
+                if mnemonic == "braz" { BranchCond::Zero(reg) } else { BranchCond::NonZero(reg) };
             Ok(Instr::Bra { cond, target })
         }
         "braz.div" | "branz.div" => {

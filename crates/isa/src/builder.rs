@@ -515,7 +515,10 @@ mod tests {
         b.exit();
         let p = b.build().unwrap();
         assert_eq!(p.len(), 6);
-        assert!(matches!(p.fetch(3).unwrap(), Instr::Atom { op: AtomOp::Cas, sem: MemSem::Acquire, .. }));
+        assert!(matches!(
+            p.fetch(3).unwrap(),
+            Instr::Atom { op: AtomOp::Cas, sem: MemSem::Acquire, .. }
+        ));
     }
 
     #[test]

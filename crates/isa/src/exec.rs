@@ -18,13 +18,7 @@ pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::DivU => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        AluOp::DivU => a.checked_div(b).unwrap_or(0),
         AluOp::RemU => {
             if b == 0 {
                 a

@@ -1,10 +1,9 @@
 //! Instruction definitions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose register index (`r0` .. `r31`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl fmt::Display for Reg {
@@ -14,7 +13,7 @@ impl fmt::Display for Reg {
 }
 
 /// An ALU operand: a register or a 64-bit immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Read the per-lane register.
     Reg(Reg),
@@ -44,7 +43,7 @@ impl fmt::Display for Operand {
 }
 
 /// Arithmetic/logic operations. All arithmetic wraps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -113,7 +112,7 @@ impl fmt::Display for AluOp {
 }
 
 /// Compute pipelines of the SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecUnit {
     /// The main integer/FP ALU pipeline (short latency, wide).
     Alu,
@@ -126,7 +125,7 @@ pub enum ExecUnit {
 /// Under the data-race-free consistency model the paper uses, acquires
 /// self-invalidate the L1 and releases flush the store buffer before
 /// completing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSem {
     /// No ordering.
     Relaxed,
@@ -152,7 +151,7 @@ impl MemSem {
 }
 
 /// Read-modify-write operations, all serviced at the shared L2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomOp {
     /// Compare-and-swap: `dst = old; if old == a { mem = b }`.
     Cas,
@@ -180,7 +179,7 @@ impl fmt::Display for AtomOp {
 }
 
 /// Branch conditions, evaluated on lane 0 (warp-uniform branching).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchCond {
     /// Taken when lane 0's register is zero.
     Zero(Reg),
@@ -188,12 +187,52 @@ pub enum BranchCond {
     NonZero(Reg),
 }
 
+/// A fixed-capacity list of source registers. No instruction reads more
+/// than three registers, so the issue stage's per-cycle hazard scan never
+/// needs a heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceRegs {
+    regs: [Reg; 3],
+    len: u8,
+}
+
+impl SourceRegs {
+    /// An empty list.
+    pub fn new() -> Self {
+        SourceRegs { regs: [Reg(0); 3], len: 0 }
+    }
+
+    fn push(&mut self, r: Reg) {
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// The collected registers.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl Default for SourceRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SourceRegs {
+    type Target = [Reg];
+
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
 /// One instruction of the virtual ISA.
 ///
 /// Branch targets are instruction indices into the owning
 /// [`Program`](crate::Program); the [`ProgramBuilder`](crate::ProgramBuilder)
 /// resolves symbolic labels to indices at build time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// `dst = op(a, b)` per lane.
     Alu {
@@ -364,14 +403,17 @@ impl Instr {
         )
     }
 
-    /// The registers this instruction reads.
-    pub fn sources(&self) -> Vec<Reg> {
-        fn op(v: &mut Vec<Reg>, o: &Operand) {
+    /// The registers this instruction reads, without heap allocation.
+    ///
+    /// This is what the issue stage's hazard scan uses every cycle; see
+    /// [`sources`](Self::sources) for the allocating convenience form.
+    pub fn source_regs(&self) -> SourceRegs {
+        let mut v = SourceRegs::new();
+        fn op(v: &mut SourceRegs, o: &Operand) {
             if let Operand::Reg(r) = o {
                 v.push(*r);
             }
         }
-        let mut v = Vec::new();
         match self {
             Instr::Alu { a, b, .. } => {
                 op(&mut v, a);
@@ -404,6 +446,11 @@ impl Instr {
             Instr::Ldi { .. } | Instr::Bar | Instr::Jmp { .. } | Instr::Exit | Instr::Nop => {}
         }
         v
+    }
+
+    /// The registers this instruction reads.
+    pub fn sources(&self) -> Vec<Reg> {
+        self.source_regs().as_slice().to_vec()
     }
 
     /// The register this instruction writes, if any.
@@ -454,6 +501,228 @@ impl fmt::Display for Instr {
             }
             Instr::Exit => write!(f, "exit"),
             Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON serialization. Unit variants encode as the variant name string,
+// payload variants as a single-key object: {"Variant": payload}.
+// ---------------------------------------------------------------------
+
+use gsi_json::{obj, FromJson, JsonError, ToJson, Value};
+
+gsi_json::json_unit_enum!(AluOp {
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    MinU,
+    MaxU,
+    SltU,
+    Seq,
+    Sne,
+});
+gsi_json::json_unit_enum!(ExecUnit { Alu, Sfu });
+gsi_json::json_unit_enum!(MemSem { Relaxed, Acquire, Release, AcqRel });
+gsi_json::json_unit_enum!(AtomOp { Cas, Exch, Add, Load, Store });
+
+impl ToJson for Reg {
+    fn to_json(&self) -> Value {
+        Value::U64(u64::from(self.0))
+    }
+}
+
+impl FromJson for Reg {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        u8::from_json(v).map(Reg)
+    }
+}
+
+impl ToJson for Operand {
+    fn to_json(&self) -> Value {
+        match self {
+            Operand::Reg(r) => obj! { "Reg" => r },
+            Operand::Imm(v) => obj! { "Imm" => v },
+        }
+    }
+}
+
+impl FromJson for Operand {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(r) = v.get("Reg") {
+            return Reg::from_json(r).map(Operand::Reg);
+        }
+        if let Some(imm) = v.get("Imm") {
+            return i64::from_json(imm).map(Operand::Imm);
+        }
+        Err(JsonError::expected("Reg or Imm operand", v))
+    }
+}
+
+impl ToJson for BranchCond {
+    fn to_json(&self) -> Value {
+        match self {
+            BranchCond::Zero(r) => obj! { "Zero" => r },
+            BranchCond::NonZero(r) => obj! { "NonZero" => r },
+        }
+    }
+}
+
+impl FromJson for BranchCond {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(r) = v.get("Zero") {
+            return Reg::from_json(r).map(BranchCond::Zero);
+        }
+        if let Some(r) = v.get("NonZero") {
+            return Reg::from_json(r).map(BranchCond::NonZero);
+        }
+        Err(JsonError::expected("Zero or NonZero condition", v))
+    }
+}
+
+impl ToJson for Instr {
+    fn to_json(&self) -> Value {
+        match self {
+            Instr::Alu { op, dst, a, b } => {
+                obj! { "Alu" => obj! { "op" => op, "dst" => dst, "a" => a, "b" => b } }
+            }
+            Instr::Ldi { dst, imm } => obj! { "Ldi" => obj! { "dst" => dst, "imm" => imm } },
+            Instr::Sel { dst, cond, a, b } => {
+                obj! { "Sel" => obj! { "dst" => dst, "cond" => cond, "a" => a, "b" => b } }
+            }
+            Instr::LdGlobal { dst, addr, offset } => {
+                obj! { "LdGlobal" => obj! { "dst" => dst, "addr" => addr, "offset" => offset } }
+            }
+            Instr::StGlobal { src, addr, offset } => {
+                obj! { "StGlobal" => obj! { "src" => src, "addr" => addr, "offset" => offset } }
+            }
+            Instr::LdLocal { dst, addr, offset } => {
+                obj! { "LdLocal" => obj! { "dst" => dst, "addr" => addr, "offset" => offset } }
+            }
+            Instr::StLocal { src, addr, offset } => {
+                obj! { "StLocal" => obj! { "src" => src, "addr" => addr, "offset" => offset } }
+            }
+            Instr::Atom { op, dst, addr, a, b, sem } => obj! {
+                "Atom" => obj! {
+                    "op" => op, "dst" => dst, "addr" => addr, "a" => a, "b" => b, "sem" => sem
+                }
+            },
+            Instr::Bar => Value::Str("Bar".to_string()),
+            Instr::Bra { cond, target } => {
+                obj! { "Bra" => obj! { "cond" => cond, "target" => target } }
+            }
+            Instr::BraDiv { cond, target, join } => {
+                obj! { "BraDiv" => obj! { "cond" => cond, "target" => target, "join" => join } }
+            }
+            Instr::Jmp { target } => obj! { "Jmp" => obj! { "target" => target } },
+            Instr::DmaLoad { global, local, bytes } => {
+                obj! { "DmaLoad" => obj! { "global" => global, "local" => local, "bytes" => bytes } }
+            }
+            Instr::DmaStore { global, local, bytes } => {
+                obj! { "DmaStore" => obj! { "global" => global, "local" => local, "bytes" => bytes } }
+            }
+            Instr::StashMap { global, local, bytes, writeback } => obj! {
+                "StashMap" => obj! {
+                    "global" => global, "local" => local, "bytes" => bytes,
+                    "writeback" => writeback
+                }
+            },
+            Instr::Exit => Value::Str("Exit".to_string()),
+            Instr::Nop => Value::Str("Nop".to_string()),
+        }
+    }
+}
+
+impl FromJson for Instr {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Bar" => Ok(Instr::Bar),
+                "Exit" => Ok(Instr::Exit),
+                "Nop" => Ok(Instr::Nop),
+                other => Err(JsonError::new(format!("unknown Instr variant `{other}`"))),
+            };
+        }
+        let fields = v.as_object().ok_or_else(|| JsonError::expected("Instr", v))?;
+        let [(name, body)] = fields else {
+            return Err(JsonError::expected("single-variant Instr object", v));
+        };
+        fn field<T: FromJson>(body: &Value, name: &str) -> Result<T, JsonError> {
+            T::from_json(body.get(name).ok_or_else(|| JsonError::missing(name))?)
+        }
+        match name.as_str() {
+            "Alu" => Ok(Instr::Alu {
+                op: field(body, "op")?,
+                dst: field(body, "dst")?,
+                a: field(body, "a")?,
+                b: field(body, "b")?,
+            }),
+            "Ldi" => Ok(Instr::Ldi { dst: field(body, "dst")?, imm: field(body, "imm")? }),
+            "Sel" => Ok(Instr::Sel {
+                dst: field(body, "dst")?,
+                cond: field(body, "cond")?,
+                a: field(body, "a")?,
+                b: field(body, "b")?,
+            }),
+            "LdGlobal" => Ok(Instr::LdGlobal {
+                dst: field(body, "dst")?,
+                addr: field(body, "addr")?,
+                offset: field(body, "offset")?,
+            }),
+            "StGlobal" => Ok(Instr::StGlobal {
+                src: field(body, "src")?,
+                addr: field(body, "addr")?,
+                offset: field(body, "offset")?,
+            }),
+            "LdLocal" => Ok(Instr::LdLocal {
+                dst: field(body, "dst")?,
+                addr: field(body, "addr")?,
+                offset: field(body, "offset")?,
+            }),
+            "StLocal" => Ok(Instr::StLocal {
+                src: field(body, "src")?,
+                addr: field(body, "addr")?,
+                offset: field(body, "offset")?,
+            }),
+            "Atom" => Ok(Instr::Atom {
+                op: field(body, "op")?,
+                dst: field(body, "dst")?,
+                addr: field(body, "addr")?,
+                a: field(body, "a")?,
+                b: field(body, "b")?,
+                sem: field(body, "sem")?,
+            }),
+            "Bra" => Ok(Instr::Bra { cond: field(body, "cond")?, target: field(body, "target")? }),
+            "BraDiv" => Ok(Instr::BraDiv {
+                cond: field(body, "cond")?,
+                target: field(body, "target")?,
+                join: field(body, "join")?,
+            }),
+            "Jmp" => Ok(Instr::Jmp { target: field(body, "target")? }),
+            "DmaLoad" => Ok(Instr::DmaLoad {
+                global: field(body, "global")?,
+                local: field(body, "local")?,
+                bytes: field(body, "bytes")?,
+            }),
+            "DmaStore" => Ok(Instr::DmaStore {
+                global: field(body, "global")?,
+                local: field(body, "local")?,
+                bytes: field(body, "bytes")?,
+            }),
+            "StashMap" => Ok(Instr::StashMap {
+                global: field(body, "global")?,
+                local: field(body, "local")?,
+                bytes: field(body, "bytes")?,
+                writeback: field(body, "writeback")?,
+            }),
+            other => Err(JsonError::new(format!("unknown Instr variant `{other}`"))),
         }
     }
 }

@@ -144,10 +144,7 @@ impl<'p> Interp<'p> {
                 self.active_mask = top.mask;
                 self.pc = top.pc;
             }
-            let instr = *self
-                .program
-                .fetch(self.pc)
-                .ok_or(InterpError::PcOutOfRange(self.pc))?;
+            let instr = *self.program.fetch(self.pc).ok_or(InterpError::PcOutOfRange(self.pc))?;
             self.executed += 1;
             match instr {
                 Instr::Alu { op, dst, a, b } => {
@@ -171,11 +168,8 @@ impl<'p> Interp<'p> {
                     for lane in 0..WARP_LANES {
                         if self.lane_active(lane) {
                             let c = self.regs[lane][cond.0 as usize];
-                            let v = if c != 0 {
-                                self.op_val(lane, a)
-                            } else {
-                                self.op_val(lane, b)
-                            };
+                            let v =
+                                if c != 0 { self.op_val(lane, a) } else { self.op_val(lane, b) };
                             self.regs[lane][dst.0 as usize] = v;
                         }
                     }
@@ -184,8 +178,7 @@ impl<'p> Interp<'p> {
                 Instr::LdGlobal { dst, addr, offset } => {
                     for lane in 0..WARP_LANES {
                         if self.lane_active(lane) {
-                            let a = self.regs[lane][addr.0 as usize]
-                                .wrapping_add(offset as u64);
+                            let a = self.regs[lane][addr.0 as usize].wrapping_add(offset as u64);
                             self.regs[lane][dst.0 as usize] = self.read_gmem(a);
                         }
                     }
@@ -194,8 +187,7 @@ impl<'p> Interp<'p> {
                 Instr::StGlobal { src, addr, offset } => {
                     for lane in 0..WARP_LANES {
                         if self.lane_active(lane) {
-                            let a = self.regs[lane][addr.0 as usize]
-                                .wrapping_add(offset as u64);
+                            let a = self.regs[lane][addr.0 as usize].wrapping_add(offset as u64);
                             let v = self.op_val(lane, src);
                             self.write_gmem(a, v);
                         }
@@ -205,8 +197,7 @@ impl<'p> Interp<'p> {
                 Instr::LdLocal { dst, addr, offset } => {
                     for lane in 0..WARP_LANES {
                         if self.lane_active(lane) {
-                            let a = self.regs[lane][addr.0 as usize]
-                                .wrapping_add(offset as u64);
+                            let a = self.regs[lane][addr.0 as usize].wrapping_add(offset as u64);
                             self.regs[lane][dst.0 as usize] = self.local_read(a);
                         }
                     }
@@ -215,8 +206,7 @@ impl<'p> Interp<'p> {
                 Instr::StLocal { src, addr, offset } => {
                     for lane in 0..WARP_LANES {
                         if self.lane_active(lane) {
-                            let a = self.regs[lane][addr.0 as usize]
-                                .wrapping_add(offset as u64);
+                            let a = self.regs[lane][addr.0 as usize].wrapping_add(offset as u64);
                             let v = self.op_val(lane, src);
                             self.local_write(a, v);
                         }

@@ -1,12 +1,11 @@
 //! Executable programs (kernels).
 
 use crate::instr::Instr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A finished kernel: a named sequence of instructions with resolved branch
 /// targets. Build one with [`ProgramBuilder`](crate::ProgramBuilder).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     name: String,
     instrs: Vec<Instr>,
@@ -50,6 +49,8 @@ impl Program {
         &self.instrs
     }
 }
+
+gsi_json::json_struct!(Program { name, instrs });
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,131 +1,137 @@
-//! Property test: every representable program round-trips through its
-//! textual disassembly.
+//! Randomized test: every representable program round-trips through its
+//! textual disassembly. Instruction generation uses a fixed-seed SplitMix64
+//! generator (deterministic, no external crates).
 
 use gsi_isa::asm::parse_program;
 use gsi_isa::{AluOp, AtomOp, BranchCond, Instr, MemSem, Operand, Program, Reg};
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        any::<i64>().prop_map(Operand::Imm),
-    ]
+const ALU_OPS: &[AluOp] = &[
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::DivU,
+    AluOp::RemU,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::MinU,
+    AluOp::MaxU,
+    AluOp::SltU,
+    AluOp::Seq,
+    AluOp::Sne,
+];
+
+const ATOM_OPS: &[AtomOp] = &[AtomOp::Cas, AtomOp::Exch, AtomOp::Add, AtomOp::Load, AtomOp::Store];
+
+const SEMS: &[MemSem] = &[MemSem::Relaxed, MemSem::Acquire, MemSem::Release, MemSem::AcqRel];
+
+fn reg(rng: &mut Rng) -> Reg {
+    Reg(rng.below(32) as u8)
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::DivU),
-        Just(AluOp::RemU),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::MinU),
-        Just(AluOp::MaxU),
-        Just(AluOp::SltU),
-        Just(AluOp::Seq),
-        Just(AluOp::Sne),
-    ]
+fn operand(rng: &mut Rng) -> Operand {
+    if rng.flag() {
+        Operand::Reg(reg(rng))
+    } else {
+        Operand::Imm(rng.next() as i64)
+    }
 }
 
-fn arb_sem() -> impl Strategy<Value = MemSem> {
-    prop_oneof![
-        Just(MemSem::Relaxed),
-        Just(MemSem::Acquire),
-        Just(MemSem::Release),
-        Just(MemSem::AcqRel),
-    ]
+fn cond(rng: &mut Rng) -> BranchCond {
+    if rng.flag() {
+        BranchCond::Zero(reg(rng))
+    } else {
+        BranchCond::NonZero(reg(rng))
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = BranchCond> {
-    prop_oneof![
-        arb_reg().prop_map(BranchCond::Zero),
-        arb_reg().prop_map(BranchCond::NonZero),
-    ]
+fn offset(rng: &mut Rng) -> i64 {
+    rng.next() as i32 as i64
 }
 
-/// Any instruction; branch targets drawn from 0..len are patched later.
-fn arb_instr(len: usize) -> impl Strategy<Value = Instr> {
-    let t = 0..len;
-    let t2 = 0..len;
-    let t3 = 0..len;
-    prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_operand(), arb_operand())
-            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
-        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::Ldi { dst, imm }),
-        (arb_reg(), arb_reg(), arb_operand(), arb_operand())
-            .prop_map(|(dst, cond, a, b)| Instr::Sel { dst, cond, a, b }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, addr, off)| Instr::LdGlobal { dst, addr, offset: off as i64 }),
-        (arb_operand(), arb_reg(), any::<i32>())
-            .prop_map(|(src, addr, off)| Instr::StGlobal { src, addr, offset: off as i64 }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, addr, off)| Instr::LdLocal { dst, addr, offset: off as i64 }),
-        (arb_operand(), arb_reg(), any::<i32>())
-            .prop_map(|(src, addr, off)| Instr::StLocal { src, addr, offset: off as i64 }),
-        (
-            prop_oneof![
-                Just(AtomOp::Cas),
-                Just(AtomOp::Exch),
-                Just(AtomOp::Add),
-                Just(AtomOp::Load),
-                Just(AtomOp::Store)
-            ],
-            arb_reg(),
-            arb_reg(),
-            arb_operand(),
-            arb_operand(),
-            arb_sem()
-        )
-            .prop_map(|(op, dst, addr, a, b, sem)| Instr::Atom { op, dst, addr, a, b, sem }),
-        Just(Instr::Bar),
-        (arb_cond(), t).prop_map(|(cond, target)| Instr::Bra { cond, target }),
-        (arb_cond(), t2, t3)
-            .prop_map(|(cond, target, join)| Instr::BraDiv { cond, target, join }),
-        (0..len).prop_map(|target| Instr::Jmp { target }),
-        (arb_reg(), arb_reg(), 1u64..64)
-            .prop_map(|(global, local, w)| Instr::DmaLoad { global, local, bytes: w * 8 }),
-        (arb_reg(), arb_reg(), 1u64..64)
-            .prop_map(|(global, local, w)| Instr::DmaStore { global, local, bytes: w * 8 }),
-        (arb_reg(), arb_reg(), 1u64..64, any::<bool>()).prop_map(|(global, local, w, wb)| {
-            Instr::StashMap { global, local, bytes: w * 8, writeback: wb }
-        }),
-        Just(Instr::Exit),
-        Just(Instr::Nop),
-    ]
+/// Any instruction; branch targets are drawn from `0..len`.
+fn random_instr(rng: &mut Rng, len: usize) -> Instr {
+    let len = len as u64;
+    match rng.below(17) {
+        0 => Instr::Alu {
+            op: ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize],
+            dst: reg(rng),
+            a: operand(rng),
+            b: operand(rng),
+        },
+        1 => Instr::Ldi { dst: reg(rng), imm: rng.next() },
+        2 => Instr::Sel { dst: reg(rng), cond: reg(rng), a: operand(rng), b: operand(rng) },
+        3 => Instr::LdGlobal { dst: reg(rng), addr: reg(rng), offset: offset(rng) },
+        4 => Instr::StGlobal { src: operand(rng), addr: reg(rng), offset: offset(rng) },
+        5 => Instr::LdLocal { dst: reg(rng), addr: reg(rng), offset: offset(rng) },
+        6 => Instr::StLocal { src: operand(rng), addr: reg(rng), offset: offset(rng) },
+        7 => Instr::Atom {
+            op: ATOM_OPS[rng.below(ATOM_OPS.len() as u64) as usize],
+            dst: reg(rng),
+            addr: reg(rng),
+            a: operand(rng),
+            b: operand(rng),
+            sem: SEMS[rng.below(SEMS.len() as u64) as usize],
+        },
+        8 => Instr::Bar,
+        9 => Instr::Bra { cond: cond(rng), target: rng.below(len) as usize },
+        10 => Instr::BraDiv {
+            cond: cond(rng),
+            target: rng.below(len) as usize,
+            join: rng.below(len) as usize,
+        },
+        11 => Instr::Jmp { target: rng.below(len) as usize },
+        12 => Instr::DmaLoad { global: reg(rng), local: reg(rng), bytes: (1 + rng.below(63)) * 8 },
+        13 => Instr::DmaStore { global: reg(rng), local: reg(rng), bytes: (1 + rng.below(63)) * 8 },
+        14 => Instr::StashMap {
+            global: reg(rng),
+            local: reg(rng),
+            bytes: (1 + rng.below(63)) * 8,
+            writeback: rng.flag(),
+        },
+        15 => Instr::Exit,
+        _ => Instr::Nop,
+    }
 }
 
-proptest! {
-    #[test]
-    fn every_program_round_trips_through_text(
-        instrs in proptest::collection::vec(arb_instr(16), 1..16),
-    ) {
-        // Clamp branch targets into range (the strategy drew from 0..16 but
-        // the vector may be shorter).
-        let len = instrs.len();
-        let clamped: Vec<Instr> = instrs
-            .into_iter()
-            .map(|i| match i {
-                Instr::Bra { cond, target } => Instr::Bra { cond, target: target % len },
-                Instr::Jmp { target } => Instr::Jmp { target: target % len },
-                Instr::BraDiv { cond, target, join } => {
-                    Instr::BraDiv { cond, target: target % len, join: join % len }
-                }
-                other => other,
-            })
-            .collect();
-        let p = Program::from_parts_for_tests("roundtrip", clamped);
+#[test]
+fn every_program_round_trips_through_text() {
+    let mut rng = Rng::new(0xA53B_0001);
+    for case in 0..128 {
+        let len = 1 + rng.below(15) as usize;
+        let instrs: Vec<Instr> = (0..len).map(|_| random_instr(&mut rng, len)).collect();
+        let p = Program::from_parts_for_tests("roundtrip", instrs);
         let text = p.to_string();
         let q = parse_program(&text)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
-        prop_assert_eq!(p, q);
+            .unwrap_or_else(|e| panic!("case {case}: parse failed: {e}\n{text}"));
+        assert_eq!(p, q, "case {case}");
     }
 }

@@ -1,0 +1,896 @@
+//! # GSI JSON — a dependency-free JSON layer
+//!
+//! The simulator runs in environments with no network access to a crates.io
+//! registry, so configuration/report serialization cannot rely on external
+//! crates. This crate provides the small JSON surface GSI needs:
+//!
+//! * [`Value`]: an ordered JSON document model (object keys keep insertion
+//!   order, so reports render deterministically),
+//! * [`Value::parse`] / [`Value::to_string`] / [`Value::to_string_pretty`]:
+//!   a recursive-descent parser and writers,
+//! * [`ToJson`] / [`FromJson`]: conversion traits with impls for the
+//!   primitives and containers the simulator serializes,
+//! * [`json_struct!`] and [`json_unit_enum!`]: derive-style macros for plain
+//!   structs and C-like enums. Enums with payloads (e.g. the ISA's `Instr`)
+//!   implement the traits by hand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+///
+/// Objects preserve insertion order (they are association lists, not maps):
+/// the writer emits fields in the order they were pushed, which keeps
+/// generated reports diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer (non-negative integers parse as [`Value::U64`]).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Why a conversion or parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+
+    /// A "missing field" error.
+    pub fn missing(field: &str) -> Self {
+        JsonError::new(format!("missing field `{field}`"))
+    }
+
+    /// A "wrong type" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        JsonError::new(format!("expected {what}, got {}", got.kind_name()))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first syntax error, including
+    /// trailing garbage after the document.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::I64(n) => {
+                let _ = fmt::write(out, format_args!("{n}"));
+            }
+            Value::U64(n) => {
+                let _ = fmt::write(out, format_args!("{n}"));
+            }
+            Value::F64(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact serialization (no whitespace); `value.to_string()` yields it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // `1.0f64` displays as "1"; keep a fractional marker so the value
+        // re-parses as a float.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/inf; emit null like other serializers do.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{kw}` at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => {
+                Err(JsonError::new(format!("unexpected byte `{}` at {}", b as char, self.pos)))
+            }
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!("expected `,` or `]` at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?;
+                s.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                        }
+                        b => {
+                            return Err(JsonError::new(format!("invalid escape `\\{}`", b as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(JsonError::new("control character in string")),
+                None => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let slice =
+            self.bytes.get(self.pos..end).ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| JsonError::new("bad \\u escape"))?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'+' | b'-' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("bad number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        }
+    }
+}
+
+/// Convert a Rust value into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstruct a Rust value from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Parse `self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the first missing field or type
+    /// mismatch.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_u64().ok_or_else(|| JsonError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| JsonError::new("integer out of range"))
+            }
+        }
+    )+};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_i64().ok_or_else(|| JsonError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| JsonError::new("integer out of range"))
+            }
+        }
+    )+};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError::expected("number", v))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::expected("bool", v))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| JsonError::expected("string", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::expected("array", v))?
+            .iter()
+            .map(FromJson::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: FromJson + fmt::Debug, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items = v.as_array().ok_or_else(|| JsonError::expected("array", v))?;
+        if items.len() != 2 {
+            return Err(JsonError::new("expected 2-element array"));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a struct with named fields.
+///
+/// Must be invoked somewhere the fields are visible (the defining module for
+/// private fields). Serializes as an object with one entry per field, in
+/// declaration order.
+///
+/// ```
+/// struct Point { x: u64, y: u64 }
+/// gsi_json::json_struct!(Point { x, y });
+/// # use gsi_json::{FromJson, ToJson};
+/// let p = Point { x: 1, y: 2 };
+/// let back = Point::from_json(&p.to_json()).unwrap();
+/// assert_eq!(back.x, 1);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($T:ident { $($f:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $T {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($f).to_string(), $crate::ToJson::to_json(&self.$f)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $T {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                Ok($T {
+                    $($f: $crate::FromJson::from_json(
+                        v.get(stringify!($f))
+                            .ok_or_else(|| $crate::JsonError::missing(stringify!($f)))?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a C-like enum (unit variants only).
+/// Serializes as the variant name string.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// enum Mode { Fast, Slow }
+/// gsi_json::json_unit_enum!(Mode { Fast, Slow });
+/// # use gsi_json::{FromJson, ToJson};
+/// assert_eq!(Mode::from_json(&Mode::Fast.to_json()).unwrap(), Mode::Fast);
+/// ```
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($T:ident { $($V:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $T {
+            fn to_json(&self) -> $crate::Value {
+                let name = match self {
+                    $($T::$V => stringify!($V),)+
+                };
+                $crate::Value::Str(name.to_string())
+            }
+        }
+        impl $crate::FromJson for $T {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| $crate::JsonError::expected("variant string", v))?;
+                match s {
+                    $(stringify!($V) => Ok($T::$V),)+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($T)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Build an object [`Value`] from `key => value` pairs (values are anything
+/// implementing [`ToJson`]).
+///
+/// ```
+/// let v = gsi_json::obj! { "name" => "gsi", "cycles" => 42u64 };
+/// assert_eq!(v.get("cycles").unwrap().as_u64(), Some(42));
+/// ```
+#[macro_export]
+macro_rules! obj {
+    ($($k:expr => $v:expr),* $(,)?) => {
+        $crate::Value::Object(vec![
+            $(($k.to_string(), $crate::ToJson::to_json(&$v)),)*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "42", "-7", "3.5", "\"hi\""] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(Value::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn number_classification() {
+        assert_eq!(Value::parse("9").unwrap(), Value::U64(9));
+        assert_eq!(Value::parse("-9").unwrap(), Value::I64(-9));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(Value::parse("0.25").unwrap(), Value::F64(0.25));
+        assert_eq!(Value::parse(&u64::MAX.to_string()).unwrap(), Value::U64(u64::MAX));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let text = r#"{"a":[1,2,3],"b":{"nested":true},"c":"x","d":null}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(Value::parse(&v.to_string_pretty()).unwrap(), v);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("nested").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn object_field_order_is_preserved() {
+        let v = Value::parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line1\nline2\t\"quoted\" \\slash\\ unicode: \u{263a}";
+        let v = Value::Str(s.to_string());
+        let round = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(round.as_str(), Some(s));
+        // Explicit \u escapes parse too.
+        assert_eq!(Value::parse(r#""A☺""#).unwrap().as_str(), Some("A\u{263a}"));
+        // Surrogate pair.
+        assert_eq!(Value::parse(r#""😀""#).unwrap().as_str(), Some("\u{1f600}"));
+    }
+
+    #[test]
+    fn float_writer_keeps_fraction_marker() {
+        assert_eq!(Value::F64(1.0).to_string(), "1.0");
+        assert_eq!(Value::parse("1.0").unwrap(), Value::F64(1.0));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Value::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().as_object().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn trait_impls_round_trip() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&xs.to_json()).unwrap(), xs);
+        let arr: [u64; 4] = [9, 8, 7, 6];
+        assert_eq!(<[u64; 4]>::from_json(&arr.to_json()).unwrap(), arr);
+        let opt: Option<String> = Some("x".into());
+        assert_eq!(Option::<String>::from_json(&opt.to_json()).unwrap(), opt);
+        let none: Option<String> = None;
+        assert_eq!(Option::<String>::from_json(&none.to_json()).unwrap(), none);
+        let pair: (String, u64) = ("k".into(), 7);
+        assert_eq!(<(String, u64)>::from_json(&pair.to_json()).unwrap(), pair);
+        assert_eq!(i64::from_json(&(-5i64).to_json()).unwrap(), -5);
+        assert_eq!(u8::from_json(&Value::U64(255)).unwrap(), 255);
+        assert!(u8::from_json(&Value::U64(256)).is_err());
+    }
+
+    #[test]
+    fn struct_and_enum_macros() {
+        #[derive(Debug, PartialEq)]
+        struct Inner {
+            n: u64,
+        }
+        json_struct!(Inner { n });
+
+        #[derive(Debug, PartialEq)]
+        struct Outer {
+            name: String,
+            inner: Inner,
+            tags: Vec<u8>,
+        }
+        json_struct!(Outer { name, inner, tags });
+
+        #[derive(Debug, PartialEq)]
+        enum Kind {
+            A,
+            B,
+        }
+        json_unit_enum!(Kind { A, B });
+
+        let o = Outer { name: "x".into(), inner: Inner { n: 3 }, tags: vec![1, 2] };
+        let v = o.to_json();
+        let back = Outer::from_json(&v).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(Kind::from_json(&Kind::B.to_json()).unwrap(), Kind::B);
+        assert!(Kind::from_json(&Value::Str("C".into())).is_err());
+        assert!(Outer::from_json(&Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn obj_macro_builds_reports() {
+        let v = obj! {
+            "workload" => "uts",
+            "cycles" => 100u64,
+            "rate" => 2.5f64,
+        };
+        let text = v.to_string();
+        assert!(text.contains("\"workload\":\"uts\""));
+        assert_eq!(Value::parse(&text).unwrap(), v);
+    }
+}

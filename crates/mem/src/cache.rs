@@ -98,11 +98,8 @@ impl<S> TagArray<S> {
             return None;
         }
         let evicted = if set_entries.len() == ways {
-            let (idx, _) = set_entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("nonempty set");
+            let (idx, _) =
+                set_entries.iter().enumerate().min_by_key(|(_, e)| e.lru).expect("nonempty set");
             let old = set_entries.swap_remove(idx);
             Some(Evicted { line: old.line, state: old.state })
         } else {

@@ -1,9 +1,7 @@
 //! Memory-system configuration (the memory rows of the paper's Table 5.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Which local-memory structure the SMs use (case study 2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocalMemKind {
     /// The baseline software-managed scratchpad: data moves with explicit
     /// load/store instructions through the core pipeline.
@@ -21,7 +19,7 @@ pub enum LocalMemKind {
 /// Defaults reproduce Table 5.1: 32 KB 8-way L1 with 8 banks and a 1-cycle
 /// hit, 16 KB scratchpad/stash with 32 banks, a 4 MB 16-bank NUCA L2, a
 /// 32-entry MSHR, and a 32-entry write-combining store buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
     /// Coherence protocol for the GPU L1 caches.
     pub protocol: crate::Protocol,
@@ -79,6 +77,32 @@ pub struct MemConfig {
     /// are serviced at its L1 instead of the L2.
     pub owned_atomics: bool,
 }
+
+gsi_json::json_unit_enum!(LocalMemKind { Scratchpad, ScratchpadDma, Stash });
+
+gsi_json::json_struct!(MemConfig {
+    protocol,
+    local_kind,
+    l1_bytes,
+    l1_ways,
+    l1_banks,
+    l1_hit_latency,
+    mshr_entries,
+    store_buffer_entries,
+    flush_rate,
+    scratch_bytes,
+    scratch_banks,
+    l2_banks,
+    l2_bytes,
+    l2_ways,
+    l2_bank_latency,
+    remote_l1_latency,
+    dram_latency,
+    dram_gap,
+    dma_lines_per_cycle,
+    sfifo,
+    owned_atomics,
+});
 
 impl Default for MemConfig {
     fn default() -> Self {

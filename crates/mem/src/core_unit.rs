@@ -10,23 +10,22 @@ use crate::config::{LocalMemKind, MemConfig};
 use crate::dma::{DmaDirection, DmaEngine, DmaTransfer};
 use crate::gmem::GlobalMem;
 use crate::line::{line_of, LineAddr, WordMask};
-use crate::mshr::{Mshr, MshrOutcome};
 use crate::msg::{AtomKind, MemMsg, Provenance};
+use crate::mshr::{Mshr, MshrOutcome};
 use crate::protocol::{L1State, Protocol};
 use crate::scratchpad::{bank_conflict_extra, Scratchpad};
 use crate::stash::{StashMapping, StashMem};
-use crate::store_buffer::StoreBuffer;
+use crate::store_buffer::{StoreBuffer, StoreBufferFull};
 use crate::TagArray;
 use gsi_core::{MemStructCause, RequestId};
 use gsi_noc::NodeId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Why the load/store unit rejected an access this cycle.
 ///
 /// Maps one-to-one onto [`MemStructCause`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LsuReject {
     /// No free MSHR entry for a required line fetch.
     MshrFull,
@@ -126,7 +125,7 @@ struct AtomCtx {
 }
 
 /// Statistics for one core's memory unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreMemStats {
     /// L1 load hits (line granularity).
     pub l1_hits: u64,
@@ -157,6 +156,23 @@ pub struct CoreMemStats {
     /// Atomics serviced locally at the owning L1 (owned-atomics mode).
     pub owned_atomic_hits: u64,
 }
+
+gsi_json::json_struct!(CoreMemStats {
+    l1_hits,
+    l1_misses,
+    l1_coalesced,
+    sb_combines,
+    flush_writes,
+    flush_registrations,
+    flush_owned_skips,
+    acquire_invalidations,
+    lines_invalidated,
+    dma_lines,
+    stash_fills,
+    stash_hits,
+    remote_serves,
+    owned_atomic_hits,
+});
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Scheduled(Completion);
@@ -345,10 +361,8 @@ impl CoreMemUnit {
         let lines: BTreeSet<LineAddr> = addrs.iter().map(|&a| line_of(a)).collect();
         // Plan: every line that misses L1 and has no in-flight fetch needs a
         // free MSHR entry.
-        let new_misses = lines
-            .iter()
-            .filter(|&&l| self.l1.peek(l).is_none() && !self.mshr.contains(l))
-            .count();
+        let new_misses =
+            lines.iter().filter(|&&l| self.l1.peek(l).is_none() && !self.mshr.contains(l)).count();
         if self.mshr.available() < new_misses {
             self.lsu_busy_cause = MemStructCause::MshrFull;
             return Err(LsuReject::MshrFull);
@@ -361,15 +375,17 @@ impl CoreMemUnit {
             if self.l1.get(line).is_some() {
                 self.stats.l1_hits += 1;
                 let done = now + self.cfg.l1_hit_latency;
-                self.schedule(done, Completion::Load { req, warp, reg, provenance: Provenance::L1 });
+                self.schedule(
+                    done,
+                    Completion::Load { req, warp, reg, provenance: Provenance::L1 },
+                );
             } else {
                 let primary = !self.mshr.contains(line);
                 let target = MshrTarget { kind: TargetKind::Load { warp, reg, req }, primary };
                 match self.mshr.allocate(line, target) {
                     Ok(MshrOutcome::Primary) => {
                         self.stats.l1_misses += 1;
-                        let msg =
-                            MemMsg::GetLine { line, reply_to: self.node, core: self.core };
+                        let msg = MemMsg::GetLine { line, reply_to: self.node, core: self.core };
                         self.outbox.push((self.l2_node(line), msg));
                     }
                     Ok(MshrOutcome::Merged) => self.stats.l1_coalesced += 1,
@@ -411,7 +427,7 @@ impl CoreMemUnit {
             match self.sb.record(line, mask) {
                 Ok(true) => self.stats.sb_combines += 1,
                 Ok(false) => {}
-                Err(()) => unreachable!("capacity was checked in the plan phase"),
+                Err(StoreBufferFull) => unreachable!("capacity was checked in the plan phase"),
             }
         }
         let lines: BTreeSet<LineAddr> = per_line.keys().copied().collect();
@@ -473,8 +489,7 @@ impl CoreMemUnit {
                 miss_lines.insert(line_of(global));
             }
         }
-        let new_misses =
-            miss_lines.iter().filter(|&&l| !self.mshr.contains(l)).count();
+        let new_misses = miss_lines.iter().filter(|&&l| !self.mshr.contains(l)).count();
         if self.mshr.available() < new_misses {
             self.lsu_busy_cause = MemStructCause::MshrFull;
             return Err(LsuReject::MshrFull);
@@ -626,15 +641,7 @@ impl CoreMemUnit {
             }
             self.schedule(
                 now + self.cfg.l1_hit_latency,
-                Completion::Atomic {
-                    req,
-                    warp,
-                    reg,
-                    value: ret,
-                    acquire,
-                    release,
-                    write_dst,
-                },
+                Completion::Atomic { req, warp, reg, value: ret, acquire, release, write_dst },
             );
             self.occupy_lsu(now, 0);
             return Ok(req);
@@ -699,9 +706,7 @@ impl CoreMemUnit {
     /// into global memory.
     pub fn local_read_word(&self, addr: u64, gmem: &GlobalMem) -> u64 {
         match self.cfg.local_kind {
-            LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => {
-                self.scratch.read_word(addr)
-            }
+            LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => self.scratch.read_word(addr),
             LocalMemKind::Stash => match self.stash.translate(addr) {
                 Some(global) => gmem.read_word(global),
                 None => self.scratch.read_word(addr),
@@ -839,14 +844,22 @@ impl CoreMemUnit {
                         TargetKind::Load { warp, reg, req } => {
                             install = true;
                             let p = if t.primary { provenance } else { Provenance::L1Coalescing };
-                            self.completions
-                                .push(Completion::Load { req, warp, reg, provenance: p });
+                            self.completions.push(Completion::Load {
+                                req,
+                                warp,
+                                reg,
+                                provenance: p,
+                            });
                         }
                         TargetKind::Stash { warp, reg, req } => {
                             self.stash.fill_global_line(line);
                             let p = if t.primary { provenance } else { Provenance::L1Coalescing };
-                            self.completions
-                                .push(Completion::Load { req, warp, reg, provenance: p });
+                            self.completions.push(Completion::Load {
+                                req,
+                                warp,
+                                reg,
+                                provenance: p,
+                            });
                         }
                         TargetKind::Dma => {
                             self.dma.on_line_arrived(line);
@@ -1041,9 +1054,22 @@ impl CoreMemUnit {
         std::mem::take(&mut self.outbox)
     }
 
+    /// [`take_outbox`](Self::take_outbox) appending into a caller-provided
+    /// buffer. The internal queue keeps its capacity, so a per-cycle caller
+    /// reusing one buffer allocates nothing in steady state.
+    pub fn drain_outbox(&mut self, out: &mut Vec<(NodeId, MemMsg)>) {
+        out.append(&mut self.outbox);
+    }
+
     /// Take the completions produced since the last call.
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// [`take_completions`](Self::take_completions) appending into a
+    /// caller-provided buffer, preserving the internal queue's capacity.
+    pub fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 }
 
@@ -1128,7 +1154,7 @@ mod tests {
     fn store_buffer_full_rejects_and_triggers_flush() {
         let cfg = MemConfig { store_buffer_entries: 4, ..Default::default() };
         let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
-        u.try_global_store(0, &[0 * 64]).unwrap();
+        u.try_global_store(0, &[0]).unwrap();
         u.try_global_store(1, &[64]).unwrap();
         u.try_global_store(2, &[2 * 64]).unwrap();
         u.try_global_store(3, &[3 * 64]).unwrap();
@@ -1169,14 +1195,17 @@ mod tests {
         }
         u.tick(4);
         assert!(!u.release_blocked());
-        assert!(u.try_atomic(5, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new()).is_ok());
+        assert!(u
+            .try_atomic(5, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new())
+            .is_ok());
     }
 
     #[test]
     fn denovo_flush_registers_instead_of_writing_data() {
         let mut u = unit(Protocol::DeNovo, LocalMemKind::Scratchpad);
         u.try_global_store(0, &[0x700]).unwrap();
-        let _ = u.try_atomic(1, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
+        let _ =
+            u.try_atomic(1, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
         u.tick(2);
         let out = u.take_outbox();
         assert!(
@@ -1191,7 +1220,8 @@ mod tests {
         u.tick(4);
         assert!(!u.release_blocked());
         u.try_global_store(5, &[0x708]).unwrap();
-        let _ = u.try_atomic(6, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
+        let _ =
+            u.try_atomic(6, 0, 1, 0x800, AtomKind::Store, 1, 0, false, true, &mut GlobalMem::new());
         u.tick(7);
         assert_eq!(u.stats().flush_owned_skips, 1);
         assert_eq!(u.stats().flush_registrations, 1, "no new registration");
@@ -1222,7 +1252,9 @@ mod tests {
         u.deliver(1, MemMsg::Fill { line: line_of(0x100), provenance: Provenance::L2 });
         u.take_completions();
         assert_eq!(u.l1_resident(), 1);
-        let req = u.try_atomic(2, 3, 4, 0xA00, AtomKind::Cas, 0, 1, true, false, &mut GlobalMem::new()).unwrap();
+        let req = u
+            .try_atomic(2, 3, 4, 0xA00, AtomKind::Cas, 0, 1, true, false, &mut GlobalMem::new())
+            .unwrap();
         let out = u.take_outbox();
         assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
         u.deliver(40, MemMsg::AtomicResp { req, value: 0 });
@@ -1328,7 +1360,12 @@ mod tests {
     fn owned_eviction_writes_back() {
         // 1-set config via tiny L1: 64 lines, 8 ways -> 8 sets. Fill one set
         // with owned lines until eviction.
-        let cfg = MemConfig { l1_bytes: 8 * 64, l1_ways: 1, protocol: Protocol::DeNovo, ..Default::default() };
+        let cfg = MemConfig {
+            l1_bytes: 8 * 64,
+            l1_ways: 1,
+            protocol: Protocol::DeNovo,
+            ..Default::default()
+        };
         let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
         // Two lines in the same set (8 sets, lines 0 and 8).
         u.deliver(0, MemMsg::RegisterAck { line: LineAddr(0) });
@@ -1358,9 +1395,8 @@ mod tests {
         let mut gmem = GlobalMem::new();
         u.try_global_store(0, &[0x400]).unwrap();
         // The release store is accepted immediately (posted)...
-        let req = u
-            .try_atomic(1, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut gmem)
-            .unwrap();
+        let req =
+            u.try_atomic(1, 0, 1, 0x500, AtomKind::Store, 1, 0, false, true, &mut gmem).unwrap();
         let _ = req;
         // ...and later stores are not blocked.
         assert!(u.try_global_store(2, &[0x600]).is_ok());
@@ -1398,17 +1434,13 @@ mod tests {
 
     #[test]
     fn owned_atomics_service_locally_after_grant() {
-        let cfg = MemConfig {
-            protocol: Protocol::DeNovo,
-            owned_atomics: true,
-            ..Default::default()
-        };
+        let cfg =
+            MemConfig { protocol: Protocol::DeNovo, owned_atomics: true, ..Default::default() };
         let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
         let mut gmem = GlobalMem::new();
         // First atomic goes to the L2.
-        let req = u
-            .try_atomic(0, 0, 1, 0x800, AtomKind::Add, 5, 0, false, false, &mut gmem)
-            .unwrap();
+        let req =
+            u.try_atomic(0, 0, 1, 0x800, AtomKind::Add, 5, 0, false, false, &mut gmem).unwrap();
         let out = u.take_outbox();
         assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
         // The bank executes it and grants ownership (response installs it).
@@ -1418,8 +1450,7 @@ mod tests {
         assert_eq!(u.take_completions().len(), 1);
         // Second atomic hits locally: no traffic, fast completion,
         // functional effect applied immediately.
-        u.try_atomic(31, 0, 2, 0x800, AtomKind::Add, 3, 0, false, false, &mut gmem)
-            .unwrap();
+        u.try_atomic(31, 0, 2, 0x800, AtomKind::Add, 3, 0, false, false, &mut gmem).unwrap();
         assert!(u.take_outbox().is_empty(), "owned atomic must not leave the core");
         assert_eq!(gmem.read_word(0x800), 8);
         assert_eq!(u.stats().owned_atomic_hits, 1);
@@ -1430,22 +1461,17 @@ mod tests {
 
     #[test]
     fn recall_ends_local_atomic_service() {
-        let cfg = MemConfig {
-            protocol: Protocol::DeNovo,
-            owned_atomics: true,
-            ..Default::default()
-        };
+        let cfg =
+            MemConfig { protocol: Protocol::DeNovo, owned_atomics: true, ..Default::default() };
         let mut u = CoreMemUnit::new(0, NodeId(0), cfg);
         let mut gmem = GlobalMem::new();
         u.deliver(0, MemMsg::RegisterAck { line: line_of(0x800) });
-        u.try_atomic(1, 0, 1, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem)
-            .unwrap();
+        u.try_atomic(1, 0, 1, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem).unwrap();
         assert_eq!(u.stats().owned_atomic_hits, 1);
         // Another core wants the line: after the recall, atomics go to L2.
         u.deliver(2, MemMsg::Recall { line: line_of(0x800) });
         u.take_outbox();
-        u.try_atomic(3, 0, 2, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem)
-            .unwrap();
+        u.try_atomic(3, 0, 2, 0x800, AtomKind::Add, 1, 0, false, false, &mut gmem).unwrap();
         let out = u.take_outbox();
         assert!(matches!(out[0].1, MemMsg::AtomicOp { .. }));
         assert_eq!(u.stats().owned_atomic_hits, 1, "no new local hit");
@@ -1463,10 +1489,7 @@ mod tests {
         let out = u.take_outbox();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(9));
-        assert!(matches!(
-            out[0].1,
-            MemMsg::Fill { provenance: Provenance::RemoteL1, .. }
-        ));
+        assert!(matches!(out[0].1, MemMsg::Fill { provenance: Provenance::RemoteL1, .. }));
         assert_eq!(u.stats().remote_serves, 1);
     }
 }

@@ -8,10 +8,9 @@
 //! core granularity, per the paper's stated approximation of D2MA.
 
 use crate::line::{line_of, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// Transfer direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaDirection {
     /// Global memory → scratchpad (`dma.ld`).
     ToScratchpad,
@@ -20,7 +19,7 @@ pub enum DmaDirection {
 }
 
 /// One in-flight bulk transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaTransfer {
     /// Scratchpad byte offset.
     pub local: u64,

@@ -40,8 +40,8 @@ mod dma;
 mod dram;
 mod gmem;
 mod line;
-mod mshr;
 mod msg;
+mod mshr;
 mod protocol;
 mod scratchpad;
 mod shared;
@@ -50,15 +50,17 @@ mod store_buffer;
 
 pub use cache::{Evicted, TagArray};
 pub use config::{LocalMemKind, MemConfig};
-pub use core_unit::{Completion, CoreMemStats, CoreMemUnit, LoadIssued, LsuReject, MIN_QUEUE_ENTRIES};
+pub use core_unit::{
+    Completion, CoreMemStats, CoreMemUnit, LoadIssued, LsuReject, MIN_QUEUE_ENTRIES,
+};
 pub use dma::{DmaDirection, DmaEngine, DmaTransfer};
 pub use dram::DramModel;
 pub use gmem::GlobalMem;
 pub use line::{line_of, word_index, LineAddr, WordMask, LINE_BYTES, WORDS_PER_LINE};
-pub use mshr::{Mshr, MshrOutcome};
 pub use msg::{AtomKind, MemMsg, Provenance};
+pub use mshr::{Mshr, MshrOutcome};
 pub use protocol::{L1State, Protocol};
 pub use scratchpad::Scratchpad;
 pub use shared::{L2Stats, SharedMem};
 pub use stash::{StashMapping, StashMem};
-pub use store_buffer::StoreBuffer;
+pub use store_buffer::{StoreBuffer, StoreBufferFull};

@@ -1,6 +1,5 @@
 //! Cache-line addressing helpers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bytes per cache line throughout the hierarchy.
@@ -10,7 +9,7 @@ pub const LINE_BYTES: u64 = 64;
 pub const WORDS_PER_LINE: u64 = LINE_BYTES / 8;
 
 /// A line-granular address (byte address divided by [`LINE_BYTES`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -39,7 +38,7 @@ pub fn word_index(addr: u64) -> u32 {
 }
 
 /// A bitmask of dirty/valid 64-bit words within one line.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WordMask(pub u8);
 
 impl WordMask {

@@ -3,7 +3,6 @@
 use crate::line::{LineAddr, WordMask};
 use gsi_core::RequestId;
 use gsi_noc::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Where a fill was serviced. This is exactly the paper's memory-data stall
 /// sub-classification, so we reuse [`gsi_core::MemDataCause`].
@@ -13,7 +12,7 @@ pub type Provenance = gsi_core::MemDataCause;
 ///
 /// Mirrors `gsi_isa::AtomOp`; the SM layer maps between them so this crate
 /// stays independent of the ISA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AtomKind {
     /// Compare-and-swap: returns old; writes `b` if old equals `a`.
     Cas,
@@ -48,7 +47,7 @@ impl AtomKind {
 }
 
 /// Messages carried by the mesh between cores (L1 side) and L2 banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MemMsg {
     // ---- core -> L2 bank ----
     /// Read request for a line.
@@ -192,22 +191,16 @@ mod tests {
         // DeNovo registration carries no data: the traffic advantage of
         // ownership over write-through.
         let reg = MemMsg::RegisterOwner { line: LineAddr(1), reply_to: NodeId(0), core: 0 };
-        let wt = MemMsg::WriteWords {
-            line: LineAddr(1),
-            mask: WordMask::FULL,
-            reply_to: NodeId(0),
-        };
+        let wt =
+            MemMsg::WriteWords { line: LineAddr(1), mask: WordMask::FULL, reply_to: NodeId(0) };
         assert!(reg.size_bytes() < wt.size_bytes());
         assert_eq!(wt.size_bytes(), 72);
     }
 
     #[test]
     fn partial_write_through_scales_with_dirty_words() {
-        let one = MemMsg::WriteWords {
-            line: LineAddr(0),
-            mask: WordMask(0b1),
-            reply_to: NodeId(0),
-        };
+        let one =
+            MemMsg::WriteWords { line: LineAddr(0), mask: WordMask(0b1), reply_to: NodeId(0) };
         assert_eq!(one.size_bytes(), 16);
     }
 }

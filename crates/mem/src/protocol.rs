@@ -1,10 +1,9 @@
 //! Coherence protocols and L1 line states.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two GPU L1 coherence protocols compared in case study 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Conventional software GPU coherence: self-invalidate everything on
     /// acquire, write dirty data through to the L2 on store-buffer flushes,
@@ -16,6 +15,8 @@ pub enum Protocol {
     DeNovo,
 }
 
+gsi_json::json_unit_enum!(Protocol { GpuCoherence, DeNovo });
+
 impl fmt::Display for Protocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -26,7 +27,7 @@ impl fmt::Display for Protocol {
 }
 
 /// State of a line present in an L1 cache (absent lines are invalid).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum L1State {
     /// A clean copy; discarded by acquire self-invalidation.
     Valid,

@@ -7,12 +7,11 @@ use crate::gmem::GlobalMem;
 use crate::line::LineAddr;
 use crate::msg::{MemMsg, Provenance};
 use gsi_noc::{Mesh, NodeId};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Aggregate L2/DRAM statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct L2Stats {
     /// Read requests that hit in an L2 bank.
     pub read_hits: u64,
@@ -29,6 +28,16 @@ pub struct L2Stats {
     /// Atomic operations serviced.
     pub atomics: u64,
 }
+
+gsi_json::json_struct!(L2Stats {
+    read_hits,
+    read_misses,
+    forwards,
+    write_throughs,
+    registrations,
+    recalls,
+    atomics,
+});
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RegWaiter {
@@ -310,8 +319,7 @@ impl SharedMem {
                 // ownership migrates to the last requester.
                 if let Some(waiting) = self.banks[b].pending_atomics.remove(&line) {
                     for m in waiting {
-                        if let MemMsg::AtomicOp { addr, kind, a, b: opb, req, reply_to, core } = m
-                        {
+                        if let MemMsg::AtomicOp { addr, kind, a, b: opb, req, reply_to, core } = m {
                             self.execute_atomic(
                                 now, b, addr, kind, a, opb, req, reply_to, mesh, gmem,
                             );
@@ -354,23 +362,36 @@ impl SharedMem {
                             // The line lives at another L1: recall it, then
                             // service the atomic and migrate ownership.
                             let bank = &mut self.banks[b];
-                            let first = bank.pending_atomics.get(&line).map_or(true, Vec::is_empty)
-                                && bank.pending_reg.get(&line).map_or(true, Vec::is_empty);
-                            bank.pending_atomics.entry(line).or_default().push(
-                                MemMsg::AtomicOp { addr, kind, a, b: opb, req, reply_to, core },
-                            );
+                            let first = bank.pending_atomics.get(&line).is_none_or(Vec::is_empty)
+                                && bank.pending_reg.get(&line).is_none_or(Vec::is_empty);
+                            bank.pending_atomics.entry(line).or_default().push(MemMsg::AtomicOp {
+                                addr,
+                                kind,
+                                a,
+                                b: opb,
+                                req,
+                                reply_to,
+                                core,
+                            });
                             if first {
                                 self.stats.recalls += 1;
                                 let owner_node = self.core_nodes[o as usize];
-                                self.send(now, mesh, bank_node, owner_node, MemMsg::Recall { line });
+                                self.send(
+                                    now,
+                                    mesh,
+                                    bank_node,
+                                    owner_node,
+                                    MemMsg::Recall { line },
+                                );
                             }
-                            return;
                         }
                         _ => {
                             // Unowned (or a stale self-entry): execute here
                             // and grant the requester ownership so its later
                             // atomics hit locally.
-                            self.execute_atomic(now, b, addr, kind, a, opb, req, reply_to, mesh, gmem);
+                            self.execute_atomic(
+                                now, b, addr, kind, a, opb, req, reply_to, mesh, gmem,
+                            );
                             let bank = &mut self.banks[b];
                             bank.registry.insert(line, core);
                             bank.tags.remove(line);
@@ -483,7 +504,7 @@ mod tests {
     fn registration_and_forwarding() {
         let (mut s, mut mesh, mut gmem) = setup();
         let line = LineAddr(48); // bank 0
-        // Core 2 registers ownership.
+                                 // Core 2 registers ownership.
         s.deliver(0, NodeId(0), MemMsg::RegisterOwner { line, reply_to: NodeId(2), core: 2 });
         let acks = run(&mut s, &mut mesh, &mut gmem, 100, NodeId(2));
         assert!(matches!(acks[0].1, MemMsg::RegisterAck { .. }));
@@ -529,15 +550,17 @@ mod tests {
                         mesh.send(now, NodeId(1), NodeId(0), wb.size_bytes(), wb);
                     }
                     (NodeId(3), MemMsg::RegisterAck { .. }) => ack3 = true,
-                    (n, m) if n.0 < 16 && !matches!(m, MemMsg::Fill { .. }) => {
-                        if !matches!(
-                            m,
-                            MemMsg::RegisterAck { .. }
-                                | MemMsg::WriteAck { .. }
-                                | MemMsg::AtomicResp { .. }
-                        ) {
-                            s.deliver(now, n, m);
-                        }
+                    (n, m)
+                        if n.0 < 16
+                            && !matches!(
+                                m,
+                                MemMsg::Fill { .. }
+                                    | MemMsg::RegisterAck { .. }
+                                    | MemMsg::WriteAck { .. }
+                                    | MemMsg::AtomicResp { .. }
+                            ) =>
+                    {
+                        s.deliver(now, n, m);
                     }
                     _ => {}
                 }
@@ -553,7 +576,7 @@ mod tests {
     fn atomics_rmw_functional_memory_in_order() {
         let (mut s, mut mesh, mut gmem) = setup();
         let addr = 0u64; // line 0, bank 0
-        // Two CAS(0 -> 1): only the first may win.
+                         // Two CAS(0 -> 1): only the first may win.
         for core in [1u8, 2u8] {
             s.deliver(
                 0,
@@ -592,9 +615,17 @@ mod tests {
         let (mut s, _, _) = setup();
         // Five messages to bank 0, one to bank 3.
         for i in 0..5 {
-            s.deliver(i, NodeId(0), MemMsg::GetLine { line: LineAddr(16), reply_to: NodeId(1), core: 1 });
+            s.deliver(
+                i,
+                NodeId(0),
+                MemMsg::GetLine { line: LineAddr(16), reply_to: NodeId(1), core: 1 },
+            );
         }
-        s.deliver(9, NodeId(3), MemMsg::GetLine { line: LineAddr(3), reply_to: NodeId(1), core: 1 });
+        s.deliver(
+            9,
+            NodeId(3),
+            MemMsg::GetLine { line: LineAddr(3), reply_to: NodeId(1), core: 1 },
+        );
         let hist = s.per_bank_messages();
         assert_eq!(hist[0], 5);
         assert_eq!(hist[3], 1);

@@ -10,11 +10,10 @@
 //! straight to global memory via the translation.
 
 use crate::line::{line_of, LineAddr, WordMask, LINE_BYTES};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// One local-to-global range mapping installed by `stash.map`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StashMapping {
     /// Local byte offset the range starts at.
     pub local: u64,
@@ -126,11 +125,8 @@ impl StashMem {
         let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
         dirty.sort_unstable();
         for local in dirty {
-            let Some(global) = self
-                .mappings
-                .iter()
-                .filter(|m| m.writeback)
-                .find_map(|m| m.translate(local))
+            let Some(global) =
+                self.mappings.iter().filter(|m| m.writeback).find_map(|m| m.translate(local))
             else {
                 continue;
             };
@@ -163,10 +159,8 @@ impl StashMem {
         let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
         dirty.sort_unstable();
         for local_word in dirty {
-            let Some(global) = removed
-                .iter()
-                .filter(|m| m.writeback)
-                .find_map(|m| m.translate(local_word))
+            let Some(global) =
+                removed.iter().filter(|m| m.writeback).find_map(|m| m.translate(local_word))
             else {
                 continue;
             };
@@ -177,8 +171,7 @@ impl StashMem {
             }
         }
         // Clear word state covered by the removed mappings.
-        let covered =
-            |w: u64| removed.iter().any(|m| w >= m.local && w < m.local + m.bytes);
+        let covered = |w: u64| removed.iter().any(|m| w >= m.local && w < m.local + m.bytes);
         self.valid.retain(|&w| !covered(w));
         self.dirty.retain(|&w| !covered(w));
         self.mappings.retain(|m| !overlaps(m));

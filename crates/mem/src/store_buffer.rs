@@ -7,6 +7,12 @@
 
 use crate::line::{LineAddr, WordMask};
 
+/// A new line could not be recorded: the buffer is out of entries (a "full
+/// store buffer" memory structural stall; the caller should trigger a
+/// flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBufferFull;
+
 /// A fixed-capacity, FIFO-ordered write-combining buffer.
 ///
 /// ```
@@ -69,16 +75,15 @@ impl StoreBuffer {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when a new entry is needed but the buffer is full
-    /// (a "full store buffer" memory structural stall; the caller should
-    /// trigger a flush).
-    pub fn record(&mut self, line: LineAddr, mask: WordMask) -> Result<bool, ()> {
+    /// Returns [`StoreBufferFull`] when a new entry is needed but the
+    /// buffer has no free slot.
+    pub fn record(&mut self, line: LineAddr, mask: WordMask) -> Result<bool, StoreBufferFull> {
         if let Some((_, m)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
             *m = m.union(mask);
             return Ok(true);
         }
         if self.is_full() {
-            return Err(());
+            return Err(StoreBufferFull);
         }
         self.entries.push((line, mask));
         Ok(false)
@@ -124,7 +129,7 @@ mod tests {
         let mut sb = StoreBuffer::new(1);
         sb.record(LineAddr(1), WordMask(1)).unwrap();
         assert!(sb.is_full());
-        assert_eq!(sb.record(LineAddr(2), WordMask(1)), Err(()));
+        assert_eq!(sb.record(LineAddr(2), WordMask(1)), Err(StoreBufferFull));
         // But combining into the existing line still works at capacity.
         assert_eq!(sb.record(LineAddr(1), WordMask(2)), Ok(true));
     }

@@ -1,128 +1,173 @@
-//! Property tests for the hardware structures against simple reference
-//! models.
+//! Randomized tests for the hardware structures against simple reference
+//! models, driven by a fixed-seed SplitMix64 generator (deterministic, no
+//! external crates).
 
 use gsi_mem::{LineAddr, Mshr, MshrOutcome, StoreBuffer, TagArray, WordMask};
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    /// The tag array never exceeds capacity, and a hit is returned iff the
-    /// line was inserted and not yet evicted/removed (checked against a
-    /// reference set maintained from the array's own reports).
-    #[test]
-    fn tag_array_matches_reference(
-        ops in proptest::collection::vec((0u8..3, 0u64..64), 1..200),
-        sets in 1usize..8,
-        ways in 1usize..4,
-    ) {
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// The tag array never exceeds capacity, and a hit is returned iff the line
+/// was inserted and not yet evicted/removed (checked against a reference
+/// set maintained from the array's own reports).
+#[test]
+fn tag_array_matches_reference() {
+    let mut rng = Rng::new(0x3E3_0001);
+    for _case in 0..48 {
+        let sets = 1 + rng.below(7) as usize;
+        let ways = 1 + rng.below(3) as usize;
+        let nops = 1 + rng.below(199) as usize;
+
         let mut c: TagArray<u32> = TagArray::new(sets, ways);
         let mut resident: HashSet<u64> = HashSet::new();
-        for (op, line) in ops {
-            let line = LineAddr(line);
+        for _ in 0..nops {
+            let op = rng.below(3) as u8;
+            let line = LineAddr(rng.below(64));
             match op {
                 0 => {
                     let evicted = c.insert(line, 0);
                     resident.insert(line.0);
                     if let Some(e) = evicted {
-                        prop_assert!(resident.remove(&e.line.0), "evicted a non-resident line");
-                        prop_assert_ne!(e.line, line);
+                        assert!(resident.remove(&e.line.0), "evicted a non-resident line");
+                        assert_ne!(e.line, line);
                     }
                 }
                 1 => {
                     let hit = c.get(line).is_some();
-                    prop_assert_eq!(hit, resident.contains(&line.0));
+                    assert_eq!(hit, resident.contains(&line.0));
                 }
                 _ => {
                     let removed = c.remove(line).is_some();
-                    prop_assert_eq!(removed, resident.remove(&line.0));
+                    assert_eq!(removed, resident.remove(&line.0));
                 }
             }
-            prop_assert!(c.len() <= c.capacity());
-            prop_assert_eq!(c.len(), resident.len());
+            assert!(c.len() <= c.capacity());
+            assert_eq!(c.len(), resident.len());
         }
     }
+}
 
-    /// MSHR: entries never exceed capacity; merges never allocate; every
-    /// completion returns exactly the targets registered for that line.
-    #[test]
-    fn mshr_matches_reference(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..16, 0u32..1000), 1..200),
-        cap in 1usize..8,
-    ) {
+/// MSHR: entries never exceed capacity; merges never allocate; every
+/// completion returns exactly the targets registered for that line.
+#[test]
+fn mshr_matches_reference() {
+    let mut rng = Rng::new(0x3E3_0002);
+    for _case in 0..48 {
+        let cap = 1 + rng.below(7) as usize;
+        let nops = 1 + rng.below(199) as usize;
+
         let mut m: Mshr<u32> = Mshr::new(cap);
         let mut model: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (alloc, line, tag) in ops {
+        for _ in 0..nops {
+            let alloc = rng.flag();
+            let line = rng.below(16);
+            let tag = rng.below(1000) as u32;
             let line_a = LineAddr(line);
             if alloc {
                 match m.allocate(line_a, tag) {
                     Ok(MshrOutcome::Primary) => {
-                        prop_assert!(!model.contains_key(&line));
+                        assert!(!model.contains_key(&line));
                         model.insert(line, vec![tag]);
                     }
                     Ok(MshrOutcome::Merged) => {
                         model.get_mut(&line).expect("merge implies entry").push(tag);
                     }
                     Err(returned) => {
-                        prop_assert_eq!(returned, tag);
-                        prop_assert_eq!(model.len(), cap);
-                        prop_assert!(!model.contains_key(&line));
+                        assert_eq!(returned, tag);
+                        assert_eq!(model.len(), cap);
+                        assert!(!model.contains_key(&line));
                     }
                 }
             } else {
                 let got = m.complete(line_a);
                 let want = model.remove(&line);
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             }
-            prop_assert_eq!(m.len(), model.len());
-            prop_assert!(m.len() <= cap);
+            assert_eq!(m.len(), model.len());
+            assert!(m.len() <= cap);
         }
     }
+}
 
-    /// Store buffer: combining unions masks; drain order is FIFO by first
-    /// touch; capacity is respected.
-    #[test]
-    fn store_buffer_matches_reference(
-        ops in proptest::collection::vec((0u64..16, 1u8..=255), 1..200),
-        cap in 1usize..8,
-    ) {
+/// Store buffer: combining unions masks; drain order is FIFO by first
+/// touch; capacity is respected.
+#[test]
+fn store_buffer_matches_reference() {
+    let mut rng = Rng::new(0x3E3_0003);
+    for _case in 0..48 {
+        let cap = 1 + rng.below(7) as usize;
+        let nops = 1 + rng.below(199) as usize;
+
         let mut sb = StoreBuffer::new(cap);
         let mut model: Vec<(u64, u8)> = Vec::new();
-        for (line, mask) in ops {
+        for _ in 0..nops {
+            let line = rng.below(16);
+            let mask = 1 + rng.below(255) as u8;
             match sb.record(LineAddr(line), WordMask(mask)) {
                 Ok(combined) => {
                     if combined {
                         let e = model.iter_mut().find(|(l, _)| *l == line).expect("present");
                         e.1 |= mask;
                     } else {
-                        prop_assert!(model.len() < cap);
+                        assert!(model.len() < cap);
                         model.push((line, mask));
                     }
                 }
-                Err(()) => {
-                    prop_assert_eq!(model.len(), cap);
-                    prop_assert!(!model.iter().any(|(l, _)| *l == line));
+                Err(_full) => {
+                    assert_eq!(model.len(), cap);
+                    assert!(!model.iter().any(|(l, _)| *l == line));
                     // Drain one entry to make progress, FIFO order.
                     let (dl, dm) = sb.pop_oldest().expect("full buffer pops");
                     let (ml, mm) = model.remove(0);
-                    prop_assert_eq!(dl, LineAddr(ml));
-                    prop_assert_eq!(dm, WordMask(mm));
+                    assert_eq!(dl, LineAddr(ml));
+                    assert_eq!(dm, WordMask(mm));
                 }
             }
-            prop_assert_eq!(sb.len(), model.len());
+            assert_eq!(sb.len(), model.len());
         }
         // Final drain matches the model exactly.
         while let Some((l, m)) = sb.pop_oldest() {
             let (ml, mm) = model.remove(0);
-            prop_assert_eq!(l, LineAddr(ml));
-            prop_assert_eq!(m, WordMask(mm));
+            assert_eq!(l, LineAddr(ml));
+            assert_eq!(m, WordMask(mm));
         }
-        prop_assert!(model.is_empty());
+        assert!(model.is_empty());
     }
+}
 
-    /// WordMask set/contains agrees with a bit-set model and the address
-    /// iterator inverts it.
-    #[test]
-    fn word_mask_roundtrip(addrs in proptest::collection::vec(0u64..64, 0..16)) {
+/// WordMask set/contains agrees with a bit-set model and the address
+/// iterator inverts it.
+#[test]
+fn word_mask_roundtrip() {
+    let mut rng = Rng::new(0x3E3_0004);
+    for _case in 0..48 {
+        let naddrs = rng.below(16) as usize;
+        let addrs: Vec<u64> = (0..naddrs).map(|_| rng.below(64)).collect();
+
         let base = 0x1000u64; // line-aligned
         let mut mask = WordMask::EMPTY;
         let mut model = HashSet::new();
@@ -133,9 +178,9 @@ proptest! {
         }
         for w in 0..8u64 {
             let byte = base + w * 8;
-            prop_assert_eq!(mask.contains_addr(byte), model.contains(&byte));
+            assert_eq!(mask.contains_addr(byte), model.contains(&byte));
         }
         let listed: HashSet<u64> = mask.addrs(gsi_mem::line_of(base)).collect();
-        prop_assert_eq!(listed, model);
+        assert_eq!(listed, model);
     }
 }

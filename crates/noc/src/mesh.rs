@@ -1,14 +1,13 @@
 //! The mesh topology, XY routing, and link-contention timing model.
 
 use crate::stats::NocStats;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
 /// A node of the mesh, identified by its index in row-major order
 /// (`id = y * width + x`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u8);
 
 impl fmt::Display for NodeId {
@@ -21,7 +20,7 @@ impl fmt::Display for NodeId {
 ///
 /// The defaults model the paper's 4×4 mesh: a 2-cycle router traversal and a
 /// 1-cycle link traversal per hop, 16-byte flits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeshConfig {
     /// Mesh width (columns).
     pub width: u8,
@@ -91,6 +90,15 @@ impl MeshConfig {
         u64::from(size_bytes.div_ceil(self.flit_bytes)).max(1)
     }
 }
+
+gsi_json::json_struct!(MeshConfig {
+    width,
+    height,
+    router_delay,
+    link_delay,
+    flit_bytes,
+    local_delay,
+});
 
 /// Directions of the four links leaving each node.
 const DIR_E: usize = 0;
@@ -227,6 +235,15 @@ impl<T: Eq> Mesh<T> {
     /// as `(destination, payload)` pairs in deterministic order.
     pub fn deliver(&mut self, now: u64) -> Vec<(NodeId, T)> {
         let mut out = Vec::new();
+        self.deliver_into(now, &mut out);
+        out
+    }
+
+    /// [`deliver`](Self::deliver) appending into a caller-provided buffer,
+    /// so the per-cycle simulation loop can reuse one allocation. The buffer
+    /// is *not* cleared: due messages are appended in the same deterministic
+    /// order `deliver` returns them.
+    pub fn deliver_into(&mut self, now: u64, out: &mut Vec<(NodeId, T)>) {
         while let Some(Reverse(head)) = self.in_flight.peek() {
             if head.deliver_at > now {
                 break;
@@ -234,7 +251,6 @@ impl<T: Eq> Mesh<T> {
             let Reverse(msg) = self.in_flight.pop().expect("peeked");
             out.push((msg.dst, msg.payload));
         }
-        out
     }
 
     /// Earliest delivery cycle among in-flight messages, if any. Useful for
@@ -353,6 +369,22 @@ mod tests {
         assert_eq!(s.bytes, 16);
         assert_eq!(s.total_hops, 7);
         assert!(s.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn deliver_into_appends_in_delivery_order() {
+        let mut a = mesh();
+        let mut b = mesh();
+        for i in 0..6 {
+            a.send(0, NodeId(0), NodeId(2), 16, i);
+            b.send(0, NodeId(0), NodeId(2), 16, i);
+        }
+        let reference = a.deliver(u64::MAX);
+        let mut buf = vec![(NodeId(9), 99)]; // existing contents survive
+        b.deliver_into(u64::MAX, &mut buf);
+        assert_eq!(buf[0], (NodeId(9), 99));
+        assert_eq!(&buf[1..], &reference[..]);
+        assert_eq!(b.in_flight(), 0);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Traffic statistics for the mesh.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a [`Mesh`](crate::Mesh) over its lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
     /// Messages injected.
     pub messages: u64,
@@ -38,6 +36,15 @@ impl NocStats {
         }
     }
 }
+
+gsi_json::json_struct!(NocStats {
+    messages,
+    bytes,
+    total_hops,
+    total_latency,
+    max_latency,
+    link_queue_cycles,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,20 +1,49 @@
-//! Property tests for the mesh: no message loss, latency lower bounds, and
-//! determinism.
+//! Randomized tests for the mesh: no message loss, latency lower bounds,
+//! and determinism. Driven by a fixed-seed SplitMix64 generator
+//! (deterministic, no external crates).
 
 use gsi_noc::{Mesh, MeshConfig, NodeId};
-use proptest::prelude::*;
 
-fn arb_node() -> impl Strategy<Value = NodeId> {
-    (0u8..16).prop_map(NodeId)
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn node(&mut self) -> NodeId {
+        NodeId(self.below(16) as u8)
+    }
+
+    /// A random `(src, dst, size)` message.
+    fn msg(&mut self) -> (NodeId, NodeId, u32) {
+        (self.node(), self.node(), 1 + self.below(199) as u32)
+    }
 }
 
-proptest! {
-    /// Every injected message is delivered exactly once, at its ETA, to the
-    /// right node.
-    #[test]
-    fn no_loss_no_duplication(
-        msgs in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 1..60),
-    ) {
+/// Every injected message is delivered exactly once, at its ETA, to the
+/// right node.
+#[test]
+fn no_loss_no_duplication() {
+    let mut rng = Rng::new(0x40C_0001);
+    for _case in 0..48 {
+        let nmsgs = 1 + rng.below(59) as usize;
+        let msgs: Vec<(NodeId, NodeId, u32)> = (0..nmsgs).map(|_| rng.msg()).collect();
+
         let mut mesh: Mesh<usize> = Mesh::new(MeshConfig::default());
         let mut etas = Vec::new();
         for (i, (src, dst, size)) in msgs.iter().enumerate() {
@@ -24,38 +53,46 @@ proptest! {
         let mut delivered = vec![false; msgs.len()];
         for now in 0..=horizon {
             for (node, payload) in mesh.deliver(now) {
-                prop_assert!(!delivered[payload], "duplicate delivery of {}", payload);
+                assert!(!delivered[payload], "duplicate delivery of {payload}");
                 delivered[payload] = true;
-                prop_assert_eq!(node, etas[payload].1);
-                prop_assert_eq!(now, etas[payload].0, "delivery at the promised cycle");
+                assert_eq!(node, etas[payload].1);
+                assert_eq!(now, etas[payload].0, "delivery at the promised cycle");
             }
         }
-        prop_assert!(delivered.iter().all(|&d| d), "all messages delivered");
-        prop_assert_eq!(mesh.in_flight(), 0);
+        assert!(delivered.iter().all(|&d| d), "all messages delivered");
+        assert_eq!(mesh.in_flight(), 0);
     }
+}
 
-    /// Latency is bounded below by the zero-load latency and is exactly it
-    /// for the first message on an idle mesh.
-    #[test]
-    fn latency_lower_bound(
-        first in (arb_node(), arb_node(), 1u32..200),
-        rest in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 0..30),
-    ) {
+/// Latency is bounded below by the zero-load latency and is exactly it for
+/// the first message on an idle mesh.
+#[test]
+fn latency_lower_bound() {
+    let mut rng = Rng::new(0x40C_0002);
+    for _case in 0..48 {
+        let first = rng.msg();
+        let nrest = rng.below(30) as usize;
+        let rest: Vec<(NodeId, NodeId, u32)> = (0..nrest).map(|_| rng.msg()).collect();
+
         let cfg = MeshConfig::default();
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let eta = mesh.send(0, first.0, first.1, first.2, 0);
-        prop_assert_eq!(eta, cfg.zero_load_latency(first.0, first.1, first.2));
+        assert_eq!(eta, cfg.zero_load_latency(first.0, first.1, first.2));
         for (i, (src, dst, size)) in rest.iter().enumerate() {
             let eta = mesh.send(0, *src, *dst, *size, i as u32 + 1);
-            prop_assert!(eta >= cfg.zero_load_latency(*src, *dst, *size));
+            assert!(eta >= cfg.zero_load_latency(*src, *dst, *size));
         }
     }
+}
 
-    /// The same injection sequence produces the same delivery schedule.
-    #[test]
-    fn deterministic_schedule(
-        msgs in proptest::collection::vec((arb_node(), arb_node(), 1u32..200), 1..40),
-    ) {
+/// The same injection sequence produces the same delivery schedule.
+#[test]
+fn deterministic_schedule() {
+    let mut rng = Rng::new(0x40C_0003);
+    for _case in 0..48 {
+        let nmsgs = 1 + rng.below(39) as usize;
+        let msgs: Vec<(NodeId, NodeId, u32)> = (0..nmsgs).map(|_| rng.msg()).collect();
+
         let run = |msgs: &[(NodeId, NodeId, u32)]| {
             let mut mesh: Mesh<usize> = Mesh::new(MeshConfig::default());
             let etas: Vec<u64> = msgs
@@ -65,22 +102,25 @@ proptest! {
                 .collect();
             etas
         };
-        prop_assert_eq!(run(&msgs), run(&msgs));
+        assert_eq!(run(&msgs), run(&msgs));
     }
+}
 
-    /// Congestion monotonicity: sending the same message later never makes
-    /// it arrive earlier.
-    #[test]
-    fn send_time_monotonicity(
-        src in arb_node(),
-        dst in arb_node(),
-        t1 in 0u64..100,
-        dt in 0u64..100,
-    ) {
+/// Congestion monotonicity: sending the same message later never makes it
+/// arrive earlier.
+#[test]
+fn send_time_monotonicity() {
+    let mut rng = Rng::new(0x40C_0004);
+    for _case in 0..128 {
+        let src = rng.node();
+        let dst = rng.node();
+        let t1 = rng.below(100);
+        let dt = rng.below(100);
+
         let mut a: Mesh<u32> = Mesh::new(MeshConfig::default());
         let mut b: Mesh<u32> = Mesh::new(MeshConfig::default());
         let e1 = a.send(t1, src, dst, 64, 0);
         let e2 = b.send(t1 + dt, src, dst, 64, 0);
-        prop_assert!(e2 >= e1);
+        assert!(e2 >= e1);
     }
 }

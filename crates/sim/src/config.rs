@@ -4,7 +4,6 @@ use gsi_core::CyclePriority;
 use gsi_mem::{LocalMemKind, MemConfig, Protocol};
 use gsi_noc::MeshConfig;
 use gsi_sm::{SchedPolicy, SmConfig};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated heterogeneous system.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// windows match the table: L1 hits in 1 cycle, L2 hits in ~29–61 cycles,
 /// remote L1 hits in ~35–83 cycles, and main memory in ~197–261 cycles
 /// (validated by the `latency_windows` integration test).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Memory hierarchy parameters.
     pub mem: MemConfig,
@@ -162,6 +161,8 @@ impl SystemConfig {
         )
     }
 }
+
+gsi_json::json_struct!(SystemConfig { mem, sm, mesh, gpu_cores, max_cycles });
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,10 @@ pub struct LaunchCtx {
     pub slot: usize,
 }
 
+/// A per-warp register initializer: called with the warp's registers, the
+/// block id, the warp index within the block, and the launch context.
+type WarpInitFn = Box<dyn Fn(&mut WarpInit, u64, usize, LaunchCtx)>;
+
 /// Everything needed to launch a kernel: the program, the grid shape, and a
 /// per-warp register initializer.
 ///
@@ -31,7 +35,7 @@ pub struct LaunchSpec {
     pub grid_blocks: u64,
     /// Warps per thread block.
     pub warps_per_block: usize,
-    init: Box<dyn Fn(&mut WarpInit, u64, usize, LaunchCtx)>,
+    init: WarpInitFn,
 }
 
 impl std::fmt::Debug for LaunchSpec {
@@ -60,10 +64,7 @@ impl LaunchSpec {
     /// Set the per-warp register initializer
     /// `(warp, block_id, warp_in_block, ctx)`.
     #[must_use]
-    pub fn with_init(
-        mut self,
-        f: impl Fn(&mut WarpInit, u64, usize, LaunchCtx) + 'static,
-    ) -> Self {
+    pub fn with_init(mut self, f: impl Fn(&mut WarpInit, u64, usize, LaunchCtx) + 'static) -> Self {
         self.init = Box::new(f);
         self
     }
@@ -95,7 +96,10 @@ mod tests {
     #[test]
     fn init_receives_coordinates() {
         let spec = LaunchSpec::new(prog(), 3, 2).with_init(|w, block, warp, ctx| {
-            w.set_uniform(0, block * 1000 + warp as u64 * 100 + ctx.sm as u64 * 10 + ctx.slot as u64);
+            w.set_uniform(
+                0,
+                block * 1000 + warp as u64 * 100 + ctx.sm as u64 * 10 + ctx.slot as u64,
+            );
         });
         let w = spec.init_warp(2, 1, LaunchCtx { sm: 4, slot: 3 });
         assert_eq!(w.regs[0][0], 2143);

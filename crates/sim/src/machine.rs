@@ -6,7 +6,6 @@ use gsi_core::{StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
 use gsi_noc::{Mesh, NocStats, NodeId};
 use gsi_sm::{BlockInit, SmCore, SmStats, WarpProfile};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulation failures.
@@ -38,7 +37,7 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// The result of one kernel execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelRun {
     /// GPU cycles from launch to full drain (including the end-of-kernel
     /// store-buffer flush and stash writeback, which the paper's release
@@ -67,10 +66,36 @@ pub struct KernelRun {
     pub warp_profiles: Vec<Vec<WarpProfile>>,
 }
 
+gsi_json::json_struct!(KernelRun {
+    cycles,
+    breakdown,
+    per_sm,
+    sm_stats,
+    mem_stats,
+    l2_stats,
+    noc_stats,
+    instructions,
+    timelines,
+    warp_profiles,
+});
+
 struct Core {
     sm: SmCore,
     mem: CoreMemUnit,
     collector: StallCollector,
+}
+
+/// Reusable buffers for the per-cycle simulation loop. Capacities reach a
+/// steady state early in a kernel, after which the loop performs no heap
+/// allocation for message plumbing (see `tests/alloc_free.rs`).
+#[derive(Default)]
+struct SimScratch {
+    /// Mesh deliveries due this cycle.
+    deliveries: Vec<(NodeId, MemMsg)>,
+    /// Outgoing messages drained from one core's memory unit.
+    outbox: Vec<(NodeId, MemMsg)>,
+    /// Ids of blocks that finished this cycle.
+    completed: Vec<u64>,
 }
 
 /// The integrated CPU-GPU system simulator.
@@ -87,6 +112,7 @@ pub struct Simulator {
     cores: Vec<Core>,
     cycle: u64,
     profiling: bool,
+    scratch: SimScratch,
 }
 
 impl fmt::Debug for Simulator {
@@ -130,6 +156,7 @@ impl Simulator {
             cores,
             cycle: 0,
             profiling: true,
+            scratch: SimScratch::default(),
             cfg,
         }
     }
@@ -205,7 +232,8 @@ impl Simulator {
             }
 
             // 1. Mesh deliveries: requests to banks, responses to cores.
-            for (node, msg) in self.mesh.deliver(now) {
+            self.mesh.deliver_into(now, &mut self.scratch.deliveries);
+            for (node, msg) in self.scratch.deliveries.drain(..) {
                 if bank_bound(&msg) {
                     self.shared.deliver(now, node, msg);
                 } else {
@@ -236,12 +264,15 @@ impl Simulator {
             for c in &mut self.cores {
                 c.mem.tick(now);
                 c.sm.tick(now, &mut c.mem, &mut self.gmem, &mut c.collector);
-                blocks_done += c.sm.take_completed_blocks().len() as u64;
+                c.sm.drain_completed_blocks(&mut self.scratch.completed);
             }
+            blocks_done += self.scratch.completed.len() as u64;
+            self.scratch.completed.clear();
 
             // 5. Outgoing traffic.
             for (i, c) in self.cores.iter_mut().enumerate() {
-                for (dst, msg) in c.mem.take_outbox() {
+                c.mem.drain_outbox(&mut self.scratch.outbox);
+                for (dst, msg) in self.scratch.outbox.drain(..) {
                     self.mesh.send(now, NodeId(i as u8), dst, msg.size_bytes(), msg);
                 }
             }
@@ -286,11 +317,7 @@ impl Simulator {
             noc_stats: *self.mesh.stats(),
             instructions,
             timelines: self.cores.iter_mut().map(|c| c.collector.take_epochs()).collect(),
-            warp_profiles: self
-                .cores
-                .iter()
-                .map(|c| c.sm.warp_profiles().to_vec())
-                .collect(),
+            warp_profiles: self.cores.iter().map(|c| c.sm.warp_profiles().to_vec()).collect(),
         };
         for c in &mut self.cores {
             c.mem.reset_for_kernel();
@@ -360,10 +387,9 @@ mod tests {
         b.addi(Reg(3), Reg(2), 1);
         b.st_global(Reg(3), Reg(1), 0);
         b.exit();
-        let spec = LaunchSpec::new(b.build().unwrap(), 2, 2)
-            .with_init(|w, block, warp, _| {
-                w.set_uniform(1, 0x4000 + block * 0x100 + warp as u64 * 0x40)
-            });
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 2).with_init(|w, block, warp, _| {
+            w.set_uniform(1, 0x4000 + block * 0x100 + warp as u64 * 0x40)
+        });
         let mut sim = Simulator::new(tiny_cfg());
         let run = sim.run_kernel(&spec).unwrap();
         // Per-SM breakdown totals equal the kernel cycle count (every SM is
@@ -434,9 +460,7 @@ mod tests {
             b.st_global(Reg(2), Reg(1), 0);
             b.exit();
             let spec = LaunchSpec::new(b.build().unwrap(), 4, 2).with_init(|w, blk, wp, _| {
-                w.set_per_lane(1, move |l| {
-                    0x7000 + blk * 0x400 + wp as u64 * 0x100 + l as u64 * 8
-                });
+                w.set_per_lane(1, move |l| 0x7000 + blk * 0x400 + wp as u64 * 0x100 + l as u64 * 8);
             });
             let mut sim = Simulator::new(tiny_cfg().with_protocol(protocol));
             for a in (0x7000..0x8000).step_by(8) {
@@ -559,12 +583,7 @@ mod tests {
         let mut sim = Simulator::new(tiny_cfg());
         let run = sim.run_kernel(&spec).unwrap();
         assert_eq!(run.warp_profiles.len(), 2);
-        let total_instr: u64 = run
-            .warp_profiles
-            .iter()
-            .flatten()
-            .map(|p| p.instructions)
-            .sum();
+        let total_instr: u64 = run.warp_profiles.iter().flatten().map(|p| p.instructions).sum();
         assert_eq!(total_instr, run.instructions);
     }
 

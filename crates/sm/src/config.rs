@@ -1,10 +1,9 @@
 //! SM pipeline configuration.
 
 use gsi_core::CyclePriority;
-use serde::{Deserialize, Serialize};
 
 /// Warp scheduling policy of the issue stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
     /// Greedy-then-oldest: keep issuing from the same warp until it stalls,
     /// then fall back to the warp that has waited longest (GPGPU-Sim's GTO).
@@ -19,7 +18,7 @@ pub enum SchedPolicy {
 /// issue, up to 48 resident warps in 8 blocks, a short ALU pipeline, a
 /// long-latency SFU, and a 2-cycle instruction-buffer refill after taken
 /// branches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmConfig {
     /// Instructions issued per cycle (from distinct warps).
     pub issue_width: usize,
@@ -61,6 +60,21 @@ impl Default for SmConfig {
         }
     }
 }
+
+gsi_json::json_unit_enum!(SchedPolicy { Gto, RoundRobin });
+
+gsi_json::json_struct!(SmConfig {
+    issue_width,
+    max_warps,
+    max_blocks,
+    alu_latency,
+    sfu_latency,
+    alu_per_cycle,
+    sfu_per_cycle,
+    branch_refetch,
+    scheduler,
+    cycle_priority,
+});
 
 #[cfg(test)]
 mod tests {

@@ -15,24 +15,43 @@ impl Scheduler {
     /// The order to consider warp indices `0..n` this cycle.
     ///
     /// `last_issue` gives, for each warp, the last cycle it issued (for the
-    /// "oldest" half of greedy-then-oldest).
+    /// "oldest" half of greedy-then-oldest). Allocating reference for
+    /// [`order_into`](Self::order_into), kept for the equivalence tests
+    /// (the issue stage uses the scratch-buffer variant).
+    #[cfg(test)]
     pub fn order(&self, policy: SchedPolicy, n: usize, last_issue: &[u64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.order_into(policy, n, last_issue, &mut out);
+        out
+    }
+
+    /// [`order`](Self::order) writing into a caller-provided buffer, so the
+    /// per-cycle issue stage can reuse one allocation. `out` is cleared
+    /// first. The unstable sort is deterministic here because the sort key
+    /// includes the warp index, making every key distinct.
+    pub fn order_into(
+        &self,
+        policy: SchedPolicy,
+        n: usize,
+        last_issue: &[u64],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         match policy {
             SchedPolicy::Gto => {
-                let mut rest: Vec<usize> = (0..n).collect();
+                out.extend(0..n);
                 // Oldest first: smallest last-issue cycle, ties by index.
-                rest.sort_by_key(|&w| (last_issue[w], w));
+                out.sort_unstable_by_key(|&w| (last_issue[w], w));
                 if let Some(g) = self.greedy {
                     if g < n {
-                        let pos = rest.iter().position(|&w| w == g).expect("greedy in range");
-                        rest.remove(pos);
-                        rest.insert(0, g);
+                        let pos = out.iter().position(|&w| w == g).expect("greedy in range");
+                        out.remove(pos);
+                        out.insert(0, g);
                     }
                 }
-                rest
             }
             SchedPolicy::RoundRobin => {
-                (0..n).map(|i| (self.rr_start + i) % n.max(1)).collect()
+                out.extend((0..n).map(|i| (self.rr_start + i) % n.max(1)));
             }
         }
     }
@@ -79,6 +98,18 @@ mod tests {
         let s = Scheduler::default();
         assert!(s.order(SchedPolicy::Gto, 0, &[]).is_empty());
         assert!(s.order(SchedPolicy::RoundRobin, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn order_into_matches_order_and_reuses_the_buffer() {
+        let mut s = Scheduler::default();
+        s.issued(1);
+        let last = vec![7, 2, 9, 4];
+        let mut buf = vec![99; 16]; // stale contents must be discarded
+        for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
+            s.order_into(policy, 4, &last, &mut buf);
+            assert_eq!(buf, s.order(policy, 4, &last));
+        }
     }
 
     #[test]

@@ -6,17 +6,17 @@ use crate::config::SmConfig;
 use crate::scheduler::Scheduler;
 use crate::warp::Warp;
 use gsi_core::{
-    classify_instruction, judge_cycle_with, InstrHazards, MemDataCause, StallCollector, StallKind,
+    classify_instruction, judge_cycle_scratch, InstrHazards, MemDataCause, StallCollector,
+    StallKind,
 };
 use gsi_isa::{eval_alu, AtomOp, BranchCond, ExecUnit, Instr, Operand, Program, Reg};
 use gsi_mem::{
     AtomKind, Completion, CoreMemUnit, DmaDirection, DmaTransfer, GlobalMem, LsuReject,
     StashMapping,
 };
-use serde::{Deserialize, Serialize};
 
 /// Execution statistics for one SM.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Cycles ticked.
     pub cycles: u64,
@@ -43,7 +43,7 @@ pub struct SmStats {
 /// per-instruction classifications as the input to Algorithm 2; keeping
 /// them per warp answers "which warps stall, and why" — useful when a few
 /// straggler warps dominate a kernel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarpProfile {
     /// Instructions this warp issued.
     pub instructions: u64,
@@ -51,6 +51,20 @@ pub struct WarpProfile {
     /// (indexed by [`StallKind::index`]).
     pub considered: [u64; 8],
 }
+
+gsi_json::json_struct!(SmStats {
+    cycles,
+    instructions,
+    issued_cycles,
+    loads,
+    stores,
+    atomics,
+    barriers,
+    taken_branches,
+    divergent_branches,
+});
+
+gsi_json::json_struct!(WarpProfile { instructions, considered });
 
 impl WarpProfile {
     /// Cycles this warp's instruction was classified as `kind`.
@@ -65,7 +79,7 @@ impl WarpProfile {
 }
 
 /// One entry of the SM's instruction trace ring buffer (debugging aid).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Cycle the instruction issued.
     pub cycle: u64,
@@ -75,6 +89,27 @@ pub struct TraceEntry {
     pub pc: usize,
     /// Disassembly of the instruction.
     pub text: String,
+}
+
+/// Reusable buffers for the per-cycle issue stage. Capacities reach a
+/// steady state after the first few cycles, after which the hot path
+/// performs no heap allocation (see `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+struct IssueScratch {
+    /// Per-warp last-issue cycles, rebuilt each cycle for the scheduler.
+    last_issue: Vec<u64>,
+    /// Warp consideration order produced by the scheduler.
+    order: Vec<usize>,
+    /// Algorithm-1 hazard records for the considered instructions.
+    considered: Vec<InstrHazards>,
+    /// Algorithm-2 intermediate classifications.
+    kinds: Vec<StallKind>,
+    /// Completions drained from the memory unit at the top of the cycle.
+    completions: Vec<Completion>,
+    /// `(lane, byte address)` pairs of the active lanes of a memory access.
+    pairs: Vec<(usize, u64)>,
+    /// The bare addresses of `pairs`, in the shape the LSU expects.
+    addrs: Vec<u64>,
 }
 
 /// One streaming multiprocessor.
@@ -95,6 +130,7 @@ pub struct SmCore {
     profiles: Vec<WarpProfile>,
     trace_capacity: usize,
     trace: std::collections::VecDeque<TraceEntry>,
+    scratch: IssueScratch,
 }
 
 impl SmCore {
@@ -112,6 +148,7 @@ impl SmCore {
             profiles: Vec::new(),
             trace_capacity: 0,
             trace: std::collections::VecDeque::new(),
+            scratch: IssueScratch::default(),
         }
     }
 
@@ -200,14 +237,21 @@ impl SmCore {
     /// smallest slot not used by a resident block. Determines the block's
     /// scratchpad/stash partition.
     pub fn peek_next_slot(&self) -> usize {
-        let used: Vec<usize> =
-            self.blocks.iter().filter(|b| !b.done).map(|b| b.slot).collect();
-        (0..).find(|s| !used.contains(s)).expect("unbounded range")
+        (0..)
+            .find(|&s| !self.blocks.iter().any(|b| !b.done && b.slot == s))
+            .expect("unbounded range")
     }
 
     /// Pop the ids of blocks that finished since the last call.
     pub fn take_completed_blocks(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.completed_blocks)
+    }
+
+    /// [`take_completed_blocks`](Self::take_completed_blocks) appending into
+    /// a caller-provided buffer, preserving the internal queue's capacity so
+    /// a per-cycle caller allocates nothing in steady state.
+    pub fn drain_completed_blocks(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.completed_blocks);
     }
 
     /// Advance one cycle: retire completions, then run the issue stage and
@@ -227,7 +271,11 @@ impl SmCore {
     }
 
     fn retire_completions(&mut self, mem: &mut CoreMemUnit, collector: &mut StallCollector) {
-        for c in mem.take_completions() {
+        // The buffer is moved out of `self` for the loop (a move, not an
+        // allocation) because the body mutates warps.
+        let mut completions = std::mem::take(&mut self.scratch.completions);
+        mem.drain_completions(&mut completions);
+        for c in completions.drain(..) {
             match c {
                 Completion::Load { req, warp, reg, provenance } => {
                     collector.on_fill(req, provenance);
@@ -251,6 +299,7 @@ impl SmCore {
                 }
             }
         }
+        self.scratch.completions = completions;
     }
 
     fn issue_stage(
@@ -260,15 +309,24 @@ impl SmCore {
         gmem: &mut GlobalMem,
         collector: &mut StallCollector,
     ) {
-        let last_issue: Vec<u64> = self.warps.iter().map(|w| w.last_issue).collect();
-        let order = self.scheduler.order(self.cfg.scheduler, self.warps.len(), &last_issue);
+        // Scratch buffers are moved out of `self` for the duration of the
+        // stage (moves, not allocations) so the per-warp mutations below
+        // can borrow `self` freely.
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let mut considered = std::mem::take(&mut self.scratch.considered);
+        {
+            let last_issue = &mut self.scratch.last_issue;
+            last_issue.clear();
+            last_issue.extend(self.warps.iter().map(|w| w.last_issue));
+            self.scheduler.order_into(self.cfg.scheduler, self.warps.len(), last_issue, &mut order);
+        }
+        considered.clear();
 
-        let mut considered: Vec<InstrHazards> = Vec::new();
         let mut issued = 0usize;
         let mut alu_used = 0u32;
         let mut sfu_used = 0u32;
 
-        for wi in order {
+        for &wi in &order {
             if !self.warps[wi].active {
                 continue;
             }
@@ -312,19 +370,19 @@ impl SmCore {
             let instr = program.fetch(w.pc).copied().unwrap_or(Instr::Exit);
 
             // Data hazards: outstanding loads first (stronger), then
-            // compute results in flight.
-            let mut hazard_regs: Vec<Reg> = instr.sources();
-            if let Some(d) = instr.dest() {
-                hazard_regs.push(d);
-            }
-            for r in &hazard_regs {
+            // compute results in flight. Sources are scanned before the
+            // destination so the blocking request of the earliest source
+            // operand is the one charged.
+            let srcs = instr.source_regs();
+            let dest = instr.dest();
+            for r in srcs.iter().chain(dest.as_ref()) {
                 if w.load_pending(r.0) {
                     hz.mem_data = w.blocking_req(r.0);
                     break;
                 }
             }
             if hz.mem_data.is_none()
-                && hazard_regs.iter().any(|r| w.compute_pending(r.0, now))
+                && srcs.iter().chain(dest.as_ref()).any(|r| w.compute_pending(r.0, now))
             {
                 hz.compute_data = true;
             }
@@ -357,7 +415,14 @@ impl SmCore {
             considered.push(hz);
         }
 
-        let verdict = judge_cycle_with(&self.cfg.cycle_priority, issued > 0, &considered);
+        let verdict = judge_cycle_scratch(
+            &self.cfg.cycle_priority,
+            issued > 0,
+            &considered,
+            &mut self.scratch.kinds,
+        );
+        self.scratch.order = order;
+        self.scratch.considered = considered;
         if issued > 0 {
             self.stats.issued_cycles += 1;
         }
@@ -366,6 +431,7 @@ impl SmCore {
 
     /// Attempt to issue `instr` from warp `wi`. On a structural hazard the
     /// instruction stays put and the hazard is returned for classification.
+    #[allow(clippy::too_many_arguments)] // the issue stage's full context
     fn execute(
         &mut self,
         wi: usize,
@@ -376,8 +442,8 @@ impl SmCore {
         alu_used: &mut u32,
         sfu_used: &mut u32,
     ) -> Result<(), InstrHazards> {
-        let take_unit = |unit: ExecUnit, alu_used: &mut u32, sfu_used: &mut u32, cfg: &SmConfig| {
-            match unit {
+        let take_unit =
+            |unit: ExecUnit, alu_used: &mut u32, sfu_used: &mut u32, cfg: &SmConfig| match unit {
                 ExecUnit::Alu => {
                     if *alu_used >= cfg.alu_per_cycle {
                         return Err(InstrHazards::compute_structural());
@@ -392,10 +458,8 @@ impl SmCore {
                     *sfu_used += 1;
                     Ok(cfg.sfu_latency)
                 }
-            }
-        };
-        let reject_to_hazard =
-            |r: LsuReject| InstrHazards::mem_structural(r.cause());
+            };
+        let reject_to_hazard = |r: LsuReject| InstrHazards::mem_structural(r.cause());
 
         match instr {
             Instr::Alu { op, dst, a, b } => {
@@ -434,20 +498,20 @@ impl SmCore {
                         continue;
                     }
                     let c = w.regs[lane][cond.0 as usize];
-                    let v = if c != 0 { op_val(&w.regs[lane], a) } else { op_val(&w.regs[lane], b) };
+                    let v =
+                        if c != 0 { op_val(&w.regs[lane], a) } else { op_val(&w.regs[lane], b) };
                     w.regs[lane][dst.0 as usize] = v;
                 }
                 w.ready_at[dst.0 as usize] = now + lat;
                 w.pc += 1;
             }
             Instr::LdGlobal { dst, addr, offset } => {
-                let pairs = self.lane_addrs(wi, addr, offset);
-                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                self.fill_lane_addrs(wi, addr, offset);
                 let issued = mem
-                    .try_global_load(now, wi as u16, dst.0, &addrs)
+                    .try_global_load(now, wi as u16, dst.0, &self.scratch.addrs)
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
-                for &(lane, a) in &pairs {
+                for &(lane, a) in &self.scratch.pairs {
                     w.regs[lane][dst.0 as usize] = gmem.read_word(a);
                 }
                 for req in issued.reqs {
@@ -457,24 +521,22 @@ impl SmCore {
                 self.stats.loads += 1;
             }
             Instr::StGlobal { src, addr, offset } => {
-                let pairs = self.lane_addrs(wi, addr, offset);
-                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
-                mem.try_global_store(now, &addrs).map_err(reject_to_hazard)?;
+                self.fill_lane_addrs(wi, addr, offset);
+                mem.try_global_store(now, &self.scratch.addrs).map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
-                for &(lane, a) in &pairs {
+                for &(lane, a) in &self.scratch.pairs {
                     gmem.write_word(a, op_val(&w.regs[lane], src));
                 }
                 w.pc += 1;
                 self.stats.stores += 1;
             }
             Instr::LdLocal { dst, addr, offset } => {
-                let pairs = self.lane_addrs(wi, addr, offset);
-                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+                self.fill_lane_addrs(wi, addr, offset);
                 let issued = mem
-                    .try_local_load(now, wi as u16, dst.0, &addrs)
+                    .try_local_load(now, wi as u16, dst.0, &self.scratch.addrs)
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
-                for &(lane, a) in &pairs {
+                for &(lane, a) in &self.scratch.pairs {
                     w.regs[lane][dst.0 as usize] = mem.local_read_word(a, gmem);
                 }
                 for req in issued.reqs {
@@ -484,11 +546,10 @@ impl SmCore {
                 self.stats.loads += 1;
             }
             Instr::StLocal { src, addr, offset } => {
-                let pairs = self.lane_addrs(wi, addr, offset);
-                let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
-                mem.try_local_store(now, &addrs).map_err(reject_to_hazard)?;
+                self.fill_lane_addrs(wi, addr, offset);
+                mem.try_local_store(now, &self.scratch.addrs).map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
-                for &(lane, a) in &pairs {
+                for &(lane, a) in &self.scratch.pairs {
                     let v = op_val(&w.regs[lane], src);
                     mem.local_write_word(a, v, gmem);
                 }
@@ -592,7 +653,11 @@ impl SmCore {
                     // Diverge: run the fall-through side first; the taken
                     // side and the full-mask restore wait on the stack.
                     w.simt_stack.push(crate::warp::SimtEntry { rpc: join, mask: cur, pc: join });
-                    w.simt_stack.push(crate::warp::SimtEntry { rpc: join, mask: taken, pc: target });
+                    w.simt_stack.push(crate::warp::SimtEntry {
+                        rpc: join,
+                        mask: taken,
+                        pc: target,
+                    });
                     w.active_mask = not_taken;
                     w.pc += 1;
                     self.stats.divergent_branches += 1;
@@ -643,15 +708,22 @@ impl SmCore {
         Ok(())
     }
 
-    /// The `(lane, byte address)` pairs of the *active* lanes.
-    fn lane_addrs(&self, wi: usize, addr: Reg, offset: i64) -> Vec<(usize, u64)> {
+    /// Fill the scratch buffers with the `(lane, byte address)` pairs of
+    /// the *active* lanes (and the bare addresses, in the shape the LSU
+    /// expects).
+    fn fill_lane_addrs(&mut self, wi: usize, addr: Reg, offset: i64) {
         let w = &self.warps[wi];
-        w.regs
-            .iter()
-            .enumerate()
-            .filter(|(lane, _)| w.lane_active(*lane))
-            .map(|(lane, regs)| (lane, regs[addr.0 as usize].wrapping_add(offset as u64)))
-            .collect()
+        let pairs = &mut self.scratch.pairs;
+        let addrs = &mut self.scratch.addrs;
+        pairs.clear();
+        addrs.clear();
+        for (lane, regs) in w.regs.iter().enumerate() {
+            if w.lane_active(lane) {
+                let a = regs[addr.0 as usize].wrapping_add(offset as u64);
+                pairs.push((lane, a));
+                addrs.push(a);
+            }
+        }
     }
 
     fn maybe_release_barrier(&mut self, block_idx: usize) {
@@ -746,10 +818,8 @@ mod tests {
                 for (_, msg) in self.mem.take_outbox() {
                     match msg {
                         gsi_mem::MemMsg::GetLine { line, .. } => {
-                            let fill = gsi_mem::MemMsg::Fill {
-                                line,
-                                provenance: gsi_mem::Provenance::L2,
-                            };
+                            let fill =
+                                gsi_mem::MemMsg::Fill { line, provenance: gsi_mem::Provenance::L2 };
                             fills.push((self.now + 30, fill));
                         }
                         gsi_mem::MemMsg::AtomicOp { addr, kind, a, b, req, .. } => {
@@ -1061,7 +1131,8 @@ mod tests {
             w.set_per_lane(1, |l| l as u64);
             rig.add_warp(w);
             rig.run(300);
-            assert_eq!(rig.sm.warps[0].regs[5 % 32][2], if divergent { 10 } else { 10 });
+            // Lane 5 computes 10 on both sides of the branch (5+5 or 5<<1).
+            assert_eq!(rig.sm.warps[0].regs[5][2], 10);
             runs.push(rig.breakdown());
         }
         assert!(

@@ -13,13 +13,12 @@
 use crate::hash::splitmix64;
 use gsi_isa::{MemSem, Operand, Program, ProgramBuilder, Reg};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// "Unvisited" distance marker.
 pub const INF: u64 = u64::MAX;
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BfsConfig {
     /// Vertices.
     pub vertices: u64,
@@ -244,7 +243,7 @@ pub fn run(sim: &mut Simulator, cfg: &BfsConfig) -> Result<BfsRun, SimError> {
     let mut levels = Vec::new();
     let mut level = 0u64;
     loop {
-        let (cur, next) = if level % 2 == 0 {
+        let (cur, next) = if level.is_multiple_of(2) {
             (lay.frontier_a, lay.frontier_b)
         } else {
             (lay.frontier_b, lay.frontier_a)
@@ -328,8 +327,7 @@ mod tests {
         let cfg = BfsConfig::small();
         let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
         let out = run(&mut sim, &cfg).unwrap();
-        let total: gsi_core::StallBreakdown =
-            out.levels.iter().map(|r| &r.breakdown).sum();
+        let total: gsi_core::StallBreakdown = out.levels.iter().map(|r| &r.breakdown).sum();
         assert!(
             total.cycles(StallKind::MemoryData) > total.cycles(StallKind::ComputeData),
             "{total:?}"

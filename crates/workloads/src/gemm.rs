@@ -11,13 +11,12 @@
 use crate::hash::splitmix64;
 use gsi_isa::{Operand, Program, ProgramBuilder, Reg, WARP_LANES};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Tile edge: 8 x 8 = 64 threads = 2 warps per block.
 pub const TILE: u64 = 8;
 
 /// Whether the kernel stages tiles in the scratchpad.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmVariant {
     /// Stage A- and B-tiles in the scratchpad with barriers.
     Tiled,
@@ -26,7 +25,7 @@ pub enum GemmVariant {
 }
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmConfig {
     /// Matrix dimension (n x n); must be a multiple of [`TILE`].
     pub n: u64,
@@ -58,7 +57,7 @@ impl GemmConfig {
     }
 
     fn validate(&self) {
-        assert!(self.n >= TILE && self.n % TILE == 0, "n must be a multiple of the tile");
+        assert!(self.n >= TILE && self.n.is_multiple_of(TILE), "n must be a multiple of the tile");
     }
 }
 
@@ -74,9 +73,7 @@ pub fn b_of(cfg: &GemmConfig, r: u64, c: u64) -> u64 {
 
 /// Host reference `C[r][c]` (wrapping).
 pub fn expected_c(cfg: &GemmConfig, r: u64, c: u64) -> u64 {
-    (0..cfg.n).fold(0u64, |acc, k| {
-        acc.wrapping_add(a_of(cfg, r, k).wrapping_mul(b_of(cfg, k, c)))
-    })
+    (0..cfg.n).fold(0u64, |acc, k| acc.wrapping_add(a_of(cfg, r, k).wrapping_mul(b_of(cfg, k, c))))
 }
 
 /// Memory layout: A, B, C row-major.

@@ -70,8 +70,7 @@ mod tests {
             emit_splitmix(&mut b, Reg(1), Reg(0), Reg(2));
             b.exit();
             let p = b.build().unwrap();
-            let instrs: Vec<Instr> =
-                p.instrs()[..p.len() - 1].to_vec();
+            let instrs: Vec<Instr> = p.instrs()[..p.len() - 1].to_vec();
             let regs = interpret(&instrs, vec![seed, 0, 0]);
             assert_eq!(regs[1], splitmix64(seed), "seed {seed:#x}");
         }

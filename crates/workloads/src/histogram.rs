@@ -8,10 +8,9 @@
 use crate::hash::splitmix64;
 use gsi_isa::{MemSem, Operand, Program, ProgramBuilder, Reg};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramConfig {
     /// Input elements.
     pub elems: u64,

@@ -18,13 +18,12 @@
 //! `v ← (v ^ (v >> 7)) + 0x9E37`, mirrored exactly by the host reference
 //! in [`expected_value`].
 
-use gsi_mem::LocalMemKind;
 use gsi_isa::{Operand, Program, ProgramBuilder, Reg, WARP_LANES};
+use gsi_mem::LocalMemKind;
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Which local-memory organization the kernel uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocalMemStyle {
     /// Baseline software-managed scratchpad.
     Scratchpad,
@@ -61,7 +60,7 @@ impl std::fmt::Display for LocalMemStyle {
 }
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImplicitConfig {
     /// Total array elements (one 64-bit word each).
     pub elems: u64,
@@ -101,11 +100,7 @@ impl ImplicitConfig {
 
     fn validate(&self) {
         assert!(self.elems > 0, "empty array");
-        assert_eq!(
-            self.elems % self.chunk_elems(),
-            0,
-            "array must be a whole number of chunks"
-        );
+        assert_eq!(self.elems % self.chunk_elems(), 0, "array must be a whole number of chunks");
         assert!(self.compute_iters >= 1, "at least one transform");
     }
 }
@@ -307,8 +302,7 @@ pub fn run(sim: &mut Simulator, cfg: &ImplicitConfig) -> Result<ImplicitRun, Sim
         "simulator local-memory configuration must match the workload style"
     );
     assert!(
-        cfg.chunk_bytes() * sim.config().sm.max_blocks as u64
-            <= sim.config().mem.scratch_bytes,
+        cfg.chunk_bytes() * sim.config().sm.max_blocks as u64 <= sim.config().mem.scratch_bytes,
         "resident blocks must fit in the scratchpad/stash"
     );
     init_memory(sim, cfg);
@@ -329,9 +323,7 @@ mod tests {
     use gsi_sim::SystemConfig;
 
     fn sim_for(style: LocalMemStyle) -> Simulator {
-        Simulator::new(
-            SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind()),
-        )
+        Simulator::new(SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind()))
     }
 
     #[test]

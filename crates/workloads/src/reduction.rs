@@ -6,10 +6,9 @@
 use crate::hash::splitmix64;
 use gsi_isa::{MemSem, Operand, Program, ProgramBuilder, Reg, WARP_LANES};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReductionConfig {
     /// Input elements (one per thread).
     pub elems: u64,

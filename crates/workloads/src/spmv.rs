@@ -10,10 +10,9 @@
 use crate::hash::splitmix64;
 use gsi_isa::{Operand, Program, ProgramBuilder, Reg, WARP_LANES};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpmvConfig {
     /// Matrix rows (one thread per row).
     pub rows: u64,
@@ -210,11 +209,7 @@ pub fn run(sim: &mut Simulator, cfg: &SpmvConfig) -> Result<SpmvRun, SimError> {
     let spec = launch_spec(cfg, lay);
     let run = sim.run_kernel(&spec)?;
     for r in 0..cfg.rows {
-        assert_eq!(
-            sim.gmem().read_word(lay.y + r * 8),
-            expected_y(cfg, r),
-            "row {r} wrong"
-        );
+        assert_eq!(sim.gmem().read_word(lay.y + r * 8), expected_y(cfg, r), "row {r} wrong");
     }
     Ok(SpmvRun { run, verified_rows: cfg.rows })
 }
@@ -249,13 +244,9 @@ mod tests {
         let b = &out.run.breakdown;
         // The x-gather misses everywhere: memory data stalls dominate and
         // most of them are serviced at L2 or main memory.
+        assert!(b.cycles(StallKind::MemoryData) > b.cycles(StallKind::ComputeData), "{b:?}");
         assert!(
-            b.cycles(StallKind::MemoryData) > b.cycles(StallKind::ComputeData),
-            "{b:?}"
-        );
-        assert!(
-            b.mem_data_cycles(MemDataCause::MainMemory) + b.mem_data_cycles(MemDataCause::L2)
-                > 0
+            b.mem_data_cycles(MemDataCause::MainMemory) + b.mem_data_cycles(MemDataCause::L2) > 0
         );
     }
 

@@ -12,10 +12,9 @@
 use crate::hash::splitmix64;
 use gsi_isa::{Operand, Program, ProgramBuilder, Reg, WARP_LANES};
 use gsi_sim::{KernelRun, LaunchSpec, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Whether the kernel tiles through the scratchpad or reads globally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StencilVariant {
     /// Tile into the scratchpad, barrier, compute from the tile.
     Tiled,
@@ -24,7 +23,7 @@ pub enum StencilVariant {
 }
 
 /// Workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StencilConfig {
     /// Interior elements computed (the array has one halo cell each side).
     pub elems: u64,
@@ -88,9 +87,7 @@ pub fn input_of(cfg: &StencilConfig, i: u64) -> u64 {
 
 /// Host reference for interior output `i` (`0..elems`).
 pub fn expected_out(cfg: &StencilConfig, i: u64) -> u64 {
-    input_of(cfg, i)
-        .wrapping_add(input_of(cfg, i + 1))
-        .wrapping_add(input_of(cfg, i + 2))
+    input_of(cfg, i).wrapping_add(input_of(cfg, i + 1)).wrapping_add(input_of(cfg, i + 2))
 }
 
 // Registers: r0 = tid in block (per lane), r1 = block's padded-input base,
@@ -241,8 +238,7 @@ pub fn expected_after_steps(cfg: &StencilConfig, steps: u64) -> Vec<u64> {
     let mut next = cur.clone();
     for _ in 0..steps {
         for i in 0..n {
-            next[i + 1] =
-                cur[i].wrapping_add(cur[i + 1]).wrapping_add(cur[i + 2]);
+            next[i + 1] = cur[i].wrapping_add(cur[i + 1]).wrapping_add(cur[i + 2]);
         }
         std::mem::swap(&mut cur, &mut next);
     }
@@ -297,7 +293,7 @@ pub fn run_time_steps(
             });
         runs.push(sim.run_kernel(&spec)?);
     }
-    let final_buf = if steps % 2 == 0 { buf_a } else { buf_b };
+    let final_buf = if steps.is_multiple_of(2) { buf_a } else { buf_b };
     let want = expected_after_steps(cfg, steps);
     for i in 0..cfg.elems {
         assert_eq!(

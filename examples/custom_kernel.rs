@@ -34,9 +34,7 @@ fn kernel(stride: u64, rounds: u64) -> gsi::isa::Program {
 }
 
 fn run(stride: u64) -> gsi::StallBreakdown {
-    let sys = SystemConfig::paper()
-        .with_gpu_cores(1)
-        .with_local_mem(LocalMemKind::Scratchpad);
+    let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(LocalMemKind::Scratchpad);
     let mut sim = Simulator::new(sys);
     let spec = LaunchSpec::new(kernel(stride, 64), 4, 4).with_init(|w, _block, warp, _ctx| {
         w.set_per_lane(0, move |lane| (warp * 32 + lane) as u64);

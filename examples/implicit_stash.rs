@@ -15,11 +15,7 @@ fn main() {
     let mut fig =
         Figure::new("implicit: stall cycle breakdowns (normalized to baseline scratchpad)");
     for style in LocalMemStyle::ALL {
-        let cfg = if small {
-            ImplicitConfig::small(style)
-        } else {
-            ImplicitConfig::paper(style)
-        };
+        let cfg = if small { ImplicitConfig::small(style) } else { ImplicitConfig::paper(style) };
         let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
         let mut sim = Simulator::new(sys);
         let out = implicit::run(&mut sim, &cfg).expect("microbenchmark completes");
@@ -30,8 +26,7 @@ fn main() {
             out.run.cycles,
             out.run.instructions,
             b.fraction(StallKind::NoStall) * 100.0,
-            b.mem_struct_cycles(MemStructCause::MshrFull) as f64 / b.total_cycles() as f64
-                * 100.0,
+            b.mem_struct_cycles(MemStructCause::MshrFull) as f64 / b.total_cycles() as f64 * 100.0,
             b.mem_struct_cycles(MemStructCause::PendingDma) as f64 / b.total_cycles() as f64
                 * 100.0,
         );

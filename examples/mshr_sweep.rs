@@ -20,11 +20,8 @@ fn main() {
     );
     for style in LocalMemStyle::ALL {
         for &mshr in sizes {
-            let cfg = if small {
-                ImplicitConfig::small(style)
-            } else {
-                ImplicitConfig::paper(style)
-            };
+            let cfg =
+                if small { ImplicitConfig::small(style) } else { ImplicitConfig::paper(style) };
             let sys = SystemConfig::paper()
                 .with_gpu_cores(1)
                 .with_local_mem(style.mem_kind())

@@ -28,7 +28,7 @@ fn main() {
     const BASE: u64 = 0x10_0000;
     let spec = LaunchSpec::new(program, 64, 2).with_init(|w, block, warp, _ctx| {
         w.set_per_lane(0, move |lane| {
-            (block * 64 + warp as u64 * 32 + lane as u64) * 1 // flat element id
+            block * 64 + warp as u64 * 32 + lane as u64 // flat element id
         });
         w.set_uniform(1, BASE);
     });

@@ -39,6 +39,10 @@ fn main() {
             Variant::Centralized => "UTS (SM0)",
             Variant::Decentralized => "UTSD (SM0)",
         };
-        println!("{name:>14} |{}| ({} cycles)", render_timeline(&out.run.timelines[0]), out.run.cycles);
+        println!(
+            "{name:>14} |{}| ({} cycles)",
+            render_timeline(&out.run.timelines[0]),
+            out.run.cycles
+        );
     }
 }

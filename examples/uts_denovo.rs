@@ -22,9 +22,8 @@ fn main() {
             Variant::Centralized => "UTS",
             Variant::Decentralized => "UTSD",
         };
-        let mut fig = Figure::new(format!(
-            "{name}: stall cycle breakdowns (normalized to GPU coherence)"
-        ));
+        let mut fig =
+            Figure::new(format!("{name}: stall cycle breakdowns (normalized to GPU coherence)"));
         for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
             let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
             let mut sim = Simulator::new(sys);

@@ -15,10 +15,9 @@ fn main() {
 
     // UTS / UTSD (4 SMs).
     let ucfg = uts::UtsConfig::small();
-    for (name, variant) in [
-        ("UTS", uts::Variant::Centralized),
-        ("UTSD", uts::Variant::Decentralized),
-    ] {
+    for (name, variant) in
+        [("UTS", uts::Variant::Centralized), ("UTSD", uts::Variant::Decentralized)]
+    {
         let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(4));
         let out = uts::run(&mut sim, &ucfg, variant).expect("completes");
         fig.push(name, out.run.breakdown);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace: release build, test suite,
+# lint wall (clippy with warnings promoted to errors), and format check.
+# Runs offline — the workspace has no external dependencies.
+#
+#   scripts/verify.sh
+#
+# Clippy and rustfmt are optional toolchain components; if one is missing
+# (minimal containers), its step is skipped with a notice instead of
+# failing the whole gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy (-D warnings) =="
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy: not installed, skipping =="
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --check
+else
+    echo "== cargo fmt: not installed, skipping =="
+fi
+
+echo "verify: OK"

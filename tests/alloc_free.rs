@@ -1,0 +1,83 @@
+//! The acceptance test for the allocation-free cycle loop: a counting
+//! global allocator verifies that steady-state simulation performs no
+//! per-cycle heap allocation. The test runs the same compute-bound kernel
+//! at two very different iteration counts on pre-warmed simulators; if any
+//! allocation remained on the per-cycle path, the longer run would allocate
+//! (tens of thousands of times) more.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent test
+//! thread perturbs the allocation counter.
+
+use gsi::isa::{ProgramBuilder, Reg};
+use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation, delegating to the system
+/// allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A compute-bound kernel: `iters` iterations of a dependent-ALU spin loop
+/// across two warps, exercising issue, compute-data stalls, control stalls,
+/// and the scheduler every cycle.
+fn spin_spec(iters: u64) -> LaunchSpec {
+    let mut b = ProgramBuilder::new("spin");
+    b.ldi(Reg(1), iters);
+    let top = b.here();
+    b.subi(Reg(1), Reg(1), 1);
+    b.addi(Reg(2), Reg(1), 3); // dependent op: compute-data stalls
+    b.bra_nz(Reg(1), top); // taken branch: control stalls
+    b.exit();
+    LaunchSpec::new(b.build().unwrap(), 2, 2)
+}
+
+/// Allocations made by the second (scratch-warmed) execution of the kernel.
+fn allocs_for(iters: u64) -> (u64, u64) {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    let spec = spin_spec(iters);
+    // Warm-up: grows every scratch buffer to steady-state capacity.
+    let warm = sim.run_kernel(&spec).unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let run = sim.run_kernel(&spec).unwrap();
+    assert_eq!(warm.cycles, run.cycles, "warm-up and measured runs agree");
+    (ALLOCS.load(Ordering::Relaxed) - before, run.cycles)
+}
+
+#[test]
+fn steady_state_cycle_loop_does_not_allocate() {
+    let (short_allocs, short_cycles) = allocs_for(50);
+    let (long_allocs, long_cycles) = allocs_for(5_000);
+    assert!(
+        long_cycles > short_cycles * 50,
+        "the long run must dwarf the short one ({short_cycles} vs {long_cycles} cycles)"
+    );
+    // Identical launch/teardown work, ~100x the cycles: any per-cycle
+    // allocation would separate the two counts by tens of thousands.
+    assert_eq!(
+        short_allocs, long_allocs,
+        "allocation count must be independent of cycles simulated \
+         ({short_cycles} cycles -> {short_allocs} allocs, \
+         {long_cycles} cycles -> {long_allocs} allocs)"
+    );
+}

@@ -38,12 +38,7 @@ fn tiny_uts() -> UtsConfig {
 fn implicit_survives_single_entry_resources() {
     for style in LocalMemStyle::ALL {
         for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
-            let cfg = ImplicitConfig {
-                elems: 128,
-                warps_per_block: 1,
-                compute_iters: 2,
-                style,
-            };
+            let cfg = ImplicitConfig { elems: 128, warps_per_block: 1, compute_iters: 2, style };
             let mut sim = Simulator::new(starved(style, protocol));
             let out = implicit::run(&mut sim, &cfg).expect("must complete, just slowly");
             assert_eq!(out.verified_elems, cfg.elems, "{style} {protocol}");
@@ -64,7 +59,12 @@ fn uts_survives_single_entry_resources() {
 
 #[test]
 fn starvation_costs_cycles_but_not_correctness() {
-    let cfg = ImplicitConfig { elems: 128, warps_per_block: 1, compute_iters: 2, style: LocalMemStyle::Scratchpad };
+    let cfg = ImplicitConfig {
+        elems: 128,
+        warps_per_block: 1,
+        compute_iters: 2,
+        style: LocalMemStyle::Scratchpad,
+    };
     let mut rich = Simulator::new(
         SystemConfig::paper().with_gpu_cores(2).with_local_mem(cfg.style.mem_kind()),
     );

@@ -96,8 +96,7 @@ fn fig_6_2_denovo_wins_utsd_via_ownership() {
     );
     // Memory data stalls drop (paper: -57%), primarily in the L2 bucket.
     assert!(
-        dnv.breakdown.cycles(StallKind::MemoryData)
-            < gpu.breakdown.cycles(StallKind::MemoryData)
+        dnv.breakdown.cycles(StallKind::MemoryData) < gpu.breakdown.cycles(StallKind::MemoryData)
     );
     assert!(
         dnv.breakdown.mem_data_cycles(MemDataCause::L2)
@@ -133,7 +132,9 @@ fn fig_6_3_dma_and_stash_cut_no_stall_cycles() {
     let dma = implicit_run(LocalMemStyle::ScratchpadDma, None);
     let stash = implicit_run(LocalMemStyle::Stash, None);
     // Paper: -36% and -31% no-stall cycles. Direction at test scale:
-    assert!(dma.breakdown.cycles(StallKind::NoStall) < scratch.breakdown.cycles(StallKind::NoStall));
+    assert!(
+        dma.breakdown.cycles(StallKind::NoStall) < scratch.breakdown.cycles(StallKind::NoStall)
+    );
     assert!(
         stash.breakdown.cycles(StallKind::NoStall) < scratch.breakdown.cycles(StallKind::NoStall)
     );

@@ -51,10 +51,7 @@ fn main_memory_window() {
     let stalls = mem_data_stalls(&mut sim, &one_warp(load_probe()), MemDataCause::MainMemory);
     // Table 5.1: memory latency 197-261 cycles. The dependent instruction
     // stalls for almost the whole round trip.
-    assert!(
-        (150..=300).contains(&stalls),
-        "main-memory load-use stall out of window: {stalls}"
-    );
+    assert!((150..=300).contains(&stalls), "main-memory load-use stall out of window: {stalls}");
 }
 
 #[test]
@@ -109,10 +106,7 @@ fn remote_l1_window_denovo() {
     let run = sim.run_kernel(&spec).expect("reader kernel");
     let stalls = run.breakdown.mem_data_cycles(MemDataCause::RemoteL1);
     // Table 5.1: remote L1 hit latency 35-83 cycles.
-    assert!(
-        (30..=95).contains(&stalls),
-        "remote-L1 load-use stall out of window: {stalls}"
-    );
+    assert!((30..=95).contains(&stalls), "remote-L1 load-use stall out of window: {stalls}");
 }
 
 #[test]

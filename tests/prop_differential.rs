@@ -3,11 +3,13 @@
 //! run through both the architectural reference interpreter
 //! ([`gsi::isa::interp::Interp`]) and the full cycle-level simulator. Final
 //! global memory and issued-instruction counts must agree exactly.
+//!
+//! Program generation uses a fixed-seed SplitMix64 generator, so every run
+//! explores the same program set deterministically without external crates.
 
 use gsi::isa::interp::Interp;
 use gsi::isa::{AluOp, Operand, Program, ProgramBuilder, Reg};
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
-use proptest::prelude::*;
 
 const MEM_BASE: u64 = 0x9_0000;
 const MEM_WORDS: u64 = 32;
@@ -15,6 +17,28 @@ const MEM_WORDS: u64 = 32;
 const R_BASE: Reg = Reg(12);
 const R_LOOP: Reg = Reg(13);
 const DATA_REGS: u8 = 8; // r0..r7 are data registers
+
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Piece {
@@ -25,36 +49,44 @@ enum Piece {
     Load { dst: u8, word: u64 },
 }
 
-fn arb_op() -> impl Strategy<Value = (AluOp, u8, u8, i64)> {
+const OPS: &[AluOp] = &[
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::SltU,
+];
+
+fn random_op(rng: &mut Rng) -> (AluOp, u8, u8, i64) {
     (
-        prop_oneof![
-            Just(AluOp::Add),
-            Just(AluOp::Sub),
-            Just(AluOp::Mul),
-            Just(AluOp::Xor),
-            Just(AluOp::And),
-            Just(AluOp::Or),
-            Just(AluOp::Shl),
-            Just(AluOp::Shr),
-            Just(AluOp::SltU),
-        ],
-        0..DATA_REGS,
-        0..DATA_REGS,
-        -32i64..32,
+        OPS[rng.below(OPS.len() as u64) as usize],
+        rng.below(DATA_REGS as u64) as u8,
+        rng.below(DATA_REGS as u64) as u8,
+        rng.below(64) as i64 - 32,
     )
 }
 
-fn arb_piece() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        proptest::collection::vec(arb_op(), 1..6).prop_map(Piece::Straight),
-        (1u64..4, proptest::collection::vec(arb_op(), 1..4))
-            .prop_map(|(times, body)| Piece::Loop { times, body }),
-        (0..DATA_REGS, proptest::collection::vec(arb_op(), 1..4),
-         proptest::collection::vec(arb_op(), 1..4))
-            .prop_map(|(cond, then_ops, else_ops)| Piece::IfElse { cond, then_ops, else_ops }),
-        (0..DATA_REGS, 0..MEM_WORDS).prop_map(|(src, word)| Piece::Store { src, word }),
-        (0..DATA_REGS, 0..MEM_WORDS).prop_map(|(dst, word)| Piece::Load { dst, word }),
-    ]
+fn random_ops(rng: &mut Rng, max_len: u64) -> Vec<(AluOp, u8, u8, i64)> {
+    let n = 1 + rng.below(max_len - 1);
+    (0..n).map(|_| random_op(rng)).collect()
+}
+
+fn random_piece(rng: &mut Rng) -> Piece {
+    match rng.below(5) {
+        0 => Piece::Straight(random_ops(rng, 6)),
+        1 => Piece::Loop { times: 1 + rng.below(3), body: random_ops(rng, 4) },
+        2 => Piece::IfElse {
+            cond: rng.below(DATA_REGS as u64) as u8,
+            then_ops: random_ops(rng, 4),
+            else_ops: random_ops(rng, 4),
+        },
+        3 => Piece::Store { src: rng.below(DATA_REGS as u64) as u8, word: rng.below(MEM_WORDS) },
+        _ => Piece::Load { dst: rng.below(DATA_REGS as u64) as u8, word: rng.below(MEM_WORDS) },
+    }
 }
 
 fn emit_ops(b: &mut ProgramBuilder, ops: &[(AluOp, u8, u8, i64)]) {
@@ -98,14 +130,14 @@ fn assemble(pieces: &[Piece]) -> Program {
     b.build().expect("structured programs always assemble")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+#[test]
+fn simulator_matches_reference_interpreter() {
+    let mut rng = Rng::new(0xD1FF_0001);
+    for case in 0..40 {
+        let npieces = 1 + rng.below(11) as usize;
+        let pieces: Vec<Piece> = (0..npieces).map(|_| random_piece(&mut rng)).collect();
+        let seed = rng.next();
 
-    #[test]
-    fn simulator_matches_reference_interpreter(
-        pieces in proptest::collection::vec(arb_piece(), 1..12),
-        seed in any::<u64>(),
-    ) {
         let program = assemble(&pieces);
 
         // Reference interpreter run.
@@ -146,14 +178,14 @@ proptest! {
         // Memory must agree word for word.
         for w in 0..MEM_WORDS {
             let addr = MEM_BASE + w * 8;
-            prop_assert_eq!(
+            assert_eq!(
                 sim.gmem().read_word(addr),
                 reference[w as usize],
-                "memory word {} differs", w
+                "case {case}: memory word {w} differs"
             );
         }
         // The simulator issues exactly the instructions the reference
         // executed (single warp: no replays change the architectural count).
-        prop_assert_eq!(run.instructions, executed);
+        assert_eq!(run.instructions, executed, "case {case}");
     }
 }

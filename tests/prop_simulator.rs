@@ -1,55 +1,99 @@
-//! Property-based end-to-end tests: random straight-line programs must
-//! compute exactly what a host-side reference interpreter computes, and the
-//! GSI accounting invariants must hold for every one of them.
+//! Randomized end-to-end tests: random straight-line programs must compute
+//! exactly what a host-side reference interpreter computes, and the GSI
+//! accounting invariants must hold for every one of them.
+//!
+//! Driven by a fixed-seed SplitMix64 generator, so every run explores the
+//! same program set deterministically without external crates.
 
 use gsi::isa::{eval_alu, AluOp, Instr, Operand, Program, ProgramBuilder, Reg};
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
-use proptest::prelude::*;
 
 const NREGS: u8 = 8; // keep programs within a small register window
 const MEM_BASE: u64 = 0x8_0000;
 const MEM_WORDS: u64 = 64;
 
-/// The operations random programs draw from.
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::MinU),
-        Just(AluOp::MaxU),
-        Just(AluOp::SltU),
-        Just(AluOp::Seq),
-        Just(AluOp::Sne),
-        Just(AluOp::DivU),
-        Just(AluOp::RemU),
-    ]
+/// Deterministic SplitMix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
 }
+
+const ALU_OPS: &[AluOp] = &[
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::MinU,
+    AluOp::MaxU,
+    AluOp::SltU,
+    AluOp::Seq,
+    AluOp::Sne,
+    AluOp::DivU,
+    AluOp::RemU,
+];
 
 #[derive(Debug, Clone)]
 enum Step {
-    Alu { op: AluOp, dst: u8, a: u8, b_imm: Option<i64>, b_reg: u8 },
-    Ldi { dst: u8, imm: u64 },
+    Alu {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        b_imm: Option<i64>,
+        b_reg: u8,
+    },
+    Ldi {
+        dst: u8,
+        imm: u64,
+    },
     /// Load from one of the fixed memory words (index masked into range).
-    Load { dst: u8, word: u64 },
+    Load {
+        dst: u8,
+        word: u64,
+    },
     /// Store a register to one of the fixed memory words.
-    Store { src: u8, word: u64 },
+    Store {
+        src: u8,
+        word: u64,
+    },
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (arb_alu_op(), 0..NREGS, 0..NREGS, proptest::option::of(-64i64..64), 0..NREGS).prop_map(
-            |(op, dst, a, b_imm, b_reg)| Step::Alu { op, dst, a, b_imm, b_reg }
-        ),
-        (0..NREGS, any::<u64>()).prop_map(|(dst, imm)| Step::Ldi { dst, imm }),
-        (0..NREGS, 0..MEM_WORDS).prop_map(|(dst, word)| Step::Load { dst, word }),
-        (0..NREGS, 0..MEM_WORDS).prop_map(|(src, word)| Step::Store { src, word }),
-    ]
+fn random_step(rng: &mut Rng) -> Step {
+    match rng.below(4) {
+        0 => Step::Alu {
+            op: ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize],
+            dst: rng.below(NREGS as u64) as u8,
+            a: rng.below(NREGS as u64) as u8,
+            b_imm: if rng.flag() { Some(rng.below(128) as i64 - 64) } else { None },
+            b_reg: rng.below(NREGS as u64) as u8,
+        },
+        1 => Step::Ldi { dst: rng.below(NREGS as u64) as u8, imm: rng.next() },
+        2 => Step::Load { dst: rng.below(NREGS as u64) as u8, word: rng.below(MEM_WORDS) },
+        _ => Step::Store { src: rng.below(NREGS as u64) as u8, word: rng.below(MEM_WORDS) },
+    }
 }
 
 /// Assemble the steps into a program. Register `r15` holds the memory base.
@@ -101,23 +145,22 @@ fn reference(steps: &[Step], mem: &mut [u64]) -> [u64; 16] {
     regs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A single warp executing any straight-line program computes exactly the
+/// reference semantics (all lanes are uniform here), and the GSI breakdown
+/// partitions the cycles.
+#[test]
+fn straight_line_programs_match_reference() {
+    let mut rng = Rng::new(0x5157_0001);
+    for case in 0..48 {
+        let nsteps = 1 + rng.below(39) as usize;
+        let steps: Vec<Step> = (0..nsteps).map(|_| random_step(&mut rng)).collect();
+        let seed = rng.next();
 
-    /// A single warp executing any straight-line program computes exactly
-    /// the reference semantics (all lanes are uniform here), and the GSI
-    /// breakdown partitions the cycles.
-    #[test]
-    fn straight_line_programs_match_reference(
-        steps in proptest::collection::vec(arb_step(), 1..40),
-        seed in any::<u64>(),
-    ) {
         let program = assemble(&steps);
         let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(1));
         // Seed memory deterministically from `seed`.
-        let mut mem: Vec<u64> = (0..MEM_WORDS)
-            .map(|i| seed.wrapping_mul(i + 1).rotate_left((i % 63) as u32))
-            .collect();
+        let mut mem: Vec<u64> =
+            (0..MEM_WORDS).map(|i| seed.wrapping_mul(i + 1).rotate_left((i % 63) as u32)).collect();
         for (i, v) in mem.iter().enumerate() {
             sim.gmem_mut().write_word(MEM_BASE + i as u64 * 8, *v);
         }
@@ -128,35 +171,38 @@ proptest! {
         let expected_regs = reference(&steps, &mut mem);
         let _ = expected_regs;
         for (i, v) in mem.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.gmem().read_word(MEM_BASE + i as u64 * 8),
                 *v,
-                "memory word {} differs", i
+                "case {case}: memory word {i} differs"
             );
         }
 
         // Accounting invariants.
-        prop_assert_eq!(run.breakdown.total_cycles(), run.cycles);
-        prop_assert_eq!(
+        assert_eq!(run.breakdown.total_cycles(), run.cycles);
+        assert_eq!(
             run.breakdown.mem_data_total(),
             run.breakdown.cycles(gsi::StallKind::MemoryData)
         );
-        prop_assert_eq!(
+        assert_eq!(
             run.breakdown.mem_struct_total(),
             run.breakdown.cycles(gsi::StallKind::MemoryStructural)
         );
         // The program issued exactly steps + ldi + exit instructions.
-        prop_assert_eq!(run.instructions, steps.len() as u64 + 2);
+        assert_eq!(run.instructions, steps.len() as u64 + 2);
     }
+}
 
-    /// Divergent branching computes exactly what predication computes: for
-    /// random per-lane predicates and operand values, a BraDiv if/else and
-    /// a Sel produce identical results.
-    #[test]
-    fn divergence_equals_predication(
-        preds in proptest::collection::vec(any::<bool>(), 32),
-        vals in proptest::collection::vec(1u64..1_000_000, 32),
-    ) {
+/// Divergent branching computes exactly what predication computes: for
+/// random per-lane predicates and operand values, a BraDiv if/else and a
+/// Sel produce identical results.
+#[test]
+fn divergence_equals_predication() {
+    let mut rng = Rng::new(0x5157_0002);
+    for case in 0..16 {
+        let preds: Vec<bool> = (0..32).map(|_| rng.flag()).collect();
+        let vals: Vec<u64> = (0..32).map(|_| 1 + rng.below(999_999)).collect();
+
         // then: r2 = v * 2 + 7; else: r2 = v ^ 0x1234
         let divergent = {
             let mut b = ProgramBuilder::new("div");
@@ -202,11 +248,10 @@ proptest! {
             });
             let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(1));
             sim.run_kernel(&spec).expect("completes");
-            let snap: Vec<u64> =
-                (0..32).map(|l| sim.gmem().read_word(MEM_BASE + l * 8)).collect();
+            let snap: Vec<u64> = (0..32).map(|l| sim.gmem().read_word(MEM_BASE + l * 8)).collect();
             results.push(snap);
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(&results[0], &results[1], "case {case}");
         // And both match the host computation.
         for lane in 0..32 {
             let want = if preds[lane] {
@@ -214,13 +259,18 @@ proptest! {
             } else {
                 vals[lane] ^ 0x1234
             };
-            prop_assert_eq!(results[0][lane], want, "lane {}", lane);
+            assert_eq!(results[0][lane], want, "case {case}, lane {lane}");
         }
     }
+}
 
-    /// Per-lane divergence through `Sel`: lanes see their own data.
-    #[test]
-    fn per_lane_select(vals in proptest::collection::vec(any::<u64>(), 32)) {
+/// Per-lane divergence through `Sel`: lanes see their own data.
+#[test]
+fn per_lane_select() {
+    let mut rng = Rng::new(0x5157_0003);
+    for _case in 0..16 {
+        let vals: Vec<u64> = (0..32).map(|_| rng.next()).collect();
+
         let mut b = ProgramBuilder::new("sel");
         // r1 = lane value (preset); r2 = 1 if r1 odd else 0; r3 = odd ? r1 : !r1
         b.and(Reg(2), Reg(1), Operand::Imm(1));
@@ -241,7 +291,7 @@ proptest! {
         sim.run_kernel(&spec).expect("completes");
         for (lane, v) in vals.iter().enumerate() {
             let want = if v & 1 == 1 { *v } else { !*v };
-            prop_assert_eq!(sim.gmem().read_word(MEM_BASE + lane as u64 * 8), want);
+            assert_eq!(sim.gmem().read_word(MEM_BASE + lane as u64 * 8), want);
         }
     }
 }

@@ -13,14 +13,10 @@ fn uts_processes_the_same_tree_under_every_configuration() {
     for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
         for variant in [Variant::Centralized, Variant::Decentralized] {
             for cores in [1usize, 4] {
-                let sys =
-                    SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
+                let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
                 let mut sim = Simulator::new(sys);
                 let out = uts::run(&mut sim, &cfg, variant).expect("completes");
-                assert_eq!(
-                    out.processed, expected,
-                    "{protocol} {variant:?} on {cores} SMs"
-                );
+                assert_eq!(out.processed, expected, "{protocol} {variant:?} on {cores} SMs");
             }
         }
     }
@@ -34,9 +30,8 @@ fn implicit_results_are_identical_across_styles() {
         let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
         let mut sim = Simulator::new(sys);
         implicit::run(&mut sim, &cfg).expect("completes");
-        let snap: Vec<u64> = (0..cfg.elems)
-            .map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8))
-            .collect();
+        let snap: Vec<u64> =
+            (0..cfg.elems).map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8)).collect();
         snapshots.push(snap);
     }
     assert_eq!(snapshots[0], snapshots[1], "scratchpad vs DMA");
@@ -54,9 +49,8 @@ fn implicit_is_protocol_independent() {
             .with_local_mem(gsi::mem::LocalMemKind::Scratchpad);
         let mut sim = Simulator::new(sys);
         implicit::run(&mut sim, &cfg).expect("completes");
-        let snap: Vec<u64> = (0..cfg.elems)
-            .map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8))
-            .collect();
+        let snap: Vec<u64> =
+            (0..cfg.elems).map(|i| sim.gmem().read_word(ARRAY_BASE + i * 8)).collect();
         snapshots.push(snap);
     }
     assert_eq!(snapshots[0], snapshots[1]);
@@ -67,8 +61,7 @@ fn runs_are_deterministic() {
     // Same configuration twice: identical cycle counts and breakdowns.
     let run = |_: ()| {
         let cfg = UtsConfig::small();
-        let sys =
-            SystemConfig::paper().with_gpu_cores(4).with_protocol(Protocol::DeNovo);
+        let sys = SystemConfig::paper().with_gpu_cores(4).with_protocol(Protocol::DeNovo);
         let mut sim = Simulator::new(sys);
         uts::run(&mut sim, &cfg, Variant::Decentralized).expect("completes").run
     };

@@ -1,9 +1,18 @@
 //! Serialization guarantees: configurations and run reports round-trip
-//! through serde (the `gsi-run --json` export path), and a deserialized
-//! configuration reproduces the exact same simulation.
+//! through the gsi-json layer (the `gsi-run --json` export path), and a
+//! deserialized configuration reproduces the exact same simulation.
+
+use gsi_json::{FromJson, ToJson, Value};
 
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
 use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+/// Serialize to text and parse back, through a full writer/parser cycle.
+fn round_trip<T: ToJson + FromJson>(x: &T) -> T {
+    let text = x.to_json().to_string();
+    let v = Value::parse(&text).expect("parse");
+    T::from_json(&v).expect("deserialize")
+}
 
 #[test]
 fn system_config_round_trips_and_reproduces_runs() {
@@ -12,8 +21,7 @@ fn system_config_round_trips_and_reproduces_runs() {
         .with_protocol(gsi::mem::Protocol::DeNovo)
         .with_mshr(64)
         .with_sfifo(true);
-    let json = serde_json::to_string(&cfg).expect("serialize");
-    let back: SystemConfig = serde_json::from_str(&json).expect("deserialize");
+    let back = round_trip(&cfg);
     assert_eq!(cfg, back);
 
     // The deserialized config must produce a bit-identical simulation.
@@ -35,18 +43,13 @@ fn kernel_run_serializes_completely() {
     let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
     sim.set_timeline_epoch(8);
     let run = sim.run_kernel(&spec).unwrap();
-    let json = serde_json::to_string(&run).expect("serialize");
-    let back: gsi::sim::KernelRun = serde_json::from_str(&json).expect("deserialize");
-    assert_eq!(back.cycles, run.cycles);
-    assert_eq!(back.breakdown, run.breakdown);
-    assert_eq!(back.timelines, run.timelines);
-    assert_eq!(back.warp_profiles, run.warp_profiles);
+    let back: gsi::sim::KernelRun = round_trip(&run);
+    assert_eq!(back, run);
 }
 
 #[test]
 fn programs_serialize() {
     let p = uts::build_centralized(&UtsConfig::small());
-    let json = serde_json::to_string(&p).expect("serialize");
-    let back: gsi::isa::Program = serde_json::from_str(&json).expect("deserialize");
+    let back: gsi::isa::Program = round_trip(&p);
     assert_eq!(p, back);
 }
