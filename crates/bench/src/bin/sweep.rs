@@ -3,26 +3,64 @@
 //!
 //! ```text
 //! sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]
+//!       [--trace-level off|counters|full|all]
 //! ```
 //!
-//! The report (default `BENCH_PR1.json`) records, per experiment, the
+//! The report (default `BENCH_PR2.json`) records, per experiment, the
 //! simulated cycles, wall-clock seconds, and simulation rate, plus the
 //! sweep-level wall time against the serial sum — the evidence that the
-//! harness actually overlapped work.
+//! harness actually overlapped work. With `--trace-level all` every
+//! experiment runs once per trace verbosity and traced rows carry
+//! `overhead_pct`, the measured cost of the observability layer against
+//! the tracing-off baseline; full-level rows also embed the simulator's
+//! per-subsystem self-profile.
 
 use gsi_bench::sweep::{default_threads, run_sweep, Experiment};
 use gsi_bench::Scale;
 use gsi_mem::Protocol;
 use gsi_sim::{Simulator, SystemConfig};
+use gsi_trace::TraceLevel;
 use gsi_workloads::implicit::{self, LocalMemStyle};
 use gsi_workloads::uts::{self, Variant};
 
 fn usage() -> ! {
-    eprintln!("usage: sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]");
+    eprintln!(
+        "usage: sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet] \
+         [--trace-level off|counters|full|all]"
+    );
     std::process::exit(2);
 }
 
-fn uts_experiment(name: &str, scale: Scale, variant: Variant, protocol: Protocol) -> Experiment {
+/// Run a simulator at `level` (self-profiling at full verbosity) and
+/// return the run plus the extra JSON for the report row.
+fn run_traced<R>(
+    mut sim: Simulator,
+    level: TraceLevel,
+    go: impl FnOnce(&mut Simulator) -> R,
+    extract: impl FnOnce(R) -> gsi_sim::KernelRun,
+) -> (gsi_sim::KernelRun, Option<gsi_json::Value>) {
+    sim.set_trace_level(level);
+    if level == TraceLevel::Full {
+        sim.set_self_profiling(true);
+    }
+    let run = extract(go(&mut sim));
+    let extra = (level == TraceLevel::Full).then(|| {
+        gsi_json::obj! {
+            "events" => sim.trace().counts().iter().sum::<u64>(),
+            "dropped_events" => sim.trace().dropped_events(),
+            "profile" => sim.trace().profile().to_json(),
+        }
+    });
+    (run, extra)
+}
+
+fn uts_experiment(
+    name: &str,
+    scale: Scale,
+    variant: Variant,
+    protocol: Protocol,
+    level: TraceLevel,
+) -> Experiment {
     let cfg = match scale {
         Scale::Paper => gsi_workloads::uts::UtsConfig::paper(),
         Scale::Small => gsi_workloads::uts::UtsConfig::small(),
@@ -31,50 +69,75 @@ fn uts_experiment(name: &str, scale: Scale, variant: Variant, protocol: Protocol
         Scale::Paper => 15,
         Scale::Small => 4,
     };
-    Experiment::new(name, move || {
+    Experiment::traced(name, level, move || {
         let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
-        let mut sim = Simulator::new(sys);
-        uts::run(&mut sim, &cfg, variant).expect("UTS completes").run
+        run_traced(
+            Simulator::new(sys),
+            level,
+            |sim| uts::run(sim, &cfg, variant).expect("UTS completes"),
+            |r| r.run,
+        )
     })
 }
 
-fn implicit_experiment(name: &str, scale: Scale, style: LocalMemStyle, mshr: usize) -> Experiment {
+fn implicit_experiment(
+    name: &str,
+    scale: Scale,
+    style: LocalMemStyle,
+    mshr: usize,
+    level: TraceLevel,
+) -> Experiment {
     let cfg = match scale {
         Scale::Paper => implicit::ImplicitConfig::paper(style),
         Scale::Small => implicit::ImplicitConfig::small(style),
     };
-    Experiment::new(name, move || {
+    Experiment::traced(name, level, move || {
         let sys = SystemConfig::paper()
             .with_gpu_cores(1)
             .with_local_mem(style.mem_kind())
             .with_mshr(mshr);
-        let mut sim = Simulator::new(sys);
-        implicit::run(&mut sim, &cfg).expect("implicit completes").run
+        run_traced(
+            Simulator::new(sys),
+            level,
+            |sim| implicit::run(sim, &cfg).expect("implicit completes"),
+            |r| r.run,
+        )
     })
 }
 
 /// The experiment grid: both UTS variants under both protocols, and the
 /// implicit microbenchmark over every local-memory style at two MSHR
-/// sizes — the backbone of the paper's Figures 6.1–6.4.
-fn grid(scale: Scale) -> Vec<Experiment> {
+/// sizes — the backbone of the paper's Figures 6.1–6.4 — each run once
+/// per requested trace level.
+fn grid(scale: Scale, levels: &[TraceLevel]) -> Vec<Experiment> {
     let mut experiments = Vec::new();
-    for (wname, variant) in [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)] {
-        for (pname, protocol) in [("gpu", Protocol::GpuCoherence), ("denovo", Protocol::DeNovo)] {
-            experiments.push(uts_experiment(&format!("{wname}/{pname}"), scale, variant, protocol));
+    for &level in levels {
+        for (wname, variant) in [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)] {
+            for (pname, protocol) in [("gpu", Protocol::GpuCoherence), ("denovo", Protocol::DeNovo)]
+            {
+                experiments.push(uts_experiment(
+                    &format!("{wname}/{pname}"),
+                    scale,
+                    variant,
+                    protocol,
+                    level,
+                ));
+            }
         }
-    }
-    let mshrs: &[usize] = match scale {
-        Scale::Paper => &[32, 256],
-        Scale::Small => &[8, 32],
-    };
-    for style in LocalMemStyle::ALL {
-        for &m in mshrs {
-            experiments.push(implicit_experiment(
-                &format!("implicit-{style}/mshr{m}"),
-                scale,
-                style,
-                m,
-            ));
+        let mshrs: &[usize] = match scale {
+            Scale::Paper => &[32, 256],
+            Scale::Small => &[8, 32],
+        };
+        for style in LocalMemStyle::ALL {
+            for &m in mshrs {
+                experiments.push(implicit_experiment(
+                    &format!("implicit-{style}/mshr{m}"),
+                    scale,
+                    style,
+                    m,
+                    level,
+                ));
+            }
         }
     }
     experiments
@@ -84,8 +147,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut threads = default_threads();
-    let mut out = String::from("BENCH_PR1.json");
+    let mut out = String::from("BENCH_PR2.json");
     let mut quiet = false;
+    let mut levels = vec![TraceLevel::Off];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -105,11 +169,18 @@ fn main() {
             }
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
             "--quiet" => quiet = true,
+            "--trace-level" => {
+                levels = match it.next().map(String::as_str) {
+                    Some("all") => TraceLevel::ALL.to_vec(),
+                    Some(s) => vec![TraceLevel::parse(s).unwrap_or_else(|| usage())],
+                    None => usage(),
+                }
+            }
             _ => usage(),
         }
     }
 
-    let experiments = grid(scale);
+    let experiments = grid(scale, &levels);
     let n = experiments.len();
     if !quiet {
         println!("sweeping {n} experiments on {threads} thread(s)...");
@@ -120,8 +191,9 @@ fn main() {
         for r in &outcome.results {
             let secs = r.wall.as_secs_f64();
             println!(
-                "  {:<28} {:>9} cycles  {:>7.3}s  {:>12.0} cycles/s",
+                "  {:<28} [{:<8}] {:>9} cycles  {:>7.3}s  {:>12.0} cycles/s",
                 r.name,
+                r.level.name(),
                 r.run.cycles,
                 secs,
                 if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs },

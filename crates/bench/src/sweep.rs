@@ -12,6 +12,7 @@
 //! Built on `std::thread::scope` only; no external thread-pool crates.
 
 use gsi_sim::KernelRun;
+use gsi_trace::TraceLevel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -21,21 +22,43 @@ use std::time::{Duration, Instant};
 /// no mutable state and can run on any thread).
 pub struct Experiment {
     name: String,
-    run: Box<dyn Fn() -> KernelRun + Send + Sync>,
+    level: TraceLevel,
+    run: Box<dyn Fn() -> (KernelRun, Option<gsi_json::Value>) + Send + Sync>,
 }
 
 impl Experiment {
-    /// Wrap a closure as a named experiment.
+    /// Wrap a closure as a named experiment (tracing off).
     pub fn new(
         name: impl Into<String>,
         run: impl Fn() -> KernelRun + Send + Sync + 'static,
     ) -> Self {
-        Experiment { name: name.into(), run: Box::new(run) }
+        Experiment {
+            name: name.into(),
+            level: TraceLevel::Off,
+            run: Box::new(move || (run(), None)),
+        }
+    }
+
+    /// Wrap a closure as an experiment run at a given trace level. The
+    /// closure is responsible for wiring `level` into its simulator; it may
+    /// return extra JSON (e.g. the self-profile) to merge into the report
+    /// row.
+    pub fn traced(
+        name: impl Into<String>,
+        level: TraceLevel,
+        run: impl Fn() -> (KernelRun, Option<gsi_json::Value>) + Send + Sync + 'static,
+    ) -> Self {
+        Experiment { name: name.into(), level, run: Box::new(run) }
     }
 
     /// The experiment's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The trace level the experiment runs at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
     }
 }
 
@@ -44,8 +67,12 @@ impl Experiment {
 pub struct SweepResult {
     /// The experiment's name.
     pub name: String,
+    /// The trace level the experiment ran at.
+    pub level: TraceLevel,
     /// The simulation result.
     pub run: KernelRun,
+    /// Extra per-experiment JSON from the closure (e.g. the self-profile).
+    pub extra: Option<gsi_json::Value>,
     /// Wall-clock time this experiment took on its worker thread.
     pub wall: Duration,
 }
@@ -78,9 +105,20 @@ impl SweepOutcome {
         }
     }
 
+    /// Wall seconds of the tracing-off run of `name`, the overhead
+    /// baseline; `None` when the sweep has no off-level row for it.
+    fn off_baseline(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name && r.level == TraceLevel::Off)
+            .map(|r| r.wall.as_secs_f64())
+    }
+
     /// A machine-readable report of the sweep: per-experiment cycles,
     /// wall time, and simulation rate, plus the aggregate evidence that
-    /// the sweep ran multi-threaded.
+    /// the sweep ran multi-threaded. Rows run with tracing enabled also
+    /// carry `overhead_pct`, the wall-time cost relative to the same
+    /// experiment's tracing-off row (when the sweep includes one).
     pub fn to_json(&self) -> gsi_json::Value {
         let experiments: Vec<gsi_json::Value> = self
             .results
@@ -88,13 +126,23 @@ impl SweepOutcome {
             .map(|r| {
                 let secs = r.wall.as_secs_f64();
                 let rate = if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs };
-                gsi_json::obj! {
+                let mut row = gsi_json::obj! {
                     "name" => r.name,
+                    "trace_level" => r.level.name(),
                     "cycles" => r.run.cycles,
                     "instructions" => r.run.instructions,
                     "wall_seconds" => secs,
                     "cycles_per_second" => rate,
+                };
+                if r.level != TraceLevel::Off {
+                    if let Some(base) = self.off_baseline(&r.name).filter(|&b| b > 0.0) {
+                        row.set("overhead_pct", (secs / base - 1.0) * 100.0);
+                    }
                 }
+                if let Some(extra) = &r.extra {
+                    row.set("trace", extra.clone());
+                }
+                row
             })
             .collect();
         gsi_json::obj! {
@@ -136,8 +184,14 @@ pub fn run_sweep(experiments: Vec<Experiment>, threads: usize) -> SweepOutcome {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = experiments.get(i) else { break };
                 let start = Instant::now();
-                let run = (exp.run)();
-                let result = SweepResult { name: exp.name.clone(), run, wall: start.elapsed() };
+                let (run, extra) = (exp.run)();
+                let result = SweepResult {
+                    name: exp.name.clone(),
+                    level: exp.level,
+                    run,
+                    extra,
+                    wall: start.elapsed(),
+                };
                 *slots[i].lock().expect("slot lock") = Some(result);
             });
         }
@@ -180,6 +234,46 @@ mod tests {
         for (s, p) in serial.results.iter().zip(&parallel.results) {
             assert_eq!(s.run, p.run);
         }
+    }
+
+    #[test]
+    fn traced_rows_report_overhead_against_off_baseline() {
+        let mk_run = || {
+            let style = LocalMemStyle::Scratchpad;
+            let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+            let mut sim = Simulator::new(sys);
+            implicit::run(&mut sim, &ImplicitConfig::small(style)).expect("completes").run
+        };
+        // Hand-built outcome with controlled wall times: the counters row
+        // took 1.5x the off row, so its overhead must come out at 50%.
+        let outcome = SweepOutcome {
+            results: vec![
+                SweepResult {
+                    name: "x".into(),
+                    level: TraceLevel::Off,
+                    run: mk_run(),
+                    extra: None,
+                    wall: Duration::from_millis(100),
+                },
+                SweepResult {
+                    name: "x".into(),
+                    level: TraceLevel::Counters,
+                    run: mk_run(),
+                    extra: Some(gsi_json::obj! { "note" => "hi" }),
+                    wall: Duration::from_millis(150),
+                },
+            ],
+            wall: Duration::from_millis(250),
+            threads: 1,
+        };
+        let v = outcome.to_json();
+        let rows = v.get("experiments").unwrap().as_array().unwrap();
+        assert!(rows[0].get("overhead_pct").is_none(), "off row has no baseline to compare");
+        assert_eq!(rows[0].get("trace_level").unwrap().as_str(), Some("off"));
+        let pct = rows[1].get("overhead_pct").unwrap().as_f64().unwrap();
+        assert!((pct - 50.0).abs() < 1e-9, "got {pct}");
+        assert_eq!(rows[1].get("trace_level").unwrap().as_str(), Some("counters"));
+        assert_eq!(rows[1].get("trace").unwrap().get("note").unwrap().as_str(), Some("hi"));
     }
 
     #[test]

@@ -5,6 +5,57 @@ use crate::classify::CycleVerdict;
 use crate::ledger::AttributionLedger;
 use crate::stall::{MemDataCause, RequestId, StallKind};
 
+/// A violated conservation invariant: some recorded stall cycles are
+/// missing from (or double-counted in) the breakdown. Indicates collector
+/// state corruption — a simulator bug, not a property of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConservationError {
+    /// The top-level buckets do not sum to the observed cycle count.
+    TotalMismatch {
+        /// Cycles in the breakdown's top-level buckets.
+        bucketed: u64,
+        /// Cycles the collector was shown.
+        observed: u64,
+    },
+    /// The memory-data sub-breakdown (plus in-flight and unattributable
+    /// charges) does not sum to its parent bucket.
+    MemDataMismatch {
+        /// The parent memory-data bucket.
+        parent: u64,
+        /// Committed + in-flight + unattributable memory-data cycles.
+        accounted: u64,
+    },
+    /// The memory-structural sub-breakdown (plus causeless cycles) does not
+    /// sum to its parent bucket.
+    MemStructMismatch {
+        /// The parent memory-structural bucket.
+        parent: u64,
+        /// Sub-classified + causeless memory-structural cycles.
+        accounted: u64,
+    },
+}
+
+impl std::fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConservationError::TotalMismatch { bucketed, observed } => write!(
+                f,
+                "stall accounting violated: {bucketed} bucketed cycles != {observed} observed"
+            ),
+            ConservationError::MemDataMismatch { parent, accounted } => write!(
+                f,
+                "memory-data sub-breakdown violated: parent {parent} != accounted {accounted}"
+            ),
+            ConservationError::MemStructMismatch { parent, accounted } => write!(
+                f,
+                "memory-structural sub-breakdown violated: parent {parent} != accounted {accounted}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
 /// Collects the stall breakdown for one SM.
 ///
 /// The issue stage calls [`record_cycle`](Self::record_cycle) once per cycle
@@ -153,21 +204,50 @@ impl StallCollector {
     /// bucket, and each memory sub-breakdown partitions its parent once
     /// in-flight and unattributable charges are accounted for.
     fn debug_check_invariants(&self) {
-        debug_assert_eq!(
-            self.breakdown.total_cycles(),
-            self.observed_cycles,
-            "every observed cycle must land in exactly one bucket"
-        );
-        debug_assert_eq!(
-            self.breakdown.cycles(StallKind::MemoryData),
-            self.breakdown.mem_data_total() + self.ledger.pending_total() + self.uncharged_mem_data,
-            "memory-data cycles = committed + in-flight + unattributable"
-        );
-        debug_assert_eq!(
-            self.breakdown.cycles(StallKind::MemoryStructural),
-            self.breakdown.mem_struct_total() + self.uncaused_mem_struct,
-            "memory-structural sub-breakdown must sum to its parent"
-        );
+        debug_assert_eq!(self.validate(), Ok(()), "conservation invariant violated");
+    }
+
+    /// Check the conservation invariants, in any build profile. The
+    /// simulator calls this at end of run so corrupted accounting surfaces
+    /// as a typed error instead of silently skewed results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConservationError`].
+    pub fn validate(&self) -> Result<(), ConservationError> {
+        let bucketed = self.breakdown.total_cycles();
+        if bucketed != self.observed_cycles {
+            return Err(ConservationError::TotalMismatch {
+                bucketed,
+                observed: self.observed_cycles,
+            });
+        }
+        let md_parent = self.breakdown.cycles(StallKind::MemoryData);
+        let md_accounted =
+            self.breakdown.mem_data_total() + self.ledger.pending_total() + self.uncharged_mem_data;
+        if md_parent != md_accounted {
+            return Err(ConservationError::MemDataMismatch {
+                parent: md_parent,
+                accounted: md_accounted,
+            });
+        }
+        let ms_parent = self.breakdown.cycles(StallKind::MemoryStructural);
+        let ms_accounted = self.breakdown.mem_struct_total() + self.uncaused_mem_struct;
+        if ms_parent != ms_accounted {
+            return Err(ConservationError::MemStructMismatch {
+                parent: ms_parent,
+                accounted: ms_accounted,
+            });
+        }
+        Ok(())
+    }
+
+    /// Mutable access to the underlying breakdown, for tests that need to
+    /// corrupt collector state and watch [`validate`](Self::validate) catch
+    /// it. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn breakdown_mut(&mut self) -> &mut StallBreakdown {
+        &mut self.breakdown
     }
 
     /// The breakdown accumulated so far.
@@ -332,6 +412,34 @@ mod tests {
         assert_eq!(b.mem_data_total(), 1, "the bare cycle has no sub-bucket");
         assert_eq!(b.cycles(StallKind::MemoryStructural), 1);
         assert_eq!(b.mem_struct_total(), 0);
+    }
+
+    #[test]
+    fn validate_catches_corrupted_state() {
+        let mut c = StallCollector::new();
+        c.record_cycle(&CycleVerdict::bare(StallKind::NoStall));
+        assert_eq!(c.validate(), Ok(()));
+        // Corrupt the breakdown behind the collector's back.
+        c.breakdown_mut().add_cycle(StallKind::Idle);
+        assert_eq!(
+            c.validate(),
+            Err(ConservationError::TotalMismatch { bucketed: 2, observed: 1 })
+        );
+
+        let mut c = StallCollector::new();
+        let v = judge_cycle(false, &[InstrHazards::mem_data(RequestId(3))]);
+        c.record_cycle(&v);
+        c.breakdown_mut().add_mem_data(MemDataCause::L2, 5);
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConservationError::MemDataMismatch { parent: 1, accounted: 6 }));
+        assert!(err.to_string().contains("memory-data"), "{err}");
+
+        let mut c = StallCollector::new();
+        let vs =
+            judge_cycle(false, &[InstrHazards::mem_structural(MemStructCause::StoreBufferFull)]);
+        c.record_cycle(&vs);
+        c.breakdown_mut().add_mem_struct(MemStructCause::StoreBufferFull, 1);
+        assert!(matches!(c.validate(), Err(ConservationError::MemStructMismatch { .. })));
     }
 
     #[test]

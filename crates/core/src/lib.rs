@@ -55,6 +55,6 @@ pub use classify::{
     classify_cycle, classify_cycle_with, classify_instruction, judge_cycle, judge_cycle_scratch,
     judge_cycle_with, CyclePriority, CycleVerdict, InstrHazards,
 };
-pub use collector::StallCollector;
+pub use collector::{ConservationError, StallCollector};
 pub use ledger::AttributionLedger;
 pub use stall::{MemDataCause, MemStructCause, RequestId, StallKind};

@@ -227,7 +227,9 @@ impl Figure {
     }
 
     /// CSV with one row per configuration: absolute cycle counts of every
-    /// category and sub-category, plus totals.
+    /// category and sub-category, plus totals. Configuration names are
+    /// quoted per RFC 4180 when they contain separators, quotes, or
+    /// newlines.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str("config,total");
@@ -242,7 +244,7 @@ impl Figure {
         }
         out.push('\n');
         for (name, b) in &self.entries {
-            let _ = write!(out, "{name},{}", b.total_cycles());
+            let _ = write!(out, "{},{}", csv_field(name), b.total_cycles());
             for k in StallKind::ALL {
                 let _ = write!(out, ",{}", b.cycles(k));
             }
@@ -255,6 +257,17 @@ impl Figure {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quote a CSV field per RFC 4180 when it contains a separator, quote, or
+/// line break; embedded quotes are doubled. Plain fields pass through
+/// unallocated.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['"', ',', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -368,6 +381,43 @@ mod tests {
         assert!(lines[2].starts_with("b,15"));
         let cols = lines[0].split(',').count();
         assert_eq!(lines[1].split(',').count(), cols);
+    }
+
+    #[test]
+    fn csv_header_row_lists_every_category_once() {
+        let fig = Figure::new("t").with_entry("a", sample(1, 2, 3));
+        let csv = fig.to_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(header[0], "config");
+        assert_eq!(header[1], "total");
+        assert_eq!(
+            header.len(),
+            2 + StallKind::ALL.len() + MemDataCause::ALL.len() + MemStructCause::ALL.len()
+        );
+        for k in StallKind::ALL {
+            assert!(header.contains(&k.short()), "missing {}", k.short());
+        }
+        let mut dedup = header.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), header.len(), "duplicate header column");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_separators_and_quotes() {
+        let fig = Figure::new("t")
+            .with_entry("mesh 4x4, 15 SMs", sample(1, 0, 0))
+            .with_entry("the \"big\" config", sample(2, 0, 0))
+            .with_entry("plain", sample(3, 0, 0));
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].starts_with("\"mesh 4x4, 15 SMs\",1"), "{csv}");
+        assert!(lines[2].starts_with("\"the \"\"big\"\" config\",2"), "{csv}");
+        assert!(lines[3].starts_with("plain,3"), "unquoted when clean: {csv}");
+        // Every row still parses to the same column count once quoted
+        // fields are collapsed.
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[3].split(',').count(), cols);
     }
 
     #[test]

@@ -148,6 +148,19 @@ impl Value {
         }
     }
 
+    /// Insert or replace a field on an object, preserving field order for
+    /// existing keys and appending new ones; a no-op on non-objects.
+    pub fn set(&mut self, key: &str, value: impl ToJson) {
+        if let Value::Object(fields) = self {
+            let v = value.to_json();
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = v;
+            } else {
+                fields.push((key.to_string(), v));
+            }
+        }
+    }
+
     /// The field list, if this is an object.
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {

@@ -19,6 +19,7 @@ use crate::store_buffer::{StoreBuffer, StoreBufferFull};
 use crate::TagArray;
 use gsi_core::{MemStructCause, RequestId};
 use gsi_noc::NodeId;
+use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
@@ -357,6 +358,22 @@ impl CoreMemUnit {
         reg: u8,
         addrs: &[u64],
     ) -> Result<LoadIssued, LsuReject> {
+        self.try_global_load_traced(now, warp, reg, addrs, &mut NullSink)
+    }
+
+    /// [`try_global_load`](Self::try_global_load) recording request-lifetime
+    /// events: a [`TraceEvent::ReqIssue`] per line (with its merge status),
+    /// a [`TraceEvent::ReqMshr`] per MSHR allocation, and an immediate
+    /// [`TraceEvent::ReqFill`] for L1 hits (which complete locally after the
+    /// hit latency).
+    pub fn try_global_load_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addrs: &[u64],
+        sink: &mut S,
+    ) -> Result<LoadIssued, LsuReject> {
         self.lsu_check(now)?;
         let lines: BTreeSet<LineAddr> = addrs.iter().map(|&a| line_of(a)).collect();
         // Plan: every line that misses L1 and has no in-flight fetch needs a
@@ -379,6 +396,22 @@ impl CoreMemUnit {
                     done,
                     Completion::Load { req, warp, reg, provenance: Provenance::L1 },
                 );
+                if sink.counters_on() {
+                    sink.record(TraceEvent::ReqIssue {
+                        cycle: now,
+                        sm: self.core,
+                        req,
+                        line: line.0,
+                        merged: false,
+                    });
+                    sink.record(TraceEvent::ReqFill {
+                        cycle: done,
+                        sm: self.core,
+                        req,
+                        line: line.0,
+                        point: Provenance::L1,
+                    });
+                }
             } else {
                 let primary = !self.mshr.contains(line);
                 let target = MshrTarget { kind: TargetKind::Load { warp, reg, req }, primary };
@@ -390,6 +423,21 @@ impl CoreMemUnit {
                     }
                     Ok(MshrOutcome::Merged) => self.stats.l1_coalesced += 1,
                     Err(_) => unreachable!("capacity was checked in the plan phase"),
+                }
+                if sink.counters_on() {
+                    sink.record(TraceEvent::ReqIssue {
+                        cycle: now,
+                        sm: self.core,
+                        req,
+                        line: line.0,
+                        merged: !primary,
+                    });
+                    sink.record(TraceEvent::ReqMshr {
+                        cycle: now,
+                        sm: self.core,
+                        line: line.0,
+                        primary,
+                    });
                 }
             }
         }
@@ -408,6 +456,17 @@ impl CoreMemUnit {
     /// or the store buffer is out of entries ([`LsuReject::StoreBufferFull`],
     /// which also triggers a capacity flush).
     pub fn try_global_store(&mut self, now: u64, addrs: &[u64]) -> Result<(), LsuReject> {
+        self.try_global_store_traced(now, addrs, &mut NullSink)
+    }
+
+    /// [`try_global_store`](Self::try_global_store) recording a
+    /// [`TraceEvent::StoreRecord`] per buffered line.
+    pub fn try_global_store_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        addrs: &[u64],
+        sink: &mut S,
+    ) -> Result<(), LsuReject> {
         self.lsu_check(now)?;
         if self.release_flush && !self.cfg.sfifo {
             return Err(LsuReject::PendingRelease);
@@ -425,8 +484,19 @@ impl CoreMemUnit {
         }
         for (&line, &mask) in &per_line {
             match self.sb.record(line, mask) {
-                Ok(true) => self.stats.sb_combines += 1,
-                Ok(false) => {}
+                Ok(combined) => {
+                    if combined {
+                        self.stats.sb_combines += 1;
+                    }
+                    if sink.counters_on() {
+                        sink.record(TraceEvent::StoreRecord {
+                            cycle: now,
+                            sm: self.core,
+                            line: line.0,
+                            combined,
+                        });
+                    }
+                }
                 Err(StoreBufferFull) => unreachable!("capacity was checked in the plan phase"),
             }
         }
@@ -449,6 +519,20 @@ impl CoreMemUnit {
         reg: u8,
         addrs: &[u64],
     ) -> Result<LoadIssued, LsuReject> {
+        self.try_local_load_traced(now, warp, reg, addrs, &mut NullSink)
+    }
+
+    /// [`try_local_load`](Self::try_local_load) recording a
+    /// [`TraceEvent::ScratchAccess`] (scratchpad) or
+    /// [`TraceEvent::StashAccess`] (stash, with its hit/miss split).
+    pub fn try_local_load_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addrs: &[u64],
+        sink: &mut S,
+    ) -> Result<LoadIssued, LsuReject> {
         self.lsu_check(now)?;
         match self.cfg.local_kind {
             LocalMemKind::Scratchpad | LocalMemKind::ScratchpadDma => {
@@ -465,34 +549,51 @@ impl CoreMemUnit {
                     now + self.cfg.l1_hit_latency + extra,
                     Completion::Load { req, warp, reg, provenance: Provenance::L1 },
                 );
+                if sink.counters_on() {
+                    sink.record(TraceEvent::ScratchAccess {
+                        cycle: now,
+                        sm: self.core,
+                        store: false,
+                    });
+                }
                 Ok(LoadIssued { reqs: vec![req] })
             }
-            LocalMemKind::Stash => self.try_stash_load(now, warp, reg, addrs),
+            LocalMemKind::Stash => self.try_stash_load(now, warp, reg, addrs, sink),
         }
     }
 
-    fn try_stash_load(
+    fn try_stash_load<S: TraceSink>(
         &mut self,
         now: u64,
         warp: u16,
         reg: u8,
         addrs: &[u64],
+        sink: &mut S,
     ) -> Result<LoadIssued, LsuReject> {
         // Split words into stash hits and on-demand misses (by global line).
         let mut miss_lines: BTreeSet<LineAddr> = BTreeSet::new();
-        let mut any_hit = false;
+        let mut hit_words = 0usize;
         for &a in addrs {
             if self.stash.word_valid(a) || self.stash.translate(a).is_none() {
-                any_hit = true;
+                hit_words += 1;
             } else {
                 let global = self.stash.translate(a).expect("mapped");
                 miss_lines.insert(line_of(global));
             }
         }
+        let any_hit = hit_words > 0;
         let new_misses = miss_lines.iter().filter(|&&l| !self.mshr.contains(l)).count();
         if self.mshr.available() < new_misses {
             self.lsu_busy_cause = MemStructCause::MshrFull;
             return Err(LsuReject::MshrFull);
+        }
+        if sink.counters_on() {
+            sink.record(TraceEvent::StashAccess {
+                cycle: now,
+                sm: self.core,
+                hit_words: hit_words.min(u8::MAX as usize) as u8,
+                miss_lines: miss_lines.len().min(u8::MAX as usize) as u8,
+            });
         }
         let mut reqs = Vec::new();
         if any_hit {
@@ -522,6 +623,21 @@ impl CoreMemUnit {
                 Ok(MshrOutcome::Merged) => {}
                 Err(_) => unreachable!("capacity was checked in the plan phase"),
             }
+            if sink.counters_on() {
+                sink.record(TraceEvent::ReqIssue {
+                    cycle: now,
+                    sm: self.core,
+                    req,
+                    line: line.0,
+                    merged: !primary,
+                });
+                sink.record(TraceEvent::ReqMshr {
+                    cycle: now,
+                    sm: self.core,
+                    line: line.0,
+                    primary,
+                });
+            }
         }
         Ok(LoadIssued { reqs })
     }
@@ -534,6 +650,17 @@ impl CoreMemUnit {
     ///
     /// Rejects on pending DMA or LSU serialization.
     pub fn try_local_store(&mut self, now: u64, addrs: &[u64]) -> Result<(), LsuReject> {
+        self.try_local_store_traced(now, addrs, &mut NullSink)
+    }
+
+    /// [`try_local_store`](Self::try_local_store) recording a
+    /// [`TraceEvent::ScratchAccess`].
+    pub fn try_local_store_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        addrs: &[u64],
+        sink: &mut S,
+    ) -> Result<(), LsuReject> {
         self.lsu_check(now)?;
         if self.cfg.local_kind == LocalMemKind::ScratchpadDma
             && addrs.iter().any(|&a| self.dma.blocks_local(a))
@@ -547,6 +674,9 @@ impl CoreMemUnit {
                     self.stash.mark_dirty(a);
                 }
             }
+        }
+        if sink.counters_on() {
+            sink.record(TraceEvent::ScratchAccess { cycle: now, sm: self.core, store: true });
         }
         let extra = self.scratch.conflict_extra_cycles(addrs);
         self.occupy_lsu(now, extra);
@@ -573,6 +703,39 @@ impl CoreMemUnit {
         acquire: bool,
         release: bool,
         gmem: &mut GlobalMem,
+    ) -> Result<RequestId, LsuReject> {
+        self.try_atomic_traced(
+            now,
+            warp,
+            reg,
+            addr,
+            kind,
+            a,
+            b,
+            acquire,
+            release,
+            gmem,
+            &mut NullSink,
+        )
+    }
+
+    /// [`try_atomic`](Self::try_atomic) recording a
+    /// [`TraceEvent::AtomicIssue`] (and, for locally serviced atomics, the
+    /// matching [`TraceEvent::AtomicDone`] at its completion cycle).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_atomic_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        warp: u16,
+        reg: u8,
+        addr: u64,
+        kind: AtomKind,
+        a: u64,
+        b: u64,
+        acquire: bool,
+        release: bool,
+        gmem: &mut GlobalMem,
+        sink: &mut S,
     ) -> Result<RequestId, LsuReject> {
         self.lsu_check(now)?;
         // A release store to a line this L1 already owns is cheaper served
@@ -602,6 +765,10 @@ impl CoreMemUnit {
                 Completion::Atomic { req, warp, reg, value: 0, acquire, release, write_dst: false },
             );
             self.occupy_lsu(now, 0);
+            if sink.counters_on() {
+                sink.record(TraceEvent::AtomicIssue { cycle: now, sm: self.core, req });
+                sink.record(TraceEvent::AtomicDone { cycle: now + 1, sm: self.core, req });
+            }
             return Ok(req);
         }
         if release {
@@ -644,6 +811,14 @@ impl CoreMemUnit {
                 Completion::Atomic { req, warp, reg, value: ret, acquire, release, write_dst },
             );
             self.occupy_lsu(now, 0);
+            if sink.counters_on() {
+                sink.record(TraceEvent::AtomicIssue { cycle: now, sm: self.core, req });
+                sink.record(TraceEvent::AtomicDone {
+                    cycle: now + self.cfg.l1_hit_latency,
+                    sm: self.core,
+                    req,
+                });
+            }
             return Ok(req);
         }
         self.outstanding_atomics
@@ -651,6 +826,9 @@ impl CoreMemUnit {
         let msg = MemMsg::AtomicOp { addr, kind, a, b, req, reply_to: self.node, core: self.core };
         self.outbox.push((self.l2_node(line), msg));
         self.occupy_lsu(now, 0);
+        if sink.counters_on() {
+            sink.record(TraceEvent::AtomicIssue { cycle: now, sm: self.core, req });
+        }
         Ok(req)
     }
 
@@ -666,7 +844,26 @@ impl CoreMemUnit {
         transfer: DmaTransfer,
         gmem: &mut GlobalMem,
     ) -> Result<(), LsuReject> {
+        self.start_dma_traced(now, transfer, gmem, &mut NullSink)
+    }
+
+    /// [`start_dma`](Self::start_dma) recording a [`TraceEvent::DmaStart`].
+    pub fn start_dma_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        transfer: DmaTransfer,
+        gmem: &mut GlobalMem,
+        sink: &mut S,
+    ) -> Result<(), LsuReject> {
         self.lsu_check(now)?;
+        if sink.counters_on() {
+            sink.record(TraceEvent::DmaStart {
+                cycle: now,
+                sm: self.core,
+                lines: transfer.total_lines(),
+                to_scratchpad: transfer.dir == DmaDirection::ToScratchpad,
+            });
+        }
         for off in (0..transfer.bytes).step_by(8) {
             match transfer.dir {
                 DmaDirection::ToScratchpad => {
@@ -835,6 +1032,14 @@ impl CoreMemUnit {
 
     /// Deliver a mesh message addressed to this core's node.
     pub fn deliver(&mut self, now: u64, msg: MemMsg) {
+        self.deliver_traced(now, msg, &mut NullSink)
+    }
+
+    /// [`deliver`](Self::deliver) recording request-lifetime closures: a
+    /// [`TraceEvent::ReqFill`] per completed load target, DMA line
+    /// arrivals, atomic completions, and the remote-L1 service point for
+    /// forwarded gets.
+    pub fn deliver_traced<S: TraceSink>(&mut self, now: u64, msg: MemMsg, sink: &mut S) {
         match msg {
             MemMsg::Fill { line, provenance } => {
                 let Some(targets) = self.mshr.complete(line) else { return };
@@ -850,6 +1055,15 @@ impl CoreMemUnit {
                                 reg,
                                 provenance: p,
                             });
+                            if sink.counters_on() {
+                                sink.record(TraceEvent::ReqFill {
+                                    cycle: now,
+                                    sm: self.core,
+                                    req,
+                                    line: line.0,
+                                    point: p,
+                                });
+                            }
                         }
                         TargetKind::Stash { warp, reg, req } => {
                             self.stash.fill_global_line(line);
@@ -860,9 +1074,26 @@ impl CoreMemUnit {
                                 reg,
                                 provenance: p,
                             });
+                            if sink.counters_on() {
+                                sink.record(TraceEvent::ReqFill {
+                                    cycle: now,
+                                    sm: self.core,
+                                    req,
+                                    line: line.0,
+                                    point: p,
+                                });
+                            }
                         }
                         TargetKind::Dma => {
                             self.dma.on_line_arrived(line);
+                            if sink.counters_on() {
+                                sink.record(TraceEvent::DmaLine {
+                                    cycle: now,
+                                    sm: self.core,
+                                    line: line.0,
+                                    arrived: true,
+                                });
+                            }
                         }
                     }
                 }
@@ -891,6 +1122,9 @@ impl CoreMemUnit {
             }
             MemMsg::AtomicResp { req, value } => {
                 if let Some(ctx) = self.outstanding_atomics.remove(&req) {
+                    if sink.counters_on() {
+                        sink.record(TraceEvent::AtomicDone { cycle: now, sm: self.core, req });
+                    }
                     if ctx.acquire {
                         self.self_invalidate();
                     }
@@ -922,6 +1156,16 @@ impl CoreMemUnit {
                     m,
                 )));
                 self.sched_seq += 1;
+                if sink.counters_on() {
+                    // Cores sit at the node matching their index, so the
+                    // reply-to node identifies the requesting core.
+                    sink.record(TraceEvent::ReqService {
+                        cycle: now + self.cfg.remote_l1_latency,
+                        core: reply_to.0,
+                        line: line.0,
+                        point: Provenance::RemoteL1,
+                    });
+                }
             }
             MemMsg::Recall { line } => {
                 self.l1.remove(line);
@@ -935,6 +1179,13 @@ impl CoreMemUnit {
     /// Advance one cycle: drain the flush engine and DMA engine, and move
     /// scheduled local completions to the completion queue.
     pub fn tick(&mut self, now: u64) {
+        self.tick_traced(now, &mut NullSink)
+    }
+
+    /// [`tick`](Self::tick) recording [`TraceEvent::StoreFlush`] per
+    /// drained store-buffer entry and [`TraceEvent::DmaLine`] per issued
+    /// DMA line.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: u64, sink: &mut S) {
         // Delayed remote serves.
         while let Some(Reverse((ready, _, _, _))) = self.delayed_out.peek() {
             if *ready > now {
@@ -975,9 +1226,23 @@ impl CoreMemUnit {
             for _ in 0..self.cfg.flush_rate {
                 if let Some((line, mask)) = self.sb.pop_oldest() {
                     self.drain_entry(line, mask, false);
+                    if sink.counters_on() {
+                        sink.record(TraceEvent::StoreFlush {
+                            cycle: now,
+                            sm: self.core,
+                            line: line.0,
+                        });
+                    }
                 } else if let Some((line, mask)) = self.endflush.first().copied() {
                     self.endflush.remove(0);
                     self.drain_entry(line, mask, true);
+                    if sink.counters_on() {
+                        sink.record(TraceEvent::StoreFlush {
+                            cycle: now,
+                            sm: self.core,
+                            line: line.0,
+                        });
+                    }
                 } else {
                     break;
                 }
@@ -1012,6 +1277,14 @@ impl CoreMemUnit {
             }
             self.stats.dma_lines += 1;
             self.dma.mark_issued();
+            if sink.counters_on() {
+                sink.record(TraceEvent::DmaLine {
+                    cycle: now,
+                    sm: self.core,
+                    line: line.0,
+                    arrived: false,
+                });
+            }
         }
 
         // Local completions that are ready.

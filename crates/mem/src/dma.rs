@@ -88,6 +88,8 @@ impl DmaTransfer {
 #[derive(Debug, Clone, Default)]
 pub struct DmaEngine {
     transfers: Vec<DmaTransfer>,
+    started: u64,
+    lines_issued: u64,
 }
 
 impl DmaEngine {
@@ -99,6 +101,17 @@ impl DmaEngine {
     /// Queue a transfer.
     pub fn start(&mut self, t: DmaTransfer) {
         self.transfers.push(t);
+        self.started += 1;
+    }
+
+    /// Transfers started since construction (survives [`reset`](Self::reset)).
+    pub fn transfers_started(&self) -> u64 {
+        self.started
+    }
+
+    /// Lines issued to the memory system since construction.
+    pub fn lines_issued(&self) -> u64 {
+        self.lines_issued
     }
 
     /// True when a scratchpad access at `local` must stall with a
@@ -130,6 +143,7 @@ impl DmaEngine {
     pub fn mark_issued(&mut self) {
         if let Some(t) = self.transfers.iter_mut().find(|t| !t.fully_issued()) {
             t.issued_lines += 1;
+            self.lines_issued += 1;
             // Store lines "arrive" when drained by the store buffer; for
             // blocking purposes they only need to be issued.
         }
@@ -232,5 +246,18 @@ mod tests {
     #[should_panic(expected = "word-aligned")]
     fn unaligned_transfer_panics() {
         DmaTransfer::new(0, 0x1001, 64, DmaDirection::ToScratchpad);
+    }
+
+    #[test]
+    fn lifetime_counters_survive_reset() {
+        let mut e = DmaEngine::new();
+        e.start(DmaTransfer::new(0, 0x1000, 128, DmaDirection::ToScratchpad));
+        e.mark_issued();
+        e.mark_issued();
+        e.reset();
+        e.start(DmaTransfer::new(0, 0x2000, 64, DmaDirection::ToGlobal));
+        e.mark_issued();
+        assert_eq!(e.transfers_started(), 2);
+        assert_eq!(e.lines_issued(), 3);
     }
 }

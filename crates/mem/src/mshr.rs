@@ -30,6 +30,9 @@ pub enum MshrOutcome {
 pub struct Mshr<T> {
     capacity: usize,
     entries: HashMap<LineAddr, Vec<T>>,
+    peak: usize,
+    merges: u64,
+    allocations: u64,
 }
 
 impl<T> Mshr<T> {
@@ -40,7 +43,7 @@ impl<T> Mshr<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        Mshr { capacity, entries: HashMap::new() }
+        Mshr { capacity, entries: HashMap::new(), peak: 0, merges: 0, allocations: 0 }
     }
 
     /// Entries in use.
@@ -85,13 +88,31 @@ impl<T> Mshr<T> {
     pub fn allocate(&mut self, line: LineAddr, target: T) -> Result<MshrOutcome, T> {
         if let Some(targets) = self.entries.get_mut(&line) {
             targets.push(target);
+            self.merges += 1;
             return Ok(MshrOutcome::Merged);
         }
         if self.is_full() {
             return Err(target);
         }
         self.entries.insert(line, vec![target]);
+        self.allocations += 1;
+        self.peak = self.peak.max(self.entries.len());
         Ok(MshrOutcome::Primary)
+    }
+
+    /// Highest simultaneous occupancy seen since construction.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Targets merged into in-flight entries (the paper's "L1 coalescing").
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Primary entries allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
     }
 
     /// The fill for `line` arrived: free the entry and return its targets
@@ -148,5 +169,19 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _: Mshr<()> = Mshr::new(0);
+    }
+
+    #[test]
+    fn occupancy_counters_track_history() {
+        let mut m: Mshr<u32> = Mshr::new(4);
+        m.allocate(LineAddr(1), 0).unwrap();
+        m.allocate(LineAddr(2), 0).unwrap();
+        m.allocate(LineAddr(1), 1).unwrap();
+        m.complete(LineAddr(1));
+        m.complete(LineAddr(2));
+        m.allocate(LineAddr(3), 0).unwrap();
+        assert_eq!(m.peak_occupancy(), 2, "peak survives completions");
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.allocations(), 3);
     }
 }

@@ -7,6 +7,7 @@ use crate::gmem::GlobalMem;
 use crate::line::LineAddr;
 use crate::msg::{MemMsg, Provenance};
 use gsi_noc::{Mesh, NodeId};
+use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -170,6 +171,18 @@ impl SharedMem {
     /// Advance the shared memory one cycle: complete DRAM fetches and
     /// process every bank message that is ready.
     pub fn tick(&mut self, now: u64, mesh: &mut Mesh<MemMsg>, gmem: &mut GlobalMem) {
+        self.tick_traced(now, mesh, gmem, &mut NullSink);
+    }
+
+    /// [`tick`](Self::tick), recording service-point and mesh events into
+    /// `sink`.
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        mesh: &mut Mesh<MemMsg>,
+        gmem: &mut GlobalMem,
+        sink: &mut S,
+    ) {
         // DRAM completions first: fills become visible this cycle.
         for job in self.dram.complete(now) {
             if job.is_write {
@@ -178,9 +191,19 @@ impl SharedMem {
             let bank = &mut self.banks[job.bank];
             bank.tags.insert(job.line, ());
             if let Some(waiters) = bank.pending_fetch.remove(&job.line) {
+                let bank_node = bank.node;
                 for reply_to in waiters {
+                    if sink.counters_on() {
+                        // Cores sit at the mesh node matching their index.
+                        sink.record(TraceEvent::ReqService {
+                            cycle: now,
+                            core: reply_to.0,
+                            line: job.line.0,
+                            point: Provenance::MainMemory,
+                        });
+                    }
                     let m = MemMsg::Fill { line: job.line, provenance: Provenance::MainMemory };
-                    mesh.send(now, bank.node, reply_to, m.size_bytes(), m);
+                    mesh.send_traced(now, bank_node, reply_to, m.size_bytes(), m, sink);
                 }
             }
         }
@@ -197,17 +220,25 @@ impl SharedMem {
                         _ => break,
                     }
                 };
-                self.handle(now, b, msg, mesh, gmem);
+                self.handle(now, b, msg, mesh, gmem, sink);
             }
         }
     }
 
-    fn send(&self, now: u64, mesh: &mut Mesh<MemMsg>, from: NodeId, to: NodeId, msg: MemMsg) {
-        mesh.send(now, from, to, msg.size_bytes(), msg);
+    fn send<S: TraceSink>(
+        &self,
+        now: u64,
+        mesh: &mut Mesh<MemMsg>,
+        from: NodeId,
+        to: NodeId,
+        msg: MemMsg,
+        sink: &mut S,
+    ) {
+        mesh.send_traced(now, from, to, msg.size_bytes(), msg, sink);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute_atomic(
+    fn execute_atomic<S: TraceSink>(
         &mut self,
         now: u64,
         b: usize,
@@ -219,6 +250,7 @@ impl SharedMem {
         reply_to: NodeId,
         mesh: &mut Mesh<MemMsg>,
         gmem: &mut GlobalMem,
+        sink: &mut S,
     ) {
         self.stats.atomics += 1;
         let old = gmem.read_word(addr);
@@ -226,16 +258,17 @@ impl SharedMem {
         gmem.write_word(addr, new);
         let m = MemMsg::AtomicResp { req, value: ret };
         let bank_node = self.banks[b].node;
-        self.send(now, mesh, bank_node, reply_to, m);
+        self.send(now, mesh, bank_node, reply_to, m, sink);
     }
 
-    fn handle(
+    fn handle<S: TraceSink>(
         &mut self,
         now: u64,
         b: usize,
         msg: MemMsg,
         mesh: &mut Mesh<MemMsg>,
         gmem: &mut GlobalMem,
+        sink: &mut S,
     ) {
         let bank_node = self.banks[b].node;
         match msg {
@@ -248,7 +281,7 @@ impl SharedMem {
                         self.stats.forwards += 1;
                         let fwd = MemMsg::FwdGet { line, reply_to };
                         let owner_node = self.core_nodes[o as usize];
-                        self.send(now, mesh, bank_node, owner_node, fwd);
+                        self.send(now, mesh, bank_node, owner_node, fwd, sink);
                     }
                     _ => {
                         // Unowned, or owned by the requester itself (a
@@ -256,8 +289,16 @@ impl SharedMem {
                         // the L2/memory without disturbing the directory.
                         if self.banks[b].tags.get(line).is_some() {
                             self.stats.read_hits += 1;
+                            if sink.counters_on() {
+                                sink.record(TraceEvent::ReqService {
+                                    cycle: now,
+                                    core: reply_to.0,
+                                    line: line.0,
+                                    point: Provenance::L2,
+                                });
+                            }
                             let m = MemMsg::Fill { line, provenance: Provenance::L2 };
-                            self.send(now, mesh, bank_node, reply_to, m);
+                            self.send(now, mesh, bank_node, reply_to, m, sink);
                         } else {
                             self.stats.read_misses += 1;
                             let bank = &mut self.banks[b];
@@ -279,13 +320,14 @@ impl SharedMem {
                     // (bandwidth only).
                     self.dram.access(now, DramJob { bank: b, line, is_write: true });
                 }
-                self.send(now, mesh, bank_node, reply_to, MemMsg::WriteAck { line });
+                self.send(now, mesh, bank_node, reply_to, MemMsg::WriteAck { line }, sink);
             }
             MemMsg::RegisterOwner { line, reply_to, core } => {
                 let owner = self.banks[b].registry.get(&line).copied();
                 match owner {
                     Some(o) if o == core => {
-                        self.send(now, mesh, bank_node, reply_to, MemMsg::RegisterAck { line });
+                        let ack = MemMsg::RegisterAck { line };
+                        self.send(now, mesh, bank_node, reply_to, ack, sink);
                     }
                     Some(o) => {
                         self.stats.recalls += 1;
@@ -295,7 +337,8 @@ impl SharedMem {
                         waiters.push(RegWaiter { reply_to, core });
                         if first {
                             let owner_node = self.core_nodes[o as usize];
-                            self.send(now, mesh, bank_node, owner_node, MemMsg::Recall { line });
+                            let recall = MemMsg::Recall { line };
+                            self.send(now, mesh, bank_node, owner_node, recall, sink);
                         }
                     }
                     None => {
@@ -304,7 +347,8 @@ impl SharedMem {
                         bank.registry.insert(line, core);
                         // The freshest copy now lives at the owner.
                         bank.tags.remove(line);
-                        self.send(now, mesh, bank_node, reply_to, MemMsg::RegisterAck { line });
+                        let ack = MemMsg::RegisterAck { line };
+                        self.send(now, mesh, bank_node, reply_to, ack, sink);
                     }
                 }
             }
@@ -321,7 +365,7 @@ impl SharedMem {
                     for m in waiting {
                         if let MemMsg::AtomicOp { addr, kind, a, b: opb, req, reply_to, core } = m {
                             self.execute_atomic(
-                                now, b, addr, kind, a, opb, req, reply_to, mesh, gmem,
+                                now, b, addr, kind, a, opb, req, reply_to, mesh, gmem, sink,
                             );
                             let bank = &mut self.banks[b];
                             bank.registry.insert(line, core);
@@ -338,7 +382,8 @@ impl SharedMem {
                         self.stats.registrations += 1;
                         self.banks[b].registry.insert(line, w.core);
                         self.banks[b].tags.remove(line);
-                        self.send(now, mesh, bank_node, w.reply_to, MemMsg::RegisterAck { line });
+                        let ack = MemMsg::RegisterAck { line };
+                        self.send(now, mesh, bank_node, w.reply_to, ack, sink);
                         if !waiters.is_empty() {
                             self.stats.recalls += 1;
                             let new_owner_node = self.core_nodes[w.core as usize];
@@ -348,6 +393,7 @@ impl SharedMem {
                                 bank_node,
                                 new_owner_node,
                                 MemMsg::Recall { line },
+                                sink,
                             );
                             self.banks[b].pending_reg.insert(line, waiters);
                         }
@@ -382,6 +428,7 @@ impl SharedMem {
                                     bank_node,
                                     owner_node,
                                     MemMsg::Recall { line },
+                                    sink,
                                 );
                             }
                         }
@@ -390,7 +437,7 @@ impl SharedMem {
                             // and grant the requester ownership so its later
                             // atomics hit locally.
                             self.execute_atomic(
-                                now, b, addr, kind, a, opb, req, reply_to, mesh, gmem,
+                                now, b, addr, kind, a, opb, req, reply_to, mesh, gmem, sink,
                             );
                             let bank = &mut self.banks[b];
                             bank.registry.insert(line, core);
@@ -398,7 +445,9 @@ impl SharedMem {
                         }
                     }
                 } else {
-                    self.execute_atomic(now, b, addr, kind, a, opb, req, reply_to, mesh, gmem);
+                    self.execute_atomic(
+                        now, b, addr, kind, a, opb, req, reply_to, mesh, gmem, sink,
+                    );
                 }
             }
             other => unreachable!("L2 bank received a response message: {other:?}"),

@@ -26,6 +26,9 @@ pub struct StoreBufferFull;
 pub struct StoreBuffer {
     capacity: usize,
     entries: Vec<(LineAddr, WordMask)>,
+    peak: usize,
+    records: u64,
+    combines: u64,
 }
 
 impl StoreBuffer {
@@ -36,7 +39,7 @@ impl StoreBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "store buffer capacity must be nonzero");
-        StoreBuffer { capacity, entries: Vec::new() }
+        StoreBuffer { capacity, entries: Vec::new(), peak: 0, records: 0, combines: 0 }
     }
 
     /// Entries in use.
@@ -80,13 +83,32 @@ impl StoreBuffer {
     pub fn record(&mut self, line: LineAddr, mask: WordMask) -> Result<bool, StoreBufferFull> {
         if let Some((_, m)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
             *m = m.union(mask);
+            self.records += 1;
+            self.combines += 1;
             return Ok(true);
         }
         if self.is_full() {
             return Err(StoreBufferFull);
         }
         self.entries.push((line, mask));
+        self.records += 1;
+        self.peak = self.peak.max(self.entries.len());
         Ok(false)
+    }
+
+    /// Highest simultaneous occupancy seen since construction.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Stores recorded (combined or not).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Stores that combined into an existing line entry.
+    pub fn combines(&self) -> u64 {
+        self.combines
     }
 
     /// Remove and return the oldest entry (flush order is FIFO).
@@ -168,5 +190,19 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         StoreBuffer::new(0);
+    }
+
+    #[test]
+    fn occupancy_counters_track_history() {
+        let mut sb = StoreBuffer::new(4);
+        sb.record(LineAddr(1), WordMask(1)).unwrap();
+        sb.record(LineAddr(2), WordMask(1)).unwrap();
+        sb.record(LineAddr(1), WordMask(2)).unwrap();
+        sb.pop_oldest();
+        sb.pop_oldest();
+        sb.record(LineAddr(3), WordMask(1)).unwrap();
+        assert_eq!(sb.peak_occupancy(), 2, "peak survives flushes");
+        assert_eq!(sb.records(), 4);
+        assert_eq!(sb.combines(), 1);
     }
 }

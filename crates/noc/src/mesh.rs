@@ -1,6 +1,7 @@
 //! The mesh topology, XY routing, and link-contention timing model.
 
 use crate::stats::NocStats;
+use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -180,6 +181,21 @@ impl<T: Eq> Mesh<T> {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn send(&mut self, now: u64, src: NodeId, dst: NodeId, size_bytes: u32, payload: T) -> u64 {
+        self.send_traced(now, src, dst, size_bytes, payload, &mut NullSink)
+    }
+
+    /// [`send`](Self::send) recording a [`TraceEvent::MeshSend`] plus one
+    /// [`TraceEvent::MeshHop`] per reserved link (the feed behind the NoC
+    /// utilization heatmap).
+    pub fn send_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u32,
+        payload: T,
+        sink: &mut S,
+    ) -> u64 {
         let (mut x, mut y) = self.cfg.coords(src);
         let (dx, dy) = self.cfg.coords(dst);
         let ser = self.cfg.serialization_cycles(size_bytes);
@@ -208,6 +224,15 @@ impl<T: Eq> Mesh<T> {
             self.link_free[li] = depart + ser;
             t = depart + self.cfg.router_delay + self.cfg.link_delay;
             self.stats.link_queue_cycles += queued;
+            if sink.counters_on() {
+                sink.record(TraceEvent::MeshHop {
+                    cycle: now,
+                    node: node.0,
+                    dir: dir as u8,
+                    queued: queued.min(u64::from(u32::MAX)) as u32,
+                    busy: ser.min(u64::from(u32::MAX)) as u32,
+                });
+            }
             hops += 1;
             node = NodeId(y * self.cfg.width + x);
         }
@@ -228,6 +253,15 @@ impl<T: Eq> Mesh<T> {
 
         self.in_flight.push(Reverse(InFlight { deliver_at, seq: self.seq, dst, payload }));
         self.seq += 1;
+        if sink.counters_on() {
+            sink.record(TraceEvent::MeshSend {
+                cycle: now,
+                src: src.0,
+                dst: dst.0,
+                bytes: size_bytes,
+                deliver_at,
+            });
+        }
         deliver_at
     }
 
@@ -244,11 +278,25 @@ impl<T: Eq> Mesh<T> {
     /// is *not* cleared: due messages are appended in the same deterministic
     /// order `deliver` returns them.
     pub fn deliver_into(&mut self, now: u64, out: &mut Vec<(NodeId, T)>) {
+        self.deliver_into_traced(now, out, &mut NullSink);
+    }
+
+    /// [`deliver_into`](Self::deliver_into) recording a
+    /// [`TraceEvent::MeshDeliver`] per ejected message.
+    pub fn deliver_into_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        out: &mut Vec<(NodeId, T)>,
+        sink: &mut S,
+    ) {
         while let Some(Reverse(head)) = self.in_flight.peek() {
             if head.deliver_at > now {
                 break;
             }
             let Reverse(msg) = self.in_flight.pop().expect("peeked");
+            if sink.counters_on() {
+                sink.record(TraceEvent::MeshDeliver { cycle: now, node: msg.dst.0 });
+            }
             out.push((msg.dst, msg.payload));
         }
     }
@@ -393,6 +441,21 @@ mod tests {
         assert_eq!(m.next_delivery(), None);
         let eta = m.send(0, NodeId(0), NodeId(1), 8, 9);
         assert_eq!(m.next_delivery(), Some(eta));
+    }
+
+    #[test]
+    fn traced_send_feeds_hop_and_delivery_events() {
+        use gsi_trace::{TraceBuffer, TraceConfig, TraceLevel};
+        let mut m = mesh();
+        let mut buf = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Counters, 16, 0, 0));
+        let eta = m.send_traced(0, NodeId(0), NodeId(3), 64, 7, &mut buf);
+        assert_eq!(buf.count("mesh_send"), 1);
+        assert_eq!(buf.count("mesh_hop"), 3, "three X hops from node 0 to node 3");
+        assert!(buf.link_busy().iter().sum::<u64>() > 0, "hops feed the heatmap");
+        let mut out = Vec::new();
+        m.deliver_into_traced(eta, &mut out, &mut buf);
+        assert_eq!(out.len(), 1);
+        assert_eq!(buf.count("mesh_deliver"), 1);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 
 use crate::config::SystemConfig;
 use crate::launch::{LaunchCtx, LaunchSpec};
-use gsi_core::{StallBreakdown, StallCollector};
+use gsi_core::{ConservationError, StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
 use gsi_noc::{Mesh, NocStats, NodeId};
 use gsi_sm::{BlockInit, SmCore, SmStats, WarpProfile};
+use gsi_trace::{Subsystem, TraceBuffer, TraceConfig, TraceLevel};
 use std::fmt;
+use std::time::Instant;
 
 /// Simulation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +23,15 @@ pub enum SimError {
         /// Blocks in the grid.
         blocks_total: u64,
     },
+    /// A stall collector's end-of-run conservation check failed: the
+    /// breakdown no longer partitions the observed cycles. A simulator bug,
+    /// not a workload property.
+    Accounting {
+        /// The SM whose collector is corrupted.
+        sm: u8,
+        /// The violated invariant.
+        error: ConservationError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +41,9 @@ impl fmt::Display for SimError {
                 f,
                 "kernel timed out after {cycles} cycles ({blocks_done}/{blocks_total} blocks done)"
             ),
+            SimError::Accounting { sm, error } => {
+                write!(f, "stall accounting corrupted on SM {sm}: {error}")
+            }
         }
     }
 }
@@ -113,6 +127,7 @@ pub struct Simulator {
     cycle: u64,
     profiling: bool,
     scratch: SimScratch,
+    trace: TraceBuffer,
 }
 
 impl fmt::Debug for Simulator {
@@ -157,8 +172,43 @@ impl Simulator {
             cycle: 0,
             profiling: true,
             scratch: SimScratch::default(),
+            trace: TraceBuffer::disabled(),
             cfg,
         }
+    }
+
+    /// Enable cycle-level tracing at `level`, sizing the trace buffers for
+    /// this system ([`TraceConfig::for_system`]). `TraceLevel::Off` drops
+    /// back to the free no-op sink.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace = TraceBuffer::new(TraceConfig::for_system(
+            level,
+            self.cfg.mesh.nodes(),
+            self.cfg.gpu_cores,
+            self.cfg.sm.max_warps,
+        ));
+    }
+
+    /// Install a fully custom trace buffer (ring sizes, windows, ...).
+    pub fn set_trace(&mut self, trace: TraceBuffer) {
+        self.trace = trace;
+    }
+
+    /// The trace buffer (counters, histograms, events recorded so far).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable access to the trace buffer (reset, self-profiling toggles).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Measure wall-clock time per simulator subsystem while running
+    /// (recorded into the trace buffer's [`SubsystemProfile`]
+    /// (gsi_trace::SubsystemProfile)).
+    pub fn set_self_profiling(&mut self, on: bool) {
+        self.trace.set_self_profiling(on);
     }
 
     /// The configuration.
@@ -231,18 +281,35 @@ impl Simulator {
                 });
             }
 
+            let profiling = self.trace.self_profiling();
+            let mut lap = profiling.then(Instant::now);
+            // Lap the self-profiler: charge the time since the last lap to
+            // `sub` and restart the clock. `lap` is None when profiling is
+            // off, so the disabled path costs one branch per section.
+            macro_rules! lap {
+                ($sub:expr) => {
+                    if let Some(t0) = lap {
+                        let t1 = Instant::now();
+                        self.trace.profile_add($sub, (t1 - t0).as_nanos() as u64);
+                        lap = Some(t1);
+                    }
+                };
+            }
+
             // 1. Mesh deliveries: requests to banks, responses to cores.
-            self.mesh.deliver_into(now, &mut self.scratch.deliveries);
+            self.mesh.deliver_into_traced(now, &mut self.scratch.deliveries, &mut self.trace);
             for (node, msg) in self.scratch.deliveries.drain(..) {
                 if bank_bound(&msg) {
                     self.shared.deliver(now, node, msg);
                 } else {
-                    self.cores[node.0 as usize].mem.deliver(now, msg);
+                    self.cores[node.0 as usize].mem.deliver_traced(now, msg, &mut self.trace);
                 }
             }
+            lap!(Subsystem::MeshDeliver);
 
             // 2. Shared side.
-            self.shared.tick(now, &mut self.mesh, &mut self.gmem);
+            self.shared.tick_traced(now, &mut self.mesh, &mut self.gmem, &mut self.trace);
+            lap!(Subsystem::Shared);
 
             // 3. Block dispatch: blocks map to SMs round-robin (block id
             //    modulo SM count), waiting for their home SM to have room.
@@ -259,22 +326,41 @@ impl Simulator {
                 self.cores[sm].sm.add_block(block);
                 next_block += 1;
             }
+            lap!(Subsystem::Dispatch);
 
             // 4. Cores: memory unit first, then the SM issue stage.
             for c in &mut self.cores {
-                c.mem.tick(now);
-                c.sm.tick(now, &mut c.mem, &mut self.gmem, &mut c.collector);
+                c.mem.tick_traced(now, &mut self.trace);
+                c.sm.tick_traced(
+                    now,
+                    &mut c.mem,
+                    &mut self.gmem,
+                    &mut c.collector,
+                    &mut self.trace,
+                );
                 c.sm.drain_completed_blocks(&mut self.scratch.completed);
             }
             blocks_done += self.scratch.completed.len() as u64;
             self.scratch.completed.clear();
+            lap!(Subsystem::Cores);
 
             // 5. Outgoing traffic.
             for (i, c) in self.cores.iter_mut().enumerate() {
                 c.mem.drain_outbox(&mut self.scratch.outbox);
                 for (dst, msg) in self.scratch.outbox.drain(..) {
-                    self.mesh.send(now, NodeId(i as u8), dst, msg.size_bytes(), msg);
+                    self.mesh.send_traced(
+                        now,
+                        NodeId(i as u8),
+                        dst,
+                        msg.size_bytes(),
+                        msg,
+                        &mut self.trace,
+                    );
                 }
+            }
+            lap!(Subsystem::Outbox);
+            if profiling {
+                self.trace.profile_end_cycle();
             }
 
             // 6. Kernel end: once every block has finished, kernel exit acts
@@ -295,6 +381,12 @@ impl Simulator {
                 break;
             }
             self.cycle += 1;
+        }
+
+        // Always-on conservation check: every classified cycle must be
+        // accounted for before the numbers are reported anywhere.
+        for (i, c) in self.cores.iter().enumerate() {
+            c.collector.validate().map_err(|error| SimError::Accounting { sm: i as u8, error })?;
         }
 
         // Gather results.
@@ -489,13 +581,56 @@ mod tests {
         let mut sim = Simulator::new(cfg);
         sim.gmem_mut().write_word(0x8000, 1); // lock already held
         let err = sim.run_kernel(&spec).unwrap_err();
+        assert!(err.to_string().contains("timed out"));
         match err {
             SimError::Timeout { blocks_done, blocks_total, .. } => {
                 assert_eq!(blocks_done, 0);
                 assert_eq!(blocks_total, 1);
             }
+            other => panic!("expected timeout, got {other}"),
         }
-        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn full_tracing_records_events_across_subsystems() {
+        let mut b = ProgramBuilder::new("traced");
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(3), Reg(2), 1);
+        b.st_global(Reg(3), Reg(1), 0);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 2).with_init(|w, block, warp, _| {
+            w.set_uniform(1, 0x4000 + block * 0x100 + warp as u64 * 0x40)
+        });
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.set_trace_level(TraceLevel::Full);
+        sim.set_self_profiling(true);
+        let run = sim.run_kernel(&spec).unwrap();
+
+        let trace = sim.trace();
+        // Each layer contributed events: issue stage, request lifetimes,
+        // store buffer, and the mesh.
+        for kind in ["issue_verdict", "req_issue", "req_fill", "store_record", "mesh_send"] {
+            assert!(trace.count(kind) > 0, "no {kind} events recorded");
+        }
+        // The loads completed requests with a measured end-to-end latency.
+        let completed: Vec<_> = trace.completed().collect();
+        assert!(!completed.is_empty(), "no request lifetimes closed");
+        assert!(completed.iter().all(|r| r.total_latency() > 0));
+        // Self-profiling attributed wall time to every cycle of the run.
+        assert_eq!(trace.profile().cycles(), run.cycles);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let mut b = ProgramBuilder::new("quiet");
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1)
+            .with_init(|w, _, _, _| w.set_uniform(1, 0x3000));
+        let mut sim = Simulator::new(tiny_cfg());
+        sim.run_kernel(&spec).unwrap();
+        assert_eq!(sim.trace().counts().iter().sum::<u64>(), 0);
+        assert_eq!(sim.trace().events().count(), 0);
     }
 
     #[test]

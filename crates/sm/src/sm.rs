@@ -14,6 +14,7 @@ use gsi_mem::{
     AtomKind, Completion, CoreMemUnit, DmaDirection, DmaTransfer, GlobalMem, LsuReject,
     StashMapping,
 };
+use gsi_trace::{NullSink, TraceEvent as Ev, TraceSink};
 
 /// Execution statistics for one SM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -263,9 +264,22 @@ impl SmCore {
         gmem: &mut GlobalMem,
         collector: &mut StallCollector,
     ) {
+        self.tick_traced(now, mem, gmem, collector, &mut NullSink);
+    }
+
+    /// [`tick`](Self::tick), recording issue-stage and memory events into
+    /// `sink`.
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        mem: &mut CoreMemUnit,
+        gmem: &mut GlobalMem,
+        collector: &mut StallCollector,
+        sink: &mut S,
+    ) {
         self.stats.cycles += 1;
         self.retire_completions(mem, collector);
-        self.issue_stage(now, mem, gmem, collector);
+        self.issue_stage(now, mem, gmem, collector, sink);
         self.scheduler.next_cycle(self.warps.len());
         self.reap_blocks();
     }
@@ -302,12 +316,13 @@ impl SmCore {
         self.scratch.completions = completions;
     }
 
-    fn issue_stage(
+    fn issue_stage<S: TraceSink>(
         &mut self,
         now: u64,
         mem: &mut CoreMemUnit,
         gmem: &mut GlobalMem,
         collector: &mut StallCollector,
+        sink: &mut S,
     ) {
         // Scratch buffers are moved out of `self` for the duration of the
         // stage (moves, not allocations) so the per-warp mutations below
@@ -334,11 +349,27 @@ impl SmCore {
             let w = &self.warps[wi];
             if now < w.ibuffer_ready_at {
                 hz.control = true;
+                if sink.events_on() {
+                    sink.record(Ev::WarpStall {
+                        cycle: now,
+                        sm: self.id,
+                        warp: wi as u16,
+                        kind: StallKind::Control,
+                    });
+                }
                 considered.push(hz);
                 continue;
             }
             if w.sync_pending || w.at_barrier {
                 hz.synchronization = true;
+                if sink.events_on() {
+                    sink.record(Ev::WarpStall {
+                        cycle: now,
+                        sm: self.id,
+                        warp: wi as u16,
+                        kind: StallKind::Synchronization,
+                    });
+                }
                 considered.push(hz);
                 continue;
             }
@@ -361,6 +392,14 @@ impl SmCore {
                 }
                 if now < w.ibuffer_ready_at {
                     hz.control = true;
+                    if sink.events_on() {
+                        sink.record(Ev::WarpStall {
+                            cycle: now,
+                            sm: self.id,
+                            warp: wi as u16,
+                            kind: StallKind::Control,
+                        });
+                    }
                     considered.push(hz);
                     continue;
                 }
@@ -389,7 +428,7 @@ impl SmCore {
 
             if hz.can_issue() && issued < self.cfg.issue_width {
                 let pc_before = self.warps[wi].pc;
-                match self.execute(wi, instr, now, mem, gmem, &mut alu_used, &mut sfu_used) {
+                match self.execute(wi, instr, now, mem, gmem, &mut alu_used, &mut sfu_used, sink) {
                     Ok(()) => {
                         issued += 1;
                         self.stats.instructions += 1;
@@ -408,10 +447,26 @@ impl SmCore {
                             });
                         }
                     }
-                    Err(structural) => hz = structural,
+                    Err(structural) => {
+                        if sink.counters_on() {
+                            if let Some(cause) = structural.mem_structural {
+                                sink.record(Ev::LsuReject {
+                                    cycle: now,
+                                    sm: self.id,
+                                    warp: wi as u16,
+                                    cause,
+                                });
+                            }
+                        }
+                        hz = structural;
+                    }
                 }
             }
-            self.profiles[wi].considered[classify_instruction(&hz).index()] += 1;
+            let kind = classify_instruction(&hz);
+            self.profiles[wi].considered[kind.index()] += 1;
+            if sink.events_on() && kind != StallKind::NoStall {
+                sink.record(Ev::WarpStall { cycle: now, sm: self.id, warp: wi as u16, kind });
+            }
             considered.push(hz);
         }
 
@@ -426,13 +481,21 @@ impl SmCore {
         if issued > 0 {
             self.stats.issued_cycles += 1;
         }
+        if sink.events_on() {
+            sink.record(Ev::IssueVerdict {
+                cycle: now,
+                sm: self.id,
+                kind: verdict.kind,
+                issued: issued.min(u8::MAX as usize) as u8,
+            });
+        }
         collector.record_cycle(&verdict);
     }
 
     /// Attempt to issue `instr` from warp `wi`. On a structural hazard the
     /// instruction stays put and the hazard is returned for classification.
     #[allow(clippy::too_many_arguments)] // the issue stage's full context
-    fn execute(
+    fn execute<S: TraceSink>(
         &mut self,
         wi: usize,
         instr: Instr,
@@ -441,6 +504,7 @@ impl SmCore {
         gmem: &mut GlobalMem,
         alu_used: &mut u32,
         sfu_used: &mut u32,
+        sink: &mut S,
     ) -> Result<(), InstrHazards> {
         let take_unit =
             |unit: ExecUnit, alu_used: &mut u32, sfu_used: &mut u32, cfg: &SmConfig| match unit {
@@ -508,7 +572,7 @@ impl SmCore {
             Instr::LdGlobal { dst, addr, offset } => {
                 self.fill_lane_addrs(wi, addr, offset);
                 let issued = mem
-                    .try_global_load(now, wi as u16, dst.0, &self.scratch.addrs)
+                    .try_global_load_traced(now, wi as u16, dst.0, &self.scratch.addrs, sink)
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
                 for &(lane, a) in &self.scratch.pairs {
@@ -522,7 +586,8 @@ impl SmCore {
             }
             Instr::StGlobal { src, addr, offset } => {
                 self.fill_lane_addrs(wi, addr, offset);
-                mem.try_global_store(now, &self.scratch.addrs).map_err(reject_to_hazard)?;
+                mem.try_global_store_traced(now, &self.scratch.addrs, sink)
+                    .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
                 for &(lane, a) in &self.scratch.pairs {
                     gmem.write_word(a, op_val(&w.regs[lane], src));
@@ -533,7 +598,7 @@ impl SmCore {
             Instr::LdLocal { dst, addr, offset } => {
                 self.fill_lane_addrs(wi, addr, offset);
                 let issued = mem
-                    .try_local_load(now, wi as u16, dst.0, &self.scratch.addrs)
+                    .try_local_load_traced(now, wi as u16, dst.0, &self.scratch.addrs, sink)
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
                 for &(lane, a) in &self.scratch.pairs {
@@ -547,7 +612,8 @@ impl SmCore {
             }
             Instr::StLocal { src, addr, offset } => {
                 self.fill_lane_addrs(wi, addr, offset);
-                mem.try_local_store(now, &self.scratch.addrs).map_err(reject_to_hazard)?;
+                mem.try_local_store_traced(now, &self.scratch.addrs, sink)
+                    .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
                 for &(lane, a) in &self.scratch.pairs {
                     let v = op_val(&w.regs[lane], src);
@@ -572,7 +638,7 @@ impl SmCore {
                     AtomOp::Store => AtomKind::Store,
                 };
                 let req = mem
-                    .try_atomic(
+                    .try_atomic_traced(
                         now,
                         wi as u16,
                         dst.0,
@@ -583,6 +649,7 @@ impl SmCore {
                         sem.is_acquire(),
                         sem.is_release(),
                         gmem,
+                        sink,
                     )
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
@@ -674,14 +741,14 @@ impl SmCore {
                 let g = self.warps[wi].regs[0][global.0 as usize];
                 let l = self.warps[wi].regs[0][local.0 as usize];
                 let t = DmaTransfer::new(l, g, bytes, DmaDirection::ToScratchpad);
-                mem.start_dma(now, t, gmem).map_err(reject_to_hazard)?;
+                mem.start_dma_traced(now, t, gmem, sink).map_err(reject_to_hazard)?;
                 self.warps[wi].pc += 1;
             }
             Instr::DmaStore { global, local, bytes } => {
                 let g = self.warps[wi].regs[0][global.0 as usize];
                 let l = self.warps[wi].regs[0][local.0 as usize];
                 let t = DmaTransfer::new(l, g, bytes, DmaDirection::ToGlobal);
-                mem.start_dma(now, t, gmem).map_err(reject_to_hazard)?;
+                mem.start_dma_traced(now, t, gmem, sink).map_err(reject_to_hazard)?;
                 self.warps[wi].pc += 1;
             }
             Instr::StashMap { global, local, bytes, writeback } => {

@@ -1,0 +1,739 @@
+//! The concrete event sink: a fixed-capacity ring buffer plus online
+//! derived metrics.
+//!
+//! Everything the buffer will ever need is allocated when it is
+//! constructed; recording an event performs no heap allocation, so a
+//! configured buffer preserves the simulator's allocation-free cycle loop
+//! (`tests/alloc_free.rs` runs with the counters level enabled to enforce
+//! this).
+
+use crate::event::{TraceEvent, EVENT_KINDS};
+use crate::profile::{Subsystem, SubsystemProfile};
+use crate::{TraceLevel, TraceSink};
+use gsi_core::{MemDataCause, RequestId, StallKind};
+
+/// Log2 latency-histogram buckets: bucket `b` counts fills whose
+/// issue-to-fill latency lies in `[2^b, 2^(b+1))` cycles (bucket 0 also
+/// holds zero-latency fills).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Number of memory service points (the rows of the latency histogram).
+pub const SERVICE_POINTS: usize = 5;
+
+const SLOT_EMPTY: u64 = u64::MAX;
+const SLOT_PROBES: usize = 16;
+const LINE_MASK: u64 = (1 << 56) - 1;
+const GLYPH_EMPTY: u8 = u8::MAX;
+
+/// Sizing and verbosity of a [`TraceBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Verbosity level.
+    pub level: TraceLevel,
+    /// Mesh nodes (the link heatmap holds `nodes * 4` links).
+    pub nodes: usize,
+    /// SMs in the system.
+    pub sms: usize,
+    /// Maximum resident warps per SM (sizes the per-warp timelines).
+    pub max_warps: usize,
+    /// Event ring capacity (full level only).
+    pub event_capacity: usize,
+    /// Open-addressed request-lifetime slots.
+    pub lifetime_slots: usize,
+    /// Completed request-lifetime ring capacity (full level only).
+    pub completed_capacity: usize,
+    /// Cycles per per-warp timeline slot.
+    pub timeline_window: u64,
+    /// Timeline slots retained per warp.
+    pub timeline_slots: usize,
+    /// Cycles per self-profiling snapshot window.
+    pub profile_window: u64,
+    /// Self-profiling windows retained.
+    pub profile_windows: usize,
+}
+
+impl TraceConfig {
+    /// A configuration recording nothing and allocating nothing.
+    pub fn off() -> Self {
+        TraceConfig {
+            level: TraceLevel::Off,
+            nodes: 0,
+            sms: 0,
+            max_warps: 0,
+            event_capacity: 0,
+            lifetime_slots: 0,
+            completed_capacity: 0,
+            timeline_window: 1,
+            timeline_slots: 0,
+            profile_window: 0,
+            profile_windows: 0,
+        }
+    }
+
+    /// Default sizing for a system with `nodes` mesh nodes, `sms` SMs, and
+    /// up to `max_warps` warps per SM.
+    pub fn for_system(level: TraceLevel, nodes: usize, sms: usize, max_warps: usize) -> Self {
+        if level == TraceLevel::Off {
+            return TraceConfig::off();
+        }
+        TraceConfig {
+            level,
+            nodes,
+            sms,
+            max_warps,
+            event_capacity: if level == TraceLevel::Full { 1 << 16 } else { 0 },
+            lifetime_slots: 4096,
+            completed_capacity: if level == TraceLevel::Full { 4096 } else { 0 },
+            timeline_window: 512,
+            timeline_slots: 192,
+            profile_window: 4096,
+            profile_windows: 64,
+        }
+    }
+}
+
+/// One request lifetime being tracked, keyed by `(core, line)` — L2-bank
+/// messages carry no request id, so service points identify the in-flight
+/// fetch by the requesting core and the line address.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// `core << 56 | line`, or [`SLOT_EMPTY`] when free.
+    key: u64,
+    req: u64,
+    issue: u64,
+    mshr: u64,
+    service: u64,
+    point: u8,
+}
+
+const SLOT_FREE: Slot =
+    Slot { key: SLOT_EMPTY, req: 0, issue: 0, mshr: 0, service: u64::MAX, point: u8::MAX };
+
+/// A fully traced request lifetime: issue → MSHR → service point → fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedReq {
+    /// The request id.
+    pub req: RequestId,
+    /// Issuing SM.
+    pub sm: u8,
+    /// Line address fetched.
+    pub line: u64,
+    /// Where the hierarchy serviced it.
+    pub point: MemDataCause,
+    /// Cycle the request left the LSU.
+    pub issue_cycle: u64,
+    /// Cycle the MSHR entry was allocated.
+    pub mshr_cycle: u64,
+    /// Cycle the service point produced the data.
+    pub service_cycle: u64,
+    /// Cycle the fill closed the request at the core.
+    pub fill_cycle: u64,
+}
+
+impl CompletedReq {
+    /// Cycles from issue to MSHR allocation.
+    pub fn mshr_wait(&self) -> u64 {
+        self.mshr_cycle - self.issue_cycle
+    }
+
+    /// Cycles from MSHR allocation to the service point.
+    pub fn service_wait(&self) -> u64 {
+        self.service_cycle - self.mshr_cycle
+    }
+
+    /// Cycles from the service point to the fill.
+    pub fn fill_wait(&self) -> u64 {
+        self.fill_cycle - self.service_cycle
+    }
+
+    /// End-to-end latency (the per-stage waits sum to this by
+    /// construction).
+    pub fn total_latency(&self) -> u64 {
+        self.fill_cycle - self.issue_cycle
+    }
+}
+
+/// The ring-buffer sink with online derived metrics (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    cfg: TraceConfig,
+    // Event ring (full level).
+    events: Vec<TraceEvent>,
+    head: usize,
+    dropped: u64,
+    // Per-kind counters.
+    counts: [u64; EVENT_KINDS],
+    // Latency histograms: [service point][log2 bucket].
+    latency_hist: [[u64; HIST_BUCKETS]; SERVICE_POINTS],
+    // Per-link utilization: nodes * 4 entries, indexed `node * 4 + dir`.
+    links_busy: Vec<u64>,
+    links_queued: Vec<u64>,
+    // Request-lifetime slots (open addressing, fixed probes).
+    slots: Vec<Slot>,
+    slot_drops: u64,
+    // Completed lifetimes ring (full level).
+    completed: Vec<CompletedReq>,
+    completed_head: usize,
+    // Per-warp stall timelines (full level).
+    tl_counts: Vec<[u32; 8]>,
+    tl_slot: Vec<u32>,
+    tl_glyphs: Vec<u8>,
+    // Self-profiling.
+    profile: SubsystemProfile,
+    self_profile: bool,
+}
+
+impl TraceBuffer {
+    /// Build a buffer, pre-allocating every structure `cfg` asks for.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let warps = cfg.sms * cfg.max_warps;
+        let timelines = if cfg.level == TraceLevel::Full { warps } else { 0 };
+        TraceBuffer {
+            events: Vec::with_capacity(cfg.event_capacity),
+            head: 0,
+            dropped: 0,
+            counts: [0; EVENT_KINDS],
+            latency_hist: [[0; HIST_BUCKETS]; SERVICE_POINTS],
+            links_busy: vec![0; cfg.nodes * 4],
+            links_queued: vec![0; cfg.nodes * 4],
+            slots: vec![SLOT_FREE; cfg.lifetime_slots],
+            slot_drops: 0,
+            completed: Vec::with_capacity(cfg.completed_capacity),
+            completed_head: 0,
+            tl_counts: vec![[0; 8]; timelines],
+            tl_slot: vec![0; timelines],
+            tl_glyphs: vec![GLYPH_EMPTY; timelines * cfg.timeline_slots],
+            profile: SubsystemProfile::new(cfg.profile_window, cfg.profile_windows),
+            self_profile: false,
+            cfg,
+        }
+    }
+
+    /// A buffer recording nothing (the default sink of a fresh simulator).
+    pub fn disabled() -> Self {
+        TraceBuffer::new(TraceConfig::off())
+    }
+
+    /// The configured verbosity.
+    pub fn level(&self) -> TraceLevel {
+        self.cfg.level
+    }
+
+    /// The configuration the buffer was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Enable or disable wall-time self-profiling laps.
+    pub fn set_self_profiling(&mut self, on: bool) {
+        self.self_profile = on;
+    }
+
+    /// Whether the run loop should measure subsystem laps.
+    #[inline]
+    pub fn self_profiling(&self) -> bool {
+        self.self_profile
+    }
+
+    /// Record a measured subsystem lap (no-op unless self-profiling is on).
+    #[inline]
+    pub fn profile_add(&mut self, sub: Subsystem, nanos: u64) {
+        self.profile.add(sub, nanos);
+    }
+
+    /// Mark the end of a simulated cycle for the self-profiler.
+    #[inline]
+    pub fn profile_end_cycle(&mut self) {
+        self.profile.end_cycle();
+    }
+
+    /// The accumulated self-profile.
+    pub fn profile(&self) -> &SubsystemProfile {
+        &self.profile
+    }
+
+    /// Per-kind event counts, indexed like
+    /// [`EVENT_KIND_NAMES`](crate::EVENT_KIND_NAMES).
+    pub fn counts(&self) -> &[u64; EVENT_KINDS] {
+        &self.counts
+    }
+
+    /// The count of one event kind by name; 0 for unknown names.
+    pub fn count(&self, kind_name: &str) -> u64 {
+        crate::EVENT_KIND_NAMES.iter().position(|&n| n == kind_name).map_or(0, |i| self.counts[i])
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Request lifetimes that could not be tracked (slot table contention).
+    pub fn dropped_lifetimes(&self) -> u64 {
+        self.slot_drops
+    }
+
+    /// The latency histogram (log2 buckets) for one service point.
+    pub fn latency_histogram(&self, point: MemDataCause) -> &[u64; HIST_BUCKETS] {
+        &self.latency_hist[point.index()]
+    }
+
+    /// Per-link busy cycles (serialization), indexed `node * 4 + dir`.
+    pub fn link_busy(&self) -> &[u64] {
+        &self.links_busy
+    }
+
+    /// Per-link queued cycles (congestion), indexed `node * 4 + dir`.
+    pub fn link_queued(&self) -> &[u64] {
+        &self.links_queued
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let n = self.events.len();
+        let head = self.head;
+        (0..n).map(move |i| &self.events[(head + i) % n])
+    }
+
+    /// Completed request lifetimes, oldest first.
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedReq> {
+        let n = self.completed.len();
+        let head = self.completed_head;
+        (0..n).map(move |i| &self.completed[(head + i) % n])
+    }
+
+    /// The dominant stall kind per timeline slot for one warp (`None` when
+    /// the warp never stalled in that window). Index `slot` ranges over
+    /// `config().timeline_slots`.
+    pub fn timeline_glyph(&self, sm: usize, warp: usize, slot: usize) -> Option<StallKind> {
+        let wi = sm * self.cfg.max_warps + warp;
+        if wi >= self.tl_slot.len() || slot >= self.cfg.timeline_slots {
+            return None;
+        }
+        // The current (unfinalized) slot is derived from the live counts.
+        if slot as u32 == self.tl_slot[wi] {
+            if let Some(k) = argmax_kind(&self.tl_counts[wi]) {
+                return Some(k);
+            }
+        }
+        let g = self.tl_glyphs[wi * self.cfg.timeline_slots + slot];
+        if g == GLYPH_EMPTY {
+            None
+        } else {
+            Some(StallKind::ALL[g as usize])
+        }
+    }
+
+    /// Clear all recorded state, keeping every allocation and the
+    /// configuration (for reuse across kernels).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+        self.counts = [0; EVENT_KINDS];
+        self.latency_hist = [[0; HIST_BUCKETS]; SERVICE_POINTS];
+        self.links_busy.iter_mut().for_each(|v| *v = 0);
+        self.links_queued.iter_mut().for_each(|v| *v = 0);
+        self.slots.iter_mut().for_each(|s| *s = SLOT_FREE);
+        self.slot_drops = 0;
+        self.completed.clear();
+        self.completed_head = 0;
+        self.tl_counts.iter_mut().for_each(|c| *c = [0; 8]);
+        self.tl_slot.iter_mut().for_each(|s| *s = 0);
+        self.tl_glyphs.iter_mut().for_each(|g| *g = GLYPH_EMPTY);
+        self.profile = SubsystemProfile::new(self.cfg.profile_window, self.cfg.profile_windows);
+    }
+
+    // ---- internal recording machinery ----
+
+    fn push_event(&mut self, ev: TraceEvent) {
+        if self.events.capacity() == 0 {
+            return;
+        }
+        if self.events.len() < self.events.capacity() {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.events.len();
+            self.dropped += 1;
+        }
+    }
+
+    fn push_completed(&mut self, c: CompletedReq) {
+        if self.completed.capacity() == 0 {
+            return;
+        }
+        if self.completed.len() < self.completed.capacity() {
+            self.completed.push(c);
+        } else {
+            self.completed[self.completed_head] = c;
+            self.completed_head = (self.completed_head + 1) % self.completed.len();
+        }
+    }
+
+    fn slot_index(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let n = self.slots.len();
+        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+        (0..SLOT_PROBES.min(n)).map(|i| (h + i) % n).find(|&idx| self.slots[idx].key == key)
+    }
+
+    fn slot_open(&mut self, core: u8, line: u64, req: u64, cycle: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let key = slot_key(core, line);
+        let n = self.slots.len();
+        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+        for i in 0..SLOT_PROBES.min(n) {
+            let idx = (h + i) % n;
+            let s = &mut self.slots[idx];
+            if s.key == SLOT_EMPTY || s.key == key {
+                *s =
+                    Slot { key, req, issue: cycle, mshr: cycle, service: u64::MAX, point: u8::MAX };
+                return;
+            }
+        }
+        self.slot_drops += 1;
+    }
+
+    fn slot_set_mshr(&mut self, core: u8, line: u64, cycle: u64) {
+        if let Some(idx) = self.slot_index(slot_key(core, line)) {
+            self.slots[idx].mshr = cycle;
+        }
+    }
+
+    fn slot_set_service(&mut self, core: u8, line: u64, cycle: u64, point: MemDataCause) {
+        if let Some(idx) = self.slot_index(slot_key(core, line)) {
+            let s = &mut self.slots[idx];
+            // First service point wins (a merged DRAM fetch services every
+            // waiter at once; later forwards describe other requests).
+            if s.service == u64::MAX {
+                s.service = cycle;
+                s.point = point.index() as u8;
+            }
+        }
+    }
+
+    /// Close the slot for `(core, line)` if one is open, booking the
+    /// measured latency; returns whether a slot was found. Only the primary
+    /// (slot-opening) request ever finds one — its fill is delivered before
+    /// any merged waiter's, so merged fills land in the `false` path.
+    fn slot_close(
+        &mut self,
+        core: u8,
+        req: RequestId,
+        line: u64,
+        cycle: u64,
+        point: MemDataCause,
+    ) -> bool {
+        let Some(idx) = self.slot_index(slot_key(core, line)) else {
+            return false;
+        };
+        let s = self.slots[idx];
+        self.slots[idx] = SLOT_FREE;
+        // Requests whose service point never reported (L1 hits, local
+        // completions) collapse the service stage onto the MSHR stage.
+        let service = if s.service == u64::MAX { s.mshr } else { s.service };
+        let latency = cycle.saturating_sub(s.issue);
+        if self.cfg.level == TraceLevel::Full {
+            self.push_completed(CompletedReq {
+                req: RequestId(s.req),
+                sm: core,
+                line,
+                point,
+                issue_cycle: s.issue,
+                mshr_cycle: s.mshr,
+                service_cycle: service.clamp(s.mshr, cycle),
+                fill_cycle: cycle,
+            });
+        }
+        let _ = req;
+        self.latency_hist[point.index()][log2_bucket(latency)] += 1;
+        true
+    }
+
+    /// Record a fill whose latency is already known at the call site (L1
+    /// hits and coalesced fills complete locally without a tracked slot).
+    fn direct_latency(&mut self, point: MemDataCause, latency: u64) {
+        self.latency_hist[point.index()][log2_bucket(latency)] += 1;
+    }
+
+    fn timeline_mark(&mut self, sm: u8, warp: u16, cycle: u64, kind: StallKind) {
+        if self.tl_counts.is_empty() || (warp as usize) >= self.cfg.max_warps {
+            return;
+        }
+        let wi = sm as usize * self.cfg.max_warps + warp as usize;
+        if wi >= self.tl_counts.len() {
+            return;
+        }
+        let slot =
+            ((cycle / self.cfg.timeline_window).min(self.cfg.timeline_slots as u64 - 1)) as u32;
+        if slot != self.tl_slot[wi] {
+            // Finalize the previous slot's dominant kind.
+            if let Some(k) = argmax_kind(&self.tl_counts[wi]) {
+                let prev = self.tl_slot[wi] as usize;
+                self.tl_glyphs[wi * self.cfg.timeline_slots + prev] = k.index() as u8;
+            }
+            self.tl_counts[wi] = [0; 8];
+            self.tl_slot[wi] = slot;
+        }
+        self.tl_counts[wi][kind.index()] += 1;
+    }
+}
+
+fn slot_key(core: u8, line: u64) -> u64 {
+    ((core as u64) << 56) | (line & LINE_MASK)
+}
+
+fn log2_bucket(latency: u64) -> usize {
+    if latency == 0 {
+        0
+    } else {
+        (63 - latency.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+fn argmax_kind(counts: &[u32; 8]) -> Option<StallKind> {
+    let (mut best, mut best_count) = (0, 0u32);
+    for (i, &c) in counts.iter().enumerate() {
+        if c > best_count {
+            best = i;
+            best_count = c;
+        }
+    }
+    if best_count == 0 {
+        None
+    } else {
+        Some(StallKind::ALL[best])
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    #[inline]
+    fn counters_on(&self) -> bool {
+        self.cfg.level >= TraceLevel::Counters
+    }
+
+    #[inline]
+    fn events_on(&self) -> bool {
+        self.cfg.level == TraceLevel::Full
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.cfg.level == TraceLevel::Off {
+            return;
+        }
+        self.counts[ev.kind_index()] += 1;
+        match ev {
+            TraceEvent::ReqIssue { cycle, sm, req, line, merged: false } => {
+                self.slot_open(sm, line, req.0, cycle);
+            }
+            TraceEvent::ReqMshr { cycle, sm, line, primary: true } => {
+                self.slot_set_mshr(sm, line, cycle);
+            }
+            TraceEvent::ReqService { cycle, core, line, point } => {
+                self.slot_set_service(core, line, cycle, point);
+            }
+            TraceEvent::ReqFill { cycle, sm, req, line, point } => {
+                let closed = self.slot_close(sm, req, line, cycle, point);
+                if !closed && (point == MemDataCause::L1 || point == MemDataCause::L1Coalescing) {
+                    // A merged waiter's fill: its wait is covered by the
+                    // primary's slot, so book it at zero extra latency.
+                    self.direct_latency(point, 0);
+                }
+            }
+            TraceEvent::MeshHop { node, dir, queued, busy, .. } => {
+                let li = node as usize * 4 + dir as usize;
+                if li < self.links_busy.len() {
+                    self.links_busy[li] += busy as u64;
+                    self.links_queued[li] += queued as u64;
+                }
+            }
+            TraceEvent::WarpStall { cycle, sm, warp, kind } => {
+                self.timeline_mark(sm, warp, cycle, kind);
+            }
+            _ => {}
+        }
+        if self.cfg.level == TraceLevel::Full {
+            self.push_event(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_buffer() -> TraceBuffer {
+        TraceBuffer::new(TraceConfig::for_system(TraceLevel::Full, 16, 4, 8))
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut b = TraceBuffer::disabled();
+        assert!(!b.counters_on());
+        assert!(!b.events_on());
+        b.record(TraceEvent::MeshDeliver { cycle: 1, node: 0 });
+        assert_eq!(b.counts().iter().sum::<u64>(), 0);
+        assert_eq!(b.events().count(), 0);
+    }
+
+    #[test]
+    fn counters_level_counts_without_ring() {
+        let mut b = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Counters, 16, 4, 8));
+        assert!(b.counters_on());
+        assert!(!b.events_on());
+        b.record(TraceEvent::MeshDeliver { cycle: 1, node: 0 });
+        b.record(TraceEvent::MeshDeliver { cycle: 2, node: 1 });
+        assert_eq!(b.count("mesh_deliver"), 2);
+        assert_eq!(b.events().count(), 0, "no ring at counters level");
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let mut cfg = TraceConfig::for_system(TraceLevel::Full, 1, 1, 1);
+        cfg.event_capacity = 4;
+        let mut b = TraceBuffer::new(cfg);
+        for c in 0..10 {
+            b.record(TraceEvent::MeshDeliver { cycle: c, node: 0 });
+        }
+        let cycles: Vec<u64> = b.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+        assert_eq!(b.dropped_events(), 6);
+        assert_eq!(b.count("mesh_deliver"), 10, "counters see every event");
+    }
+
+    #[test]
+    fn request_lifetime_tracks_stages() {
+        let mut b = full_buffer();
+        let req = RequestId(42);
+        b.record(TraceEvent::ReqIssue { cycle: 100, sm: 2, req, line: 7, merged: false });
+        b.record(TraceEvent::ReqMshr { cycle: 100, sm: 2, line: 7, primary: true });
+        b.record(TraceEvent::ReqService {
+            cycle: 160,
+            core: 2,
+            line: 7,
+            point: MemDataCause::MainMemory,
+        });
+        b.record(TraceEvent::ReqFill {
+            cycle: 190,
+            sm: 2,
+            req,
+            line: 7,
+            point: MemDataCause::MainMemory,
+        });
+        let done: Vec<_> = b.completed().copied().collect();
+        assert_eq!(done.len(), 1);
+        let c = done[0];
+        assert_eq!(c.req, req);
+        assert_eq!(c.total_latency(), 90);
+        assert_eq!(c.mshr_wait() + c.service_wait() + c.fill_wait(), c.total_latency());
+        assert_eq!(c.service_wait(), 60);
+        assert_eq!(c.fill_wait(), 30);
+        // The histogram booked the 90-cycle fill into bucket log2(90) = 6.
+        assert_eq!(b.latency_histogram(MemDataCause::MainMemory)[6], 1);
+    }
+
+    #[test]
+    fn primary_fill_closes_the_slot_and_merged_fills_book_directly() {
+        let mut b = full_buffer();
+        b.record(TraceEvent::ReqIssue {
+            cycle: 10,
+            sm: 0,
+            req: RequestId(1),
+            line: 3,
+            merged: false,
+        });
+        b.record(TraceEvent::ReqIssue {
+            cycle: 11,
+            sm: 0,
+            req: RequestId(2),
+            line: 3,
+            merged: true,
+        });
+        // The primary's fill is delivered first and closes the slot.
+        b.record(TraceEvent::ReqFill {
+            cycle: 50,
+            sm: 0,
+            req: RequestId(1),
+            line: 3,
+            point: MemDataCause::L2,
+        });
+        assert_eq!(b.completed().count(), 1);
+        // The merged waiter's fill finds no slot and books directly.
+        b.record(TraceEvent::ReqFill {
+            cycle: 50,
+            sm: 0,
+            req: RequestId(2),
+            line: 3,
+            point: MemDataCause::L1Coalescing,
+        });
+        assert_eq!(b.completed().count(), 1, "merged fill opens no lifetime");
+        assert_eq!(b.latency_histogram(MemDataCause::L1Coalescing)[0], 1);
+        // 40-cycle primary latency lands in bucket 5.
+        assert_eq!(b.latency_histogram(MemDataCause::L2)[5], 1);
+    }
+
+    #[test]
+    fn l1_hit_lifetime_closes_with_hit_latency() {
+        let mut b = full_buffer();
+        let req = RequestId(7);
+        b.record(TraceEvent::ReqIssue { cycle: 20, sm: 1, req, line: 9, merged: false });
+        b.record(TraceEvent::ReqFill { cycle: 24, sm: 1, req, line: 9, point: MemDataCause::L1 });
+        let done: Vec<_> = b.completed().copied().collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].total_latency(), 4);
+        // 4-cycle latency lands in bucket 2.
+        assert_eq!(b.latency_histogram(MemDataCause::L1)[2], 1);
+    }
+
+    #[test]
+    fn mesh_hops_accumulate_the_link_heatmap() {
+        let mut b = full_buffer();
+        b.record(TraceEvent::MeshHop { cycle: 5, node: 3, dir: 0, queued: 2, busy: 4 });
+        b.record(TraceEvent::MeshHop { cycle: 9, node: 3, dir: 0, queued: 1, busy: 4 });
+        assert_eq!(b.link_busy()[3 * 4], 8);
+        assert_eq!(b.link_queued()[3 * 4], 3);
+    }
+
+    #[test]
+    fn warp_timeline_tracks_dominant_kind() {
+        let mut cfg = TraceConfig::for_system(TraceLevel::Full, 1, 2, 4);
+        cfg.timeline_window = 10;
+        cfg.timeline_slots = 8;
+        let mut b = TraceBuffer::new(cfg);
+        for c in 0..10 {
+            let kind = if c < 7 { StallKind::MemoryData } else { StallKind::Control };
+            b.record(TraceEvent::WarpStall { cycle: c, sm: 1, warp: 2, kind });
+        }
+        b.record(TraceEvent::WarpStall { cycle: 15, sm: 1, warp: 2, kind: StallKind::Idle });
+        assert_eq!(b.timeline_glyph(1, 2, 0), Some(StallKind::MemoryData));
+        assert_eq!(b.timeline_glyph(1, 2, 1), Some(StallKind::Idle), "live slot");
+        assert_eq!(b.timeline_glyph(1, 2, 2), None);
+        assert_eq!(b.timeline_glyph(0, 0, 0), None, "untouched warp");
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_capacity() {
+        let mut b = full_buffer();
+        b.record(TraceEvent::MeshDeliver { cycle: 1, node: 0 });
+        let cap = b.events.capacity();
+        b.reset();
+        assert_eq!(b.events().count(), 0);
+        assert_eq!(b.counts().iter().sum::<u64>(), 0);
+        assert_eq!(b.events.capacity(), cap);
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(1024), 10);
+        assert_eq!(log2_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+}

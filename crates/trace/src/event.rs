@@ -1,0 +1,482 @@
+//! The typed event vocabulary of the tracing layer.
+//!
+//! Every event is a small `Copy` value stamped with the simulated cycle it
+//! describes, so recording one into the ring buffer is a branch and a
+//! couple of word moves — no heap traffic on the hot path.
+
+use gsi_core::{MemDataCause, MemStructCause, RequestId, StallKind};
+use gsi_json::Value;
+
+/// Mesh link directions, matching the order used by the mesh's per-link
+/// reservation table (`node * 4 + dir`).
+pub const DIR_NAMES: [&str; 4] = ["E", "W", "N", "S"];
+
+/// One traced occurrence inside the simulator.
+///
+/// Node and line identifiers are raw integers rather than the `NodeId` /
+/// `LineAddr` newtypes so this crate sits below `gsi-noc` and `gsi-mem` in
+/// the dependency graph (both instrument themselves with these events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The issue stage's Algorithm-2 verdict for one SM-cycle.
+    IssueVerdict {
+        /// Cycle judged.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// The cycle's classification.
+        kind: StallKind,
+        /// Instructions issued this cycle.
+        issued: u8,
+    },
+    /// One warp's Algorithm-1 classification when it was considered and did
+    /// not issue (the per-warp stall timeline feed).
+    WarpStall {
+        /// Cycle considered.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Warp index within the SM.
+        warp: u16,
+        /// Why the warp's next instruction could not issue.
+        kind: StallKind,
+    },
+    /// The LSU refused an otherwise-issuable memory instruction.
+    LsuReject {
+        /// Cycle of the rejection.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Warp whose instruction was rejected.
+        warp: u16,
+        /// Structural cause of the rejection.
+        cause: MemStructCause,
+    },
+    /// A memory request left the LSU (start of its lifetime).
+    ReqIssue {
+        /// Issue cycle.
+        cycle: u64,
+        /// Issuing SM.
+        sm: u8,
+        /// The request id.
+        req: RequestId,
+        /// Line address being fetched.
+        line: u64,
+        /// True when this request merged into an existing MSHR entry.
+        merged: bool,
+    },
+    /// A request allocated (or merged into) an MSHR entry.
+    ReqMshr {
+        /// Allocation cycle.
+        cycle: u64,
+        /// Owning SM.
+        sm: u8,
+        /// Line address of the entry.
+        line: u64,
+        /// True for the primary (line-fetching) allocation.
+        primary: bool,
+    },
+    /// A request reached the point in the hierarchy that serviced it.
+    ReqService {
+        /// Service cycle.
+        cycle: u64,
+        /// The requesting core the fill will return to.
+        core: u8,
+        /// Line address serviced.
+        line: u64,
+        /// Where the data came from.
+        point: MemDataCause,
+    },
+    /// A fill closed out a request at the issuing core (end of lifetime).
+    ReqFill {
+        /// Fill cycle.
+        cycle: u64,
+        /// SM that issued the request.
+        sm: u8,
+        /// The request id.
+        req: RequestId,
+        /// Line address filled.
+        line: u64,
+        /// Service point reported by the fill.
+        point: MemDataCause,
+    },
+    /// An atomic operation was sent to its L2 bank.
+    AtomicIssue {
+        /// Issue cycle.
+        cycle: u64,
+        /// Issuing SM.
+        sm: u8,
+        /// The request id.
+        req: RequestId,
+    },
+    /// An atomic response arrived back at the core.
+    AtomicDone {
+        /// Completion cycle.
+        cycle: u64,
+        /// SM that issued the atomic.
+        sm: u8,
+        /// The request id.
+        req: RequestId,
+    },
+    /// A message was injected into the mesh (enqueue).
+    MeshSend {
+        /// Injection cycle.
+        cycle: u64,
+        /// Source node.
+        src: u8,
+        /// Destination node.
+        dst: u8,
+        /// Payload bytes.
+        bytes: u32,
+        /// Cycle the mesh will deliver it.
+        deliver_at: u64,
+    },
+    /// One hop of a message over a mesh link.
+    MeshHop {
+        /// Cycle the message departed over the link.
+        cycle: u64,
+        /// Node the link leaves from.
+        node: u8,
+        /// Link direction (index into [`DIR_NAMES`]).
+        dir: u8,
+        /// Cycles spent queued behind earlier traffic on this link.
+        queued: u32,
+        /// Serialization cycles the link is busy with this message.
+        busy: u32,
+    },
+    /// The mesh delivered a message to its destination (dequeue).
+    MeshDeliver {
+        /// Delivery cycle.
+        cycle: u64,
+        /// Destination node.
+        node: u8,
+    },
+    /// The store buffer accepted a store.
+    StoreRecord {
+        /// Cycle of the store.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Line written.
+        line: u64,
+        /// True when the store combined into an existing entry.
+        combined: bool,
+    },
+    /// A store-buffer entry was drained toward the hierarchy.
+    StoreFlush {
+        /// Cycle the entry drained.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Line flushed.
+        line: u64,
+    },
+    /// A bulk DMA transfer was queued.
+    DmaStart {
+        /// Start cycle.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Global lines the transfer covers.
+        lines: u64,
+        /// Direction: true = global → scratchpad.
+        to_scratchpad: bool,
+    },
+    /// One line of a DMA transfer was issued to, or arrived from, memory.
+    DmaLine {
+        /// Cycle of the step.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Global line.
+        line: u64,
+        /// False when issued, true when the fetched line arrived.
+        arrived: bool,
+    },
+    /// A stash access, split into locally valid words and missing lines.
+    StashAccess {
+        /// Access cycle.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// Lanes satisfied from the stash.
+        hit_words: u8,
+        /// Global lines that had to be fetched.
+        miss_lines: u8,
+    },
+    /// A scratchpad access (always a hit; DMA blocking is a reject).
+    ScratchAccess {
+        /// Access cycle.
+        cycle: u64,
+        /// SM index.
+        sm: u8,
+        /// True for a store.
+        store: bool,
+    },
+}
+
+/// Number of distinct event kinds (the width of the per-kind counters).
+pub const EVENT_KINDS: usize = 18;
+
+/// Short names of each event kind, indexed by [`TraceEvent::kind_index`].
+pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
+    "issue_verdict",
+    "warp_stall",
+    "lsu_reject",
+    "req_issue",
+    "req_mshr",
+    "req_service",
+    "req_fill",
+    "atomic_issue",
+    "atomic_done",
+    "mesh_send",
+    "mesh_hop",
+    "mesh_deliver",
+    "store_record",
+    "store_flush",
+    "dma_start",
+    "dma_line",
+    "stash_access",
+    "scratch_access",
+];
+
+impl TraceEvent {
+    /// The cycle stamped on the event.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::IssueVerdict { cycle, .. }
+            | TraceEvent::WarpStall { cycle, .. }
+            | TraceEvent::LsuReject { cycle, .. }
+            | TraceEvent::ReqIssue { cycle, .. }
+            | TraceEvent::ReqMshr { cycle, .. }
+            | TraceEvent::ReqService { cycle, .. }
+            | TraceEvent::ReqFill { cycle, .. }
+            | TraceEvent::AtomicIssue { cycle, .. }
+            | TraceEvent::AtomicDone { cycle, .. }
+            | TraceEvent::MeshSend { cycle, .. }
+            | TraceEvent::MeshHop { cycle, .. }
+            | TraceEvent::MeshDeliver { cycle, .. }
+            | TraceEvent::StoreRecord { cycle, .. }
+            | TraceEvent::StoreFlush { cycle, .. }
+            | TraceEvent::DmaStart { cycle, .. }
+            | TraceEvent::DmaLine { cycle, .. }
+            | TraceEvent::StashAccess { cycle, .. }
+            | TraceEvent::ScratchAccess { cycle, .. } => cycle,
+        }
+    }
+
+    /// Dense index of the event's kind, for per-kind counters.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::IssueVerdict { .. } => 0,
+            TraceEvent::WarpStall { .. } => 1,
+            TraceEvent::LsuReject { .. } => 2,
+            TraceEvent::ReqIssue { .. } => 3,
+            TraceEvent::ReqMshr { .. } => 4,
+            TraceEvent::ReqService { .. } => 5,
+            TraceEvent::ReqFill { .. } => 6,
+            TraceEvent::AtomicIssue { .. } => 7,
+            TraceEvent::AtomicDone { .. } => 8,
+            TraceEvent::MeshSend { .. } => 9,
+            TraceEvent::MeshHop { .. } => 10,
+            TraceEvent::MeshDeliver { .. } => 11,
+            TraceEvent::StoreRecord { .. } => 12,
+            TraceEvent::StoreFlush { .. } => 13,
+            TraceEvent::DmaStart { .. } => 14,
+            TraceEvent::DmaLine { .. } => 15,
+            TraceEvent::StashAccess { .. } => 16,
+            TraceEvent::ScratchAccess { .. } => 17,
+        }
+    }
+
+    /// The kind's short name (see [`EVENT_KIND_NAMES`]).
+    pub fn kind_name(&self) -> &'static str {
+        EVENT_KIND_NAMES[self.kind_index()]
+    }
+
+    /// The event as a JSON object (the JSONL export row).
+    pub fn to_json(&self) -> Value {
+        use gsi_json::obj;
+        match *self {
+            TraceEvent::IssueVerdict { cycle, sm, kind, issued } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "kind" => kind.short(),
+                "issued" => issued as u64,
+            },
+            TraceEvent::WarpStall { cycle, sm, warp, kind } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "warp" => warp as u64,
+                "kind" => kind.short(),
+            },
+            TraceEvent::LsuReject { cycle, sm, warp, cause } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "warp" => warp as u64,
+                "cause" => cause.short(),
+            },
+            TraceEvent::ReqIssue { cycle, sm, req, line, merged } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "req" => req.0,
+                "line" => line,
+                "merged" => merged,
+            },
+            TraceEvent::ReqMshr { cycle, sm, line, primary } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "line" => line,
+                "primary" => primary,
+            },
+            TraceEvent::ReqService { cycle, core, line, point } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "core" => core as u64,
+                "line" => line,
+                "point" => point.short(),
+            },
+            TraceEvent::ReqFill { cycle, sm, req, line, point } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "req" => req.0,
+                "line" => line,
+                "point" => point.short(),
+            },
+            TraceEvent::AtomicIssue { cycle, sm, req } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "req" => req.0,
+            },
+            TraceEvent::AtomicDone { cycle, sm, req } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "req" => req.0,
+            },
+            TraceEvent::MeshSend { cycle, src, dst, bytes, deliver_at } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "src" => src as u64,
+                "dst" => dst as u64,
+                "bytes" => bytes as u64,
+                "deliver_at" => deliver_at,
+            },
+            TraceEvent::MeshHop { cycle, node, dir, queued, busy } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "node" => node as u64,
+                "dir" => DIR_NAMES[dir as usize % 4],
+                "queued" => queued as u64,
+                "busy" => busy as u64,
+            },
+            TraceEvent::MeshDeliver { cycle, node } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "node" => node as u64,
+            },
+            TraceEvent::StoreRecord { cycle, sm, line, combined } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "line" => line,
+                "combined" => combined,
+            },
+            TraceEvent::StoreFlush { cycle, sm, line } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "line" => line,
+            },
+            TraceEvent::DmaStart { cycle, sm, lines, to_scratchpad } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "lines" => lines,
+                "to_scratchpad" => to_scratchpad,
+            },
+            TraceEvent::DmaLine { cycle, sm, line, arrived } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "line" => line,
+                "arrived" => arrived,
+            },
+            TraceEvent::StashAccess { cycle, sm, hit_words, miss_lines } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "hit_words" => hit_words as u64,
+                "miss_lines" => miss_lines as u64,
+            },
+            TraceEvent::ScratchAccess { cycle, sm, store } => obj! {
+                "ev" => self.kind_name(),
+                "cycle" => cycle,
+                "sm" => sm as u64,
+                "store" => store,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        let evs = [
+            TraceEvent::IssueVerdict { cycle: 0, sm: 0, kind: StallKind::Idle, issued: 0 },
+            TraceEvent::WarpStall { cycle: 0, sm: 0, warp: 0, kind: StallKind::Control },
+            TraceEvent::LsuReject { cycle: 0, sm: 0, warp: 0, cause: MemStructCause::MshrFull },
+            TraceEvent::ReqIssue { cycle: 0, sm: 0, req: RequestId(1), line: 2, merged: false },
+            TraceEvent::ReqMshr { cycle: 0, sm: 0, line: 2, primary: true },
+            TraceEvent::ReqService { cycle: 0, core: 0, line: 2, point: MemDataCause::L2 },
+            TraceEvent::ReqFill {
+                cycle: 0,
+                sm: 0,
+                req: RequestId(1),
+                line: 2,
+                point: MemDataCause::L2,
+            },
+            TraceEvent::AtomicIssue { cycle: 0, sm: 0, req: RequestId(1) },
+            TraceEvent::AtomicDone { cycle: 0, sm: 0, req: RequestId(1) },
+            TraceEvent::MeshSend { cycle: 0, src: 0, dst: 1, bytes: 8, deliver_at: 9 },
+            TraceEvent::MeshHop { cycle: 0, node: 0, dir: 0, queued: 0, busy: 1 },
+            TraceEvent::MeshDeliver { cycle: 0, node: 1 },
+            TraceEvent::StoreRecord { cycle: 0, sm: 0, line: 2, combined: false },
+            TraceEvent::StoreFlush { cycle: 0, sm: 0, line: 2 },
+            TraceEvent::DmaStart { cycle: 0, sm: 0, lines: 4, to_scratchpad: true },
+            TraceEvent::DmaLine { cycle: 0, sm: 0, line: 2, arrived: false },
+            TraceEvent::StashAccess { cycle: 0, sm: 0, hit_words: 3, miss_lines: 1 },
+            TraceEvent::ScratchAccess { cycle: 0, sm: 0, store: false },
+        ];
+        assert_eq!(evs.len(), EVENT_KINDS);
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.kind_index(), i, "{ev:?}");
+            assert_eq!(ev.kind_name(), EVENT_KIND_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn events_serialize_with_their_kind_name() {
+        let ev = TraceEvent::ReqFill {
+            cycle: 7,
+            sm: 2,
+            req: RequestId(9),
+            line: 128,
+            point: MemDataCause::MainMemory,
+        };
+        let v = ev.to_json();
+        assert_eq!(v.get("ev").and_then(|x| x.as_str()), Some("req_fill"));
+        assert_eq!(v.get("cycle").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(ev.cycle(), 7);
+    }
+}

@@ -1,0 +1,203 @@
+//! Exporters: Chrome `trace_event` JSON (Perfetto / `chrome://tracing`),
+//! JSONL, and a JSON metrics summary.
+
+use crate::buffer::TraceBuffer;
+use crate::event::{DIR_NAMES, EVENT_KIND_NAMES};
+use gsi_core::MemDataCause;
+use gsi_json::{obj, Value};
+
+impl TraceBuffer {
+    /// The trace in Chrome `trace_event` format, loadable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Completed request lifetimes become `"X"` complete events (one lane
+    /// per SM, `ts` in simulated cycles, per-stage waits in `args`);
+    /// retained ring events become `"i"` instant events on a global lane.
+    pub fn chrome_trace(&self) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        events.push(obj! {
+            "ph" => "M",
+            "pid" => 0u64,
+            "name" => "process_name",
+            "args" => obj! { "name" => "events" },
+        });
+        let mut named: Vec<bool> = vec![false; 256];
+        for c in self.completed() {
+            if !named[c.sm as usize] {
+                named[c.sm as usize] = true;
+                events.push(obj! {
+                    "ph" => "M",
+                    "pid" => (c.sm as u64 + 1),
+                    "name" => "process_name",
+                    "args" => obj! { "name" => format!("sm{}", c.sm) },
+                });
+            }
+            events.push(obj! {
+                "ph" => "X",
+                "pid" => (c.sm as u64 + 1),
+                "tid" => (c.req.0 & 0xffff),
+                "ts" => c.issue_cycle,
+                "dur" => c.total_latency().max(1),
+                "name" => c.point.short(),
+                "cat" => "request",
+                "args" => obj! {
+                    "line" => c.line,
+                    "mshr_wait" => c.mshr_wait(),
+                    "service_wait" => c.service_wait(),
+                    "fill_wait" => c.fill_wait(),
+                },
+            });
+        }
+        for ev in self.events() {
+            events.push(obj! {
+                "ph" => "i",
+                "pid" => 0u64,
+                "tid" => 0u64,
+                "ts" => ev.cycle(),
+                "s" => "t",
+                "name" => ev.kind_name(),
+                "cat" => "event",
+                "args" => ev.to_json(),
+            });
+        }
+        obj! { "traceEvents" => Value::Array(events) }
+    }
+
+    /// The retained ring events as JSON Lines (one compact object per
+    /// line), oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A JSON summary of every derived metric: per-kind counts, latency
+    /// histograms, the link heatmap, lifetime-tracking health, and the
+    /// self-profile.
+    pub fn to_json(&self) -> Value {
+        let counts: Vec<Value> = EVENT_KIND_NAMES
+            .iter()
+            .zip(self.counts().iter())
+            .map(|(&name, &n)| obj! { "kind" => name, "count" => n })
+            .collect();
+        let hists: Vec<Value> = MemDataCause::ALL
+            .iter()
+            .map(|&p| {
+                let h = self.latency_histogram(p);
+                let top = h.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+                obj! {
+                    "point" => p.short(),
+                    "fills" => h.iter().sum::<u64>(),
+                    "log2_buckets" => Value::Array(
+                        h[..top].iter().map(|&b| Value::U64(b)).collect(),
+                    ),
+                }
+            })
+            .collect();
+        let links: Vec<Value> = (0..self.link_busy().len())
+            .filter(|&li| self.link_busy()[li] > 0 || self.link_queued()[li] > 0)
+            .map(|li| {
+                obj! {
+                    "node" => (li / 4) as u64,
+                    "dir" => DIR_NAMES[li % 4],
+                    "busy" => self.link_busy()[li],
+                    "queued" => self.link_queued()[li],
+                }
+            })
+            .collect();
+        obj! {
+            "level" => self.level().name(),
+            "counts" => Value::Array(counts),
+            "dropped_events" => self.dropped_events(),
+            "dropped_lifetimes" => self.dropped_lifetimes(),
+            "completed_lifetimes" => self.completed().count() as u64,
+            "latency_histograms" => Value::Array(hists),
+            "links" => Value::Array(links),
+            "profile" => self.profile().to_json(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::HIST_BUCKETS;
+    use crate::event::TraceEvent;
+    use crate::profile::Subsystem;
+    use crate::{TraceConfig, TraceLevel, TraceSink};
+    use gsi_core::RequestId;
+
+    fn traced_buffer() -> TraceBuffer {
+        let mut b = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Full, 16, 4, 8));
+        let req = RequestId(9);
+        b.record(TraceEvent::ReqIssue { cycle: 10, sm: 1, req, line: 5, merged: false });
+        b.record(TraceEvent::ReqMshr { cycle: 10, sm: 1, line: 5, primary: true });
+        b.record(TraceEvent::ReqService { cycle: 40, core: 1, line: 5, point: MemDataCause::L2 });
+        b.record(TraceEvent::ReqFill { cycle: 55, sm: 1, req, line: 5, point: MemDataCause::L2 });
+        b.record(TraceEvent::MeshHop { cycle: 12, node: 1, dir: 2, queued: 1, busy: 3 });
+        b.profile_add(Subsystem::Cores, 100);
+        b.profile_end_cycle();
+        b
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_and_instant_events() {
+        let b = traced_buffer();
+        let v = b.chrome_trace();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let phase = |e: &Value| e.get("ph").and_then(|p| p.as_str()).unwrap().to_string();
+        let xs: Vec<&Value> = events.iter().filter(|e| phase(e) == "X").collect();
+        assert_eq!(xs.len(), 1);
+        let x = xs[0];
+        assert_eq!(x.get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(x.get("dur").unwrap().as_u64(), Some(45));
+        assert_eq!(x.get("name").unwrap().as_str(), Some("L2"));
+        let args = x.get("args").unwrap();
+        assert_eq!(args.get("service_wait").unwrap().as_u64(), Some(30));
+        assert_eq!(args.get("fill_wait").unwrap().as_u64(), Some(15));
+        assert!(events.iter().any(|e| phase(e) == "i"));
+        assert!(events.iter().any(|e| phase(e) == "M"));
+        // The serialized document round-trips through the parser.
+        let text = v.to_string_pretty();
+        let reparsed = Value::parse(&text).expect("chrome trace is valid JSON");
+        assert_eq!(
+            reparsed.get("traceEvents").and_then(|e| e.as_array()).map(<[Value]>::len),
+            Some(events.len()),
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let b = traced_buffer();
+        let text = b.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), b.events().count());
+        for line in lines {
+            let v = Value::parse(line).expect("each line parses");
+            assert!(v.get("ev").is_some());
+            assert!(v.get("cycle").is_some());
+        }
+    }
+
+    #[test]
+    fn summary_reports_counts_and_histograms() {
+        let b = traced_buffer();
+        let v = b.to_json();
+        assert_eq!(v.get("level").unwrap().as_str(), Some("full"));
+        assert_eq!(v.get("completed_lifetimes").unwrap().as_u64(), Some(1));
+        let hists = v.get("latency_histograms").and_then(|h| h.as_array()).unwrap();
+        let l2 =
+            hists.iter().find(|h| h.get("point").and_then(|p| p.as_str()) == Some("L2")).unwrap();
+        assert_eq!(l2.get("fills").unwrap().as_u64(), Some(1));
+        let buckets = l2.get("log2_buckets").and_then(|x| x.as_array()).unwrap();
+        assert!(buckets.len() <= HIST_BUCKETS);
+        // 45-cycle latency lands in bucket 5.
+        assert_eq!(buckets[5].as_u64(), Some(1));
+        let links = v.get("links").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].get("dir").unwrap().as_str(), Some("N"));
+    }
+}

@@ -1,0 +1,145 @@
+//! # gsi-trace — cycle-level observability for the GSI simulator
+//!
+//! The stall breakdowns of `gsi-core` answer *how many* issue slots each
+//! stall source wasted; this crate answers *which cycles, warps, requests,
+//! and links* produced them. Every simulation layer is instrumented with
+//! typed [`TraceEvent`]s recorded through a [`TraceSink`]:
+//!
+//! * [`NullSink`] — the zero-cost default. Its `enabled` predicates are
+//!   constant `false`, so instrumented code monomorphizes to the exact
+//!   pre-instrumentation hot path.
+//! * [`TraceBuffer`] — a fixed-capacity ring-buffer sink that additionally
+//!   derives metrics online: per-service-point latency histograms (log2
+//!   buckets), a per-link NoC utilization heatmap, per-warp stall
+//!   timelines, request-lifetime tracking (issue → MSHR → service point →
+//!   fill), per-kind event counters, and wall-time self-profiling per
+//!   simulator subsystem. All storage is pre-allocated when the buffer is
+//!   configured, preserving the simulator's allocation-free cycle loop.
+//!
+//! Recorded traces export as Chrome `trace_event` JSON (loadable in
+//! Perfetto / `chrome://tracing`), JSONL, and ASCII timeline/heatmap
+//! renderings.
+//!
+//! ```
+//! use gsi_trace::{TraceBuffer, TraceConfig, TraceEvent, TraceLevel, TraceSink};
+//! let mut buf = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Full, 16, 15, 48));
+//! buf.record(TraceEvent::MeshDeliver { cycle: 3, node: 2 });
+//! assert_eq!(buf.events().count(), 1);
+//! ```
+
+mod buffer;
+mod event;
+mod export;
+mod profile;
+mod render;
+
+pub use buffer::{CompletedReq, TraceBuffer, TraceConfig};
+pub use event::{TraceEvent, DIR_NAMES, EVENT_KINDS, EVENT_KIND_NAMES};
+pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEMS};
+
+/// How much the tracing layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing (the disabled path is a single predictable branch).
+    #[default]
+    Off,
+    /// Derived metrics only: per-kind counters, latency histograms, the
+    /// link heatmap, and request-lifetime stage tracking — no event ring.
+    Counters,
+    /// Everything `Counters` records, plus the typed event ring buffer and
+    /// the per-warp stall timelines.
+    Full,
+}
+
+impl TraceLevel {
+    /// All levels, in increasing verbosity.
+    pub const ALL: [TraceLevel; 3] = [TraceLevel::Off, TraceLevel::Counters, TraceLevel::Full];
+
+    /// The level's lowercase name (`off` / `counters` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Counters => "counters",
+            TraceLevel::Full => "full",
+        }
+    }
+
+    /// Parse a level name as produced by [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" => Some(TraceLevel::Off),
+            "counters" => Some(TraceLevel::Counters),
+            "full" => Some(TraceLevel::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The recording interface instrumentation points write to.
+///
+/// Call sites guard event construction on the two predicates:
+///
+/// ```ignore
+/// if sink.counters_on() {
+///     sink.record(TraceEvent::MeshDeliver { cycle, node });
+/// }
+/// ```
+///
+/// `counters_on` gates ordinary events; `events_on` additionally gates the
+/// highest-frequency feeds (per-warp, per-cycle) that only the full level
+/// consumes. For [`NullSink`] both predicates are constant `false`, so the
+/// guarded block — including event construction — compiles away entirely.
+pub trait TraceSink {
+    /// True when the sink wants any events at all (level ≥ counters).
+    #[inline]
+    fn counters_on(&self) -> bool {
+        false
+    }
+
+    /// True when the sink wants the high-frequency event feeds too
+    /// (level = full).
+    #[inline]
+    fn events_on(&self) -> bool {
+        false
+    }
+
+    /// Record one event. Only called under one of the predicates above.
+    #[inline]
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// The no-op sink: recording through it costs nothing and the disabled
+/// instrumentation path is branch-free after inlining.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_roundtrip() {
+        assert!(TraceLevel::Off < TraceLevel::Counters);
+        assert!(TraceLevel::Counters < TraceLevel::Full);
+        for l in TraceLevel::ALL {
+            assert_eq!(TraceLevel::parse(l.name()), Some(l));
+            assert_eq!(format!("{l}"), l.name());
+        }
+        assert_eq!(TraceLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn null_sink_is_off() {
+        let s = NullSink;
+        assert!(!s.counters_on());
+        assert!(!s.events_on());
+    }
+}

@@ -1,0 +1,213 @@
+//! Simulator-overhead self-profiling: wall-time per subsystem per cycle
+//! window.
+//!
+//! The simulation loop measures each subsystem's lap with a monotonic
+//! clock and feeds the nanoseconds here; the profile accumulates lifetime
+//! totals plus a bounded ring of per-window snapshots so a slow stretch of
+//! a run can be localized in time as well as by subsystem.
+
+use gsi_json::{obj, Value};
+
+/// The top-level phases of one simulated cycle, as split by the simulator's
+/// run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Mesh delivery and routing of due messages.
+    MeshDeliver,
+    /// The shared side: L2 banks and DRAM.
+    Shared,
+    /// Block dispatch bookkeeping.
+    Dispatch,
+    /// Per-core work: memory units and SM issue stages.
+    Cores,
+    /// Draining core outboxes into the mesh.
+    Outbox,
+}
+
+/// Number of profiled subsystems.
+pub const SUBSYSTEMS: usize = 5;
+
+impl Subsystem {
+    /// All subsystems in loop order.
+    pub const ALL: [Subsystem; SUBSYSTEMS] = [
+        Subsystem::MeshDeliver,
+        Subsystem::Shared,
+        Subsystem::Dispatch,
+        Subsystem::Cores,
+        Subsystem::Outbox,
+    ];
+
+    /// Dense index for accumulation arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Subsystem::MeshDeliver => 0,
+            Subsystem::Shared => 1,
+            Subsystem::Dispatch => 2,
+            Subsystem::Cores => 3,
+            Subsystem::Outbox => 4,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::MeshDeliver => "mesh_deliver",
+            Subsystem::Shared => "shared",
+            Subsystem::Dispatch => "dispatch",
+            Subsystem::Cores => "cores",
+            Subsystem::Outbox => "outbox",
+        }
+    }
+}
+
+/// Accumulated per-subsystem wall time, with a bounded per-window history.
+#[derive(Debug, Clone)]
+pub struct SubsystemProfile {
+    totals_nanos: [u64; SUBSYSTEMS],
+    current: [u64; SUBSYSTEMS],
+    cycles: u64,
+    window_cycles: u64,
+    /// Ring of per-window snapshots (nanos per subsystem), oldest
+    /// overwritten first.
+    windows: Vec<[u64; SUBSYSTEMS]>,
+    head: usize,
+    len: usize,
+}
+
+impl SubsystemProfile {
+    /// A profile that snapshots every `window_cycles` cycles, keeping the
+    /// most recent `capacity` windows. Pass `window_cycles = 0` to record
+    /// totals only.
+    pub fn new(window_cycles: u64, capacity: usize) -> Self {
+        SubsystemProfile {
+            totals_nanos: [0; SUBSYSTEMS],
+            current: [0; SUBSYSTEMS],
+            cycles: 0,
+            window_cycles,
+            windows: vec![[0; SUBSYSTEMS]; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Add a measured lap for `sub`.
+    #[inline]
+    pub fn add(&mut self, sub: Subsystem, nanos: u64) {
+        let i = sub.index();
+        self.totals_nanos[i] += nanos;
+        self.current[i] += nanos;
+    }
+
+    /// Mark the end of a simulated cycle; snapshots the current window when
+    /// the boundary is reached.
+    #[inline]
+    pub fn end_cycle(&mut self) {
+        self.cycles += 1;
+        if self.window_cycles > 0 && self.cycles.is_multiple_of(self.window_cycles) {
+            let snap = std::mem::replace(&mut self.current, [0; SUBSYSTEMS]);
+            if !self.windows.is_empty() {
+                self.windows[self.head] = snap;
+                self.head = (self.head + 1) % self.windows.len();
+                self.len = (self.len + 1).min(self.windows.len());
+            }
+        }
+    }
+
+    /// Lifetime nanoseconds per subsystem, in [`Subsystem::ALL`] order.
+    pub fn totals_nanos(&self) -> &[u64; SUBSYSTEMS] {
+        &self.totals_nanos
+    }
+
+    /// Total measured nanoseconds across subsystems.
+    pub fn total_nanos(&self) -> u64 {
+        self.totals_nanos.iter().sum()
+    }
+
+    /// Cycles profiled.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The retained per-window snapshots, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &[u64; SUBSYSTEMS]> {
+        let (head, len, n) = (self.head, self.len, self.windows.len());
+        (0..len).map(move |i| &self.windows[(head + n - len + i) % n])
+    }
+
+    /// The profile as a JSON object (totals, shares, and window history).
+    pub fn to_json(&self) -> Value {
+        let total = self.total_nanos();
+        let per_sub: Vec<Value> = Subsystem::ALL
+            .iter()
+            .map(|&s| {
+                let nanos = self.totals_nanos[s.index()];
+                let share = if total == 0 { 0.0 } else { nanos as f64 / total as f64 };
+                obj! { "subsystem" => s.name(), "nanos" => nanos, "share" => share }
+            })
+            .collect();
+        let windows: Vec<Value> = self
+            .windows()
+            .map(|w| Value::Array(w.iter().map(|&n| Value::U64(n)).collect()))
+            .collect();
+        obj! {
+            "cycles" => self.cycles,
+            "total_nanos" => total,
+            "window_cycles" => self.window_cycles,
+            "subsystems" => Value::Array(per_sub),
+            "windows" => Value::Array(windows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_across_windows() {
+        let mut p = SubsystemProfile::new(2, 4);
+        for _ in 0..6 {
+            p.add(Subsystem::Cores, 10);
+            p.add(Subsystem::Shared, 5);
+            p.end_cycle();
+        }
+        assert_eq!(p.cycles(), 6);
+        assert_eq!(p.totals_nanos()[Subsystem::Cores.index()], 60);
+        assert_eq!(p.total_nanos(), 90);
+        let windows: Vec<_> = p.windows().collect();
+        assert_eq!(windows.len(), 3, "6 cycles / 2-cycle windows");
+        for w in windows {
+            assert_eq!(w[Subsystem::Cores.index()], 20);
+        }
+    }
+
+    #[test]
+    fn window_ring_keeps_only_the_tail() {
+        let mut p = SubsystemProfile::new(1, 2);
+        for i in 0..5u64 {
+            p.add(Subsystem::Outbox, i);
+            p.end_cycle();
+        }
+        let windows: Vec<u64> = p.windows().map(|w| w[Subsystem::Outbox.index()]).collect();
+        assert_eq!(windows, vec![3, 4], "only the last two windows survive");
+    }
+
+    #[test]
+    fn json_shares_sum_to_one() {
+        let mut p = SubsystemProfile::new(0, 0);
+        p.add(Subsystem::MeshDeliver, 25);
+        p.add(Subsystem::Cores, 75);
+        let v = p.to_json();
+        let subs = v.get("subsystems").and_then(|s| s.as_array()).unwrap();
+        let total: f64 =
+            subs.iter().map(|s| s.get("share").and_then(|x| x.as_f64()).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsystem_indices_are_dense() {
+        for (i, s) in Subsystem::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

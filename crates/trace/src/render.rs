@@ -1,0 +1,200 @@
+//! ASCII renderings of the derived metrics: the NoC link heatmap, the
+//! latency histograms, and the per-warp stall timelines.
+
+use crate::buffer::TraceBuffer;
+use crate::event::DIR_NAMES;
+use gsi_core::{MemDataCause, StallKind};
+use std::fmt::Write as _;
+
+/// Density ramp for heatmap cells, dark to bright.
+const SHADE: &[u8] = b" .:-=+*#%@";
+
+/// One glyph per [`StallKind`], in dense-index order (the `short()` names
+/// collide on their first letters, so the timeline uses its own alphabet).
+const KIND_GLYPHS: [char; 8] = ['.', 'i', 'c', 'y', 'M', 'S', 'd', 'x'];
+
+fn shade(frac: f64) -> char {
+    let idx = (frac.clamp(0.0, 1.0) * (SHADE.len() - 1) as f64).round() as usize;
+    SHADE[idx] as char
+}
+
+impl TraceBuffer {
+    /// Render the per-node NoC utilization heatmap for a `width` × `height`
+    /// mesh over `cycles` simulated cycles, with the busiest links listed
+    /// below the grid.
+    pub fn render_heatmap(&self, width: usize, height: usize, cycles: u64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "NoC link utilization ({width}x{height} mesh, {cycles} cycles)");
+        for y in 0..height {
+            out.push_str("  ");
+            for x in 0..width {
+                let node = y * width + x;
+                let busy: u64 =
+                    (0..4).map(|d| self.link_busy().get(node * 4 + d).copied().unwrap_or(0)).sum();
+                let frac = if cycles == 0 { 0.0 } else { busy as f64 / (4.0 * cycles as f64) };
+                out.push(shade(frac));
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "  scale: '{}' idle .. '@' saturated", SHADE[0] as char);
+        let mut links: Vec<(usize, u64, u64)> = (0..self.link_busy().len())
+            .map(|li| (li, self.link_busy()[li], self.link_queued()[li]))
+            .filter(|&(_, busy, queued)| busy > 0 || queued > 0)
+            .collect();
+        links.sort_by_key(|&(_, busy, _)| std::cmp::Reverse(busy));
+        for &(li, busy, queued) in links.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  node {:2} {}: busy {} queued {}",
+                li / 4,
+                DIR_NAMES[li % 4],
+                busy,
+                queued
+            );
+        }
+        out
+    }
+
+    /// Render the per-service-point latency histograms (log2 buckets) as
+    /// horizontal bars. Service points with no fills are omitted.
+    pub fn render_histograms(&self) -> String {
+        let mut out = String::new();
+        for &point in &MemDataCause::ALL {
+            let hist = self.latency_histogram(point);
+            let fills: u64 = hist.iter().sum();
+            if fills == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "fill latency [{}] ({} fills)", point.short(), fills);
+            let max = *hist.iter().max().unwrap_or(&1);
+            let top = hist.iter().rposition(|&b| b > 0).unwrap_or(0);
+            for (b, &n) in hist.iter().enumerate().take(top + 1) {
+                if n == 0 {
+                    continue;
+                }
+                let bar = (n * 40).div_ceil(max.max(1)) as usize;
+                let _ = writeln!(
+                    out,
+                    "  {:>10} | {} {}",
+                    format!("2^{b}..2^{}", b + 1),
+                    "#".repeat(bar),
+                    n
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no fills recorded\n");
+        }
+        out
+    }
+
+    /// Render the per-warp stall timelines: one row per warp that recorded
+    /// any stall, one glyph per timeline window (dominant stall kind).
+    pub fn render_timelines(&self) -> String {
+        let cfg = *self.config();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "warp stall timelines ({} cycles/slot; {})",
+            cfg.timeline_window,
+            StallKind::ALL
+                .iter()
+                .map(|k| format!("{}={}", KIND_GLYPHS[k.index()], k.short()))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        // Trim all rows to the last slot any warp touched.
+        let mut last_slot = 0usize;
+        let mut rows: Vec<(usize, usize, String)> = Vec::new();
+        for sm in 0..cfg.sms {
+            for warp in 0..cfg.max_warps {
+                let mut row = String::with_capacity(cfg.timeline_slots);
+                let mut touched = false;
+                for slot in 0..cfg.timeline_slots {
+                    match self.timeline_glyph(sm, warp, slot) {
+                        Some(kind) => {
+                            touched = true;
+                            last_slot = last_slot.max(slot);
+                            row.push(KIND_GLYPHS[kind.index()]);
+                        }
+                        None => row.push(' '),
+                    }
+                }
+                if touched {
+                    rows.push((sm, warp, row));
+                }
+            }
+        }
+        if rows.is_empty() {
+            out.push_str("no warp stalls recorded\n");
+            return out;
+        }
+        for (sm, warp, row) in rows {
+            let _ = writeln!(out, "  sm{sm:02}.w{warp:02} |{}|", &row[..=last_slot]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::{TraceConfig, TraceLevel, TraceSink};
+    use gsi_core::RequestId;
+
+    #[test]
+    fn heatmap_shows_hot_links() {
+        let mut b = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Counters, 16, 1, 1));
+        b.record(TraceEvent::MeshHop { cycle: 1, node: 5, dir: 0, queued: 10, busy: 400 });
+        let art = b.render_heatmap(4, 4, 100);
+        assert!(art.contains("4x4 mesh"));
+        assert!(art.contains("node  5 E: busy 400 queued 10"));
+        assert!(art.contains('@'), "saturated link renders as '@': {art}");
+    }
+
+    #[test]
+    fn histograms_render_bars() {
+        let mut b = TraceBuffer::new(TraceConfig::for_system(TraceLevel::Full, 4, 1, 1));
+        let req = RequestId(1);
+        b.record(TraceEvent::ReqIssue { cycle: 0, sm: 0, req, line: 1, merged: false });
+        b.record(TraceEvent::ReqFill {
+            cycle: 100,
+            sm: 0,
+            req,
+            line: 1,
+            point: MemDataCause::MainMemory,
+        });
+        let art = b.render_histograms();
+        assert!(art.contains("fill latency [mem] (1 fills)"), "{art}");
+        assert!(art.contains("2^6..2^7"), "100 cycles is bucket 6: {art}");
+    }
+
+    #[test]
+    fn empty_renders_are_graceful() {
+        let b = TraceBuffer::disabled();
+        assert!(b.render_histograms().contains("no fills"));
+        assert!(b.render_timelines().contains("no warp stalls"));
+    }
+
+    #[test]
+    fn timelines_render_dominant_glyphs() {
+        let mut cfg = TraceConfig::for_system(TraceLevel::Full, 1, 2, 2);
+        cfg.timeline_window = 10;
+        cfg.timeline_slots = 4;
+        let mut b = TraceBuffer::new(cfg);
+        for c in 0..10 {
+            b.record(TraceEvent::WarpStall {
+                cycle: c,
+                sm: 1,
+                warp: 0,
+                kind: StallKind::MemoryData,
+            });
+        }
+        b.record(TraceEvent::WarpStall { cycle: 12, sm: 1, warp: 0, kind: StallKind::Control });
+        let art = b.render_timelines();
+        assert!(art.contains("sm01.w00 |Mc"), "{art}");
+        assert!(!art.contains("sm00.w00"), "idle warps omitted: {art}");
+    }
+}

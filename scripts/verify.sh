@@ -17,6 +17,9 @@ cargo build --release --offline --workspace
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
+echo "== alloc-free under counter tracing =="
+GSI_TRACE_LEVEL=counters cargo test -q --offline --test alloc_free
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy (-D warnings) =="
     cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -17,6 +17,7 @@
 //!   scratchpad, stash, and DMA.
 //! * [`sm`] — the streaming-multiprocessor pipeline model.
 //! * [`sim`] — the wired system simulator (Table 5.1 configuration).
+//! * [`trace`] — the cycle-level event tracing / observability layer.
 //! * [`workloads`] — UTS, UTSD, and the implicit microbenchmark.
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use gsi_mem as mem;
 pub use gsi_noc as noc;
 pub use gsi_sim as sim;
 pub use gsi_sm as sm;
+pub use gsi_trace as trace;
 pub use gsi_workloads as workloads;
 
 pub use gsi_core::{MemDataCause, MemStructCause, StallBreakdown, StallKind};

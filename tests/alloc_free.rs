@@ -10,6 +10,7 @@
 
 use gsi::isa::{ProgramBuilder, Reg};
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+use gsi::trace::TraceLevel;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -52,9 +53,21 @@ fn spin_spec(iters: u64) -> LaunchSpec {
     LaunchSpec::new(b.build().unwrap(), 2, 2)
 }
 
+/// The trace level under test: `GSI_TRACE_LEVEL=off|counters` (default
+/// `off`). CI runs this test at both levels — counter-mode tracing must
+/// also be allocation-free in steady state.
+fn trace_level() -> TraceLevel {
+    match std::env::var("GSI_TRACE_LEVEL").as_deref() {
+        Ok("counters") => TraceLevel::Counters,
+        Ok("off") | Err(_) => TraceLevel::Off,
+        Ok(other) => panic!("GSI_TRACE_LEVEL must be off|counters, got {other:?}"),
+    }
+}
+
 /// Allocations made by the second (scratch-warmed) execution of the kernel.
 fn allocs_for(iters: u64) -> (u64, u64) {
     let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    sim.set_trace_level(trace_level());
     let spec = spin_spec(iters);
     // Warm-up: grows every scratch buffer to steady-state capacity.
     let warm = sim.run_kernel(&spec).unwrap();
