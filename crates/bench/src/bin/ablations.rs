@@ -32,7 +32,7 @@ fn uts_exp(name: String, small: bool, sys: SystemConfig, variant: Variant) -> Ex
     Experiment::new(name, move || {
         let ucfg = if small { UtsConfig::small() } else { UtsConfig::paper() };
         let mut sim = Simulator::new(sys);
-        uts::run(&mut sim, &ucfg, variant).expect("UTS completes").run
+        Ok(uts::run(&mut sim, &ucfg, variant)?.run)
     })
 }
 
@@ -41,7 +41,7 @@ fn implicit_exp(name: String, small: bool, sys: SystemConfig, style: LocalMemSty
     Experiment::new(name, move || {
         let icfg = if small { ImplicitConfig::small(style) } else { ImplicitConfig::paper(style) };
         let mut sim = Simulator::new(sys);
-        implicit::run(&mut sim, &icfg).expect("implicit completes").run
+        Ok(implicit::run(&mut sim, &icfg)?.run)
     })
 }
 
@@ -101,7 +101,10 @@ fn main() {
 
     let outcome = run_sweep(experiments, default_threads());
     let mut rows = outcome.results.iter();
-    let mut next = move || &rows.next().expect("one result per experiment").run;
+    let mut next = move || {
+        let r = rows.next().expect("one result per experiment");
+        r.kernel_run().unwrap_or_else(|| panic!("{} failed: {}", r.name, r.error().expect("err")))
+    };
 
     println!("== Warp scheduler: GTO vs round-robin (UTSD, GPU coherence) ==");
     for policy in schedulers {

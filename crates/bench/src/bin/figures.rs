@@ -91,20 +91,29 @@ fn main() {
         usage();
     }
     let all = fig == "all";
+    let unwrap = |slug: &str, r: Result<FigureResult, gsi_bench::sweep::ExperimentError>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("{slug} failed: {e}");
+            std::process::exit(1);
+        })
+    };
     if all || fig == "6.1" {
-        emit(&figure_6_1(scale), csv.as_deref(), "figure_6_1");
+        emit(&unwrap("figure 6.1", figure_6_1(scale)), csv.as_deref(), "figure_6_1");
     }
     if all || fig == "6.2" {
-        emit(&figure_6_2(scale), csv.as_deref(), "figure_6_2");
+        emit(&unwrap("figure 6.2", figure_6_2(scale)), csv.as_deref(), "figure_6_2");
     }
     if all || fig == "6.3" {
-        emit(&figure_6_3(scale), csv.as_deref(), "figure_6_3");
+        emit(&unwrap("figure 6.3", figure_6_3(scale)), csv.as_deref(), "figure_6_3");
     }
     if all || fig == "6.4" {
-        emit(&figure_6_4(scale), csv.as_deref(), "figure_6_4");
+        emit(&unwrap("figure 6.4", figure_6_4(scale)), csv.as_deref(), "figure_6_4");
     }
     if want_overhead {
-        let (on, off) = profiling_overhead(scale);
+        let (on, off) = profiling_overhead(scale).unwrap_or_else(|e| {
+            eprintln!("overhead measurement failed: {e}");
+            std::process::exit(1);
+        });
         println!(
             "GSI profiling overhead: {on:.3}s with profiling, {off:.3}s without \
              ({:+.1}%)",

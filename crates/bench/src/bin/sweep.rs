@@ -4,6 +4,7 @@
 //! ```text
 //! sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]
 //!       [--trace-level off|counters|full|all]
+//!       [--chaos-seed SEED] [--chaos-fault KIND] [--deadline SECS] [--retries N]
 //! ```
 //!
 //! The report (default `BENCH_PR2.json`) records, per experiment, the
@@ -14,44 +15,67 @@
 //! `overhead_pct`, the measured cost of the observability layer against
 //! the tracing-off baseline; full-level rows also embed the simulator's
 //! per-subsystem self-profile.
+//!
+//! Chaos mode (`--chaos-seed`, or the `GSI_CHAOS_SEED` environment
+//! variable) arms deterministic fault injection in every experiment:
+//! delayed mesh flits, DRAM jitter, transient MSHR/store-buffer stalls,
+//! and dropped DMA bursts, all derived from the one seed. Rows then carry
+//! the per-kind injected-fault counts, and the report the chaos plan.
+//! `--deadline`/`--retries` bound and retry each experiment; the report's
+//! `failed`/`retries` fields and per-row `status`/`attempts`/`error`
+//! record what happened.
 
-use gsi_bench::sweep::{default_threads, run_sweep, Experiment};
+use gsi_bench::sweep::{default_threads, run_sweep_with, Experiment, SweepPolicy};
 use gsi_bench::Scale;
+use gsi_chaos::{FaultKind, FaultPlan};
 use gsi_mem::Protocol;
-use gsi_sim::{Simulator, SystemConfig};
+use gsi_sim::{SimError, Simulator, SystemConfig};
 use gsi_trace::TraceLevel;
 use gsi_workloads::implicit::{self, LocalMemStyle};
 use gsi_workloads::uts::{self, Variant};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet] \
-         [--trace-level off|counters|full|all]"
+         [--trace-level off|counters|full|all] \
+         [--chaos-seed SEED] [--chaos-fault mesh_delay|dram_jitter|mshr_stall|\
+store_buffer_stall|dma_drop] [--deadline SECS] [--retries N]"
     );
     std::process::exit(2);
 }
 
-/// Run a simulator at `level` (self-profiling at full verbosity) and
-/// return the run plus the extra JSON for the report row.
+/// Run a simulator at `level` (self-profiling at full verbosity) under the
+/// chaos plan, and return the run plus the extra JSON for the report row.
 fn run_traced<R>(
     mut sim: Simulator,
     level: TraceLevel,
-    go: impl FnOnce(&mut Simulator) -> R,
+    plan: &FaultPlan,
+    go: impl FnOnce(&mut Simulator) -> Result<R, SimError>,
     extract: impl FnOnce(R) -> gsi_sim::KernelRun,
-) -> (gsi_sim::KernelRun, Option<gsi_json::Value>) {
+) -> Result<(gsi_sim::KernelRun, Option<gsi_json::Value>), SimError> {
     sim.set_trace_level(level);
+    sim.set_chaos(plan);
     if level == TraceLevel::Full {
         sim.set_self_profiling(true);
     }
-    let run = extract(go(&mut sim));
-    let extra = (level == TraceLevel::Full).then(|| {
-        gsi_json::obj! {
+    let run = extract(go(&mut sim)?);
+    let mut extra = if level == TraceLevel::Full {
+        Some(gsi_json::obj! {
             "events" => sim.trace().counts().iter().sum::<u64>(),
             "dropped_events" => sim.trace().dropped_events(),
             "profile" => sim.trace().profile().to_json(),
-        }
-    });
-    (run, extra)
+        })
+    } else {
+        None
+    };
+    if plan.is_armed() {
+        let stats = sim.chaos_stats();
+        let row = extra.get_or_insert_with(|| gsi_json::obj! {});
+        row.set("chaos_injected", stats.to_json());
+        row.set("chaos_injected_total", stats.total());
+    }
+    Ok((run, extra))
 }
 
 fn uts_experiment(
@@ -60,6 +84,7 @@ fn uts_experiment(
     variant: Variant,
     protocol: Protocol,
     level: TraceLevel,
+    plan: FaultPlan,
 ) -> Experiment {
     let cfg = match scale {
         Scale::Paper => gsi_workloads::uts::UtsConfig::paper(),
@@ -71,12 +96,7 @@ fn uts_experiment(
     };
     Experiment::traced(name, level, move || {
         let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
-        run_traced(
-            Simulator::new(sys),
-            level,
-            |sim| uts::run(sim, &cfg, variant).expect("UTS completes"),
-            |r| r.run,
-        )
+        run_traced(Simulator::new(sys), level, &plan, |sim| uts::run(sim, &cfg, variant), |r| r.run)
     })
 }
 
@@ -86,6 +106,7 @@ fn implicit_experiment(
     style: LocalMemStyle,
     mshr: usize,
     level: TraceLevel,
+    plan: FaultPlan,
 ) -> Experiment {
     let cfg = match scale {
         Scale::Paper => implicit::ImplicitConfig::paper(style),
@@ -96,12 +117,7 @@ fn implicit_experiment(
             .with_gpu_cores(1)
             .with_local_mem(style.mem_kind())
             .with_mshr(mshr);
-        run_traced(
-            Simulator::new(sys),
-            level,
-            |sim| implicit::run(sim, &cfg).expect("implicit completes"),
-            |r| r.run,
-        )
+        run_traced(Simulator::new(sys), level, &plan, |sim| implicit::run(sim, &cfg), |r| r.run)
     })
 }
 
@@ -109,7 +125,7 @@ fn implicit_experiment(
 /// implicit microbenchmark over every local-memory style at two MSHR
 /// sizes — the backbone of the paper's Figures 6.1–6.4 — each run once
 /// per requested trace level.
-fn grid(scale: Scale, levels: &[TraceLevel]) -> Vec<Experiment> {
+fn grid(scale: Scale, levels: &[TraceLevel], plan: &FaultPlan) -> Vec<Experiment> {
     let mut experiments = Vec::new();
     for &level in levels {
         for (wname, variant) in [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)] {
@@ -121,6 +137,7 @@ fn grid(scale: Scale, levels: &[TraceLevel]) -> Vec<Experiment> {
                     variant,
                     protocol,
                     level,
+                    *plan,
                 ));
             }
         }
@@ -136,6 +153,7 @@ fn grid(scale: Scale, levels: &[TraceLevel]) -> Vec<Experiment> {
                     style,
                     m,
                     level,
+                    *plan,
                 ));
             }
         }
@@ -150,6 +168,10 @@ fn main() {
     let mut out = String::from("BENCH_PR2.json");
     let mut quiet = false;
     let mut levels = vec![TraceLevel::Off];
+    let mut chaos_seed: Option<u64> =
+        std::env::var("GSI_CHAOS_SEED").ok().map(|s| s.parse().unwrap_or_else(|_| usage()));
+    let mut chaos_fault: Option<FaultKind> = None;
+    let mut policy = SweepPolicy::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -176,38 +198,91 @@ fn main() {
                     None => usage(),
                 }
             }
+            "--chaos-seed" => {
+                chaos_seed = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--chaos-fault" => {
+                chaos_fault =
+                    Some(it.next().and_then(|s| FaultKind::parse(s)).unwrap_or_else(|| usage()))
+            }
+            "--deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| usage());
+                policy.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                policy.retries = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
+    let plan = match (chaos_seed, chaos_fault) {
+        (None, _) => FaultPlan::disabled(),
+        (Some(seed), None) => FaultPlan::all(seed),
+        (Some(seed), Some(kind)) => FaultPlan::single(kind, seed),
+    };
 
-    let experiments = grid(scale, &levels);
+    let experiments = grid(scale, &levels, &plan);
     let n = experiments.len();
     if !quiet {
+        if plan.is_armed() {
+            println!(
+                "chaos armed: seed {} ({})",
+                plan.seed,
+                match chaos_fault {
+                    Some(k) => k.name(),
+                    None => "all fault kinds",
+                }
+            );
+        }
         println!("sweeping {n} experiments on {threads} thread(s)...");
     }
-    let outcome = run_sweep(experiments, threads);
+    let outcome = run_sweep_with(experiments, threads, policy);
 
     if !quiet {
         for r in &outcome.results {
             let secs = r.wall.as_secs_f64();
-            println!(
-                "  {:<28} [{:<8}] {:>9} cycles  {:>7.3}s  {:>12.0} cycles/s",
-                r.name,
-                r.level.name(),
-                r.run.cycles,
-                secs,
-                if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs },
-            );
+            match &r.outcome {
+                Ok(o) => println!(
+                    "  {:<28} [{:<8}] {:>9} cycles  {:>7.3}s  {:>12.0} cycles/s{}",
+                    r.name,
+                    r.level.name(),
+                    o.run.cycles,
+                    secs,
+                    if secs == 0.0 { 0.0 } else { o.run.cycles as f64 / secs },
+                    if r.attempts > 1 {
+                        format!("  ({} attempts)", r.attempts)
+                    } else {
+                        String::new()
+                    },
+                ),
+                Err(e) => println!(
+                    "  {:<28} [{:<8}] FAILED after {} attempt(s): {e}",
+                    r.name,
+                    r.level.name(),
+                    r.attempts,
+                ),
+            }
         }
         println!(
-            "wall {:.3}s vs serial {:.3}s ({:.2}x on {} threads)",
+            "wall {:.3}s vs serial {:.3}s ({:.2}x on {} threads); {} failed, {} retries",
             outcome.wall.as_secs_f64(),
             outcome.serial_wall().as_secs_f64(),
             outcome.speedup(),
             outcome.threads,
+            outcome.failed(),
+            outcome.total_retries(),
         );
     }
 
-    std::fs::write(&out, outcome.to_json().to_string_pretty()).expect("write report");
+    let mut report = outcome.to_json();
+    report.set("chaos", plan.to_json());
+    std::fs::write(&out, report.to_string_pretty()).expect("write report");
     println!("wrote {out}");
+    if outcome.failed() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -27,7 +27,7 @@ use gsi_mem::Protocol;
 use gsi_sim::{KernelRun, Simulator, SystemConfig};
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
-use sweep::{default_threads, run_sweep, Experiment};
+use sweep::{default_threads, run_sweep, Experiment, ExperimentError};
 
 /// Experiment scale: the paper-like sizes, or a fast scale for tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +91,21 @@ pub fn table_5_1() -> String {
 }
 
 /// Run a list of experiments on all available cores and pair each result
-/// with its name, in submission order.
-fn sweep_runs(experiments: Vec<Experiment>) -> Vec<(String, KernelRun)> {
-    run_sweep(experiments, default_threads()).results.into_iter().map(|r| (r.name, r.run)).collect()
+/// with its name, in submission order. The first experiment failure is
+/// propagated — a figure with a missing bar is not a figure.
+fn sweep_runs(experiments: Vec<Experiment>) -> Result<Vec<(String, KernelRun)>, ExperimentError> {
+    run_sweep(experiments, default_threads())
+        .results
+        .into_iter()
+        .map(|r| r.outcome.map(|out| (r.name, out.run)))
+        .collect()
 }
 
-fn protocol_comparison(title: &str, scale: Scale, variant: Variant) -> FigureResult {
+fn protocol_comparison(
+    title: &str,
+    scale: Scale,
+    variant: Variant,
+) -> Result<FigureResult, ExperimentError> {
     let experiments = [("GPU coherence", Protocol::GpuCoherence), ("DeNovo", Protocol::DeNovo)]
         .into_iter()
         .map(|(name, protocol)| {
@@ -105,16 +114,16 @@ fn protocol_comparison(title: &str, scale: Scale, variant: Variant) -> FigureRes
             Experiment::new(name, move || {
                 let sys = SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol);
                 let mut sim = Simulator::new(sys);
-                uts::run(&mut sim, &cfg, variant).expect("UTS completes").run
+                Ok(uts::run(&mut sim, &cfg, variant)?.run)
             })
         })
         .collect();
-    FigureResult::new(title, sweep_runs(experiments))
+    Ok(FigureResult::new(title, sweep_runs(experiments)?))
 }
 
 /// Figure 6.1: stall cycle breakdowns for UTS, GPU coherence vs DeNovo,
 /// normalized to GPU coherence.
-pub fn figure_6_1(scale: Scale) -> FigureResult {
+pub fn figure_6_1(scale: Scale) -> Result<FigureResult, ExperimentError> {
     protocol_comparison(
         "Figure 6.1: Stall cycle breakdowns for UTS (normalized to GPU coherence)",
         scale,
@@ -124,7 +133,7 @@ pub fn figure_6_1(scale: Scale) -> FigureResult {
 
 /// Figure 6.2: stall cycle breakdowns for UTSD, normalized to GPU
 /// coherence.
-pub fn figure_6_2(scale: Scale) -> FigureResult {
+pub fn figure_6_2(scale: Scale) -> Result<FigureResult, ExperimentError> {
     protocol_comparison(
         "Figure 6.2: Stall cycle breakdowns for UTSD (normalized to GPU coherence)",
         scale,
@@ -145,21 +154,25 @@ fn implicit_experiment(
             sys = sys.with_mshr(m);
         }
         let mut sim = Simulator::new(sys);
-        implicit::run(&mut sim, &cfg).expect("implicit completes").run
+        Ok(implicit::run(&mut sim, &cfg)?.run)
     })
 }
 
-fn implicit_comparison(title: &str, scale: Scale, mshr: Option<usize>) -> FigureResult {
+fn implicit_comparison(
+    title: &str,
+    scale: Scale,
+    mshr: Option<usize>,
+) -> Result<FigureResult, ExperimentError> {
     let experiments = LocalMemStyle::ALL
         .into_iter()
         .map(|style| implicit_experiment(style.to_string(), scale, style, mshr))
         .collect();
-    FigureResult::new(title, sweep_runs(experiments))
+    Ok(FigureResult::new(title, sweep_runs(experiments)?))
 }
 
 /// Figure 6.3: stall cycle breakdowns for the implicit microbenchmark
 /// (scratchpad, scratchpad+DMA, stash), normalized to baseline scratchpad.
-pub fn figure_6_3(scale: Scale) -> FigureResult {
+pub fn figure_6_3(scale: Scale) -> Result<FigureResult, ExperimentError> {
     implicit_comparison(
         "Figure 6.3: Stall cycle breakdowns for implicit (normalized to scratchpad)",
         scale,
@@ -171,7 +184,7 @@ pub fn figure_6_3(scale: Scale) -> FigureResult {
 /// every MSHR size (store buffer scaled along), normalized to baseline
 /// scratchpad with a 32-entry MSHR. Returns one `FigureResult` whose
 /// entries are `style/mshr` combinations in sweep order.
-pub fn figure_6_4(scale: Scale) -> FigureResult {
+pub fn figure_6_4(scale: Scale) -> Result<FigureResult, ExperimentError> {
     let sizes: &[usize] = match scale {
         Scale::Paper => &[32, 64, 128, 256],
         Scale::Small => &[8, 32],
@@ -187,16 +200,16 @@ pub fn figure_6_4(scale: Scale) -> FigureResult {
             ));
         }
     }
-    FigureResult::new(
+    Ok(FigureResult::new(
         "Figure 6.4: implicit with varying MSHR sizes (normalized to scratchpad/mshr-min)",
-        sweep_runs(experiments),
-    )
+        sweep_runs(experiments)?,
+    ))
 }
 
 /// Measure GSI's profiling overhead (the paper reports ~5% simulation-time
 /// overhead): returns `(with_profiling_secs, without_profiling_secs)` for
 /// one implicit run.
-pub fn profiling_overhead(scale: Scale) -> (f64, f64) {
+pub fn profiling_overhead(scale: Scale) -> Result<(f64, f64), gsi_sim::SimError> {
     let style = LocalMemStyle::Scratchpad;
     let cfg = scale.implicit(style);
     let mut secs = [0.0f64; 2];
@@ -205,10 +218,10 @@ pub fn profiling_overhead(scale: Scale) -> (f64, f64) {
         let mut sim = Simulator::new(sys);
         sim.set_profiling(profiling);
         let t0 = std::time::Instant::now();
-        implicit::run(&mut sim, &cfg).expect("implicit completes");
+        implicit::run(&mut sim, &cfg)?;
         secs[i] = t0.elapsed().as_secs_f64();
     }
-    (secs[0], secs[1])
+    Ok((secs[0], secs[1]))
 }
 
 #[cfg(test)]
@@ -218,7 +231,7 @@ mod tests {
 
     #[test]
     fn figure_6_1_small_has_two_entries() {
-        let f = figure_6_1(Scale::Small);
+        let f = figure_6_1(Scale::Small).expect("figure completes");
         assert_eq!(f.runs.len(), 2);
         let text = f.figure.render(Panel::Execution, 40);
         assert!(text.contains("GPU coherence"));
@@ -227,14 +240,14 @@ mod tests {
 
     #[test]
     fn figure_6_3_small_has_three_entries() {
-        let f = figure_6_3(Scale::Small);
+        let f = figure_6_3(Scale::Small).expect("figure completes");
         assert_eq!(f.runs.len(), 3);
         assert!(f.run("stash").cycles > 0);
     }
 
     #[test]
     fn figure_6_4_small_sweeps() {
-        let f = figure_6_4(Scale::Small);
+        let f = figure_6_4(Scale::Small).expect("figure completes");
         assert_eq!(f.runs.len(), 6);
     }
 

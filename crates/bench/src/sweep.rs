@@ -1,4 +1,5 @@
-//! Parallel sweep harness: fan independent simulations across OS threads.
+//! Parallel sweep harness: fan independent simulations across OS threads,
+//! and keep the sweep alive when individual experiments fail.
 //!
 //! Every experiment of the paper's evaluation is an independent
 //! (workload × protocol × configuration) simulation, so the sweep
@@ -9,13 +10,24 @@
 //! when — output stays deterministic while wall-clock time drops to
 //! roughly the longest single experiment.
 //!
-//! Built on `std::thread::scope` only; no external thread-pool crates.
+//! Resilience: each attempt runs under `catch_unwind`, optionally under a
+//! per-attempt deadline (on a watcher thread), and failures retry with
+//! capped exponential backoff per [`SweepPolicy`]. A failing experiment
+//! degrades to a typed [`ExperimentError`] in its slot instead of
+//! poisoning the whole sweep — every other experiment's result survives.
+//!
+//! Built on `std::thread` only; no external thread-pool crates.
 
-use gsi_sim::KernelRun;
+use gsi_sim::{KernelRun, SimError};
 use gsi_trace::TraceLevel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The closure type every experiment runs: build a simulator from scratch,
+/// run the workload, return the kernel run plus optional extra JSON.
+type RunFn = dyn Fn() -> Result<(KernelRun, Option<gsi_json::Value>), SimError> + Send + Sync;
 
 /// One independent simulation: a display name plus a closure that builds
 /// the simulator and runs the workload from scratch (so experiments share
@@ -23,19 +35,21 @@ use std::time::{Duration, Instant};
 pub struct Experiment {
     name: String,
     level: TraceLevel,
-    run: Box<dyn Fn() -> (KernelRun, Option<gsi_json::Value>) + Send + Sync>,
+    run: Arc<RunFn>,
 }
 
 impl Experiment {
-    /// Wrap a closure as a named experiment (tracing off).
+    /// Wrap a closure as a named experiment (tracing off). The closure
+    /// returns `Err` for simulation failures (timeout, accounting), which
+    /// the sweep records as a typed per-experiment error.
     pub fn new(
         name: impl Into<String>,
-        run: impl Fn() -> KernelRun + Send + Sync + 'static,
+        run: impl Fn() -> Result<KernelRun, SimError> + Send + Sync + 'static,
     ) -> Self {
         Experiment {
             name: name.into(),
             level: TraceLevel::Off,
-            run: Box::new(move || (run(), None)),
+            run: Arc::new(move || run().map(|r| (r, None))),
         }
     }
 
@@ -46,9 +60,9 @@ impl Experiment {
     pub fn traced(
         name: impl Into<String>,
         level: TraceLevel,
-        run: impl Fn() -> (KernelRun, Option<gsi_json::Value>) + Send + Sync + 'static,
+        run: impl Fn() -> Result<(KernelRun, Option<gsi_json::Value>), SimError> + Send + Sync + 'static,
     ) -> Self {
-        Experiment { name: name.into(), level, run: Box::new(run) }
+        Experiment { name: name.into(), level, run: Arc::new(run) }
     }
 
     /// The experiment's display name.
@@ -62,25 +76,138 @@ impl Experiment {
     }
 }
 
-/// The outcome of one experiment: its run, plus how long it took.
+/// Why an experiment failed, after all retries were exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The experiment closure panicked; the panic was caught and the
+    /// worker thread survived.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The experiment exceeded the per-attempt deadline. The attempt's
+    /// thread is abandoned (it stops on its own at the simulator's cycle
+    /// budget); the sweep moves on.
+    TimedOut {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The simulator itself reported failure: a kernel timeout (with its
+    /// diagnostic [`ProgressReport`](gsi_sim::ProgressReport)) or a stall
+    /// accounting violation.
+    Sim(SimError),
+}
+
+impl ExperimentError {
+    /// Stable machine-readable kind for report rows: `"panicked"`,
+    /// `"timed_out"`, `"sim_timeout"`, or `"accounting"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExperimentError::Panicked { .. } => "panicked",
+            ExperimentError::TimedOut { .. } => "timed_out",
+            ExperimentError::Sim(SimError::Timeout { .. }) => "sim_timeout",
+            ExperimentError::Sim(SimError::Accounting { .. }) => "accounting",
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Panicked { message } => write!(f, "panicked: {message}"),
+            ExperimentError::TimedOut { deadline } => {
+                write!(f, "exceeded the {:.1}s deadline", deadline.as_secs_f64())
+            }
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// A successful experiment's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutput {
+    /// The simulation result.
+    pub run: KernelRun,
+    /// Extra per-experiment JSON from the closure (e.g. the self-profile).
+    pub extra: Option<gsi_json::Value>,
+}
+
+/// The outcome of one experiment: its result or typed error, attempt
+/// count, and wall time.
 #[derive(Debug)]
 pub struct SweepResult {
     /// The experiment's name.
     pub name: String,
     /// The trace level the experiment ran at.
     pub level: TraceLevel,
-    /// The simulation result.
-    pub run: KernelRun,
-    /// Extra per-experiment JSON from the closure (e.g. the self-profile).
-    pub extra: Option<gsi_json::Value>,
-    /// Wall-clock time this experiment took on its worker thread.
+    /// The result, or why every attempt failed.
+    pub outcome: Result<ExperimentOutput, ExperimentError>,
+    /// Attempts made (1 = first try succeeded; retries add more).
+    pub attempts: u32,
+    /// Wall-clock time across every attempt on its worker thread.
     pub wall: Duration,
+}
+
+impl SweepResult {
+    /// The kernel run, when the experiment succeeded.
+    pub fn kernel_run(&self) -> Option<&KernelRun> {
+        self.outcome.as_ref().ok().map(|o| &o.run)
+    }
+
+    /// The error, when every attempt failed.
+    pub fn error(&self) -> Option<&ExperimentError> {
+        self.outcome.as_ref().err()
+    }
+}
+
+/// Retry and deadline policy for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPolicy {
+    /// Per-attempt wall-clock deadline. `None` runs attempts inline with
+    /// no timeout (cheapest; no watcher thread).
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first failure.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Upper bound on the backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SweepPolicy {
+    fn default() -> Self {
+        SweepPolicy {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl SweepPolicy {
+    /// Set the per-attempt deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the retry count.
+    #[must_use]
+    pub fn with_retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
 }
 
 /// All results of a sweep, in the order the experiments were submitted.
 #[derive(Debug)]
 pub struct SweepOutcome {
-    /// Per-experiment results, in submission order.
+    /// Per-experiment results, in submission order. Failed experiments
+    /// keep their slot with a typed error; completed ones are never lost.
     pub results: Vec<SweepResult>,
     /// Wall-clock time for the whole sweep.
     pub wall: Duration,
@@ -105,12 +232,24 @@ impl SweepOutcome {
         }
     }
 
+    /// Experiments whose every attempt failed.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Total retry attempts across the sweep (attempts beyond each
+    /// experiment's first).
+    pub fn total_retries(&self) -> u64 {
+        self.results.iter().map(|r| u64::from(r.attempts.saturating_sub(1))).sum()
+    }
+
     /// Wall seconds of the tracing-off run of `name`, the overhead
-    /// baseline; `None` when the sweep has no off-level row for it.
+    /// baseline; `None` when the sweep has no successful off-level row
+    /// for it.
     fn off_baseline(&self, name: &str) -> Option<f64> {
         self.results
             .iter()
-            .find(|r| r.name == name && r.level == TraceLevel::Off)
+            .find(|r| r.name == name && r.level == TraceLevel::Off && r.outcome.is_ok())
             .map(|r| r.wall.as_secs_f64())
     }
 
@@ -118,29 +257,43 @@ impl SweepOutcome {
     /// wall time, and simulation rate, plus the aggregate evidence that
     /// the sweep ran multi-threaded. Rows run with tracing enabled also
     /// carry `overhead_pct`, the wall-time cost relative to the same
-    /// experiment's tracing-off row (when the sweep includes one).
+    /// experiment's tracing-off row (when the sweep includes one). Every
+    /// row carries `status` and `attempts`; failed rows carry `error`
+    /// instead of the run fields.
     pub fn to_json(&self) -> gsi_json::Value {
         let experiments: Vec<gsi_json::Value> = self
             .results
             .iter()
             .map(|r| {
                 let secs = r.wall.as_secs_f64();
-                let rate = if secs == 0.0 { 0.0 } else { r.run.cycles as f64 / secs };
                 let mut row = gsi_json::obj! {
                     "name" => r.name,
                     "trace_level" => r.level.name(),
-                    "cycles" => r.run.cycles,
-                    "instructions" => r.run.instructions,
+                    "status" => match &r.outcome {
+                        Ok(_) => "ok",
+                        Err(e) => e.kind(),
+                    },
+                    "attempts" => r.attempts,
                     "wall_seconds" => secs,
-                    "cycles_per_second" => rate,
                 };
-                if r.level != TraceLevel::Off {
-                    if let Some(base) = self.off_baseline(&r.name).filter(|&b| b > 0.0) {
-                        row.set("overhead_pct", (secs / base - 1.0) * 100.0);
+                match &r.outcome {
+                    Ok(out) => {
+                        let rate = if secs == 0.0 { 0.0 } else { out.run.cycles as f64 / secs };
+                        row.set("cycles", out.run.cycles);
+                        row.set("instructions", out.run.instructions);
+                        row.set("cycles_per_second", rate);
+                        if r.level != TraceLevel::Off {
+                            if let Some(base) = self.off_baseline(&r.name).filter(|&b| b > 0.0) {
+                                row.set("overhead_pct", (secs / base - 1.0) * 100.0);
+                            }
+                        }
+                        if let Some(extra) = &out.extra {
+                            row.set("trace", extra.clone());
+                        }
                     }
-                }
-                if let Some(extra) = &r.extra {
-                    row.set("trace", extra.clone());
+                    Err(e) => {
+                        row.set("error", e.to_string());
+                    }
                 }
                 row
             })
@@ -150,6 +303,8 @@ impl SweepOutcome {
             "wall_seconds" => self.wall.as_secs_f64(),
             "serial_wall_seconds" => self.serial_wall().as_secs_f64(),
             "speedup" => self.speedup(),
+            "failed" => self.failed(),
+            "retries" => self.total_retries(),
             "experiments" => experiments,
         }
     }
@@ -160,6 +315,89 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Render a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One attempt: run the closure under `catch_unwind`, optionally on a
+/// watcher thread with a deadline.
+fn attempt(
+    run: &Arc<RunFn>,
+    deadline: Option<Duration>,
+) -> Result<ExperimentOutput, ExperimentError> {
+    let execute = |run: &RunFn| {
+        catch_unwind(AssertUnwindSafe(run))
+            .map_err(|p| ExperimentError::Panicked { message: panic_message(p) })?
+            .map(|(kernel, extra)| ExperimentOutput { run: kernel, extra })
+            .map_err(ExperimentError::Sim)
+    };
+    match deadline {
+        None => execute(run.as_ref()),
+        Some(d) => {
+            // Run the attempt on its own thread and wait with a timeout. On
+            // expiry the runaway thread is abandoned — it terminates on its
+            // own when the simulator's cycle budget runs out — and the
+            // worker moves on.
+            let (tx, rx) = mpsc::channel();
+            let run = Arc::clone(run);
+            std::thread::spawn(move || {
+                let _ = tx.send(execute(run.as_ref()));
+            });
+            match rx.recv_timeout(d) {
+                Ok(result) => result,
+                Err(_) => Err(ExperimentError::TimedOut { deadline: d }),
+            }
+        }
+    }
+}
+
+/// Run one experiment to completion under the policy: attempts, capped
+/// exponential backoff between them, and a typed error if all fail.
+fn run_resilient(exp: &Experiment, policy: &SweepPolicy) -> SweepResult {
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    let mut backoff = policy.backoff;
+    loop {
+        attempts += 1;
+        match attempt(&exp.run, policy.deadline) {
+            Ok(out) => {
+                return SweepResult {
+                    name: exp.name.clone(),
+                    level: exp.level,
+                    outcome: Ok(out),
+                    attempts,
+                    wall: start.elapsed(),
+                }
+            }
+            Err(err) => {
+                if attempts > policy.retries {
+                    return SweepResult {
+                        name: exp.name.clone(),
+                        level: exp.level,
+                        outcome: Err(err),
+                        attempts,
+                        wall: start.elapsed(),
+                    };
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.backoff_cap);
+            }
+        }
+    }
+}
+
+/// [`run_sweep_with`] under the default policy (no deadline, no retries).
+pub fn run_sweep(experiments: Vec<Experiment>, threads: usize) -> SweepOutcome {
+    run_sweep_with(experiments, threads, SweepPolicy::default())
+}
+
 /// Run every experiment, `threads` at a time, and collect the results in
 /// submission order.
 ///
@@ -168,10 +406,15 @@ pub fn default_threads() -> usize {
 /// each experiment builds its own simulator, and results are stored by
 /// index, so the outcome is identical to a serial sweep.
 ///
-/// # Panics
-///
-/// Propagates a panic from any experiment once all workers have stopped.
-pub fn run_sweep(experiments: Vec<Experiment>, threads: usize) -> SweepOutcome {
+/// Failure isolation: a panicking, timing-out, or error-returning
+/// experiment records a typed [`ExperimentError`] in its own slot and
+/// never disturbs the others — the returned [`SweepOutcome`] always has
+/// one result per submitted experiment.
+pub fn run_sweep_with(
+    experiments: Vec<Experiment>,
+    threads: usize,
+    policy: SweepPolicy,
+) -> SweepOutcome {
     let threads = threads.clamp(1, experiments.len().max(1));
     let t0 = Instant::now();
     let next = AtomicUsize::new(0);
@@ -183,40 +426,57 @@ pub fn run_sweep(experiments: Vec<Experiment>, threads: usize) -> SweepOutcome {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = experiments.get(i) else { break };
-                let start = Instant::now();
-                let (run, extra) = (exp.run)();
-                let result = SweepResult {
-                    name: exp.name.clone(),
-                    level: exp.level,
-                    run,
-                    extra,
-                    wall: start.elapsed(),
-                };
-                *slots[i].lock().expect("slot lock") = Some(result);
+                let result = run_resilient(exp, &policy);
+                // Lock poisoning cannot panic-loop us: a poisoned slot just
+                // means another thread died mid-store, and the data is ours
+                // to overwrite either way.
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(result),
+                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+                }
             });
         }
     });
 
     let results = slots
         .into_iter()
-        .map(|m| m.into_inner().expect("slot lock").expect("experiment ran"))
+        .zip(&experiments)
+        .map(|(m, exp)| {
+            let inner = m.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+            // A missing result means a worker died before storing anything
+            // (should be impossible now that attempts are unwind-isolated);
+            // degrade to a typed error rather than losing the sweep.
+            inner.unwrap_or_else(|| SweepResult {
+                name: exp.name.clone(),
+                level: exp.level,
+                outcome: Err(ExperimentError::Panicked {
+                    message: "worker thread died before recording a result".to_string(),
+                }),
+                attempts: 0,
+                wall: Duration::ZERO,
+            })
+        })
         .collect();
     SweepOutcome { results, wall: t0.elapsed(), threads }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_sim::{Simulator, SystemConfig};
     use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+    use std::sync::atomic::AtomicU32;
+
+    fn tiny_run() -> Result<KernelRun, SimError> {
+        let style = LocalMemStyle::Scratchpad;
+        let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
+        let mut sim = Simulator::new(sys);
+        Ok(implicit::run(&mut sim, &ImplicitConfig::small(style))?.run)
+    }
 
     fn tiny_experiment(name: &str) -> Experiment {
-        Experiment::new(name, || {
-            let style = LocalMemStyle::Scratchpad;
-            let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
-            let mut sim = Simulator::new(sys);
-            implicit::run(&mut sim, &ImplicitConfig::small(style)).expect("completes").run
-        })
+        Experiment::new(name, tiny_run)
     }
 
     #[test]
@@ -225,6 +485,7 @@ mod tests {
         let outcome = run_sweep(names.iter().map(|n| tiny_experiment(n)).collect(), 4);
         let got: Vec<&str> = outcome.results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(got, names);
+        assert_eq!(outcome.failed(), 0);
     }
 
     #[test]
@@ -232,18 +493,96 @@ mod tests {
         let serial = run_sweep(vec![tiny_experiment("x"), tiny_experiment("y")], 1);
         let parallel = run_sweep(vec![tiny_experiment("x"), tiny_experiment("y")], 2);
         for (s, p) in serial.results.iter().zip(&parallel.results) {
-            assert_eq!(s.run, p.run);
+            assert_eq!(s.kernel_run().unwrap(), p.kernel_run().unwrap());
         }
+    }
+
+    /// The directed regression test for the old harness losing every
+    /// completed result when one experiment panicked (the
+    /// `expect("experiment ran")` path): a panic in the middle of the
+    /// sweep must leave all other results intact and produce a typed
+    /// error in its own slot.
+    #[test]
+    fn panicking_experiment_does_not_lose_other_results() {
+        let experiments = vec![
+            tiny_experiment("before"),
+            Experiment::new("bomb", || panic!("injected test panic")),
+            tiny_experiment("after"),
+        ];
+        let outcome = run_sweep(experiments, 2);
+        assert_eq!(outcome.results.len(), 3);
+        assert!(outcome.results[0].kernel_run().is_some(), "completed result lost");
+        assert!(outcome.results[2].kernel_run().is_some(), "completed result lost");
+        let err = outcome.results[1].error().expect("bomb must fail");
+        assert_eq!(err.kind(), "panicked");
+        assert!(err.to_string().contains("injected test panic"), "{err}");
+        assert_eq!(outcome.failed(), 1);
+    }
+
+    #[test]
+    fn deadline_times_out_runaway_experiments() {
+        // Precompute the fast result so the fast row finishes well inside
+        // the deadline even on a slow debug build.
+        let fast = tiny_run().expect("completes");
+        let experiments = vec![
+            Experiment::new("fast", move || Ok(fast.clone())),
+            Experiment::new("sleeper", || {
+                std::thread::sleep(Duration::from_secs(30));
+                tiny_run()
+            }),
+        ];
+        let policy = SweepPolicy::default().with_deadline(Duration::from_millis(100));
+        let outcome = run_sweep_with(experiments, 2, policy);
+        assert!(outcome.results[0].kernel_run().is_some());
+        let err = outcome.results[1].error().expect("sleeper must time out");
+        assert_eq!(err.kind(), "timed_out");
+        assert_eq!(err.to_string(), "exceeded the 0.1s deadline");
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        static FAILS: AtomicU32 = AtomicU32::new(0);
+        let experiments = vec![Experiment::new("flaky", || {
+            if FAILS.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            tiny_run()
+        })];
+        let policy =
+            SweepPolicy { retries: 2, backoff: Duration::from_millis(1), ..SweepPolicy::default() };
+        let outcome = run_sweep_with(experiments, 1, policy);
+        let r = &outcome.results[0];
+        assert!(r.kernel_run().is_some(), "retry must recover: {:?}", r.error());
+        assert_eq!(r.attempts, 2);
+        assert_eq!(outcome.total_retries(), 1);
+    }
+
+    #[test]
+    fn sim_errors_surface_as_typed_errors() {
+        let experiments = vec![Experiment::new("hang", || {
+            // A kernel that cannot finish inside its budget: spin forever.
+            use gsi_isa::{ProgramBuilder, Reg};
+            use gsi_sim::LaunchSpec;
+            let mut b = ProgramBuilder::new("spin");
+            b.ldi(Reg(1), 1);
+            let top = b.here();
+            b.bra_nz(Reg(1), top);
+            b.exit();
+            let mut cfg = SystemConfig::paper().with_gpu_cores(1);
+            cfg.max_cycles = 20_000;
+            let mut sim = Simulator::new(cfg);
+            let spec = LaunchSpec::new(b.build().expect("valid program"), 1, 1);
+            sim.run_kernel(&spec)
+        })];
+        let outcome = run_sweep(experiments, 1);
+        let err = outcome.results[0].error().expect("hang must fail");
+        assert_eq!(err.kind(), "sim_timeout");
+        assert!(err.to_string().contains("timed out"), "{err}");
     }
 
     #[test]
     fn traced_rows_report_overhead_against_off_baseline() {
-        let mk_run = || {
-            let style = LocalMemStyle::Scratchpad;
-            let sys = SystemConfig::paper().with_gpu_cores(1).with_local_mem(style.mem_kind());
-            let mut sim = Simulator::new(sys);
-            implicit::run(&mut sim, &ImplicitConfig::small(style)).expect("completes").run
-        };
+        let mk_run = || tiny_run().expect("completes");
         // Hand-built outcome with controlled wall times: the counters row
         // took 1.5x the off row, so its overhead must come out at 50%.
         let outcome = SweepOutcome {
@@ -251,15 +590,18 @@ mod tests {
                 SweepResult {
                     name: "x".into(),
                     level: TraceLevel::Off,
-                    run: mk_run(),
-                    extra: None,
+                    outcome: Ok(ExperimentOutput { run: mk_run(), extra: None }),
+                    attempts: 1,
                     wall: Duration::from_millis(100),
                 },
                 SweepResult {
                     name: "x".into(),
                     level: TraceLevel::Counters,
-                    run: mk_run(),
-                    extra: Some(gsi_json::obj! { "note" => "hi" }),
+                    outcome: Ok(ExperimentOutput {
+                        run: mk_run(),
+                        extra: Some(gsi_json::obj! { "note" => "hi" }),
+                    }),
+                    attempts: 1,
                     wall: Duration::from_millis(150),
                 },
             ],
@@ -277,12 +619,18 @@ mod tests {
     }
 
     #[test]
-    fn json_report_has_per_experiment_rows() {
-        let outcome = run_sweep(vec![tiny_experiment("only")], 1);
+    fn json_report_has_per_experiment_rows_and_status() {
+        let outcome =
+            run_sweep(vec![tiny_experiment("only"), Experiment::new("bad", || panic!("boom"))], 1);
         let v = outcome.to_json();
         let rows = v.get("experiments").unwrap().as_array().unwrap();
-        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get("name").unwrap().as_str(), Some("only"));
+        assert_eq!(rows[0].get("status").unwrap().as_str(), Some("ok"));
         assert!(rows[0].get("cycles").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(rows[1].get("status").unwrap().as_str(), Some("panicked"));
+        assert!(rows[1].get("cycles").is_none());
+        assert!(rows[1].get("error").unwrap().as_str().unwrap().contains("boom"));
+        assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
     }
 }

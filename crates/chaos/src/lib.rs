@@ -1,0 +1,530 @@
+//! # gsi-chaos — deterministic fault injection for the GSI simulator
+//!
+//! Timing chaos for a timing model: a seeded [`FaultPlan`] describes which
+//! fault kinds are armed and how hard they bite, and per-component
+//! [`ChaosEngine`]s roll a splitmix64 stream at well-defined injection
+//! points inside the NoC, the DRAM channel, the per-core memory units, and
+//! the DMA engine. Because every roll happens at a deterministic point of
+//! the (itself deterministic) simulation, a fixed plan seed reproduces the
+//! exact same fault sequence — chaotic runs are as replayable as clean ones.
+//!
+//! The faults are *timing-only*: they delay mesh flits, stretch DRAM bank
+//! latency, transiently reject MSHR allocations, pause store-buffer drains,
+//! and hold back DMA bursts for a cycle. They never corrupt data or drop a
+//! message irrecoverably, so every invariant the simulator enforces — issue
+//! cycle conservation, fixed-seed determinism, request-lifetime sums — must
+//! survive arbitrary plans. The property suite in `tests/chaos_faults.rs`
+//! holds the simulator to that claim.
+//!
+//! With chaos disabled (the default), every hook is a single predictable
+//! branch on a `bool` — the same zero-cost discipline `gsi-trace` uses for
+//! its `counters_on()` gates — so chaos-off runs compile and perform like a
+//! build that never heard of this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The kinds of timing fault the chaos engine can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Extra delivery delay on mesh messages; large enough delays reorder
+    /// deliveries relative to send order (the in-flight heap orders by
+    /// delivery cycle).
+    MeshDelay,
+    /// Extra service latency on DRAM bank accesses (bank jitter).
+    DramJitter,
+    /// Transient MSHR allocation rejection: a load that would have found a
+    /// free entry is bounced as if the MSHR were full, and replays next
+    /// cycle through the normal structural-stall path.
+    MshrStall,
+    /// Transient store-buffer drain stall: the flush engine skips a cycle,
+    /// so flushes and write-through traffic stretch out.
+    StoreBufferStall,
+    /// Dropped DMA burst: the DMA engine issues nothing this cycle and
+    /// retries the same lines on the next one.
+    DmaDrop,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable order (also the order of the
+    /// per-kind counters in [`ChaosStats`]).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::MeshDelay,
+        FaultKind::DramJitter,
+        FaultKind::MshrStall,
+        FaultKind::StoreBufferStall,
+        FaultKind::DmaDrop,
+    ];
+
+    /// Stable machine-readable name (used by CLI flags and BENCH JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MeshDelay => "mesh_delay",
+            FaultKind::DramJitter => "dram_jitter",
+            FaultKind::MshrStall => "mshr_stall",
+            FaultKind::StoreBufferStall => "store_buffer_stall",
+            FaultKind::DmaDrop => "dma_drop",
+        }
+    }
+
+    /// Parse a [`name`](Self::name) back into a kind.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::MeshDelay => 0,
+            FaultKind::DramJitter => 1,
+            FaultKind::MshrStall => 2,
+            FaultKind::StoreBufferStall => 3,
+            FaultKind::DmaDrop => 4,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How hard one fault kind bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultParams {
+    /// Injection probability per opportunity, in per-mille (0 = never,
+    /// 1000 = every opportunity).
+    pub per_mille: u16,
+    /// Maximum extra cycles for the timing kinds (mesh delay, DRAM jitter);
+    /// the injected amount is uniform in `1..=max_extra`. Ignored by the
+    /// stall/drop kinds, which cost exactly one replayed cycle each.
+    pub max_extra: u64,
+}
+
+impl FaultParams {
+    /// A parameter block that never fires.
+    pub const OFF: FaultParams = FaultParams { per_mille: 0, max_extra: 0 };
+
+    /// True if this kind can ever fire.
+    pub fn armed(self) -> bool {
+        self.per_mille > 0
+    }
+}
+
+/// A complete, seeded description of the chaos to inject into one run.
+///
+/// The plan is pure data: construct it, hand it to
+/// `Simulator::set_chaos`, and the simulator derives decorrelated
+/// per-component [`ChaosEngine`]s from `seed`. The same plan always yields
+/// the same fault sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Master seed; per-component engines derive decorrelated streams.
+    pub seed: u64,
+    /// Mesh delivery delay parameters.
+    pub mesh_delay: FaultParams,
+    /// DRAM bank jitter parameters.
+    pub dram_jitter: FaultParams,
+    /// Transient MSHR rejection parameters.
+    pub mshr_stall: FaultParams,
+    /// Store-buffer drain stall parameters.
+    pub store_buffer_stall: FaultParams,
+    /// DMA burst drop parameters.
+    pub dma_drop: FaultParams,
+}
+
+/// Default per-mille probability for [`FaultPlan::all`] /
+/// [`FaultPlan::single`]: aggressive enough to fire constantly on real
+/// workloads, bounded enough that forward progress is guaranteed.
+pub const DEFAULT_PER_MILLE: u16 = 100;
+
+/// Default `max_extra` cycles for the timing kinds. Kept small relative to
+/// protocol timeouts so livelock cannot arise from timing faults alone.
+pub const DEFAULT_MAX_EXTRA: u64 = 16;
+
+impl FaultPlan {
+    /// A plan that injects nothing (the zero-cost default).
+    pub const fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            mesh_delay: FaultParams::OFF,
+            dram_jitter: FaultParams::OFF,
+            mshr_stall: FaultParams::OFF,
+            store_buffer_stall: FaultParams::OFF,
+            dma_drop: FaultParams::OFF,
+        }
+    }
+
+    /// Arm every fault kind at the default (bounded) severity.
+    pub fn all(seed: u64) -> Self {
+        let p = FaultParams { per_mille: DEFAULT_PER_MILLE, max_extra: DEFAULT_MAX_EXTRA };
+        FaultPlan {
+            seed,
+            mesh_delay: p,
+            dram_jitter: p,
+            mshr_stall: p,
+            store_buffer_stall: p,
+            dma_drop: p,
+        }
+    }
+
+    /// Arm exactly one fault kind at the default severity.
+    pub fn single(kind: FaultKind, seed: u64) -> Self {
+        FaultPlan::disabled()
+            .with_seed(seed)
+            .with(kind, FaultParams { per_mille: DEFAULT_PER_MILLE, max_extra: DEFAULT_MAX_EXTRA })
+    }
+
+    /// Replace the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the parameters for one kind.
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, params: FaultParams) -> Self {
+        match kind {
+            FaultKind::MeshDelay => self.mesh_delay = params,
+            FaultKind::DramJitter => self.dram_jitter = params,
+            FaultKind::MshrStall => self.mshr_stall = params,
+            FaultKind::StoreBufferStall => self.store_buffer_stall = params,
+            FaultKind::DmaDrop => self.dma_drop = params,
+        }
+        self
+    }
+
+    /// Parameters for one kind.
+    pub fn params(&self, kind: FaultKind) -> FaultParams {
+        match kind {
+            FaultKind::MeshDelay => self.mesh_delay,
+            FaultKind::DramJitter => self.dram_jitter,
+            FaultKind::MshrStall => self.mshr_stall,
+            FaultKind::StoreBufferStall => self.store_buffer_stall,
+            FaultKind::DmaDrop => self.dma_drop,
+        }
+    }
+
+    /// True if any kind is armed.
+    pub fn is_armed(&self) -> bool {
+        FaultKind::ALL.into_iter().any(|k| self.params(k).armed())
+    }
+
+    /// JSON description (seed plus the armed kinds), for BENCH reports.
+    pub fn to_json(&self) -> gsi_json::Value {
+        use gsi_json::Value;
+        let mut obj = vec![("seed".to_string(), Value::U64(self.seed))];
+        for kind in FaultKind::ALL {
+            let p = self.params(kind);
+            if p.armed() {
+                obj.push((
+                    kind.name().to_string(),
+                    Value::Object(vec![
+                        ("per_mille".to_string(), Value::U64(u64::from(p.per_mille))),
+                        ("max_extra".to_string(), Value::U64(p.max_extra)),
+                    ]),
+                ));
+            }
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+/// Per-kind counts of injected faults (indexed by [`FaultKind::ALL`] order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    injected: [u64; 5],
+}
+
+impl ChaosStats {
+    /// Faults injected for one kind.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total faults injected across every kind.
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Accumulate another engine's counts (used to aggregate the
+    /// per-component engines into one run-level summary).
+    pub fn merge(&mut self, other: &ChaosStats) {
+        for (a, b) in self.injected.iter_mut().zip(other.injected.iter()) {
+            *a += b;
+        }
+    }
+
+    /// JSON object of per-kind counts plus the total.
+    pub fn to_json(&self) -> gsi_json::Value {
+        use gsi_json::Value;
+        let mut obj: Vec<(String, Value)> = FaultKind::ALL
+            .into_iter()
+            .map(|k| (k.name().to_string(), Value::U64(self.count(k))))
+            .collect();
+        obj.push(("total".to_string(), Value::U64(self.total())));
+        Value::Object(obj)
+    }
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A per-component fault roller: one splitmix64 stream plus a copy of the
+/// plan's parameters and per-kind injection counters.
+///
+/// Each simulated component (the mesh, the shared L2/DRAM side, each core's
+/// memory unit) owns its own engine so rolls in one component never perturb
+/// another's stream — adding a core to the system leaves the mesh's fault
+/// sequence untouched. Engines for distinct components are decorrelated by
+/// hashing a `stream` index into the master seed.
+///
+/// The disabled engine (the [`Default`]) answers every hook with a single
+/// branch on `enabled` and touches nothing else.
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    enabled: bool,
+    state: u64,
+    plan: FaultPlan,
+    stats: ChaosStats,
+}
+
+impl ChaosEngine {
+    /// The zero-cost no-op engine.
+    pub const fn disabled() -> Self {
+        ChaosEngine {
+            enabled: false,
+            state: 0,
+            plan: FaultPlan::disabled(),
+            stats: ChaosStats { injected: [0; 5] },
+        }
+    }
+
+    /// Derive the engine for component `stream` of a plan. Distinct streams
+    /// get decorrelated splitmix64 sequences; the same `(plan, stream)`
+    /// always yields the same sequence.
+    pub fn for_component(plan: &FaultPlan, stream: u64) -> Self {
+        if !plan.is_armed() {
+            return ChaosEngine::disabled();
+        }
+        // Hash the stream index through one splitmix64 step so streams 0, 1,
+        // 2… land far apart in the master sequence.
+        let mut s = plan.seed ^ stream.wrapping_mul(SPLITMIX_GAMMA);
+        let state = splitmix64(&mut s);
+        ChaosEngine { enabled: true, state, plan: *plan, stats: ChaosStats::default() }
+    }
+
+    /// True if this engine can inject anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Per-kind injection counts so far.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Roll `per_mille` on this engine's stream.
+    #[inline]
+    fn fires(&mut self, params: FaultParams) -> bool {
+        params.per_mille > 0 && (splitmix64(&mut self.state) % 1000) < u64::from(params.per_mille)
+    }
+
+    /// Uniform extra delay in `1..=max_extra` (0 when `max_extra` is 0).
+    #[inline]
+    fn extra(&mut self, params: FaultParams) -> u64 {
+        if params.max_extra == 0 {
+            return 0;
+        }
+        1 + splitmix64(&mut self.state) % params.max_extra
+    }
+
+    /// Extra delivery delay for a mesh message, or 0.
+    #[inline]
+    pub fn mesh_extra_delay(&mut self) -> u64 {
+        if !self.enabled || !self.fires(self.plan.mesh_delay) {
+            return 0;
+        }
+        self.stats.injected[FaultKind::MeshDelay.index()] += 1;
+        self.extra(self.plan.mesh_delay)
+    }
+
+    /// Extra service latency for a DRAM access, or 0.
+    #[inline]
+    pub fn dram_extra_latency(&mut self) -> u64 {
+        if !self.enabled || !self.fires(self.plan.dram_jitter) {
+            return 0;
+        }
+        self.stats.injected[FaultKind::DramJitter.index()] += 1;
+        self.extra(self.plan.dram_jitter)
+    }
+
+    /// Should this MSHR allocation be transiently rejected?
+    #[inline]
+    pub fn stall_mshr(&mut self) -> bool {
+        if !self.enabled || !self.fires(self.plan.mshr_stall) {
+            return false;
+        }
+        self.stats.injected[FaultKind::MshrStall.index()] += 1;
+        true
+    }
+
+    /// Should the store-buffer flush engine skip this cycle?
+    #[inline]
+    pub fn stall_store_buffer(&mut self) -> bool {
+        if !self.enabled || !self.fires(self.plan.store_buffer_stall) {
+            return false;
+        }
+        self.stats.injected[FaultKind::StoreBufferStall.index()] += 1;
+        true
+    }
+
+    /// Should this cycle's DMA burst be dropped (and retried next cycle)?
+    #[inline]
+    pub fn drop_dma_burst(&mut self) -> bool {
+        if !self.enabled || !self.fires(self.plan.dma_drop) {
+            return false;
+        }
+        self.stats.injected[FaultKind::DmaDrop.index()] += 1;
+        true
+    }
+}
+
+impl Default for ChaosEngine {
+    fn default() -> Self {
+        ChaosEngine::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_engine_injects_nothing() {
+        let mut e = ChaosEngine::disabled();
+        for _ in 0..1000 {
+            assert_eq!(e.mesh_extra_delay(), 0);
+            assert_eq!(e.dram_extra_latency(), 0);
+            assert!(!e.stall_mshr());
+            assert!(!e.stall_store_buffer());
+            assert!(!e.drop_dma_burst());
+        }
+        assert_eq!(e.stats().total(), 0);
+    }
+
+    #[test]
+    fn unarmed_plan_yields_disabled_engines() {
+        let e = ChaosEngine::for_component(&FaultPlan::disabled().with_seed(42), 0);
+        assert!(!e.is_enabled());
+    }
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let plan = FaultPlan::all(0xDEADBEEF);
+        let mut a = ChaosEngine::for_component(&plan, 3);
+        let mut b = ChaosEngine::for_component(&plan, 3);
+        for _ in 0..10_000 {
+            assert_eq!(a.mesh_extra_delay(), b.mesh_extra_delay());
+            assert_eq!(a.stall_mshr(), b.stall_mshr());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn distinct_streams_are_decorrelated() {
+        let plan = FaultPlan::all(7);
+        let mut a = ChaosEngine::for_component(&plan, 0);
+        let mut b = ChaosEngine::for_component(&plan, 1);
+        let seq_a: Vec<u64> = (0..200).map(|_| a.mesh_extra_delay()).collect();
+        let seq_b: Vec<u64> = (0..200).map(|_| b.mesh_extra_delay()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn armed_kinds_fire_within_bounds() {
+        let plan = FaultPlan::all(99);
+        let mut e = ChaosEngine::for_component(&plan, 0);
+        let mut fired = 0u64;
+        for _ in 0..10_000 {
+            let d = e.mesh_extra_delay();
+            assert!(d <= DEFAULT_MAX_EXTRA);
+            if d > 0 {
+                fired += 1;
+            }
+        }
+        // 10% per-mille over 10k opportunities: expect roughly 1000 hits.
+        assert!(fired > 500 && fired < 1500, "fired {fired} of 10000");
+        assert_eq!(e.stats().count(FaultKind::MeshDelay), fired);
+    }
+
+    #[test]
+    fn single_arms_exactly_one_kind() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::single(kind, 5);
+            for other in FaultKind::ALL {
+                assert_eq!(plan.params(other).armed(), kind == other);
+            }
+            assert!(plan.is_armed());
+        }
+    }
+
+    #[test]
+    fn per_mille_1000_always_fires() {
+        let plan = FaultPlan::disabled()
+            .with(FaultKind::MshrStall, FaultParams { per_mille: 1000, max_extra: 0 });
+        let mut e = ChaosEngine::for_component(&plan, 0);
+        for _ in 0..100 {
+            assert!(e.stall_mshr());
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let plan = FaultPlan::all(1);
+        let mut a = ChaosEngine::for_component(&plan, 0);
+        let mut b = ChaosEngine::for_component(&plan, 1);
+        for _ in 0..1000 {
+            a.mesh_extra_delay();
+            b.dram_extra_latency();
+        }
+        let mut total = ChaosStats::default();
+        total.merge(a.stats());
+        total.merge(b.stats());
+        assert_eq!(total.total(), a.stats().total() + b.stats().total());
+    }
+
+    #[test]
+    fn plan_json_lists_armed_kinds() {
+        let plan = FaultPlan::single(FaultKind::DramJitter, 11);
+        let rendered = plan.to_json().to_string();
+        assert!(rendered.contains("dram_jitter"));
+        assert!(!rendered.contains("mesh_delay"));
+    }
+}

@@ -300,6 +300,7 @@ impl StallCollector {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::classify::{judge_cycle, InstrHazards};
     use crate::stall::MemStructCause;

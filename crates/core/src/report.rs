@@ -325,6 +325,7 @@ pub fn factor(from: u64, to: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn sample(no_stall: u64, sync: u64, mem: u64) -> StallBreakdown {

@@ -310,6 +310,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::builder::ProgramBuilder;
 

@@ -324,6 +324,7 @@ impl<'p> Interp<'p> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::builder::ProgramBuilder;
     use crate::instr::{MemSem, Reg};

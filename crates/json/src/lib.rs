@@ -778,6 +778,7 @@ macro_rules! obj {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -133,6 +133,7 @@ impl<S> TagArray<S> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -17,6 +17,7 @@ use crate::scratchpad::{bank_conflict_extra, Scratchpad};
 use crate::stash::{StashMapping, StashMem};
 use crate::store_buffer::{StoreBuffer, StoreBufferFull};
 use crate::TagArray;
+use gsi_chaos::ChaosEngine;
 use gsi_core::{MemStructCause, RequestId};
 use gsi_noc::NodeId;
 use gsi_trace::{NullSink, TraceEvent, TraceSink};
@@ -222,6 +223,7 @@ pub struct CoreMemUnit {
     outbox: Vec<(NodeId, MemMsg)>,
     delayed_out: BinaryHeap<Reverse<(u64, u64, NodeId, MemMsg)>>,
     stats: CoreMemStats,
+    chaos: ChaosEngine,
 }
 
 /// The most lines one warp access can touch: 32 lanes x 8-byte words over
@@ -272,6 +274,7 @@ impl CoreMemUnit {
             outbox: Vec::new(),
             delayed_out: BinaryHeap::new(),
             stats: CoreMemStats::default(),
+            chaos: ChaosEngine::disabled(),
             cfg,
         }
     }
@@ -284,6 +287,64 @@ impl CoreMemUnit {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &CoreMemStats {
         &self.stats
+    }
+
+    /// Install a fault-injection engine for this core's memory unit. Armed
+    /// engines transiently reject MSHR allocations, pause store-buffer
+    /// drains, and drop DMA bursts — always through the existing replay
+    /// paths, so stall accounting stays conserved.
+    pub fn set_chaos(&mut self, chaos: ChaosEngine) {
+        self.chaos = chaos;
+    }
+
+    /// Fault-injection counters for this unit.
+    pub fn chaos_stats(&self) -> &gsi_chaos::ChaosStats {
+        self.chaos.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Progress diagnostics (read by the simulator's forward-progress
+    // watchdog; not on the hot path)
+    // ------------------------------------------------------------------
+
+    /// MSHR entries currently allocated.
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Total MSHR entries.
+    pub fn mshr_capacity(&self) -> usize {
+        self.mshr.capacity()
+    }
+
+    /// Store-buffer entries currently occupied.
+    pub fn store_buffer_occupancy(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// Total store-buffer entries.
+    pub fn store_buffer_capacity(&self) -> usize {
+        self.sb.capacity()
+    }
+
+    /// Kernel-end stash writebacks still queued behind the store buffer.
+    pub fn endflush_backlog(&self) -> usize {
+        self.endflush.len()
+    }
+
+    /// True while the flush engine is draining.
+    pub fn is_flushing(&self) -> bool {
+        self.flushing
+    }
+
+    /// Atomics issued but not yet serviced by the L2.
+    pub fn outstanding_atomic_count(&self) -> usize {
+        self.outstanding_atomics.len()
+    }
+
+    /// True if the DMA engine still has lines to issue or await.
+    pub fn dma_busy(&self) -> bool {
+        !self.dma.all_complete()
     }
 
     fn alloc_req(&mut self) -> RequestId {
@@ -375,6 +436,13 @@ impl CoreMemUnit {
         sink: &mut S,
     ) -> Result<LoadIssued, LsuReject> {
         self.lsu_check(now)?;
+        // Chaos: a transiently "stuck" MSHR bounces the access through the
+        // same structural-hazard path a genuinely full MSHR takes, so the
+        // SM replays next cycle and the stall books as MshrFull.
+        if self.chaos.stall_mshr() {
+            self.lsu_busy_cause = MemStructCause::MshrFull;
+            return Err(LsuReject::MshrFull);
+        }
         let lines: BTreeSet<LineAddr> = addrs.iter().map(|&a| line_of(a)).collect();
         // Plan: every line that misses L1 and has no in-flight fetch needs a
         // free MSHR entry.
@@ -1222,7 +1290,7 @@ impl CoreMemUnit {
 
         // Flush engine: drain store-buffer entries, then kernel-end stash
         // writebacks, at the configured rate.
-        if self.flushing {
+        if self.flushing && !self.chaos.stall_store_buffer() {
             for _ in 0..self.cfg.flush_rate {
                 if let Some((line, mask)) = self.sb.pop_oldest() {
                     self.drain_entry(line, mask, false);
@@ -1253,8 +1321,13 @@ impl CoreMemUnit {
             }
         }
 
-        // DMA engine: issue lines at the configured rate.
+        // DMA engine: issue lines at the configured rate. A chaos-dropped
+        // burst skips the whole cycle; the same lines retry next tick.
+        let dma_dropped = self.dma.next_line().is_some() && self.chaos.drop_dma_burst();
         for _ in 0..self.cfg.dma_lines_per_cycle {
+            if dma_dropped {
+                break;
+            }
             let Some((line, dir)) = self.dma.next_line() else { break };
             match dir {
                 DmaDirection::ToScratchpad => {
@@ -1348,6 +1421,7 @@ impl CoreMemUnit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn unit(protocol: Protocol, kind: LocalMemKind) -> CoreMemUnit {

@@ -178,6 +178,7 @@ impl DmaEngine {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

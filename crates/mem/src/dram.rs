@@ -48,9 +48,16 @@ impl<T: Eq> DramModel<T> {
 
     /// Enqueue an access at cycle `now`; returns the completion cycle.
     pub fn access(&mut self, now: u64, payload: T) -> u64 {
+        self.access_jittered(now, 0, payload)
+    }
+
+    /// [`access`](Self::access) with `extra` cycles of service-latency
+    /// jitter (fault injection: a slow bank cycle). The bank's availability
+    /// window (`gap`) is unchanged, only this access completes later.
+    pub fn access_jittered(&mut self, now: u64, extra: u64, payload: T) -> u64 {
         let start = now.max(self.next_free);
         self.next_free = start + self.gap;
-        let done = start + self.latency;
+        let done = start + self.latency + extra;
         self.jobs.push(Reverse((done, self.seq, JobWrap(payload))));
         self.seq += 1;
         self.requests += 1;

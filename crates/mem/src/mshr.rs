@@ -124,6 +124,7 @@ impl<T> Mshr<T> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

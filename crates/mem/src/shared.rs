@@ -6,6 +6,7 @@ use crate::dram::DramModel;
 use crate::gmem::GlobalMem;
 use crate::line::LineAddr;
 use crate::msg::{MemMsg, Provenance};
+use gsi_chaos::ChaosEngine;
 use gsi_noc::{Mesh, NodeId};
 use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
@@ -83,6 +84,7 @@ pub struct SharedMem {
     /// Core index -> mesh node, for directory forwards and recalls.
     core_nodes: Vec<NodeId>,
     stats: L2Stats,
+    chaos: ChaosEngine,
 }
 
 impl SharedMem {
@@ -109,7 +111,19 @@ impl SharedMem {
             cfg,
             core_nodes,
             stats: L2Stats::default(),
+            chaos: ChaosEngine::disabled(),
         }
+    }
+
+    /// Install a fault-injection engine for the DRAM channel. Armed engines
+    /// stretch a deterministic subset of bank accesses by bounded jitter.
+    pub fn set_chaos(&mut self, chaos: ChaosEngine) {
+        self.chaos = chaos;
+    }
+
+    /// Fault-injection counters for the shared side.
+    pub fn chaos_stats(&self) -> &gsi_chaos::ChaosStats {
+        self.chaos.stats()
     }
 
     /// The bank index servicing a line.
@@ -306,7 +320,12 @@ impl SharedMem {
                             let first = waiters.is_empty();
                             waiters.push(reply_to);
                             if first {
-                                self.dram.access(now, DramJob { bank: b, line, is_write: false });
+                                let jitter = self.chaos.dram_extra_latency();
+                                self.dram.access_jittered(
+                                    now,
+                                    jitter,
+                                    DramJob { bank: b, line, is_write: false },
+                                );
                             }
                         }
                     }
@@ -318,7 +337,12 @@ impl SharedMem {
                 if !hit {
                     // No-allocate on writes: pass through to main memory
                     // (bandwidth only).
-                    self.dram.access(now, DramJob { bank: b, line, is_write: true });
+                    let jitter = self.chaos.dram_extra_latency();
+                    self.dram.access_jittered(
+                        now,
+                        jitter,
+                        DramJob { bank: b, line, is_write: true },
+                    );
                 }
                 self.send(now, mesh, bank_node, reply_to, MemMsg::WriteAck { line }, sink);
             }

@@ -134,6 +134,7 @@ impl StoreBuffer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

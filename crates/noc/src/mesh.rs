@@ -1,6 +1,7 @@
 //! The mesh topology, XY routing, and link-contention timing model.
 
 use crate::stats::NocStats;
+use gsi_chaos::ChaosEngine;
 use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -141,6 +142,7 @@ pub struct Mesh<T: Eq> {
     in_flight: BinaryHeap<Reverse<InFlight<T>>>,
     seq: u64,
     stats: NocStats,
+    chaos: ChaosEngine,
 }
 
 impl<T: Eq> Mesh<T> {
@@ -152,12 +154,26 @@ impl<T: Eq> Mesh<T> {
             seq: 0,
             cfg,
             stats: NocStats::default(),
+            chaos: ChaosEngine::disabled(),
         }
     }
 
     /// The mesh configuration.
     pub fn config(&self) -> &MeshConfig {
         &self.cfg
+    }
+
+    /// Install a fault-injection engine. Armed engines add bounded extra
+    /// delay to a deterministic subset of deliveries (which may reorder
+    /// them relative to send order); the disabled default costs one branch
+    /// per send.
+    pub fn set_chaos(&mut self, chaos: ChaosEngine) {
+        self.chaos = chaos;
+    }
+
+    /// Fault-injection counters for this mesh.
+    pub fn chaos_stats(&self) -> &gsi_chaos::ChaosStats {
+        self.chaos.stats()
     }
 
     /// Traffic statistics accumulated so far.
@@ -242,7 +258,7 @@ impl<T: Eq> Mesh<T> {
             // Ejection router + serialization of the payload into the
             // destination.
             t + self.cfg.router_delay + ser
-        };
+        } + self.chaos.mesh_extra_delay();
 
         self.stats.messages += 1;
         self.stats.bytes += u64::from(size_bytes);
@@ -456,6 +472,47 @@ mod tests {
         m.deliver_into_traced(eta, &mut out, &mut buf);
         assert_eq!(out.len(), 1);
         assert_eq!(buf.count("mesh_deliver"), 1);
+    }
+
+    #[test]
+    fn chaos_delay_stretches_and_reorders_deliveries() {
+        use gsi_chaos::{ChaosEngine, FaultKind, FaultParams, FaultPlan};
+        let plan = FaultPlan::disabled()
+            .with_seed(0xC0FFEE)
+            .with(FaultKind::MeshDelay, FaultParams { per_mille: 500, max_extra: 64 });
+        let mut clean = mesh();
+        let mut chaotic = mesh();
+        chaotic.set_chaos(ChaosEngine::for_component(&plan, 0));
+        let mut clean_total = 0u64;
+        let mut chaos_total = 0u64;
+        for i in 0..64 {
+            clean_total += clean.send(0, NodeId(0), NodeId(2), 16, i);
+            chaos_total += chaotic.send(0, NodeId(0), NodeId(2), 16, i);
+        }
+        assert!(chaos_total > clean_total, "injected delay must show up in ETAs");
+        assert!(chaotic.chaos_stats().count(FaultKind::MeshDelay) > 0);
+        // Delivery stays loss-free: every payload still arrives, and the
+        // heap orders by (possibly perturbed) delivery time.
+        let mut got: Vec<u32> = chaotic.deliver(u64::MAX).into_iter().map(|(_, p)| p).collect();
+        assert_ne!(got, (0..64).collect::<Vec<_>>(), "faults should reorder this burst");
+        got.sort_unstable();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chaos_same_seed_is_bit_deterministic() {
+        use gsi_chaos::{ChaosEngine, FaultPlan};
+        let plan = FaultPlan::all(1234);
+        let mut a = mesh();
+        let mut b = mesh();
+        a.set_chaos(ChaosEngine::for_component(&plan, 0));
+        b.set_chaos(ChaosEngine::for_component(&plan, 0));
+        for i in 0..100u32 {
+            let src = NodeId((i % 16) as u8);
+            let dst = NodeId(((i * 7) % 16) as u8);
+            assert_eq!(a.send(0, src, dst, 32, i), b.send(0, src, dst, 32, i));
+        }
+        assert_eq!(a.deliver(u64::MAX), b.deliver(u64::MAX));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! and determinism. Driven by a fixed-seed SplitMix64 generator
 //! (deterministic, no external crates).
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi_noc::{Mesh, MeshConfig, NodeId};
 
 /// Deterministic SplitMix64 generator.

@@ -27,6 +27,12 @@ pub struct SystemConfig {
     /// Safety limit: a kernel that exceeds this many cycles aborts with
     /// [`SimError::Timeout`](crate::SimError::Timeout).
     pub max_cycles: u64,
+    /// Forward-progress watchdog: if no progress signal (instruction
+    /// issued, block completed, or mesh message sent) changes for this many
+    /// cycles, the run aborts with a diagnostic
+    /// [`ProgressReport`](crate::ProgressReport) instead of burning the
+    /// rest of the `max_cycles` budget. 0 disables the watchdog.
+    pub progress_window: u64,
 }
 
 impl Default for SystemConfig {
@@ -44,6 +50,7 @@ impl SystemConfig {
             mesh: MeshConfig::default(),
             gpu_cores: 15,
             max_cycles: 200_000_000,
+            progress_window: 2_000_000,
         }
     }
 
@@ -93,6 +100,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_cycle_priority(mut self, priority: CyclePriority) -> Self {
         self.sm.cycle_priority = priority;
+        self
+    }
+
+    /// Set the forward-progress watchdog window (0 disables it).
+    #[must_use]
+    pub fn with_progress_window(mut self, cycles: u64) -> Self {
+        self.progress_window = cycles;
         self
     }
 
@@ -162,7 +176,7 @@ impl SystemConfig {
     }
 }
 
-gsi_json::json_struct!(SystemConfig { mem, sm, mesh, gpu_cores, max_cycles });
+gsi_json::json_struct!(SystemConfig { mem, sm, mesh, gpu_cores, max_cycles, progress_window });
 
 #[cfg(test)]
 mod tests {

@@ -84,6 +84,7 @@ impl LaunchSpec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_isa::ProgramBuilder;
 

@@ -37,7 +37,9 @@
 mod config;
 mod launch;
 mod machine;
+mod progress;
 
 pub use config::SystemConfig;
 pub use launch::{LaunchCtx, LaunchSpec};
 pub use machine::{KernelRun, SimError, Simulator};
+pub use progress::{ProgressReport, SmProgress, TimeoutKind};

@@ -2,6 +2,8 @@
 
 use crate::config::SystemConfig;
 use crate::launch::{LaunchCtx, LaunchSpec};
+use crate::progress::{ProgressReport, SmProgress, TimeoutKind};
+use gsi_chaos::{ChaosEngine, ChaosStats, FaultPlan};
 use gsi_core::{ConservationError, StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
 use gsi_noc::{Mesh, NocStats, NodeId};
@@ -13,8 +15,11 @@ use std::time::Instant;
 /// Simulation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The kernel did not complete within the configured cycle budget —
-    /// usually a livelocked workload (e.g. a lock never released).
+    /// The kernel did not complete: either the cycle budget ran out or the
+    /// forward-progress watchdog saw nothing move for too long — usually a
+    /// livelocked workload (e.g. a lock never released) or a wedged
+    /// resource. The attached [`ProgressReport`] snapshots the machine at
+    /// the moment it gave up.
     Timeout {
         /// Cycles simulated before giving up.
         cycles: u64,
@@ -22,6 +27,9 @@ pub enum SimError {
         blocks_done: u64,
         /// Blocks in the grid.
         blocks_total: u64,
+        /// Full diagnostic dump: per-warp stall state, queue occupancies,
+        /// in-flight traffic, and the starved-resource heuristic.
+        report: Box<ProgressReport>,
     },
     /// A stall collector's end-of-run conservation check failed: the
     /// breakdown no longer partitions the observed cycles. A simulator bug,
@@ -37,9 +45,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Timeout { cycles, blocks_done, blocks_total } => write!(
+            SimError::Timeout { cycles, blocks_done, blocks_total, report } => write!(
                 f,
-                "kernel timed out after {cycles} cycles ({blocks_done}/{blocks_total} blocks done)"
+                "kernel timed out after {cycles} cycles \
+                 ({blocks_done}/{blocks_total} blocks done): {report}"
             ),
             SimError::Accounting { sm, error } => {
                 write!(f, "stall accounting corrupted on SM {sm}: {error}")
@@ -128,6 +137,7 @@ pub struct Simulator {
     profiling: bool,
     scratch: SimScratch,
     trace: TraceBuffer,
+    chaos_plan: FaultPlan,
 }
 
 impl fmt::Debug for Simulator {
@@ -173,8 +183,94 @@ impl Simulator {
             profiling: true,
             scratch: SimScratch::default(),
             trace: TraceBuffer::disabled(),
+            chaos_plan: FaultPlan::disabled(),
             cfg,
         }
+    }
+
+    /// Arm deterministic fault injection: derive decorrelated per-component
+    /// [`ChaosEngine`]s from the plan's seed and install them into the
+    /// mesh, the shared L2/DRAM side, and every core's memory unit. An
+    /// unarmed plan restores the zero-cost disabled engines.
+    pub fn set_chaos(&mut self, plan: &FaultPlan) {
+        self.chaos_plan = *plan;
+        self.mesh.set_chaos(ChaosEngine::for_component(plan, 0));
+        self.shared.set_chaos(ChaosEngine::for_component(plan, 1));
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            c.mem.set_chaos(ChaosEngine::for_component(plan, 2 + i as u64));
+        }
+    }
+
+    /// The fault plan currently armed (the disabled plan by default).
+    pub fn chaos_plan(&self) -> &FaultPlan {
+        &self.chaos_plan
+    }
+
+    /// Aggregate fault-injection counters across every component engine.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut total = ChaosStats::default();
+        total.merge(self.mesh.chaos_stats());
+        total.merge(self.shared.chaos_stats());
+        for c in &self.cores {
+            total.merge(c.mem.chaos_stats());
+        }
+        total
+    }
+
+    /// Snapshot the whole machine for the forward-progress watchdog. Only
+    /// called when a run is being aborted; allocation here is fine.
+    fn progress_report(
+        &self,
+        kind: TimeoutKind,
+        cycles_run: u64,
+        stalled_for: u64,
+        blocks_done: u64,
+        blocks_dispatched: u64,
+        blocks_total: u64,
+    ) -> Box<ProgressReport> {
+        let sms = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut warps = Vec::new();
+                c.sm.warp_snapshots(&mut warps);
+                SmProgress {
+                    sm: i as u8,
+                    active_warps: c.sm.active_warps(),
+                    instructions: c.sm.stats().instructions,
+                    mshr_occupancy: c.mem.mshr_occupancy(),
+                    mshr_capacity: c.mem.mshr_capacity(),
+                    store_buffer_occupancy: c.mem.store_buffer_occupancy(),
+                    store_buffer_capacity: c.mem.store_buffer_capacity(),
+                    endflush_backlog: c.mem.endflush_backlog(),
+                    flushing: c.mem.is_flushing(),
+                    outstanding_atomics: c.mem.outstanding_atomic_count(),
+                    dma_busy: c.mem.dma_busy(),
+                    breakdown: c.collector.clone().finish(),
+                    warps,
+                }
+            })
+            .collect();
+        Box::new(ProgressReport {
+            kind,
+            cycles_run,
+            stalled_for,
+            blocks_done,
+            blocks_dispatched,
+            blocks_total,
+            mesh_in_flight: self.mesh.in_flight(),
+            sms,
+        })
+    }
+
+    /// The watchdog's progress signature: any change counts as forward
+    /// progress. Instructions cover execution, blocks cover dispatch and
+    /// retirement, mesh messages cover the end-of-kernel flush and DMA
+    /// phases (which retire no instructions).
+    fn progress_signature(&self, blocks_done: u64) -> (u64, u64, u64) {
+        let instructions: u64 = self.cores.iter().map(|c| c.sm.stats().instructions).sum();
+        (instructions, blocks_done, self.mesh.stats().messages)
     }
 
     /// Enable cycle-level tracing at `level`, sizing the trace buffers for
@@ -271,14 +367,53 @@ impl Simulator {
         let mut blocks_done = 0u64;
         let mut end_flush = false;
 
+        // Forward-progress watchdog state. The signature is re-sampled every
+        // `WATCHDOG_PERIOD` cycles (a mask test plus, on sampling cycles, a
+        // sum over the SMs), so the steady-state loop stays allocation-free
+        // and effectively branch-free.
+        const WATCHDOG_PERIOD: u64 = 4096;
+        let mut progress_sig = self.progress_signature(0);
+        let mut last_progress = start;
+
         loop {
             let now = self.cycle;
             if now - start > self.cfg.max_cycles {
+                let report = self.progress_report(
+                    TimeoutKind::CycleBudget,
+                    now - start,
+                    now - last_progress,
+                    blocks_done,
+                    next_block,
+                    spec.grid_blocks,
+                );
                 return Err(SimError::Timeout {
                     cycles: now - start,
                     blocks_done,
                     blocks_total: spec.grid_blocks,
+                    report,
                 });
+            }
+            if self.cfg.progress_window > 0 && now & (WATCHDOG_PERIOD - 1) == 0 {
+                let sig = self.progress_signature(blocks_done);
+                if sig != progress_sig {
+                    progress_sig = sig;
+                    last_progress = now;
+                } else if now - last_progress >= self.cfg.progress_window {
+                    let report = self.progress_report(
+                        TimeoutKind::NoForwardProgress,
+                        now - start,
+                        now - last_progress,
+                        blocks_done,
+                        next_block,
+                        spec.grid_blocks,
+                    );
+                    return Err(SimError::Timeout {
+                        cycles: now - start,
+                        blocks_done,
+                        blocks_total: spec.grid_blocks,
+                        report,
+                    });
+                }
             }
 
             let profiling = self.trace.self_profiling();
@@ -420,6 +555,7 @@ impl Simulator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_isa::{MemSem, Operand, ProgramBuilder, Reg};

@@ -1,0 +1,266 @@
+//! The forward-progress watchdog's diagnostic dump.
+//!
+//! When a kernel stops retiring instructions (or exhausts its cycle
+//! budget), a bare "timed out" is useless for root-causing: the interesting
+//! state — which warps are stuck on what, which queues are full, what is
+//! still in flight — is gone by the time the error surfaces. The watchdog
+//! instead snapshots the whole machine into a [`ProgressReport`] at the
+//! moment it gives up, so a hang explains itself.
+
+use gsi_core::{MemStructCause, StallBreakdown, StallKind};
+use gsi_sm::WarpSnapshot;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Why the watchdog stopped the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// The configured `max_cycles` budget was exhausted.
+    CycleBudget,
+    /// No progress signal (instruction retired, block completed, or mesh
+    /// message sent) changed for the configured `progress_window`.
+    NoForwardProgress,
+}
+
+impl fmt::Display for TimeoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutKind::CycleBudget => f.write_str("cycle budget exhausted"),
+            TimeoutKind::NoForwardProgress => f.write_str("no forward progress"),
+        }
+    }
+}
+
+/// Per-SM slice of a [`ProgressReport`]: pipeline position, queue
+/// occupancies, and a stall-state snapshot of every resident warp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmProgress {
+    /// SM index.
+    pub sm: u8,
+    /// Warps that have not exited.
+    pub active_warps: usize,
+    /// Instructions this SM has issued over its lifetime.
+    pub instructions: u64,
+    /// MSHR entries allocated / total.
+    pub mshr_occupancy: usize,
+    /// MSHR capacity.
+    pub mshr_capacity: usize,
+    /// Store-buffer entries occupied / total.
+    pub store_buffer_occupancy: usize,
+    /// Store-buffer capacity.
+    pub store_buffer_capacity: usize,
+    /// Kernel-end stash writebacks still queued.
+    pub endflush_backlog: usize,
+    /// The flush engine is mid-drain.
+    pub flushing: bool,
+    /// Atomics issued but not yet serviced.
+    pub outstanding_atomics: usize,
+    /// The DMA engine still has work.
+    pub dma_busy: bool,
+    /// The stall breakdown accumulated so far this kernel.
+    pub breakdown: StallBreakdown,
+    /// Stall-state snapshot of every resident warp.
+    pub warps: Vec<WarpSnapshot>,
+}
+
+impl SmProgress {
+    /// Warps stuck in a named wait state (anything but issuable/exited).
+    pub fn stalled_warps(&self) -> impl Iterator<Item = &WarpSnapshot> {
+        self.warps.iter().filter(|w| w.active && w.stall_state() != "issuable")
+    }
+}
+
+/// A snapshot of the whole machine taken by the forward-progress watchdog
+/// the moment it aborted a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Why the watchdog fired.
+    pub kind: TimeoutKind,
+    /// Cycles simulated for this kernel before giving up.
+    pub cycles_run: u64,
+    /// Cycles since the last observed progress signal.
+    pub stalled_for: u64,
+    /// Blocks completed / dispatched / total.
+    pub blocks_done: u64,
+    /// Blocks handed to SMs so far.
+    pub blocks_dispatched: u64,
+    /// Blocks in the grid.
+    pub blocks_total: u64,
+    /// Messages currently in flight on the mesh.
+    pub mesh_in_flight: usize,
+    /// Per-SM state.
+    pub sms: Vec<SmProgress>,
+}
+
+impl ProgressReport {
+    /// Heuristic: the resource most plausibly starving the machine, as a
+    /// stable lower-case name (`"mshr"`, `"store-buffer"`, `"barrier"`,
+    /// `"synchronization"`, `"memory-data"`, `"mesh"`, `"dma"`), or
+    /// `"unknown"` when nothing stands out.
+    ///
+    /// The heuristic looks at hard occupancy evidence first (a full MSHR or
+    /// store buffer on any SM), then at what the stalled warps are waiting
+    /// on, then at the dominant structural stall cause in the accumulated
+    /// breakdowns, and finally at residual in-flight machinery.
+    pub fn starved_resource(&self) -> &'static str {
+        if self.sms.iter().any(|s| s.mshr_capacity > 0 && s.mshr_occupancy >= s.mshr_capacity) {
+            return "mshr";
+        }
+        if self.sms.iter().any(|s| {
+            s.store_buffer_capacity > 0 && s.store_buffer_occupancy >= s.store_buffer_capacity
+        }) {
+            return "store-buffer";
+        }
+        let mut barrier = 0usize;
+        let mut sync = 0usize;
+        let mut load_wait = 0usize;
+        let mut live = 0usize;
+        for sm in &self.sms {
+            for w in &sm.warps {
+                if !w.active {
+                    continue;
+                }
+                live += 1;
+                match w.stall_state() {
+                    "barrier" => barrier += 1,
+                    "sync" => sync += 1,
+                    "load-wait" => load_wait += 1,
+                    _ => {}
+                }
+            }
+        }
+        if live > 0 && barrier == live {
+            return "barrier";
+        }
+        if live > 0 && sync + barrier == live {
+            return "synchronization";
+        }
+        if live > 0 && load_wait == live {
+            return "memory-data";
+        }
+        // Dominant structural cause across the accumulated breakdowns: the
+        // strongest signal when warps are bounced at issue (e.g. a wedged
+        // MSHR rejects every access while staying empty).
+        let mut struct_totals = [0u64; 5];
+        let mut total_struct = 0u64;
+        for sm in &self.sms {
+            for (cause, n) in sm.breakdown.iter_mem_struct() {
+                struct_totals[cause.index()] += n;
+                total_struct += n;
+            }
+        }
+        let stall_total: u64 =
+            self.sms.iter().map(|s| s.breakdown.total_stall_cycles()).sum::<u64>().max(1);
+        if total_struct * 2 > stall_total {
+            let (best, _) = MemStructCause::ALL
+                .into_iter()
+                .map(|c| (c, struct_totals[c.index()]))
+                .max_by_key(|&(_, n)| n)
+                .unwrap_or((MemStructCause::MshrFull, 0));
+            return match best {
+                MemStructCause::MshrFull => "mshr",
+                MemStructCause::StoreBufferFull => "store-buffer",
+                MemStructCause::BankConflict => "bank-conflict",
+                MemStructCause::PendingRelease => "pending-release",
+                MemStructCause::PendingDma => "dma",
+            };
+        }
+        let mem_data: u64 =
+            self.sms.iter().map(|s| s.breakdown.cycles(StallKind::MemoryData)).sum();
+        if mem_data * 2 > stall_total {
+            return "memory-data";
+        }
+        if self.sms.iter().any(|s| s.dma_busy) {
+            return "dma";
+        }
+        if self.mesh_in_flight > 0 {
+            return "mesh";
+        }
+        "unknown"
+    }
+
+    /// Total warps stuck in a named wait state across the machine.
+    pub fn stalled_warp_count(&self) -> usize {
+        self.sms.iter().map(|s| s.stalled_warps().count()).sum()
+    }
+
+    /// Render the report as an ASCII table in the style of the gsi-trace
+    /// renderers: a machine summary line, then one row per SM, then the
+    /// stalled warps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "watchdog: {} after {} cycles ({} since last progress)",
+            self.kind, self.cycles_run, self.stalled_for
+        );
+        let _ = writeln!(
+            out,
+            "blocks {}/{} done ({} dispatched) | mesh in-flight {} | starved resource: {}",
+            self.blocks_done,
+            self.blocks_total,
+            self.blocks_dispatched,
+            self.mesh_in_flight,
+            self.starved_resource()
+        );
+        let _ = writeln!(
+            out,
+            "{:<4} {:>6} {:>8} {:>9} {:>9} {:>8} {:>7} {:>6} {:>5}",
+            "sm", "warps", "instrs", "mshr", "sbuf", "endflsh", "atomics", "flush", "dma"
+        );
+        for sm in &self.sms {
+            let _ = writeln!(
+                out,
+                "{:<4} {:>6} {:>8} {:>5}/{:<3} {:>5}/{:<3} {:>8} {:>7} {:>6} {:>5}",
+                sm.sm,
+                sm.active_warps,
+                sm.instructions,
+                sm.mshr_occupancy,
+                sm.mshr_capacity,
+                sm.store_buffer_occupancy,
+                sm.store_buffer_capacity,
+                sm.endflush_backlog,
+                sm.outstanding_atomics,
+                if sm.flushing { "yes" } else { "no" },
+                if sm.dma_busy { "yes" } else { "no" }
+            );
+        }
+        let mut any = false;
+        for sm in &self.sms {
+            for w in sm.stalled_warps() {
+                if !any {
+                    let _ = writeln!(out, "stalled warps:");
+                    any = true;
+                }
+                let _ = writeln!(
+                    out,
+                    "  sm {} warp {}: {} at pc {} (last issue cycle {})",
+                    sm.sm,
+                    w.warp,
+                    w.stall_state(),
+                    w.pc,
+                    w.last_issue
+                );
+            }
+        }
+        if !any {
+            let _ = writeln!(out, "stalled warps: none (warps issuable but bounced at the LSU)");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} cycles: {}/{} blocks, {} stalled warps, starved resource {}",
+            self.kind,
+            self.cycles_run,
+            self.blocks_done,
+            self.blocks_total,
+            self.stalled_warp_count(),
+            self.starved_resource()
+        )
+    }
+}

@@ -39,6 +39,44 @@ pub struct SmStats {
     pub divergent_branches: u64,
 }
 
+/// A point-in-time diagnostic view of one warp's stall state, taken by the
+/// simulator's forward-progress watchdog when a kernel stops making
+/// progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpSnapshot {
+    /// Warp id within the SM.
+    pub warp: usize,
+    /// Current program counter.
+    pub pc: usize,
+    /// False once the warp has executed `exit`.
+    pub active: bool,
+    /// Number of destination registers with outstanding load lines.
+    pub pending_load_regs: u8,
+    /// An acquire/release atomic is in flight.
+    pub sync_pending: bool,
+    /// Waiting at a thread-block barrier.
+    pub at_barrier: bool,
+    /// Last cycle this warp issued an instruction.
+    pub last_issue: u64,
+}
+
+impl WarpSnapshot {
+    /// A one-word description of what the warp is waiting on.
+    pub fn stall_state(&self) -> &'static str {
+        if !self.active {
+            "exited"
+        } else if self.at_barrier {
+            "barrier"
+        } else if self.sync_pending {
+            "sync"
+        } else if self.pending_load_regs > 0 {
+            "load-wait"
+        } else {
+            "issuable"
+        }
+    }
+}
+
 /// Per-warp issue-stage profile: how often Algorithm 1 classified this
 /// warp's next instruction into each category. The paper computes these
 /// per-instruction classifications as the input to Algorithm 2; keeping
@@ -191,6 +229,23 @@ impl SmCore {
     /// order.
     pub fn warp_profiles(&self) -> &[WarpProfile] {
         &self.profiles
+    }
+
+    /// Point-in-time stall-state snapshots of every resident warp, appended
+    /// to `out` in warp-id order. Read by the simulator's forward-progress
+    /// watchdog when a run stops retiring instructions; not on the hot path.
+    pub fn warp_snapshots(&self, out: &mut Vec<WarpSnapshot>) {
+        for (id, w) in self.warps.iter().enumerate() {
+            out.push(WarpSnapshot {
+                warp: id,
+                pc: w.pc,
+                active: w.active,
+                pending_load_regs: w.pending_loads.iter().filter(|&&n| n > 0).count() as u8,
+                sync_pending: w.sync_pending,
+                at_barrier: w.at_barrier,
+                last_issue: w.last_issue,
+            });
+        }
     }
 
     /// Number of warps that have not exited.
@@ -828,6 +883,7 @@ fn op_val(lane: &[u64; gsi_isa::NUM_REGS], op: Operand) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::warp::WarpInit;
     use gsi_core::{StallBreakdown, StallKind};

@@ -123,6 +123,7 @@ impl TraceBuffer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::buffer::HIST_BUCKETS;
     use crate::event::TraceEvent;

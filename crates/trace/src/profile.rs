@@ -161,6 +161,7 @@ impl SubsystemProfile {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -287,6 +287,7 @@ pub fn run(sim: &mut Simulator, cfg: &BfsConfig) -> Result<BfsRun, SimError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_sim::SystemConfig;

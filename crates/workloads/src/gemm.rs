@@ -286,6 +286,7 @@ pub fn run(sim: &mut Simulator, cfg: &GemmConfig) -> Result<GemmRun, SimError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_sim::SystemConfig;

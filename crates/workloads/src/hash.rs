@@ -43,6 +43,7 @@ pub fn emit_splitmix(b: &mut ProgramBuilder, dst: Reg, src: Reg, tmp: Reg) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_isa::{eval_alu, Instr};
 

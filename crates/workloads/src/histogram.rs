@@ -175,6 +175,7 @@ pub fn run(sim: &mut Simulator, cfg: &HistogramConfig) -> Result<HistogramRun, S
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_sim::SystemConfig;
 

@@ -318,6 +318,7 @@ pub fn run(sim: &mut Simulator, cfg: &ImplicitConfig) -> Result<ImplicitRun, Sim
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::{MemStructCause, StallKind};
     use gsi_sim::SystemConfig;

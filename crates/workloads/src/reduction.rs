@@ -191,6 +191,7 @@ pub fn run(sim: &mut Simulator, cfg: &ReductionConfig) -> Result<ReductionRun, S
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_sim::SystemConfig;

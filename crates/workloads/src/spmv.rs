@@ -216,6 +216,7 @@ pub fn run(sim: &mut Simulator, cfg: &SpmvConfig) -> Result<SpmvRun, SimError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::{MemDataCause, StallKind};
     use gsi_sim::SystemConfig;

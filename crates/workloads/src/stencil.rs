@@ -307,6 +307,7 @@ pub fn run_time_steps(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_sim::SystemConfig;

@@ -544,6 +544,7 @@ pub fn run(sim: &mut Simulator, cfg: &UtsConfig, variant: Variant) -> Result<Uts
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use gsi_core::StallKind;
     use gsi_mem::Protocol;

@@ -20,6 +20,13 @@ cargo test -q --offline --workspace
 echo "== alloc-free under counter tracing =="
 GSI_TRACE_LEVEL=counters cargo test -q --offline --test alloc_free
 
+echo "== chaos sweep (fixed seed, zero escaped panics, conservation on) =="
+# Every experiment runs under all fault kinds; any panic, simulation
+# failure, or conservation violation fails the sweep (non-zero exit).
+GSI_CHAOS_SEED=20260805 cargo run --release --offline --quiet -p gsi-bench --bin sweep -- \
+    --scale small --quiet --out /tmp/gsi_chaos_verify.json
+rm -f /tmp/gsi_chaos_verify.json
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy (-D warnings) =="
     cargo clippy --offline --workspace --all-targets -- -D warnings

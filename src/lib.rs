@@ -17,6 +17,8 @@
 //!   scratchpad, stash, and DMA.
 //! * [`sm`] — the streaming-multiprocessor pipeline model.
 //! * [`sim`] — the wired system simulator (Table 5.1 configuration).
+//! * [`chaos`] — deterministic fault injection (delayed flits, DRAM
+//!   jitter, transient MSHR/store-buffer stalls, dropped DMA bursts).
 //! * [`trace`] — the cycle-level event tracing / observability layer.
 //! * [`workloads`] — UTS, UTSD, and the implicit microbenchmark.
 //!
@@ -34,6 +36,7 @@
 //! assert!(run.run.breakdown.total_cycles() > 0);
 //! ```
 
+pub use gsi_chaos as chaos;
 #[doc(inline)]
 pub use gsi_core as core;
 pub use gsi_isa as isa;

@@ -1,0 +1,145 @@
+//! The chaos property suite: injected timing faults may slow the machine
+//! down, but they must never break it.
+//!
+//! For every fault kind (and all of them at once), across both workloads
+//! and both coherence protocols, a chaos-armed run must still (1) complete
+//! and produce the correct result, (2) pass the always-on
+//! `StallCollector::validate()` conservation check inside `run_kernel`,
+//! and (3) be bit-identical when re-run with the same seed. A disabled
+//! plan must leave the simulation byte-for-byte equal to one that never
+//! heard of chaos — the zero-cost default.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi::chaos::{FaultKind, FaultPlan};
+use gsi::mem::Protocol;
+use gsi::sim::{KernelRun, Simulator, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+const SEEDS: [u64; 2] = [0xC0FFEE, 0x5EED_5EED];
+
+fn tiny_uts() -> UtsConfig {
+    UtsConfig {
+        root_children: 6,
+        branch: 2,
+        q_per_mille: 300,
+        max_depth: 5,
+        root_seed: 0x77,
+        grid_blocks: 2,
+        warps_per_block: 1,
+        local_cap: 4,
+    }
+}
+
+fn uts_run(protocol: Protocol, plan: &FaultPlan) -> (KernelRun, u64) {
+    let sys = SystemConfig::paper().with_gpu_cores(2).with_protocol(protocol);
+    let mut sim = Simulator::new(sys);
+    sim.set_chaos(plan);
+    let out = uts::run(&mut sim, &tiny_uts(), Variant::Decentralized)
+        .unwrap_or_else(|e| panic!("UTS under {plan:?} must complete: {e}"));
+    assert_eq!(out.processed, out.expected, "UTS result wrong under {plan:?}");
+    (out.run, sim.chaos_stats().total())
+}
+
+fn implicit_run(protocol: Protocol, style: LocalMemStyle, plan: &FaultPlan) -> (KernelRun, u64) {
+    let sys = SystemConfig::paper()
+        .with_gpu_cores(1)
+        .with_protocol(protocol)
+        .with_local_mem(style.mem_kind());
+    let mut sim = Simulator::new(sys);
+    sim.set_chaos(plan);
+    let cfg = ImplicitConfig { elems: 128, warps_per_block: 1, compute_iters: 2, style };
+    let out = implicit::run(&mut sim, &cfg)
+        .unwrap_or_else(|e| panic!("implicit under {plan:?} must complete: {e}"));
+    assert_eq!(out.verified_elems, cfg.elems, "implicit result wrong under {plan:?}");
+    (out.run, sim.chaos_stats().total())
+}
+
+/// Every fault kind alone, plus all at once: both workloads complete with
+/// correct results under both protocols (conservation is validated inside
+/// `run_kernel` on every one of these runs).
+#[test]
+fn every_fault_kind_preserves_completion_and_conservation() {
+    let mut plans: Vec<FaultPlan> =
+        FaultKind::ALL.into_iter().map(|k| FaultPlan::single(k, SEEDS[0])).collect();
+    plans.push(FaultPlan::all(SEEDS[0]));
+    for plan in &plans {
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            uts_run(protocol, plan);
+            implicit_run(protocol, LocalMemStyle::Scratchpad, plan);
+        }
+    }
+}
+
+/// The DMA-drop and store-buffer fault kinds only bite on the local-memory
+/// styles that exercise those engines; run them where they are live. Only
+/// scratchpad+DMA drives the DMA engine (stash fills on demand), so that
+/// is where dropped bursts must demonstrably fire.
+#[test]
+fn dma_styles_survive_dma_and_store_buffer_faults() {
+    for style in [LocalMemStyle::ScratchpadDma, LocalMemStyle::Stash] {
+        for kind in [FaultKind::DmaDrop, FaultKind::StoreBufferStall] {
+            let plan = FaultPlan::single(kind, SEEDS[1]);
+            let (_, injected) = implicit_run(Protocol::DeNovo, style, &plan);
+            if style == LocalMemStyle::ScratchpadDma {
+                assert!(injected > 0, "{kind} never fired on {style}");
+            }
+        }
+    }
+}
+
+/// Chaos with a fixed seed is bit-deterministic: the same plan on a fresh
+/// simulator reproduces the identical `KernelRun` and injection count.
+#[test]
+fn fixed_seed_chaos_is_bit_deterministic() {
+    for seed in SEEDS {
+        let plan = FaultPlan::all(seed);
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            let (a, na) = uts_run(protocol, &plan);
+            let (b, nb) = uts_run(protocol, &plan);
+            assert_eq!(a, b, "seed {seed:#x} {protocol:?} runs must be bit-identical");
+            assert_eq!(na, nb, "seed {seed:#x} injection counts must match");
+            assert!(na > 0, "seed {seed:#x} must actually inject faults");
+        }
+    }
+}
+
+/// Different seeds genuinely perturb the machine: the injected-fault
+/// streams differ (and in practice so do the cycle counts).
+#[test]
+fn different_seeds_produce_different_fault_streams() {
+    let (a, na) = uts_run(Protocol::GpuCoherence, &FaultPlan::all(SEEDS[0]));
+    let (b, nb) = uts_run(Protocol::GpuCoherence, &FaultPlan::all(SEEDS[1]));
+    assert!(na != nb || a.cycles != b.cycles, "seeds must decorrelate");
+}
+
+/// A disabled plan is indistinguishable from never touching the chaos API:
+/// the zero-cost default really is a no-op.
+#[test]
+fn disabled_plan_is_a_noop() {
+    let baseline = {
+        let sys = SystemConfig::paper().with_gpu_cores(2);
+        let mut sim = Simulator::new(sys);
+        let out = uts::run(&mut sim, &tiny_uts(), Variant::Decentralized).unwrap();
+        out.run
+    };
+    let (disabled, injected) = uts_run(Protocol::GpuCoherence, &FaultPlan::disabled());
+    assert_eq!(baseline, disabled, "disabled chaos must not perturb the run");
+    assert_eq!(injected, 0);
+}
+
+/// Chaos makes the machine strictly slower, never faster than free: an
+/// all-faults run takes at least as many cycles as the clean baseline.
+#[test]
+fn chaos_only_adds_cycles() {
+    let (clean, _) = uts_run(Protocol::DeNovo, &FaultPlan::disabled());
+    let (noisy, injected) = uts_run(Protocol::DeNovo, &FaultPlan::all(SEEDS[0]));
+    assert!(injected > 0);
+    assert!(
+        noisy.cycles >= clean.cycles,
+        "injected delays cannot speed the machine up ({} < {})",
+        noisy.cycles,
+        clean.cycles
+    );
+}

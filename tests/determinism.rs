@@ -3,6 +3,8 @@
 //! property every figure in the paper silently relies on, and the one the
 //! allocation-free issue-stage refactor must preserve.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::isa::{Operand, ProgramBuilder, Reg};
 use gsi::mem::Protocol;
 use gsi::sim::{KernelRun, LaunchSpec, Simulator, SystemConfig};

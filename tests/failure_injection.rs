@@ -3,6 +3,8 @@
 //! verify — only slower. Guards against deadlocks hiding behind ample
 //! defaults.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::mem::Protocol;
 use gsi::sim::{Simulator, SystemConfig};
 use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};

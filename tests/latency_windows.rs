@@ -6,6 +6,8 @@
 //! load-use dependency, so the memory-data stall count is (latency - issue
 //! overlap) and lands inside the corresponding window.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::core::MemDataCause;
 use gsi::isa::{Operand, ProgramBuilder, Reg};
 use gsi::mem::Protocol;

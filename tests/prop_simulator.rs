@@ -5,6 +5,8 @@
 //! Driven by a fixed-seed SplitMix64 generator, so every run explores the
 //! same program set deterministically without external crates.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::isa::{eval_alu, AluOp, Instr, Operand, Program, ProgramBuilder, Reg};
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
 

@@ -2,6 +2,8 @@
 //! through the gsi-json layer (the `gsi-run --json` export path), and a
 //! deserialized configuration reproduces the exact same simulation.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi_json::{FromJson, ToJson, Value};
 
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};

@@ -3,6 +3,8 @@
 //! parent categories, and profiling changes observations only — never
 //! timing.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::core::StallKind;
 use gsi::mem::Protocol;
 use gsi::sim::{KernelRun, Simulator, SystemConfig};

@@ -4,6 +4,8 @@
 //! traced lifetime must decompose the observed fill latency into its
 //! issue → MSHR → service → fill stages exactly.
 
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
 use gsi::core::MemDataCause;
 use gsi::isa::{ProgramBuilder, Reg};
 use gsi::sim::{LaunchSpec, Simulator, SystemConfig};

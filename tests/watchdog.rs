@@ -1,0 +1,126 @@
+//! The forward-progress watchdog: a genuinely livelocked machine must be
+//! caught well before the cycle budget, and the resulting
+//! [`gsi::sim::ProgressReport`] must explain itself — which resource is
+//! starved, which warps are stuck, what the queues look like.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi::chaos::{FaultKind, FaultParams, FaultPlan};
+use gsi::isa::{ProgramBuilder, Reg};
+use gsi::sim::{LaunchSpec, SimError, Simulator, SystemConfig, TimeoutKind};
+
+/// Warp 0 tries a global load; warp 1 waits at the block barrier for it.
+fn load_then_barrier_spec() -> LaunchSpec {
+    let mut b = ProgramBuilder::new("livelock");
+    let skip = b.label();
+    b.ldi(Reg(2), 0x1000);
+    // Reg(1) is preset per-warp: 0 for warp 0 (takes the load), 1 for warp 1.
+    b.bra_nz(Reg(1), skip);
+    b.ld_global(Reg(3), Reg(2), 0);
+    b.bind(skip);
+    b.bar();
+    b.exit();
+    LaunchSpec::new(b.build().unwrap(), 1, 2)
+        .with_init(|w, _block, warp, _| w.set_uniform(1, warp as u64))
+}
+
+/// A chaos plan that permanently wedges the MSHR: every allocation attempt
+/// is rejected, so warp 0's load can never issue — a true livelock.
+fn wedged_mshr() -> FaultPlan {
+    FaultPlan::disabled()
+        .with_seed(0xDEAD)
+        .with(FaultKind::MshrStall, FaultParams { per_mille: 1000, max_extra: 1 })
+}
+
+#[test]
+fn watchdog_catches_livelock_and_names_the_starved_resource() {
+    let cfg = SystemConfig::paper().with_gpu_cores(1).with_progress_window(20_000);
+    let mut sim = Simulator::new(cfg);
+    sim.set_chaos(&wedged_mshr());
+    let err = sim.run_kernel(&load_then_barrier_spec()).expect_err("must livelock");
+    let SimError::Timeout { report, .. } = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    assert_eq!(report.kind, TimeoutKind::NoForwardProgress);
+    // The wedged MSHR bounces warp 0 at issue every cycle, so the
+    // accumulated breakdown is dominated by MSHR-full structural stalls.
+    assert_eq!(report.starved_resource(), "mshr", "\n{}", report.render());
+    // Warp 1 is genuinely stuck at the barrier waiting for warp 0.
+    assert!(report.stalled_warp_count() >= 1, "\n{}", report.render());
+    let stuck: Vec<_> = report
+        .sms
+        .iter()
+        .flat_map(|sm| sm.stalled_warps())
+        .map(|w| (w.warp, w.stall_state()))
+        .collect();
+    assert!(stuck.contains(&(1, "barrier")), "warp 1 must be at the barrier: {stuck:?}");
+    // The watchdog fired long before the cycle budget would have.
+    assert!(report.cycles_run < SystemConfig::paper().max_cycles / 2);
+    assert!(report.stalled_for >= 20_000);
+}
+
+#[test]
+fn report_renders_the_machine_state() {
+    let cfg = SystemConfig::paper().with_gpu_cores(1).with_progress_window(20_000);
+    let mut sim = Simulator::new(cfg);
+    sim.set_chaos(&wedged_mshr());
+    let err = sim.run_kernel(&load_then_barrier_spec()).expect_err("must livelock");
+    let SimError::Timeout { report, .. } = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    let text = report.render();
+    assert!(text.contains("no forward progress"), "{text}");
+    assert!(text.contains("starved resource: mshr"), "{text}");
+    assert!(text.contains("stalled warps:"), "{text}");
+    assert!(text.contains("barrier"), "{text}");
+    // The per-SM table reports queue occupancy columns.
+    assert!(text.contains("mshr") && text.contains("sbuf"), "{text}");
+    // And the error's Display carries the summary end-to-end.
+    let display = SimError::Timeout {
+        cycles: report.cycles_run,
+        blocks_done: report.blocks_done,
+        blocks_total: report.blocks_total,
+        report: report.clone(),
+    }
+    .to_string();
+    assert!(display.contains("starved resource mshr"), "{display}");
+}
+
+#[test]
+fn cycle_budget_timeouts_also_carry_a_report() {
+    // No chaos: just an honest budget too small for the kernel. The
+    // watchdog stays quiet (progress never stops); the budget fires.
+    let mut b = ProgramBuilder::new("spin");
+    b.ldi(Reg(1), 100_000);
+    let top = b.here();
+    b.subi(Reg(1), Reg(1), 1);
+    b.bra_nz(Reg(1), top);
+    b.exit();
+    let mut cfg = SystemConfig::paper().with_gpu_cores(1);
+    cfg.max_cycles = 10_000;
+    let mut sim = Simulator::new(cfg);
+    let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+    let err = sim.run_kernel(&spec).expect_err("budget too small");
+    let SimError::Timeout { report, .. } = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    assert_eq!(report.kind, TimeoutKind::CycleBudget);
+    assert!(report.cycles_run >= 10_000);
+    assert!(report.render().contains("cycle budget exhausted"));
+}
+
+#[test]
+fn progress_window_zero_disables_the_watchdog() {
+    // The same livelocked machine with the watchdog off runs all the way
+    // to the cycle budget instead.
+    let mut cfg = SystemConfig::paper().with_gpu_cores(1).with_progress_window(0);
+    cfg.max_cycles = 60_000;
+    let mut sim = Simulator::new(cfg);
+    sim.set_chaos(&wedged_mshr());
+    let err = sim.run_kernel(&load_then_barrier_spec()).expect_err("must time out");
+    let SimError::Timeout { report, .. } = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    assert_eq!(report.kind, TimeoutKind::CycleBudget);
+    assert!(report.cycles_run >= 60_000);
+}
