@@ -1,0 +1,775 @@
+//! Abstract interpretation of address expressions over a strided-interval
+//! domain, and the memory-hazard checks built on it: scratchpad
+//! out-of-bounds accesses, inter-warp write/write and read/write races on
+//! `ld.l`/`st.l` between barriers, DMA hazards (a transfer's region touched
+//! with no completion barrier, or two overlapping transfers in flight), and
+//! the atomic-on-scratchpad lint.
+//!
+//! Every abstract value tracks whether it *varies across lanes* and
+//! whether it *varies across warps/blocks* (derived from probing the
+//! launch initializer). Warp-variant addresses are assumed partitioned —
+//! the universal GPU idiom of indexing local memory by thread id — so the
+//! race check only fires when two overlapping accesses are provably
+//! warp-invariant, which keeps it silent on well-formed tiled kernels.
+
+use crate::cfg::{finding, Cfg};
+use crate::findings::{Finding, FindingKind, Severity};
+use gsi_isa::{AluOp, Instr, Operand, Program, NUM_REGS, WORD_BYTES};
+
+/// A strided interval: the value lies in `lo ..= hi` and (when exact
+/// tracking held up) steps by `stride`; `stride == 0` means a single known
+/// value. `lane_dep`/`warp_dep` record whether the value can differ across
+/// lanes of a warp, or across warps and blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+    /// Step between possible values (0 = exactly `lo`; 1 = any in range).
+    pub stride: u64,
+    /// May differ between lanes of one warp.
+    pub lane_dep: bool,
+    /// May differ between warps (or blocks).
+    pub warp_dep: bool,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl AbsVal {
+    /// A single known, uniform value.
+    pub const fn constant(v: u64) -> AbsVal {
+        AbsVal { lo: v, hi: v, stride: 0, lane_dep: false, warp_dep: false }
+    }
+
+    /// The unknown value with the given variance.
+    pub const fn top(lane_dep: bool, warp_dep: bool) -> AbsVal {
+        AbsVal { lo: 0, hi: u64::MAX, stride: 1, lane_dep, warp_dep }
+    }
+
+    /// Whether the interval carries no information.
+    pub fn is_top(&self) -> bool {
+        self.lo == 0 && self.hi == u64::MAX
+    }
+
+    /// Whether the interval is genuinely bounded (the hazard checks only
+    /// trust bounded values, so unknown addresses never raise findings).
+    pub fn bounded(&self) -> bool {
+        self.hi != u64::MAX
+    }
+
+    fn with_deps(mut self, other: AbsVal) -> AbsVal {
+        self.lane_dep |= other.lane_dep;
+        self.warp_dep |= other.warp_dep;
+        self
+    }
+
+    /// Least upper bound of two values.
+    pub fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        if a == b {
+            return a;
+        }
+        let lo = a.lo.min(b.lo);
+        let hi = a.hi.max(b.hi);
+        // Distinct single values d apart still form a strided set.
+        let stride = gcd(gcd(a.stride, b.stride), a.lo.abs_diff(b.lo));
+        AbsVal {
+            lo,
+            hi,
+            stride: if lo == hi { 0 } else { stride.max(1) },
+            lane_dep: a.lane_dep || b.lane_dep,
+            warp_dep: a.warp_dep || b.warp_dep,
+        }
+    }
+
+    fn binop(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        let top = AbsVal::top(a.lane_dep || b.lane_dep, a.warp_dep || b.warp_dep);
+        let exact = |lo: Option<u64>, hi: Option<u64>, stride: u64| match (lo, hi) {
+            (Some(lo), Some(hi)) => {
+                AbsVal { lo, hi, stride: if lo == hi { 0 } else { stride.max(1) }, ..top }
+            }
+            _ => top,
+        };
+        match op {
+            AluOp::Add => {
+                exact(a.lo.checked_add(b.lo), a.hi.checked_add(b.hi), gcd(a.stride, b.stride))
+            }
+            AluOp::Sub => {
+                exact(a.lo.checked_sub(b.hi), a.hi.checked_sub(b.lo), gcd(a.stride, b.stride))
+            }
+            AluOp::Mul => {
+                if b.stride == 0 {
+                    Self::scale(a, b.lo).with_deps(top)
+                } else if a.stride == 0 {
+                    Self::scale(b, a.lo).with_deps(top)
+                } else {
+                    exact(a.lo.checked_mul(b.lo), a.hi.checked_mul(b.hi), 1)
+                }
+            }
+            AluOp::Shl => {
+                if b.stride == 0 && b.lo < 64 {
+                    Self::scale(a, 1u64 << b.lo).with_deps(top)
+                } else {
+                    top
+                }
+            }
+            AluOp::Shr => {
+                if b.stride == 0 && b.lo < 64 {
+                    let k = b.lo as u32;
+                    AbsVal {
+                        lo: a.lo >> k,
+                        hi: a.hi >> k,
+                        stride: if a.lo >> k == a.hi >> k { 0 } else { 1 },
+                        ..top
+                    }
+                } else {
+                    top
+                }
+            }
+            AluOp::And => {
+                let cap = a.hi.min(b.hi); // x & y <= min(x, y)
+                if cap == u64::MAX {
+                    top
+                } else {
+                    AbsVal { lo: 0, hi: cap, stride: if cap == 0 { 0 } else { 1 }, ..top }
+                }
+            }
+            AluOp::Or | AluOp::Xor => {
+                let m = a.hi.max(b.hi);
+                if m >= 1 << 63 {
+                    top
+                } else {
+                    let hi = (m + 1).next_power_of_two() - 1;
+                    AbsVal { lo: 0, hi, stride: if hi == 0 { 0 } else { 1 }, ..top }
+                }
+            }
+            AluOp::DivU => {
+                if b.stride == 0 && b.lo > 0 {
+                    let (lo, hi) = (a.lo / b.lo, a.hi / b.lo);
+                    AbsVal { lo, hi, stride: if lo == hi { 0 } else { 1 }, ..top }
+                } else if a.bounded() {
+                    // Dividing by anything (0 yields 0) cannot exceed a.
+                    AbsVal { lo: 0, hi: a.hi, stride: if a.hi == 0 { 0 } else { 1 }, ..top }
+                } else {
+                    top
+                }
+            }
+            AluOp::RemU => {
+                // rem-by-zero yields the dividend, so the dividend's bound
+                // always holds; a provably nonzero divisor tightens it.
+                let mut hi = a.hi;
+                if b.lo > 0 && b.bounded() {
+                    hi = hi.min(b.hi - 1);
+                }
+                if hi == u64::MAX {
+                    top
+                } else {
+                    AbsVal { lo: 0, hi, stride: if hi == 0 { 0 } else { 1 }, ..top }
+                }
+            }
+            AluOp::MinU => exact(Some(a.lo.min(b.lo)), Some(a.hi.min(b.hi)), 1),
+            AluOp::MaxU => {
+                if a.bounded() && b.bounded() {
+                    exact(Some(a.lo.max(b.lo)), Some(a.hi.max(b.hi)), 1)
+                } else {
+                    top
+                }
+            }
+            AluOp::SltU | AluOp::Seq | AluOp::Sne => AbsVal { lo: 0, hi: 1, stride: 1, ..top },
+        }
+    }
+
+    fn scale(a: AbsVal, c: u64) -> AbsVal {
+        if c == 0 {
+            return AbsVal::constant(0).with_deps(a);
+        }
+        match (a.lo.checked_mul(c), a.hi.checked_mul(c)) {
+            (Some(lo), Some(hi)) => AbsVal {
+                lo,
+                hi,
+                stride: if lo == hi { 0 } else { a.stride.checked_mul(c).unwrap_or(1).max(1) },
+                lane_dep: a.lane_dep,
+                warp_dep: a.warp_dep,
+            },
+            _ => AbsVal::top(a.lane_dep, a.warp_dep),
+        }
+    }
+
+    /// Add a signed byte offset (memory operands).
+    fn offset(self, off: i64) -> AbsVal {
+        let c = AbsVal::constant(off.unsigned_abs());
+        if off >= 0 {
+            Self::binop(AluOp::Add, self, c)
+        } else {
+            Self::binop(AluOp::Sub, self, c)
+        }
+    }
+}
+
+/// The abstract entry state of a kernel: which registers the launch
+/// initializer provably sets, and the value envelope observed over a
+/// sample of (block, warp, SM, slot) probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryState {
+    /// Bitmask of registers set by *every* probed initializer call.
+    pub defined: u32,
+    /// Per-register value envelope (architectural zero when never set).
+    pub vals: [AbsVal; NUM_REGS],
+}
+
+impl Default for EntryState {
+    fn default() -> Self {
+        // No initializer: registers are architecturally zeroed but count
+        // as uninitialized for the def-before-use check.
+        EntryState { defined: 0, vals: [AbsVal::constant(0); NUM_REGS] }
+    }
+}
+
+impl EntryState {
+    /// Fold one probe of the launch initializer into the envelope:
+    /// `regs[lane][reg]` is the initial register file the probe produced
+    /// and `set` the mask of registers it explicitly wrote.
+    ///
+    /// Intra-probe variation marks a register lane-dependent; variation
+    /// between probes marks it warp-dependent. `defined` intersects across
+    /// probes, so a register only some warps receive stays "uninitialized".
+    pub fn add_probe(&mut self, regs: &[[u64; NUM_REGS]], set: u32, first: bool) {
+        for r in 0..NUM_REGS {
+            let lanes = regs.iter().map(|lane| lane[r]);
+            let lo = lanes.clone().min().unwrap_or(0);
+            let hi = lanes.clone().max().unwrap_or(0);
+            let stride = regs.iter().map(|lane| lane[r] - lo).fold(0, gcd);
+            let probe = AbsVal {
+                lo,
+                hi,
+                stride: if lo == hi { 0 } else { stride.max(1) },
+                lane_dep: lo != hi,
+                warp_dep: false,
+            };
+            if first {
+                self.vals[r] = probe;
+            } else if self.vals[r] != probe {
+                self.vals[r] = AbsVal::join(self.vals[r], probe);
+                self.vals[r].warp_dep = true;
+            }
+        }
+        if first {
+            self.defined = set;
+        } else {
+            self.defined &= set;
+        }
+    }
+}
+
+/// What the memory checks need to know about the system and launch.
+#[derive(Debug, Clone, Copy)]
+pub struct MemModel {
+    /// Size of the scratchpad/stash in bytes (`None` disables the bounds
+    /// and atomic-address checks).
+    pub scratch_bytes: Option<u64>,
+    /// Warps per thread block (1 disables the inter-warp race check).
+    pub warps_per_block: usize,
+}
+
+/// How many times a node is re-joined before its changed registers are
+/// widened straight to top (loops converge immediately after).
+const WIDEN_AFTER: u32 = 8;
+
+struct LocalAccess {
+    pc: usize,
+    write: bool,
+    lo: u64,
+    hi: u64, // inclusive last byte
+    bounded: bool,
+    warp_dep: bool,
+}
+
+struct DmaXfer {
+    pc: usize,
+    load: bool,
+    lo: u64,
+    hi: u64,
+    bounded: bool,
+}
+
+/// Run the abstract interpretation and every memory-hazard check.
+pub fn check_memory(
+    program: &Program,
+    cfg: &Cfg,
+    entry: &EntryState,
+    model: &MemModel,
+    findings: &mut Vec<Finding>,
+) {
+    let states = fixpoint(program, cfg, entry);
+    let instrs = program.instrs();
+
+    let mut locals: Vec<LocalAccess> = Vec::new();
+    let mut dmas: Vec<DmaXfer> = Vec::new();
+
+    let reg_val = |states: &Vec<Option<[AbsVal; NUM_REGS]>>, pc: usize, r: gsi_isa::Reg| {
+        states[pc].map_or_else(|| AbsVal::top(true, true), |s| s[r.0 as usize])
+    };
+
+    for (pc, i) in instrs.iter().enumerate() {
+        if !cfg.reachable[pc] || states[pc].is_none() {
+            continue;
+        }
+        match i {
+            Instr::LdLocal { addr, offset, .. } | Instr::StLocal { addr, offset, .. } => {
+                let base = reg_val(&states, pc, *addr).offset(*offset);
+                let write = matches!(i, Instr::StLocal { .. });
+                locals.push(LocalAccess {
+                    pc,
+                    write,
+                    lo: base.lo,
+                    hi: base.hi.saturating_add(WORD_BYTES - 1),
+                    bounded: base.bounded(),
+                    warp_dep: base.warp_dep,
+                });
+            }
+            Instr::DmaLoad { local, bytes, .. } | Instr::DmaStore { local, bytes, .. } => {
+                let base = reg_val(&states, pc, *local);
+                dmas.push(DmaXfer {
+                    pc,
+                    load: matches!(i, Instr::DmaLoad { .. }),
+                    lo: base.lo,
+                    hi: base.hi.saturating_add(bytes.saturating_sub(1)),
+                    bounded: base.bounded() && *bytes > 0,
+                });
+            }
+            Instr::StashMap { local, bytes, .. } => {
+                let base = reg_val(&states, pc, *local);
+                if let Some(size) = model.scratch_bytes {
+                    check_bounds(
+                        program,
+                        pc,
+                        base.lo,
+                        base.hi.saturating_add(bytes.saturating_sub(1)),
+                        base.bounded() && *bytes > 0,
+                        size,
+                        "stash mapping",
+                        findings,
+                    );
+                }
+            }
+            Instr::Atom { addr, .. } => {
+                if let Some(size) = model.scratch_bytes {
+                    let a = reg_val(&states, pc, *addr);
+                    if a.bounded() && a.hi < size {
+                        findings.push(finding(
+                            program,
+                            FindingKind::AtomicOnScratchpad,
+                            Severity::Warn,
+                            pc,
+                            format!(
+                                "atomic address in {:#x}..={:#x} lies inside the \
+                                 {size}-byte scratchpad range; atomics execute at the \
+                                 shared L2 and cannot touch local memory",
+                                a.lo, a.hi
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some(size) = model.scratch_bytes {
+        for a in &locals {
+            check_bounds(program, a.pc, a.lo, a.hi, a.bounded, size, "access", findings);
+        }
+        for d in &dmas {
+            check_bounds(program, d.pc, d.lo, d.hi, d.bounded, size, "DMA transfer", findings);
+        }
+    }
+
+    // Same-phase races: two local accesses, at least one a write, whose
+    // byte ranges can overlap, with no barrier forced between them. Two
+    // warp-dependent addresses are assumed partitioned by warp.
+    if model.warps_per_block > 1 {
+        for (ai, a) in locals.iter().enumerate() {
+            let reach = cfg.reach_without_barrier(a.pc, program);
+            for b in locals.iter().skip(ai + 1) {
+                if !(a.write || b.write)
+                    || !a.bounded
+                    || !b.bounded
+                    || (a.warp_dep && b.warp_dep)
+                    || !overlap(a.lo, a.hi, b.lo, b.hi)
+                {
+                    continue;
+                }
+                // Same phase = either can reach the other barrier-free.
+                if reach[b.pc] || cfg.reach_without_barrier(b.pc, program)[a.pc] {
+                    let verb = if a.write && b.write { "write/write" } else { "read/write" };
+                    findings.push(finding(
+                        program,
+                        FindingKind::LocalRace,
+                        Severity::Warn,
+                        b.pc.max(a.pc),
+                        format!(
+                            "{verb} race: bytes {:#x}..={:#x} here can overlap \
+                             {:#x}..={:#x} at {} with no barrier between them, and \
+                             neither address is partitioned by warp",
+                            b.lo,
+                            b.hi,
+                            a.lo,
+                            a.hi,
+                            gsi_isa::asm::location(program, a.pc.min(b.pc)),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // DMA hazards: a transfer's scratchpad region touched by the pipeline
+    // with no barrier after the transfer started, or two overlapping
+    // transfers with no barrier between them.
+    for d in dmas.iter().filter(|d| d.bounded) {
+        let reach = cfg.reach_without_barrier(d.pc, program);
+        for a in locals.iter().filter(|a| a.bounded) {
+            // A pending dma.ld poisons reads and writes; a pending dma.st
+            // only conflicts with writes to the region it is draining.
+            if (d.load || a.write) && reach[a.pc] && overlap(d.lo, d.hi, a.lo, a.hi) {
+                findings.push(finding(
+                    program,
+                    FindingKind::DmaNoWait,
+                    Severity::Warn,
+                    a.pc,
+                    format!(
+                        "scratchpad bytes {:#x}..={:#x} touched with the DMA transfer \
+                         at {} ({:#x}..={:#x}) possibly still in flight — no barrier \
+                         between the transfer and this access",
+                        a.lo,
+                        a.hi,
+                        gsi_isa::asm::location(program, d.pc),
+                        d.lo,
+                        d.hi,
+                    ),
+                ));
+            }
+        }
+        for e in dmas.iter().filter(|e| e.bounded) {
+            if (reach[e.pc] || (e.pc == d.pc && reach[d.pc])) && overlap(d.lo, d.hi, e.lo, e.hi) {
+                findings.push(finding(
+                    program,
+                    FindingKind::DmaOverlap,
+                    Severity::Warn,
+                    e.pc,
+                    format!(
+                        "DMA over {:#x}..={:#x} can start while the transfer at {} \
+                         ({:#x}..={:#x}) overlapping it is still in flight",
+                        e.lo,
+                        e.hi,
+                        gsi_isa::asm::location(program, d.pc),
+                        d.lo,
+                        d.hi,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn overlap(a_lo: u64, a_hi: u64, b_lo: u64, b_hi: u64) -> bool {
+    a_lo <= b_hi && b_lo <= a_hi
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_bounds(
+    program: &Program,
+    pc: usize,
+    lo: u64,
+    hi: u64,
+    bounded: bool,
+    size: u64,
+    what: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if lo >= size {
+        // Every possible address is out of bounds (`lo` is sound even for
+        // unbounded values): definitely a bug.
+        findings.push(finding(
+            program,
+            FindingKind::ScratchpadOob,
+            Severity::Error,
+            pc,
+            format!(
+                "scratchpad {what} at bytes {lo:#x}..={hi:#x} is entirely outside \
+                 the {size}-byte local memory"
+            ),
+        ));
+    } else if bounded && hi >= size {
+        findings.push(finding(
+            program,
+            FindingKind::ScratchpadOob,
+            Severity::Warn,
+            pc,
+            format!(
+                "scratchpad {what} at bytes {lo:#x}..={hi:#x} can exceed the \
+                 {size}-byte local memory"
+            ),
+        ));
+    }
+}
+
+/// Forward fixpoint: the abstract register file at the entry of every
+/// reachable instruction.
+fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState) -> Vec<Option<[AbsVal; NUM_REGS]>> {
+    let instrs = program.instrs();
+    let len = instrs.len();
+    let mut states: Vec<Option<[AbsVal; NUM_REGS]>> = vec![None; len];
+    let mut joins = vec![0u32; len];
+    states[0] = Some(entry.vals);
+    let mut worklist = vec![0usize];
+    let mut on_list = vec![false; len];
+    on_list[0] = true;
+
+    while let Some(pc) = worklist.pop() {
+        on_list[pc] = false;
+        let Some(state) = states[pc] else { continue };
+        let out = transfer(&instrs[pc], state);
+        for &succ in cfg.succs(pc) {
+            let merged = match states[succ] {
+                None => out,
+                Some(old) => {
+                    let mut m = [AbsVal::constant(0); NUM_REGS];
+                    let widen = joins[succ] >= WIDEN_AFTER;
+                    for r in 0..NUM_REGS {
+                        m[r] = AbsVal::join(old[r], out[r]);
+                        if widen && m[r] != old[r] {
+                            m[r] = AbsVal::top(m[r].lane_dep, m[r].warp_dep);
+                        }
+                    }
+                    m
+                }
+            };
+            if states[succ] != Some(merged) {
+                joins[succ] += 1;
+                states[succ] = Some(merged);
+                if !on_list[succ] {
+                    on_list[succ] = true;
+                    worklist.push(succ);
+                }
+            }
+        }
+    }
+    states
+}
+
+fn transfer(i: &Instr, mut s: [AbsVal; NUM_REGS]) -> [AbsVal; NUM_REGS] {
+    let operand = |s: &[AbsVal; NUM_REGS], o: &Operand| match o {
+        Operand::Reg(r) => s[r.0 as usize],
+        Operand::Imm(v) => AbsVal::constant(*v as u64),
+    };
+    match i {
+        Instr::Alu { op, dst, a, b } => {
+            s[dst.0 as usize] = AbsVal::binop(*op, operand(&s, a), operand(&s, b));
+        }
+        Instr::Ldi { dst, imm } => s[dst.0 as usize] = AbsVal::constant(*imm),
+        Instr::Sel { dst, cond, a, b } => {
+            let c = s[cond.0 as usize];
+            s[dst.0 as usize] = AbsVal::join(operand(&s, a), operand(&s, b)).with_deps(AbsVal {
+                lo: 0,
+                hi: 0,
+                stride: 0,
+                lane_dep: c.lane_dep,
+                warp_dep: c.warp_dep,
+            });
+        }
+        _ => {
+            if let Some(dst) = i.writes_dest() {
+                // Loads and atomics produce unknown, fully variant data.
+                s[dst.0 as usize] = AbsVal::top(true, true);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_isa::{ProgramBuilder, Reg};
+
+    const SCRATCH: u64 = 16 * 1024;
+
+    fn analyze(
+        entry: &EntryState,
+        warps: usize,
+        f: impl FnOnce(&mut ProgramBuilder),
+    ) -> Vec<Finding> {
+        let mut b = ProgramBuilder::new("t");
+        f(&mut b);
+        let p = b.build().unwrap();
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        findings.clear();
+        let model = MemModel { scratch_bytes: Some(SCRATCH), warps_per_block: warps };
+        check_memory(&p, &cfg, entry, &model, &mut findings);
+        findings
+    }
+
+    fn tid_entry() -> EntryState {
+        // r1 = lane id per lane (warp-dependent across probes).
+        let mut e = EntryState::default();
+        let mut regs = [[0u64; NUM_REGS]; 4];
+        for (lane, file) in regs.iter_mut().enumerate() {
+            file[1] = lane as u64;
+        }
+        e.add_probe(&regs, 1 << 1, true);
+        for (lane, file) in regs.iter_mut().enumerate() {
+            file[1] = 32 + lane as u64;
+        }
+        e.add_probe(&regs, 1 << 1, false);
+        e
+    }
+
+    #[test]
+    fn interval_arithmetic_stays_exact_for_affine_addresses() {
+        let e = tid_entry();
+        assert_eq!(e.vals[1].lo, 0);
+        assert_eq!(e.vals[1].hi, 35);
+        assert!(e.vals[1].lane_dep);
+        assert!(e.vals[1].warp_dep);
+        let scaled = AbsVal::binop(AluOp::Shl, e.vals[1], AbsVal::constant(3));
+        assert_eq!((scaled.lo, scaled.hi), (0, 280));
+        assert_eq!(scaled.stride, 8);
+        assert!(scaled.warp_dep);
+    }
+
+    #[test]
+    fn definite_oob_store_is_an_error() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), SCRATCH + 64);
+            b.st_local(Reg(1), Reg(1), 0);
+            b.exit();
+        });
+        let f = findings.iter().find(|f| f.kind == FindingKind::ScratchpadOob).unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.pc, 1);
+    }
+
+    #[test]
+    fn possible_oob_is_a_warning() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), SCRATCH - 4); // word straddles the end
+            b.ld_local(Reg(2), Reg(1), 0);
+            b.exit();
+        });
+        let f = findings.iter().find(|f| f.kind == FindingKind::ScratchpadOob).unwrap();
+        assert_eq!(f.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn tid_partitioned_stores_do_not_race() {
+        let e = tid_entry();
+        let findings = analyze(&e, 2, |b| {
+            b.shl(Reg(2), Reg(1), Operand::Imm(3));
+            b.st_local(Reg(2), Reg(2), 0);
+            b.ld_local(Reg(3), Reg(2), 0);
+            b.exit();
+        });
+        assert!(findings.iter().all(|f| f.kind != FindingKind::LocalRace), "{findings:?}");
+    }
+
+    use gsi_isa::Operand;
+
+    #[test]
+    fn warp_invariant_overlapping_writes_race() {
+        let findings = analyze(&EntryState::default(), 2, |b| {
+            b.ldi(Reg(1), 0x40);
+            b.st_local(Operand::Imm(1), Reg(1), 0);
+            b.st_local(Operand::Imm(2), Reg(1), 0);
+            b.exit();
+        });
+        let f = findings.iter().find(|f| f.kind == FindingKind::LocalRace).unwrap();
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(f.message.contains("write/write"));
+    }
+
+    #[test]
+    fn barrier_between_accesses_suppresses_the_race() {
+        let findings = analyze(&EntryState::default(), 2, |b| {
+            b.ldi(Reg(1), 0x40);
+            b.st_local(Operand::Imm(1), Reg(1), 0);
+            b.bar();
+            b.ld_local(Reg(2), Reg(1), 0);
+            b.exit();
+        });
+        assert!(findings.iter().all(|f| f.kind != FindingKind::LocalRace), "{findings:?}");
+    }
+
+    #[test]
+    fn dma_then_use_without_barrier_is_flagged() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), 0x10_0000); // global base
+            b.ldi(Reg(2), 0); // local base
+            b.dma_load(Reg(1), Reg(2), 256);
+            b.ld_local(Reg(3), Reg(2), 0);
+            b.exit();
+        });
+        let f = findings.iter().find(|f| f.kind == FindingKind::DmaNoWait).unwrap();
+        assert_eq!(f.pc, 3);
+    }
+
+    #[test]
+    fn dma_then_barrier_then_use_is_clean() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), 0x10_0000);
+            b.ldi(Reg(2), 0);
+            b.dma_load(Reg(1), Reg(2), 256);
+            b.bar();
+            b.ld_local(Reg(3), Reg(2), 0);
+            b.exit();
+        });
+        assert!(findings.iter().all(|f| f.kind != FindingKind::DmaNoWait), "{findings:?}");
+    }
+
+    #[test]
+    fn overlapping_dmas_in_one_phase_are_flagged() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), 0x10_0000);
+            b.ldi(Reg(2), 0);
+            b.dma_load(Reg(1), Reg(2), 256);
+            b.dma_store(Reg(1), Reg(2), 256);
+            b.exit();
+        });
+        assert!(findings.iter().any(|f| f.kind == FindingKind::DmaOverlap), "{findings:?}");
+    }
+
+    #[test]
+    fn atomic_on_small_address_is_linted() {
+        let findings = analyze(&EntryState::default(), 1, |b| {
+            b.ldi(Reg(1), 0x80);
+            b.atom_add(Reg(2), Reg(1), Operand::Imm(1), gsi_isa::MemSem::Relaxed);
+            b.exit();
+        });
+        assert!(findings.iter().any(|f| f.kind == FindingKind::AtomicOnScratchpad));
+    }
+
+    #[test]
+    fn loops_converge_via_widening() {
+        // An induction variable grows without bound; widening must end it.
+        let e = tid_entry();
+        let findings = analyze(&e, 1, |b| {
+            b.ldi(Reg(2), 0);
+            let top = b.here();
+            b.addi(Reg(2), Reg(2), 8);
+            b.ld_local(Reg(3), Reg(2), 0);
+            b.subi(Reg(1), Reg(1), 1);
+            b.bra_nz(Reg(1), top);
+            b.exit();
+        });
+        // The widened address is unbounded: no OOB claim may be made.
+        assert!(findings.iter().all(|f| f.kind != FindingKind::ScratchpadOob), "{findings:?}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Control-flow graph construction and the structural checks that fall out
+//! of it: branch-target validation, fallthrough off the program end,
+//! reachability/unreachable-code detection, and barrier-divergence
+//! (a `bar` reachable between a divergent branch and its reconvergence
+//! point deadlocks the block, because inactive lanes never arrive).
+
+use crate::findings::{Finding, FindingKind, Severity};
+use gsi_isa::{Flow, Instr, Program};
+
+/// An instruction-level control-flow graph over a [`Program`]. Kernels are
+/// small (tens to hundreds of instructions), so one node per instruction
+/// keeps every query trivial.
+#[derive(Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    /// `reachable[pc]`: some path from the entry executes `pc`.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG for `program`, appending structural findings
+    /// (out-of-range targets, fallthrough off the end, unreachable code)
+    /// to `findings`. Out-of-range edges are dropped so later passes see a
+    /// well-formed graph.
+    pub fn build(program: &Program, findings: &mut Vec<Finding>) -> Cfg {
+        let instrs = program.instrs();
+        let len = instrs.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); len];
+        let mut fallthrough_end: Vec<usize> = Vec::new();
+
+        for (pc, i) in instrs.iter().enumerate() {
+            let mut bad_target = |t: usize, what: &str| {
+                findings.push(finding(
+                    program,
+                    FindingKind::BranchOutOfRange,
+                    Severity::Error,
+                    pc,
+                    format!("{what} @{t} is outside the {len}-instruction program"),
+                ));
+            };
+            let mut push_next = |succs: &mut Vec<Vec<usize>>| {
+                if pc + 1 < len {
+                    succs[pc].push(pc + 1);
+                } else {
+                    fallthrough_end.push(pc);
+                }
+            };
+            match i.flow() {
+                Flow::Next => push_next(&mut succs),
+                Flow::Stop => {}
+                Flow::Jump(t) => {
+                    if t < len {
+                        succs[pc].push(t);
+                    } else {
+                        bad_target(t, "jump target");
+                    }
+                }
+                Flow::Branch(t) => {
+                    if t < len {
+                        succs[pc].push(t);
+                    } else {
+                        bad_target(t, "branch target");
+                    }
+                    push_next(&mut succs);
+                }
+                Flow::Diverge { target, join } => {
+                    if target < len {
+                        succs[pc].push(target);
+                    } else {
+                        bad_target(target, "divergent branch target");
+                    }
+                    if join >= len {
+                        bad_target(join, "reconvergence point");
+                    }
+                    push_next(&mut succs);
+                }
+            }
+        }
+
+        let mut reachable = vec![false; len];
+        let mut stack = vec![0usize];
+        while let Some(pc) = stack.pop() {
+            if std::mem::replace(&mut reachable[pc], true) {
+                continue;
+            }
+            stack.extend(succs[pc].iter().copied());
+        }
+
+        for pc in fallthrough_end {
+            if reachable[pc] {
+                findings.push(finding(
+                    program,
+                    FindingKind::FallthroughEnd,
+                    Severity::Error,
+                    pc,
+                    "control can run off the end of the program (missing `exit`)".to_string(),
+                ));
+            }
+        }
+
+        // One finding per contiguous unreachable run.
+        let mut pc = 0;
+        while pc < len {
+            if reachable[pc] {
+                pc += 1;
+                continue;
+            }
+            let start = pc;
+            while pc < len && !reachable[pc] {
+                pc += 1;
+            }
+            findings.push(finding(
+                program,
+                FindingKind::UnreachableCode,
+                Severity::Warn,
+                start,
+                format!("instructions {start}..{pc} are unreachable from the entry"),
+            ));
+        }
+
+        Cfg { succs, reachable }
+    }
+
+    /// Successor instruction indices of `pc`.
+    pub fn succs(&self, pc: usize) -> &[usize] {
+        &self.succs[pc]
+    }
+
+    /// Instructions reachable from the *successors* of `from` without
+    /// executing a `bar` (barriers block traversal: everything beyond one
+    /// is in a later synchronization phase).
+    pub fn reach_without_barrier(&self, from: usize, program: &Program) -> Vec<bool> {
+        let instrs = program.instrs();
+        let mut seen = vec![false; instrs.len()];
+        let mut stack: Vec<usize> = self.succs[from].to_vec();
+        while let Some(pc) = stack.pop() {
+            if std::mem::replace(&mut seen[pc], true) {
+                continue;
+            }
+            if matches!(instrs[pc], Instr::Bar) {
+                continue; // the barrier is reached, but nothing past it
+            }
+            stack.extend(self.succs[pc].iter().copied());
+        }
+        seen
+    }
+
+    /// Instructions executable while the warp is diverged by the
+    /// `bra.div` at `pc`: reachable from either side of the branch without
+    /// passing through its reconvergence point `join`.
+    fn divergent_region(&self, pc: usize, join: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack: Vec<usize> = self.succs[pc].iter().copied().filter(|&s| s != join).collect();
+        while let Some(p) = stack.pop() {
+            if std::mem::replace(&mut seen[p], true) {
+                continue;
+            }
+            stack.extend(self.succs[p].iter().copied().filter(|&s| s != join));
+        }
+        seen
+    }
+}
+
+/// Flag barriers (and exits) reachable while lane-diverged: for every
+/// reachable `bra.div`, walk both arms up to the reconvergence point; a
+/// `bar` in that region waits for lanes that can never arrive (Error), and
+/// an `exit` terminates a partially-active warp (Warn).
+pub fn check_barrier_divergence(program: &Program, cfg: &Cfg, findings: &mut Vec<Finding>) {
+    for (pc, i) in program.instrs().iter().enumerate() {
+        let Instr::BraDiv { join, .. } = i else { continue };
+        if !cfg.reachable[pc] {
+            continue;
+        }
+        let region = cfg.divergent_region(pc, *join);
+        for (p, in_region) in region.iter().enumerate() {
+            if !in_region {
+                continue;
+            }
+            match program.instrs()[p] {
+                Instr::Bar => findings.push(finding(
+                    program,
+                    FindingKind::DivergentBarrier,
+                    Severity::Error,
+                    p,
+                    format!(
+                        "barrier reachable under lane-divergent control flow \
+                         (inside the divergent region of the branch at {}): \
+                         inactive lanes never arrive and the block deadlocks",
+                        gsi_isa::asm::location(program, pc)
+                    ),
+                )),
+                Instr::Exit => findings.push(finding(
+                    program,
+                    FindingKind::ExitInDivergence,
+                    Severity::Warn,
+                    p,
+                    format!(
+                        "exit reachable while diverged by the branch at {} \
+                         (lanes parked on the SIMT stack never resume)",
+                        gsi_isa::asm::location(program, pc)
+                    ),
+                )),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Build a [`Finding`] with location and snippet rendered from `program`.
+pub(crate) fn finding(
+    program: &Program,
+    kind: FindingKind,
+    severity: Severity,
+    pc: usize,
+    message: String,
+) -> Finding {
+    Finding {
+        kind,
+        severity,
+        pc,
+        location: gsi_isa::asm::location(program, pc),
+        message,
+        snippet: gsi_isa::asm::snippet(program, pc, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_isa::{ProgramBuilder, Reg};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new("t");
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_clean_and_reachable() {
+        let p = build(|b| {
+            b.ldi(Reg(1), 3);
+            b.exit();
+        });
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        assert!(findings.is_empty());
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn unreachable_tail_is_flagged_once() {
+        let p = build(|b| {
+            b.exit();
+            b.nop();
+            b.nop();
+            b.exit();
+        });
+        let mut findings = Vec::new();
+        let _ = Cfg::build(&p, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::UnreachableCode);
+        assert_eq!(findings[0].pc, 1);
+    }
+
+    #[test]
+    fn missing_exit_is_a_fallthrough_error() {
+        let p = build(|b| {
+            b.ldi(Reg(1), 1);
+            b.nop();
+        });
+        let mut findings = Vec::new();
+        let _ = Cfg::build(&p, &mut findings);
+        assert!(findings.iter().any(|f| f.kind == FindingKind::FallthroughEnd && f.pc == 1));
+    }
+
+    #[test]
+    fn divergent_barrier_is_flagged_at_the_bar() {
+        // bra.div r1 -> taken arm contains a bar before the join.
+        let p = build(|b| {
+            let taken = b.label();
+            let join = b.label();
+            b.ldi(Reg(1), 1);
+            b.bra_div_nz(Reg(1), taken, join);
+            b.nop(); // not-taken arm
+            b.jmp_to(join);
+            b.bind(taken);
+            b.bar(); // pc 4: diverged barrier
+            b.bind(join);
+            b.exit();
+        });
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        check_barrier_divergence(&p, &cfg, &mut findings);
+        let f = findings.iter().find(|f| f.kind == FindingKind::DivergentBarrier).unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.pc, 4);
+    }
+
+    #[test]
+    fn barrier_at_or_after_join_is_fine() {
+        let p = build(|b| {
+            let taken = b.label();
+            let join = b.label();
+            b.ldi(Reg(1), 1);
+            b.bra_div_nz(Reg(1), taken, join);
+            b.nop();
+            b.jmp_to(join);
+            b.bind(taken);
+            b.nop();
+            b.bind(join);
+            b.bar(); // reconverged: legal
+            b.exit();
+        });
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        check_barrier_divergence(&p, &cfg, &mut findings);
+        assert!(findings.iter().all(|f| f.kind != FindingKind::DivergentBarrier));
+    }
+
+    #[test]
+    fn barriers_partition_reachability() {
+        let p = build(|b| {
+            b.st_local(Reg(1), Reg(2), 0); // pc 0
+            b.bar(); // pc 1
+            b.ld_local(Reg(3), Reg(2), 0); // pc 2
+            b.exit();
+        });
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        let seen = cfg.reach_without_barrier(0, &p);
+        assert!(seen[1], "the barrier itself is reached");
+        assert!(!seen[2], "nothing beyond the barrier is in the same phase");
+    }
+}

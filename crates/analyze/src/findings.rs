@@ -1,0 +1,251 @@
+//! Findings and the analysis report: what the verifier has to say about a
+//! kernel, rendered for humans (text with disassembly snippets) and for
+//! machines (`gsi-json`).
+
+use gsi_json::{ToJson, Value};
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings describe programs whose simulated behavior is
+/// meaningless (uninitialized data, barrier deadlock, out-of-bounds local
+/// accesses) — the simulator's pre-flight gate refuses them by default.
+/// `Warn` findings are suspicious but may be intentional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious; simulation proceeds.
+    Warn,
+    /// Malformed; the default gate denies the launch.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in rendered reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The class of defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// A branch or join target outside the program.
+    BranchOutOfRange,
+    /// Control can run off the end of the program.
+    FallthroughEnd,
+    /// Instructions no path from the entry reaches.
+    UnreachableCode,
+    /// A register read before any write on some path.
+    UninitRead,
+    /// A thread-block barrier reachable under lane-divergent control flow.
+    DivergentBarrier,
+    /// A warp can exit while lane-divergent (inside a `bra.div` region).
+    ExitInDivergence,
+    /// A scratchpad/stash access outside the configured local memory.
+    ScratchpadOob,
+    /// Two warps can race on the same scratchpad words between barriers.
+    LocalRace,
+    /// A scratchpad access can reach a pending DMA region with no barrier
+    /// in between.
+    DmaNoWait,
+    /// Two DMA transfers over overlapping regions with no barrier between.
+    DmaOverlap,
+    /// An atomic whose address lies inside the scratchpad address range.
+    AtomicOnScratchpad,
+}
+
+impl FindingKind {
+    /// Kebab-case name used in rendered reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::BranchOutOfRange => "branch-out-of-range",
+            FindingKind::FallthroughEnd => "fallthrough-end",
+            FindingKind::UnreachableCode => "unreachable-code",
+            FindingKind::UninitRead => "uninit-read",
+            FindingKind::DivergentBarrier => "divergent-barrier",
+            FindingKind::ExitInDivergence => "exit-in-divergence",
+            FindingKind::ScratchpadOob => "scratchpad-oob",
+            FindingKind::LocalRace => "local-race",
+            FindingKind::DmaNoWait => "dma-no-wait",
+            FindingKind::DmaOverlap => "dma-overlap",
+            FindingKind::AtomicOnScratchpad => "atomic-on-scratchpad",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: a defect class, a severity, the offending instruction
+/// index, and pre-rendered location/snippet strings (so the report is
+/// self-contained once the program goes away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Defect class.
+    pub kind: FindingKind,
+    /// Severity the gate acts on.
+    pub severity: Severity,
+    /// Absolute instruction index the finding anchors to.
+    pub pc: usize,
+    /// `kernel.gsi:pc`-style location (see [`gsi_isa::asm::location`]).
+    pub location: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Disassembly snippet around `pc` with the subject line marked.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}] at {}: {}", self.severity, self.kind, self.location, self.message)?;
+        f.write_str(&self.snippet)
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Value {
+        gsi_json::obj! {
+            "kind" => self.kind.as_str(),
+            "severity" => self.severity.as_str(),
+            "pc" => self.pc as u64,
+            "location" => self.location.as_str(),
+            "message" => self.message.as_str(),
+        }
+    }
+}
+
+/// Everything the analyzer found in one kernel, in a deterministic order
+/// (sorted by instruction index, then class, then message; duplicates
+/// collapsed). Rendering the same program twice yields byte-identical text
+/// and JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    kernel: String,
+    instructions: usize,
+    findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Assemble a report: sort, dedupe, freeze.
+    pub(crate) fn new(kernel: String, instructions: usize, mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| (a.pc, a.kind, &a.message).cmp(&(b.pc, b.kind, &b.message)));
+        findings.dedup();
+        AnalysisReport { kernel, instructions, findings }
+    }
+
+    /// The analyzed kernel's name.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// All findings, most significant position first.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Number of `Error`-severity findings (what the deny gate counts).
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    /// Number of `Warn`-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+
+    /// True when nothing at all was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the full text report.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(
+                f,
+                "analysis of `{}` ({} instructions): clean",
+                self.kernel, self.instructions
+            );
+        }
+        writeln!(
+            f,
+            "analysis of `{}` ({} instructions): {} error(s), {} warning(s)",
+            self.kernel,
+            self.instructions,
+            self.error_count(),
+            self.warn_count()
+        )?;
+        for finding in &self.findings {
+            writeln!(f)?;
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for AnalysisReport {
+    fn to_json(&self) -> Value {
+        gsi_json::obj! {
+            "kernel" => self.kernel.as_str(),
+            "instructions" => self.instructions as u64,
+            "errors" => self.error_count() as u64,
+            "warnings" => self.warn_count() as u64,
+            "findings" => Value::Array(self.findings.iter().map(ToJson::to_json).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pc: usize, kind: FindingKind, severity: Severity, msg: &str) -> Finding {
+        Finding {
+            kind,
+            severity,
+            pc,
+            location: format!("k.gsi:{pc}"),
+            message: msg.to_string(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn reports_sort_and_dedupe() {
+        let f1 = finding(5, FindingKind::UninitRead, Severity::Error, "r1");
+        let f0 = finding(2, FindingKind::LocalRace, Severity::Warn, "a");
+        let r = AnalysisReport::new("k".into(), 6, vec![f1.clone(), f0.clone(), f1.clone()]);
+        assert_eq!(r.findings().len(), 2);
+        assert_eq!(r.findings()[0].pc, 2);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let r = AnalysisReport::new("k".into(), 3, Vec::new());
+        assert!(r.is_clean());
+        assert!(r.render().contains("clean"));
+        let json = r.to_json();
+        assert_eq!(json.get("errors").and_then(|v| v.as_u64()), Some(0));
+    }
+}

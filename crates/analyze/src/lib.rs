@@ -1,0 +1,114 @@
+//! gsi-analyze: a static verifier for GSI virtual-ISA kernels.
+//!
+//! The simulator's stall attribution is only as meaningful as the program
+//! it measures: a kernel that reads an uninitialized register, deadlocks a
+//! barrier under lane divergence, or races on the scratchpad produces a
+//! stall profile of garbage. This crate analyzes an [`isa
+//! Program`](gsi_isa::Program) *before* any cycle is simulated and reports
+//! what it finds:
+//!
+//! 1. **Control flow** ([`cfg`]): branch targets in range, no fallthrough
+//!    off the program end, unreachable code.
+//! 2. **Definite assignment** ([`dataflow`]): every register read is
+//!    preceded by a write on all paths from the entry, seeded by probing
+//!    the launch initializer.
+//! 3. **Barrier divergence** ([`cfg::check_barrier_divergence`]): no `bar`
+//!    reachable between a `bra.div` and its reconvergence point.
+//! 4. **Memory hazards** ([`absint`]): abstract interpretation of address
+//!    expressions over strided intervals catches scratchpad out-of-bounds
+//!    accesses, inter-warp races on local memory, DMA transfers whose
+//!    region is touched before a completion barrier, and atomics pointed
+//!    at the scratchpad address range.
+//!
+//! The entry point is [`analyze`]; the simulator invokes it through its
+//! pre-flight gate (`sim::AnalysisGate`), and the `analyze` binary in
+//! `gsi-bench` runs it standalone over the in-tree workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod cfg;
+pub mod dataflow;
+pub mod findings;
+
+pub use absint::{AbsVal, EntryState, MemModel};
+pub use cfg::Cfg;
+pub use findings::{AnalysisReport, Finding, FindingKind, Severity};
+
+use gsi_isa::Program;
+
+/// Everything [`analyze`] needs to know beyond the program itself.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Launch-derived entry state (initialized registers and their value
+    /// envelopes). Default: nothing initialized, all registers zero.
+    pub entry: EntryState,
+    /// Scratchpad size in bytes; `None` disables the local-memory bounds
+    /// and atomic-address checks.
+    pub scratch_bytes: Option<u64>,
+    /// Warps per thread block; races are only possible above 1.
+    pub warps_per_block: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions { entry: EntryState::default(), scratch_bytes: None, warps_per_block: 1 }
+    }
+}
+
+/// Run every analysis pass over `program` and return the combined report
+/// (deterministically ordered; see [`AnalysisReport`]).
+pub fn analyze(program: &Program, opts: &AnalyzeOptions) -> AnalysisReport {
+    let mut findings = Vec::new();
+    let cfg = Cfg::build(program, &mut findings);
+    cfg::check_barrier_divergence(program, &cfg, &mut findings);
+    dataflow::check_def_before_use(program, &cfg, opts.entry.defined, &mut findings);
+    let model =
+        MemModel { scratch_bytes: opts.scratch_bytes, warps_per_block: opts.warps_per_block };
+    absint::check_memory(program, &cfg, &opts.entry, &model, &mut findings);
+    AnalysisReport::new(program.name().to_string(), program.len(), findings)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn a_clean_kernel_produces_a_clean_report() {
+        let mut b = ProgramBuilder::new("ok");
+        b.ldi(Reg(1), 8);
+        b.st_local(Reg(1), Reg(1), 0);
+        b.bar();
+        b.ld_local(Reg(2), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let opts = AnalyzeOptions {
+            scratch_bytes: Some(16 * 1024),
+            warps_per_block: 2,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&p, &opts);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let mut b = ProgramBuilder::new("bad");
+        b.addi(Reg(2), Reg(1), 1); // uninit read
+        b.ldi(Reg(3), 1 << 20);
+        b.st_local(Reg(3), Reg(3), 0); // definite OOB
+        b.nop(); // missing exit -> fallthrough
+        let p = b.build().unwrap();
+        let opts = AnalyzeOptions { scratch_bytes: Some(16 * 1024), ..AnalyzeOptions::default() };
+        let a = analyze(&p, &opts);
+        let b2 = analyze(&p, &opts);
+        assert_eq!(a, b2);
+        assert_eq!(a.render(), b2.render());
+        use gsi_json::ToJson;
+        assert_eq!(a.to_json().to_string_pretty(), b2.to_json().to_string_pretty());
+        assert!(a.error_count() >= 3, "{}", a.render());
+    }
+}

@@ -1,0 +1,282 @@
+//! `analyze` — run the static kernel verifier (`gsi-analyze`) over any
+//! workload of the suite, or over all of them, without simulating a cycle.
+//!
+//! ```text
+//! analyze --all
+//! analyze --workload gemm-tiled --scale paper
+//! analyze --workload custom --asm kernel.gsi --blocks 4 --warps 2
+//! analyze --all --json report.json
+//! ```
+//!
+//! Exit status: 0 when no kernel has `Error`-severity findings, 1
+//! otherwise (warnings never fail the run), 2 on usage errors.
+
+use gsi_isa::asm::parse_program;
+use gsi_json::ToJson;
+use gsi_mem::Protocol;
+use gsi_sim::{analyze_launch, AnalysisReport, LaunchSpec, SystemConfig};
+use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi_workloads::uts::{self, UtsConfig, Variant};
+use gsi_workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
+
+const WORKLOADS: &[&str] = &[
+    "uts",
+    "utsd",
+    "implicit-scratchpad",
+    "implicit-dma",
+    "implicit-stash",
+    "spmv",
+    "histogram",
+    "stencil-tiled",
+    "stencil-global",
+    "reduction",
+    "bfs",
+    "gemm-tiled",
+    "gemm-global",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: analyze --all | --workload <{}|custom>\n\
+         \x20      [--scale small|paper] [--protocol gpu|denovo] [--sms N]\n\
+         \x20      [--json PATH] [--quiet]\n\
+         \x20      custom kernels: --asm FILE [--blocks N] [--warps N]\n\
+         \x20      (r0 is preset to the flat thread id per lane)",
+        WORKLOADS.join("|")
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    workloads: Vec<String>,
+    paper_scale: bool,
+    protocol: Protocol,
+    sms: Option<usize>,
+    json: Option<String>,
+    quiet: bool,
+    asm: Option<String>,
+    blocks: u64,
+    warps: usize,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        workloads: Vec::new(),
+        paper_scale: false,
+        protocol: Protocol::GpuCoherence,
+        sms: None,
+        json: None,
+        quiet: false,
+        asm: None,
+        blocks: 4,
+        warps: 2,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--all" => o.workloads = WORKLOADS.iter().map(|w| w.to_string()).collect(),
+            "--workload" => o.workloads.push(next()),
+            "--scale" => {
+                o.paper_scale = match next().as_str() {
+                    "paper" => true,
+                    "small" => false,
+                    _ => usage(),
+                }
+            }
+            "--protocol" => {
+                o.protocol = match next().as_str() {
+                    "gpu" => Protocol::GpuCoherence,
+                    "denovo" => Protocol::DeNovo,
+                    _ => usage(),
+                }
+            }
+            "--sms" => o.sms = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--json" => o.json = Some(next()),
+            "--quiet" => o.quiet = true,
+            "--asm" => o.asm = Some(next()),
+            "--blocks" => o.blocks = next().parse().unwrap_or_else(|_| usage()),
+            "--warps" => o.warps = next().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if o.workloads.is_empty() {
+        // A bare `--asm file.gsi` means "analyze this custom kernel".
+        if o.asm.is_some() {
+            o.workloads.push("custom".to_string());
+        } else {
+            usage();
+        }
+    }
+    for w in &o.workloads {
+        if w != "custom" && !WORKLOADS.contains(&w.as_str()) {
+            usage();
+        }
+    }
+    o
+}
+
+fn implicit_style(name: &str) -> LocalMemStyle {
+    match name {
+        "implicit-scratchpad" => LocalMemStyle::Scratchpad,
+        "implicit-dma" => LocalMemStyle::ScratchpadDma,
+        "implicit-stash" => LocalMemStyle::Stash,
+        _ => unreachable!(),
+    }
+}
+
+/// The launch(es) a workload name denotes — BFS analyzes both frontier
+/// parities since the launches differ (ping-pong buffers).
+fn specs_for(o: &Options, name: &str) -> Vec<LaunchSpec> {
+    let paper = o.paper_scale;
+    match name {
+        "uts" | "utsd" => {
+            let cfg = if paper { UtsConfig::paper() } else { UtsConfig::small() };
+            let lay = uts::UtsLayout::new(&cfg);
+            let variant = if name == "uts" { Variant::Centralized } else { Variant::Decentralized };
+            vec![uts::launch_spec(&cfg, lay, variant)]
+        }
+        w if w.starts_with("implicit") => {
+            let style = implicit_style(w);
+            let cfg =
+                if paper { ImplicitConfig::paper(style) } else { ImplicitConfig::small(style) };
+            vec![implicit::launch_spec(&cfg)]
+        }
+        "spmv" => {
+            let cfg = if paper { spmv::SpmvConfig::medium() } else { spmv::SpmvConfig::small() };
+            let lay = spmv::SpmvLayout::new(&cfg);
+            vec![spmv::launch_spec(&cfg, lay)]
+        }
+        "histogram" => {
+            let cfg = if paper {
+                histogram::HistogramConfig::contended()
+            } else {
+                histogram::HistogramConfig::small()
+            };
+            let lay = histogram::HistogramLayout::new(&cfg);
+            vec![histogram::launch_spec(&cfg, lay)]
+        }
+        "stencil-tiled" | "stencil-global" => {
+            let variant = if name.ends_with("tiled") {
+                stencil::StencilVariant::Tiled
+            } else {
+                stencil::StencilVariant::Global
+            };
+            let cfg = if paper {
+                stencil::StencilConfig::medium(variant)
+            } else {
+                stencil::StencilConfig::small(variant)
+            };
+            let lay = stencil::StencilLayout::new(&cfg);
+            vec![stencil::launch_spec(&cfg, lay)]
+        }
+        "reduction" => {
+            let cfg = if paper {
+                reduction::ReductionConfig::medium()
+            } else {
+                reduction::ReductionConfig::small()
+            };
+            let lay = reduction::ReductionLayout::new(&cfg);
+            vec![reduction::launch_spec(&cfg, lay)]
+        }
+        "bfs" => {
+            let cfg = if paper { bfs::BfsConfig::medium() } else { bfs::BfsConfig::small() };
+            let lay = bfs::BfsLayout::new(&cfg);
+            vec![bfs::launch_spec(&cfg, &lay, 0), bfs::launch_spec(&cfg, &lay, 1)]
+        }
+        "custom" => {
+            let path = o.asm.as_deref().unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path).expect("read assembly file");
+            let program = parse_program(&text).unwrap_or_else(|e| {
+                eprintln!("parse error in {path}: {e}");
+                std::process::exit(1);
+            });
+            let warps = o.warps;
+            vec![LaunchSpec::new(program, o.blocks, warps).with_init(
+                move |w, block, warp, _ctx| {
+                    w.set_per_lane(0, move |lane| {
+                        block * (warps as u64 * 32) + (warp * 32 + lane) as u64
+                    });
+                },
+            )]
+        }
+        "gemm-tiled" | "gemm-global" => {
+            let variant = if name.ends_with("tiled") {
+                gemm::GemmVariant::Tiled
+            } else {
+                gemm::GemmVariant::Global
+            };
+            let cfg = if paper {
+                gemm::GemmConfig::medium(variant)
+            } else {
+                gemm::GemmConfig::small(variant)
+            };
+            let lay = gemm::GemmLayout::new(&cfg);
+            vec![gemm::launch_spec(&cfg, lay)]
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn system_for(o: &Options, name: &str) -> SystemConfig {
+    let default_sms = if name.starts_with("implicit") {
+        1
+    } else if o.paper_scale {
+        15
+    } else {
+        4
+    };
+    let mut sys = SystemConfig::paper()
+        .with_gpu_cores(o.sms.unwrap_or(default_sms))
+        .with_protocol(o.protocol);
+    if name.starts_with("implicit") {
+        sys = sys.with_local_mem(implicit_style(name).mem_kind());
+    }
+    sys
+}
+
+fn main() {
+    let o = parse_args();
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
+    for name in &o.workloads {
+        let sys = system_for(&o, name);
+        for spec in specs_for(&o, name) {
+            let report = analyze_launch(&spec, &sys);
+            reports.push((name.clone(), report));
+        }
+    }
+
+    let total_errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
+    let total_warnings: usize = reports.iter().map(|(_, r)| r.warn_count()).sum();
+
+    if let Some(path) = &o.json {
+        let json = gsi_json::obj! {
+            "errors" => total_errors as u64,
+            "warnings" => total_warnings as u64,
+            "reports" => gsi_json::Value::Array(
+                reports
+                    .iter()
+                    .map(|(w, r)| {
+                        gsi_json::obj! { "workload" => w.as_str(), "report" => r.to_json() }
+                    })
+                    .collect(),
+            ),
+        };
+        std::fs::write(path, json.to_string_pretty()).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if !o.quiet {
+        for (name, report) in &reports {
+            print!("[{name}] {report}");
+        }
+        println!(
+            "{} kernel(s) analyzed: {total_errors} error(s), {total_warnings} warning(s)",
+            reports.len()
+        );
+    }
+    if total_errors > 0 {
+        std::process::exit(1);
+    }
+}

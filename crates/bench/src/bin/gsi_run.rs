@@ -278,7 +278,13 @@ fn main() {
                         block * (warps as u64 * 32) + (warp * 32 + lane) as u64
                     });
                 });
-            sim.run_kernel(&spec).expect("custom kernel completes")
+            sim.run_kernel(&spec).unwrap_or_else(|e| {
+                // User-supplied kernels fail for user reasons (the static
+                // analyzer refused the launch, a timeout): diagnose, don't
+                // panic.
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            })
         }
         "gemm-tiled" | "gemm-global" => {
             let variant = if o.workload.ends_with("tiled") {

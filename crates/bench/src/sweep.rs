@@ -107,6 +107,7 @@ impl ExperimentError {
             ExperimentError::TimedOut { .. } => "timed_out",
             ExperimentError::Sim(SimError::Timeout { .. }) => "sim_timeout",
             ExperimentError::Sim(SimError::Accounting { .. }) => "accounting",
+            ExperimentError::Sim(SimError::Analysis { .. }) => "analysis",
         }
     }
 }

@@ -40,6 +40,47 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError { line, message: message.into() })
 }
 
+/// Render `program` in the indexed disassembly format `parse_program`
+/// accepts: a `.kernel` header followed by one `  PC:  instr` line per
+/// instruction. Every line carries its absolute instruction index so
+/// diagnostics can cite exact positions.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = format!(".kernel {}\n", program.name());
+    for (pc, i) in program.instrs().iter().enumerate() {
+        out.push_str(&format!("{pc:4}:  {i}\n"));
+    }
+    out
+}
+
+/// A `file:line`-style source location for instruction `pc` of `program`,
+/// e.g. `uts-centralized.gsi:17`. The "file" is the kernel name with a
+/// `.gsi` suffix; the line is the absolute instruction index, matching the
+/// indices [`disassemble`] prints.
+pub fn location(program: &Program, pc: usize) -> String {
+    format!("{}.gsi:{pc}", program.name())
+}
+
+/// Render a diagnostic snippet around instruction `pc`: up to `context`
+/// instructions on each side in disassembly format, with the subject line
+/// marked by `->`.
+///
+/// ```text
+///      3:  ld.l r7, [r6+0]
+/// ->   4:  st.l [r6+0], r7
+///      5:  bar
+/// ```
+pub fn snippet(program: &Program, pc: usize, context: usize) -> String {
+    let instrs = program.instrs();
+    let first = pc.saturating_sub(context);
+    let last = (pc + context).min(instrs.len().saturating_sub(1));
+    let mut out = String::new();
+    for (p, i) in instrs.iter().enumerate().take(last + 1).skip(first) {
+        let marker = if p == pc { "->" } else { "  " };
+        out.push_str(&format!("{marker} {p:4}:  {i}\n"));
+    }
+    out
+}
+
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
     let tok = tok.trim().trim_end_matches(',');
     let Some(n) = tok.strip_prefix('r') else {
@@ -352,6 +393,37 @@ mod tests {
         let text = p.to_string();
         let q = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn indexed_disassembly_round_trips() {
+        let p = kitchen_sink();
+        let text = disassemble(&p);
+        // Every instruction line leads with its absolute index.
+        for (n, line) in text.lines().skip(1).enumerate() {
+            assert!(line.trim_start().starts_with(&format!("{n}:")), "line {n}: {line:?}");
+        }
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn locations_and_snippets_cite_instruction_indices() {
+        let p = kitchen_sink();
+        assert_eq!(location(&p, 17), "sink.gsi:17");
+        let s = snippet(&p, 4, 1);
+        assert_eq!(s.lines().count(), 3);
+        let marked = s.lines().find(|l| l.starts_with("->")).unwrap();
+        assert!(marked.contains(" 4:"), "{s}");
+        // The marked line's body is the real instruction at that pc.
+        let body = marked.split_once(':').unwrap().1.trim();
+        assert_eq!(body, p.fetch(4).unwrap().to_string());
+        // Snippets at the program edges clamp instead of panicking.
+        let top = snippet(&p, 0, 2);
+        assert!(top.starts_with("-> "));
+        let end = p.len() - 1;
+        let bottom = snippet(&p, end, 2);
+        assert!(bottom.trim_end().ends_with(&p.fetch(end).unwrap().to_string()));
     }
 
     #[test]

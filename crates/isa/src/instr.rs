@@ -465,6 +465,54 @@ impl Instr {
             _ => None,
         }
     }
+
+    /// The register this instruction *architecturally defines*, if any.
+    ///
+    /// Unlike [`dest`](Self::dest) (which names the scoreboard slot the
+    /// pipeline tracks), an atomic store broadcasts no old value, so its
+    /// `dst` field never receives data. Dataflow analyses must use this
+    /// accessor or they will treat `atom.st`'s dummy destination as a
+    /// definition.
+    pub fn writes_dest(&self) -> Option<Reg> {
+        match self {
+            Instr::Atom { op: AtomOp::Store, .. } => None,
+            _ => self.dest(),
+        }
+    }
+
+    /// Where control can go after this instruction — the successor shape a
+    /// control-flow graph is built from.
+    pub fn flow(&self) -> Flow {
+        match self {
+            Instr::Jmp { target } => Flow::Jump(*target),
+            Instr::Bra { target, .. } => Flow::Branch(*target),
+            Instr::BraDiv { target, join, .. } => Flow::Diverge { target: *target, join: *join },
+            Instr::Exit => Flow::Stop,
+            _ => Flow::Next,
+        }
+    }
+}
+
+/// The control-flow successor shape of one instruction (see
+/// [`Instr::flow`]). Targets are absolute instruction indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to the next instruction.
+    Next,
+    /// Unconditionally jumps to the carried instruction index.
+    Jump(usize),
+    /// Warp-uniform conditional: taken target, or fallthrough.
+    Branch(usize),
+    /// Per-lane divergent branch: taken target, fallthrough, and the
+    /// explicit reconvergence point both sides meet at.
+    Diverge {
+        /// Taken-side target.
+        target: usize,
+        /// Reconvergence instruction index.
+        join: usize,
+    },
+    /// The warp terminates; no successor.
+    Stop,
 }
 
 impl fmt::Display for Instr {

@@ -52,7 +52,7 @@ mod program;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
 pub use exec::eval_alu;
-pub use instr::{AluOp, AtomOp, BranchCond, ExecUnit, Instr, MemSem, Operand, Reg};
+pub use instr::{AluOp, AtomOp, BranchCond, ExecUnit, Flow, Instr, MemSem, Operand, Reg};
 pub use program::Program;
 
 /// Number of lanes (threads) in a warp.

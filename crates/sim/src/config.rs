@@ -33,6 +33,24 @@ pub struct SystemConfig {
     /// [`ProgressReport`](crate::ProgressReport) instead of burning the
     /// rest of the `max_cycles` budget. 0 disables the watchdog.
     pub progress_window: u64,
+    /// What the static-analysis pre-flight gate does with its findings
+    /// before any cycle is simulated.
+    pub analysis_gate: AnalysisGate,
+}
+
+/// The pre-flight static-analysis gate
+/// ([`Simulator::run_kernel`](crate::Simulator::run_kernel) runs
+/// `gsi-analyze` over every launched program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisGate {
+    /// Skip analysis entirely (zero overhead).
+    Off,
+    /// Analyze and keep the report available, but never refuse a launch.
+    Warn,
+    /// Analyze and refuse launches whose report contains `Error`-severity
+    /// findings with [`SimError::Analysis`](crate::SimError::Analysis).
+    #[default]
+    Deny,
 }
 
 impl Default for SystemConfig {
@@ -51,6 +69,7 @@ impl SystemConfig {
             gpu_cores: 15,
             max_cycles: 200_000_000,
             progress_window: 2_000_000,
+            analysis_gate: AnalysisGate::Deny,
         }
     }
 
@@ -141,6 +160,14 @@ impl SystemConfig {
         self
     }
 
+    /// Choose what the static-analysis pre-flight gate does (default:
+    /// [`AnalysisGate::Deny`]).
+    #[must_use]
+    pub fn with_analysis_gate(mut self, gate: AnalysisGate) -> Self {
+        self.analysis_gate = gate;
+        self
+    }
+
     /// A human-readable rendering of Table 5.1 for this configuration.
     pub fn table_5_1(&self) -> String {
         format!(
@@ -176,7 +203,16 @@ impl SystemConfig {
     }
 }
 
-gsi_json::json_struct!(SystemConfig { mem, sm, mesh, gpu_cores, max_cycles, progress_window });
+gsi_json::json_struct!(SystemConfig {
+    mem,
+    sm,
+    mesh,
+    gpu_cores,
+    max_cycles,
+    progress_window,
+    analysis_gate
+});
+gsi_json::json_unit_enum!(AnalysisGate { Off, Warn, Deny });
 
 #[cfg(test)]
 mod tests {

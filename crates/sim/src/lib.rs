@@ -39,7 +39,9 @@ mod launch;
 mod machine;
 mod progress;
 
-pub use config::SystemConfig;
+pub use config::{AnalysisGate, SystemConfig};
 pub use launch::{LaunchCtx, LaunchSpec};
-pub use machine::{KernelRun, SimError, Simulator};
+pub use machine::{analyze_launch, KernelRun, SimError, Simulator};
 pub use progress::{ProgressReport, SmProgress, TimeoutKind};
+
+pub use gsi_analyze::{AnalysisReport, Finding, FindingKind, Severity};

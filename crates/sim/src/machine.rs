@@ -1,8 +1,9 @@
 //! The wired simulator and kernel execution loop.
 
-use crate::config::SystemConfig;
+use crate::config::{AnalysisGate, SystemConfig};
 use crate::launch::{LaunchCtx, LaunchSpec};
 use crate::progress::{ProgressReport, SmProgress, TimeoutKind};
+use gsi_analyze::{AnalysisReport, AnalyzeOptions, EntryState};
 use gsi_chaos::{ChaosEngine, ChaosStats, FaultPlan};
 use gsi_core::{ConservationError, StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
@@ -40,6 +41,19 @@ pub enum SimError {
         /// The violated invariant.
         error: ConservationError,
     },
+    /// The static-analysis pre-flight gate
+    /// ([`AnalysisGate::Deny`](crate::AnalysisGate::Deny)) refused the
+    /// launch: the kernel's report contains `Error`-severity findings, so
+    /// its stall profile would be meaningless. The full report (including
+    /// warnings and rendered snippets) is attached.
+    Analysis {
+        /// The refused kernel's name.
+        kernel: String,
+        /// Number of `Error`-severity findings.
+        errors: usize,
+        /// The complete analysis report.
+        report: Box<AnalysisReport>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -52,6 +66,13 @@ impl fmt::Display for SimError {
             ),
             SimError::Accounting { sm, error } => {
                 write!(f, "stall accounting corrupted on SM {sm}: {error}")
+            }
+            SimError::Analysis { kernel, errors, report } => {
+                write!(
+                    f,
+                    "static analysis refused kernel `{kernel}` \
+                     ({errors} error(s)):\n{report}"
+                )
             }
         }
     }
@@ -138,6 +159,7 @@ pub struct Simulator {
     scratch: SimScratch,
     trace: TraceBuffer,
     chaos_plan: FaultPlan,
+    last_analysis: Option<AnalysisReport>,
 }
 
 impl fmt::Debug for Simulator {
@@ -184,6 +206,7 @@ impl Simulator {
             scratch: SimScratch::default(),
             trace: TraceBuffer::disabled(),
             chaos_plan: FaultPlan::disabled(),
+            last_analysis: None,
             cfg,
         }
     }
@@ -344,6 +367,13 @@ impl Simulator {
         self.cycle
     }
 
+    /// The analysis report of the most recent launch that went through an
+    /// enabled gate (`None` before any launch, or when the gate is
+    /// [`AnalysisGate::Off`]).
+    pub fn last_analysis(&self) -> Option<&AnalysisReport> {
+        self.last_analysis.as_ref()
+    }
+
     /// Execute a kernel to completion (including the end-of-kernel flush).
     ///
     /// # Errors
@@ -351,6 +381,23 @@ impl Simulator {
     /// Returns [`SimError::Timeout`] if the kernel exceeds the configured
     /// `max_cycles`.
     pub fn run_kernel(&mut self, spec: &LaunchSpec) -> Result<KernelRun, SimError> {
+        if self.cfg.analysis_gate != AnalysisGate::Off {
+            let report = analyze_launch(spec, &self.cfg);
+            let errors = report.error_count();
+            let deny = self.cfg.analysis_gate == AnalysisGate::Deny && errors > 0;
+            // The report stays queryable through `last_analysis` even when
+            // the launch is refused (the error carries its own copy).
+            let refused = deny.then(|| Box::new(report.clone()));
+            self.last_analysis = Some(report);
+            if let Some(report) = refused {
+                return Err(SimError::Analysis {
+                    kernel: spec.program.name().to_string(),
+                    errors,
+                    report,
+                });
+            }
+        }
+
         let start = self.cycle;
         let sm_stats_before: Vec<SmStats> = self.cores.iter().map(|c| *c.sm.stats()).collect();
 
@@ -550,6 +597,54 @@ impl Simulator {
             c.mem.reset_for_kernel();
         }
         Ok(run)
+    }
+}
+
+/// Statically analyze a launch the way the simulator's pre-flight gate
+/// does: probe the launch initializer over a sample of (block, warp, SM,
+/// slot) placements to learn which registers the launch sets (and their
+/// value envelopes), then run [`gsi_analyze::analyze`] with the system's
+/// scratchpad size and the launch's warps-per-block.
+///
+/// Probing the grid corners (first/last block, first/last warp, first/last
+/// SM and block slot) captures both lane variation within a warp and
+/// value variation across placements without instantiating every warp of a
+/// large grid.
+pub fn analyze_launch(spec: &LaunchSpec, cfg: &SystemConfig) -> AnalysisReport {
+    let mut entry = EntryState::default();
+    let mut first = true;
+    let mut probe = |block: u64, warp: usize, sm: u8, slot: usize| {
+        let init = spec.init_warp(block, warp, LaunchCtx { sm, slot });
+        entry.add_probe(&init.regs, init.set_mask, first);
+        first = false;
+    };
+    let blocks = dedup2(0, spec.grid_blocks.saturating_sub(1));
+    let warps = dedup2(0, spec.warps_per_block.saturating_sub(1) as u64);
+    let sms = dedup2(0, cfg.gpu_cores.saturating_sub(1) as u64);
+    let slots = dedup2(0, cfg.sm.max_blocks.saturating_sub(1) as u64);
+    for &b in &blocks {
+        for &w in &warps {
+            for &s in &sms {
+                for &l in &slots {
+                    probe(b, w as usize, s as u8, l as usize);
+                }
+            }
+        }
+    }
+    let opts = AnalyzeOptions {
+        entry,
+        scratch_bytes: Some(cfg.mem.scratch_bytes),
+        warps_per_block: spec.warps_per_block,
+    };
+    gsi_analyze::analyze(&spec.program, &opts)
+}
+
+/// The one- or two-element sample `{lo, hi}` of an inclusive range.
+fn dedup2(lo: u64, hi: u64) -> Vec<u64> {
+    if lo == hi {
+        vec![lo]
+    } else {
+        vec![lo, hi]
     }
 }
 
@@ -783,6 +878,49 @@ mod tests {
     }
 
     #[test]
+    fn deny_gate_refuses_a_broken_kernel() {
+        let mut b = ProgramBuilder::new("bad");
+        b.st_global(Reg(1), Reg(2), 0); // r1/r2 never initialized
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut sim = Simulator::new(tiny_cfg());
+        let err = sim.run_kernel(&spec).unwrap_err();
+        let SimError::Analysis { kernel, errors, report } = err else {
+            panic!("expected an analysis refusal");
+        };
+        assert_eq!(kernel, "bad");
+        assert!(errors >= 2, "r1 and r2 are both uninitialized");
+        assert_eq!(report.error_count(), errors);
+        assert_eq!(sim.last_analysis().unwrap(), report.as_ref());
+        assert_eq!(sim.cycle(), 0, "no cycle was simulated");
+    }
+
+    #[test]
+    fn warn_gate_runs_but_keeps_the_report() {
+        let mut b = ProgramBuilder::new("warned");
+        b.st_global(Operand::Imm(7), Reg(1), 0); // r1 uninitialized (zero)
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 1, 1);
+        let mut sim = Simulator::new(tiny_cfg().with_analysis_gate(AnalysisGate::Warn));
+        sim.run_kernel(&spec).unwrap();
+        let report = sim.last_analysis().unwrap();
+        assert!(report.error_count() > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn analyze_launch_sees_initializer_registers() {
+        let mut b = ProgramBuilder::new("init");
+        b.st_global(Reg(1), Reg(2), 0);
+        b.exit();
+        let spec = LaunchSpec::new(b.build().unwrap(), 2, 1).with_init(|w, block, _, _| {
+            w.set_uniform(1, block);
+            w.set_uniform(2, 0x1000 + block * 8);
+        });
+        let report = analyze_launch(&spec, &tiny_cfg());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
     fn blocks_dispatch_round_robin_by_id() {
         use std::sync::{Arc, Mutex};
         let mut b = ProgramBuilder::new("t");
@@ -792,7 +930,9 @@ mod tests {
         let spec = LaunchSpec::new(b.build().unwrap(), 6, 1).with_init(move |_, block, _, ctx| {
             sink.lock().unwrap().push((block, ctx.sm));
         });
-        let mut sim = Simulator::new(tiny_cfg());
+        // Gate off: the pre-flight analyzer probes the init closure with
+        // synthetic placements, which would pollute the recording.
+        let mut sim = Simulator::new(tiny_cfg().with_analysis_gate(AnalysisGate::Off));
         sim.run_kernel(&spec).unwrap();
         let got = placements.lock().unwrap().clone();
         for (block, sm) in got {
@@ -816,7 +956,7 @@ mod tests {
         let spec = LaunchSpec::new(b.build().unwrap(), 6, 1).with_init(move |_, _, _, ctx| {
             sink.lock().unwrap().push(ctx.slot);
         });
-        let mut cfg = SystemConfig::paper().with_gpu_cores(1);
+        let mut cfg = SystemConfig::paper().with_gpu_cores(1).with_analysis_gate(AnalysisGate::Off);
         cfg.sm.max_blocks = 2;
         let mut sim = Simulator::new(cfg);
         sim.run_kernel(&spec).unwrap();

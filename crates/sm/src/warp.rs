@@ -8,12 +8,17 @@ use gsi_isa::{NUM_REGS, WARP_LANES};
 pub struct WarpInit {
     /// Per-lane initial register files (`[lane][reg]`).
     pub regs: Vec<[u64; NUM_REGS]>,
+    /// Bitmask of registers the launch initializer explicitly wrote (via
+    /// [`set_uniform`](Self::set_uniform) /
+    /// [`set_per_lane`](Self::set_per_lane)). The static analyzer treats
+    /// only these as initialized; everything else is architectural zero.
+    pub set_mask: u32,
 }
 
 impl WarpInit {
     /// A warp whose lanes all start with zeroed registers.
     pub fn zeroed() -> Self {
-        WarpInit { regs: vec![[0; NUM_REGS]; WARP_LANES] }
+        WarpInit { regs: vec![[0; NUM_REGS]; WARP_LANES], set_mask: 0 }
     }
 
     /// Set register `reg` of every lane to `value`.
@@ -21,6 +26,7 @@ impl WarpInit {
         for lane in &mut self.regs {
             lane[reg as usize] = value;
         }
+        self.set_mask |= 1 << reg;
     }
 
     /// Set register `reg` of each lane from a function of the lane index.
@@ -28,6 +34,7 @@ impl WarpInit {
         for (i, lane) in self.regs.iter_mut().enumerate() {
             lane[reg as usize] = f(i);
         }
+        self.set_mask |= 1 << reg;
     }
 }
 
@@ -199,7 +206,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "32 lanes")]
     fn wrong_lane_count_panics() {
-        let init = WarpInit { regs: vec![[0; NUM_REGS]; 3] };
+        let init = WarpInit { regs: vec![[0; NUM_REGS]; 3], set_mask: 0 };
         Warp::new(0, init);
     }
 }

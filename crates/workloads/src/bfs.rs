@@ -226,6 +226,34 @@ pub struct BfsRun {
     pub reached: u64,
 }
 
+/// Build the launch for one BFS level: the frontier buffers ping-pong on
+/// the level's parity, and `r18` carries `level + 1` (the distance CAS'd
+/// into newly claimed vertices).
+pub fn launch_spec(cfg: &BfsConfig, lay: &BfsLayout, level: u64) -> LaunchSpec {
+    let program = build_program(cfg);
+    let workers = cfg.workers();
+    let warps = cfg.warps_per_block as u64;
+    let lay = *lay;
+    let (cur, next) = if level.is_multiple_of(2) {
+        (lay.frontier_a, lay.frontier_b)
+    } else {
+        (lay.frontier_b, lay.frontier_a)
+    };
+    LaunchSpec::new(program, cfg.grid_blocks, cfg.warps_per_block).with_init(
+        move |w, block, warp, _ctx| {
+            w.set_uniform(R_WORKER.0, block * warps + warp as u64);
+            w.set_uniform(R_NWORK.0, workers);
+            w.set_uniform(R_ADJ.0, lay.adj);
+            w.set_uniform(R_DIST.0, lay.dist);
+            w.set_uniform(R_CUR.0, cur);
+            w.set_uniform(R_NEXT.0, next);
+            w.set_uniform(R_CURLEN.0, lay.cur_len);
+            w.set_uniform(R_NEXTLEN.0, lay.next_len);
+            w.set_uniform(R_LEVEL.0, level + 1);
+        },
+    )
+}
+
 /// Run BFS to completion (one kernel per level) and verify every distance.
 ///
 /// # Errors
@@ -238,29 +266,10 @@ pub struct BfsRun {
 pub fn run(sim: &mut Simulator, cfg: &BfsConfig) -> Result<BfsRun, SimError> {
     let lay = BfsLayout::new(cfg);
     init_memory(sim, cfg, &lay);
-    let program = build_program(cfg);
-    let workers = cfg.workers();
     let mut levels = Vec::new();
     let mut level = 0u64;
     loop {
-        let (cur, next) = if level.is_multiple_of(2) {
-            (lay.frontier_a, lay.frontier_b)
-        } else {
-            (lay.frontier_b, lay.frontier_a)
-        };
-        let warps = cfg.warps_per_block as u64;
-        let spec = LaunchSpec::new(program.clone(), cfg.grid_blocks, cfg.warps_per_block)
-            .with_init(move |w, block, warp, _ctx| {
-                w.set_uniform(R_WORKER.0, block * warps + warp as u64);
-                w.set_uniform(R_NWORK.0, workers);
-                w.set_uniform(R_ADJ.0, lay.adj);
-                w.set_uniform(R_DIST.0, lay.dist);
-                w.set_uniform(R_CUR.0, cur);
-                w.set_uniform(R_NEXT.0, next);
-                w.set_uniform(R_CURLEN.0, lay.cur_len);
-                w.set_uniform(R_NEXTLEN.0, lay.next_len);
-                w.set_uniform(R_LEVEL.0, level + 1);
-            });
+        let spec = launch_spec(cfg, &lay, level);
         levels.push(sim.run_kernel(&spec)?);
         // The host reads the produced frontier size and prepares the next
         // level (the CPU-side loop of level-synchronous BFS).

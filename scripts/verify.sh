@@ -27,6 +27,13 @@ GSI_CHAOS_SEED=20260805 cargo run --release --offline --quiet -p gsi-bench --bin
     --scale small --quiet --out /tmp/gsi_chaos_verify.json
 rm -f /tmp/gsi_chaos_verify.json
 
+echo "== static analysis (all workloads, both protocols, zero errors) =="
+# The deny gate must never refuse a legitimate launch: every in-tree
+# workload analyzes clean (exit 1 on any error-severity finding).
+cargo run --release --offline --quiet -p gsi-bench --bin analyze -- --all --quiet
+cargo run --release --offline --quiet -p gsi-bench --bin analyze -- \
+    --all --quiet --protocol denovo --scale paper
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy (-D warnings) =="
     cargo clippy --offline --workspace --all-targets -- -D warnings

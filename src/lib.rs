@@ -13,6 +13,8 @@
 //!   and figure-style reports (the paper's contribution).
 //! * [`noc`] — the 4×4 mesh interconnect.
 //! * [`isa`] — the virtual SIMT instruction set and program builder.
+//! * [`analyze`] — the static kernel verifier (CFG, dataflow,
+//!   barrier-divergence, scratchpad/DMA hazard analysis) gating launches.
 //! * [`mem`] — caches, MSHRs, store buffers, coherence, L2, DRAM,
 //!   scratchpad, stash, and DMA.
 //! * [`sm`] — the streaming-multiprocessor pipeline model.
@@ -36,6 +38,7 @@
 //! assert!(run.run.breakdown.total_cycles() > 0);
 //! ```
 
+pub use gsi_analyze as analyze;
 pub use gsi_chaos as chaos;
 #[doc(inline)]
 pub use gsi_core as core;

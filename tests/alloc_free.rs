@@ -15,7 +15,7 @@
 #![allow(clippy::unwrap_used)] // test code asserts infallibility
 
 use gsi::isa::{ProgramBuilder, Reg};
-use gsi::sim::{LaunchSpec, Simulator, SystemConfig};
+use gsi::sim::{AnalysisGate, LaunchSpec, Simulator, SystemConfig};
 use gsi::trace::TraceLevel;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -86,7 +86,10 @@ fn trace_level() -> TraceLevel {
 
 /// Allocations made by the second (scratch-warmed) execution of the kernel.
 fn allocs_for(iters: u64) -> (u64, u64) {
-    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    // Gate off: the pre-flight analyzer is a per-launch pass (never
+    // per-cycle), and with the gate disabled it must cost nothing at all.
+    let cfg = SystemConfig::paper().with_gpu_cores(2).with_analysis_gate(AnalysisGate::Off);
+    let mut sim = Simulator::new(cfg);
     sim.set_trace_level(trace_level());
     let spec = spin_spec(iters);
     // Warm-up: grows every scratch buffer to steady-state capacity.

@@ -1,0 +1,88 @@
+//! The static verifier must accept every in-tree workload: all nine
+//! kernels (plus the BFS level variants) under both coherence protocols
+//! analyze with zero `Error`-severity findings, so the simulator's default
+//! deny gate never refuses a legitimate launch.
+
+#![allow(clippy::unwrap_used)]
+
+use gsi::sim::{analyze_launch, LaunchSpec, SystemConfig};
+use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+use gsi::workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
+use gsi_mem::Protocol;
+
+/// Every workload's small-scale launch, with the system it runs under.
+fn all_launches(protocol: Protocol) -> Vec<(String, LaunchSpec, SystemConfig)> {
+    let base = SystemConfig::paper().with_gpu_cores(4).with_protocol(protocol);
+    let mut out: Vec<(String, LaunchSpec, SystemConfig)> = Vec::new();
+
+    for variant in [Variant::Centralized, Variant::Decentralized] {
+        let cfg = UtsConfig::small();
+        let lay = uts::UtsLayout::new(&cfg);
+        out.push((format!("uts-{variant:?}"), uts::launch_spec(&cfg, lay, variant), base));
+    }
+    for style in [LocalMemStyle::Scratchpad, LocalMemStyle::ScratchpadDma, LocalMemStyle::Stash] {
+        let cfg = ImplicitConfig::small(style);
+        let sys = SystemConfig::paper()
+            .with_gpu_cores(1)
+            .with_protocol(protocol)
+            .with_local_mem(style.mem_kind());
+        out.push((format!("implicit-{style:?}"), implicit::launch_spec(&cfg), sys));
+    }
+    {
+        let cfg = spmv::SpmvConfig::small();
+        let lay = spmv::SpmvLayout::new(&cfg);
+        out.push(("spmv".into(), spmv::launch_spec(&cfg, lay), base));
+    }
+    {
+        let cfg = histogram::HistogramConfig::small();
+        let lay = histogram::HistogramLayout::new(&cfg);
+        out.push(("histogram".into(), histogram::launch_spec(&cfg, lay), base));
+    }
+    for variant in [stencil::StencilVariant::Tiled, stencil::StencilVariant::Global] {
+        let cfg = stencil::StencilConfig::small(variant);
+        let lay = stencil::StencilLayout::new(&cfg);
+        out.push((format!("stencil-{variant:?}"), stencil::launch_spec(&cfg, lay), base));
+    }
+    {
+        let cfg = reduction::ReductionConfig::small();
+        let lay = reduction::ReductionLayout::new(&cfg);
+        out.push(("reduction".into(), reduction::launch_spec(&cfg, lay), base));
+    }
+    for level in [0, 1] {
+        let cfg = bfs::BfsConfig::small();
+        let lay = bfs::BfsLayout::new(&cfg);
+        out.push((format!("bfs-level{level}"), bfs::launch_spec(&cfg, &lay, level), base));
+    }
+    for variant in [gemm::GemmVariant::Tiled, gemm::GemmVariant::Global] {
+        let cfg = gemm::GemmConfig::small(variant);
+        let lay = gemm::GemmLayout::new(&cfg);
+        out.push((format!("gemm-{variant:?}"), gemm::launch_spec(&cfg, lay), base));
+    }
+    out
+}
+
+#[test]
+fn every_workload_passes_the_gate_under_both_protocols() {
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        for (name, spec, sys) in all_launches(protocol) {
+            let report = analyze_launch(&spec, &sys);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{name} under {protocol:?} must pass the gate:\n{}",
+                report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_reports_are_deterministic() {
+    for (name, spec, sys) in all_launches(Protocol::GpuCoherence) {
+        let a = analyze_launch(&spec, &sys);
+        let b = analyze_launch(&spec, &sys);
+        assert_eq!(a, b, "{name}");
+        assert_eq!(a.render(), b.render(), "{name}");
+    }
+}

@@ -159,7 +159,11 @@ fn straight_line_programs_match_reference() {
         let seed = rng.next();
 
         let program = assemble(&steps);
-        let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(1));
+        // Gate off: generated programs legitimately read registers that are
+        // architecturally zeroed rather than written first.
+        let cfg =
+            SystemConfig::paper().with_gpu_cores(1).with_analysis_gate(gsi::sim::AnalysisGate::Off);
+        let mut sim = Simulator::new(cfg);
         // Seed memory deterministically from `seed`.
         let mut mem: Vec<u64> =
             (0..MEM_WORDS).map(|i| seed.wrapping_mul(i + 1).rotate_left((i % 63) as u32)).collect();
