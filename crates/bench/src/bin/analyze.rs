@@ -264,19 +264,47 @@ fn main() {
             ),
         };
         std::fs::write(path, json.to_string_pretty()).expect("write json");
-        println!("wrote {path}");
     }
 
-    if !o.quiet {
-        for (name, report) in &reports {
-            print!("[{name}] {report}");
+    // The JSON artifact is already on disk; stdout is best-effort. A
+    // reader that closes the pipe early (`analyze ... | head`) must not
+    // turn a clean report into a panic — and must still get the
+    // error-count exit code.
+    let printed = print_reports(&o, &reports, total_errors, total_warnings);
+    if let Err(e) = printed {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("stdout error: {e}");
+            std::process::exit(1);
         }
-        println!(
-            "{} kernel(s) analyzed: {total_errors} error(s), {total_warnings} warning(s)",
-            reports.len()
-        );
     }
     if total_errors > 0 {
         std::process::exit(1);
     }
+}
+
+/// Print the per-kernel reports and the summary line, propagating stdout
+/// errors instead of panicking.
+fn print_reports(
+    o: &Options,
+    reports: &[(String, AnalysisReport)],
+    total_errors: usize,
+    total_warnings: usize,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Some(path) = &o.json {
+        writeln!(out, "wrote {path}")?;
+    }
+    if !o.quiet {
+        for (name, report) in reports {
+            write!(out, "[{name}] {report}")?;
+        }
+        writeln!(
+            out,
+            "{} kernel(s) analyzed: {total_errors} error(s), {total_warnings} warning(s)",
+            reports.len()
+        )?;
+    }
+    Ok(())
 }

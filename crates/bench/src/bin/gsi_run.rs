@@ -13,7 +13,7 @@ use gsi_core::{CyclePriority, StallKind};
 use gsi_isa::asm::parse_program;
 use gsi_mem::Protocol;
 use gsi_sim::LaunchSpec;
-use gsi_sim::{KernelRun, Simulator, SystemConfig};
+use gsi_sim::{CycleEngine, KernelRun, Simulator, SystemConfig};
 use gsi_sm::SchedPolicy;
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
@@ -39,7 +39,7 @@ const WORKLOADS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: gsi-run --workload <{}>\n\
-         \x20      [--sms N] [--protocol gpu|denovo] [--mshr N]\n\
+         \x20      [--sms N] [--protocol gpu|denovo] [--mshr N] [--engine event|dense]\n\
          \x20      [--scheduler gto|rr] [--priority memory|compute|control]\n\
          \x20      [--sfifo] [--owned-atomics] [--scale small|paper]\n\
          \x20      [--timeline EPOCH_CYCLES] [--csv PATH] [--json PATH] [--quiet]\n\
@@ -68,6 +68,7 @@ struct Options {
     priority: CyclePriority,
     sfifo: bool,
     owned_atomics: bool,
+    engine: CycleEngine,
     paper_scale: bool,
     timeline: u64,
     csv: Option<String>,
@@ -88,6 +89,7 @@ fn parse_args() -> Options {
         priority: CyclePriority::memory_focused(),
         sfifo: false,
         owned_atomics: false,
+        engine: CycleEngine::default(),
         paper_scale: false,
         timeline: 0,
         csv: None,
@@ -124,6 +126,13 @@ fn parse_args() -> Options {
                     "memory" => CyclePriority::memory_focused(),
                     "compute" => CyclePriority::compute_focused(),
                     "control" => CyclePriority::control_focused(),
+                    _ => usage(),
+                }
+            }
+            "--engine" => {
+                o.engine = match next().as_str() {
+                    "event" => CycleEngine::Event,
+                    "dense" => CycleEngine::Dense,
                     _ => usage(),
                 }
             }
@@ -179,7 +188,8 @@ fn main() {
         .with_scheduler(o.scheduler)
         .with_cycle_priority(o.priority)
         .with_sfifo(o.sfifo)
-        .with_owned_atomics(o.owned_atomics);
+        .with_owned_atomics(o.owned_atomics)
+        .with_cycle_engine(o.engine);
     if let Some(m) = o.mshr {
         if m < gsi_mem::MIN_QUEUE_ENTRIES {
             eprintln!(
@@ -311,22 +321,40 @@ fn main() {
     if let Some(path) = &o.json {
         std::fs::write(path, report_json(&o.workload, sim.config(), &run)).expect("write json");
     }
+    // The artifacts above are already on disk; stdout is best-effort. A
+    // reader that closes the pipe early (`gsi-run ... | head`) must end
+    // the run quietly, not panic mid-print.
+    if let Err(e) = print_report(&o, &run) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("stdout error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Print the human-readable report, propagating stdout errors instead of
+/// panicking (the caller decides what a broken pipe means).
+fn print_report(o: &Options, run: &KernelRun) -> std::io::Result<()> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
     if !o.quiet {
-        println!(
+        writeln!(
+            out,
             "{}: {} cycles, {} instructions on {} SM(s)\n",
             o.workload,
             run.cycles,
             run.instructions,
             run.per_sm.len()
-        );
+        )?;
         let fig = Figure::new(format!("{} stall breakdown", o.workload))
             .with_entry(o.workload.clone(), run.breakdown.clone());
-        println!("{}", fig.render_fractions(Panel::Execution, 60));
+        writeln!(out, "{}", fig.render_fractions(Panel::Execution, 60))?;
         if run.breakdown.mem_data_total() > 0 {
-            println!("{}", fig.render_fractions(Panel::MemData, 60));
+            writeln!(out, "{}", fig.render_fractions(Panel::MemData, 60))?;
         }
         if run.breakdown.mem_struct_total() > 0 {
-            println!("{}", fig.render_fractions(Panel::MemStruct, 60));
+            writeln!(out, "{}", fig.render_fractions(Panel::MemStruct, 60))?;
         }
         // Straggler view: the three warps that stalled the most.
         let mut stragglers: Vec<(usize, usize, u64)> = run
@@ -341,20 +369,21 @@ fn main() {
             .collect();
         stragglers.sort_by_key(|&(_, _, stalled)| std::cmp::Reverse(stalled));
         if !stragglers.is_empty() {
-            println!("most-stalled warps (sm/warp: stalled considerations):");
+            writeln!(out, "most-stalled warps (sm/warp: stalled considerations):")?;
             for &(sm, w, stalled) in stragglers.iter().take(3) {
-                println!("  sm{sm}/w{w}: {stalled}");
+                writeln!(out, "  sm{sm}/w{w}: {stalled}")?;
             }
         }
         if o.timeline > 0 {
-            println!("\ntimeline (SM 0, {}-cycle epochs):", o.timeline);
-            println!("|{}|", render_timeline(&run.timelines[0]));
+            writeln!(out, "\ntimeline (SM 0, {}-cycle epochs):", o.timeline)?;
+            writeln!(out, "|{}|", render_timeline(&run.timelines[0]))?;
         }
     }
     if let Some(path) = &o.csv {
-        println!("wrote {path}");
+        writeln!(out, "wrote {path}")?;
     }
     if let Some(path) = &o.json {
-        println!("wrote {path}");
+        writeln!(out, "wrote {path}")?;
     }
+    Ok(())
 }

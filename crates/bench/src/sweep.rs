@@ -145,9 +145,12 @@ pub struct SweepResult {
     pub level: TraceLevel,
     /// The result, or why every attempt failed.
     pub outcome: Result<ExperimentOutput, ExperimentError>,
-    /// Attempts made (1 = first try succeeded; retries add more).
+    /// Attempts made (1 = first try succeeded; retries add more;
+    /// best-of-N re-measurements are not counted).
     pub attempts: u32,
-    /// Wall-clock time across every attempt on its worker thread.
+    /// Wall-clock time of the fastest successful attempt (the number a
+    /// simulation rate should be computed from), or the total time across
+    /// every attempt when all of them failed.
     pub wall: Duration,
 }
 
@@ -175,6 +178,13 @@ pub struct SweepPolicy {
     pub backoff: Duration,
     /// Upper bound on the backoff.
     pub backoff_cap: Duration,
+    /// Measured runs per experiment (best-of-N): after the first success,
+    /// the experiment is re-run `repeats - 1` more times and the fastest
+    /// attempt's wall time is reported. Simulations are deterministic, so
+    /// the payload is identical across repeats — only the wall time
+    /// varies (host scheduling noise), which is exactly what best-of-N
+    /// filters out of benchmark artifacts. `0` behaves like `1`.
+    pub repeats: u32,
 }
 
 impl Default for SweepPolicy {
@@ -184,6 +194,7 @@ impl Default for SweepPolicy {
             retries: 0,
             backoff: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
+            repeats: 1,
         }
     }
 }
@@ -200,6 +211,13 @@ impl SweepPolicy {
     #[must_use]
     pub fn with_retries(mut self, n: u32) -> Self {
         self.retries = n;
+        self
+    }
+
+    /// Set the best-of-N repeat count.
+    #[must_use]
+    pub fn with_repeats(mut self, n: u32) -> Self {
+        self.repeats = n;
         self
     }
 }
@@ -219,6 +237,9 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     /// Sum of per-experiment wall times — what a serial sweep would have
     /// cost. `wall < serial_wall()` is the evidence that work overlapped.
+    /// Under best-of-N ([`SweepPolicy::repeats`] > 1) each term is the
+    /// fastest repeat while `wall` includes all of them, so the
+    /// comparison loses that meaning.
     pub fn serial_wall(&self) -> Duration {
         self.results.iter().map(|r| r.wall).sum()
     }
@@ -367,15 +388,37 @@ fn run_resilient(exp: &Experiment, policy: &SweepPolicy) -> SweepResult {
     let mut backoff = policy.backoff;
     loop {
         attempts += 1;
+        let t0 = Instant::now();
         match attempt(&exp.run, policy.deadline) {
             Ok(out) => {
+                // Best-of-N: re-measure and keep the fastest successful
+                // attempt. The simulation is deterministic, so only the
+                // wall time differs between repeats; a repeat that fails
+                // (e.g. a deadline expiring under host load) is simply
+                // not an improvement and is discarded.
+                let mut best = out;
+                let mut best_wall = t0.elapsed();
+                for _ in 1..policy.repeats.max(1) {
+                    let t0 = Instant::now();
+                    if let Ok(again) = attempt(&exp.run, policy.deadline) {
+                        let wall = t0.elapsed();
+                        debug_assert_eq!(
+                            again.run.cycles, best.run.cycles,
+                            "non-deterministic experiment under best-of-N"
+                        );
+                        if wall < best_wall {
+                            best_wall = wall;
+                            best = again;
+                        }
+                    }
+                }
                 return SweepResult {
                     name: exp.name.clone(),
                     level: exp.level,
-                    outcome: Ok(out),
+                    outcome: Ok(best),
                     attempts,
-                    wall: start.elapsed(),
-                }
+                    wall: best_wall,
+                };
             }
             Err(err) => {
                 if attempts > policy.retries {
@@ -518,6 +561,21 @@ mod tests {
         assert_eq!(err.kind(), "panicked");
         assert!(err.to_string().contains("injected test panic"), "{err}");
         assert_eq!(outcome.failed(), 1);
+    }
+
+    #[test]
+    fn repeats_measure_best_of_n_without_extra_attempts() {
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let experiments = vec![Experiment::new("best-of-3", || {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+            tiny_run()
+        })];
+        let policy = SweepPolicy::default().with_repeats(3);
+        let outcome = run_sweep_with(experiments, 1, policy);
+        let r = &outcome.results[0];
+        assert!(r.kernel_run().is_some());
+        assert_eq!(RUNS.load(Ordering::Relaxed), 3, "repeats must re-run the experiment");
+        assert_eq!(r.attempts, 1, "repeats are measurements, not retry attempts");
     }
 
     #[test]

@@ -183,6 +183,59 @@ impl StallCollector {
         self.debug_check_invariants();
     }
 
+    /// Record the same verdict for `n` consecutive cycles — the bulk form
+    /// of [`record_cycle`](Self::record_cycle) the event-driven engine uses
+    /// when it skips a quiet stretch. Produces exactly the state `n`
+    /// individual `record_cycle` calls with this verdict would: the epoch
+    /// series is advanced chunk by chunk so epoch boundaries land on the
+    /// same cycles, and memory-data charges accumulate against the same
+    /// blocking request.
+    pub fn record_cycles(&mut self, verdict: &CycleVerdict, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        self.observed_cycles += n;
+        self.breakdown.add_cycles(verdict.kind, n);
+        let structural_cause = match verdict.kind {
+            StallKind::MemoryStructural => verdict.mem_structural,
+            _ => None,
+        };
+        if self.epoch_len > 0 {
+            let mut left = n;
+            while left > 0 {
+                if self.epoch_cursor == 0 {
+                    self.epochs.push(StallBreakdown::new());
+                }
+                let chunk = left.min(self.epoch_len - self.epoch_cursor);
+                let epoch = self.epochs.last_mut().expect("pushed");
+                epoch.add_cycles(verdict.kind, chunk);
+                if let Some(cause) = structural_cause {
+                    epoch.add_mem_struct(cause, chunk);
+                }
+                self.epoch_cursor = (self.epoch_cursor + chunk) % self.epoch_len;
+                left -= chunk;
+            }
+        }
+        match verdict.kind {
+            StallKind::MemoryStructural => {
+                if let Some(cause) = structural_cause {
+                    self.breakdown.add_mem_struct(cause, n);
+                } else {
+                    self.uncaused_mem_struct += n;
+                }
+            }
+            StallKind::MemoryData => {
+                if let Some(req) = verdict.blocking_request {
+                    self.ledger.charge_n(req, n);
+                } else {
+                    self.uncharged_mem_data += n;
+                }
+            }
+            _ => {}
+        }
+        self.debug_check_invariants();
+    }
+
     /// A load completed: commit any stall cycles charged against it to the
     /// sub-bucket for its service point.
     pub fn on_fill(&mut self, req: RequestId, serviced_at: MemDataCause) {

@@ -36,6 +36,14 @@ impl AttributionLedger {
         *self.pending.entry(req).or_insert(0) += 1;
     }
 
+    /// Charge `n` stall cycles against an outstanding request at once (the
+    /// event engine's bulk credit for a skipped stretch).
+    pub fn charge_n(&mut self, req: RequestId, n: u64) {
+        if n > 0 {
+            *self.pending.entry(req).or_insert(0) += n;
+        }
+    }
+
     /// The request completed: remove and return the cycles accumulated
     /// against it (zero if none were charged).
     #[must_use]

@@ -9,6 +9,7 @@
 use crate::config::{LocalMemKind, MemConfig};
 use crate::dma::{DmaDirection, DmaEngine, DmaTransfer};
 use crate::gmem::GlobalMem;
+use crate::hash::{FastMap, FastSet};
 use crate::line::{line_of, LineAddr, WordMask};
 use crate::msg::{AtomKind, MemMsg, Provenance};
 use crate::mshr::{Mshr, MshrOutcome};
@@ -22,7 +23,7 @@ use gsi_core::{MemStructCause, RequestId};
 use gsi_noc::NodeId;
 use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Why the load/store unit rejected an access this cycle.
 ///
@@ -209,14 +210,14 @@ pub struct CoreMemUnit {
     lsu_busy_cause: MemStructCause,
     flushing: bool,
     release_flush: bool,
-    pending_wracks: HashMap<LineAddr, u32>,
-    pending_regs: HashMap<LineAddr, u32>,
+    pending_wracks: FastMap<LineAddr, u32>,
+    pending_regs: FastMap<LineAddr, u32>,
     /// S-FIFO watermark: the lines ordered before the pending release.
-    sfifo_pending: HashSet<LineAddr>,
+    sfifo_pending: FastSet<LineAddr>,
     /// Posted releases (S-FIFO): each waits for its own watermark to drain
     /// before the release operation is sent to the L2.
-    deferred_releases: Vec<(HashSet<LineAddr>, MemMsg)>,
-    outstanding_atomics: HashMap<RequestId, AtomCtx>,
+    deferred_releases: Vec<(FastSet<LineAddr>, MemMsg)>,
+    outstanding_atomics: FastMap<RequestId, AtomCtx>,
     local_done: BinaryHeap<Reverse<(u64, u64, Scheduled)>>,
     sched_seq: u64,
     completions: Vec<Completion>,
@@ -224,6 +225,12 @@ pub struct CoreMemUnit {
     delayed_out: BinaryHeap<Reverse<(u64, u64, NodeId, MemMsg)>>,
     stats: CoreMemStats,
     chaos: ChaosEngine,
+    /// Scratch for the per-access line plan (sorted, deduplicated touched
+    /// lines). A blocked warp replays its access every cycle until the LSU
+    /// accepts it, so the plan must not allocate per attempt.
+    line_plan: Vec<LineAddr>,
+    /// Scratch for the per-store (line, word-mask) plan, same lifetime.
+    store_plan: Vec<(LineAddr, WordMask)>,
 }
 
 /// The most lines one warp access can touch: 32 lanes x 8-byte words over
@@ -263,11 +270,11 @@ impl CoreMemUnit {
             lsu_busy_cause: MemStructCause::BankConflict,
             flushing: false,
             release_flush: false,
-            pending_wracks: HashMap::new(),
-            pending_regs: HashMap::new(),
-            sfifo_pending: HashSet::new(),
+            pending_wracks: FastMap::default(),
+            pending_regs: FastMap::default(),
+            sfifo_pending: FastSet::default(),
             deferred_releases: Vec::new(),
-            outstanding_atomics: HashMap::new(),
+            outstanding_atomics: FastMap::default(),
             local_done: BinaryHeap::new(),
             sched_seq: 0,
             completions: Vec::new(),
@@ -275,6 +282,8 @@ impl CoreMemUnit {
             delayed_out: BinaryHeap::new(),
             stats: CoreMemStats::default(),
             chaos: ChaosEngine::disabled(),
+            line_plan: Vec::new(),
+            store_plan: Vec::new(),
             cfg,
         }
     }
@@ -382,8 +391,8 @@ impl CoreMemUnit {
         }
     }
 
-    fn l1_bank_extra(&self, lines: &BTreeSet<LineAddr>) -> u64 {
-        bank_conflict_extra(lines.iter().map(|l| (l.0 % u64::from(self.cfg.l1_banks), l.0)))
+    fn l1_bank_extra<'a>(&self, lines: impl Iterator<Item = &'a LineAddr>) -> u64 {
+        bank_conflict_extra(lines.map(|l| (l.0 % u64::from(self.cfg.l1_banks), l.0)))
     }
 
     fn install_l1(&mut self, line: LineAddr, state: L1State) {
@@ -443,14 +452,32 @@ impl CoreMemUnit {
             self.lsu_busy_cause = MemStructCause::MshrFull;
             return Err(LsuReject::MshrFull);
         }
-        let lines: BTreeSet<LineAddr> = addrs.iter().map(|&a| line_of(a)).collect();
+        // The plan visits lines in ascending address order (the order the
+        // old `BTreeSet` plan iterated), so request ids and outbox messages
+        // are assigned identically — but a sorted scratch `Vec` costs no
+        // allocation on the replay path.
+        let mut lines = std::mem::take(&mut self.line_plan);
+        lines.clear();
+        lines.extend(addrs.iter().map(|&a| line_of(a)));
+        if !lines.is_sorted() {
+            lines.sort_unstable();
+        }
+        lines.dedup();
         // Plan: every line that misses L1 and has no in-flight fetch needs a
-        // free MSHR entry.
-        let new_misses =
-            lines.iter().filter(|&&l| self.l1.peek(l).is_none() && !self.mshr.contains(l)).count();
-        if self.mshr.available() < new_misses {
-            self.lsu_busy_cause = MemStructCause::MshrFull;
-            return Err(LsuReject::MshrFull);
+        // free MSHR entry. The count stops as soon as the free entries are
+        // overcommitted, so a warp replaying against a saturated MSHR pays a
+        // probe or two rather than a full scan.
+        let available = self.mshr.available();
+        let mut new_misses = 0usize;
+        for &l in &lines {
+            if self.l1.peek(l).is_none() && !self.mshr.contains(l) {
+                new_misses += 1;
+                if new_misses > available {
+                    self.lsu_busy_cause = MemStructCause::MshrFull;
+                    self.line_plan = lines;
+                    return Err(LsuReject::MshrFull);
+                }
+            }
         }
         // Commit.
         let mut reqs = Vec::with_capacity(lines.len());
@@ -509,8 +536,9 @@ impl CoreMemUnit {
                 }
             }
         }
-        let extra = self.l1_bank_extra(&lines);
+        let extra = self.l1_bank_extra(lines.iter());
         self.occupy_lsu(now, extra);
+        self.line_plan = lines;
         Ok(LoadIssued { reqs })
     }
 
@@ -539,18 +567,32 @@ impl CoreMemUnit {
         if self.release_flush && !self.cfg.sfifo {
             return Err(LsuReject::PendingRelease);
         }
-        let mut per_line: BTreeMap<LineAddr, WordMask> = BTreeMap::new();
+        // Group lanes by touched line, ascending (the order the old
+        // `BTreeMap` plan iterated), without allocating on the replay path.
+        // One warp touches few lines, so the linear merge probe is cheap.
+        let mut per_line = std::mem::take(&mut self.store_plan);
+        per_line.clear();
         for &a in addrs {
-            per_line.entry(line_of(a)).or_default().set_addr(a);
+            let l = line_of(a);
+            match per_line.iter_mut().find(|(pl, _)| *pl == l) {
+                Some((_, m)) => m.set_addr(a),
+                None => {
+                    let mut m = WordMask::default();
+                    m.set_addr(a);
+                    per_line.push((l, m));
+                }
+            }
         }
-        let needed = per_line.keys().filter(|&&l| self.sb.would_allocate(l)).count();
+        per_line.sort_unstable_by_key(|&(l, _)| l);
+        let needed = per_line.iter().filter(|&&(l, _)| self.sb.would_allocate(l)).count();
         if self.sb.available() < needed {
             // The paper's store buffer is flushed when it becomes full.
             self.begin_flush(false);
             self.lsu_busy_cause = MemStructCause::StoreBufferFull;
+            self.store_plan = per_line;
             return Err(LsuReject::StoreBufferFull);
         }
-        for (&line, &mask) in &per_line {
+        for &(line, mask) in &per_line {
             match self.sb.record(line, mask) {
                 Ok(combined) => {
                     if combined {
@@ -568,9 +610,9 @@ impl CoreMemUnit {
                 Err(StoreBufferFull) => unreachable!("capacity was checked in the plan phase"),
             }
         }
-        let lines: BTreeSet<LineAddr> = per_line.keys().copied().collect();
-        let extra = self.l1_bank_extra(&lines);
+        let extra = self.l1_bank_extra(per_line.iter().map(|(l, _)| l));
         self.occupy_lsu(now, extra);
+        self.store_plan = per_line;
         Ok(())
     }
 
@@ -638,22 +680,36 @@ impl CoreMemUnit {
         addrs: &[u64],
         sink: &mut S,
     ) -> Result<LoadIssued, LsuReject> {
-        // Split words into stash hits and on-demand misses (by global line).
-        let mut miss_lines: BTreeSet<LineAddr> = BTreeSet::new();
+        // Split words into stash hits and on-demand misses (by global line,
+        // ascending — the order the old `BTreeSet` plan iterated). The
+        // scratch plan avoids allocating on the per-cycle replay path.
+        let mut miss_lines = std::mem::take(&mut self.line_plan);
+        miss_lines.clear();
         let mut hit_words = 0usize;
         for &a in addrs {
-            if self.stash.word_valid(a) || self.stash.translate(a).is_none() {
-                hit_words += 1;
-            } else {
-                let global = self.stash.translate(a).expect("mapped");
-                miss_lines.insert(line_of(global));
+            // One translation per word: unmapped words and valid mapped
+            // words are stash hits; only invalid mapped words need a fill.
+            match self.stash.translate(a) {
+                Some(global) if !self.stash.word_valid(a) => miss_lines.push(line_of(global)),
+                _ => hit_words += 1,
             }
         }
+        if !miss_lines.is_sorted() {
+            miss_lines.sort_unstable();
+        }
+        miss_lines.dedup();
         let any_hit = hit_words > 0;
-        let new_misses = miss_lines.iter().filter(|&&l| !self.mshr.contains(l)).count();
-        if self.mshr.available() < new_misses {
-            self.lsu_busy_cause = MemStructCause::MshrFull;
-            return Err(LsuReject::MshrFull);
+        let available = self.mshr.available();
+        let mut new_misses = 0usize;
+        for &l in &miss_lines {
+            if !self.mshr.contains(l) {
+                new_misses += 1;
+                if new_misses > available {
+                    self.lsu_busy_cause = MemStructCause::MshrFull;
+                    self.line_plan = miss_lines;
+                    return Err(LsuReject::MshrFull);
+                }
+            }
         }
         if sink.counters_on() {
             sink.record(TraceEvent::StashAccess {
@@ -707,6 +763,7 @@ impl CoreMemUnit {
                 });
             }
         }
+        self.line_plan = miss_lines;
         Ok(LoadIssued { reqs })
     }
 
@@ -1069,8 +1126,8 @@ impl CoreMemUnit {
 
     /// The lines whose stores are ordered before a release issued now: the
     /// store buffer, the kernel-end queue, and everything awaiting an ack.
-    fn watermark(&self) -> HashSet<LineAddr> {
-        let mut wm: HashSet<LineAddr> = self.sb.iter().map(|(l, _)| *l).collect();
+    fn watermark(&self) -> FastSet<LineAddr> {
+        let mut wm: FastSet<LineAddr> = self.sb.iter().map(|(l, _)| *l).collect();
         wm.extend(self.endflush.iter().map(|(l, _)| *l));
         wm.extend(self.pending_wracks.keys().copied());
         wm.extend(self.pending_regs.keys().copied());
@@ -1367,6 +1424,32 @@ impl CoreMemUnit {
             }
             let Reverse((_, _, Scheduled(c))) = self.local_done.pop().expect("peeked");
             self.completions.push(c);
+        }
+    }
+
+    /// The earliest cycle at or after `now` (the next cycle about to be
+    /// ticked) at which a tick would do work, given no new requests or
+    /// deliveries arrive in between: `Some(now)` while any per-cycle
+    /// engine (flush, DMA, deferred releases) has work or results are
+    /// waiting to be drained, otherwise the earliest timer in the
+    /// delayed-send and local-completion heaps. `None` when the unit is
+    /// entirely idle. MSHR misses, write acks, and registrations wait on
+    /// mesh deliveries, which the mesh's own calendar covers.
+    pub fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.flushing
+            || self.sb.is_full()
+            || !self.deferred_releases.is_empty()
+            || self.dma.wants_issue()
+            || !self.completions.is_empty()
+            || !self.outbox.is_empty()
+        {
+            return Some(now);
+        }
+        let delayed = self.delayed_out.peek().map(|Reverse((ready, _, _, _))| *ready);
+        let local = self.local_done.peek().map(|Reverse((ready, _, _))| *ready);
+        match (delayed, local) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 

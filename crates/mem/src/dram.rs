@@ -81,6 +81,12 @@ impl<T: Eq> DramModel<T> {
     pub fn in_flight(&self) -> usize {
         self.jobs.len()
     }
+
+    /// Completion cycle of the earliest in-flight access, if any — the
+    /// channel's contribution to the event calendar.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.jobs.peek().map(|Reverse((done, _, _))| *done)
+    }
 }
 
 #[cfg(test)]

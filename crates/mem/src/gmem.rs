@@ -1,6 +1,6 @@
 //! The functional global memory: the single source of data values.
 
-use std::collections::HashMap;
+use crate::hash::FastMap;
 
 /// A sparse, word-granular functional memory for the unified global address
 /// space shared by the CPU and GPU.
@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GlobalMem {
-    words: HashMap<u64, u64>,
+    words: FastMap<u64, u64>,
 }
 
 impl GlobalMem {

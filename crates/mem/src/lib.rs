@@ -39,6 +39,7 @@ mod core_unit;
 mod dma;
 mod dram;
 mod gmem;
+mod hash;
 mod line;
 mod msg;
 mod mshr;
@@ -56,6 +57,7 @@ pub use core_unit::{
 pub use dma::{DmaDirection, DmaEngine, DmaTransfer};
 pub use dram::DramModel;
 pub use gmem::GlobalMem;
+pub use hash::{FastHasher, FastMap, FastSet};
 pub use line::{line_of, word_index, LineAddr, WordMask, LINE_BYTES, WORDS_PER_LINE};
 pub use msg::{AtomKind, MemMsg, Provenance};
 pub use mshr::{Mshr, MshrOutcome};

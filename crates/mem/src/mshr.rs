@@ -1,7 +1,7 @@
 //! Miss-status holding registers with request merging.
 
+use crate::hash::FastMap;
 use crate::line::LineAddr;
-use std::collections::HashMap;
 
 /// How an allocation was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +29,7 @@ pub enum MshrOutcome {
 #[derive(Debug, Clone)]
 pub struct Mshr<T> {
     capacity: usize,
-    entries: HashMap<LineAddr, Vec<T>>,
+    entries: FastMap<LineAddr, Vec<T>>,
     peak: usize,
     merges: u64,
     allocations: u64,
@@ -43,7 +43,7 @@ impl<T> Mshr<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        Mshr { capacity, entries: HashMap::new(), peak: 0, merges: 0, allocations: 0 }
+        Mshr { capacity, entries: FastMap::default(), peak: 0, merges: 0, allocations: 0 }
     }
 
     /// Entries in use.

@@ -4,13 +4,14 @@
 use crate::config::MemConfig;
 use crate::dram::DramModel;
 use crate::gmem::GlobalMem;
+use crate::hash::FastMap;
 use crate::line::LineAddr;
 use crate::msg::{MemMsg, Provenance};
 use gsi_chaos::ChaosEngine;
 use gsi_noc::{Mesh, NodeId};
 use gsi_trace::{NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Aggregate L2/DRAM statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,13 +53,13 @@ struct L2Bank {
     node: NodeId,
     tags: crate::TagArray<()>,
     /// DeNovo directory: line -> owning core.
-    registry: HashMap<LineAddr, u8>,
+    registry: FastMap<LineAddr, u8>,
     /// Reads waiting on a DRAM fetch, merged by line.
-    pending_fetch: HashMap<LineAddr, Vec<NodeId>>,
+    pending_fetch: FastMap<LineAddr, Vec<NodeId>>,
     /// Registrations waiting on an ownership recall.
-    pending_reg: HashMap<LineAddr, Vec<RegWaiter>>,
+    pending_reg: FastMap<LineAddr, Vec<RegWaiter>>,
     /// Atomics waiting on an ownership recall (owned-atomics mode).
-    pending_atomics: HashMap<LineAddr, Vec<MemMsg>>,
+    pending_atomics: FastMap<LineAddr, Vec<MemMsg>>,
     /// Incoming messages, ready when the bank pipeline reaches them.
     queue: BinaryHeap<Reverse<(u64, u64, MemMsg)>>,
     next_ready: u64,
@@ -95,10 +96,10 @@ impl SharedMem {
             .map(|b| L2Bank {
                 node: NodeId(b as u8),
                 tags: crate::TagArray::new(cfg.l2_sets_per_bank(), cfg.l2_ways),
-                registry: HashMap::new(),
-                pending_fetch: HashMap::new(),
-                pending_reg: HashMap::new(),
-                pending_atomics: HashMap::new(),
+                registry: FastMap::default(),
+                pending_fetch: FastMap::default(),
+                pending_reg: FastMap::default(),
+                pending_atomics: FastMap::default(),
                 queue: BinaryHeap::new(),
                 next_ready: 0,
                 seq: 0,
@@ -158,6 +159,23 @@ impl SharedMem {
                     && b.pending_reg.is_empty()
                     && b.pending_atomics.is_empty()
             })
+    }
+
+    /// The earliest future cycle at which a tick would do work: the next
+    /// DRAM completion or the earliest ready bank-queue entry. `None` when
+    /// every bank queue is empty and DRAM is idle (pending fetch/registry/
+    /// atomic maps wait on DRAM or the mesh, which the calendar covers
+    /// separately).
+    pub fn next_wake(&self) -> Option<u64> {
+        let bank_ready = self
+            .banks
+            .iter()
+            .filter_map(|b| b.queue.peek().map(|Reverse((ready, _, _))| *ready))
+            .min();
+        match (self.dram.next_completion(), bank_ready) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Accept a message delivered by the mesh to an L2 bank node at `now`.

@@ -9,8 +9,8 @@
 //! the coherent global address space, functional reads and writes go
 //! straight to global memory via the translation.
 
+use crate::hash::FastSet;
 use crate::line::{line_of, LineAddr, WordMask, LINE_BYTES};
-use std::collections::HashSet;
 
 /// One local-to-global range mapping installed by `stash.map`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,9 +50,9 @@ impl StashMapping {
 pub struct StashMem {
     mappings: Vec<StashMapping>,
     /// Local word-aligned byte addresses whose data is present.
-    valid: HashSet<u64>,
+    valid: FastSet<u64>,
     /// Local word-aligned byte addresses written since fill.
-    dirty: HashSet<u64>,
+    dirty: FastSet<u64>,
 }
 
 impl StashMem {

@@ -36,6 +36,27 @@ pub struct SystemConfig {
     /// What the static-analysis pre-flight gate does with its findings
     /// before any cycle is simulated.
     pub analysis_gate: AnalysisGate,
+    /// How the simulator advances time: dense per-cycle ticking, or the
+    /// event-driven skip-ahead calendar (bit-identical results, much
+    /// faster on memory-bound kernels).
+    pub cycle_engine: CycleEngine,
+}
+
+/// How [`Simulator::run_kernel`](crate::Simulator::run_kernel) advances
+/// simulated time.
+///
+/// Both engines produce bit-identical results — cycle counts, stall
+/// breakdowns, timelines, warp profiles — on every workload; the dense
+/// loop is kept as the differential-testing oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleEngine {
+    /// Tick every subsystem every cycle (the original loop; the oracle).
+    Dense,
+    /// Consult each subsystem's next-wake calendar and jump the clock over
+    /// provably quiet stretches, bulk-crediting the skipped cycles to the
+    /// same per-warp stall categories the dense loop would have recorded.
+    #[default]
+    Event,
 }
 
 /// The pre-flight static-analysis gate
@@ -70,6 +91,7 @@ impl SystemConfig {
             max_cycles: 200_000_000,
             progress_window: 2_000_000,
             analysis_gate: AnalysisGate::Deny,
+            cycle_engine: CycleEngine::Event,
         }
     }
 
@@ -168,6 +190,13 @@ impl SystemConfig {
         self
     }
 
+    /// Choose the cycle engine (default: [`CycleEngine::Event`]).
+    #[must_use]
+    pub fn with_cycle_engine(mut self, engine: CycleEngine) -> Self {
+        self.cycle_engine = engine;
+        self
+    }
+
     /// A human-readable rendering of Table 5.1 for this configuration.
     pub fn table_5_1(&self) -> String {
         format!(
@@ -210,9 +239,11 @@ gsi_json::json_struct!(SystemConfig {
     gpu_cores,
     max_cycles,
     progress_window,
-    analysis_gate
+    analysis_gate,
+    cycle_engine
 });
 gsi_json::json_unit_enum!(AnalysisGate { Off, Warn, Deny });
+gsi_json::json_unit_enum!(CycleEngine { Dense, Event });
 
 #[cfg(test)]
 mod tests {

@@ -39,7 +39,7 @@ mod launch;
 mod machine;
 mod progress;
 
-pub use config::{AnalysisGate, SystemConfig};
+pub use config::{AnalysisGate, CycleEngine, SystemConfig};
 pub use launch::{LaunchCtx, LaunchSpec};
 pub use machine::{analyze_launch, KernelRun, SimError, Simulator};
 pub use progress::{ProgressReport, SmProgress, TimeoutKind};

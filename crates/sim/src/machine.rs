@@ -1,6 +1,6 @@
 //! The wired simulator and kernel execution loop.
 
-use crate::config::{AnalysisGate, SystemConfig};
+use crate::config::{AnalysisGate, CycleEngine, SystemConfig};
 use crate::launch::{LaunchCtx, LaunchSpec};
 use crate::progress::{ProgressReport, SmProgress, TimeoutKind};
 use gsi_analyze::{AnalysisReport, AnalyzeOptions, EntryState};
@@ -8,7 +8,7 @@ use gsi_chaos::{ChaosEngine, ChaosStats, FaultPlan};
 use gsi_core::{ConservationError, StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
 use gsi_noc::{Mesh, NocStats, NodeId};
-use gsi_sm::{BlockInit, SmCore, SmStats, WarpProfile};
+use gsi_sm::{SmCore, SmStats, SmWake, WarpInit, WarpProfile};
 use gsi_trace::{Subsystem, TraceBuffer, TraceConfig, TraceLevel};
 use std::fmt;
 use std::time::Instant;
@@ -140,6 +140,18 @@ struct SimScratch {
     outbox: Vec<(NodeId, MemMsg)>,
     /// Ids of blocks that finished this cycle.
     completed: Vec<u64>,
+    /// Warp initializers for the block being dispatched (drained into the
+    /// SM by `add_block_from`, so dispatch allocates nothing per block
+    /// once capacities have warmed up).
+    warp_inits: Vec<WarpInit>,
+}
+
+/// Earliest of two optional wake times (the event calendar's reducer).
+fn fold_wake(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
 }
 
 /// The integrated CPU-GPU system simulator.
@@ -414,13 +426,24 @@ impl Simulator {
         let mut blocks_done = 0u64;
         let mut end_flush = false;
 
-        // Forward-progress watchdog state. The signature is re-sampled every
-        // `WATCHDOG_PERIOD` cycles (a mask test plus, on sampling cycles, a
-        // sum over the SMs), so the steady-state loop stays allocation-free
-        // and effectively branch-free.
+        // Forward-progress watchdog state. The signature is re-sampled at an
+        // explicit next-sample cycle so the steady-state loop pays one
+        // comparison per cycle. Sampling every `min(PERIOD, window)` cycles
+        // keeps windows shorter than the period meaningful (the old
+        // power-of-two mask test silently quantized them up to 4096) and
+        // gives the event engine a concrete cycle to clamp its skips to.
         const WATCHDOG_PERIOD: u64 = 4096;
+        let watchdog_period = WATCHDOG_PERIOD.min(self.cfg.progress_window.max(1));
+        let mut next_watchdog = start + watchdog_period;
         let mut progress_sig = self.progress_signature(0);
         let mut last_progress = start;
+
+        // The event engine skips stretches in which no subsystem can act.
+        // Full event tracing and self-profiling observe individual cycles,
+        // so they force the dense loop.
+        let event_engine = self.cfg.cycle_engine == CycleEngine::Event
+            && self.trace.level() != TraceLevel::Full
+            && !self.trace.self_profiling();
 
         loop {
             let now = self.cycle;
@@ -440,7 +463,8 @@ impl Simulator {
                     report,
                 });
             }
-            if self.cfg.progress_window > 0 && now & (WATCHDOG_PERIOD - 1) == 0 {
+            if self.cfg.progress_window > 0 && now >= next_watchdog {
+                next_watchdog = now + watchdog_period;
                 let sig = self.progress_signature(blocks_done);
                 if sig != progress_sig {
                     progress_sig = sig;
@@ -501,11 +525,12 @@ impl Simulator {
                     break;
                 }
                 let ctx = LaunchCtx { sm: sm as u8, slot: self.cores[sm].sm.peek_next_slot() };
-                let block = BlockInit {
-                    block_id: next_block,
-                    warps: (0..warps).map(|w| spec.init_warp(next_block, w, ctx)).collect(),
-                };
-                self.cores[sm].sm.add_block(block);
+                // One scratch buffer serves every dispatch: `add_block_from`
+                // drains it into the SM, so no per-block Vec is allocated.
+                self.scratch
+                    .warp_inits
+                    .extend((0..warps).map(|w| spec.init_warp(next_block, w, ctx)));
+                self.cores[sm].sm.add_block_from(next_block, &mut self.scratch.warp_inits);
                 next_block += 1;
             }
             lap!(Subsystem::Dispatch);
@@ -563,6 +588,45 @@ impl Simulator {
                 break;
             }
             self.cycle += 1;
+
+            // 7. Event calendar: if no subsystem can act before cycle `t`,
+            //    jump the clock there, crediting the skipped cycles to each
+            //    SM's stall breakdown exactly as the dense loop would have
+            //    (see `SmCore::skip_cycles`). A skip never crosses a
+            //    watchdog sample or the cycle-budget boundary, so timeout
+            //    behavior is identical to the dense loop's.
+            if event_engine {
+                let cur = self.cycle;
+                let mut busy = next_block < spec.grid_blocks
+                    && self.cores[(next_block % n_cores) as usize].sm.has_capacity(warps);
+                let mut wake = fold_wake(self.mesh.next_delivery(), self.shared.next_wake());
+                for c in &self.cores {
+                    if busy {
+                        break;
+                    }
+                    match c.sm.next_wake(cur) {
+                        SmWake::Busy => busy = true,
+                        SmWake::At(t) => wake = fold_wake(wake, Some(t)),
+                        SmWake::Idle => {}
+                    }
+                    wake = fold_wake(wake, c.mem.next_wake(cur));
+                }
+                if !busy {
+                    let mut target = wake.unwrap_or(u64::MAX);
+                    if self.cfg.progress_window > 0 {
+                        target = target.min(next_watchdog);
+                    }
+                    target =
+                        target.min(start.saturating_add(self.cfg.max_cycles).saturating_add(1));
+                    if target > cur {
+                        let n = target - cur;
+                        for c in &mut self.cores {
+                            c.sm.skip_cycles(cur, n, &mut c.collector);
+                        }
+                        self.cycle = target;
+                    }
+                }
+            }
         }
 
         // Always-on conservation check: every classified cycle must be

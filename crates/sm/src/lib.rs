@@ -26,5 +26,5 @@ mod warp;
 
 pub use block::BlockInit;
 pub use config::{SchedPolicy, SmConfig};
-pub use sm::{SmCore, SmStats, TraceEntry, WarpProfile, WarpSnapshot};
+pub use sm::{SmCore, SmStats, SmWake, TraceEntry, WarpProfile, WarpSnapshot};
 pub use warp::WarpInit;

@@ -25,10 +25,13 @@ impl Scheduler {
         out
     }
 
-    /// [`order`](Self::order) writing into a caller-provided buffer, so the
-    /// per-cycle issue stage can reuse one allocation. `out` is cleared
-    /// first. The unstable sort is deterministic here because the sort key
-    /// includes the warp index, making every key distinct.
+    /// [`order`](Self::order) writing into a caller-provided buffer. `out`
+    /// is cleared first. The unstable sort is deterministic here because
+    /// the sort key includes the warp index, making every key distinct.
+    /// Reference implementation over all `n` warps; the issue stage uses
+    /// [`order_active_into`](Self::order_active_into), which the
+    /// equivalence tests check against this.
+    #[cfg(test)]
     pub fn order_into(
         &self,
         policy: SchedPolicy,
@@ -56,6 +59,54 @@ impl Scheduler {
         }
     }
 
+    /// [`order_into`](Self::order_into) restricted to the live warps.
+    ///
+    /// `active` holds the live warp indices in ascending order and `keys[i]`
+    /// is the last-issue cycle of `active[i]`. The result is exactly the
+    /// full `order_into(policy, n, ..)` sequence with non-live warps
+    /// removed — interchangeable with it, because the issue stage skips
+    /// inactive warps anyway — computed in O(live) / O(live log live)
+    /// instead of O(n), where n (warps ever dispatched) grows with every
+    /// block a long grid streams through the SM:
+    ///
+    /// - GTO sorts by the distinct key `(last_issue, warp)`, so sorting the
+    ///   live subset preserves the relative order the full sort would give,
+    ///   and fronting the greedy warp only matters when it is live.
+    /// - Round-robin emits `(rr_start + i) % n`, i.e. the indices `>=
+    ///   rr_start` ascending then the rest; filtering that to a sorted live
+    ///   list is a partition at `rr_start`.
+    pub fn order_active_into(
+        &self,
+        policy: SchedPolicy,
+        active: &[usize],
+        keys: &[u64],
+        out: &mut Vec<usize>,
+    ) {
+        debug_assert_eq!(active.len(), keys.len());
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "live list must be ascending");
+        out.clear();
+        match policy {
+            SchedPolicy::Gto => {
+                out.extend(0..active.len());
+                out.sort_unstable_by_key(|&i| (keys[i], active[i]));
+                for slot in out.iter_mut() {
+                    *slot = active[*slot];
+                }
+                if let Some(g) = self.greedy {
+                    if let Some(pos) = out.iter().position(|&w| w == g) {
+                        out.remove(pos);
+                        out.insert(0, g);
+                    }
+                }
+            }
+            SchedPolicy::RoundRobin => {
+                let p = active.partition_point(|&w| w < self.rr_start);
+                out.extend_from_slice(&active[p..]);
+                out.extend_from_slice(&active[..p]);
+            }
+        }
+    }
+
     /// Record that `warp` issued this cycle (it becomes the greedy warp).
     pub fn issued(&mut self, warp: usize) {
         self.greedy = Some(warp);
@@ -65,6 +116,15 @@ impl Scheduler {
     pub fn next_cycle(&mut self, n: usize) {
         if n > 0 {
             self.rr_start = (self.rr_start + 1) % n;
+        }
+    }
+
+    /// Advance `cycles` cycles at once — equivalent to that many
+    /// [`next_cycle`](Self::next_cycle) calls (the event engine's bulk
+    /// advance over a skipped stretch).
+    pub fn advance_cycles(&mut self, cycles: u64, n: usize) {
+        if n > 0 {
+            self.rr_start = (self.rr_start + (cycles % n as u64) as usize) % n;
         }
     }
 }
@@ -109,6 +169,36 @@ mod tests {
         for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
             s.order_into(policy, 4, &last, &mut buf);
             assert_eq!(buf, s.order(policy, 4, &last));
+        }
+    }
+
+    #[test]
+    fn order_active_matches_full_order_filtered() {
+        // Pseudo-random last-issue table over 12 warps; warps 2, 5, 6 and
+        // 9 have exited. The live-only order must equal the full order with
+        // the dead warps removed, for every policy, rotation offset, and
+        // greedy choice (live, dead, or none).
+        let n = 12;
+        let last: Vec<u64> = (0..n as u64).map(|w| (w * 7 + 3) % 5).collect();
+        let dead = [2usize, 5, 6, 9];
+        let active: Vec<usize> = (0..n).filter(|w| !dead.contains(w)).collect();
+        let keys: Vec<u64> = active.iter().map(|&w| last[w]).collect();
+        let mut full = Vec::new();
+        let mut live = Vec::new();
+        for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
+            for greedy in std::iter::once(None).chain((0..n).map(Some)) {
+                let mut s = Scheduler::default();
+                if let Some(g) = greedy {
+                    s.issued(g);
+                }
+                for _ in 0..n {
+                    s.order_into(policy, n, &last, &mut full);
+                    full.retain(|w| active.contains(w));
+                    s.order_active_into(policy, &active, &keys, &mut live);
+                    assert_eq!(full, live, "policy {policy:?}, greedy {greedy:?}");
+                    s.next_cycle(n);
+                }
+            }
         }
     }
 

@@ -149,6 +149,24 @@ struct IssueScratch {
     pairs: Vec<(usize, u64)>,
     /// The bare addresses of `pairs`, in the shape the LSU expects.
     addrs: Vec<u64>,
+    /// Per-warp frozen hazard records for a skipped stretch (`None` for
+    /// inactive warps; the flag is whether the warp earns profile credit).
+    skip_hazards: Vec<Option<(InstrHazards, bool)>>,
+}
+
+/// What an SM can do next, computed by [`SmCore::next_wake`] without
+/// mutating any state — the SM's entry in the event calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmWake {
+    /// Some warp can issue this cycle (or a reconvergence pop is pending):
+    /// the SM must be ticked densely.
+    Busy,
+    /// No warp can issue before this cycle, when a control-refetch or
+    /// compute-latency timer expires.
+    At(u64),
+    /// Every wait is completion-driven: only a memory or mesh event can
+    /// unblock the SM (or it has no active warps at all).
+    Idle,
 }
 
 /// One streaming multiprocessor.
@@ -170,6 +188,20 @@ pub struct SmCore {
     trace_capacity: usize,
     trace: std::collections::VecDeque<TraceEntry>,
     scratch: IssueScratch,
+    /// Indices of warps that have not exited, ascending. Swept at the top
+    /// of each tick; a warp exiting mid-cycle lingers until the next sweep,
+    /// which is harmless because every consumer re-checks `Warp::active`.
+    /// Warp slots themselves are never recycled (warp ids are stable for
+    /// profiles and timelines), so a long grid streaming hundreds of blocks
+    /// through one SM grows `warps` without bound — this list keeps the
+    /// per-cycle scans O(resident) instead of O(ever dispatched).
+    live: Vec<usize>,
+    /// Exact count of warps with `active == true`, maintained at the one
+    /// deactivation site. The dispatcher's capacity check needs this every
+    /// cycle and must not pay an O(ever) count.
+    live_count: usize,
+    /// Indices of blocks not yet reaped, in dispatch order.
+    resident: Vec<usize>,
 }
 
 impl SmCore {
@@ -188,6 +220,9 @@ impl SmCore {
             trace_capacity: 0,
             trace: std::collections::VecDeque::new(),
             scratch: IssueScratch::default(),
+            live: Vec::new(),
+            live_count: 0,
+            resident: Vec::new(),
         }
     }
 
@@ -223,6 +258,9 @@ impl SmCore {
         self.completed_blocks.clear();
         self.scheduler = Scheduler::default();
         self.profiles.clear();
+        self.live.clear();
+        self.live_count = 0;
+        self.resident.clear();
     }
 
     /// Per-warp issue-stage profiles for the current kernel, in warp-id
@@ -250,12 +288,14 @@ impl SmCore {
 
     /// Number of warps that have not exited.
     pub fn active_warps(&self) -> usize {
-        self.warps.iter().filter(|w| w.active).count()
+        debug_assert_eq!(self.live_count, self.warps.iter().filter(|w| w.active).count());
+        self.live_count
     }
 
     /// Number of resident, unfinished blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| !b.done).count()
+        debug_assert_eq!(self.resident.len(), self.blocks.iter().filter(|b| !b.done).count());
+        self.resident.len()
     }
 
     /// True when no warp can ever issue again.
@@ -276,17 +316,33 @@ impl SmCore {
     /// Panics if no program is installed or capacity is exceeded (callers
     /// must check [`has_capacity`](Self::has_capacity)).
     pub fn add_block(&mut self, block: BlockInit) {
+        let mut warps = block.warps;
+        self.add_block_from(block.block_id, &mut warps);
+    }
+
+    /// [`add_block`](Self::add_block) draining the warps from a
+    /// caller-owned buffer, so a dispatcher running inside the cycle loop
+    /// can reuse one scratch `Vec` instead of collecting a fresh one per
+    /// block. `warps` is left empty with its capacity intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is installed or capacity is exceeded.
+    pub fn add_block_from(&mut self, block_id: u64, warps: &mut Vec<crate::warp::WarpInit>) {
         assert!(self.program.is_some(), "no kernel installed");
-        assert!(self.has_capacity(block.warps.len()), "SM over capacity");
+        assert!(self.has_capacity(warps.len()), "SM over capacity");
         let block_idx = self.blocks.len();
         let slot = self.peek_next_slot();
-        let mut warp_ids = Vec::with_capacity(block.warps.len());
-        for init in block.warps {
+        let mut warp_ids = Vec::with_capacity(warps.len());
+        for init in warps.drain(..) {
             warp_ids.push(self.warps.len());
+            self.live.push(self.warps.len());
+            self.live_count += 1;
             self.warps.push(Warp::new(block_idx, init));
             self.profiles.push(WarpProfile::default());
         }
-        self.blocks.push(BlockState::new(block.block_id, slot, warp_ids));
+        self.blocks.push(BlockState::new(block_id, slot, warp_ids));
+        self.resident.push(block_idx);
     }
 
     /// The hardware block slot the next accepted block will occupy: the
@@ -294,7 +350,7 @@ impl SmCore {
     /// scratchpad/stash partition.
     pub fn peek_next_slot(&self) -> usize {
         (0..)
-            .find(|&s| !self.blocks.iter().any(|b| !b.done && b.slot == s))
+            .find(|&s| !self.resident.iter().any(|&bi| self.blocks[bi].slot == s))
             .expect("unbounded range")
     }
 
@@ -333,10 +389,192 @@ impl SmCore {
         sink: &mut S,
     ) {
         self.stats.cycles += 1;
+        self.sweep_live();
         self.retire_completions(mem, collector);
         self.issue_stage(now, mem, gmem, collector, sink);
         self.scheduler.next_cycle(self.warps.len());
         self.reap_blocks();
+    }
+
+    /// Drop warps that exited since the last sweep from the live list.
+    fn sweep_live(&mut self) {
+        let warps = &self.warps;
+        self.live.retain(|&w| warps[w].active);
+    }
+
+    /// What this SM can do at cycle `now`, without mutating any state: the
+    /// per-warp gates of [`issue_stage`] re-evaluated read-only, in the
+    /// same order. [`SmWake::Busy`] when any warp could issue (or attempt
+    /// to — structural rejections still consume a cycle's worth of work)
+    /// or a reconvergence pop is pending; otherwise the earliest timer
+    /// (control refetch, compute latency) that could unblock a warp, or
+    /// [`SmWake::Idle`] when every wait is completion-driven.
+    pub fn next_wake(&self, now: u64) -> SmWake {
+        let Some(program) = self.program.as_ref() else { return SmWake::Idle };
+        let mut earliest: Option<u64> = None;
+        let note = |t: u64, earliest: &mut Option<u64>| {
+            *earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        };
+        for &wi in &self.live {
+            let w = &self.warps[wi];
+            if !w.active {
+                continue;
+            }
+            if now < w.ibuffer_ready_at {
+                note(w.ibuffer_ready_at, &mut earliest);
+                continue;
+            }
+            if w.sync_pending || w.at_barrier {
+                continue; // unblocked only by a completion
+            }
+            // A pending reconvergence pop mutates warp state inside the
+            // issue stage; that cycle cannot be summarized.
+            if let Some(top) = w.simt_stack.last() {
+                if w.pc == top.rpc {
+                    return SmWake::Busy;
+                }
+            }
+            let instr = program.fetch(w.pc).copied().unwrap_or(Instr::Exit);
+            let srcs = instr.source_regs();
+            let dest = instr.dest();
+            if srcs.iter().chain(dest.as_ref()).any(|r| w.load_pending(r.0)) {
+                continue; // unblocked only by a fill
+            }
+            let latest = srcs.iter().chain(dest.as_ref()).map(|r| w.ready_at[r.0 as usize]).max();
+            match latest {
+                Some(t) if t > now => note(t, &mut earliest),
+                _ => return SmWake::Busy, // issuable right now
+            }
+        }
+        match earliest {
+            Some(t) => SmWake::At(t),
+            None => SmWake::Idle,
+        }
+    }
+
+    /// Advance `n` cycles in one step over a stretch in which no warp can
+    /// issue — the event engine's bulk form of [`tick`](Self::tick).
+    ///
+    /// The caller guarantees (via [`next_wake`](Self::next_wake)) that for
+    /// every cycle in `[start, start + n)` each warp's Algorithm-1
+    /// classification is the one observable at `start`: no completions
+    /// arrive, no timer expires inside the window, and no warp is
+    /// issuable. Under those conditions this produces bit-identical
+    /// collector state, statistics, and per-warp profiles to `n`
+    /// individual ticks — including the round-robin rotation of the cycle
+    /// verdict's detail fields, which is replayed per cycle from the
+    /// frozen hazards.
+    pub fn skip_cycles(&mut self, start: u64, n: u64, collector: &mut StallCollector) {
+        if n == 0 {
+            return;
+        }
+        self.stats.cycles += n;
+        self.sweep_live();
+        // Freeze each warp's hazard record once; it is constant across the
+        // window. The credit flag mirrors the dense loop: control- and
+        // sync-blocked warps bail out before the per-warp profile line.
+        // The buffer stays indexed by warp id (the scheduler order below
+        // yields warp ids) but only live entries are filled.
+        let mut hazards = std::mem::take(&mut self.scratch.skip_hazards);
+        hazards.clear();
+        hazards.resize(self.warps.len(), None);
+        let program = self.program.as_ref().expect("program installed");
+        for &wi in &self.live {
+            let w = &self.warps[wi];
+            if !w.active {
+                continue;
+            }
+            let mut hz = InstrHazards::default();
+            if start < w.ibuffer_ready_at {
+                hz.control = true;
+                hazards[wi] = Some((hz, false));
+                continue;
+            }
+            if w.sync_pending || w.at_barrier {
+                hz.synchronization = true;
+                hazards[wi] = Some((hz, false));
+                continue;
+            }
+            debug_assert!(
+                w.simt_stack.last().is_none_or(|top| w.pc != top.rpc),
+                "skipped a cycle with a pending reconvergence pop"
+            );
+            let instr = program.fetch(w.pc).copied().unwrap_or(Instr::Exit);
+            let srcs = instr.source_regs();
+            let dest = instr.dest();
+            for r in srcs.iter().chain(dest.as_ref()) {
+                if w.load_pending(r.0) {
+                    hz.mem_data = w.blocking_req(r.0);
+                    break;
+                }
+            }
+            if hz.mem_data.is_none()
+                && srcs.iter().chain(dest.as_ref()).any(|r| w.compute_pending(r.0, start))
+            {
+                hz.compute_data = true;
+            }
+            debug_assert!(!hz.can_issue(), "skipped a cycle with an issuable warp");
+            hazards[wi] = Some((hz, true));
+        }
+
+        // Per-warp profile credit is order-independent: bulk-charge it.
+        for &wi in &self.live {
+            if let Some((hz, true)) = &hazards[wi] {
+                let kind = classify_instruction(hz);
+                self.profiles[wi].considered[kind.index()] += n;
+            }
+        }
+
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let mut considered = std::mem::take(&mut self.scratch.considered);
+        {
+            let last_issue = &mut self.scratch.last_issue;
+            last_issue.clear();
+            last_issue.extend(self.live.iter().map(|&w| self.warps[w].last_issue));
+        }
+        let rounds = match self.cfg.scheduler {
+            // GTO order is frozen while nothing issues: one verdict covers
+            // the whole window.
+            crate::config::SchedPolicy::Gto => 1,
+            // Round-robin rotates the consideration order every cycle, and
+            // the verdict's detail fields (blocking request, rejection
+            // cause) come from the first matching warp in order — replay
+            // the cheap part per cycle.
+            crate::config::SchedPolicy::RoundRobin => n,
+        };
+        for round in 0..rounds {
+            self.scheduler.order_active_into(
+                self.cfg.scheduler,
+                &self.live,
+                &self.scratch.last_issue,
+                &mut order,
+            );
+            considered.clear();
+            for &wi in &order {
+                if let Some((hz, _)) = hazards[wi] {
+                    considered.push(hz);
+                }
+            }
+            let verdict = judge_cycle_scratch(
+                &self.cfg.cycle_priority,
+                false,
+                &considered,
+                &mut self.scratch.kinds,
+            );
+            if rounds == 1 {
+                collector.record_cycles(&verdict, n);
+            } else {
+                collector.record_cycle(&verdict);
+                self.scheduler.next_cycle(self.warps.len());
+            }
+            let _ = round;
+        }
+        if rounds == 1 {
+            self.scheduler.advance_cycles(n, self.warps.len());
+        }
+        self.scratch.order = order;
+        self.scratch.considered = considered;
+        self.scratch.skip_hazards = hazards;
     }
 
     fn retire_completions(&mut self, mem: &mut CoreMemUnit, collector: &mut StallCollector) {
@@ -387,8 +625,13 @@ impl SmCore {
         {
             let last_issue = &mut self.scratch.last_issue;
             last_issue.clear();
-            last_issue.extend(self.warps.iter().map(|w| w.last_issue));
-            self.scheduler.order_into(self.cfg.scheduler, self.warps.len(), last_issue, &mut order);
+            last_issue.extend(self.live.iter().map(|&w| self.warps[w].last_issue));
+            self.scheduler.order_active_into(
+                self.cfg.scheduler,
+                &self.live,
+                last_issue,
+                &mut order,
+            );
         }
         considered.clear();
 
@@ -819,6 +1062,7 @@ impl SmCore {
                 );
                 let block_idx = self.warps[wi].block;
                 self.warps[wi].active = false;
+                self.live_count -= 1;
                 // An exiting warp may be the last one a barrier was waiting
                 // for.
                 self.maybe_release_barrier(block_idx);
@@ -833,44 +1077,78 @@ impl SmCore {
     /// Fill the scratch buffers with the `(lane, byte address)` pairs of
     /// the *active* lanes (and the bare addresses, in the shape the LSU
     /// expects).
+    ///
+    /// A structurally rejected access replays every cycle with identical
+    /// operands (the data gates proved the sources ready, and nothing can
+    /// write them again without an issue), so the computed pairs are cached
+    /// in the warp and reused while the `(pc, last_issue, active_mask)` key
+    /// holds. The walk over 32 strided per-lane register files is the
+    /// expensive part; the replay path pays two contiguous copies instead.
     fn fill_lane_addrs(&mut self, wi: usize, addr: Reg, offset: i64) {
-        let w = &self.warps[wi];
+        let w = &mut self.warps[wi];
         let pairs = &mut self.scratch.pairs;
         let addrs = &mut self.scratch.addrs;
         pairs.clear();
         addrs.clear();
+        let key = (w.pc, w.last_issue, w.active_mask);
+        if w.addr_cache_key == Some(key) {
+            pairs.extend_from_slice(&w.addr_cache_pairs);
+            addrs.extend(pairs.iter().map(|&(_, a)| a));
+            return;
+        }
         for (lane, regs) in w.regs.iter().enumerate() {
-            if w.lane_active(lane) {
+            if w.active_mask & (1 << lane) != 0 {
                 let a = regs[addr.0 as usize].wrapping_add(offset as u64);
                 pairs.push((lane, a));
                 addrs.push(a);
             }
         }
+        w.addr_cache_key = Some(key);
+        w.addr_cache_pairs.clear();
+        w.addr_cache_pairs.extend_from_slice(pairs);
     }
 
     fn maybe_release_barrier(&mut self, block_idx: usize) {
+        // The barrier releases when every still-active warp of the block is
+        // waiting at it. Two passes over the (small) warp-id list, by
+        // index, so no temporary collection is needed.
         let block = &self.blocks[block_idx];
-        let active: Vec<usize> =
-            block.warp_ids.iter().copied().filter(|&w| self.warps[w].active).collect();
-        if active.is_empty() {
+        let mut any_active = false;
+        for &w in &block.warp_ids {
+            let warp = &self.warps[w];
+            if warp.active {
+                any_active = true;
+                if !warp.at_barrier {
+                    return;
+                }
+            }
+        }
+        if !any_active {
             return;
         }
-        let all_waiting = active.iter().all(|&w| self.warps[w].at_barrier);
-        if all_waiting {
-            for &w in &active {
+        for i in 0..self.blocks[block_idx].warp_ids.len() {
+            let w = self.blocks[block_idx].warp_ids[i];
+            if self.warps[w].active {
                 self.warps[w].at_barrier = false;
             }
-            self.blocks[block_idx].barrier_count = 0;
         }
+        self.blocks[block_idx].barrier_count = 0;
     }
 
     fn reap_blocks(&mut self) {
-        for b in &mut self.blocks {
-            if !b.done && b.warp_ids.iter().all(|&w| !self.warps[w].active) {
+        let blocks = &mut self.blocks;
+        let warps = &self.warps;
+        let completed = &mut self.completed_blocks;
+        self.resident.retain(|&bi| {
+            let b = &mut blocks[bi];
+            if b.warp_ids.iter().all(|&w| !warps[w].active) {
                 b.done = true;
-                self.completed_blocks.push(b.block_id);
+                completed.push(b.block_id);
+                false
+            } else {
+                true
             }
-        }
+        });
     }
 }
 

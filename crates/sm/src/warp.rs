@@ -77,6 +77,14 @@ pub(crate) struct Warp {
     pub active_mask: u32,
     /// SIMT reconvergence stack for divergent branches.
     pub simt_stack: Vec<SimtEntry>,
+    /// Key of the cached lane-address computation: `(pc, last_issue,
+    /// active_mask)`. All three are frozen while a structurally rejected
+    /// access replays (sources can only change through an issue or a SIMT
+    /// pop, and both change the key), so the per-lane address walk runs
+    /// once per instruction instead of once per replay attempt.
+    pub addr_cache_key: Option<(usize, u64, u32)>,
+    /// Cached `(lane, byte address)` pairs for the key above.
+    pub addr_cache_pairs: Vec<(usize, u64)>,
 }
 
 impl Warp {
@@ -96,6 +104,8 @@ impl Warp {
             last_issue: 0,
             active_mask: u32::MAX,
             simt_stack: Vec::new(),
+            addr_cache_key: None,
+            addr_cache_pairs: Vec::new(),
         }
     }
 
@@ -107,11 +117,6 @@ impl Warp {
     pub fn leader(&self) -> usize {
         assert!(self.active_mask != 0, "warp with no active lanes");
         self.active_mask.trailing_zeros() as usize
-    }
-
-    /// Whether `lane` is currently active.
-    pub fn lane_active(&self, lane: usize) -> bool {
-        self.active_mask & (1 << lane) != 0
     }
 
     /// The first outstanding request blocking register `reg`, if any.
@@ -191,8 +196,8 @@ mod tests {
         assert_eq!(w.leader(), 0);
         w.active_mask = 0b1100;
         assert_eq!(w.leader(), 2);
-        assert!(w.lane_active(3));
-        assert!(!w.lane_active(0));
+        assert_ne!(w.active_mask & (1 << 3), 0);
+        assert_eq!(w.active_mask & (1 << 0), 0);
     }
 
     #[test]

@@ -20,6 +20,28 @@ cargo test -q --offline --workspace
 echo "== alloc-free under counter tracing =="
 GSI_TRACE_LEVEL=counters cargo test -q --offline --test alloc_free
 
+echo "== engine differential (dense vs event, counters tracing) =="
+# The event-driven calendar must be bit-identical to the dense loop on
+# every workload, both protocols, chaos seeds included; counters-level
+# tracing also compares the recorded event-count vectors.
+GSI_TRACE_LEVEL=counters cargo test -q --offline --release --test engine_diff
+
+echo "== perf smoke (event engine vs dense on a memory-bound workload) =="
+# Release-only wall-clock assertion: the calendar's wake evaluation must
+# not cost more than the dead cycles it skips.
+cargo test -q --offline --release --test engine_perf -- --ignored
+
+echo "== perf bench (paper scale, BENCH_PR<n>.json) =="
+# Every PR leaves a same-machine baseline so the perf trajectory has no
+# holes. The PR number is the successor of the highest recorded in
+# CHANGES.md; set GSI_PR to override. Serial (--threads 1) so rows don't
+# contend and stay comparable across PRs; best-of-3 (--repeat 3) so a
+# noisy neighbor on a shared host can't poison a row.
+PR="${GSI_PR:-$(( $(sed -n 's/^- PR \([0-9]*\):.*/\1/p' CHANGES.md | sort -n | tail -1) + 1 ))}"
+cargo run --release --offline --quiet -p gsi-bench --bin sweep -- \
+    --scale paper --threads 1 --trace-level off --repeat 3 --quiet --out "BENCH_PR${PR}.json"
+echo "wrote BENCH_PR${PR}.json"
+
 echo "== chaos sweep (fixed seed, zero escaped panics, conservation on) =="
 # Every experiment runs under all fault kinds; any panic, simulation
 # failure, or conservation violation fails the sweep (non-zero exit).

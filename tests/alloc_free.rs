@@ -102,6 +102,33 @@ fn allocs_for(iters: u64) -> (u64, u64) {
     (ALLOCS.load(Ordering::Relaxed) - before, run.cycles)
 }
 
+/// Like [`allocs_for`], but with block dispatch live through the whole
+/// run: one SM limited to two resident blocks and an eight-block grid, so
+/// slots recycle and `add_block_from` runs mid-kernel. Dispatch work is
+/// per-*block* (equal across the two runs), never per-cycle — this guards
+/// the regression where each dispatched block allocated a fresh warp
+/// initializer `Vec` inside the cycle loop.
+fn streaming_allocs_for(iters: u64) -> (u64, u64) {
+    let mut cfg = SystemConfig::paper().with_gpu_cores(1).with_analysis_gate(AnalysisGate::Off);
+    cfg.sm.max_blocks = 2;
+    let mut sim = Simulator::new(cfg);
+    sim.set_trace_level(trace_level());
+    let mut b = ProgramBuilder::new("stream");
+    b.ldi(Reg(1), iters);
+    let top = b.here();
+    b.subi(Reg(1), Reg(1), 1);
+    b.bra_nz(Reg(1), top);
+    b.exit();
+    let spec = LaunchSpec::new(b.build().unwrap(), 8, 1);
+    let warm = sim.run_kernel(&spec).unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    let run = sim.run_kernel(&spec).unwrap();
+    MEASURING.with(|m| m.set(false));
+    assert_eq!(warm.cycles, run.cycles, "warm-up and measured runs agree");
+    (ALLOCS.load(Ordering::Relaxed) - before, run.cycles)
+}
+
 #[test]
 fn steady_state_cycle_loop_does_not_allocate() {
     // Pre-warm libtest's channel machinery: the harness lazily initializes
@@ -125,5 +152,23 @@ fn steady_state_cycle_loop_does_not_allocate() {
         "allocation count must be independent of cycles simulated \
          ({short_cycles} cycles -> {short_allocs} allocs, \
          {long_cycles} cycles -> {long_allocs} allocs)"
+    );
+
+    // Same property with dispatch active throughout the run: both runs
+    // dispatch the same eight blocks through two recycled slots, so their
+    // (per-block) dispatch allocations match and the cycle count still
+    // must not leak into the total.
+    let (stream_short_allocs, stream_short_cycles) = streaming_allocs_for(50);
+    let (stream_long_allocs, stream_long_cycles) = streaming_allocs_for(5_000);
+    assert!(
+        stream_long_cycles > stream_short_cycles * 50,
+        "the long streaming run must dwarf the short one \
+         ({stream_short_cycles} vs {stream_long_cycles} cycles)"
+    );
+    assert_eq!(
+        stream_short_allocs, stream_long_allocs,
+        "streaming dispatch must not allocate per cycle \
+         ({stream_short_cycles} cycles -> {stream_short_allocs} allocs, \
+         {stream_long_cycles} cycles -> {stream_long_allocs} allocs)"
     );
 }

@@ -1,0 +1,243 @@
+//! Differential suite for the cycle engines: the dense per-cycle loop and
+//! the event-driven skip-ahead engine must be *bit-identical*, not merely
+//! statistically close. Every workload in the repertoire runs under both
+//! engines and both coherence protocols, and the full [`KernelRun`] — cycle
+//! count, stall breakdowns, per-SM statistics, timelines, warp profiles —
+//! must compare equal. A subset re-runs with chaos fault injection armed,
+//! since injected timing faults exercise machine states (wedged MSHRs,
+//! stalled flushes, dropped DMA bursts) that the clean runs never reach.
+//!
+//! The suite honors `GSI_TRACE_LEVEL` (the verify script runs it under
+//! `counters`) and, when tracing is on, also requires the recorded counter
+//! vectors to match between engines.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi::chaos::FaultPlan;
+use gsi::mem::Protocol;
+use gsi::sim::{CycleEngine, Simulator, SystemConfig};
+use gsi::trace::TraceLevel;
+use gsi::workloads::{bfs, gemm, histogram, implicit, reduction, spmv, stencil, uts};
+use std::fmt::Debug;
+
+fn trace_level() -> TraceLevel {
+    match std::env::var("GSI_TRACE_LEVEL").as_deref() {
+        Ok("counters") => TraceLevel::Counters,
+        Ok("full") => TraceLevel::Full,
+        _ => TraceLevel::Off,
+    }
+}
+
+/// Run `work` on two simulators that differ only in cycle engine and
+/// assert the results (and trace counters, if tracing) are identical.
+fn assert_engines_agree<R, F>(name: &str, base: SystemConfig, plan: &FaultPlan, mut work: F)
+where
+    R: PartialEq + Debug,
+    F: FnMut(&mut Simulator) -> R,
+{
+    let mut outs = Vec::new();
+    let mut counts = Vec::new();
+    for engine in [CycleEngine::Dense, CycleEngine::Event] {
+        let mut sim = Simulator::new(base.with_cycle_engine(engine));
+        sim.set_trace_level(trace_level());
+        sim.set_timeline_epoch(256);
+        sim.set_chaos(plan);
+        outs.push(work(&mut sim));
+        counts.push(sim.trace().counts().to_vec());
+    }
+    assert_eq!(outs[0], outs[1], "{name}: engines disagree on results");
+    assert_eq!(counts[0], counts[1], "{name}: engines disagree on trace counters");
+}
+
+fn base(cores: usize, protocol: Protocol) -> SystemConfig {
+    SystemConfig::paper().with_gpu_cores(cores).with_protocol(protocol)
+}
+
+const PROTOCOLS: [Protocol; 2] = [Protocol::GpuCoherence, Protocol::DeNovo];
+
+#[test]
+fn uts_both_variants_agree() {
+    let cfg = uts::UtsConfig::small();
+    for protocol in PROTOCOLS {
+        for variant in [uts::Variant::Centralized, uts::Variant::Decentralized] {
+            assert_engines_agree(
+                &format!("uts-{variant:?}-{protocol}"),
+                base(4, protocol),
+                &FaultPlan::disabled(),
+                |sim| {
+                    let out = uts::run(sim, &cfg, variant).unwrap();
+                    (out.run, out.processed)
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn implicit_all_styles_agree() {
+    for protocol in PROTOCOLS {
+        for style in implicit::LocalMemStyle::ALL {
+            let cfg = implicit::ImplicitConfig::small(style);
+            assert_engines_agree(
+                &format!("implicit-{style}-{protocol}"),
+                base(1, protocol).with_local_mem(style.mem_kind()),
+                &FaultPlan::disabled(),
+                |sim| {
+                    let out = implicit::run(sim, &cfg).unwrap();
+                    (out.run, out.verified_elems)
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn spmv_agrees() {
+    let cfg = spmv::SpmvConfig::small();
+    for protocol in PROTOCOLS {
+        assert_engines_agree(
+            &format!("spmv-{protocol}"),
+            base(4, protocol),
+            &FaultPlan::disabled(),
+            |sim| {
+                let out = spmv::run(sim, &cfg).unwrap();
+                (out.run, out.verified_rows)
+            },
+        );
+    }
+}
+
+#[test]
+fn histogram_agrees() {
+    let cfg = histogram::HistogramConfig::small();
+    for protocol in PROTOCOLS {
+        assert_engines_agree(
+            &format!("histogram-{protocol}"),
+            base(4, protocol),
+            &FaultPlan::disabled(),
+            |sim| {
+                let out = histogram::run(sim, &cfg).unwrap();
+                (out.run, out.verified_bins)
+            },
+        );
+    }
+}
+
+#[test]
+fn stencil_both_variants_agree() {
+    for protocol in PROTOCOLS {
+        for variant in [stencil::StencilVariant::Tiled, stencil::StencilVariant::Global] {
+            let cfg = stencil::StencilConfig::small(variant);
+            assert_engines_agree(
+                &format!("stencil-{variant:?}-{protocol}"),
+                base(2, protocol),
+                &FaultPlan::disabled(),
+                |sim| {
+                    let out = stencil::run(sim, &cfg).unwrap();
+                    (out.run, out.verified_elems)
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_agrees() {
+    let cfg = reduction::ReductionConfig::small();
+    for protocol in PROTOCOLS {
+        assert_engines_agree(
+            &format!("reduction-{protocol}"),
+            base(4, protocol),
+            &FaultPlan::disabled(),
+            |sim| {
+                let out = reduction::run(sim, &cfg).unwrap();
+                (out.run, out.total)
+            },
+        );
+    }
+}
+
+#[test]
+fn bfs_agrees_level_by_level() {
+    let cfg = bfs::BfsConfig::small();
+    for protocol in PROTOCOLS {
+        assert_engines_agree(
+            &format!("bfs-{protocol}"),
+            base(4, protocol),
+            &FaultPlan::disabled(),
+            |sim| {
+                let out = bfs::run(sim, &cfg).unwrap();
+                (out.levels, out.reached)
+            },
+        );
+    }
+}
+
+#[test]
+fn gemm_both_variants_agree() {
+    for protocol in PROTOCOLS {
+        for variant in [gemm::GemmVariant::Tiled, gemm::GemmVariant::Global] {
+            let cfg = gemm::GemmConfig::small(variant);
+            assert_engines_agree(
+                &format!("gemm-{variant:?}-{protocol}"),
+                base(4, protocol),
+                &FaultPlan::disabled(),
+                |sim| {
+                    let out = gemm::run(sim, &cfg).unwrap();
+                    (out.run, out.verified)
+                },
+            );
+        }
+    }
+}
+
+/// Chaos-armed runs reach machine states the clean runs never do (wedged
+/// MSHRs, stalled store-buffer drains, dropped DMA bursts). The engines
+/// must stay identical there too — chaos decisions are keyed off per-cycle
+/// machine state, so a single cycle simulated differently would diverge
+/// the whole fault stream.
+#[test]
+fn chaos_runs_agree() {
+    const SEEDS: [u64; 3] = [1, 0xC0FFEE, 0x2026_0808];
+    let ucfg = uts::UtsConfig::small();
+    for seed in SEEDS {
+        let plan = FaultPlan::all(seed);
+        assert_engines_agree(
+            &format!("chaos-uts-{seed:#x}"),
+            base(4, Protocol::DeNovo),
+            &plan,
+            |sim| {
+                let out = uts::run(sim, &ucfg, uts::Variant::Decentralized).unwrap();
+                (out.run, out.processed, sim.chaos_stats().total())
+            },
+        );
+        let style = implicit::LocalMemStyle::ScratchpadDma;
+        let icfg = implicit::ImplicitConfig::small(style);
+        assert_engines_agree(
+            &format!("chaos-implicit-{seed:#x}"),
+            base(1, Protocol::GpuCoherence).with_local_mem(style.mem_kind()),
+            &plan,
+            |sim| {
+                let out = implicit::run(sim, &icfg).unwrap();
+                (out.run, out.verified_elems, sim.chaos_stats().total())
+            },
+        );
+    }
+}
+
+/// The event engine must also agree when profiling is off entirely (the
+/// overhead-measurement configuration): same cycle counts, empty
+/// breakdowns on both sides.
+#[test]
+fn profiling_off_agrees() {
+    let cfg = spmv::SpmvConfig::small();
+    let mut cycles = Vec::new();
+    for engine in [CycleEngine::Dense, CycleEngine::Event] {
+        let mut sim = Simulator::new(base(4, Protocol::GpuCoherence).with_cycle_engine(engine));
+        sim.set_profiling(false);
+        let out = spmv::run(&mut sim, &cfg).unwrap();
+        assert_eq!(out.run.breakdown.total_cycles(), 0);
+        cycles.push(out.run.cycles);
+    }
+    assert_eq!(cycles[0], cycles[1], "profiling-off cycle counts diverge");
+}

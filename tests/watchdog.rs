@@ -110,6 +110,31 @@ fn cycle_budget_timeouts_also_carry_a_report() {
 }
 
 #[test]
+fn small_progress_windows_are_honored() {
+    // Regression: the watchdog used to test `now & 4095 == 0`, which
+    // silently quantized any window below 4096 cycles up to the sampling
+    // period (and the skip-ahead engine could jump straight over the mask
+    // boundary). With an explicit next-sample cycle of `min(4096, window)`
+    // a 500-cycle window must fire within window + period, not ~8192.
+    let mut cfg = SystemConfig::paper().with_gpu_cores(1).with_progress_window(500);
+    cfg.max_cycles = 1_000_000;
+    let mut sim = Simulator::new(cfg);
+    sim.set_chaos(&wedged_mshr());
+    let err = sim.run_kernel(&load_then_barrier_spec()).expect_err("must livelock");
+    let SimError::Timeout { report, .. } = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    assert_eq!(report.kind, TimeoutKind::NoForwardProgress);
+    assert!(report.stalled_for >= 500, "window must elapse: {}", report.stalled_for);
+    assert!(
+        report.cycles_run < 4096,
+        "a 500-cycle window must fire well before the old 4096-cycle \
+         sampling grid: ran {} cycles",
+        report.cycles_run
+    );
+}
+
+#[test]
 fn progress_window_zero_disables_the_watchdog() {
     // The same livelocked machine with the watchdog off runs all the way
     // to the cycle budget instead.
