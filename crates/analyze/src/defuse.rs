@@ -1,0 +1,195 @@
+//! Reaching definitions and backward slicing over a kernel's CFG.
+//!
+//! [`DefUseIndex`] answers "which instruction(s) may have defined this
+//! register here?" — the static complement to the simulator's dynamic
+//! last-writer tables. `gsi-blame` reports use it to enrich a blamed
+//! instruction with the static def chain feeding it, so a ranked row can
+//! show not just *the* load but the address computation behind it.
+
+use crate::cfg::Cfg;
+use gsi_isa::{Program, Reg, NUM_REGS};
+use std::collections::BTreeSet;
+
+/// Reaching-definition sets for every `(pc, register)` of a kernel.
+///
+/// Built by a may-analysis (union at joins) worklist over the CFG:
+/// `defs_in[pc][r]` holds every pc whose definition of `r` can reach the
+/// entry of `pc` along some path. Registers the launch initializer set
+/// (rather than an instruction) reach as the pseudo-definition
+/// [`LAUNCH_DEF`].
+#[derive(Debug, Clone)]
+pub struct DefUseIndex {
+    /// `defs[pc * NUM_REGS + r]`: sorted def sites of `r` reaching `pc`.
+    defs: Vec<Vec<u32>>,
+    len: usize,
+}
+
+/// Pseudo-definition site for registers defined by the launch initializer
+/// rather than any instruction.
+pub const LAUNCH_DEF: u32 = u32::MAX;
+
+impl DefUseIndex {
+    /// Build the index for `program`. `entry_defined` is the bitmask of
+    /// registers the launch initializer wrote (bit `r` set → register `r`
+    /// starts defined, as [`LAUNCH_DEF`]); pass `u32::MAX` to treat all
+    /// registers as launch-defined.
+    pub fn build(program: &Program, entry_defined: u32) -> Self {
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(program, &mut findings);
+        let len = program.len();
+        // defs_in[pc][r], defs_out derived per visit.
+        let mut defs_in: Vec<[BTreeSet<u32>; NUM_REGS]> =
+            (0..len).map(|_| std::array::from_fn(|_| BTreeSet::new())).collect();
+        if len == 0 {
+            return DefUseIndex { defs: Vec::new(), len };
+        }
+        for (r, set) in defs_in[0].iter_mut().enumerate() {
+            if entry_defined & (1 << r) != 0 {
+                set.insert(LAUNCH_DEF);
+            }
+        }
+        let mut work: Vec<usize> = (0..len).collect();
+        let mut queued = vec![true; len];
+        while let Some(pc) = work.pop() {
+            queued[pc] = false;
+            // Transfer: the instruction's own definition kills nothing in a
+            // may-analysis sense for *other* defs of other regs, but
+            // replaces the reaching set of its destination.
+            let written = program.fetch(pc).and_then(|i| i.writes_dest());
+            for &succ in cfg.succs(pc) {
+                let mut changed = false;
+                // Snapshot the predecessor row: cloning beats split-borrow
+                // pointer juggling for kernels of tens of instructions.
+                let incoming = defs_in[pc].clone();
+                for (r, inc) in incoming.iter().enumerate() {
+                    let out = &mut defs_in[succ][r];
+                    if written.map(|d| d.0 as usize) == Some(r) {
+                        changed |= out.insert(pc as u32);
+                        continue;
+                    }
+                    for &d in inc {
+                        changed |= out.insert(d);
+                    }
+                }
+                if changed && !queued[succ] {
+                    queued[succ] = true;
+                    work.push(succ);
+                }
+            }
+        }
+        let defs = defs_in
+            .into_iter()
+            .flat_map(|regs| regs.into_iter().map(|s| s.into_iter().collect::<Vec<u32>>()))
+            .collect();
+        DefUseIndex { defs, len }
+    }
+
+    /// Instructions whose definition of `reg` may reach the entry of `pc`
+    /// (sorted ascending; [`LAUNCH_DEF`] sorts last). Empty when `pc` is
+    /// out of range or no definition reaches.
+    pub fn defs_of(&self, pc: u32, reg: Reg) -> &[u32] {
+        let idx = pc as usize * NUM_REGS + reg.0 as usize;
+        if (pc as usize) < self.len {
+            &self.defs[idx]
+        } else {
+            &[]
+        }
+    }
+
+    /// The transitive backward slice of `pc`: every instruction whose
+    /// value may flow into `pc`'s source operands, sorted ascending.
+    /// `pc` itself is not included; [`LAUNCH_DEF`] pseudo-definitions are
+    /// dropped. Bounded by the program length, so termination is
+    /// guaranteed even on cyclic def chains.
+    pub fn backward_slice(&self, program: &Program, pc: u32) -> Vec<u32> {
+        let mut slice = BTreeSet::new();
+        let mut work = vec![pc];
+        while let Some(p) = work.pop() {
+            let Some(instr) = program.fetch(p as usize) else { continue };
+            for r in instr.source_regs().iter() {
+                for &d in self.defs_of(p, *r) {
+                    if d != LAUNCH_DEF && slice.insert(d) {
+                        work.push(d);
+                    }
+                }
+            }
+        }
+        slice.remove(&pc);
+        slice.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_isa::ProgramBuilder;
+
+    #[test]
+    fn straightline_defs_chain() {
+        let mut b = ProgramBuilder::new("k");
+        b.ldi(Reg(1), 0x100); // 0
+        b.ld_global(Reg(2), Reg(1), 0); // 1
+        b.addi(Reg(3), Reg(2), 4); // 2
+        b.exit(); // 3
+        let p = b.build().unwrap();
+        let idx = DefUseIndex::build(&p, 0);
+        assert_eq!(idx.defs_of(1, Reg(1)), &[0]);
+        assert_eq!(idx.defs_of(2, Reg(2)), &[1]);
+        assert_eq!(idx.defs_of(2, Reg(1)), &[0], "r1 still reaches past the load");
+        assert_eq!(idx.backward_slice(&p, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn joins_union_definitions() {
+        let mut b = ProgramBuilder::new("k");
+        let else_ = b.label();
+        let join = b.label();
+        b.ldi(Reg(1), 1); // 0
+        b.bra_z(Reg(1), else_); // 1
+        b.ldi(Reg(2), 10); // 2
+        b.jmp_to(join); // 3
+        b.bind(else_);
+        b.ldi(Reg(2), 20); // 4
+        b.bind(join);
+        b.addi(Reg(3), Reg(2), 0); // 5
+        b.exit(); // 6
+        let p = b.build().unwrap();
+        let idx = DefUseIndex::build(&p, 0);
+        assert_eq!(idx.defs_of(5, Reg(2)), &[2, 4], "both arms reach the join");
+    }
+
+    #[test]
+    fn launch_defined_registers_reach_as_pseudo_def() {
+        let mut b = ProgramBuilder::new("k");
+        b.addi(Reg(2), Reg(1), 0); // 0: r1 comes from the launcher
+        b.exit();
+        let p = b.build().unwrap();
+        let idx = DefUseIndex::build(&p, 1 << 1);
+        assert_eq!(idx.defs_of(0, Reg(1)), &[LAUNCH_DEF]);
+        assert!(idx.backward_slice(&p, 0).is_empty(), "launch defs are not instructions");
+    }
+
+    #[test]
+    fn loop_carried_definitions_reach_the_backedge() {
+        let mut b = ProgramBuilder::new("k");
+        let head = b.label();
+        b.ldi(Reg(1), 4); // 0
+        b.bind(head);
+        b.subi(Reg(1), Reg(1), 1); // 1
+        b.bra_nz(Reg(1), head); // 2
+        b.exit(); // 3
+        let p = b.build().unwrap();
+        let idx = DefUseIndex::build(&p, 0);
+        assert_eq!(idx.defs_of(1, Reg(1)), &[0, 1], "init and the loop body both reach");
+    }
+
+    #[test]
+    fn out_of_range_queries_are_empty() {
+        let mut b = ProgramBuilder::new("k");
+        b.exit();
+        let p = b.build().unwrap();
+        let idx = DefUseIndex::build(&p, 0);
+        assert!(idx.defs_of(99, Reg(0)).is_empty());
+    }
+}

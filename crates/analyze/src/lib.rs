@@ -30,10 +30,12 @@
 pub mod absint;
 pub mod cfg;
 pub mod dataflow;
+pub mod defuse;
 pub mod findings;
 
 pub use absint::{AbsVal, EntryState, MemModel};
 pub use cfg::Cfg;
+pub use defuse::{DefUseIndex, LAUNCH_DEF};
 pub use findings::{AnalysisReport, Finding, FindingKind, Severity};
 
 use gsi_isa::Program;

@@ -1,0 +1,118 @@
+//! `blame-check` — validate a `gsi-run --blame-out` JSON artifact.
+//!
+//! The verification harness runs this after every blame export: it parses
+//! the report with `gsi-json`, checks the schema (every field the docs
+//! promise, with the right types), and asserts the ranked shares sum to
+//! 100% within a small epsilon. Exit 0 on success, 1 on a violated
+//! invariant, 2 on usage errors.
+//!
+//! ```text
+//! blame-check report.json
+//! ```
+
+use gsi_json::Value;
+
+/// Share percentages must sum to 100 within this tolerance (float
+/// accumulation over at most a few hundred rows).
+const SHARE_EPSILON: f64 = 0.05;
+
+fn usage() -> ! {
+    eprintln!("usage: blame-check <blame.json>");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("blame-check: {msg}");
+    std::process::exit(1);
+}
+
+fn require<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| fail(&format!("missing field `{key}`")))
+}
+
+fn require_u64(v: &Value, key: &str) -> u64 {
+    require(v, key).as_u64().unwrap_or_else(|| fail(&format!("field `{key}` is not an integer")))
+}
+
+fn require_f64(v: &Value, key: &str) -> f64 {
+    require(v, key).as_f64().unwrap_or_else(|| fail(&format!("field `{key}` is not a number")))
+}
+
+/// Check an 8-slot per-kind counter object: every value a u64.
+fn check_kind_map(v: &Value, key: &str) {
+    let obj = require(v, key)
+        .as_object()
+        .unwrap_or_else(|| fail(&format!("field `{key}` is not an object")));
+    for (k, val) in obj {
+        if val.as_u64().is_none() {
+            fail(&format!("`{key}.{k}` is not an integer"));
+        }
+    }
+}
+
+fn check_row(row: &Value, idx: usize) -> (u64, f64) {
+    let ctx = |k: &str| format!("rows[{idx}].{k}");
+    if require(row, "pc").as_u64().is_none() {
+        fail(&format!("{} is not an integer", ctx("pc")));
+    }
+    if require(row, "loc").as_str().is_none() {
+        fail(&format!("{} is not a string", ctx("loc")));
+    }
+    if require(row, "text").as_str().is_none() {
+        fail(&format!("{} is not a string", ctx("text")));
+    }
+    let total = require_u64(row, "total");
+    let share = require_f64(row, "share_pct");
+    if !(0.0..=100.0 + SHARE_EPSILON).contains(&share) {
+        fail(&format!("{} = {share} is out of [0, 100]", ctx("share_pct")));
+    }
+    check_kind_map(row, "kinds");
+    check_kind_map(row, "services");
+    (total, share)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| usage());
+    if args.next().is_some() {
+        usage();
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("blame-check: {path}: {e}");
+        std::process::exit(2);
+    });
+    let v = Value::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+
+    let coverage = require_f64(&v, "coverage_pct");
+    if !(0.0..=100.0).contains(&coverage) {
+        fail(&format!("coverage_pct = {coverage} is out of [0, 100]"));
+    }
+    let dropped = require_u64(&v, "dropped_events");
+    if dropped == 0 && coverage < 100.0 {
+        fail("coverage_pct < 100 but dropped_events is 0");
+    }
+    let attributed_total = require_u64(&v, "attributed_total");
+    require_u64(&v, "unresolved_cycles");
+    check_kind_map(&v, "observed");
+    check_kind_map(&v, "unattributed");
+
+    let rows = require(&v, "rows").as_array().unwrap_or_else(|| fail("`rows` is not an array"));
+    let mut row_total = 0u64;
+    let mut share_sum = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        let (total, share) = check_row(row, i);
+        row_total += total;
+        share_sum += share;
+    }
+    if row_total != attributed_total {
+        fail(&format!("rows sum to {row_total} cycles but attributed_total is {attributed_total}"));
+    }
+    if attributed_total > 0 && (share_sum - 100.0).abs() > SHARE_EPSILON {
+        fail(&format!("share_pct sums to {share_sum:.4}, expected 100 +/- {SHARE_EPSILON}"));
+    }
+    println!(
+        "blame-check: {path} ok ({} rows, {attributed_total} cycles attributed, \
+         coverage {coverage:.1}%)",
+        rows.len()
+    );
+}

@@ -8,6 +8,7 @@
 //! gsi-run --workload implicit-stash --mshr 256 --timeline 200
 //! ```
 
+use gsi_blame::{BlameDiff, BlameReport};
 use gsi_core::report::{render_timeline, Figure, Panel};
 use gsi_core::{CyclePriority, StallKind};
 use gsi_isa::asm::parse_program;
@@ -15,6 +16,7 @@ use gsi_mem::Protocol;
 use gsi_sim::LaunchSpec;
 use gsi_sim::{CycleEngine, KernelRun, Simulator, SystemConfig};
 use gsi_sm::SchedPolicy;
+use gsi_trace::TraceLevel;
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
 use gsi_workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
@@ -42,6 +44,8 @@ fn usage() -> ! {
          \x20      [--sms N] [--protocol gpu|denovo] [--mshr N] [--engine event|dense]\n\
          \x20      [--scheduler gto|rr] [--priority memory|compute|control]\n\
          \x20      [--sfifo] [--owned-atomics] [--scale small|paper]\n\
+         \x20      [--trace-level off|counters|full]\n\
+         \x20      [--blame] [--blame-diff] [--blame-top N] [--blame-out PATH]\n\
          \x20      [--timeline EPOCH_CYCLES] [--csv PATH] [--json PATH] [--quiet]\n\
          \x20      custom kernels: --workload custom --asm FILE [--blocks N] [--warps N]\n\
          \x20      (r0 is preset to the flat thread id per lane)",
@@ -71,6 +75,11 @@ struct Options {
     engine: CycleEngine,
     paper_scale: bool,
     timeline: u64,
+    trace_level: Option<TraceLevel>,
+    blame: bool,
+    blame_diff: bool,
+    blame_top: usize,
+    blame_out: Option<String>,
     csv: Option<String>,
     json: Option<String>,
     quiet: bool,
@@ -92,6 +101,11 @@ fn parse_args() -> Options {
         engine: CycleEngine::default(),
         paper_scale: false,
         timeline: 0,
+        trace_level: None,
+        blame: false,
+        blame_diff: false,
+        blame_top: 10,
+        blame_out: None,
         csv: None,
         json: None,
         quiet: false,
@@ -146,6 +160,14 @@ fn parse_args() -> Options {
                 }
             }
             "--timeline" => o.timeline = next().parse().unwrap_or_else(|_| usage()),
+            // Unknown levels are a hard usage error, not a silent fallback.
+            "--trace-level" => {
+                o.trace_level = Some(TraceLevel::parse(&next()).unwrap_or_else(|| usage()))
+            }
+            "--blame" => o.blame = true,
+            "--blame-diff" => o.blame_diff = true,
+            "--blame-top" => o.blame_top = next().parse().unwrap_or_else(|_| usage()),
+            "--blame-out" => o.blame_out = Some(next()),
             "--asm" => o.asm = Some(next()),
             "--blocks" => o.blocks = next().parse().unwrap_or_else(|_| usage()),
             "--warps" => o.warps = next().parse().unwrap_or_else(|_| usage()),
@@ -170,8 +192,9 @@ fn implicit_style(name: &str) -> LocalMemStyle {
     }
 }
 
-fn main() {
-    let o = parse_args();
+/// Build a simulator for the options, overriding the protocol (the blame
+/// differential runs the same workload under both).
+fn build_sim(o: &Options, protocol: Protocol) -> Simulator {
     let default_sms = match o.workload.as_str() {
         w if w.starts_with("implicit") => 1,
         _ => {
@@ -184,7 +207,7 @@ fn main() {
     };
     let mut sys = SystemConfig::paper()
         .with_gpu_cores(o.sms.unwrap_or(default_sms))
-        .with_protocol(o.protocol)
+        .with_protocol(protocol)
         .with_scheduler(o.scheduler)
         .with_cycle_priority(o.priority)
         .with_sfifo(o.sfifo)
@@ -207,12 +230,23 @@ fn main() {
 
     let mut sim = Simulator::new(sys);
     sim.set_timeline_epoch(o.timeline);
-    let run: KernelRun = match o.workload.as_str() {
+    if let Some(level) = o.trace_level {
+        sim.set_trace_level(level);
+    }
+    if o.blame || o.blame_diff {
+        sim.set_blame_enabled(true);
+    }
+    sim
+}
+
+/// Execute the selected workload on `sim`.
+fn run_workload(sim: &mut Simulator, o: &Options) -> KernelRun {
+    match o.workload.as_str() {
         "uts" | "utsd" => {
             let cfg = if o.paper_scale { UtsConfig::paper() } else { UtsConfig::small() };
             let variant =
                 if o.workload == "uts" { Variant::Centralized } else { Variant::Decentralized };
-            uts::run(&mut sim, &cfg, variant).expect("workload completes").run
+            uts::run(&mut *sim, &cfg, variant).expect("workload completes").run
         }
         w if w.starts_with("implicit") => {
             let style = implicit_style(w);
@@ -221,12 +255,12 @@ fn main() {
             } else {
                 ImplicitConfig::small(style)
             };
-            implicit::run(&mut sim, &cfg).expect("workload completes").run
+            implicit::run(&mut *sim, &cfg).expect("workload completes").run
         }
         "spmv" => {
             let cfg =
                 if o.paper_scale { spmv::SpmvConfig::medium() } else { spmv::SpmvConfig::small() };
-            spmv::run(&mut sim, &cfg).expect("workload completes").run
+            spmv::run(&mut *sim, &cfg).expect("workload completes").run
         }
         "histogram" => {
             let cfg = if o.paper_scale {
@@ -234,7 +268,7 @@ fn main() {
             } else {
                 histogram::HistogramConfig::small()
             };
-            histogram::run(&mut sim, &cfg).expect("workload completes").run
+            histogram::run(&mut *sim, &cfg).expect("workload completes").run
         }
         "stencil-tiled" | "stencil-global" => {
             let variant = if o.workload.ends_with("tiled") {
@@ -247,7 +281,7 @@ fn main() {
             } else {
                 stencil::StencilConfig::small(variant)
             };
-            stencil::run(&mut sim, &cfg).expect("workload completes").run
+            stencil::run(&mut *sim, &cfg).expect("workload completes").run
         }
         "reduction" => {
             let cfg = if o.paper_scale {
@@ -255,12 +289,12 @@ fn main() {
             } else {
                 reduction::ReductionConfig::small()
             };
-            reduction::run(&mut sim, &cfg).expect("workload completes").run
+            reduction::run(&mut *sim, &cfg).expect("workload completes").run
         }
         "bfs" => {
             let cfg =
                 if o.paper_scale { bfs::BfsConfig::medium() } else { bfs::BfsConfig::small() };
-            let out = bfs::run(&mut sim, &cfg).expect("workload completes");
+            let out = bfs::run(&mut *sim, &cfg).expect("workload completes");
             // Aggregate the per-level kernels into one record for display.
             let mut levels = out.levels.into_iter();
             let mut acc = levels.next().expect("at least one level");
@@ -276,7 +310,10 @@ fn main() {
         }
         "custom" => {
             let path = o.asm.as_deref().unwrap_or_else(|| usage());
-            let text = std::fs::read_to_string(path).expect("read assembly file");
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
             let program = parse_program(&text).unwrap_or_else(|e| {
                 eprintln!("parse error in {path}: {e}");
                 std::process::exit(1);
@@ -307,10 +344,26 @@ fn main() {
             } else {
                 gemm::GemmConfig::small(variant)
             };
-            gemm::run(&mut sim, &cfg).expect("workload completes").run
+            gemm::run(&mut *sim, &cfg).expect("workload completes").run
         }
         _ => unreachable!(),
-    };
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    // The differential always compares the paper's two protocols, so the
+    // base run is pinned to conventional GPU coherence.
+    let base_protocol = if o.blame_diff { Protocol::GpuCoherence } else { o.protocol };
+    let mut sim = build_sim(&o, base_protocol);
+    let run = run_workload(&mut sim, &o);
+    let blame = (o.blame || o.blame_diff).then(|| sim.blame_report());
+    let diff = o.blame_diff.then(|| {
+        let mut other = build_sim(&o, Protocol::DeNovo);
+        let _ = run_workload(&mut other, &o);
+        let base = blame.as_ref().expect("blame enabled with --blame-diff");
+        BlameDiff::new("gpu", base, "denovo", &other.blame_report())
+    });
 
     // Write exports first: a truncated stdout (e.g. piping through
     // `head`) must not lose the files.
@@ -321,10 +374,22 @@ fn main() {
     if let Some(path) = &o.json {
         std::fs::write(path, report_json(&o.workload, sim.config(), &run)).expect("write json");
     }
+    if let Some(path) = &o.blame_out {
+        // In diff mode the differential is the artifact of interest.
+        let text = match (&diff, &blame) {
+            (Some(d), _) => d.to_json().to_string_pretty(),
+            (None, Some(b)) => b.to_json().to_string_pretty(),
+            (None, None) => {
+                eprintln!("--blame-out requires --blame or --blame-diff");
+                std::process::exit(2);
+            }
+        };
+        std::fs::write(path, text).expect("write blame json");
+    }
     // The artifacts above are already on disk; stdout is best-effort. A
     // reader that closes the pipe early (`gsi-run ... | head`) must end
     // the run quietly, not panic mid-print.
-    if let Err(e) = print_report(&o, &run) {
+    if let Err(e) = print_report(&o, &run, blame.as_ref(), diff.as_ref()) {
         if e.kind() != std::io::ErrorKind::BrokenPipe {
             eprintln!("stdout error: {e}");
             std::process::exit(1);
@@ -334,7 +399,12 @@ fn main() {
 
 /// Print the human-readable report, propagating stdout errors instead of
 /// panicking (the caller decides what a broken pipe means).
-fn print_report(o: &Options, run: &KernelRun) -> std::io::Result<()> {
+fn print_report(
+    o: &Options,
+    run: &KernelRun,
+    blame: Option<&BlameReport>,
+    diff: Option<&BlameDiff>,
+) -> std::io::Result<()> {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -377,6 +447,12 @@ fn print_report(o: &Options, run: &KernelRun) -> std::io::Result<()> {
         if o.timeline > 0 {
             writeln!(out, "\ntimeline (SM 0, {}-cycle epochs):", o.timeline)?;
             writeln!(out, "|{}|", render_timeline(&run.timelines[0]))?;
+        }
+        if let Some(report) = blame {
+            writeln!(out, "\n{}", report.render(o.blame_top))?;
+        }
+        if let Some(d) = diff {
+            writeln!(out, "\n{}", d.render(o.blame_top))?;
         }
     }
     if let Some(path) = &o.csv {

@@ -5,7 +5,7 @@
 //! sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet]
 //!       [--engine event|dense] [--trace-level off|counters|full|all]
 //!       [--chaos-seed SEED] [--chaos-fault KIND] [--deadline SECS] [--retries N]
-//!       [--repeat N]
+//!       [--repeat N] [--blame]
 //! ```
 //!
 //! The report (default `BENCH.json`; the verify script passes
@@ -29,7 +29,10 @@
 //! record what happened. `--repeat N` measures each experiment N times
 //! and reports the fastest run (best-of-N) — the recommended setting for
 //! benchmark artifacts on shared or virtualized machines, where a single
-//! run can be slowed arbitrarily by neighbors.
+//! run can be slowed arbitrarily by neighbors. `--blame` duplicates every
+//! experiment with a `/blame`-suffixed twin that runs under stall
+//! attribution, so the report measures the collector's overhead next to
+//! the trace-level rows.
 
 use gsi_bench::sweep::{default_threads, run_sweep_with, Experiment, SweepPolicy};
 use gsi_bench::Scale;
@@ -47,7 +50,7 @@ fn usage() -> ! {
         "usage: sweep [--scale small|paper] [--threads N] [--out PATH] [--quiet] \
          [--engine event|dense] [--trace-level off|counters|full|all] \
          [--chaos-seed SEED] [--chaos-fault mesh_delay|dram_jitter|mshr_stall|\
-store_buffer_stall|dma_drop] [--deadline SECS] [--retries N] [--repeat N]"
+store_buffer_stall|dma_drop] [--deadline SECS] [--retries N] [--repeat N] [--blame]"
     );
     std::process::exit(2);
 }
@@ -56,13 +59,14 @@ store_buffer_stall|dma_drop] [--deadline SECS] [--retries N] [--repeat N]"
 /// chaos plan, and return the run plus the extra JSON for the report row.
 fn run_traced<R>(
     mut sim: Simulator,
-    level: TraceLevel,
-    plan: &FaultPlan,
+    mode: RunMode,
     go: impl FnOnce(&mut Simulator) -> Result<R, SimError>,
     extract: impl FnOnce(R) -> gsi_sim::KernelRun,
 ) -> Result<(gsi_sim::KernelRun, Option<gsi_json::Value>), SimError> {
+    let RunMode { level, plan, blame, .. } = mode;
     sim.set_trace_level(level);
-    sim.set_chaos(plan);
+    sim.set_chaos(&plan);
+    sim.set_blame_enabled(blame);
     if level == TraceLevel::Full {
         sim.set_self_profiling(true);
     }
@@ -82,7 +86,23 @@ fn run_traced<R>(
         row.set("chaos_injected", stats.to_json());
         row.set("chaos_injected_total", stats.total());
     }
+    if blame {
+        let report = sim.blame_report();
+        let row = extra.get_or_insert_with(|| gsi_json::obj! {});
+        row.set("blame_attributed", report.attributed_total());
+        row.set("blame_rows", report.rows.len() as u64);
+    }
     Ok((run, extra))
+}
+
+/// Parameters shared by every experiment of one sweep pass: cycle engine,
+/// trace verbosity, chaos plan, and whether stall attribution is on.
+#[derive(Clone, Copy)]
+struct RunMode {
+    engine: CycleEngine,
+    level: TraceLevel,
+    plan: FaultPlan,
+    blame: bool,
 }
 
 fn uts_experiment(
@@ -90,9 +110,7 @@ fn uts_experiment(
     scale: Scale,
     variant: Variant,
     protocol: Protocol,
-    engine: CycleEngine,
-    level: TraceLevel,
-    plan: FaultPlan,
+    mode: RunMode,
 ) -> Experiment {
     let cfg = match scale {
         Scale::Paper => gsi_workloads::uts::UtsConfig::paper(),
@@ -102,12 +120,12 @@ fn uts_experiment(
         Scale::Paper => 15,
         Scale::Small => 4,
     };
-    Experiment::traced(name, level, move || {
+    Experiment::traced(name, mode.level, move || {
         let sys = SystemConfig::paper()
             .with_gpu_cores(cores)
             .with_protocol(protocol)
-            .with_cycle_engine(engine);
-        run_traced(Simulator::new(sys), level, &plan, |sim| uts::run(sim, &cfg, variant), |r| r.run)
+            .with_cycle_engine(mode.engine);
+        run_traced(Simulator::new(sys), mode, |sim| uts::run(sim, &cfg, variant), |r| r.run)
     })
 }
 
@@ -116,21 +134,19 @@ fn implicit_experiment(
     scale: Scale,
     style: LocalMemStyle,
     mshr: usize,
-    engine: CycleEngine,
-    level: TraceLevel,
-    plan: FaultPlan,
+    mode: RunMode,
 ) -> Experiment {
     let cfg = match scale {
         Scale::Paper => implicit::ImplicitConfig::paper(style),
         Scale::Small => implicit::ImplicitConfig::small(style),
     };
-    Experiment::traced(name, level, move || {
+    Experiment::traced(name, mode.level, move || {
         let sys = SystemConfig::paper()
             .with_gpu_cores(1)
             .with_local_mem(style.mem_kind())
             .with_mshr(mshr)
-            .with_cycle_engine(engine);
-        run_traced(Simulator::new(sys), level, &plan, |sim| implicit::run(sim, &cfg), |r| r.run)
+            .with_cycle_engine(mode.engine);
+        run_traced(Simulator::new(sys), mode, |sim| implicit::run(sim, &cfg), |r| r.run)
     })
 }
 
@@ -143,38 +159,45 @@ fn grid(
     engine: CycleEngine,
     levels: &[TraceLevel],
     plan: &FaultPlan,
+    blame: bool,
 ) -> Vec<Experiment> {
+    // With --blame every experiment gets a `/blame`-suffixed twin running
+    // under stall attribution, so the report shows its overhead.
+    let blame_modes: &[bool] = if blame { &[false, true] } else { &[false] };
     let mut experiments = Vec::new();
     for &level in levels {
-        for (wname, variant) in [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)] {
-            for (pname, protocol) in [("gpu", Protocol::GpuCoherence), ("denovo", Protocol::DeNovo)]
+        for &bl in blame_modes {
+            let suffix = if bl { "/blame" } else { "" };
+            let mode = RunMode { engine, level, plan: *plan, blame: bl };
+            for (wname, variant) in
+                [("uts", Variant::Centralized), ("utsd", Variant::Decentralized)]
             {
-                experiments.push(uts_experiment(
-                    &format!("{wname}/{pname}"),
-                    scale,
-                    variant,
-                    protocol,
-                    engine,
-                    level,
-                    *plan,
-                ));
+                for (pname, protocol) in
+                    [("gpu", Protocol::GpuCoherence), ("denovo", Protocol::DeNovo)]
+                {
+                    experiments.push(uts_experiment(
+                        &format!("{wname}/{pname}{suffix}"),
+                        scale,
+                        variant,
+                        protocol,
+                        mode,
+                    ));
+                }
             }
-        }
-        let mshrs: &[usize] = match scale {
-            Scale::Paper => &[32, 256],
-            Scale::Small => &[8, 32],
-        };
-        for style in LocalMemStyle::ALL {
-            for &m in mshrs {
-                experiments.push(implicit_experiment(
-                    &format!("implicit-{style}/mshr{m}"),
-                    scale,
-                    style,
-                    m,
-                    engine,
-                    level,
-                    *plan,
-                ));
+            let mshrs: &[usize] = match scale {
+                Scale::Paper => &[32, 256],
+                Scale::Small => &[8, 32],
+            };
+            for style in LocalMemStyle::ALL {
+                for &m in mshrs {
+                    experiments.push(implicit_experiment(
+                        &format!("implicit-{style}/mshr{m}{suffix}"),
+                        scale,
+                        style,
+                        m,
+                        mode,
+                    ));
+                }
             }
         }
     }
@@ -192,6 +215,7 @@ fn main() {
     let mut chaos_seed: Option<u64> =
         std::env::var("GSI_CHAOS_SEED").ok().map(|s| s.parse().unwrap_or_else(|_| usage()));
     let mut chaos_fault: Option<FaultKind> = None;
+    let mut blame = false;
     let mut policy = SweepPolicy::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -212,6 +236,7 @@ fn main() {
             }
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
             "--quiet" => quiet = true,
+            "--blame" => blame = true,
             "--engine" => {
                 engine = match it.next().map(String::as_str) {
                     Some("event") => CycleEngine::Event,
@@ -260,7 +285,7 @@ fn main() {
         (Some(seed), Some(kind)) => FaultPlan::single(kind, seed),
     };
 
-    let experiments = grid(scale, engine, &levels, &plan);
+    let experiments = grid(scale, engine, &levels, &plan, blame);
     let n = experiments.len();
     if !quiet {
         if plan.is_armed() {

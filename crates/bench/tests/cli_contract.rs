@@ -1,0 +1,84 @@
+//! CLI contract tests: unknown flag values must be hard usage errors
+//! (exit code 2 with the usage text on stderr), never silent fallbacks —
+//! a typo like `--trace-level ful` must not quietly run untraced.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use std::process::Command;
+
+fn assert_usage_rejection(bin: &str, args: &[&str]) {
+    let out = Command::new(bin).args(args).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} {args:?} must exit 2, got {:?}",
+        out.status.code()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{bin} {args:?} must print usage, got: {stderr}");
+}
+
+#[test]
+fn gsi_run_rejects_unknown_trace_level() {
+    assert_usage_rejection(
+        env!("CARGO_BIN_EXE_gsi-run"),
+        &["--workload", "spmv", "--trace-level", "ful"],
+    );
+}
+
+#[test]
+fn gsi_run_rejects_unknown_engine() {
+    assert_usage_rejection(
+        env!("CARGO_BIN_EXE_gsi-run"),
+        &["--workload", "spmv", "--engine", "evnt"],
+    );
+}
+
+#[test]
+fn gsi_run_rejects_unknown_workload_and_flags() {
+    let bin = env!("CARGO_BIN_EXE_gsi-run");
+    assert_usage_rejection(bin, &["--workload", "no-such-workload"]);
+    assert_usage_rejection(bin, &["--workload", "spmv", "--no-such-flag"]);
+    assert_usage_rejection(bin, &["--workload", "spmv", "--blame-top", "many"]);
+}
+
+#[test]
+fn sweep_rejects_unknown_trace_level_and_engine() {
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    assert_usage_rejection(bin, &["--trace-level", "verbose"]);
+    assert_usage_rejection(bin, &["--engine", "sparse"]);
+}
+
+#[test]
+fn blame_check_usage_and_bad_file() {
+    let bin = env!("CARGO_BIN_EXE_blame-check");
+    let out = Command::new(bin).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no args is a usage error");
+    let out = Command::new(bin).arg("/nonexistent/blame.json").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unreadable file is a usage-level error");
+}
+
+/// End-to-end: a real `--blame-out` artifact passes `blame-check`.
+#[test]
+fn blame_export_passes_blame_check() {
+    let dir = std::env::temp_dir().join(format!("gsi-blame-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blame.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_gsi-run"))
+        .args(["--workload", "spmv", "--blame", "--quiet", "--blame-out"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "gsi-run --blame failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let check = Command::new(env!("CARGO_BIN_EXE_blame-check")).arg(&path).output().unwrap();
+    assert!(
+        check.status.success(),
+        "blame-check rejected the export: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,361 @@
+//! The live blame accumulator one SM drives from its issue stage.
+
+use gsi_core::{MemDataCause, RequestId, StallKind};
+use std::collections::HashMap;
+
+/// Sentinel "no causal instruction is known" program counter.
+///
+/// Used for stalls with no causal instruction (idle cycles, launch-time
+/// register state) and as the launch-initialized value of the per-warp
+/// last-writer tables.
+pub const UNKNOWN_PC: u32 = u32::MAX;
+
+/// Stall cycles charged to one instruction, split by category and (for
+/// memory-data stalls) by the service point of the dependency load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcStats {
+    /// Cycles per stall category, indexed by [`StallKind::index`].
+    pub kinds: [u64; 8],
+    /// Memory-data cycles per service point, indexed by
+    /// [`MemDataCause::index`]. Sums to `kinds[MemoryData]` once every
+    /// charged request has filled (or dangling charges were resolved).
+    pub services: [u64; 5],
+}
+
+impl PcStats {
+    /// Total stall cycles charged to this instruction (`NoStall` and
+    /// `Idle` are never attributed, so this is the stall total).
+    pub fn total(&self) -> u64 {
+        self.kinds.iter().sum()
+    }
+
+    fn merge(&mut self, other: &PcStats) {
+        for (a, b) in self.kinds.iter_mut().zip(other.kinds.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.services.iter_mut().zip(other.services.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Accumulates causal stall attribution for one SM.
+///
+/// The issue stage calls [`record`](Self::record) once per judged cycle
+/// (or in bulk for a skipped stretch) with the verdict's category, the
+/// causal instruction the last-writer tables identified, and the blocking
+/// request when the category is memory-data; the memory system's fills
+/// call [`on_fill`](Self::on_fill) so charged memory-data cycles can be
+/// committed to the service point of the dependency load — mirroring how
+/// [`gsi_core::StallCollector`] sub-classifies its aggregate buckets.
+///
+/// Disabled by default: a disabled collector records nothing and touches
+/// no heap, preserving the simulator's allocation-free cycle loop.
+#[derive(Debug, Clone, Default)]
+pub struct BlameCollector {
+    enabled: bool,
+    /// Per-instruction attribution tables.
+    pcs: HashMap<u32, PcStats>,
+    /// Judged cycles per category, attributed or not.
+    observed: [u64; 8],
+    /// Judged cycles per category that could not be walked to a causal
+    /// instruction (idle cycles, launch-initialized registers).
+    unattributed: [u64; 8],
+    /// Memory-data charges awaiting their fill: request → per-causal-pc
+    /// cycle counts (one request can block different warps whose hazards
+    /// trace to different loads).
+    ledger: HashMap<RequestId, Vec<(u32, u64)>>,
+    /// Attributed memory-data cycles whose verdict carried no blocking
+    /// request (cannot be sub-classified by service point).
+    uncharged_mem_data: u64,
+    /// Memory-data cycles whose request never filled, resolved to
+    /// [`MemDataCause::MainMemory`] by [`resolve_dangling`](Self::resolve_dangling).
+    unresolved: u64,
+}
+
+impl BlameCollector {
+    /// A new, **disabled** collector (blame is opt-in).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable recording. Disabled collectors ignore all events.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the collector is recording.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Reset all state, keeping the enabled flag.
+    pub fn reset(&mut self) {
+        let enabled = self.enabled;
+        *self = BlameCollector::default();
+        self.enabled = enabled;
+    }
+
+    /// Record `n` judged cycles of category `kind` caused by the
+    /// instruction at `cause_pc` ([`UNKNOWN_PC`] when the walk found no
+    /// causal instruction). `blocking` carries the verdict's blocking
+    /// request for memory-data stalls so the service point can be
+    /// committed retroactively by [`on_fill`](Self::on_fill).
+    pub fn record(&mut self, kind: StallKind, cause_pc: u32, blocking: Option<RequestId>, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        self.observed[kind.index()] += n;
+        if cause_pc == UNKNOWN_PC || matches!(kind, StallKind::NoStall | StallKind::Idle) {
+            self.unattributed[kind.index()] += n;
+            return;
+        }
+        self.pcs.entry(cause_pc).or_default().kinds[kind.index()] += n;
+        if kind == StallKind::MemoryData {
+            match blocking {
+                Some(req) => {
+                    let charges = self.ledger.entry(req).or_default();
+                    match charges.iter_mut().find(|(pc, _)| *pc == cause_pc) {
+                        Some((_, cycles)) => *cycles += n,
+                        None => charges.push((cause_pc, n)),
+                    }
+                }
+                None => self.uncharged_mem_data += n,
+            }
+        }
+    }
+
+    /// Record `n` judged cycles that by construction have no causal
+    /// instruction (idle cycles, issued cycles).
+    pub fn record_unattributed(&mut self, kind: StallKind, n: u64) {
+        self.record(kind, UNKNOWN_PC, None, n);
+    }
+
+    /// A request completed: commit the memory-data cycles charged against
+    /// it to the service point that produced the data.
+    pub fn on_fill(&mut self, req: RequestId, serviced_at: MemDataCause) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(charges) = self.ledger.remove(&req) {
+            for (pc, cycles) in charges {
+                self.pcs.entry(pc).or_default().services[serviced_at.index()] += cycles;
+            }
+        }
+    }
+
+    /// Resolve charges whose request never completed, booking them to
+    /// [`MemDataCause::MainMemory`] (the conservative choice the stall
+    /// collector's `finish` makes too). Returns the resolved cycle count.
+    pub fn resolve_dangling(&mut self) -> u64 {
+        let mut total = 0;
+        for (_, charges) in self.ledger.drain() {
+            for (pc, cycles) in charges {
+                self.pcs.entry(pc).or_default().services[MemDataCause::MainMemory.index()] +=
+                    cycles;
+                total += cycles;
+            }
+        }
+        self.unresolved += total;
+        total
+    }
+
+    /// Merge another collector's tables into this one (per-SM collectors
+    /// are merged into the run-level report).
+    pub fn merge(&mut self, other: &BlameCollector) {
+        for (pc, stats) in &other.pcs {
+            self.pcs.entry(*pc).or_default().merge(stats);
+        }
+        for i in 0..8 {
+            self.observed[i] += other.observed[i];
+            self.unattributed[i] += other.unattributed[i];
+        }
+        for (req, charges) in &other.ledger {
+            let mine = self.ledger.entry(*req).or_default();
+            for &(pc, cycles) in charges {
+                match mine.iter_mut().find(|(p, _)| *p == pc) {
+                    Some((_, c)) => *c += cycles,
+                    None => mine.push((pc, cycles)),
+                }
+            }
+        }
+        self.uncharged_mem_data += other.uncharged_mem_data;
+        self.unresolved += other.unresolved;
+    }
+
+    /// The per-instruction tables, unsorted. Reports sort before emitting.
+    pub fn pcs(&self) -> impl Iterator<Item = (u32, &PcStats)> {
+        self.pcs.iter().map(|(&pc, s)| (pc, s))
+    }
+
+    /// Judged cycles of `kind`, attributed or not.
+    pub fn observed(&self, kind: StallKind) -> u64 {
+        self.observed[kind.index()]
+    }
+
+    /// Cycles of `kind` charged to some instruction.
+    pub fn attributed(&self, kind: StallKind) -> u64 {
+        self.observed[kind.index()] - self.unattributed[kind.index()]
+    }
+
+    /// Cycles of `kind` with no causal instruction.
+    pub fn unattributed(&self, kind: StallKind) -> u64 {
+        self.unattributed[kind.index()]
+    }
+
+    /// Memory-data cycles still awaiting their fill.
+    pub fn pending_total(&self) -> u64 {
+        self.ledger.values().flat_map(|v| v.iter().map(|&(_, c)| c)).sum()
+    }
+
+    /// Memory-data cycles whose request never filled (only nonzero after
+    /// [`resolve_dangling`](Self::resolve_dangling) found some).
+    pub fn unresolved_cycles(&self) -> u64 {
+        self.unresolved
+    }
+
+    /// Check the attribution conservation invariants: per category, the
+    /// per-instruction charges plus the unattributed remainder equal the
+    /// judged cycles, and the memory-data service sub-classification
+    /// (plus in-flight and uncharged cycles) sums to its parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for kind in StallKind::ALL {
+            let i = kind.index();
+            let charged: u64 = self.pcs.values().map(|s| s.kinds[i]).sum();
+            if charged + self.unattributed[i] != self.observed[i] {
+                return Err(format!(
+                    "blame conservation violated for {kind}: {charged} charged + {} \
+                     unattributed != {} observed",
+                    self.unattributed[i], self.observed[i]
+                ));
+            }
+        }
+        let md_parent: u64 =
+            self.pcs.values().map(|s| s.kinds[StallKind::MemoryData.index()]).sum();
+        let services: u64 = self.pcs.values().map(|s| s.services.iter().sum::<u64>()).sum();
+        let accounted = services + self.pending_total() + self.uncharged_mem_data;
+        if md_parent != accounted {
+            return Err(format!(
+                "blame memory-data sub-classification violated: parent {md_parent} != \
+                 accounted {accounted}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let mut c = BlameCollector::new();
+        c.record(StallKind::MemoryData, 3, Some(RequestId(1)), 4);
+        assert_eq!(c.observed(StallKind::MemoryData), 0);
+        assert_eq!(c.pcs().count(), 0);
+    }
+
+    #[test]
+    fn attribution_and_fill_commit() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, 14, Some(RequestId(7)), 3);
+        c.record(StallKind::Control, 9, None, 2);
+        assert_eq!(c.pending_total(), 3);
+        c.on_fill(RequestId(7), MemDataCause::MainMemory);
+        assert_eq!(c.pending_total(), 0);
+        let stats: Vec<_> = c.pcs().collect();
+        let s14 = stats.iter().find(|(pc, _)| *pc == 14).unwrap().1;
+        assert_eq!(s14.kinds[StallKind::MemoryData.index()], 3);
+        assert_eq!(s14.services[MemDataCause::MainMemory.index()], 3);
+        assert_eq!(s14.total(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn one_request_can_blame_two_loads() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, 4, Some(RequestId(1)), 2);
+        c.record(StallKind::MemoryData, 8, Some(RequestId(1)), 5);
+        c.on_fill(RequestId(1), MemDataCause::L2);
+        let l2 = MemDataCause::L2.index();
+        let get = |pc: u32| c.pcs().find(|(p, _)| *p == pc).unwrap().1.services[l2];
+        assert_eq!(get(4), 2);
+        assert_eq!(get(8), 5);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_pc_and_idle_stay_unattributed() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, UNKNOWN_PC, Some(RequestId(2)), 6);
+        c.record_unattributed(StallKind::Idle, 10);
+        assert_eq!(c.attributed(StallKind::MemoryData), 0);
+        assert_eq!(c.unattributed(StallKind::MemoryData), 6);
+        assert_eq!(c.observed(StallKind::Idle), 10);
+        assert_eq!(c.pending_total(), 0, "unattributed charges never enter the ledger");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn dangling_charges_resolve_to_main_memory() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, 5, Some(RequestId(9)), 4);
+        assert_eq!(c.resolve_dangling(), 4);
+        assert_eq!(c.unresolved_cycles(), 4);
+        let s = c.pcs().find(|(p, _)| *p == 5).unwrap().1;
+        assert_eq!(s.services[MemDataCause::MainMemory.index()], 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_adds_tables_and_ledgers() {
+        let mut a = BlameCollector::new();
+        a.set_enabled(true);
+        a.record(StallKind::ComputeData, 3, None, 2);
+        a.record(StallKind::MemoryData, 7, Some(RequestId(1)), 1);
+        let mut b = BlameCollector::new();
+        b.set_enabled(true);
+        b.record(StallKind::ComputeData, 3, None, 5);
+        b.record(StallKind::MemoryData, 7, Some(RequestId(1)), 2);
+        a.merge(&b);
+        let s3 = a.pcs().find(|(p, _)| *p == 3).unwrap().1;
+        assert_eq!(s3.kinds[StallKind::ComputeData.index()], 7);
+        assert_eq!(a.pending_total(), 3);
+        a.on_fill(RequestId(1), MemDataCause::RemoteL1);
+        let s7 = a.pcs().find(|(p, _)| *p == 7).unwrap().1;
+        assert_eq!(s7.services[MemDataCause::RemoteL1.index()], 3);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn reset_preserves_enabled() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::Control, 1, None, 1);
+        c.reset();
+        assert!(c.is_enabled());
+        assert_eq!(c.observed(StallKind::Control), 0);
+    }
+
+    #[test]
+    fn validate_catches_missing_service_classification() {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        // Memory-data without a blocking request: counted, flagged as
+        // uncharged, still consistent.
+        c.record(StallKind::MemoryData, 2, None, 3);
+        c.validate().unwrap();
+        assert_eq!(c.attributed(StallKind::MemoryData), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gsi-blame — stall root-cause attribution
+//!
+//! The stall collector of `gsi-core` answers *how many* cycles each stall
+//! category wasted; this crate answers *which instruction caused them*.
+//! During simulation the SM maintains per-warp last-writer tables (which
+//! instruction last defined each register, issued each outstanding memory
+//! request, took the last branch, or entered the pending synchronization),
+//! so every stall verdict can be walked backward through the def-use chain
+//! to its causal instruction and charged to `(pc, stall category, service
+//! point)` — the backward-slicing step LEO pioneered for CPU traces,
+//! applied live so it works identically under the dense and event-driven
+//! cycle engines.
+//!
+//! * [`BlameCollector`] — the per-SM accumulator the issue stage drives.
+//! * [`BlameReport`] — the merged, ranked per-instruction table with
+//!   disassembly, text rendering, and gsi-json output.
+//! * [`BlameDiff`] — the per-instruction differential between two runs
+//!   (e.g. GPU coherence vs DeNovo), showing *which loads* a protocol
+//!   helps.
+//!
+//! ```
+//! use gsi_blame::{BlameCollector, UNKNOWN_PC};
+//! use gsi_core::{RequestId, StallKind};
+//! let mut c = BlameCollector::new();
+//! c.set_enabled(true);
+//! c.record(StallKind::MemoryData, 14, Some(RequestId(3)), 2);
+//! c.on_fill(RequestId(3), gsi_core::MemDataCause::MainMemory);
+//! c.record_unattributed(StallKind::Idle, 5);
+//! assert_eq!(c.attributed(StallKind::MemoryData), 2);
+//! assert_eq!(c.attributed(StallKind::Idle), 0);
+//! assert_ne!(UNKNOWN_PC, 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod report;
+
+pub use collector::{BlameCollector, PcStats, UNKNOWN_PC};
+pub use report::{BlameDiff, BlameDiffRow, BlameReport, BlameRow};

@@ -1,0 +1,458 @@
+//! Ranked blame reports, text + gsi-json rendering, and protocol
+//! differentials.
+
+use crate::collector::{BlameCollector, PcStats};
+use gsi_core::{MemDataCause, StallKind};
+use gsi_isa::{asm, Program};
+use gsi_json::{obj, Value};
+
+/// One ranked row of a [`BlameReport`]: everything charged to one
+/// instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameRow {
+    /// Program counter of the causal instruction.
+    pub pc: u32,
+    /// Source location (`kernel.gsi:14`), or the raw pc when no program
+    /// was available.
+    pub loc: String,
+    /// Disassembly of the instruction (empty when unavailable).
+    pub text: String,
+    /// Total stall cycles charged to this instruction.
+    pub total: u64,
+    /// Share of all attributed stall cycles, in percent.
+    pub share_pct: f64,
+    /// The per-category and per-service-point split.
+    pub stats: PcStats,
+}
+
+impl BlameRow {
+    /// The dominant stall category of this row.
+    pub fn dominant_kind(&self) -> StallKind {
+        let mut best = StallKind::NoStall;
+        let mut best_cycles = 0;
+        for kind in StallKind::ALL {
+            let c = self.stats.kinds[kind.index()];
+            if c > best_cycles {
+                best_cycles = c;
+                best = kind;
+            }
+        }
+        best
+    }
+
+    /// The dominant service point of this row's memory-data cycles, if any
+    /// were sub-classified.
+    pub fn dominant_service(&self) -> Option<MemDataCause> {
+        let mut best = None;
+        let mut best_cycles = 0;
+        for cause in MemDataCause::ALL {
+            let c = self.stats.services[cause.index()];
+            if c > best_cycles {
+                best_cycles = c;
+                best = Some(cause);
+            }
+        }
+        best
+    }
+
+    fn to_json(&self) -> Value {
+        let mut kinds = obj! {};
+        for kind in StallKind::ALL {
+            if !matches!(kind, StallKind::NoStall | StallKind::Idle) {
+                kinds.set(kind.short(), self.stats.kinds[kind.index()]);
+            }
+        }
+        let mut services = obj! {};
+        for cause in MemDataCause::ALL {
+            services.set(cause.short(), self.stats.services[cause.index()]);
+        }
+        obj! {
+            "pc" => self.pc as u64,
+            "loc" => self.loc.as_str(),
+            "text" => self.text.as_str(),
+            "total" => self.total,
+            "share_pct" => self.share_pct,
+            "kinds" => kinds,
+            "services" => services,
+        }
+    }
+}
+
+/// The run-level attribution report: per-SM [`BlameCollector`]s merged,
+/// dangling charges resolved, rows ranked by charged cycles.
+#[derive(Debug, Clone)]
+pub struct BlameReport {
+    /// Ranked rows, most-blamed instruction first.
+    pub rows: Vec<BlameRow>,
+    /// Judged cycles per category (indexed by [`StallKind::index`]).
+    pub observed: [u64; 8],
+    /// Cycles per category with no causal instruction.
+    pub unattributed: [u64; 8],
+    /// Memory-data cycles whose request never filled (resolved to main
+    /// memory, reported for honesty).
+    pub unresolved_cycles: u64,
+    /// Fraction (percent) of the full-level event ring that survived to
+    /// export: 100 unless the ring wrapped. Attribution itself is
+    /// collected live and is always complete; this field qualifies the
+    /// *event window* (Perfetto annotations) the report ships alongside.
+    pub coverage_pct: f64,
+    /// Events overwritten by the ring wraparound (0 when it never
+    /// wrapped, or when full tracing was off).
+    pub dropped_events: u64,
+    /// The kernel the rows disassemble against, for snippet rendering.
+    program: Option<Program>,
+}
+
+impl BlameReport {
+    /// Build a report from an already-merged collector. `coverage_pct` /
+    /// `dropped_events` describe the event-ring window (pass `100.0` / `0`
+    /// when full tracing was off).
+    pub fn build(
+        mut collector: BlameCollector,
+        program: Option<&Program>,
+        coverage_pct: f64,
+        dropped_events: u64,
+    ) -> Self {
+        collector.resolve_dangling();
+        let attributed_total: u64 = collector.pcs().map(|(_, s)| s.total()).sum();
+        let mut rows: Vec<BlameRow> = collector
+            .pcs()
+            .filter(|(_, s)| s.total() > 0)
+            .map(|(pc, s)| {
+                let (loc, text) = describe(program, pc);
+                BlameRow {
+                    pc,
+                    loc,
+                    text,
+                    total: s.total(),
+                    share_pct: if attributed_total == 0 {
+                        0.0
+                    } else {
+                        s.total() as f64 * 100.0 / attributed_total as f64
+                    },
+                    stats: *s,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total.cmp(&a.total).then(a.pc.cmp(&b.pc)));
+        let mut observed = [0u64; 8];
+        let mut unattributed = [0u64; 8];
+        for kind in StallKind::ALL {
+            observed[kind.index()] = collector.observed(kind);
+            unattributed[kind.index()] = collector.unattributed(kind);
+        }
+        BlameReport {
+            rows,
+            observed,
+            unattributed,
+            unresolved_cycles: collector.unresolved_cycles(),
+            coverage_pct,
+            dropped_events,
+            program: program.cloned(),
+        }
+    }
+
+    /// Total stall cycles charged to some instruction.
+    pub fn attributed_total(&self) -> u64 {
+        self.rows.iter().map(|r| r.total).sum()
+    }
+
+    /// Cycles of `kind` charged to some instruction.
+    pub fn attributed(&self, kind: StallKind) -> u64 {
+        self.observed[kind.index()] - self.unattributed[kind.index()]
+    }
+
+    /// The report as a gsi-json document (deterministic field and row
+    /// order, so byte-identical runs produce byte-identical JSON).
+    pub fn to_json(&self) -> Value {
+        let mut observed = obj! {};
+        let mut unattributed = obj! {};
+        for kind in StallKind::ALL {
+            observed.set(kind.short(), self.observed[kind.index()]);
+            unattributed.set(kind.short(), self.unattributed[kind.index()]);
+        }
+        obj! {
+            "coverage_pct" => self.coverage_pct,
+            "dropped_events" => self.dropped_events,
+            "attributed_total" => self.attributed_total(),
+            "unresolved_cycles" => self.unresolved_cycles,
+            "observed" => observed,
+            "unattributed" => unattributed,
+            "rows" => Value::Array(self.rows.iter().map(BlameRow::to_json).collect()),
+        }
+    }
+
+    /// Render the ranked table (top `top` rows, snippets for the top 3).
+    pub fn render(&self, top: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== stall blame ({} instructions charged) ==", self.rows.len());
+        if self.coverage_pct < 100.0 {
+            let _ = writeln!(
+                out,
+                "warning: event ring wrapped ({} events dropped); exported trace \
+                 annotations cover {:.1}% of the run (live attribution below is complete)",
+                self.dropped_events, self.coverage_pct
+            );
+        }
+        if self.unresolved_cycles > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} memory-data cycles never saw their fill (booked to main memory)",
+                self.unresolved_cycles
+            );
+        }
+        let attributed = self.attributed_total();
+        let stalled: u64 = StallKind::ALL
+            .iter()
+            .filter(|k| !matches!(k, StallKind::NoStall | StallKind::Idle))
+            .map(|k| self.observed[k.index()])
+            .sum();
+        let _ = writeln!(
+            out,
+            "{attributed} of {stalled} stall cycles attributed ({:.1}%)",
+            if stalled == 0 { 100.0 } else { attributed as f64 * 100.0 / stalled as f64 }
+        );
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>10}  {:>6}  {:<12} {:<12} location",
+            "pc", "cycles", "share", "dominant", "service"
+        );
+        for row in self.rows.iter().take(top) {
+            let service = row
+                .dominant_service()
+                .map(|c| c.short().to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>10}  {:>5.1}%  {:<12} {:<12} {}  {}",
+                row.pc,
+                row.total,
+                row.share_pct,
+                row.dominant_kind().short(),
+                service,
+                row.loc,
+                row.text,
+            );
+        }
+        for row in self.rows.iter().take(3) {
+            if let Some(p) = self.program.as_ref() {
+                if (row.pc as usize) < p.len() {
+                    let _ = writeln!(
+                        out,
+                        "\n{} — {} cycles ({:.1}%):",
+                        row.loc, row.total, row.share_pct
+                    );
+                    out.push_str(&asm::snippet(p, row.pc as usize, 2));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn describe(program: Option<&Program>, pc: u32) -> (String, String) {
+    match program {
+        Some(p) if (pc as usize) < p.len() => {
+            let text = p.fetch(pc as usize).map(|i| i.to_string()).unwrap_or_default();
+            (asm::location(p, pc as usize), text)
+        }
+        _ => (format!("pc:{pc}"), String::new()),
+    }
+}
+
+/// One row of a [`BlameDiff`]: how one instruction's blame moved between
+/// two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameDiffRow {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// Source location.
+    pub loc: String,
+    /// Disassembly (empty when unavailable).
+    pub text: String,
+    /// Charged cycles in the baseline run.
+    pub base: u64,
+    /// Charged cycles in the comparison run.
+    pub other: u64,
+    /// `other - base`: negative when the comparison run helped this
+    /// instruction.
+    pub delta: i64,
+}
+
+/// A per-instruction differential between two blame reports (e.g. GPU
+/// coherence baseline vs DeNovo), ranked by absolute movement.
+#[derive(Debug, Clone)]
+pub struct BlameDiff {
+    /// Label of the baseline run.
+    pub base_name: String,
+    /// Label of the comparison run.
+    pub other_name: String,
+    /// Union of both reports' instructions, largest |delta| first.
+    pub rows: Vec<BlameDiffRow>,
+}
+
+impl BlameDiff {
+    /// Diff `other` against `base`.
+    pub fn new(base_name: &str, base: &BlameReport, other_name: &str, other: &BlameReport) -> Self {
+        let mut pcs: Vec<u32> = base.rows.iter().chain(other.rows.iter()).map(|r| r.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        let find = |report: &BlameReport, pc: u32| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.pc == pc)
+                .map(|r| (r.total, r.loc.clone(), r.text.clone()))
+        };
+        let mut rows: Vec<BlameDiffRow> = pcs
+            .into_iter()
+            .map(|pc| {
+                let a = find(base, pc);
+                let b = find(other, pc);
+                let (loc, text) = a
+                    .as_ref()
+                    .or(b.as_ref())
+                    .map(|(_, l, t)| (l.clone(), t.clone()))
+                    .unwrap_or_else(|| (format!("pc:{pc}"), String::new()));
+                let base_total = a.map(|(t, _, _)| t).unwrap_or(0);
+                let other_total = b.map(|(t, _, _)| t).unwrap_or(0);
+                BlameDiffRow {
+                    pc,
+                    loc,
+                    text,
+                    base: base_total,
+                    other: other_total,
+                    delta: other_total as i64 - base_total as i64,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.delta.abs().cmp(&a.delta.abs()).then(a.pc.cmp(&b.pc)));
+        BlameDiff { base_name: base_name.to_string(), other_name: other_name.to_string(), rows }
+    }
+
+    /// The diff as a gsi-json document.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "base" => self.base_name.as_str(),
+            "other" => self.other_name.as_str(),
+            "rows" => Value::Array(
+                self.rows
+                    .iter()
+                    .map(|r| obj! {
+                        "pc" => r.pc as u64,
+                        "loc" => r.loc.as_str(),
+                        "text" => r.text.as_str(),
+                        self.base_name.as_str() => r.base,
+                        self.other_name.as_str() => r.other,
+                        "delta" => r.delta,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Render the ranked differential table (top `top` rows).
+    pub fn render(&self, top: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "== blame differential: {} vs {} ==", self.base_name, self.other_name);
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>10}  {:>10}  {:>11}  location",
+            "pc", self.base_name, self.other_name, "delta"
+        );
+        for row in self.rows.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>10}  {:>10}  {:>+11}  {}  {}",
+                row.pc, row.base, row.other, row.delta, row.loc, row.text,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_core::RequestId;
+    use gsi_isa::{ProgramBuilder, Reg};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("k");
+        b.ldi(Reg(1), 0x1000);
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.addi(Reg(3), Reg(2), 1);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    fn sample_collector() -> BlameCollector {
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, 1, Some(RequestId(1)), 62);
+        c.on_fill(RequestId(1), MemDataCause::MainMemory);
+        c.record(StallKind::ComputeData, 0, None, 8);
+        c.record_unattributed(StallKind::Idle, 30);
+        c
+    }
+
+    #[test]
+    fn rows_rank_by_charged_cycles_and_shares_sum_to_100() {
+        let p = sample_program();
+        let report = BlameReport::build(sample_collector(), Some(&p), 100.0, 0);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].pc, 1);
+        assert_eq!(report.rows[0].total, 62);
+        assert_eq!(report.rows[0].dominant_kind(), StallKind::MemoryData);
+        assert_eq!(report.rows[0].dominant_service(), Some(MemDataCause::MainMemory));
+        let shares: f64 = report.rows.iter().map(|r| r.share_pct).sum();
+        assert!((shares - 100.0).abs() < 1e-6, "{shares}");
+        assert!(report.rows[0].loc.contains("k.gsi:1"), "{}", report.rows[0].loc);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_carries_coverage() {
+        let p = sample_program();
+        let report = BlameReport::build(sample_collector(), Some(&p), 87.5, 123);
+        let a = report.to_json().to_string_pretty();
+        let b = report.to_json().to_string_pretty();
+        assert_eq!(a, b);
+        let v = report.to_json();
+        assert_eq!(v.get("dropped_events").and_then(|x| x.as_u64()), Some(123));
+        assert!(a.contains("coverage_pct"));
+    }
+
+    #[test]
+    fn render_warns_on_wrapped_ring() {
+        let p = sample_program();
+        let report = BlameReport::build(sample_collector(), Some(&p), 42.0, 999);
+        let text = report.render(10);
+        assert!(text.contains("warning"), "{text}");
+        assert!(text.contains("42.0%"), "{text}");
+        let clean = BlameReport::build(sample_collector(), Some(&p), 100.0, 0);
+        assert!(!clean.render(10).contains("warning"));
+    }
+
+    #[test]
+    fn diff_ranks_by_absolute_delta() {
+        let p = sample_program();
+        let a = BlameReport::build(sample_collector(), Some(&p), 100.0, 0);
+        let mut c = BlameCollector::new();
+        c.set_enabled(true);
+        c.record(StallKind::MemoryData, 1, Some(RequestId(1)), 10);
+        c.on_fill(RequestId(1), MemDataCause::RemoteL1);
+        c.record(StallKind::ComputeData, 0, None, 8);
+        let b = BlameReport::build(c, Some(&p), 100.0, 0);
+        let diff = BlameDiff::new("gpu", &a, "denovo", &b);
+        assert_eq!(diff.rows[0].pc, 1, "the load moved the most");
+        assert_eq!(diff.rows[0].delta, -52);
+        assert_eq!(diff.rows[1].delta, 0);
+        let json = diff.to_json();
+        assert_eq!(json.get("base").and_then(|v| v.as_str()), Some("gpu"));
+        assert!(diff.render(5).contains("denovo"));
+    }
+}

@@ -4,6 +4,7 @@ use crate::config::{AnalysisGate, CycleEngine, SystemConfig};
 use crate::launch::{LaunchCtx, LaunchSpec};
 use crate::progress::{ProgressReport, SmProgress, TimeoutKind};
 use gsi_analyze::{AnalysisReport, AnalyzeOptions, EntryState};
+use gsi_blame::{BlameCollector, BlameReport};
 use gsi_chaos::{ChaosEngine, ChaosStats, FaultPlan};
 use gsi_core::{ConservationError, StallBreakdown, StallCollector};
 use gsi_mem::{CoreMemStats, CoreMemUnit, GlobalMem, L2Stats, MemMsg, SharedMem};
@@ -372,6 +373,39 @@ impl Simulator {
         for c in &mut self.cores {
             c.collector.set_enabled(enabled);
         }
+    }
+
+    /// Enable or disable stall root-cause attribution (`gsi-blame`). Off
+    /// by default; the attribution tables live in the SMs and accumulate
+    /// across kernel launches, so multi-launch workloads (e.g. the BFS
+    /// levels) report whole-run attribution.
+    pub fn set_blame_enabled(&mut self, enabled: bool) {
+        for c in &mut self.cores {
+            c.sm.set_blame_enabled(enabled);
+        }
+    }
+
+    /// Build the run-level blame report: every SM's attribution tables
+    /// merged, dangling memory-data charges resolved, ranked by charged
+    /// cycles. The report's `coverage_pct` qualifies the exported event
+    /// window: attribution itself is collected live and is always
+    /// complete, but when the full-level event ring wrapped, the Perfetto
+    /// annotations only cover the retained tail.
+    pub fn blame_report(&self) -> BlameReport {
+        let mut merged = BlameCollector::new();
+        merged.set_enabled(true);
+        for c in &self.cores {
+            merged.merge(c.sm.blame());
+        }
+        let dropped = self.trace.dropped_events();
+        let coverage = if dropped == 0 {
+            100.0
+        } else {
+            let retained = self.trace.events().count() as u64;
+            retained as f64 * 100.0 / (retained + dropped) as f64
+        };
+        let program = self.cores.first().and_then(|c| c.sm.program());
+        BlameReport::build(merged, program, coverage, dropped)
     }
 
     /// Current simulated GPU cycle.

@@ -5,6 +5,7 @@ use crate::block::{BlockInit, BlockState};
 use crate::config::SmConfig;
 use crate::scheduler::Scheduler;
 use crate::warp::Warp;
+use gsi_blame::{BlameCollector, UNKNOWN_PC};
 use gsi_core::{
     classify_instruction, judge_cycle_scratch, InstrHazards, MemDataCause, StallCollector,
     StallKind,
@@ -141,6 +142,9 @@ struct IssueScratch {
     order: Vec<usize>,
     /// Algorithm-1 hazard records for the considered instructions.
     considered: Vec<InstrHazards>,
+    /// Causal instruction per considered entry, aligned with `considered`:
+    /// the pc the cycle's verdict is blamed on when its kind wins.
+    considered_pc: Vec<u32>,
     /// Algorithm-2 intermediate classifications.
     kinds: Vec<StallKind>,
     /// Completions drained from the memory unit at the top of the cycle.
@@ -149,9 +153,12 @@ struct IssueScratch {
     pairs: Vec<(usize, u64)>,
     /// The bare addresses of `pairs`, in the shape the LSU expects.
     addrs: Vec<u64>,
-    /// Per-warp frozen hazard records for a skipped stretch (`None` for
-    /// inactive warps; the flag is whether the warp earns profile credit).
-    skip_hazards: Vec<Option<(InstrHazards, bool)>>,
+    /// Per-warp frozen `(hazards, profile credit, causal pc)` records for
+    /// a skipped stretch (`None` for inactive warps). The causal pc is
+    /// stable across the window for the same reason the hazards are: the
+    /// last-writer tables only change on an issue or a fill, and the
+    /// caller guarantees neither happens inside it.
+    skip_hazards: Vec<Option<(InstrHazards, bool, u32)>>,
 }
 
 /// What an SM can do next, computed by [`SmCore::next_wake`] without
@@ -202,6 +209,10 @@ pub struct SmCore {
     live_count: usize,
     /// Indices of blocks not yet reaped, in dispatch order.
     resident: Vec<usize>,
+    /// Stall root-cause attribution (disabled by default). Lives here so
+    /// attribution sees exactly what the issue stage sees, in both the
+    /// dense and event-driven engines.
+    blame: BlameCollector,
 }
 
 impl SmCore {
@@ -223,7 +234,26 @@ impl SmCore {
             live: Vec::new(),
             live_count: 0,
             resident: Vec::new(),
+            blame: BlameCollector::new(),
         }
+    }
+
+    /// Enable or disable stall root-cause attribution. Off by default; a
+    /// disabled collector records nothing, keeping the cycle loop
+    /// allocation-free.
+    pub fn set_blame_enabled(&mut self, enabled: bool) {
+        self.blame.set_enabled(enabled);
+    }
+
+    /// This SM's blame collector (accumulates across kernel launches so
+    /// multi-launch workloads like BFS report whole-run attribution).
+    pub fn blame(&self) -> &BlameCollector {
+        &self.blame
+    }
+
+    /// The installed kernel, if any.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
     }
 
     /// Keep a ring buffer of the last `capacity` issued instructions (0
@@ -487,12 +517,12 @@ impl SmCore {
             let mut hz = InstrHazards::default();
             if start < w.ibuffer_ready_at {
                 hz.control = true;
-                hazards[wi] = Some((hz, false));
+                hazards[wi] = Some((hz, false, w.last_branch_pc));
                 continue;
             }
             if w.sync_pending || w.at_barrier {
                 hz.synchronization = true;
-                hazards[wi] = Some((hz, false));
+                hazards[wi] = Some((hz, false, w.sync_pc));
                 continue;
             }
             debug_assert!(
@@ -502,24 +532,35 @@ impl SmCore {
             let instr = program.fetch(w.pc).copied().unwrap_or(Instr::Exit);
             let srcs = instr.source_regs();
             let dest = instr.dest();
+            let mut cause_pc = UNKNOWN_PC;
             for r in srcs.iter().chain(dest.as_ref()) {
                 if w.load_pending(r.0) {
                     hz.mem_data = w.blocking_req(r.0);
+                    cause_pc = w.blocking_req_pc(r.0).unwrap_or(UNKNOWN_PC);
                     break;
                 }
             }
-            if hz.mem_data.is_none()
-                && srcs.iter().chain(dest.as_ref()).any(|r| w.compute_pending(r.0, start))
-            {
-                hz.compute_data = true;
+            if hz.mem_data.is_none() {
+                // Blame the operand that clears last: that choice is
+                // invariant over the whole stall (earlier operands drop out
+                // of the pending set, the latest one gates issue until the
+                // end), so the dense loop and this frozen window agree.
+                let mut latest = 0u64;
+                for r in srcs.iter().chain(dest.as_ref()) {
+                    if w.compute_pending(r.0, start) && w.ready_at[r.0 as usize] > latest {
+                        hz.compute_data = true;
+                        latest = w.ready_at[r.0 as usize];
+                        cause_pc = w.reg_writer[r.0 as usize];
+                    }
+                }
             }
             debug_assert!(!hz.can_issue(), "skipped a cycle with an issuable warp");
-            hazards[wi] = Some((hz, true));
+            hazards[wi] = Some((hz, true, cause_pc));
         }
 
         // Per-warp profile credit is order-independent: bulk-charge it.
         for &wi in &self.live {
-            if let Some((hz, true)) = &hazards[wi] {
+            if let Some((hz, true, _)) = &hazards[wi] {
                 let kind = classify_instruction(hz);
                 self.profiles[wi].considered[kind.index()] += n;
             }
@@ -527,6 +568,7 @@ impl SmCore {
 
         let mut order = std::mem::take(&mut self.scratch.order);
         let mut considered = std::mem::take(&mut self.scratch.considered);
+        let mut considered_pc = std::mem::take(&mut self.scratch.considered_pc);
         {
             let last_issue = &mut self.scratch.last_issue;
             last_issue.clear();
@@ -550,9 +592,11 @@ impl SmCore {
                 &mut order,
             );
             considered.clear();
+            considered_pc.clear();
             for &wi in &order {
-                if let Some((hz, _)) = hazards[wi] {
+                if let Some((hz, _, pc)) = hazards[wi] {
                     considered.push(hz);
+                    considered_pc.push(pc);
                 }
             }
             let verdict = judge_cycle_scratch(
@@ -561,6 +605,11 @@ impl SmCore {
                 &considered,
                 &mut self.scratch.kinds,
             );
+            let per_round = if rounds == 1 { n } else { 1 };
+            if self.blame.is_enabled() {
+                let cause = verdict_cause_pc(&verdict, &self.scratch.kinds, &considered_pc);
+                self.blame.record(verdict.kind, cause, verdict.blocking_request, per_round);
+            }
             if rounds == 1 {
                 collector.record_cycles(&verdict, n);
             } else {
@@ -574,6 +623,7 @@ impl SmCore {
         }
         self.scratch.order = order;
         self.scratch.considered = considered;
+        self.scratch.considered_pc = considered_pc;
         self.scratch.skip_hazards = hazards;
     }
 
@@ -586,12 +636,14 @@ impl SmCore {
             match c {
                 Completion::Load { req, warp, reg, provenance } => {
                     collector.on_fill(req, provenance);
+                    self.blame.on_fill(req, provenance);
                     self.warps[warp as usize].complete_load(reg, req);
                 }
                 Completion::Atomic { req, warp, reg, value, acquire, release, write_dst } => {
                     // Any stalls charged against a relaxed atomic are an L2
                     // service (atomics always execute at the L2).
                     collector.on_fill(req, MemDataCause::L2);
+                    self.blame.on_fill(req, MemDataCause::L2);
                     let w = &mut self.warps[warp as usize];
                     if write_dst {
                         for lane in &mut w.regs {
@@ -622,6 +674,7 @@ impl SmCore {
         // can borrow `self` freely.
         let mut order = std::mem::take(&mut self.scratch.order);
         let mut considered = std::mem::take(&mut self.scratch.considered);
+        let mut considered_pc = std::mem::take(&mut self.scratch.considered_pc);
         {
             let last_issue = &mut self.scratch.last_issue;
             last_issue.clear();
@@ -634,6 +687,7 @@ impl SmCore {
             );
         }
         considered.clear();
+        considered_pc.clear();
 
         let mut issued = 0usize;
         let mut alu_used = 0u32;
@@ -653,9 +707,11 @@ impl SmCore {
                         sm: self.id,
                         warp: wi as u16,
                         kind: StallKind::Control,
+                        cause_pc: w.last_branch_pc,
                     });
                 }
                 considered.push(hz);
+                considered_pc.push(w.last_branch_pc);
                 continue;
             }
             if w.sync_pending || w.at_barrier {
@@ -666,9 +722,11 @@ impl SmCore {
                         sm: self.id,
                         warp: wi as u16,
                         kind: StallKind::Synchronization,
+                        cause_pc: w.sync_pc,
                     });
                 }
                 considered.push(hz);
+                considered_pc.push(w.sync_pc);
                 continue;
             }
             // SIMT reconvergence: when the running side reaches the join
@@ -683,9 +741,11 @@ impl SmCore {
                     w.active_mask = top.mask;
                     if w.pc != top.pc {
                         // Redirected fetch: pay the refetch penalty, like a
-                        // taken branch.
+                        // taken branch; the refetch is the divergent
+                        // branch's fault.
                         w.pc = top.pc;
                         w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
+                        w.last_branch_pc = top.origin;
                     }
                 }
                 if now < w.ibuffer_ready_at {
@@ -696,9 +756,11 @@ impl SmCore {
                             sm: self.id,
                             warp: wi as u16,
                             kind: StallKind::Control,
+                            cause_pc: w.last_branch_pc,
                         });
                     }
                     considered.push(hz);
+                    considered_pc.push(w.last_branch_pc);
                     continue;
                 }
             }
@@ -712,20 +774,34 @@ impl SmCore {
             // operand is the one charged.
             let srcs = instr.source_regs();
             let dest = instr.dest();
+            let mut cause_pc = UNKNOWN_PC;
             for r in srcs.iter().chain(dest.as_ref()) {
                 if w.load_pending(r.0) {
                     hz.mem_data = w.blocking_req(r.0);
+                    cause_pc = w.blocking_req_pc(r.0).unwrap_or(UNKNOWN_PC);
                     break;
                 }
             }
-            if hz.mem_data.is_none()
-                && srcs.iter().chain(dest.as_ref()).any(|r| w.compute_pending(r.0, now))
-            {
-                hz.compute_data = true;
+            if hz.mem_data.is_none() {
+                // Blame the operand with the latest ready cycle: the one
+                // that actually gates issue, and the only choice stable
+                // across the stall (so the event engine's frozen windows
+                // attribute identically).
+                let mut latest = 0u64;
+                for r in srcs.iter().chain(dest.as_ref()) {
+                    if w.compute_pending(r.0, now) && w.ready_at[r.0 as usize] > latest {
+                        hz.compute_data = true;
+                        latest = w.ready_at[r.0 as usize];
+                        cause_pc = w.reg_writer[r.0 as usize];
+                    }
+                }
             }
 
             if hz.can_issue() && issued < self.cfg.issue_width {
                 let pc_before = self.warps[wi].pc;
+                // A structural rejection is the stalled instruction's own
+                // doing: the causal pc is itself.
+                cause_pc = pc_before as u32;
                 match self.execute(wi, instr, now, mem, gmem, &mut alu_used, &mut sfu_used, sink) {
                     Ok(()) => {
                         issued += 1;
@@ -763,9 +839,16 @@ impl SmCore {
             let kind = classify_instruction(&hz);
             self.profiles[wi].considered[kind.index()] += 1;
             if sink.events_on() && kind != StallKind::NoStall {
-                sink.record(Ev::WarpStall { cycle: now, sm: self.id, warp: wi as u16, kind });
+                sink.record(Ev::WarpStall {
+                    cycle: now,
+                    sm: self.id,
+                    warp: wi as u16,
+                    kind,
+                    cause_pc,
+                });
             }
             considered.push(hz);
+            considered_pc.push(cause_pc);
         }
 
         let verdict = judge_cycle_scratch(
@@ -774,8 +857,13 @@ impl SmCore {
             &considered,
             &mut self.scratch.kinds,
         );
+        if self.blame.is_enabled() {
+            let cause = verdict_cause_pc(&verdict, &self.scratch.kinds, &considered_pc);
+            self.blame.record(verdict.kind, cause, verdict.blocking_request, 1);
+        }
         self.scratch.order = order;
         self.scratch.considered = considered;
+        self.scratch.considered_pc = considered_pc;
         if issued > 0 {
             self.stats.issued_cycles += 1;
         }
@@ -837,6 +925,7 @@ impl SmCore {
                     w.regs[lane][dst.0 as usize] = eval_alu(op, av, bv);
                 }
                 w.ready_at[dst.0 as usize] = now + lat;
+                w.reg_writer[dst.0 as usize] = w.pc as u32;
                 w.pc += 1;
             }
             Instr::Ldi { dst, imm } => {
@@ -849,6 +938,7 @@ impl SmCore {
                     }
                 }
                 w.ready_at[dst.0 as usize] = now + lat;
+                w.reg_writer[dst.0 as usize] = w.pc as u32;
                 w.pc += 1;
             }
             Instr::Sel { dst, cond, a, b } => {
@@ -865,6 +955,7 @@ impl SmCore {
                     w.regs[lane][dst.0 as usize] = v;
                 }
                 w.ready_at[dst.0 as usize] = now + lat;
+                w.reg_writer[dst.0 as usize] = w.pc as u32;
                 w.pc += 1;
             }
             Instr::LdGlobal { dst, addr, offset } => {
@@ -876,9 +967,11 @@ impl SmCore {
                 for &(lane, a) in &self.scratch.pairs {
                     w.regs[lane][dst.0 as usize] = gmem.read_word(a);
                 }
+                let pc = w.pc as u32;
                 for req in issued.reqs {
-                    w.add_pending_load(dst.0, req);
+                    w.add_pending_load(dst.0, req, pc);
                 }
+                w.reg_writer[dst.0 as usize] = pc;
                 w.pc += 1;
                 self.stats.loads += 1;
             }
@@ -902,9 +995,11 @@ impl SmCore {
                 for &(lane, a) in &self.scratch.pairs {
                     w.regs[lane][dst.0 as usize] = mem.local_read_word(a, gmem);
                 }
+                let pc = w.pc as u32;
                 for req in issued.reqs {
-                    w.add_pending_load(dst.0, req);
+                    w.add_pending_load(dst.0, req, pc);
                 }
+                w.reg_writer[dst.0 as usize] = pc;
                 w.pc += 1;
                 self.stats.loads += 1;
             }
@@ -951,11 +1046,14 @@ impl SmCore {
                     )
                     .map_err(reject_to_hazard)?;
                 let w = &mut self.warps[wi];
+                let pc = w.pc as u32;
                 if sem.is_acquire() || sem.is_release() {
                     w.sync_pending = true;
+                    w.sync_pc = pc;
                 } else {
-                    w.add_pending_load(dst.0, req);
+                    w.add_pending_load(dst.0, req, pc);
                 }
+                w.reg_writer[dst.0 as usize] = pc;
                 w.pc += 1;
                 self.stats.atomics += 1;
             }
@@ -968,6 +1066,7 @@ impl SmCore {
                 {
                     let w = &mut self.warps[wi];
                     w.at_barrier = true;
+                    w.sync_pc = w.pc as u32;
                     w.pc += 1;
                 }
                 self.blocks[block_idx].barrier_count += 1;
@@ -983,6 +1082,7 @@ impl SmCore {
                     BranchCond::NonZero(r) => lane0[r.0 as usize] != 0,
                 };
                 if taken {
+                    w.last_branch_pc = w.pc as u32;
                     w.pc = target;
                     w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
                     self.stats.taken_branches += 1;
@@ -1008,20 +1108,30 @@ impl SmCore {
                     }
                 }
                 let not_taken = cur & !taken;
+                let branch_pc = w.pc as u32;
                 if taken == 0 {
                     w.pc += 1;
                 } else if not_taken == 0 {
+                    w.last_branch_pc = branch_pc;
                     w.pc = target;
                     w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
                     self.stats.taken_branches += 1;
                 } else {
                     // Diverge: run the fall-through side first; the taken
                     // side and the full-mask restore wait on the stack.
-                    w.simt_stack.push(crate::warp::SimtEntry { rpc: join, mask: cur, pc: join });
+                    // Both entries remember this branch as their origin so
+                    // the refetch at each pop is blamed on it.
+                    w.simt_stack.push(crate::warp::SimtEntry {
+                        rpc: join,
+                        mask: cur,
+                        pc: join,
+                        origin: branch_pc,
+                    });
                     w.simt_stack.push(crate::warp::SimtEntry {
                         rpc: join,
                         mask: taken,
                         pc: target,
+                        origin: branch_pc,
                     });
                     w.active_mask = not_taken;
                     w.pc += 1;
@@ -1031,6 +1141,7 @@ impl SmCore {
             Instr::Jmp { target } => {
                 take_unit(ExecUnit::Alu, alu_used, sfu_used, &self.cfg)?;
                 let w = &mut self.warps[wi];
+                w.last_branch_pc = w.pc as u32;
                 w.pc = target;
                 w.ibuffer_ready_at = now + 1 + self.cfg.branch_refetch;
                 self.stats.taken_branches += 1;
@@ -1150,6 +1261,27 @@ impl SmCore {
             }
         });
     }
+}
+
+/// Causal pc of a cycle verdict: the pc recorded for the first considered
+/// instruction whose Algorithm-1 classification matches the verdict's kind
+/// — the same position lookup `judge_cycle_scratch` uses for its detail
+/// fields, so the blamed instruction and the blocking request agree.
+/// `NoStall`/`Idle` cycles have no cause (and on issued cycles the kinds
+/// scratch is stale, so they must not be looked up).
+fn verdict_cause_pc(
+    verdict: &gsi_core::CycleVerdict,
+    kinds: &[StallKind],
+    considered_pc: &[u32],
+) -> u32 {
+    if matches!(verdict.kind, StallKind::NoStall | StallKind::Idle) {
+        return UNKNOWN_PC;
+    }
+    kinds
+        .iter()
+        .position(|&k| k == verdict.kind)
+        .and_then(|i| considered_pc.get(i).copied())
+        .unwrap_or(UNKNOWN_PC)
 }
 
 fn op_val(lane: &[u64; gsi_isa::NUM_REGS], op: Operand) -> u64 {

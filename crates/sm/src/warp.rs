@@ -45,6 +45,9 @@ pub(crate) struct SimtEntry {
     pub rpc: usize,
     pub mask: u32,
     pub pc: usize,
+    /// Pc of the divergent branch that pushed this entry, so control
+    /// stalls at the redirect can be blamed on the branch.
+    pub origin: u32,
 }
 
 /// One resident warp.
@@ -59,9 +62,9 @@ pub(crate) struct Warp {
     pub regs: Vec<[u64; NUM_REGS]>,
     /// Outstanding load-line count per destination register.
     pub pending_loads: [u8; NUM_REGS],
-    /// Outstanding request tokens per destination register, for stall
-    /// attribution.
-    pub pending_reqs: Vec<Vec<RequestId>>,
+    /// Outstanding `(request token, issuing load pc)` pairs per
+    /// destination register, for stall attribution and blame.
+    pub pending_reqs: Vec<Vec<(RequestId, u32)>>,
     /// Cycle at which each register's pending compute result is ready.
     pub ready_at: [u64; NUM_REGS],
     /// An acquire/release atomic is in flight: the warp is blocked for
@@ -85,6 +88,14 @@ pub(crate) struct Warp {
     pub addr_cache_key: Option<(usize, u64, u32)>,
     /// Cached `(lane, byte address)` pairs for the key above.
     pub addr_cache_pairs: Vec<(usize, u64)>,
+    /// Last-writer table: pc of the instruction that last defined each
+    /// register ([`gsi_blame::UNKNOWN_PC`] for launch-initialized state).
+    pub reg_writer: [u32; NUM_REGS],
+    /// Pc of the last taken branch / SIMT redirect, blamed for control
+    /// (refetch) stalls.
+    pub last_branch_pc: u32,
+    /// Pc of the acquire/release atomic or barrier the warp is blocked on.
+    pub sync_pc: u32,
 }
 
 impl Warp {
@@ -106,6 +117,9 @@ impl Warp {
             simt_stack: Vec::new(),
             addr_cache_key: None,
             addr_cache_pairs: Vec::new(),
+            reg_writer: [gsi_blame::UNKNOWN_PC; NUM_REGS],
+            last_branch_pc: gsi_blame::UNKNOWN_PC,
+            sync_pc: gsi_blame::UNKNOWN_PC,
         }
     }
 
@@ -121,19 +135,25 @@ impl Warp {
 
     /// The first outstanding request blocking register `reg`, if any.
     pub fn blocking_req(&self, reg: u8) -> Option<RequestId> {
-        self.pending_reqs[reg as usize].first().copied()
+        self.pending_reqs[reg as usize].first().map(|&(req, _)| req)
     }
 
-    /// Record an outstanding load line for `reg`.
-    pub fn add_pending_load(&mut self, reg: u8, req: RequestId) {
+    /// Pc of the load whose first outstanding request blocks `reg`.
+    pub fn blocking_req_pc(&self, reg: u8) -> Option<u32> {
+        self.pending_reqs[reg as usize].first().map(|&(_, pc)| pc)
+    }
+
+    /// Record an outstanding load line for `reg`, issued by the load at
+    /// `pc`.
+    pub fn add_pending_load(&mut self, reg: u8, req: RequestId, pc: u32) {
         self.pending_loads[reg as usize] += 1;
-        self.pending_reqs[reg as usize].push(req);
+        self.pending_reqs[reg as usize].push((req, pc));
     }
 
     /// A load line completed for `reg`.
     pub fn complete_load(&mut self, reg: u8, req: RequestId) {
         let r = reg as usize;
-        if let Some(pos) = self.pending_reqs[r].iter().position(|&x| x == req) {
+        if let Some(pos) = self.pending_reqs[r].iter().position(|&(x, _)| x == req) {
             self.pending_reqs[r].remove(pos);
             self.pending_loads[r] -= 1;
         }
@@ -168,13 +188,15 @@ mod tests {
     fn scoreboard_load_tracking() {
         let mut w = Warp::new(0, WarpInit::zeroed());
         assert!(!w.load_pending(2));
-        w.add_pending_load(2, RequestId(10));
-        w.add_pending_load(2, RequestId(11));
+        w.add_pending_load(2, RequestId(10), 7);
+        w.add_pending_load(2, RequestId(11), 9);
         assert!(w.load_pending(2));
         assert_eq!(w.blocking_req(2), Some(RequestId(10)));
+        assert_eq!(w.blocking_req_pc(2), Some(7));
         w.complete_load(2, RequestId(10));
         assert!(w.load_pending(2));
         assert_eq!(w.blocking_req(2), Some(RequestId(11)));
+        assert_eq!(w.blocking_req_pc(2), Some(9));
         w.complete_load(2, RequestId(11));
         assert!(!w.load_pending(2));
         // Unknown completions are ignored.

@@ -552,7 +552,7 @@ impl TraceSink for TraceBuffer {
                     self.links_queued[li] += queued as u64;
                 }
             }
-            TraceEvent::WarpStall { cycle, sm, warp, kind } => {
+            TraceEvent::WarpStall { cycle, sm, warp, kind, .. } => {
                 self.timeline_mark(sm, warp, cycle, kind);
             }
             _ => {}
@@ -707,9 +707,15 @@ mod tests {
         let mut b = TraceBuffer::new(cfg);
         for c in 0..10 {
             let kind = if c < 7 { StallKind::MemoryData } else { StallKind::Control };
-            b.record(TraceEvent::WarpStall { cycle: c, sm: 1, warp: 2, kind });
+            b.record(TraceEvent::WarpStall { cycle: c, sm: 1, warp: 2, kind, cause_pc: 7 });
         }
-        b.record(TraceEvent::WarpStall { cycle: 15, sm: 1, warp: 2, kind: StallKind::Idle });
+        b.record(TraceEvent::WarpStall {
+            cycle: 15,
+            sm: 1,
+            warp: 2,
+            kind: StallKind::Idle,
+            cause_pc: 7,
+        });
         assert_eq!(b.timeline_glyph(1, 2, 0), Some(StallKind::MemoryData));
         assert_eq!(b.timeline_glyph(1, 2, 1), Some(StallKind::Idle), "live slot");
         assert_eq!(b.timeline_glyph(1, 2, 2), None);

@@ -40,6 +40,10 @@ pub enum TraceEvent {
         warp: u16,
         /// Why the warp's next instruction could not issue.
         kind: StallKind,
+        /// Pc of the causal instruction the blame walk identified
+        /// (`u32::MAX` when unknown), so exported slices carry their
+        /// root cause.
+        cause_pc: u32,
     },
     /// The LSU refused an otherwise-issuable memory instruction.
     LsuReject {
@@ -305,13 +309,23 @@ impl TraceEvent {
                 "kind" => kind.short(),
                 "issued" => issued as u64,
             },
-            TraceEvent::WarpStall { cycle, sm, warp, kind } => obj! {
-                "ev" => self.kind_name(),
-                "cycle" => cycle,
-                "sm" => sm as u64,
-                "warp" => warp as u64,
-                "kind" => kind.short(),
-            },
+            TraceEvent::WarpStall { cycle, sm, warp, kind, cause_pc } => {
+                let mut v = obj! {
+                    "ev" => self.kind_name(),
+                    "cycle" => cycle,
+                    "sm" => sm as u64,
+                    "warp" => warp as u64,
+                    "kind" => kind.short(),
+                };
+                // The sentinel means "no causal instruction": export null so
+                // consumers need no knowledge of the sentinel value.
+                if cause_pc == u32::MAX {
+                    v.set("cause_pc", Value::Null);
+                } else {
+                    v.set("cause_pc", cause_pc as u64);
+                }
+                v
+            }
             TraceEvent::LsuReject { cycle, sm, warp, cause } => obj! {
                 "ev" => self.kind_name(),
                 "cycle" => cycle,
@@ -434,7 +448,13 @@ mod tests {
     fn kind_indices_are_dense_and_named() {
         let evs = [
             TraceEvent::IssueVerdict { cycle: 0, sm: 0, kind: StallKind::Idle, issued: 0 },
-            TraceEvent::WarpStall { cycle: 0, sm: 0, warp: 0, kind: StallKind::Control },
+            TraceEvent::WarpStall {
+                cycle: 0,
+                sm: 0,
+                warp: 0,
+                kind: StallKind::Control,
+                cause_pc: u32::MAX,
+            },
             TraceEvent::LsuReject { cycle: 0, sm: 0, warp: 0, cause: MemStructCause::MshrFull },
             TraceEvent::ReqIssue { cycle: 0, sm: 0, req: RequestId(1), line: 2, merged: false },
             TraceEvent::ReqMshr { cycle: 0, sm: 0, line: 2, primary: true },

@@ -190,9 +190,16 @@ mod tests {
                 sm: 1,
                 warp: 0,
                 kind: StallKind::MemoryData,
+                cause_pc: 3,
             });
         }
-        b.record(TraceEvent::WarpStall { cycle: 12, sm: 1, warp: 0, kind: StallKind::Control });
+        b.record(TraceEvent::WarpStall {
+            cycle: 12,
+            sm: 1,
+            warp: 0,
+            kind: StallKind::Control,
+            cause_pc: u32::MAX,
+        });
         let art = b.render_timelines();
         assert!(art.contains("sm01.w00 |Mc"), "{art}");
         assert!(!art.contains("sm00.w00"), "idle warps omitted: {art}");

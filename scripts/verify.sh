@@ -39,8 +39,20 @@ echo "== perf bench (paper scale, BENCH_PR<n>.json) =="
 # noisy neighbor on a shared host can't poison a row.
 PR="${GSI_PR:-$(( $(sed -n 's/^- PR \([0-9]*\):.*/\1/p' CHANGES.md | sort -n | tail -1) + 1 ))}"
 cargo run --release --offline --quiet -p gsi-bench --bin sweep -- \
-    --scale paper --threads 1 --trace-level off --repeat 3 --quiet --out "BENCH_PR${PR}.json"
+    --scale paper --threads 1 --trace-level off --repeat 3 --blame --quiet \
+    --out "BENCH_PR${PR}.json"
 echo "wrote BENCH_PR${PR}.json"
+
+echo "== blame attribution (export + schema + conservation) =="
+# Two memory-bound workloads export a blame report each; blame-check
+# validates the schema and asserts the ranked shares sum to 100%.
+for w in spmv bfs; do
+    cargo run --release --offline --quiet -p gsi-bench --bin gsi-run -- \
+        --workload "$w" --blame --quiet --blame-out "/tmp/gsi_blame_${w}.json"
+    cargo run --release --offline --quiet -p gsi-bench --bin blame-check -- \
+        "/tmp/gsi_blame_${w}.json"
+    rm -f "/tmp/gsi_blame_${w}.json"
+done
 
 echo "== chaos sweep (fixed seed, zero escaped panics, conservation on) =="
 # Every experiment runs under all fault kinds; any panic, simulation

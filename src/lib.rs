@@ -15,6 +15,8 @@
 //! * [`isa`] — the virtual SIMT instruction set and program builder.
 //! * [`analyze`] — the static kernel verifier (CFG, dataflow,
 //!   barrier-divergence, scratchpad/DMA hazard analysis) gating launches.
+//! * [`blame`] — LEO-style stall root-cause attribution: per-instruction
+//!   blame tables, ranked reports, and protocol differentials.
 //! * [`mem`] — caches, MSHRs, store buffers, coherence, L2, DRAM,
 //!   scratchpad, stash, and DMA.
 //! * [`sm`] — the streaming-multiprocessor pipeline model.
@@ -39,6 +41,7 @@
 //! ```
 
 pub use gsi_analyze as analyze;
+pub use gsi_blame as blame;
 pub use gsi_chaos as chaos;
 #[doc(inline)]
 pub use gsi_core as core;

@@ -1,0 +1,141 @@
+//! Integration tests for stall root-cause attribution (`gsi-blame`):
+//! conservation against the machine's stall collector, honesty about
+//! event-ring wraparound, and the protocol differential.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi::blame::{BlameDiff, UNKNOWN_PC};
+use gsi::core::StallKind;
+use gsi::mem::Protocol;
+use gsi::sim::{CycleEngine, LaunchSpec, Simulator, SystemConfig};
+use gsi::trace::{TraceBuffer, TraceConfig, TraceLevel};
+use gsi::workloads::uts::{self, UtsConfig, Variant};
+
+/// A small kernel with loads, dependent compute, and a loop: enough to
+/// populate every last-writer table without taking long to simulate.
+fn loop_of_loads() -> LaunchSpec {
+    use gsi::isa::{ProgramBuilder, Reg};
+    let mut b = ProgramBuilder::new("blame-it");
+    b.ldi(Reg(1), 0x2000);
+    b.ldi(Reg(5), 8);
+    let top = b.here();
+    b.ld_global(Reg(2), Reg(1), 0);
+    b.addi(Reg(3), Reg(2), 1);
+    b.st_global(Reg(3), Reg(1), 0);
+    b.subi(Reg(5), Reg(5), 1);
+    b.bra_nz(Reg(5), top);
+    b.exit();
+    LaunchSpec::new(b.build().unwrap(), 4, 2).with_init(|w, block, warp, _| {
+        w.set_uniform(1, 0x2000 + block * 0x100 + warp as u64 * 0x40)
+    })
+}
+
+/// Every attributable stall category conserves against the machine's own
+/// stall collector: cycles charged to instructions plus cycles the blame
+/// layer could not attribute equal exactly what the breakdown observed.
+#[test]
+fn attribution_conserves_collector_totals() {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(2));
+    sim.set_blame_enabled(true);
+    let run = sim.run_kernel(&loop_of_loads()).unwrap();
+    let report = sim.blame_report();
+    assert!(!report.rows.is_empty(), "a stalling kernel produces ranked rows");
+    for kind in [
+        StallKind::Control,
+        StallKind::Synchronization,
+        StallKind::MemoryData,
+        StallKind::MemoryStructural,
+        StallKind::ComputeData,
+        StallKind::ComputeStructural,
+    ] {
+        assert_eq!(
+            report.attributed(kind) + report.unattributed[kind.index()],
+            run.breakdown.cycles(kind),
+            "{kind:?}: blamed + unattributed must equal the collector total"
+        );
+    }
+    let row_sum: u64 = report.rows.iter().map(|r| r.total).sum();
+    assert_eq!(row_sum, report.attributed_total(), "rows carry every attributed cycle");
+    let share_sum: f64 = report.rows.iter().map(|r| r.share_pct).sum();
+    assert!((share_sum - 100.0).abs() < 0.01, "shares sum to 100%, got {share_sum}");
+    assert!(report.rows.iter().all(|r| r.pc != UNKNOWN_PC), "rows are real instructions");
+}
+
+/// Full-level tracing with a deliberately tiny event ring wraps; the blame
+/// report must disclose that with `coverage_pct < 100` and a warning line
+/// instead of silently presenting the window as complete.
+#[test]
+fn ring_wraparound_is_disclosed_in_coverage() {
+    let sys = SystemConfig::paper().with_gpu_cores(1).with_cycle_engine(CycleEngine::Dense);
+    let mut sim = Simulator::new(sys);
+    let mut tcfg = TraceConfig::for_system(
+        TraceLevel::Full,
+        sim.config().mesh.nodes(),
+        sim.config().gpu_cores,
+        sim.config().sm.max_warps,
+    );
+    tcfg.event_capacity = 8; // a stalling kernel overflows this immediately
+    sim.set_trace(TraceBuffer::new(tcfg));
+    sim.set_blame_enabled(true);
+    sim.run_kernel(&loop_of_loads()).unwrap();
+    let report = sim.blame_report();
+    assert!(report.dropped_events > 0, "the tiny ring must wrap");
+    assert!(
+        report.coverage_pct < 100.0 && report.coverage_pct > 0.0,
+        "coverage reflects the wrap, got {}",
+        report.coverage_pct
+    );
+    let json = report.to_json();
+    let cov = json.get("coverage_pct").and_then(|v| v.as_f64()).unwrap();
+    assert!(cov < 100.0);
+    assert!(
+        report.render(5).contains("warning: event ring wrapped"),
+        "the rendered report warns about the wrap"
+    );
+}
+
+/// An untouched (or ringless) trace reports full coverage: the live blame
+/// tables never drop anything, only the exported event window can.
+#[test]
+fn off_level_tracing_reports_full_coverage() {
+    let mut sim = Simulator::new(SystemConfig::paper().with_gpu_cores(1));
+    sim.set_blame_enabled(true);
+    sim.run_kernel(&loop_of_loads()).unwrap();
+    let report = sim.blame_report();
+    assert_eq!(report.dropped_events, 0);
+    assert!((report.coverage_pct - 100.0).abs() < f64::EPSILON);
+}
+
+/// The protocol differential: per-instruction deltas between a GPU-coherence
+/// run and a DeNovo run conserve the difference in attributed totals, and
+/// the rows rank by absolute delta.
+#[test]
+fn protocol_differential_conserves_deltas() {
+    let cfg = UtsConfig::small();
+    let mut reports = Vec::new();
+    for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+        let mut sim =
+            Simulator::new(SystemConfig::paper().with_gpu_cores(4).with_protocol(protocol));
+        sim.set_blame_enabled(true);
+        uts::run(&mut sim, &cfg, Variant::Centralized).unwrap();
+        reports.push(sim.blame_report());
+    }
+    let diff = BlameDiff::new("gpu", &reports[0], "denovo", &reports[1]);
+    assert!(!diff.rows.is_empty());
+    let delta_sum: i64 = diff.rows.iter().map(|r| r.delta).sum();
+    assert_eq!(
+        delta_sum,
+        reports[1].attributed_total() as i64 - reports[0].attributed_total() as i64,
+        "per-pc deltas must conserve the total shift"
+    );
+    for pair in diff.rows.windows(2) {
+        assert!(
+            pair[0].delta.abs() >= pair[1].delta.abs(),
+            "rows rank by |delta|: {} before {}",
+            pair[0].delta,
+            pair[1].delta
+        );
+    }
+    // UTS is protocol-sensitive: the lock acquire must move between runs.
+    assert!(diff.rows.iter().any(|r| r.delta != 0), "uts blame shifts across protocols");
+}

@@ -7,7 +7,7 @@
 
 use gsi::isa::{Operand, ProgramBuilder, Reg};
 use gsi::mem::Protocol;
-use gsi::sim::{KernelRun, LaunchSpec, Simulator, SystemConfig};
+use gsi::sim::{CycleEngine, KernelRun, LaunchSpec, Simulator, SystemConfig};
 use gsi::workloads::uts::{self, UtsConfig, Variant};
 
 fn spin_and_load_spec() -> LaunchSpec {
@@ -64,6 +64,35 @@ fn second_kernel_is_reproducible() {
     let second_b = two.run_kernel(&spec).unwrap();
     assert_eq!(first_a, first_b);
     assert_eq!(second_a, second_b);
+}
+
+/// Blame attribution is as deterministic as the run itself: the same
+/// (workload, config) twice produces byte-identical blame JSON — causal
+/// pcs, shares, service sub-buckets — under both cycle engines and both
+/// coherence protocols.
+#[test]
+fn blame_reports_are_byte_identical() {
+    for engine in [CycleEngine::Dense, CycleEngine::Event] {
+        for protocol in [Protocol::GpuCoherence, Protocol::DeNovo] {
+            let cfg = SystemConfig::paper()
+                .with_gpu_cores(2)
+                .with_protocol(protocol)
+                .with_cycle_engine(engine);
+            let reports: Vec<String> = (0..2)
+                .map(|_| {
+                    let mut sim = Simulator::new(cfg);
+                    sim.set_blame_enabled(true);
+                    sim.run_kernel(&spin_and_load_spec()).unwrap();
+                    sim.blame_report().to_json().to_string_pretty()
+                })
+                .collect();
+            assert_eq!(
+                reports[0], reports[1],
+                "{engine:?}/{protocol:?} blame must be bit-identical"
+            );
+            assert!(reports[0].contains("\"rows\""), "report carries ranked rows");
+        }
+    }
 }
 
 /// A full workload (UTS) reproduces exactly across simulator instances.

@@ -30,6 +30,9 @@ fn trace_level() -> TraceLevel {
 
 /// Run `work` on two simulators that differ only in cycle engine and
 /// assert the results (and trace counters, if tracing) are identical.
+/// Stall attribution runs on both, and its full JSON report — causal pcs,
+/// per-kind counters, service sub-buckets — must also be byte-identical:
+/// the skip-ahead engine credits blame without simulating the cycles.
 fn assert_engines_agree<R, F>(name: &str, base: SystemConfig, plan: &FaultPlan, mut work: F)
 where
     R: PartialEq + Debug,
@@ -37,16 +40,20 @@ where
 {
     let mut outs = Vec::new();
     let mut counts = Vec::new();
+    let mut blames = Vec::new();
     for engine in [CycleEngine::Dense, CycleEngine::Event] {
         let mut sim = Simulator::new(base.with_cycle_engine(engine));
         sim.set_trace_level(trace_level());
         sim.set_timeline_epoch(256);
         sim.set_chaos(plan);
+        sim.set_blame_enabled(true);
         outs.push(work(&mut sim));
         counts.push(sim.trace().counts().to_vec());
+        blames.push(sim.blame_report().to_json().to_string_pretty());
     }
     assert_eq!(outs[0], outs[1], "{name}: engines disagree on results");
     assert_eq!(counts[0], counts[1], "{name}: engines disagree on trace counters");
+    assert_eq!(blames[0], blames[1], "{name}: engines disagree on blame attribution");
 }
 
 fn base(cores: usize, protocol: Protocol) -> SystemConfig {
