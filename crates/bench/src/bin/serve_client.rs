@@ -1,0 +1,171 @@
+//! `serve-client` — minimal smoke client for the `gsi-serve` line-JSON
+//! protocol, speaking plain TCP (no dependency on the service crate, so
+//! it exercises the wire format, not shared types).
+//!
+//! ```text
+//! serve-client --addr 127.0.0.1:4750 --request '{"op":"simulate",...}' \
+//!              [--request '...'] [--timing]
+//! ```
+//!
+//! Each request is written as one line; every response frame is echoed to
+//! stdout until the request's `result` or `error` frame arrives. With
+//! `--timing`, a `{"event":"client-timing",...}` line follows each
+//! request with its round-trip latency. With `--bench FILE`, the same
+//! latency rows are appended to the `serve` array of an existing JSON
+//! report (the `BENCH_PR<n>.json` the sweep writes), so serve round-trips
+//! land next to the per-experiment perf rows. Exits non-zero if any
+//! request ended in an `error` frame.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-client --addr HOST:PORT --request JSON [--request JSON ...] \
+         [--timing] [--bench FILE]"
+    );
+    std::process::exit(2);
+}
+
+/// Echo one line to stdout. A closed pipe (`serve-client ... | head`) is
+/// a normal way for a consumer to stop reading — exit cleanly instead of
+/// panicking inside `println!`.
+fn emit(line: &str) {
+    let mut out = std::io::stdout();
+    if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+/// Append `rows` to the `serve` array of the JSON report at `path`,
+/// creating the file (and the array) if absent. Pretty-printed to match
+/// the sweep's report style.
+fn merge_bench(path: &str, rows: Vec<gsi_json::Value>) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| gsi_json::Value::parse(&s).ok())
+        .unwrap_or_else(|| gsi_json::Value::Object(Vec::new()));
+    let mut all = doc
+        .get("serve")
+        .and_then(gsi_json::Value::as_array)
+        .map(<[gsi_json::Value]>::to_vec)
+        .unwrap_or_default();
+    all.extend(rows);
+    doc.set("serve", gsi_json::Value::Array(all));
+    if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+        eprintln!("write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut timing = false;
+    let mut bench: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--request" => requests.push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--timing" => timing = true,
+            "--bench" => bench = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    if requests.is_empty() {
+        usage();
+    }
+
+    let mut stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("connect {addr}: {e}");
+        std::process::exit(1);
+    });
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("clone stream: {e}");
+        std::process::exit(1);
+    }));
+
+    let mut failed = false;
+    let mut rows: Vec<gsi_json::Value> = Vec::new();
+    for request in &requests {
+        let parsed = gsi_json::Value::parse(request).ok();
+        let req_field = |key: &str| -> String {
+            parsed
+                .as_ref()
+                .and_then(|r| r.get(key))
+                .and_then(gsi_json::Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let t0 = Instant::now();
+        if writeln!(stream, "{request}").and_then(|()| stream.flush()).is_err() {
+            eprintln!("connection closed while sending");
+            std::process::exit(1);
+        }
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    // EOF. Normal right after a shutdown acknowledgement;
+                    // anything else means the request went unanswered.
+                    let done = line.is_empty() && request.contains("\"shutdown\"");
+                    if !done {
+                        eprintln!("connection closed mid-request");
+                        failed = true;
+                    }
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("read: {e}");
+                    std::process::exit(1);
+                }
+            }
+            let line = line.trim_end();
+            emit(line);
+            let frame = gsi_json::Value::parse(line).unwrap_or_else(|e| {
+                eprintln!("unparseable frame {line:?}: {e}");
+                std::process::exit(1);
+            });
+            let event = frame.get("event").and_then(gsi_json::Value::as_str).unwrap_or("");
+            if event == "error" {
+                failed = true;
+            }
+            if event == "result" || event == "error" {
+                let cached =
+                    frame.get("cached").and_then(gsi_json::Value::as_bool).unwrap_or(false);
+                if timing {
+                    emit(
+                        &gsi_json::obj! {
+                            "event" => "client-timing",
+                            "seconds" => t0.elapsed().as_secs_f64(),
+                            "cached" => cached,
+                            "ok" => event == "result",
+                        }
+                        .to_string(),
+                    );
+                }
+                if bench.is_some() {
+                    rows.push(gsi_json::obj! {
+                        "name" => format!("serve/{}/{}", req_field("op"), req_field("workload")),
+                        "seconds" => t0.elapsed().as_secs_f64(),
+                        "cached" => cached,
+                        "ok" => event == "result",
+                    });
+                }
+                break;
+            }
+        }
+    }
+    if let Some(path) = bench {
+        merge_bench(&path, rows);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,17 +11,21 @@
 //! roughly the longest single experiment.
 //!
 //! Resilience: each attempt runs under `catch_unwind`, optionally under a
-//! per-attempt deadline (on a watcher thread), and failures retry with
-//! capped exponential backoff per [`SweepPolicy`]. A failing experiment
-//! degrades to a typed [`ExperimentError`] in its slot instead of
-//! poisoning the whole sweep — every other experiment's result survives.
+//! per-attempt deadline (on an [`AttemptPool`] runner), and failures retry
+//! with capped exponential backoff per [`SweepPolicy`]. A failing
+//! experiment degrades to a typed [`ExperimentError`] in its slot instead
+//! of poisoning the whole sweep — every other experiment's result
+//! survives. A timed-out attempt's runner is *not* abandoned: it finishes
+//! its stale job (the simulator stops at its own cycle budget) and then
+//! returns itself to the pool, so N timeouts leave the pool's capacity
+//! intact instead of leaking N threads.
 //!
 //! Built on `std::thread` only; no external thread-pool crates.
 
 use gsi_sim::{KernelRun, SimError};
 use gsi_trace::TraceLevel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -86,8 +90,9 @@ pub enum ExperimentError {
         message: String,
     },
     /// The experiment exceeded the per-attempt deadline. The attempt's
-    /// thread is abandoned (it stops on its own at the simulator's cycle
-    /// budget); the sweep moves on.
+    /// pool runner keeps running the stale job to completion (the
+    /// simulator stops on its own at its cycle budget) and then returns
+    /// itself to the pool; the sweep moves on immediately.
     TimedOut {
         /// The deadline that was exceeded.
         deadline: Duration,
@@ -348,33 +353,195 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// A type-erased unit of work for a pool runner.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// What a runner thread receives: work, or the shutdown sentinel.
+enum RunnerJob {
+    Work(Job),
+    Exit,
+}
+
+/// A handle to one runner thread: the sending half of its job channel.
+struct Runner {
+    tx: mpsc::Sender<RunnerJob>,
+}
+
+struct PoolInner {
+    /// Runners waiting for work. A runner is *checked out* (removed) for
+    /// the duration of a job and re-registers itself when the job ends —
+    /// even a job whose caller stopped waiting for it.
+    idle: Mutex<Vec<Runner>>,
+    /// Total runner threads ever spawned by this pool.
+    spawned: AtomicUsize,
+    /// Set by `Drop`; re-registration stops and runners exit instead.
+    closed: AtomicBool,
+}
+
+impl PoolInner {
+    fn idle_lock(&self) -> std::sync::MutexGuard<'_, Vec<Runner>> {
+        // A poisoned lock only means a thread died mid-push/pop; the Vec
+        // itself is still coherent.
+        self.idle.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// An elastic pool of runner threads for deadline-bounded jobs.
+///
+/// [`run_with_deadline`](Self::run_with_deadline) checks a runner out of
+/// the pool (spawning one if none is idle) and waits for the job's result
+/// up to the deadline. On expiry the caller moves on immediately, but the
+/// runner is **not** abandoned: it finishes the stale job and then puts
+/// itself back into the idle list, ready for the next checkout. N
+/// timeouts therefore cost at most N concurrently-busy runners, never N
+/// leaked threads — once the stale jobs drain, the same runners serve all
+/// subsequent attempts ([`spawned`](Self::spawned) stops growing).
+///
+/// Dropping the pool tells idle runners to exit; busy runners exit on
+/// their own when their stale job ends.
+pub struct AttemptPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for AttemptPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttemptPool {
+    /// An empty pool; runners are spawned on demand.
+    pub fn new() -> Self {
+        AttemptPool {
+            inner: Arc::new(PoolInner {
+                idle: Mutex::new(Vec::new()),
+                spawned: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Total runner threads this pool has ever spawned. Reuse keeps this
+    /// flat; only a checkout with no idle runner grows it.
+    pub fn spawned(&self) -> usize {
+        self.inner.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Runners currently idle (checked in and ready for work).
+    pub fn idle_count(&self) -> usize {
+        self.inner.idle_lock().len()
+    }
+
+    /// Pop an idle runner or spawn a fresh one.
+    fn checkout(&self) -> Runner {
+        if let Some(runner) = self.inner.idle_lock().pop() {
+            return runner;
+        }
+        let (tx, rx) = mpsc::channel();
+        let self_tx = tx.clone();
+        let inner = Arc::clone(&self.inner);
+        self.inner.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                let job = match msg {
+                    RunnerJob::Work(job) => job,
+                    RunnerJob::Exit => break,
+                };
+                // The job owns its own panic handling (the sweep wraps
+                // attempts in `catch_unwind`); this outer catch only keeps
+                // the runner alive for reuse if that ever fails.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                // Re-register under the lock so a concurrent `Drop` either
+                // sees this runner in the idle list (and sends `Exit`) or
+                // has already set `closed` (and the runner exits here).
+                let mut idle = inner.idle_lock();
+                if inner.closed.load(Ordering::Relaxed) {
+                    break;
+                }
+                idle.push(Runner { tx: self_tx.clone() });
+            }
+        });
+        Runner { tx }
+    }
+
+    /// Run `job` on a pool runner, waiting at most `deadline` for its
+    /// result. `None` means the deadline expired (or the job died without
+    /// producing a value); the runner finishes the stale job in the
+    /// background and returns itself to the pool.
+    pub fn run_with_deadline<T: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+        deadline: Duration,
+    ) -> Option<T> {
+        let runner = self.checkout();
+        let (tx, rx) = mpsc::channel();
+        let work: Job = Box::new(move || {
+            let _ = tx.send(job());
+        });
+        // A send failure means the runner thread is gone (its channel
+        // closed); it is already out of the idle list, so just report no
+        // result.
+        runner.tx.send(RunnerJob::Work(work)).ok()?;
+        rx.recv_timeout(deadline).ok()
+    }
+
+    /// Run `job` on a pool runner and wait for its result without a
+    /// deadline. `None` only if the runner died without producing a value.
+    pub fn run<T: Send + 'static>(&self, job: impl FnOnce() -> T + Send + 'static) -> Option<T> {
+        let runner = self.checkout();
+        let (tx, rx) = mpsc::channel();
+        let work: Job = Box::new(move || {
+            let _ = tx.send(job());
+        });
+        runner.tx.send(RunnerJob::Work(work)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Run `job` on a pool runner without waiting for it. The runner
+    /// checks itself back in when the job ends; any results flow through
+    /// channels the job captured. Used by callers that stream progress
+    /// from the job while it runs (e.g. the simulation service).
+    pub fn dispatch(&self, job: impl FnOnce() + Send + 'static) {
+        let runner = self.checkout();
+        let _ = runner.tx.send(RunnerJob::Work(Box::new(job)));
+    }
+}
+
+impl Drop for AttemptPool {
+    fn drop(&mut self) {
+        // Order matters: set `closed` before draining, so a runner that
+        // finishes a stale job after the drain sees the flag (under the
+        // idle lock) and exits instead of re-registering into a dead pool.
+        self.inner.closed.store(true, Ordering::Relaxed);
+        for runner in self.inner.idle_lock().drain(..) {
+            let _ = runner.tx.send(RunnerJob::Exit);
+        }
+    }
+}
+
+/// Run the experiment closure under `catch_unwind`, mapping panics and
+/// simulator errors to typed [`ExperimentError`]s.
+fn execute(run: &RunFn) -> Result<ExperimentOutput, ExperimentError> {
+    catch_unwind(AssertUnwindSafe(run))
+        .map_err(|p| ExperimentError::Panicked { message: panic_message(p) })?
+        .map(|(kernel, extra)| ExperimentOutput { run: kernel, extra })
+        .map_err(ExperimentError::Sim)
+}
+
 /// One attempt: run the closure under `catch_unwind`, optionally on a
-/// watcher thread with a deadline.
+/// pool runner with a deadline.
 fn attempt(
+    pool: &AttemptPool,
     run: &Arc<RunFn>,
     deadline: Option<Duration>,
 ) -> Result<ExperimentOutput, ExperimentError> {
-    let execute = |run: &RunFn| {
-        catch_unwind(AssertUnwindSafe(run))
-            .map_err(|p| ExperimentError::Panicked { message: panic_message(p) })?
-            .map(|(kernel, extra)| ExperimentOutput { run: kernel, extra })
-            .map_err(ExperimentError::Sim)
-    };
     match deadline {
         None => execute(run.as_ref()),
         Some(d) => {
-            // Run the attempt on its own thread and wait with a timeout. On
-            // expiry the runaway thread is abandoned — it terminates on its
-            // own when the simulator's cycle budget runs out — and the
-            // worker moves on.
-            let (tx, rx) = mpsc::channel();
             let run = Arc::clone(run);
-            std::thread::spawn(move || {
-                let _ = tx.send(execute(run.as_ref()));
-            });
-            match rx.recv_timeout(d) {
-                Ok(result) => result,
-                Err(_) => Err(ExperimentError::TimedOut { deadline: d }),
+            match pool.run_with_deadline(move || execute(run.as_ref()), d) {
+                Some(result) => result,
+                None => Err(ExperimentError::TimedOut { deadline: d }),
             }
         }
     }
@@ -382,14 +549,14 @@ fn attempt(
 
 /// Run one experiment to completion under the policy: attempts, capped
 /// exponential backoff between them, and a typed error if all fail.
-fn run_resilient(exp: &Experiment, policy: &SweepPolicy) -> SweepResult {
+fn run_resilient(pool: &AttemptPool, exp: &Experiment, policy: &SweepPolicy) -> SweepResult {
     let start = Instant::now();
     let mut attempts = 0u32;
     let mut backoff = policy.backoff;
     loop {
         attempts += 1;
         let t0 = Instant::now();
-        match attempt(&exp.run, policy.deadline) {
+        match attempt(pool, &exp.run, policy.deadline) {
             Ok(out) => {
                 // Best-of-N: re-measure and keep the fastest successful
                 // attempt. The simulation is deterministic, so only the
@@ -400,7 +567,7 @@ fn run_resilient(exp: &Experiment, policy: &SweepPolicy) -> SweepResult {
                 let mut best_wall = t0.elapsed();
                 for _ in 1..policy.repeats.max(1) {
                     let t0 = Instant::now();
-                    if let Ok(again) = attempt(&exp.run, policy.deadline) {
+                    if let Ok(again) = attempt(pool, &exp.run, policy.deadline) {
                         let wall = t0.elapsed();
                         debug_assert_eq!(
                             again.run.cycles, best.run.cycles,
@@ -462,6 +629,9 @@ pub fn run_sweep_with(
     let threads = threads.clamp(1, experiments.len().max(1));
     let t0 = Instant::now();
     let next = AtomicUsize::new(0);
+    // One attempt pool shared by every worker: timed-out attempts heal
+    // back into it instead of each timeout costing a fresh thread.
+    let pool = AttemptPool::new();
     let slots: Vec<Mutex<Option<SweepResult>>> =
         experiments.iter().map(|_| Mutex::new(None)).collect();
 
@@ -470,7 +640,7 @@ pub fn run_sweep_with(
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = experiments.get(i) else { break };
-                let result = run_resilient(exp, &policy);
+                let result = run_resilient(&pool, exp, &policy);
                 // Lock poisoning cannot panic-loop us: a poisoned slot just
                 // means another thread died mid-store, and the data is ours
                 // to overwrite either way.
@@ -596,6 +766,73 @@ mod tests {
         let err = outcome.results[1].error().expect("sleeper must time out");
         assert_eq!(err.kind(), "timed_out");
         assert_eq!(err.to_string(), "exceeded the 0.1s deadline");
+    }
+
+    /// The directed regression test for timed-out attempts leaking their
+    /// runner threads: after N timeouts, every runner must heal back into
+    /// the pool, and a burst of fast jobs must reuse those runners without
+    /// spawning new ones.
+    #[test]
+    fn timeouts_leave_pool_capacity_intact() {
+        let pool = AttemptPool::new();
+        let n = 4usize;
+        for _ in 0..n {
+            let out: Option<()> = pool.run_with_deadline(
+                || std::thread::sleep(Duration::from_millis(50)),
+                Duration::from_millis(5),
+            );
+            assert!(out.is_none(), "sleeper must time out");
+        }
+        assert!(pool.spawned() <= n, "at most one runner per timed-out attempt");
+        // The stale jobs finish on their own and the runners re-register.
+        let healed_by = Instant::now() + Duration::from_secs(10);
+        while pool.idle_count() < pool.spawned() {
+            assert!(Instant::now() < healed_by, "timed-out runners never returned to the pool");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let spawned_before = pool.spawned();
+        // Fast jobs now reuse the healed runners. Wait for each runner to
+        // check back in before the next checkout so reuse is deterministic
+        // (re-registration happens just after the result is sent).
+        for i in 0..2 * n {
+            let out = pool.run_with_deadline(move || i * 3, Duration::from_secs(10));
+            assert_eq!(out, Some(i * 3));
+            let back_by = Instant::now() + Duration::from_secs(10);
+            while pool.idle_count() < pool.spawned() {
+                assert!(Instant::now() < back_by, "runner never checked back in");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(pool.spawned(), spawned_before, "fast jobs must not grow the pool");
+    }
+
+    #[test]
+    fn pool_runs_jobs_without_deadline() {
+        let pool = AttemptPool::new();
+        assert_eq!(pool.run(|| 6 * 7), Some(42));
+        assert_eq!(pool.spawned(), 1);
+    }
+
+    /// A sweep whose every experiment times out must not leave one thread
+    /// per attempt behind: the shared pool's runner count stays bounded by
+    /// the attempts that overlapped, and all runners heal afterwards.
+    #[test]
+    fn sweep_timeouts_share_one_pool() {
+        let experiments: Vec<Experiment> = (0..3)
+            .map(|i| {
+                Experiment::new(format!("sleeper-{i}"), || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    tiny_run()
+                })
+            })
+            .collect();
+        let policy = SweepPolicy::default().with_deadline(Duration::from_millis(5)).with_retries(1);
+        let outcome = run_sweep_with(experiments, 1, policy);
+        assert_eq!(outcome.failed(), 3);
+        for r in &outcome.results {
+            assert_eq!(r.error().expect("must time out").kind(), "timed_out");
+            assert_eq!(r.attempts, 2);
+        }
     }
 
     #[test]

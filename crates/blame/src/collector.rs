@@ -247,6 +247,82 @@ impl BlameCollector {
         }
         Ok(())
     }
+
+    /// Serialize the full collector state (tables and ledger sorted so the
+    /// encoding is canonical).
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{ToJson, Value};
+        let mut pcs: Vec<(u32, &PcStats)> = self.pcs.iter().map(|(&pc, s)| (pc, s)).collect();
+        pcs.sort_by_key(|(pc, _)| *pc);
+        let pcs: Vec<Value> = pcs
+            .into_iter()
+            .map(|(pc, s)| {
+                Value::Array(vec![
+                    Value::U64(u64::from(pc)),
+                    s.kinds.to_json(),
+                    s.services.to_json(),
+                ])
+            })
+            .collect();
+        let mut ledger: Vec<(RequestId, &Vec<(u32, u64)>)> =
+            self.ledger.iter().map(|(&r, c)| (r, c)).collect();
+        ledger.sort_by_key(|(r, _)| *r);
+        let ledger: Vec<Value> = ledger
+            .into_iter()
+            .map(|(req, charges)| Value::Array(vec![req.to_json(), charges.to_json()]))
+            .collect();
+        gsi_json::obj! {
+            "enabled" => self.enabled,
+            "pcs" => Value::Array(pcs),
+            "observed" => self.observed.to_json(),
+            "unattributed" => self.unattributed.to_json(),
+            "ledger" => Value::Array(ledger),
+            "uncharged_mem_data" => self.uncharged_mem_data,
+            "unresolved" => self.unresolved
+        }
+    }
+
+    /// Restore onto a fresh collector.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        self.enabled = v.read("enabled")?;
+        self.observed = v.read("observed")?;
+        self.unattributed = v.read("unattributed")?;
+        self.uncharged_mem_data = v.read("uncharged_mem_data")?;
+        self.unresolved = v.read("unresolved")?;
+        self.pcs.clear();
+        let pcs = match v.req("pcs")? {
+            Value::Array(pcs) => pcs,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for entry in pcs {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 3 => f,
+                other => return Err(JsonError::expected("[pc, kinds, services]", other)),
+            };
+            let pc = u32::from_json(&fields[0])?;
+            self.pcs.insert(
+                pc,
+                PcStats {
+                    kinds: <[u64; 8]>::from_json(&fields[1])?,
+                    services: <[u64; 5]>::from_json(&fields[2])?,
+                },
+            );
+        }
+        self.ledger.clear();
+        let ledger = match v.req("ledger")? {
+            Value::Array(ledger) => ledger,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for entry in ledger {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[request, charges]", other)),
+            };
+            self.ledger.insert(RequestId::from_json(&fields[0])?, Vec::from_json(&fields[1])?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

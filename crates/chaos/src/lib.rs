@@ -239,6 +239,32 @@ impl Default for FaultPlan {
     }
 }
 
+impl gsi_json::ToJson for FaultPlan {
+    fn to_json(&self) -> gsi_json::Value {
+        FaultPlan::to_json(self)
+    }
+}
+
+impl gsi_json::FromJson for FaultPlan {
+    /// Inverse of [`FaultPlan::to_json`]: kinds absent from the object are
+    /// unarmed (the writer omits them).
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        let mut plan = FaultPlan::disabled().with_seed(v.read("seed")?);
+        for kind in FaultKind::ALL {
+            if let Some(p) = v.get(kind.name()) {
+                plan = plan.with(
+                    kind,
+                    FaultParams {
+                        per_mille: p.read("per_mille")?,
+                        max_extra: p.read("max_extra")?,
+                    },
+                );
+            }
+        }
+        Ok(plan)
+    }
+}
+
 /// Per-kind counts of injected faults (indexed by [`FaultKind::ALL`] order).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaosStats {
@@ -355,6 +381,38 @@ impl ChaosEngine {
             return 0;
         }
         1 + splitmix64(&mut self.state) % params.max_extra
+    }
+
+    /// Serialize the engine's mutable state — the splitmix64 stream
+    /// position and the per-kind injection counters — for a simulator
+    /// snapshot. The plan itself is not included: the owner re-derives the
+    /// engine via [`ChaosEngine::for_component`] from its recorded
+    /// [`FaultPlan`] and then applies this state on top, so a restored run
+    /// continues the exact fault sequence the snapshotted run would have.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::ToJson;
+        gsi_json::Value::Object(vec![
+            ("enabled".to_string(), self.enabled.to_json()),
+            ("state".to_string(), self.state.to_json()),
+            ("injected".to_string(), self.stats.injected.to_json()),
+        ])
+    }
+
+    /// Restore state captured by [`ChaosEngine::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`gsi_json::JsonError`] on a malformed snapshot or when
+    /// the snapshot's enabled flag disagrees with this engine's (the owner
+    /// derived it from a different plan than the snapshotted one).
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        let enabled: bool = v.read("enabled")?;
+        if enabled != self.enabled {
+            return Err(gsi_json::JsonError::new("chaos snapshot does not match the armed plan"));
+        }
+        self.state = v.read("state")?;
+        self.stats.injected = v.read("injected")?;
+        Ok(())
     }
 
     /// Extra delivery delay for a mesh message, or 0.
@@ -518,6 +576,41 @@ mod tests {
         total.merge(a.stats());
         total.merge(b.stats());
         assert_eq!(total.total(), a.stats().total() + b.stats().total());
+    }
+
+    #[test]
+    fn engine_snapshot_resumes_the_stream() {
+        let plan = FaultPlan::all(0xABCD);
+        let mut live = ChaosEngine::for_component(&plan, 2);
+        for _ in 0..137 {
+            live.mesh_extra_delay();
+        }
+        let snap = live.snapshot();
+        let mut resumed = ChaosEngine::for_component(&plan, 2);
+        resumed.restore(&snap).expect("restore");
+        assert_eq!(resumed.stats(), live.stats());
+        for _ in 0..500 {
+            assert_eq!(resumed.mesh_extra_delay(), live.mesh_extra_delay());
+            assert_eq!(resumed.stall_mshr(), live.stall_mshr());
+        }
+        // Restoring onto an engine derived from a different plan is an
+        // error, not silent divergence.
+        let mut wrong = ChaosEngine::disabled();
+        assert!(wrong.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        use gsi_json::{FromJson, ToJson};
+        for plan in [
+            FaultPlan::disabled(),
+            FaultPlan::all(7),
+            FaultPlan::single(FaultKind::DmaDrop, 99)
+                .with(FaultKind::MeshDelay, FaultParams { per_mille: 3, max_extra: 2 }),
+        ] {
+            let v = ToJson::to_json(&plan);
+            assert_eq!(FaultPlan::from_json(&v).expect("parse"), plan);
+        }
     }
 
     #[test]

@@ -349,6 +349,39 @@ impl StallCollector {
     pub fn take_epochs(&mut self) -> Vec<StallBreakdown> {
         std::mem::take(&mut self.epochs)
     }
+
+    /// Serialize the full collector state, including in-flight ledger
+    /// charges and the epoch series.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::ToJson;
+        gsi_json::obj! {
+            "breakdown" => self.breakdown.to_json(),
+            "ledger" => self.ledger.snapshot(),
+            "enabled" => self.enabled,
+            "unresolved" => self.unresolved,
+            "observed_cycles" => self.observed_cycles,
+            "uncharged_mem_data" => self.uncharged_mem_data,
+            "uncaused_mem_struct" => self.uncaused_mem_struct,
+            "epoch_len" => self.epoch_len,
+            "epoch_cursor" => self.epoch_cursor,
+            "epochs" => self.epochs.to_json()
+        }
+    }
+
+    /// Restore onto a fresh collector.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        self.breakdown = v.read("breakdown")?;
+        self.ledger.restore(v.req("ledger")?)?;
+        self.enabled = v.read("enabled")?;
+        self.unresolved = v.read("unresolved")?;
+        self.observed_cycles = v.read("observed_cycles")?;
+        self.uncharged_mem_data = v.read("uncharged_mem_data")?;
+        self.uncaused_mem_struct = v.read("uncaused_mem_struct")?;
+        self.epoch_len = v.read("epoch_len")?;
+        self.epoch_cursor = v.read("epoch_cursor")?;
+        self.epochs = v.read("epochs")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

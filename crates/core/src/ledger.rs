@@ -80,6 +80,37 @@ impl AttributionLedger {
         self.pending.clear();
         total
     }
+
+    /// Serialize outstanding charges as sorted `[request, cycles]` pairs.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{ToJson, Value};
+        let mut pairs: Vec<(RequestId, u64)> = self.pending.iter().map(|(&r, &n)| (r, n)).collect();
+        pairs.sort();
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(r, n)| Value::Array(vec![r.to_json(), Value::U64(n)]))
+                .collect(),
+        )
+    }
+
+    /// Restore onto a fresh ledger.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let pairs = match v {
+            Value::Array(pairs) => pairs,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        self.pending.clear();
+        for pair in pairs {
+            let fields = match pair {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[request, cycles]", other)),
+            };
+            self.pending.insert(RequestId::from_json(&fields[0])?, u64::from_json(&fields[1])?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

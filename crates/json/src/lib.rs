@@ -96,6 +96,26 @@ impl Value {
         }
     }
 
+    /// Look up a required field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field [`JsonError`] when the key is absent (or
+    /// `self` is not an object).
+    pub fn req(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::missing(key))
+    }
+
+    /// Parse a required field of an object into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key is absent or the field fails to
+    /// convert.
+    pub fn read<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        T::from_json(self.req(key)?)
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -169,14 +189,23 @@ impl Value {
         }
     }
 
+    /// Maximum container nesting depth [`Value::parse`] accepts.
+    ///
+    /// The parser is recursive-descent, so every `[`/`{` level consumes
+    /// native stack; untrusted input like `[[[[…]]]]` could otherwise
+    /// overflow the stack and abort the process. 128 levels is far deeper
+    /// than any document the simulator produces (snapshots nest ~6 deep).
+    pub const MAX_DEPTH: usize = 128;
+
     /// Parse a JSON document from text.
     ///
     /// # Errors
     ///
     /// Returns a [`JsonError`] describing the first syntax error, including
-    /// trailing garbage after the document.
+    /// trailing garbage after the document, or a document nesting containers
+    /// deeper than [`Value::MAX_DEPTH`].
     pub fn parse(text: &str) -> Result<Value, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -265,6 +294,11 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
+/// Write `x` as JSON. Non-finite values (NaN, ±inf) have no JSON
+/// representation and serialize as `null` — the same policy as serde_json —
+/// so serialized output always re-parses (as [`Value::Null`], not the
+/// original float). Code that must preserve non-finite values has to encode
+/// them out-of-band before serializing.
 fn write_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         let s = format!("{x}");
@@ -301,9 +335,24 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level, capped at [`Value::MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
+    /// Enter one container level, failing once the recursion would exceed
+    /// the depth cap (each level is a stack frame of `object`/`array`).
+    fn descend(&mut self) -> Result<(), JsonError> {
+        if self.depth >= Value::MAX_DEPTH {
+            return Err(JsonError::new(format!(
+                "nesting deeper than {} levels at byte {}",
+                Value::MAX_DEPTH,
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        Ok(())
+    }
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -353,11 +402,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
         self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -373,6 +424,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => {
@@ -386,11 +438,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -401,6 +455,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => {
@@ -575,6 +630,20 @@ impl ToJson for f64 {
 impl FromJson for f64 {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         v.as_f64().ok_or_else(|| JsonError::expected("number", v))
+    }
+}
+
+impl ToJson for () {
+    fn to_json(&self) -> Value {
+        Value::Null
+    }
+}
+impl FromJson for () {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(JsonError::expected("null", other)),
+        }
     }
 }
 
@@ -831,6 +900,45 @@ mod tests {
     fn float_writer_keeps_fraction_marker() {
         assert_eq!(Value::F64(1.0).to_string(), "1.0");
         assert_eq!(Value::parse("1.0").unwrap(), Value::F64(1.0));
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // Exactly at the cap parses fine…
+        let deep_ok = "[".repeat(Value::MAX_DEPTH) + &"]".repeat(Value::MAX_DEPTH);
+        assert!(Value::parse(&deep_ok).is_ok());
+        // …one level beyond returns an error instead of overflowing the
+        // stack (the original bug: `[[[[…]]]]` from a socket killed the
+        // process).
+        let deep_bad = "[".repeat(Value::MAX_DEPTH + 1) + &"]".repeat(Value::MAX_DEPTH + 1);
+        let err = Value::parse(&deep_bad).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Same cap for objects, and far deeper input stays an Err.
+        let obj_bad = "{\"k\":".repeat(10_000) + "null" + &"}".repeat(10_000);
+        assert!(Value::parse(&obj_bad).is_err());
+        // Depth counts nesting, not total containers: wide documents with
+        // many sibling arrays are unaffected.
+        let wide = format!("[{}]", vec!["[]"; 1000].join(","));
+        assert!(Value::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // Pinned policy: NaN/±inf have no JSON form and must serialize as
+        // `null` (valid JSON), never as `NaN`/`inf` (invalid JSON). The
+        // round trip is lossy by design: it comes back as `Null`.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Value::F64(x).to_string();
+            assert_eq!(text, "null");
+            assert_eq!(Value::parse(&text).unwrap(), Value::Null);
+            // Inside containers too, compact and pretty.
+            let v = Value::Array(vec![Value::F64(x), Value::U64(1)]);
+            assert_eq!(v.to_string(), "[null,1]");
+            assert_eq!(Value::parse(&v.to_string_pretty()).unwrap().as_array().unwrap().len(), 2);
+        }
+        // Finite floats still round-trip exactly.
+        let v = Value::F64(2.5);
+        assert_eq!(Value::parse(&v.to_string()).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Adversarial property suite for gsi-json, driven by a splitmix64 PRNG.
+//!
+//! The serving layer feeds this parser untrusted socket bytes and keys its
+//! content-addressed result cache on the canonical (compact) encoding, so
+//! three properties are load-bearing:
+//!
+//! 1. every randomly generated value survives `parse ∘ print` unchanged,
+//! 2. malformed byte strings never panic the parser — they only `Err`,
+//! 3. the canonical encoding is stable: equal values print to equal bytes,
+//!    and re-parsing the canonical form re-prints the same bytes.
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi_json::Value;
+
+/// The splitmix64 generator — the same stream function the simulator's
+/// chaos engine uses, so failures reproduce from a printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random finite f64: random bit patterns, rejecting NaN/inf (non-finite
+/// serializes as `null` by documented policy, so it cannot round-trip).
+fn finite_f64(rng: &mut Rng) -> f64 {
+    loop {
+        let x = f64::from_bits(rng.next());
+        if x.is_finite() {
+            return x;
+        }
+    }
+}
+
+/// A random string mixing plain ASCII, escapes, control characters, and
+/// astral-plane code points (surrogate-pair escapes on the wire).
+fn random_string(rng: &mut Rng) -> String {
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| match rng.below(6) {
+            0 => char::from(b'a' + (rng.below(26) as u8)),
+            1 => ['"', '\\', '/', '\n', '\r', '\t'][rng.below(6) as usize],
+            2 => char::from_u32(rng.below(0x20) as u32).unwrap(),
+            3 => '\u{263a}',
+            4 => '\u{1f600}',
+            _ => char::from(b' ' + (rng.below(95) as u8)),
+        })
+        .collect()
+}
+
+/// A random JSON value of bounded depth. Negative integers generate as
+/// `I64` and non-negative as `U64`, matching the parser's classification so
+/// the round trip compares equal structurally, not just numerically.
+fn random_value(rng: &mut Rng, depth: usize) -> Value {
+    let scalar = depth == 0 || rng.below(3) == 0;
+    if scalar {
+        match rng.below(6) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.below(2) == 0),
+            2 => Value::U64(rng.next()),
+            3 => Value::I64(-((rng.below(1 << 62) as i64) + 1)),
+            4 => Value::F64(finite_f64(rng)),
+            _ => Value::Str(random_string(rng)),
+        }
+    } else if rng.below(2) == 0 {
+        let n = rng.below(5) as usize;
+        Value::Array((0..n).map(|_| random_value(rng, depth - 1)).collect())
+    } else {
+        let n = rng.below(5) as usize;
+        Value::Object(
+            (0..n)
+                .map(|i| (format!("k{i}_{}", random_string(rng)), random_value(rng, depth - 1)))
+                .collect(),
+        )
+    }
+}
+
+#[test]
+fn random_values_round_trip_compact_and_pretty() {
+    let mut rng = Rng(0x5EED_0001);
+    for case in 0..2000 {
+        let v = random_value(&mut rng, 5);
+        let compact = v.to_string();
+        let back = Value::parse(&compact).unwrap_or_else(|e| panic!("case {case}: {e}\n{compact}"));
+        assert_eq!(back, v, "case {case} compact round trip\n{compact}");
+        let pretty = v.to_string_pretty();
+        let back = Value::parse(&pretty).unwrap_or_else(|e| panic!("case {case}: {e}\n{pretty}"));
+        assert_eq!(back, v, "case {case} pretty round trip");
+    }
+}
+
+#[test]
+fn canonical_encoding_is_stable() {
+    // Cache keys are the compact encoding: printing must be a pure function
+    // of the value (same value → same bytes, across clones and across a
+    // parse round trip of the canonical form).
+    let mut rng = Rng(0x5EED_0002);
+    for case in 0..1000 {
+        let v = random_value(&mut rng, 4);
+        let canonical = v.to_string();
+        assert_eq!(v.to_string(), canonical, "case {case}: print is not pure");
+        assert_eq!(v.clone().to_string(), canonical, "case {case}: clone changes encoding");
+        let reparsed = Value::parse(&canonical).unwrap();
+        assert_eq!(reparsed.to_string(), canonical, "case {case}: canonical form not a fixpoint");
+    }
+}
+
+#[test]
+fn malformed_bytes_never_panic_only_err() {
+    let mut rng = Rng(0x5EED_0003);
+    // Purely random byte soup (lossy-decoded — the parser takes &str).
+    for _ in 0..2000 {
+        let len = rng.below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Value::parse(&text); // must return, never panic/abort
+    }
+    // Structure-shaped soup: random draws from JSON's alphabet, which hits
+    // the container/keyword/number paths far more often.
+    let alphabet = b"{}[]\",:.0123456789-+eEtruefalsnx \\u";
+    for _ in 0..4000 {
+        let len = rng.below(48) as usize;
+        let bytes: Vec<u8> =
+            (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Value::parse(&text);
+    }
+    // Mutations of valid documents: flip one byte of a well-formed
+    // encoding; the result must parse or fail cleanly, never panic.
+    for case in 0..1000 {
+        let v = random_value(&mut rng, 3);
+        let mut bytes = v.to_string().into_bytes();
+        if bytes.is_empty() {
+            continue;
+        }
+        let i = rng.below(bytes.len() as u64) as usize;
+        bytes[i] = rng.next() as u8;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(parsed) = Value::parse(&text) {
+            // If the mutation stayed valid, canonicalization must still be
+            // idempotent. (Exact value equality can be lost legitimately: a
+            // mutated exponent like `1e999` parses to f64 infinity, which
+            // serializes as `null` by documented policy.)
+            let canon = parsed.to_string();
+            let reparsed = Value::parse(&canon).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert_eq!(reparsed.to_string(), canon, "case {case}: canonical form not a fixpoint");
+        }
+    }
+    // Truncations of valid documents at every prefix length.
+    let v = random_value(&mut rng, 4);
+    let text = v.to_string();
+    for end in 0..text.len() {
+        if text.is_char_boundary(end) {
+            let _ = Value::parse(&text[..end]);
+        }
+    }
+}

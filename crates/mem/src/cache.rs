@@ -131,6 +131,73 @@ impl<S> TagArray<S> {
     }
 }
 
+impl<S: gsi_json::ToJson> TagArray<S> {
+    /// Serialize resident lines, per-way order and LRU stamps included, so a
+    /// restored array evicts in exactly the same order.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{obj, ToJson, Value};
+        let sets: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|set| {
+                Value::Array(
+                    set.iter()
+                        .map(|e| {
+                            Value::Array(vec![
+                                e.line.to_json(),
+                                Value::U64(e.lru),
+                                e.state.to_json(),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        obj! { "stamp" => self.stamp, "sets" => Value::Array(sets) }
+    }
+}
+
+impl<S: gsi_json::FromJson> TagArray<S> {
+    /// Restore onto a freshly constructed array of the same geometry.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let stamp: u64 = v.read("stamp")?;
+        let sets = match v.req("sets")? {
+            Value::Array(sets) => sets,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        if sets.len() != self.sets {
+            return Err(JsonError::new("tag-array snapshot has a different geometry"));
+        }
+        let mut entries: Vec<Vec<Entry<S>>> = Vec::with_capacity(self.sets);
+        for set in sets {
+            let ways = match set {
+                Value::Array(ways) => ways,
+                other => return Err(JsonError::expected("array", other)),
+            };
+            if ways.len() > self.ways {
+                return Err(JsonError::new("tag-array snapshot has a different geometry"));
+            }
+            let mut parsed = Vec::with_capacity(ways.len());
+            for way in ways {
+                let fields = match way {
+                    Value::Array(f) if f.len() == 3 => f,
+                    other => return Err(JsonError::expected("[line, lru, state]", other)),
+                };
+                parsed.push(Entry {
+                    line: LineAddr::from_json(&fields[0])?,
+                    lru: u64::from_json(&fields[1])?,
+                    state: S::from_json(&fields[2])?,
+                });
+            }
+            entries.push(parsed);
+        }
+        self.entries = entries;
+        self.stamp = stamp;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]

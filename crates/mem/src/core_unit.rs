@@ -101,6 +101,50 @@ pub enum Completion {
     },
 }
 
+impl gsi_json::ToJson for Completion {
+    fn to_json(&self) -> gsi_json::Value {
+        use gsi_json::obj;
+        match *self {
+            Completion::Load { req, warp, reg, provenance } => obj! {
+                "t" => "Load", "req" => req, "warp" => warp, "reg" => reg,
+                "provenance" => provenance
+            },
+            Completion::Atomic { req, warp, reg, value, acquire, release, write_dst } => obj! {
+                "t" => "Atomic", "req" => req, "warp" => warp, "reg" => reg, "value" => value,
+                "acquire" => acquire, "release" => release, "write_dst" => write_dst
+            },
+        }
+    }
+}
+
+impl gsi_json::FromJson for Completion {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        let tag: String = v.read("t")?;
+        Ok(match tag.as_str() {
+            "Load" => Completion::Load {
+                req: v.read("req")?,
+                warp: v.read("warp")?,
+                reg: v.read("reg")?,
+                provenance: v.read("provenance")?,
+            },
+            "Atomic" => Completion::Atomic {
+                req: v.read("req")?,
+                warp: v.read("warp")?,
+                reg: v.read("reg")?,
+                value: v.read("value")?,
+                acquire: v.read("acquire")?,
+                release: v.read("release")?,
+                write_dst: v.read("write_dst")?,
+            },
+            other => {
+                return Err(gsi_json::JsonError::new(format!(
+                    "unknown Completion variant `{other}`"
+                )))
+            }
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum TargetKind {
     /// A register load through the L1.
@@ -111,11 +155,50 @@ enum TargetKind {
     Dma,
 }
 
+impl gsi_json::ToJson for TargetKind {
+    fn to_json(&self) -> gsi_json::Value {
+        use gsi_json::obj;
+        match *self {
+            TargetKind::Load { warp, reg, req } => {
+                obj! { "t" => "Load", "warp" => warp, "reg" => reg, "req" => req }
+            }
+            TargetKind::Stash { warp, reg, req } => {
+                obj! { "t" => "Stash", "warp" => warp, "reg" => reg, "req" => req }
+            }
+            TargetKind::Dma => obj! { "t" => "Dma" },
+        }
+    }
+}
+
+impl gsi_json::FromJson for TargetKind {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        let tag: String = v.read("t")?;
+        Ok(match tag.as_str() {
+            "Load" => {
+                TargetKind::Load { warp: v.read("warp")?, reg: v.read("reg")?, req: v.read("req")? }
+            }
+            "Stash" => TargetKind::Stash {
+                warp: v.read("warp")?,
+                reg: v.read("reg")?,
+                req: v.read("req")?,
+            },
+            "Dma" => TargetKind::Dma,
+            other => {
+                return Err(gsi_json::JsonError::new(format!(
+                    "unknown TargetKind variant `{other}`"
+                )))
+            }
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct MshrTarget {
     kind: TargetKind,
     primary: bool,
 }
+
+gsi_json::json_struct!(MshrTarget { kind, primary });
 
 #[derive(Debug, Clone, Copy)]
 struct AtomCtx {
@@ -126,6 +209,8 @@ struct AtomCtx {
     release: bool,
     write_dst: bool,
 }
+
+gsi_json::json_struct!(AtomCtx { warp, reg, addr, acquire, release, write_dst });
 
 /// Statistics for one core's memory unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -1499,6 +1584,178 @@ impl CoreMemUnit {
     /// caller-provided buffer, preserving the internal queue's capacity.
     pub fn drain_completions(&mut self, out: &mut Vec<Completion>) {
         out.append(&mut self.completions);
+    }
+
+    /// Serialize every piece of mutable unit state. Maps and sets are
+    /// sorted by key, and heaps by their ordering keys, so equal states
+    /// produce byte-identical snapshots. The per-access scratch plans are
+    /// excluded (they are rebuilt from scratch on every LSU attempt).
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{obj, ToJson, Value};
+        fn sorted_pairs<K: Ord + Copy + std::hash::Hash + ToJson, V: ToJson>(
+            map: &FastMap<K, V>,
+        ) -> Value {
+            let mut keys: Vec<K> = map.keys().copied().collect();
+            keys.sort();
+            Value::Array(
+                keys.into_iter()
+                    .map(|k| Value::Array(vec![k.to_json(), map[&k].to_json()]))
+                    .collect(),
+            )
+        }
+        fn sorted_set(set: &FastSet<LineAddr>) -> Value {
+            let mut lines: Vec<LineAddr> = set.iter().copied().collect();
+            lines.sort();
+            lines.to_json()
+        }
+        let deferred: Vec<Value> = self
+            .deferred_releases
+            .iter()
+            .map(|(wm, msg)| Value::Array(vec![sorted_set(wm), msg.to_json()]))
+            .collect();
+        let mut local_done: Vec<&(u64, u64, Scheduled)> =
+            self.local_done.iter().map(|r| &r.0).collect();
+        local_done.sort_by_key(|(ready, seq, _)| (*ready, *seq));
+        let local_done: Vec<Value> = local_done
+            .into_iter()
+            .map(|(ready, seq, Scheduled(c))| {
+                Value::Array(vec![Value::U64(*ready), Value::U64(*seq), c.to_json()])
+            })
+            .collect();
+        let mut delayed: Vec<&(u64, u64, NodeId, MemMsg)> =
+            self.delayed_out.iter().map(|r| &r.0).collect();
+        delayed.sort_by_key(|(ready, seq, _, _)| (*ready, *seq));
+        let delayed: Vec<Value> = delayed
+            .into_iter()
+            .map(|(ready, seq, to, msg)| {
+                Value::Array(vec![
+                    Value::U64(*ready),
+                    Value::U64(*seq),
+                    to.to_json(),
+                    msg.to_json(),
+                ])
+            })
+            .collect();
+        obj! {
+            "l1" => self.l1.snapshot(),
+            "mshr" => self.mshr.snapshot(),
+            "sb" => self.sb.snapshot(),
+            "endflush" => self.endflush.to_json(),
+            "scratch" => self.scratch.snapshot(),
+            "stash" => self.stash.snapshot(),
+            "dma" => self.dma.snapshot(),
+            "req_counter" => self.req_counter,
+            "lsu_free_at" => self.lsu_free_at,
+            "lsu_busy_cause" => self.lsu_busy_cause,
+            "flushing" => self.flushing,
+            "release_flush" => self.release_flush,
+            "pending_wracks" => sorted_pairs(&self.pending_wracks),
+            "pending_regs" => sorted_pairs(&self.pending_regs),
+            "sfifo_pending" => sorted_set(&self.sfifo_pending),
+            "deferred_releases" => Value::Array(deferred),
+            "outstanding_atomics" => sorted_pairs(&self.outstanding_atomics),
+            "local_done" => Value::Array(local_done),
+            "sched_seq" => self.sched_seq,
+            "completions" => self.completions.to_json(),
+            "outbox" => self.outbox.to_json(),
+            "delayed_out" => Value::Array(delayed),
+            "stats" => self.stats.to_json(),
+            "chaos" => self.chaos.snapshot()
+        }
+    }
+
+    /// Restore onto a freshly constructed unit of the same configuration
+    /// (and chaos engine, when armed).
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        fn read_pairs<K: std::hash::Hash + Eq + FromJson, V: FromJson>(
+            v: &Value,
+            key: &str,
+        ) -> Result<FastMap<K, V>, JsonError> {
+            let pairs = match v.req(key)? {
+                Value::Array(pairs) => pairs,
+                other => return Err(JsonError::expected("array", other)),
+            };
+            let mut map = FastMap::default();
+            for pair in pairs {
+                let fields = match pair {
+                    Value::Array(f) if f.len() == 2 => f,
+                    other => return Err(JsonError::expected("[key, value]", other)),
+                };
+                map.insert(K::from_json(&fields[0])?, V::from_json(&fields[1])?);
+            }
+            Ok(map)
+        }
+        self.l1.restore(v.req("l1")?)?;
+        self.mshr.restore(v.req("mshr")?)?;
+        self.sb.restore(v.req("sb")?)?;
+        self.endflush = v.read("endflush")?;
+        self.scratch.restore(v.req("scratch")?)?;
+        self.stash.restore(v.req("stash")?)?;
+        self.dma.restore(v.req("dma")?)?;
+        self.req_counter = v.read("req_counter")?;
+        self.lsu_free_at = v.read("lsu_free_at")?;
+        self.lsu_busy_cause = v.read("lsu_busy_cause")?;
+        self.flushing = v.read("flushing")?;
+        self.release_flush = v.read("release_flush")?;
+        self.pending_wracks = read_pairs(v, "pending_wracks")?;
+        self.pending_regs = read_pairs(v, "pending_regs")?;
+        self.sfifo_pending = v.read::<Vec<LineAddr>>("sfifo_pending")?.into_iter().collect();
+        self.deferred_releases.clear();
+        let deferred = match v.req("deferred_releases")? {
+            Value::Array(deferred) => deferred,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for entry in deferred {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[watermark, msg]", other)),
+            };
+            let wm: FastSet<LineAddr> =
+                Vec::<LineAddr>::from_json(&fields[0])?.into_iter().collect();
+            self.deferred_releases.push((wm, MemMsg::from_json(&fields[1])?));
+        }
+        self.outstanding_atomics = read_pairs(v, "outstanding_atomics")?;
+        self.local_done.clear();
+        let local_done = match v.req("local_done")? {
+            Value::Array(local_done) => local_done,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for entry in local_done {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 3 => f,
+                other => return Err(JsonError::expected("[ready, seq, completion]", other)),
+            };
+            self.local_done.push(Reverse((
+                u64::from_json(&fields[0])?,
+                u64::from_json(&fields[1])?,
+                Scheduled(Completion::from_json(&fields[2])?),
+            )));
+        }
+        self.sched_seq = v.read("sched_seq")?;
+        self.completions = v.read("completions")?;
+        self.outbox = v.read("outbox")?;
+        self.delayed_out.clear();
+        let delayed = match v.req("delayed_out")? {
+            Value::Array(delayed) => delayed,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for entry in delayed {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 4 => f,
+                other => return Err(JsonError::expected("[ready, seq, to, msg]", other)),
+            };
+            self.delayed_out.push(Reverse((
+                u64::from_json(&fields[0])?,
+                u64::from_json(&fields[1])?,
+                NodeId::from_json(&fields[2])?,
+                MemMsg::from_json(&fields[3])?,
+            )));
+        }
+        self.stats = v.read("stats")?;
+        self.line_plan.clear();
+        self.store_plan.clear();
+        self.chaos.restore(v.req("chaos")?)
     }
 }
 

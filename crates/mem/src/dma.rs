@@ -18,6 +18,8 @@ pub enum DmaDirection {
     ToGlobal,
 }
 
+gsi_json::json_unit_enum!(DmaDirection { ToScratchpad, ToGlobal });
+
 /// One in-flight bulk transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaTransfer {
@@ -80,6 +82,32 @@ impl DmaTransfer {
     /// True when the transfer covers the scratchpad byte at `local`.
     pub fn covers_local(&self, local: u64) -> bool {
         local >= self.local && local < self.local + self.bytes
+    }
+}
+
+impl gsi_json::ToJson for DmaTransfer {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::obj! {
+            "local" => self.local,
+            "global" => self.global,
+            "bytes" => self.bytes,
+            "dir" => self.dir,
+            "issued_lines" => self.issued_lines,
+            "arrived_lines" => self.arrived_lines
+        }
+    }
+}
+
+impl gsi_json::FromJson for DmaTransfer {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        Ok(DmaTransfer {
+            local: v.read("local")?,
+            global: v.read("global")?,
+            bytes: v.read("bytes")?,
+            dir: v.read("dir")?,
+            issued_lines: v.read("issued_lines")?,
+            arrived_lines: v.read("arrived_lines")?,
+        })
     }
 }
 
@@ -173,6 +201,24 @@ impl DmaEngine {
     /// True when no transfers are queued.
     pub fn is_empty(&self) -> bool {
         self.transfers.is_empty()
+    }
+
+    /// Serialize queued transfers (in order) and lifetime counters.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::ToJson;
+        gsi_json::obj! {
+            "transfers" => self.transfers.to_json(),
+            "started" => self.started,
+            "lines_issued" => self.lines_issued
+        }
+    }
+
+    /// Restore onto a fresh engine.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        self.transfers = v.read("transfers")?;
+        self.started = v.read("started")?;
+        self.lines_issued = v.read("lines_issued")?;
+        Ok(())
     }
 }
 

@@ -89,6 +89,55 @@ impl<T: Eq> DramModel<T> {
     }
 }
 
+impl<T: Eq + gsi_json::ToJson> DramModel<T> {
+    /// Serialize channel availability and in-flight jobs (sorted by
+    /// completion time and sequence, so re-pushing reproduces pop order).
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::Value;
+        let mut jobs: Vec<&(u64, u64, JobWrap<T>)> = self.jobs.iter().map(|r| &r.0).collect();
+        jobs.sort_by_key(|(done, seq, _)| (*done, *seq));
+        let jobs: Vec<Value> = jobs
+            .into_iter()
+            .map(|(done, seq, JobWrap(p))| {
+                Value::Array(vec![Value::U64(*done), Value::U64(*seq), p.to_json()])
+            })
+            .collect();
+        gsi_json::obj! {
+            "next_free" => self.next_free,
+            "seq" => self.seq,
+            "requests" => self.requests,
+            "jobs" => Value::Array(jobs)
+        }
+    }
+}
+
+impl<T: Eq + gsi_json::FromJson> DramModel<T> {
+    /// Restore onto a freshly constructed channel of the same timing.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        self.next_free = v.read("next_free")?;
+        self.seq = v.read("seq")?;
+        self.requests = v.read("requests")?;
+        self.jobs.clear();
+        let jobs = match v.req("jobs")? {
+            Value::Array(jobs) => jobs,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for job in jobs {
+            let fields = match job {
+                Value::Array(f) if f.len() == 3 => f,
+                other => return Err(JsonError::expected("[done, seq, payload]", other)),
+            };
+            self.jobs.push(Reverse((
+                u64::from_json(&fields[0])?,
+                u64::from_json(&fields[1])?,
+                JobWrap(T::from_json(&fields[2])?),
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

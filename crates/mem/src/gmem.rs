@@ -54,6 +54,39 @@ impl GlobalMem {
     pub fn nonzero_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Serialize nonzero words as sorted `[addr, value]` pairs. The
+    /// zero-removing write policy makes this encoding canonical: equal
+    /// memories always produce byte-identical snapshots.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::Value;
+        let mut pairs: Vec<(u64, u64)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        pairs.sort_unstable();
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(a, v)| Value::Array(vec![Value::U64(a), Value::U64(v)]))
+                .collect(),
+        )
+    }
+
+    /// Restore onto a fresh memory.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let pairs = match v {
+            Value::Array(pairs) => pairs,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        self.words.clear();
+        for pair in pairs {
+            let fields = match pair {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[addr, value]", other)),
+            };
+            self.words.insert(u64::from_json(&fields[0])?, u64::from_json(&fields[1])?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

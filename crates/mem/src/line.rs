@@ -25,6 +25,18 @@ impl fmt::Display for LineAddr {
     }
 }
 
+impl gsi_json::ToJson for LineAddr {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::Value::U64(self.0)
+    }
+}
+
+impl gsi_json::FromJson for LineAddr {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        u64::from_json(v).map(LineAddr)
+    }
+}
+
 /// The line containing a byte address.
 #[inline]
 pub fn line_of(addr: u64) -> LineAddr {
@@ -83,6 +95,18 @@ impl WordMask {
         (0..WORDS_PER_LINE as u32)
             .filter(move |i| self.0 & (1 << i) != 0)
             .map(move |i| base + u64::from(i) * 8)
+    }
+}
+
+impl gsi_json::ToJson for WordMask {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::Value::U64(u64::from(self.0))
+    }
+}
+
+impl gsi_json::FromJson for WordMask {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        u8::from_json(v).map(WordMask)
     }
 }
 

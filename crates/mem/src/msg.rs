@@ -148,6 +148,90 @@ pub enum MemMsg {
     },
 }
 
+gsi_json::json_unit_enum!(AtomKind { Cas, Exch, Add, Load, Store });
+
+impl gsi_json::ToJson for MemMsg {
+    /// Tagged-object encoding: `{"t": "<variant>", …fields}`. Used by the
+    /// simulator snapshot to serialize in-flight protocol traffic.
+    fn to_json(&self) -> gsi_json::Value {
+        use gsi_json::obj;
+        match *self {
+            MemMsg::GetLine { line, reply_to, core } => {
+                obj! { "t" => "GetLine", "line" => line, "reply_to" => reply_to, "core" => core }
+            }
+            MemMsg::WriteWords { line, mask, reply_to } => {
+                obj! { "t" => "WriteWords", "line" => line, "mask" => mask, "reply_to" => reply_to }
+            }
+            MemMsg::RegisterOwner { line, reply_to, core } => {
+                obj! { "t" => "RegisterOwner", "line" => line, "reply_to" => reply_to, "core" => core }
+            }
+            MemMsg::OwnerWriteback { line, core } => {
+                obj! { "t" => "OwnerWriteback", "line" => line, "core" => core }
+            }
+            MemMsg::AtomicOp { addr, kind, a, b, req, reply_to, core } => obj! {
+                "t" => "AtomicOp", "addr" => addr, "kind" => kind, "a" => a, "b" => b,
+                "req" => req, "reply_to" => reply_to, "core" => core
+            },
+            MemMsg::Fill { line, provenance } => {
+                obj! { "t" => "Fill", "line" => line, "provenance" => provenance }
+            }
+            MemMsg::WriteAck { line } => obj! { "t" => "WriteAck", "line" => line },
+            MemMsg::RegisterAck { line } => obj! { "t" => "RegisterAck", "line" => line },
+            MemMsg::AtomicResp { req, value } => {
+                obj! { "t" => "AtomicResp", "req" => req, "value" => value }
+            }
+            MemMsg::FwdGet { line, reply_to } => {
+                obj! { "t" => "FwdGet", "line" => line, "reply_to" => reply_to }
+            }
+            MemMsg::Recall { line } => obj! { "t" => "Recall", "line" => line },
+        }
+    }
+}
+
+impl gsi_json::FromJson for MemMsg {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        let tag: String = v.read("t")?;
+        Ok(match tag.as_str() {
+            "GetLine" => MemMsg::GetLine {
+                line: v.read("line")?,
+                reply_to: v.read("reply_to")?,
+                core: v.read("core")?,
+            },
+            "WriteWords" => MemMsg::WriteWords {
+                line: v.read("line")?,
+                mask: v.read("mask")?,
+                reply_to: v.read("reply_to")?,
+            },
+            "RegisterOwner" => MemMsg::RegisterOwner {
+                line: v.read("line")?,
+                reply_to: v.read("reply_to")?,
+                core: v.read("core")?,
+            },
+            "OwnerWriteback" => {
+                MemMsg::OwnerWriteback { line: v.read("line")?, core: v.read("core")? }
+            }
+            "AtomicOp" => MemMsg::AtomicOp {
+                addr: v.read("addr")?,
+                kind: v.read("kind")?,
+                a: v.read("a")?,
+                b: v.read("b")?,
+                req: v.read("req")?,
+                reply_to: v.read("reply_to")?,
+                core: v.read("core")?,
+            },
+            "Fill" => MemMsg::Fill { line: v.read("line")?, provenance: v.read("provenance")? },
+            "WriteAck" => MemMsg::WriteAck { line: v.read("line")? },
+            "RegisterAck" => MemMsg::RegisterAck { line: v.read("line")? },
+            "AtomicResp" => MemMsg::AtomicResp { req: v.read("req")?, value: v.read("value")? },
+            "FwdGet" => MemMsg::FwdGet { line: v.read("line")?, reply_to: v.read("reply_to")? },
+            "Recall" => MemMsg::Recall { line: v.read("line")? },
+            other => {
+                return Err(gsi_json::JsonError::new(format!("unknown MemMsg variant `{other}`")))
+            }
+        })
+    }
+}
+
 impl MemMsg {
     /// Size in bytes on the mesh: 8-byte control header, plus 8 bytes per
     /// data word carried.

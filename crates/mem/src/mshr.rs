@@ -122,6 +122,57 @@ impl<T> Mshr<T> {
     }
 }
 
+impl<T: gsi_json::ToJson> Mshr<T> {
+    /// Serialize in-flight entries (sorted by line for a canonical encoding;
+    /// targets keep allocation order) plus occupancy counters.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{obj, ToJson, Value};
+        let mut lines: Vec<&LineAddr> = self.entries.keys().collect();
+        lines.sort();
+        let entries: Vec<Value> = lines
+            .into_iter()
+            .map(|line| {
+                let targets: Vec<Value> = self.entries[line].iter().map(ToJson::to_json).collect();
+                Value::Array(vec![line.to_json(), Value::Array(targets)])
+            })
+            .collect();
+        obj! {
+            "entries" => Value::Array(entries),
+            "peak" => self.peak as u64,
+            "merges" => self.merges,
+            "allocations" => self.allocations
+        }
+    }
+}
+
+impl<T: gsi_json::FromJson> Mshr<T> {
+    /// Restore onto a freshly constructed file of the same capacity.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let entries = match v.req("entries")? {
+            Value::Array(entries) => entries,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        if entries.len() > self.capacity {
+            return Err(JsonError::new("MSHR snapshot exceeds capacity"));
+        }
+        self.entries.clear();
+        for entry in entries {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[line, targets]", other)),
+            };
+            let line = LineAddr::from_json(&fields[0])?;
+            let targets = Vec::<T>::from_json(&fields[1])?;
+            self.entries.insert(line, targets);
+        }
+        self.peak = v.read::<u64>("peak")? as usize;
+        self.merges = v.read("merges")?;
+        self.allocations = v.read("allocations")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]

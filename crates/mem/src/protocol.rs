@@ -36,6 +36,8 @@ pub enum L1State {
     Owned,
 }
 
+gsi_json::json_unit_enum!(L1State { Valid, Owned });
+
 impl L1State {
     /// Whether acquire self-invalidation removes a line in this state under
     /// the given protocol.

@@ -64,6 +64,44 @@ impl Scratchpad {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// Serialize nonzero words sparsely as sorted `[index, value]` pairs.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::Value;
+        let words: Vec<Value> = self
+            .words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| Value::Array(vec![Value::U64(i as u64), Value::U64(w)]))
+            .collect();
+        gsi_json::obj! { "len" => self.words.len() as u64, "words" => Value::Array(words) }
+    }
+
+    /// Restore onto a fresh scratchpad of the same capacity.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        if v.read::<u64>("len")? as usize != self.words.len() {
+            return Err(JsonError::new("scratchpad snapshot has a different capacity"));
+        }
+        self.words.fill(0);
+        let words = match v.req("words")? {
+            Value::Array(words) => words,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        for pair in words {
+            let fields = match pair {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[index, value]", other)),
+            };
+            let idx = u64::from_json(&fields[0])? as usize;
+            if idx >= self.words.len() {
+                return Err(JsonError::new("scratchpad snapshot index out of range"));
+            }
+            self.words[idx] = u64::from_json(&fields[1])?;
+        }
+        Ok(())
+    }
 }
 
 /// Generic bank-conflict computation: given `(bank, word)` pairs, the extra

@@ -75,6 +75,9 @@ struct DramJob {
     is_write: bool,
 }
 
+gsi_json::json_struct!(RegWaiter { reply_to, core });
+gsi_json::json_struct!(DramJob { bank, line, is_write });
+
 /// The L2 + DRAM complex. One bank per mesh node; lines are interleaved
 /// across banks by line address.
 #[derive(Debug)]
@@ -176,6 +179,111 @@ impl SharedMem {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+
+    /// Serialize every bank's directory, pending-work maps (sorted by line
+    /// for a canonical encoding) and pipeline queue, plus the DRAM channel,
+    /// stats, and chaos stream.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{obj, ToJson, Value};
+        fn sorted_map<V: ToJson>(map: &FastMap<LineAddr, V>) -> Value {
+            let mut lines: Vec<&LineAddr> = map.keys().collect();
+            lines.sort();
+            Value::Array(
+                lines
+                    .into_iter()
+                    .map(|l| Value::Array(vec![l.to_json(), map[l].to_json()]))
+                    .collect(),
+            )
+        }
+        let banks: Vec<Value> = self
+            .banks
+            .iter()
+            .map(|bank| {
+                let mut queue: Vec<&(u64, u64, MemMsg)> = bank.queue.iter().map(|r| &r.0).collect();
+                queue.sort_by_key(|(ready, seq, _)| (*ready, *seq));
+                let queue: Vec<Value> = queue
+                    .into_iter()
+                    .map(|(ready, seq, msg)| {
+                        Value::Array(vec![Value::U64(*ready), Value::U64(*seq), msg.to_json()])
+                    })
+                    .collect();
+                obj! {
+                    "tags" => bank.tags.snapshot(),
+                    "registry" => sorted_map(&bank.registry),
+                    "pending_fetch" => sorted_map(&bank.pending_fetch),
+                    "pending_reg" => sorted_map(&bank.pending_reg),
+                    "pending_atomics" => sorted_map(&bank.pending_atomics),
+                    "queue" => Value::Array(queue),
+                    "next_ready" => bank.next_ready,
+                    "seq" => bank.seq,
+                    "messages" => bank.messages
+                }
+            })
+            .collect();
+        obj! {
+            "banks" => Value::Array(banks),
+            "dram" => self.dram.snapshot(),
+            "stats" => self.stats.to_json(),
+            "chaos" => self.chaos.snapshot()
+        }
+    }
+
+    /// Restore onto a freshly constructed shared memory of the same
+    /// configuration (and chaos engine, when armed).
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        fn read_map<V: FromJson>(v: &Value, key: &str) -> Result<FastMap<LineAddr, V>, JsonError> {
+            let pairs = match v.req(key)? {
+                Value::Array(pairs) => pairs,
+                other => return Err(JsonError::expected("array", other)),
+            };
+            let mut map = FastMap::default();
+            for pair in pairs {
+                let fields = match pair {
+                    Value::Array(f) if f.len() == 2 => f,
+                    other => return Err(JsonError::expected("[line, value]", other)),
+                };
+                map.insert(LineAddr::from_json(&fields[0])?, V::from_json(&fields[1])?);
+            }
+            Ok(map)
+        }
+        let banks = match v.req("banks")? {
+            Value::Array(banks) => banks,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        if banks.len() != self.banks.len() {
+            return Err(JsonError::new("shared-memory snapshot has a different bank count"));
+        }
+        for (bank, bv) in self.banks.iter_mut().zip(banks) {
+            bank.tags.restore(bv.req("tags")?)?;
+            bank.registry = read_map(bv, "registry")?;
+            bank.pending_fetch = read_map(bv, "pending_fetch")?;
+            bank.pending_reg = read_map(bv, "pending_reg")?;
+            bank.pending_atomics = read_map(bv, "pending_atomics")?;
+            bank.queue.clear();
+            let queue = match bv.req("queue")? {
+                Value::Array(queue) => queue,
+                other => return Err(JsonError::expected("array", other)),
+            };
+            for entry in queue {
+                let fields = match entry {
+                    Value::Array(f) if f.len() == 3 => f,
+                    other => return Err(JsonError::expected("[ready, seq, msg]", other)),
+                };
+                bank.queue.push(Reverse((
+                    u64::from_json(&fields[0])?,
+                    u64::from_json(&fields[1])?,
+                    MemMsg::from_json(&fields[2])?,
+                )));
+            }
+            bank.next_ready = bv.read("next_ready")?;
+            bank.seq = bv.read("seq")?;
+            bank.messages = bv.read("messages")?;
+        }
+        self.dram.restore(v.req("dram")?)?;
+        self.stats = v.read("stats")?;
+        self.chaos.restore(v.req("chaos")?)
     }
 
     /// Accept a message delivered by the mesh to an L2 bank node at `now`.

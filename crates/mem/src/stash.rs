@@ -45,6 +45,28 @@ impl StashMapping {
     }
 }
 
+impl gsi_json::ToJson for StashMapping {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::obj! {
+            "local" => self.local,
+            "global" => self.global,
+            "bytes" => self.bytes,
+            "writeback" => self.writeback
+        }
+    }
+}
+
+impl gsi_json::FromJson for StashMapping {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        Ok(StashMapping {
+            local: v.read("local")?,
+            global: v.read("global")?,
+            bytes: v.read("bytes")?,
+            writeback: v.read("writeback")?,
+        })
+    }
+}
+
 /// The stash state for one SM: mappings plus per-word valid/dirty bits.
 #[derive(Debug, Clone, Default)]
 pub struct StashMem {
@@ -193,6 +215,29 @@ impl StashMem {
     /// Count of dirty words (diagnostic).
     pub fn dirty_words(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Serialize mappings (installation order matters for translation) plus
+    /// valid/dirty word sets (sorted for a canonical encoding).
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::ToJson;
+        let mut valid: Vec<u64> = self.valid.iter().copied().collect();
+        valid.sort_unstable();
+        let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        gsi_json::obj! {
+            "mappings" => self.mappings.to_json(),
+            "valid" => valid.to_json(),
+            "dirty" => dirty.to_json()
+        }
+    }
+
+    /// Restore onto a fresh stash.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        self.mappings = v.read("mappings")?;
+        self.valid = v.read::<Vec<u64>>("valid")?.into_iter().collect();
+        self.dirty = v.read::<Vec<u64>>("dirty")?.into_iter().collect();
+        Ok(())
     }
 }
 

@@ -130,6 +130,46 @@ impl StoreBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &(LineAddr, WordMask)> {
         self.entries.iter()
     }
+
+    /// Serialize entries in FIFO order plus occupancy counters.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{obj, ToJson, Value};
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|(line, mask)| Value::Array(vec![line.to_json(), mask.to_json()]))
+            .collect();
+        obj! {
+            "entries" => Value::Array(entries),
+            "peak" => self.peak as u64,
+            "records" => self.records,
+            "combines" => self.combines
+        }
+    }
+
+    /// Restore onto a freshly constructed buffer of the same capacity.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let entries = match v.req("entries")? {
+            Value::Array(entries) => entries,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        if entries.len() > self.capacity {
+            return Err(JsonError::new("store-buffer snapshot exceeds capacity"));
+        }
+        self.entries.clear();
+        for entry in entries {
+            let fields = match entry {
+                Value::Array(f) if f.len() == 2 => f,
+                other => return Err(JsonError::expected("[line, mask]", other)),
+            };
+            self.entries.push((LineAddr::from_json(&fields[0])?, WordMask::from_json(&fields[1])?));
+        }
+        self.peak = v.read::<u64>("peak")? as usize;
+        self.records = v.read("records")?;
+        self.combines = v.read("combines")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

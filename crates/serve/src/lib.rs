@@ -1,0 +1,47 @@
+//! # gsi-serve — the persistent checkpointed simulation service
+//!
+//! A line-JSON request loop over TCP or stdio, turning the simulator into
+//! a long-lived service: clients submit `simulate` / `analyze` / `blame` /
+//! `trace-summary` / `checkpoint` / `resume` requests one JSON object per
+//! line and receive JSONL event frames back (`dispatched`, `running`,
+//! `progress`, then `result` or `error`).
+//!
+//! Three properties make it a *service* rather than a CLI in a loop:
+//!
+//! * **Content-addressed result cache.** Every request is digested (FNV-1a
+//!   64 over its canonical gsi-json encoding); identical requests — same
+//!   workload, scale, protocol, engine, seed, and overrides — are answered
+//!   from the cache (`"cached":true`) without re-simulating. With a cache
+//!   directory, results survive restarts.
+//! * **Checkpoint/resume.** A `checkpoint` request runs a kernel to a
+//!   target cycle and snapshots the *entire* machine — every warp, cache
+//!   line, MSHR, store-buffer entry, in-flight NoC message, DRAM timing
+//!   state, chaos stream, and attribution ledger — as canonical gsi-json.
+//!   A later `resume` rebuilds the machine from the snapshot and finishes
+//!   the run, bit-identical to never having paused (pinned by
+//!   `tests/checkpoint.rs` across all nine workloads, both protocols, and
+//!   both cycle engines).
+//! * **Pooled execution.** Simulations run on the sweep harness's
+//!   self-healing [`AttemptPool`](gsi_bench::sweep::AttemptPool), with the
+//!   connection thread streaming progress frames while the job runs.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! → {"id":1,"op":"simulate","workload":"spmv","scale":"small","protocol":"denovo"}
+//! ← {"id":1,"event":"dispatched","digest":"9c0f..."}
+//! ← {"id":1,"event":"running"}
+//! ← {"id":1,"event":"progress","percent":50}
+//! ← {"id":1,"event":"result","cached":false,"digest":"9c0f...","result":{...}}
+//! ```
+//!
+//! See `DESIGN.md` §14 for the full protocol and checkpoint format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod server;
+
+pub use registry::{prepare, Prepared, Scale, WORKLOADS};
+pub use server::{Op, Request, Server};

@@ -1,0 +1,82 @@
+//! `gsi-serve` — run the simulation service over TCP or stdio.
+//!
+//! ```text
+//! gsi-serve --listen 127.0.0.1:0 [--cache-dir DIR] [--slice CYCLES]
+//! gsi-serve --stdio [--cache-dir DIR]
+//! ```
+//!
+//! In TCP mode the bound address is announced on stdout as
+//! `LISTENING <addr>` (useful with port 0); frames go to the socket. In
+//! stdio mode frames go to stdout. The service exits after a client sends
+//! `{"op":"shutdown"}`.
+
+use gsi_serve::Server;
+use std::io;
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: gsi-serve (--listen ADDR | --stdio) [--cache-dir DIR] [--slice CYCLES]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut slice: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--stdio" => stdio = true,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--slice" => {
+                slice = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    if stdio == listen.is_some() {
+        usage(); // exactly one transport
+    }
+
+    let mut server = Server::new(cache_dir);
+    if let Some(cycles) = slice {
+        server = server.with_slice(cycles);
+    }
+
+    if stdio {
+        let stdin = io::stdin();
+        if let Err(e) = server.handle_connection(stdin.lock(), io::stdout()) {
+            // A consumer that stops reading (`gsi-serve --stdio | head`)
+            // closes the pipe; that is a normal end of session.
+            if e.kind() != io::ErrorKind::BrokenPipe {
+                eprintln!("stdio error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let addr = listen.expect("checked above");
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    match listener.local_addr() {
+        Ok(bound) => println!("LISTENING {bound}"),
+        Err(e) => {
+            eprintln!("local_addr: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The announcement must reach a piping parent before the first accept.
+    use io::Write;
+    let _ = io::stdout().flush();
+    if let Err(e) = server.serve(&listener) {
+        eprintln!("serve error: {e}");
+        std::process::exit(1);
+    }
+}

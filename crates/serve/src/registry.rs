@@ -1,0 +1,294 @@
+//! Workload registry: map a request's `(workload, scale)` names onto a
+//! concrete system configuration, launch spec, and memory initializer.
+//!
+//! Every entry is a *single-kernel* launch — the unit the service can
+//! pause, snapshot, and resume through [`Simulator::run_until`]. Workload
+//! names follow the `gsi-run` CLI; the one semantic difference is `bfs`,
+//! which here means the level-0 frontier kernel (the multi-level driver
+//! loop lives in the workload crate and is not resumable as one unit).
+
+use gsi_mem::Protocol;
+use gsi_sim::{CycleEngine, LaunchSpec, Simulator, SystemConfig};
+use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
+use gsi_workloads::uts::{self, UtsConfig, Variant};
+use gsi_workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
+
+/// Experiment scale: the paper-like sizes or the fast test sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes (sub-second), same qualitative shapes.
+    Small,
+    /// Paper-like sizes (seconds per run).
+    Paper,
+}
+
+impl Scale {
+    /// The wire name of the scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Workload names the service accepts.
+pub const WORKLOADS: &[&str] = &[
+    "uts",
+    "utsd",
+    "implicit-scratchpad",
+    "implicit-dma",
+    "implicit-stash",
+    "spmv",
+    "histogram",
+    "stencil-tiled",
+    "stencil-global",
+    "reduction",
+    "bfs",
+    "gemm-tiled",
+    "gemm-global",
+];
+
+/// A launch ready to run: the system configuration, the kernel launch
+/// spec, and the global-memory initializer that must run before it.
+pub struct Prepared {
+    /// The system configuration the registry chose (overrides applied).
+    pub config: SystemConfig,
+    /// The single-kernel launch.
+    pub spec: LaunchSpec,
+    init: Box<dyn Fn(&mut Simulator)>,
+}
+
+impl Prepared {
+    /// Initialize global memory for the launch.
+    pub fn init_memory(&self, sim: &mut Simulator) {
+        (self.init)(sim)
+    }
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("config", &self.config)
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+fn implicit_style(name: &str) -> Option<LocalMemStyle> {
+    match name {
+        "implicit-scratchpad" => Some(LocalMemStyle::Scratchpad),
+        "implicit-dma" => Some(LocalMemStyle::ScratchpadDma),
+        "implicit-stash" => Some(LocalMemStyle::Stash),
+        _ => None,
+    }
+}
+
+/// Build the launch for a workload at a scale, with the request's knobs
+/// applied on top of the registry defaults (implicit runs on one SM, the
+/// rest on 4 at small scale / 15 at paper scale).
+pub fn prepare(
+    workload: &str,
+    scale: Scale,
+    protocol: Protocol,
+    engine: CycleEngine,
+    sms: Option<usize>,
+    mshr: Option<usize>,
+) -> Result<Prepared, String> {
+    let paper = scale == Scale::Paper;
+    let default_sms = if workload.starts_with("implicit") {
+        1
+    } else if paper {
+        15
+    } else {
+        4
+    };
+    let mut sys = SystemConfig::paper()
+        .with_gpu_cores(sms.unwrap_or(default_sms))
+        .with_protocol(protocol)
+        .with_cycle_engine(engine);
+    if let Some(m) = mshr {
+        if m < gsi_mem::MIN_QUEUE_ENTRIES {
+            return Err(format!(
+                "mshr {m} is below the architectural minimum of {}",
+                gsi_mem::MIN_QUEUE_ENTRIES
+            ));
+        }
+        sys = sys.with_mshr(m);
+    }
+    if let Some(style) = implicit_style(workload) {
+        sys = sys.with_local_mem(style.mem_kind());
+    }
+
+    match workload {
+        "uts" | "utsd" => {
+            let cfg = if paper { UtsConfig::paper() } else { UtsConfig::small() };
+            let variant =
+                if workload == "uts" { Variant::Centralized } else { Variant::Decentralized };
+            let lay = uts::UtsLayout::new(&cfg);
+            let spec = uts::launch_spec(&cfg, lay, variant);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| uts::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        w if w.starts_with("implicit") => {
+            let style = implicit_style(w).expect("matched above");
+            let cfg =
+                if paper { ImplicitConfig::paper(style) } else { ImplicitConfig::small(style) };
+            let spec = implicit::launch_spec(&cfg);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| implicit::init_memory(sim, &cfg)),
+            })
+        }
+        "spmv" => {
+            let cfg = if paper { spmv::SpmvConfig::medium() } else { spmv::SpmvConfig::small() };
+            let lay = spmv::SpmvLayout::new(&cfg);
+            let spec = spmv::launch_spec(&cfg, lay);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| spmv::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        "histogram" => {
+            let cfg = if paper {
+                histogram::HistogramConfig::contended()
+            } else {
+                histogram::HistogramConfig::small()
+            };
+            let lay = histogram::HistogramLayout::new(&cfg);
+            let spec = histogram::launch_spec(&cfg, lay);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| histogram::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        "stencil-tiled" | "stencil-global" => {
+            let variant = if workload.ends_with("tiled") {
+                stencil::StencilVariant::Tiled
+            } else {
+                stencil::StencilVariant::Global
+            };
+            let cfg = if paper {
+                stencil::StencilConfig::medium(variant)
+            } else {
+                stencil::StencilConfig::small(variant)
+            };
+            let lay = stencil::StencilLayout::new(&cfg);
+            let spec = stencil::launch_spec(&cfg, lay);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| stencil::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        "reduction" => {
+            let cfg = if paper {
+                reduction::ReductionConfig::medium()
+            } else {
+                reduction::ReductionConfig::small()
+            };
+            let lay = reduction::ReductionLayout::new(&cfg);
+            let spec = reduction::launch_spec(&cfg, lay);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| reduction::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        "bfs" => {
+            let cfg = if paper { bfs::BfsConfig::medium() } else { bfs::BfsConfig::small() };
+            let lay = bfs::BfsLayout::new(&cfg);
+            let spec = bfs::launch_spec(&cfg, &lay, 0);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| bfs::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        "gemm-tiled" | "gemm-global" => {
+            let variant = if workload.ends_with("tiled") {
+                gemm::GemmVariant::Tiled
+            } else {
+                gemm::GemmVariant::Global
+            };
+            let cfg = if paper {
+                gemm::GemmConfig::medium(variant)
+            } else {
+                gemm::GemmConfig::small(variant)
+            };
+            let lay = gemm::GemmLayout::new(&cfg);
+            let spec = gemm::launch_spec(&cfg, lay);
+            Ok(Prepared {
+                config: sys,
+                spec,
+                init: Box::new(move |sim| gemm::init_memory(sim, &cfg, &lay)),
+            })
+        }
+        other => Err(format!("unknown workload {other:?}; known: {}", WORKLOADS.join(", "))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn every_registered_workload_prepares() {
+        for w in WORKLOADS {
+            let p = prepare(
+                w,
+                Scale::Small,
+                Protocol::GpuCoherence,
+                CycleEngine::default(),
+                None,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{w}: {e}"));
+            assert!(p.spec.grid_blocks > 0, "{w}: empty grid");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let err = prepare(
+            "matmul9000",
+            Scale::Small,
+            Protocol::GpuCoherence,
+            CycleEngine::default(),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn undersized_mshr_is_refused() {
+        let err = prepare(
+            "spmv",
+            Scale::Small,
+            Protocol::GpuCoherence,
+            CycleEngine::default(),
+            None,
+            Some(1),
+        )
+        .unwrap_err();
+        assert!(err.contains("architectural minimum"), "{err}");
+    }
+}

@@ -1,0 +1,653 @@
+//! The request loop: line-JSON requests in, JSONL event frames out.
+//!
+//! One request per line. Every request produces a `dispatched` frame
+//! carrying the request's content digest, then either a cached `result`
+//! frame (the digest hit the in-memory or on-disk cache) or a `running`
+//! frame, zero or more `progress` frames, and a final `result` or `error`
+//! frame. Frames echo the request's `id` so clients can pipeline.
+//!
+//! Simulations run on a shared [`AttemptPool`] runner while the
+//! connection thread forwards progress events — the same self-healing
+//! pool the sweep harness uses, so a client that disconnects mid-run
+//! never leaks a thread.
+
+use crate::registry::{self, Prepared, Scale};
+use gsi_bench::sweep::AttemptPool;
+use gsi_chaos::FaultPlan;
+use gsi_json::{ToJson, Value};
+use gsi_mem::Protocol;
+use gsi_sim::{CycleEngine, KernelRun, SimError, Simulator};
+use gsi_trace::TraceLevel;
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Operations the service accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Run a workload kernel and return its [`KernelRun`].
+    Simulate,
+    /// Run only the static pre-flight analysis gate; no cycles simulated.
+    Analyze,
+    /// Simulate with per-instruction blame attribution enabled.
+    Blame,
+    /// Simulate at counters trace level and return the trace summary.
+    TraceSummary,
+    /// Run to `at_cycle`, snapshot the whole machine, keep the snapshot.
+    Checkpoint,
+    /// Restore a stored snapshot and run the kernel to completion.
+    Resume,
+    /// Stop the service after acknowledging.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Simulate => "simulate",
+            Op::Analyze => "analyze",
+            Op::Blame => "blame",
+            Op::TraceSummary => "trace-summary",
+            Op::Checkpoint => "checkpoint",
+            Op::Resume => "resume",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Op> {
+        match s {
+            "simulate" => Some(Op::Simulate),
+            "analyze" => Some(Op::Analyze),
+            "blame" => Some(Op::Blame),
+            "trace-summary" => Some(Op::TraceSummary),
+            "checkpoint" => Some(Op::Checkpoint),
+            "resume" => Some(Op::Resume),
+            "shutdown" => Some(Op::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in every frame (default 0).
+    pub id: u64,
+    /// What to do.
+    pub op: Op,
+    /// Registry workload name (see [`registry::WORKLOADS`]).
+    pub workload: String,
+    /// Workload scale (default small).
+    pub scale: Scale,
+    /// Coherence protocol: `"gpu"` (default) or `"denovo"`.
+    pub protocol: Protocol,
+    /// Cycle engine: `"event"` or `"dense"` (default: the engine default).
+    pub engine: CycleEngine,
+    /// Chaos seed: when present, arms [`FaultPlan::all`] with it.
+    pub seed: Option<u64>,
+    /// Override the SM count.
+    pub sms: Option<usize>,
+    /// Override the MSHR size.
+    pub mshr: Option<usize>,
+    /// Pause cycle for `checkpoint` (absolute simulator cycle).
+    pub at_cycle: u64,
+    /// Snapshot digest for `resume`.
+    pub snapshot: Option<String>,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let field = |key: &str| v.get(key).and_then(Value::as_str);
+        let op_name = field("op").ok_or("missing \"op\"")?;
+        let op = Op::parse(op_name).ok_or_else(|| format!("unknown op {op_name:?}"))?;
+        let scale_name = field("scale").unwrap_or("small");
+        let scale =
+            Scale::parse(scale_name).ok_or_else(|| format!("unknown scale {scale_name:?}"))?;
+        let protocol = match field("protocol").unwrap_or("gpu") {
+            "gpu" => Protocol::GpuCoherence,
+            "denovo" => Protocol::DeNovo,
+            other => return Err(format!("unknown protocol {other:?}")),
+        };
+        let engine = match field("engine") {
+            None => CycleEngine::default(),
+            Some("event") => CycleEngine::Event,
+            Some("dense") => CycleEngine::Dense,
+            Some(other) => return Err(format!("unknown engine {other:?}")),
+        };
+        let usize_field = |key: &str| -> Result<Option<usize>, String> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(|n| Some(n as usize))
+                    .ok_or_else(|| format!("\"{key}\" must be an unsigned integer")),
+            }
+        };
+        let workload = match op {
+            Op::Shutdown => String::new(),
+            _ => field("workload").ok_or("missing \"workload\"")?.to_string(),
+        };
+        Ok(Request {
+            id: v.get("id").and_then(Value::as_u64).unwrap_or(0),
+            op,
+            workload,
+            scale,
+            protocol,
+            engine,
+            seed: v.get("seed").and_then(Value::as_u64),
+            sms: usize_field("sms")?,
+            mshr: usize_field("mshr")?,
+            at_cycle: v.get("at_cycle").and_then(Value::as_u64).unwrap_or(0),
+            snapshot: v.get("snapshot").and_then(Value::as_str).map(str::to_string),
+        })
+    }
+
+    /// The canonical cache key: every semantic field, in a fixed order, in
+    /// gsi-json's compact (canonical) encoding.
+    fn cache_key(&self) -> Value {
+        gsi_json::obj! {
+            "op" => self.op.name(),
+            "workload" => self.workload,
+            "scale" => self.scale.name(),
+            "protocol" => protocol_name(self.protocol),
+            "engine" => engine_name(self.engine),
+            "seed" => self.seed,
+            "sms" => self.sms.map(|n| n as u64),
+            "mshr" => self.mshr.map(|n| n as u64),
+            "at_cycle" => self.at_cycle,
+            "snapshot" => self.snapshot,
+        }
+    }
+
+    /// Content digest of the request: FNV-1a 64 of the canonical cache
+    /// key. Identical requests — same workload, scale, protocol, engine,
+    /// seed, and overrides — share a digest and therefore a cache slot.
+    pub fn digest(&self) -> String {
+        fnv1a64(&self.cache_key().to_string())
+    }
+}
+
+fn protocol_name(p: Protocol) -> &'static str {
+    match p {
+        Protocol::GpuCoherence => "gpu",
+        Protocol::DeNovo => "denovo",
+    }
+}
+
+fn engine_name(e: CycleEngine) -> &'static str {
+    match e {
+        CycleEngine::Event => "event",
+        CycleEngine::Dense => "dense",
+    }
+}
+
+/// FNV-1a 64-bit, rendered as 16 hex digits.
+fn fnv1a64(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// What a finished job hands back to the connection thread.
+struct JobOutput {
+    result: Value,
+    snapshot: Option<Value>,
+}
+
+/// Events a running job streams to the connection thread.
+enum JobEvent {
+    Running,
+    Progress(u64),
+    Done(Result<JobOutput, String>),
+}
+
+/// The simulation service: a shared attempt pool, a content-addressed
+/// result cache (in-memory, optionally mirrored to a directory), and the
+/// snapshot store backing `checkpoint`/`resume`.
+pub struct Server {
+    pool: AttemptPool,
+    cache: Mutex<HashMap<String, Arc<Value>>>,
+    snapshots: Mutex<HashMap<String, Arc<Value>>>,
+    cache_dir: Option<PathBuf>,
+    sims_run: Arc<AtomicU64>,
+    shutdown: AtomicBool,
+    slice: u64,
+}
+
+/// Cycles per `run_until` slice between progress checks.
+const DEFAULT_SLICE: u64 = 8192;
+
+impl Server {
+    /// A service with an empty cache. `cache_dir`, when given, mirrors
+    /// results and snapshots to `<dir>/<digest>.json` /
+    /// `<dir>/<digest>.snap.json` so they survive restarts.
+    pub fn new(cache_dir: Option<PathBuf>) -> Server {
+        Server {
+            pool: AttemptPool::new(),
+            cache: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(HashMap::new()),
+            cache_dir,
+            sims_run: Arc::new(AtomicU64::new(0)),
+            shutdown: AtomicBool::new(false),
+            slice: DEFAULT_SLICE,
+        }
+    }
+
+    /// Set the progress-slice length in cycles (tests shrink it to force
+    /// progress frames on tiny kernels).
+    #[must_use]
+    pub fn with_slice(mut self, cycles: u64) -> Server {
+        self.slice = cycles.max(1);
+        self
+    }
+
+    /// Simulations actually executed (cache hits don't count) — the
+    /// observable that proves deduplication works.
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run.load(Ordering::Relaxed)
+    }
+
+    /// True once a `shutdown` request was processed.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn cache_lookup(&self, digest: &str) -> Option<Arc<Value>> {
+        if let Some(v) = Self::lock(&self.cache).get(digest) {
+            return Some(Arc::clone(v));
+        }
+        let dir = self.cache_dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(format!("{digest}.json"))).ok()?;
+        let v = Arc::new(Value::parse(&text).ok()?);
+        Self::lock(&self.cache).insert(digest.to_string(), Arc::clone(&v));
+        Some(v)
+    }
+
+    fn cache_store(&self, digest: &str, result: Value) -> Arc<Value> {
+        let v = Arc::new(result);
+        Self::lock(&self.cache).insert(digest.to_string(), Arc::clone(&v));
+        if let Some(dir) = &self.cache_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("{digest}.json")), v.to_string());
+        }
+        v
+    }
+
+    fn snapshot_lookup(&self, digest: &str) -> Option<Arc<Value>> {
+        if let Some(v) = Self::lock(&self.snapshots).get(digest) {
+            return Some(Arc::clone(v));
+        }
+        let dir = self.cache_dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(format!("{digest}.snap.json"))).ok()?;
+        let v = Arc::new(Value::parse(&text).ok()?);
+        Self::lock(&self.snapshots).insert(digest.to_string(), Arc::clone(&v));
+        Some(v)
+    }
+
+    fn snapshot_store(&self, digest: &str, snapshot: Value) {
+        let v = Arc::new(snapshot);
+        Self::lock(&self.snapshots).insert(digest.to_string(), Arc::clone(&v));
+        if let Some(dir) = &self.cache_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("{digest}.snap.json")), v.to_string());
+        }
+    }
+
+    /// Handle one request line, writing frames to `out`. Returns `false`
+    /// when the connection should close (shutdown).
+    pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(message) => {
+                let id = Value::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Value::as_u64))
+                    .unwrap_or(0);
+                frame(
+                    out,
+                    gsi_json::obj! { "id" => id, "event" => "error", "message" => message },
+                )?;
+                return Ok(true);
+            }
+        };
+
+        if req.op == Op::Shutdown {
+            self.shutdown.store(true, Ordering::Relaxed);
+            frame(
+                out,
+                gsi_json::obj! {
+                    "id" => req.id,
+                    "event" => "result",
+                    "cached" => false,
+                    "result" => gsi_json::obj! { "ok" => true },
+                },
+            )?;
+            return Ok(false);
+        }
+
+        let digest = req.digest();
+        frame(out, gsi_json::obj! { "id" => req.id, "event" => "dispatched", "digest" => digest })?;
+
+        if let Some(hit) = self.cache_lookup(&digest) {
+            frame(
+                out,
+                gsi_json::obj! {
+                    "id" => req.id,
+                    "event" => "result",
+                    "cached" => true,
+                    "digest" => digest,
+                    "result" => (*hit).clone(),
+                },
+            )?;
+            return Ok(true);
+        }
+
+        // Resume needs its snapshot resolved before dispatch, so unknown
+        // digests fail fast without burning a runner.
+        let snapshot = match req.op {
+            Op::Resume => {
+                let Some(d) = req.snapshot.as_deref() else {
+                    frame(
+                        out,
+                        gsi_json::obj! {
+                            "id" => req.id,
+                            "event" => "error",
+                            "message" => "resume requires \"snapshot\"",
+                        },
+                    )?;
+                    return Ok(true);
+                };
+                match self.snapshot_lookup(d) {
+                    Some(s) => Some(s),
+                    None => {
+                        frame(
+                            out,
+                            gsi_json::obj! {
+                                "id" => req.id,
+                                "event" => "error",
+                                "message" => format!("unknown snapshot {d:?}"),
+                            },
+                        )?;
+                        return Ok(true);
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let req = req.clone();
+            let sims = Arc::clone(&self.sims_run);
+            let digest = digest.clone();
+            let slice = self.slice;
+            self.pool.dispatch(move || {
+                let _ = tx.send(JobEvent::Running);
+                let done = execute(&req, &digest, snapshot, &sims, slice, &tx);
+                let _ = tx.send(JobEvent::Done(done));
+            });
+        }
+        for event in rx {
+            match event {
+                JobEvent::Running => {
+                    frame(out, gsi_json::obj! { "id" => req.id, "event" => "running" })?;
+                }
+                JobEvent::Progress(percent) => {
+                    frame(
+                        out,
+                        gsi_json::obj! {
+                            "id" => req.id, "event" => "progress", "percent" => percent,
+                        },
+                    )?;
+                }
+                JobEvent::Done(Ok(output)) => {
+                    if let Some(snap) = output.snapshot {
+                        self.snapshot_store(&digest, snap);
+                    }
+                    let stored = self.cache_store(&digest, output.result);
+                    frame(
+                        out,
+                        gsi_json::obj! {
+                            "id" => req.id,
+                            "event" => "result",
+                            "cached" => false,
+                            "digest" => digest,
+                            "result" => (*stored).clone(),
+                        },
+                    )?;
+                    break;
+                }
+                JobEvent::Done(Err(message)) => {
+                    frame(
+                        out,
+                        gsi_json::obj! { "id" => req.id, "event" => "error", "message" => message },
+                    )?;
+                    break;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Serve one connection: requests line by line until EOF or shutdown.
+    pub fn handle_connection(&self, reader: impl BufRead, mut out: impl Write) -> io::Result<()> {
+        for line in reader.lines() {
+            if !self.handle_line(&line?, &mut out)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop: serve TCP connections one at a time until a client
+    /// sends `shutdown`. Per-connection IO errors are dropped (a client
+    /// hanging up mid-stream must not kill the service).
+    pub fn serve(&self, listener: &std::net::TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            // Frames are small and latency is the product; don't let
+            // Nagle hold the result frame behind the dispatched frame.
+            let _ = stream.set_nodelay(true);
+            if let Ok(reader) = stream.try_clone().map(io::BufReader::new) {
+                let _ = self.handle_connection(reader, &stream);
+            }
+            if self.is_shutdown() {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Write one JSONL frame.
+fn frame(out: &mut dyn Write, v: Value) -> io::Result<()> {
+    writeln!(out, "{v}")?;
+    out.flush()
+}
+
+/// Build the simulator for a request (chaos armed, blame/trace wired per
+/// op) with memory initialized.
+fn build_sim(prepared: &Prepared, req: &Request) -> Simulator {
+    let mut sim = Simulator::new(prepared.config);
+    if let Some(seed) = req.seed {
+        sim.set_chaos(&FaultPlan::all(seed));
+    }
+    match req.op {
+        Op::Blame => sim.set_blame_enabled(true),
+        Op::TraceSummary => sim.set_trace_level(TraceLevel::Counters),
+        _ => {}
+    }
+    prepared.init_memory(&mut sim);
+    sim
+}
+
+/// Drive the in-progress kernel to completion in `slice`-cycle steps,
+/// streaming percent-complete (blocks retired over grid blocks) between
+/// steps.
+fn drive(
+    sim: &mut Simulator,
+    prepared: &Prepared,
+    slice: u64,
+    tx: &mpsc::Sender<JobEvent>,
+) -> Result<KernelRun, String> {
+    let grid = prepared.spec.grid_blocks.max(1);
+    let mut last = u64::MAX;
+    loop {
+        let stop = sim.cycle().saturating_add(slice);
+        match sim.run_until(&prepared.spec, stop).map_err(|e| e.to_string())? {
+            Some(run) => return Ok(run),
+            None => {
+                let percent = sim.blocks_completed().unwrap_or(0) * 100 / grid;
+                if percent != last {
+                    last = percent;
+                    let _ = tx.send(JobEvent::Progress(percent));
+                }
+            }
+        }
+    }
+}
+
+/// Execute one request on a pool runner.
+fn execute(
+    req: &Request,
+    digest: &str,
+    snapshot: Option<Arc<Value>>,
+    sims: &AtomicU64,
+    slice: u64,
+    tx: &mpsc::Sender<JobEvent>,
+) -> Result<JobOutput, String> {
+    let prepared =
+        registry::prepare(&req.workload, req.scale, req.protocol, req.engine, req.sms, req.mshr)?;
+    match req.op {
+        Op::Analyze => {
+            // Only the pre-flight gate runs; an analysis refusal is the
+            // answer, not a failure.
+            let mut sim = Simulator::new(prepared.config);
+            match sim.begin_kernel(&prepared.spec) {
+                Ok(()) | Err(SimError::Analysis { .. }) => {}
+                Err(e) => return Err(e.to_string()),
+            }
+            let report = sim.last_analysis().ok_or("the analysis gate is disabled")?;
+            Ok(JobOutput {
+                result: gsi_json::obj! {
+                    "workload" => req.workload,
+                    "analysis" => report.to_json(),
+                },
+                snapshot: None,
+            })
+        }
+        Op::Simulate | Op::Blame | Op::TraceSummary => {
+            let mut sim = build_sim(&prepared, req);
+            sims.fetch_add(1, Ordering::Relaxed);
+            sim.begin_kernel(&prepared.spec).map_err(|e| e.to_string())?;
+            let run = drive(&mut sim, &prepared, slice, tx)?;
+            let mut result = gsi_json::obj! {
+                "workload" => req.workload,
+                "cycles" => run.cycles,
+                "instructions" => run.instructions,
+                "run" => run,
+            };
+            if req.op == Op::Blame {
+                result.set("blame", sim.blame_report().to_json());
+            }
+            if req.op == Op::TraceSummary {
+                result.set("trace_summary", sim.trace().to_json());
+            }
+            Ok(JobOutput { result, snapshot: None })
+        }
+        Op::Checkpoint => {
+            let mut sim = build_sim(&prepared, req);
+            sims.fetch_add(1, Ordering::Relaxed);
+            sim.begin_kernel(&prepared.spec).map_err(|e| e.to_string())?;
+            let completed =
+                sim.run_until(&prepared.spec, req.at_cycle).map_err(|e| e.to_string())?.is_some();
+            let snap = sim.snapshot();
+            Ok(JobOutput {
+                result: gsi_json::obj! {
+                    "workload" => req.workload,
+                    "snapshot" => digest,
+                    "cycle" => sim.cycle(),
+                    "completed" => completed,
+                },
+                snapshot: Some(snap),
+            })
+        }
+        Op::Resume => {
+            let snap = snapshot.ok_or("resume dispatched without a snapshot")?;
+            let mut sim = Simulator::restore(&snap, &prepared.spec).map_err(|e| e.to_string())?;
+            if !sim.kernel_in_progress() {
+                return Err("the checkpoint has no kernel in progress".to_string());
+            }
+            sims.fetch_add(1, Ordering::Relaxed);
+            let from = sim.cycle();
+            let run = drive(&mut sim, &prepared, slice, tx)?;
+            Ok(JobOutput {
+                result: gsi_json::obj! {
+                    "workload" => req.workload,
+                    "resumed_from_cycle" => from,
+                    "cycles" => run.cycles,
+                    "instructions" => run.instructions,
+                    "run" => run,
+                },
+                snapshot: None,
+            })
+        }
+        Op::Shutdown => unreachable!("shutdown is handled before dispatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = Request::parse(r#"{"op":"simulate","workload":"spmv"}"#).unwrap();
+        let b = Request::parse(r#"{"op":"simulate","workload":"spmv","scale":"small"}"#).unwrap();
+        assert_eq!(a.digest(), b.digest(), "defaults must not change the digest");
+        let c =
+            Request::parse(r#"{"op":"simulate","workload":"spmv","protocol":"denovo"}"#).unwrap();
+        assert_ne!(a.digest(), c.digest());
+        // The id is correlation metadata, not request content.
+        let d = Request::parse(r#"{"op":"simulate","workload":"spmv","id":7}"#).unwrap();
+        assert_eq!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_fields_values() {
+        assert!(Request::parse(r#"{"op":"simulate"}"#).unwrap_err().contains("workload"));
+        assert!(Request::parse(r#"{"op":"fly","workload":"spmv"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse(r#"{"op":"simulate","workload":"x","engine":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(Request::parse("not json").unwrap_err().contains("bad request JSON"));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(""), "cbf29ce484222325");
+        assert_eq!(fnv1a64("a"), "af63dc4c8601ec8c");
+        assert_eq!(fnv1a64("foobar"), "85944171f73967e8");
+    }
+}

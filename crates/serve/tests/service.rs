@@ -1,0 +1,208 @@
+//! End-to-end tests of the service request loop over an in-memory
+//! connection: caching without re-simulation, disk-cache persistence
+//! across server restarts, and checkpoint/resume equivalence with a
+//! straight-through run.
+
+#![allow(clippy::unwrap_used)]
+
+use gsi_json::Value;
+use gsi_serve::Server;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Feed request lines through one in-memory connection; parse the frames.
+fn roundtrip(server: &Server, lines: &[String]) -> Vec<Value> {
+    let input = lines.join("\n");
+    let mut out = Vec::new();
+    server.handle_connection(Cursor::new(input), &mut out).unwrap();
+    String::from_utf8(out).unwrap().lines().map(|l| Value::parse(l).unwrap()).collect()
+}
+
+fn field<'a>(frame: &'a Value, key: &str) -> &'a Value {
+    frame.get(key).unwrap_or_else(|| panic!("frame missing {key:?}: {frame}"))
+}
+
+fn event(frame: &Value) -> &str {
+    field(frame, "event").as_str().unwrap()
+}
+
+/// The final frame of a request must be a result; return its payload.
+fn result_frame(frames: &[Value]) -> &Value {
+    let last = frames.last().expect("at least one frame");
+    assert_eq!(event(last), "result", "unexpected final frame: {last}");
+    last
+}
+
+/// A unique scratch directory under the target dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("serve-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_streams_frames_and_caches_repeats() {
+    let server = Server::new(None).with_slice(64);
+    let req = r#"{"id":1,"op":"simulate","workload":"spmv"}"#.to_string();
+    let frames = roundtrip(&server, std::slice::from_ref(&req));
+
+    assert_eq!(event(&frames[0]), "dispatched");
+    let digest = field(&frames[0], "digest").as_str().unwrap().to_string();
+    assert_eq!(digest.len(), 16);
+    assert_eq!(event(&frames[1]), "running");
+    assert!(
+        frames.iter().any(|f| event(f) == "progress"),
+        "a 64-cycle slice must yield at least one progress frame"
+    );
+    let result = result_frame(&frames);
+    assert_eq!(field(result, "cached").as_bool(), Some(false));
+    let cycles = field(field(result, "result"), "cycles").as_u64().unwrap();
+    assert!(cycles > 0);
+    assert_eq!(server.sims_run(), 1);
+
+    // The identical request (even with a different correlation id) is
+    // answered from the cache without re-simulating.
+    let again = roundtrip(&server, &[req.replace(r#""id":1"#, r#""id":2"#)]);
+    assert_eq!(event(&again[0]), "dispatched");
+    let hit = result_frame(&again);
+    assert_eq!(field(hit, "cached").as_bool(), Some(true));
+    assert_eq!(field(hit, "id").as_u64(), Some(2));
+    assert_eq!(
+        field(hit, "result").to_string(),
+        field(result, "result").to_string(),
+        "cached result must be the stored payload"
+    );
+    assert_eq!(server.sims_run(), 1, "cache hit must not re-simulate");
+
+    // A semantically different request is a miss.
+    let denovo =
+        roundtrip(&server, &[r#"{"op":"simulate","workload":"spmv","protocol":"denovo"}"#.into()]);
+    assert_eq!(field(result_frame(&denovo), "cached").as_bool(), Some(false));
+    assert_eq!(server.sims_run(), 2);
+}
+
+#[test]
+fn disk_cache_survives_a_restart() {
+    let dir = scratch_dir("disk");
+    let req = r#"{"op":"simulate","workload":"histogram"}"#.to_string();
+
+    let first = Server::new(Some(dir.clone()));
+    let cold = roundtrip(&first, std::slice::from_ref(&req));
+    assert_eq!(field(result_frame(&cold), "cached").as_bool(), Some(false));
+    assert_eq!(first.sims_run(), 1);
+    drop(first);
+
+    // A fresh server over the same directory serves the result from disk.
+    let second = Server::new(Some(dir));
+    let warm = roundtrip(&second, &[req]);
+    let hit = result_frame(&warm);
+    assert_eq!(field(hit, "cached").as_bool(), Some(true));
+    assert_eq!(field(hit, "result").to_string(), field(result_frame(&cold), "result").to_string());
+    assert_eq!(second.sims_run(), 0, "disk hit must not re-simulate");
+}
+
+#[test]
+fn checkpoint_then_resume_matches_straight_run() {
+    let dir = scratch_dir("resume");
+    let server = Server::new(Some(dir)).with_slice(256);
+
+    let straight = roundtrip(&server, &[r#"{"op":"simulate","workload":"reduction"}"#.to_string()]);
+    let straight_result = field(result_frame(&straight), "result");
+    let cycles = field(straight_result, "cycles").as_u64().unwrap();
+    let mid = (cycles / 2).max(1);
+
+    let ckpt = roundtrip(
+        &server,
+        &[format!(r#"{{"op":"checkpoint","workload":"reduction","at_cycle":{mid}}}"#)],
+    );
+    let ckpt_result = field(result_frame(&ckpt), "result");
+    assert_eq!(field(ckpt_result, "completed").as_bool(), Some(false));
+    assert_eq!(field(ckpt_result, "cycle").as_u64(), Some(mid));
+    let snap = field(ckpt_result, "snapshot").as_str().unwrap().to_string();
+
+    let resumed = roundtrip(
+        &server,
+        &[format!(r#"{{"op":"resume","workload":"reduction","snapshot":"{snap}"}}"#)],
+    );
+    let resumed_result = field(result_frame(&resumed), "result");
+    assert_eq!(field(resumed_result, "resumed_from_cycle").as_u64(), Some(mid));
+    assert_eq!(
+        field(resumed_result, "run").to_string(),
+        field(straight_result, "run").to_string(),
+        "resumed run must be bit-identical to the straight run"
+    );
+}
+
+#[test]
+fn blame_and_trace_summary_carry_their_artifacts() {
+    let server = Server::new(None);
+    let frames = roundtrip(
+        &server,
+        &[
+            r#"{"op":"blame","workload":"histogram"}"#.to_string(),
+            r#"{"op":"trace-summary","workload":"histogram"}"#.to_string(),
+        ],
+    );
+    let results: Vec<&Value> =
+        frames.iter().filter(|f| event(f) == "result").map(|f| field(f, "result")).collect();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].get("blame").is_some(), "blame result must carry the report");
+    assert!(
+        results[1].get("trace_summary").is_some(),
+        "trace-summary result must carry the summary"
+    );
+    // Same workload, different ops: separate cache entries, two runs.
+    assert_eq!(server.sims_run(), 2);
+}
+
+#[test]
+fn analyze_runs_no_cycles() {
+    let server = Server::new(None);
+    let frames = roundtrip(&server, &[r#"{"op":"analyze","workload":"spmv"}"#.to_string()]);
+    let result = field(result_frame(&frames), "result");
+    assert!(result.get("analysis").is_some());
+    assert_eq!(server.sims_run(), 0, "analyze must not simulate");
+}
+
+#[test]
+fn errors_are_frames_not_hangups() {
+    let server = Server::new(None);
+    let frames = roundtrip(
+        &server,
+        &[
+            r#"{"id":9,"op":"simulate","workload":"matmul9000"}"#.to_string(),
+            r#"{"id":10,"op":"resume","workload":"spmv","snapshot":"ffffffffffffffff"}"#
+                .to_string(),
+            "this is not json".to_string(),
+            // The connection survives all of the above.
+            r#"{"id":11,"op":"analyze","workload":"spmv"}"#.to_string(),
+        ],
+    );
+    let errors: Vec<&Value> = frames.iter().filter(|f| event(f) == "error").collect();
+    assert_eq!(errors.len(), 3);
+    assert!(field(errors[0], "message").as_str().unwrap().contains("unknown workload"));
+    assert!(field(errors[1], "message").as_str().unwrap().contains("unknown snapshot"));
+    assert!(field(errors[2], "message").as_str().unwrap().contains("bad request JSON"));
+    assert_eq!(event(result_frame(&frames)), "result");
+    assert_eq!(field(result_frame(&frames), "id").as_u64(), Some(11));
+}
+
+#[test]
+fn shutdown_acknowledges_and_closes() {
+    let server = Server::new(None);
+    let frames = roundtrip(
+        &server,
+        &[
+            r#"{"id":1,"op":"shutdown"}"#.to_string(),
+            // Never reached: the connection closes on shutdown.
+            r#"{"id":2,"op":"analyze","workload":"spmv"}"#.to_string(),
+        ],
+    );
+    assert_eq!(frames.len(), 1);
+    assert_eq!(event(&frames[0]), "result");
+    assert!(server.is_shutdown());
+}

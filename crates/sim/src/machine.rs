@@ -130,6 +130,30 @@ struct Core {
     collector: StallCollector,
 }
 
+/// Mid-kernel execution state carried between [`Simulator::run_until`]
+/// slices (and across a snapshot/restore round trip).
+#[derive(Debug, Clone, PartialEq)]
+struct KernelProgress {
+    /// Cycle the kernel launched at.
+    start: u64,
+    /// Next grid block to dispatch.
+    next_block: u64,
+    /// Blocks retired so far.
+    blocks_done: u64,
+    /// The end-of-kernel release flush has begun.
+    end_flush: bool,
+    /// Per-SM statistics at launch, for per-kernel deltas.
+    sm_stats_before: Vec<SmStats>,
+}
+
+gsi_json::json_struct!(KernelProgress {
+    start,
+    next_block,
+    blocks_done,
+    end_flush,
+    sm_stats_before,
+});
+
 /// Reusable buffers for the per-cycle simulation loop. Capacities reach a
 /// steady state early in a kernel, after which the loop performs no heap
 /// allocation for message plumbing (see `tests/alloc_free.rs`).
@@ -173,6 +197,7 @@ pub struct Simulator {
     trace: TraceBuffer,
     chaos_plan: FaultPlan,
     last_analysis: Option<AnalysisReport>,
+    progress: Option<KernelProgress>,
 }
 
 impl fmt::Debug for Simulator {
@@ -220,6 +245,7 @@ impl Simulator {
             trace: TraceBuffer::disabled(),
             chaos_plan: FaultPlan::disabled(),
             last_analysis: None,
+            progress: None,
             cfg,
         }
     }
@@ -422,11 +448,50 @@ impl Simulator {
 
     /// Execute a kernel to completion (including the end-of-kernel flush).
     ///
+    /// Always starts a fresh launch: any kernel left paused by
+    /// [`run_until`](Self::run_until) is abandoned.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Timeout`] if the kernel exceeds the configured
     /// `max_cycles`.
     pub fn run_kernel(&mut self, spec: &LaunchSpec) -> Result<KernelRun, SimError> {
+        self.progress = None;
+        self.begin_kernel(spec)?;
+        match self.run_until(spec, u64::MAX)? {
+            Some(run) => Ok(run),
+            None => unreachable!("an unbounded run_until either completes or errors"),
+        }
+    }
+
+    /// True while a kernel launched by [`begin_kernel`](Self::begin_kernel)
+    /// has not yet run to completion.
+    pub fn kernel_in_progress(&self) -> bool {
+        self.progress.is_some()
+    }
+
+    /// Blocks retired by the in-progress kernel, or `None` when no kernel
+    /// is in progress. With the launch's `grid_blocks` this gives a
+    /// completion fraction for progress reporting between
+    /// [`run_until`](Self::run_until) slices.
+    pub fn blocks_completed(&self) -> Option<u64> {
+        self.progress.as_ref().map(|p| p.blocks_done)
+    }
+
+    /// Launch a kernel without running any cycles: run the analysis gate,
+    /// install the program, reset per-kernel state, and record the launch
+    /// point. Drive it with [`run_until`](Self::run_until).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Analysis`] when the pre-flight gate refuses the
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel is already in progress.
+    pub fn begin_kernel(&mut self, spec: &LaunchSpec) -> Result<(), SimError> {
+        assert!(self.progress.is_none(), "a kernel is already in progress");
         if self.cfg.analysis_gate != AnalysisGate::Off {
             let report = analyze_launch(spec, &self.cfg);
             let errors = report.error_count();
@@ -444,7 +509,6 @@ impl Simulator {
             }
         }
 
-        let start = self.cycle;
         let sm_stats_before: Vec<SmStats> = self.cores.iter().map(|c| *c.sm.stats()).collect();
 
         // Kernel launch is an acquire: every SM self-invalidates its L1.
@@ -454,11 +518,51 @@ impl Simulator {
             c.mem.self_invalidate();
         }
 
+        self.progress = Some(KernelProgress {
+            start: self.cycle,
+            next_block: 0,
+            blocks_done: 0,
+            end_flush: false,
+            sm_stats_before,
+        });
+        Ok(())
+    }
+
+    /// Run the in-progress kernel until it completes or the clock reaches
+    /// `stop`, whichever comes first. Returns `Ok(None)` when paused at
+    /// `stop` (the kernel stays in progress — call again, or snapshot the
+    /// machine), `Ok(Some(run))` when the kernel finished. A paused-and-
+    /// resumed run is cycle-for-cycle identical to an uninterrupted one.
+    ///
+    /// `spec` must be the launch passed to
+    /// [`begin_kernel`](Self::begin_kernel) (the spec itself is not stored,
+    /// because launch initializers are closures).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] on budget/progress exhaustion (measured from
+    /// the original launch cycle, not the resume point);
+    /// [`SimError::Accounting`] if a conservation check fails at kernel
+    /// end. Either error abandons the in-progress kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernel is in progress.
+    pub fn run_until(
+        &mut self,
+        spec: &LaunchSpec,
+        stop: u64,
+    ) -> Result<Option<KernelRun>, SimError> {
+        let KernelProgress {
+            start,
+            mut next_block,
+            mut blocks_done,
+            mut end_flush,
+            sm_stats_before,
+        } = self.progress.take().expect("no kernel in progress; call begin_kernel first");
+
         let warps = spec.warps_per_block;
         let n_cores = self.cores.len() as u64;
-        let mut next_block = 0u64;
-        let mut blocks_done = 0u64;
-        let mut end_flush = false;
 
         // Forward-progress watchdog state. The signature is re-sampled at an
         // explicit next-sample cycle so the steady-state loop pays one
@@ -466,11 +570,14 @@ impl Simulator {
         // keeps windows shorter than the period meaningful (the old
         // power-of-two mask test silently quantized them up to 4096) and
         // gives the event engine a concrete cycle to clamp its skips to.
+        // Recomputed per slice: the sample grid only affects when a hang is
+        // *detected*, never the simulated state, so slicing stays
+        // cycle-identical to a straight-through run.
         const WATCHDOG_PERIOD: u64 = 4096;
         let watchdog_period = WATCHDOG_PERIOD.min(self.cfg.progress_window.max(1));
-        let mut next_watchdog = start + watchdog_period;
-        let mut progress_sig = self.progress_signature(0);
-        let mut last_progress = start;
+        let mut next_watchdog = self.cycle + watchdog_period;
+        let mut progress_sig = self.progress_signature(blocks_done);
+        let mut last_progress = self.cycle;
 
         // The event engine skips stretches in which no subsystem can act.
         // Full event tracing and self-profiling observe individual cycles,
@@ -481,6 +588,16 @@ impl Simulator {
 
         loop {
             let now = self.cycle;
+            if now >= stop {
+                self.progress = Some(KernelProgress {
+                    start,
+                    next_block,
+                    blocks_done,
+                    end_flush,
+                    sm_stats_before,
+                });
+                return Ok(None);
+            }
             if now - start > self.cfg.max_cycles {
                 let report = self.progress_report(
                     TimeoutKind::CycleBudget,
@@ -652,6 +769,7 @@ impl Simulator {
                     }
                     target =
                         target.min(start.saturating_add(self.cfg.max_cycles).saturating_add(1));
+                    target = target.min(stop);
                     if target > cur {
                         let n = target - cur;
                         for c in &mut self.cores {
@@ -694,7 +812,120 @@ impl Simulator {
         for c in &mut self.cores {
             c.mem.reset_for_kernel();
         }
-        Ok(run)
+        Ok(Some(run))
+    }
+
+    /// Checkpoint format version, stored in every snapshot.
+    pub const SNAPSHOT_FORMAT: u64 = 1;
+
+    /// Serialize the entire machine — functional memory, mesh traffic, L2
+    /// and DRAM state, every core's memory unit, SM, and stall collector,
+    /// plus any mid-kernel execution state — as a gsi-json value.
+    ///
+    /// Snapshots are only meaningful at a cycle boundary: take them between
+    /// [`run_until`](Self::run_until) slices (or between kernels). The
+    /// trace buffer and the static-analysis report are diagnostics, not
+    /// machine state, and are excluded; the launch spec is excluded too
+    /// (initializers are closures), so [`restore`](Self::restore) re-takes
+    /// it and validates it against the recorded program disassembly.
+    ///
+    /// The encoding is canonical: snapshotting the same machine state twice
+    /// produces byte-identical compact JSON.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::{ToJson, Value};
+        let program = match self.cores.first().and_then(|c| c.sm.program()) {
+            Some(p) => Value::Str(gsi_isa::asm::disassemble(p)),
+            None => Value::Null,
+        };
+        let cores: Vec<Value> = self
+            .cores
+            .iter()
+            .map(|c| {
+                gsi_json::obj! {
+                    "sm" => c.sm.snapshot(),
+                    "mem" => c.mem.snapshot(),
+                    "collector" => c.collector.snapshot()
+                }
+            })
+            .collect();
+        gsi_json::obj! {
+            "format" => Self::SNAPSHOT_FORMAT,
+            "config" => self.cfg.to_json(),
+            "cycle" => self.cycle,
+            "profiling" => self.profiling,
+            "chaos_plan" => self.chaos_plan.to_json(),
+            "program" => program,
+            "progress" => self.progress.to_json(),
+            "gmem" => self.gmem.snapshot(),
+            "mesh" => self.mesh.snapshot(),
+            "shared" => self.shared.snapshot(),
+            "cores" => Value::Array(cores)
+        }
+    }
+
+    /// Rebuild a machine from a [`snapshot`](Self::snapshot).
+    ///
+    /// `spec` must be the launch the snapshot was taken under (or the one
+    /// about to be resumed): its program is validated against the
+    /// snapshot's recorded disassembly and re-installed, because compiled
+    /// programs and launch closures do not round-trip through JSON. Resume
+    /// with [`run_until`](Self::run_until) when the snapshot was mid-kernel.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a format-version mismatch, a program mismatch, or any
+    /// malformed / geometry-incompatible component state.
+    pub fn restore(v: &gsi_json::Value, spec: &LaunchSpec) -> Result<Self, gsi_json::JsonError> {
+        use gsi_json::{FromJson, JsonError, Value};
+        let format: u64 = v.read("format")?;
+        if format != Self::SNAPSHOT_FORMAT {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint format {format} (this build reads format {})",
+                Self::SNAPSHOT_FORMAT
+            )));
+        }
+        let cfg = crate::config::SystemConfig::from_json(v.req("config")?)?;
+        let mut sim = Simulator::new(cfg);
+        sim.cycle = v.read("cycle")?;
+        sim.profiling = v.read("profiling")?;
+        let plan = FaultPlan::from_json(v.req("chaos_plan")?)?;
+        sim.set_chaos(&plan);
+        let program = match v.req("program")? {
+            Value::Null => None,
+            Value::Str(text) => Some(text.as_str()),
+            other => return Err(JsonError::expected("program text or null", other)),
+        };
+        if let Some(text) = program {
+            if text != gsi_isa::asm::disassemble(&spec.program) {
+                return Err(JsonError::new(
+                    "checkpoint program does not match the provided launch spec".to_string(),
+                ));
+            }
+        }
+        sim.gmem.restore(v.req("gmem")?)?;
+        sim.mesh.restore(v.req("mesh")?)?;
+        sim.shared.restore(v.req("shared")?)?;
+        let cores = match v.req("cores")? {
+            Value::Array(cores) => cores,
+            other => return Err(JsonError::expected("array", other)),
+        };
+        if cores.len() != sim.cores.len() {
+            return Err(JsonError::new(format!(
+                "checkpoint has {} cores, the configuration builds {}",
+                cores.len(),
+                sim.cores.len()
+            )));
+        }
+        for (core, cv) in sim.cores.iter_mut().zip(cores) {
+            if program.is_some() {
+                core.sm.set_program(spec.program.clone());
+            }
+            core.sm.restore(cv.req("sm")?)?;
+            core.mem.restore(cv.req("mem")?)?;
+            core.collector.restore(cv.req("collector")?)?;
+        }
+        sim.progress = Option::<KernelProgress>::from_json(v.req("progress")?)?;
+        Ok(sim)
     }
 }
 

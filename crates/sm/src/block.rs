@@ -31,6 +31,8 @@ impl BlockState {
     }
 }
 
+gsi_json::json_struct!(BlockState { block_id, slot, warp_ids, barrier_count, done });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,8 @@ impl Scheduler {
     }
 }
 
+gsi_json::json_struct!(Scheduler { greedy, rr_start });
+
 #[cfg(test)]
 mod tests {
     use super::*;

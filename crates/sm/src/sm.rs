@@ -375,6 +375,57 @@ impl SmCore {
         self.resident.push(block_idx);
     }
 
+    /// Serialize all execution state: warps, blocks, scheduler, statistics,
+    /// profiles, and the blame collector. The installed program, the trace
+    /// ring, and the issue scratch buffers are excluded — the program is
+    /// validated separately by the simulator's checkpoint envelope, and the
+    /// other two are debugging/memoization state a restored SM rebuilds.
+    pub fn snapshot(&self) -> gsi_json::Value {
+        use gsi_json::ToJson;
+        gsi_json::obj! {
+            "id" => self.id,
+            "warps" => self.warps.to_json(),
+            "blocks" => self.blocks.to_json(),
+            "scheduler" => self.scheduler.to_json(),
+            "completed_blocks" => self.completed_blocks.to_json(),
+            "stats" => self.stats.to_json(),
+            "profiles" => self.profiles.to_json(),
+            "live" => self.live.to_json(),
+            "live_count" => self.live_count,
+            "resident" => self.resident.to_json(),
+            "blame" => self.blame.snapshot()
+        }
+    }
+
+    /// Restore onto an SM with the kernel already installed via
+    /// [`set_program`](Self::set_program).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot belongs to a different SM id or is
+    /// malformed.
+    pub fn restore(&mut self, v: &gsi_json::Value) -> Result<(), gsi_json::JsonError> {
+        let id: u8 = v.read("id")?;
+        if id != self.id {
+            return Err(gsi_json::JsonError::new(format!(
+                "SM snapshot is for SM {id}, not SM {}",
+                self.id
+            )));
+        }
+        self.warps = v.read("warps")?;
+        self.blocks = v.read("blocks")?;
+        self.scheduler = v.read("scheduler")?;
+        self.completed_blocks = v.read("completed_blocks")?;
+        self.stats = v.read("stats")?;
+        self.profiles = v.read("profiles")?;
+        self.live = v.read("live")?;
+        self.live_count = v.read("live_count")?;
+        self.resident = v.read("resident")?;
+        self.blame.restore(v.req("blame")?)?;
+        self.trace.clear();
+        Ok(())
+    }
+
     /// The hardware block slot the next accepted block will occupy: the
     /// smallest slot not used by a resident block. Determines the block's
     /// scratchpad/stash partition.

@@ -50,6 +50,8 @@ pub(crate) struct SimtEntry {
     pub origin: u32,
 }
 
+gsi_json::json_struct!(SimtEntry { rpc, mask, pc, origin });
+
 /// One resident warp.
 #[derive(Debug, Clone)]
 pub(crate) struct Warp {
@@ -167,6 +169,57 @@ impl Warp {
     /// True when `reg`'s compute result is not ready at `now`.
     pub fn compute_pending(&self, reg: u8, now: u64) -> bool {
         self.ready_at[reg as usize] > now
+    }
+}
+
+// The lane-address cache (`addr_cache_key` / `addr_cache_pairs`) is a pure
+// memoization of warp-visible state and is deliberately excluded: a restored
+// warp recomputes it on the next issue attempt.
+impl gsi_json::ToJson for Warp {
+    fn to_json(&self) -> gsi_json::Value {
+        gsi_json::obj! {
+            "block" => self.block,
+            "pc" => self.pc,
+            "active" => self.active,
+            "regs" => self.regs.to_json(),
+            "pending_loads" => self.pending_loads.to_json(),
+            "pending_reqs" => self.pending_reqs.to_json(),
+            "ready_at" => self.ready_at.to_json(),
+            "sync_pending" => self.sync_pending,
+            "at_barrier" => self.at_barrier,
+            "ibuffer_ready_at" => self.ibuffer_ready_at,
+            "last_issue" => self.last_issue,
+            "active_mask" => self.active_mask,
+            "simt_stack" => self.simt_stack.to_json(),
+            "reg_writer" => self.reg_writer.to_json(),
+            "last_branch_pc" => self.last_branch_pc,
+            "sync_pc" => self.sync_pc
+        }
+    }
+}
+
+impl gsi_json::FromJson for Warp {
+    fn from_json(v: &gsi_json::Value) -> Result<Self, gsi_json::JsonError> {
+        Ok(Warp {
+            block: v.read("block")?,
+            pc: v.read("pc")?,
+            active: v.read("active")?,
+            regs: v.read("regs")?,
+            pending_loads: v.read("pending_loads")?,
+            pending_reqs: v.read("pending_reqs")?,
+            ready_at: v.read("ready_at")?,
+            sync_pending: v.read("sync_pending")?,
+            at_barrier: v.read("at_barrier")?,
+            ibuffer_ready_at: v.read("ibuffer_ready_at")?,
+            last_issue: v.read("last_issue")?,
+            active_mask: v.read("active_mask")?,
+            simt_stack: v.read("simt_stack")?,
+            addr_cache_key: None,
+            addr_cache_pairs: Vec::new(),
+            reg_writer: v.read("reg_writer")?,
+            last_branch_pc: v.read("last_branch_pc")?,
+            sync_pc: v.read("sync_pc")?,
+        })
     }
 }
 

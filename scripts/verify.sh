@@ -43,6 +43,54 @@ cargo run --release --offline --quiet -p gsi-bench --bin sweep -- \
     --out "BENCH_PR${PR}.json"
 echo "wrote BENCH_PR${PR}.json"
 
+echo "== serve (cold / cached / checkpoint+resume / clean shutdown) =="
+# The service must answer a repeated identical request from the
+# content-addressed cache (the result frame carries "cached":true), hand
+# back a snapshot digest from a checkpoint request that a resume request
+# can replay, and exit 0 on a shutdown request. The smoke client merges
+# round-trip latencies into BENCH_PR<n>.json under a "serve" key.
+SERVE_DIR=$(mktemp -d /tmp/gsi_serve_verify.XXXXXX)
+trap 'rm -rf "$SERVE_DIR"' EXIT
+./target/release/gsi-serve --listen 127.0.0.1:0 --cache-dir "$SERVE_DIR/cache" \
+    > "$SERVE_DIR/server.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^LISTENING //p' "$SERVE_DIR/server.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve: server never reported LISTENING" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/serve-client --addr "$ADDR" --timing --bench "BENCH_PR${PR}.json" \
+    --request '{"id":1,"op":"simulate","workload":"spmv"}' \
+    --request '{"id":2,"op":"simulate","workload":"spmv"}' \
+    --request '{"id":3,"op":"checkpoint","workload":"reduction","at_cycle":500}' \
+    > "$SERVE_DIR/client.log"
+grep '"id":1' "$SERVE_DIR/client.log" | grep -q '"cached":false' \
+    || { echo "serve: cold request unexpectedly cached" >&2; exit 1; }
+grep '"id":2' "$SERVE_DIR/client.log" | grep -q '"cached":true' \
+    || { echo "serve: repeated request missed the cache" >&2; exit 1; }
+SNAP=$(sed -n 's/.*"snapshot":"\([0-9a-f]\{16\}\)".*/\1/p' "$SERVE_DIR/client.log" | head -n 1)
+if [ -z "$SNAP" ]; then
+    echo "serve: checkpoint returned no snapshot digest" >&2
+    exit 1
+fi
+./target/release/serve-client --addr "$ADDR" --timing --bench "BENCH_PR${PR}.json" \
+    --request "{\"id\":4,\"op\":\"resume\",\"workload\":\"reduction\",\"snapshot\":\"$SNAP\"}" \
+    --request '{"id":5,"op":"shutdown"}' \
+    >> "$SERVE_DIR/client.log"
+grep '"id":4' "$SERVE_DIR/client.log" | grep -q '"resumed_from_cycle":500' \
+    || { echo "serve: resume did not restart from the checkpoint cycle" >&2; exit 1; }
+wait "$SERVE_PID" \
+    || { echo "serve: server exited non-zero after shutdown" >&2; exit 1; }
+rm -rf "$SERVE_DIR"
+trap - EXIT
+echo "serve: cold, cached, checkpoint/resume, shutdown all OK"
+
 echo "== blame attribution (export + schema + conservation) =="
 # Two memory-bound workloads export a blame report each; blame-check
 # validates the schema and asserts the ranked shares sum to 100%.

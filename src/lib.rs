@@ -23,6 +23,9 @@
 //! * [`sim`] — the wired system simulator (Table 5.1 configuration).
 //! * [`chaos`] — deterministic fault injection (delayed flits, DRAM
 //!   jitter, transient MSHR/store-buffer stalls, dropped DMA bursts).
+//! * [`serve`] — the persistent simulation service: line-JSON requests,
+//!   content-addressed result caching, and whole-machine
+//!   checkpoint/resume.
 //! * [`trace`] — the cycle-level event tracing / observability layer.
 //! * [`workloads`] — UTS, UTSD, and the implicit microbenchmark.
 //!
@@ -46,8 +49,10 @@ pub use gsi_chaos as chaos;
 #[doc(inline)]
 pub use gsi_core as core;
 pub use gsi_isa as isa;
+pub use gsi_json as json;
 pub use gsi_mem as mem;
 pub use gsi_noc as noc;
+pub use gsi_serve as serve;
 pub use gsi_sim as sim;
 pub use gsi_sm as sm;
 pub use gsi_trace as trace;
