@@ -102,6 +102,7 @@ fn main() {
                 .unwrap_or("?")
                 .to_string()
         };
+        let is_shutdown = req_field("op") == "shutdown";
         let t0 = Instant::now();
         if writeln!(stream, "{request}").and_then(|()| stream.flush()).is_err() {
             eprintln!("connection closed while sending");
@@ -113,8 +114,7 @@ fn main() {
                 Ok(0) => {
                     // EOF. Normal right after a shutdown acknowledgement;
                     // anything else means the request went unanswered.
-                    let done = line.is_empty() && request.contains("\"shutdown\"");
-                    if !done {
+                    if !is_shutdown {
                         eprintln!("connection closed mid-request");
                         failed = true;
                     }

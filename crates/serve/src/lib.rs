@@ -9,10 +9,12 @@
 //! Three properties make it a *service* rather than a CLI in a loop:
 //!
 //! * **Content-addressed result cache.** Every request is digested (FNV-1a
-//!   64 over its canonical gsi-json encoding); identical requests — same
+//!   128 over its canonical gsi-json encoding); identical requests — same
 //!   workload, scale, protocol, engine, seed, and overrides — are answered
-//!   from the cache (`"cached":true`) without re-simulating. With a cache
-//!   directory, results survive restarts.
+//!   from the cache (`"cached":true`) without re-simulating. Entries store
+//!   the canonical key and are verified on lookup, so a digest collision
+//!   misses instead of aliasing. With a cache directory, results survive
+//!   restarts.
 //! * **Checkpoint/resume.** A `checkpoint` request runs a kernel to a
 //!   target cycle and snapshots the *entire* machine — every warp, cache
 //!   line, MSHR, store-buffer entry, in-flight NoC message, DRAM timing
@@ -43,5 +45,5 @@
 pub mod registry;
 pub mod server;
 
-pub use registry::{prepare, Prepared, Scale, WORKLOADS};
+pub use registry::{prepare, Prepared, Scale, MAX_MSHR_ENTRIES, WORKLOADS};
 pub use server::{Op, Request, Server};

@@ -93,9 +93,17 @@ fn implicit_style(name: &str) -> Option<LocalMemStyle> {
     }
 }
 
+/// Upper bound for a request-supplied MSHR/store-buffer size. The queues
+/// are allocated eagerly per SM, so an absurd wire value is a memory
+/// bomb, not an experiment (the paper sweeps 8..=256).
+pub const MAX_MSHR_ENTRIES: usize = 1 << 16;
+
 /// Build the launch for a workload at a scale, with the request's knobs
 /// applied on top of the registry defaults (implicit runs on one SM, the
 /// rest on 4 at small scale / 15 at paper scale).
+///
+/// Every wire-supplied knob is range-checked here so untrusted requests
+/// get an `Err` back instead of tripping a config assert on the runner.
 pub fn prepare(
     workload: &str,
     scale: Scale,
@@ -112,16 +120,25 @@ pub fn prepare(
     } else {
         4
     };
-    let mut sys = SystemConfig::paper()
-        .with_gpu_cores(sms.unwrap_or(default_sms))
-        .with_protocol(protocol)
-        .with_cycle_engine(engine);
+    let base = SystemConfig::paper();
+    let sm_count = sms.unwrap_or(default_sms);
+    let max_sms = base.mesh.nodes() - 1;
+    if sm_count < 1 || sm_count > max_sms {
+        return Err(format!(
+            "sms {sm_count} is out of range: the mesh supports 1..={max_sms} SMs \
+             (one node is reserved for the CPU)"
+        ));
+    }
+    let mut sys = base.with_gpu_cores(sm_count).with_protocol(protocol).with_cycle_engine(engine);
     if let Some(m) = mshr {
         if m < gsi_mem::MIN_QUEUE_ENTRIES {
             return Err(format!(
                 "mshr {m} is below the architectural minimum of {}",
                 gsi_mem::MIN_QUEUE_ENTRIES
             ));
+        }
+        if m > MAX_MSHR_ENTRIES {
+            return Err(format!("mshr {m} exceeds the supported maximum of {MAX_MSHR_ENTRIES}"));
         }
         sys = sys.with_mshr(m);
     }
@@ -276,6 +293,51 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_sms_is_refused_not_a_panic() {
+        // 0 SMs and a full mesh (no node left for the CPU) both used to
+        // trip SystemConfig asserts on the pool runner; they must be
+        // plain request errors.
+        for sms in [0, 16, usize::MAX] {
+            let err = prepare(
+                "spmv",
+                Scale::Small,
+                Protocol::GpuCoherence,
+                CycleEngine::default(),
+                Some(sms),
+                None,
+            )
+            .unwrap_err();
+            assert!(err.contains("out of range"), "sms={sms}: {err}");
+        }
+        // The full legal range prepares.
+        for sms in [1, 15] {
+            prepare(
+                "spmv",
+                Scale::Small,
+                Protocol::GpuCoherence,
+                CycleEngine::default(),
+                Some(sms),
+                None,
+            )
+            .unwrap_or_else(|e| panic!("sms={sms}: {e}"));
+        }
+    }
+
+    #[test]
+    fn oversized_mshr_is_refused() {
+        let err = prepare(
+            "spmv",
+            Scale::Small,
+            Protocol::GpuCoherence,
+            CycleEngine::default(),
+            None,
+            Some(MAX_MSHR_ENTRIES + 1),
+        )
+        .unwrap_err();
+        assert!(err.contains("exceeds the supported maximum"), "{err}");
     }
 
     #[test]

@@ -165,11 +165,11 @@ impl Request {
         }
     }
 
-    /// Content digest of the request: FNV-1a 64 of the canonical cache
+    /// Content digest of the request: FNV-1a 128 of the canonical cache
     /// key. Identical requests — same workload, scale, protocol, engine,
     /// seed, and overrides — share a digest and therefore a cache slot.
     pub fn digest(&self) -> String {
-        fnv1a64(&self.cache_key().to_string())
+        fnv1a128(&self.cache_key().to_string())
     }
 }
 
@@ -187,14 +187,28 @@ fn engine_name(e: CycleEngine) -> &'static str {
     }
 }
 
-/// FNV-1a 64-bit, rendered as 16 hex digits.
-fn fnv1a64(text: &str) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 128-bit, rendered as 32 hex digits. Wide enough that an
+/// accidental digest collision between two distinct requests — which
+/// would alias snapshot slots — is out of reach; the result cache
+/// additionally verifies the stored canonical key on every lookup.
+fn fnv1a128(text: &str) -> String {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     for b in text.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= u128::from(*b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
     }
-    format!("{h:016x}")
+    format!("{h:032x}")
+}
+
+/// Render a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// What a finished job hands back to the connection thread.
@@ -210,12 +224,21 @@ enum JobEvent {
     Done(Result<JobOutput, String>),
 }
 
+/// A cached result plus the canonical cache-key JSON that produced its
+/// digest, so a lookup can prove the entry belongs to the request — a
+/// digest collision between two distinct requests misses instead of
+/// silently aliasing.
+struct CacheEntry {
+    key: String,
+    result: Arc<Value>,
+}
+
 /// The simulation service: a shared attempt pool, a content-addressed
 /// result cache (in-memory, optionally mirrored to a directory), and the
 /// snapshot store backing `checkpoint`/`resume`.
 pub struct Server {
     pool: AttemptPool,
-    cache: Mutex<HashMap<String, Arc<Value>>>,
+    cache: Mutex<HashMap<String, CacheEntry>>,
     snapshots: Mutex<HashMap<String, Arc<Value>>>,
     cache_dir: Option<PathBuf>,
     sims_run: Arc<AtomicU64>,
@@ -265,24 +288,41 @@ impl Server {
         m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn cache_lookup(&self, digest: &str) -> Option<Arc<Value>> {
-        if let Some(v) = Self::lock(&self.cache).get(digest) {
-            return Some(Arc::clone(v));
+    /// Look up a cached result by digest, verifying the stored canonical
+    /// key matches `key` — a mismatched entry (digest collision, or a
+    /// foreign file in the cache directory) is a miss, never an alias.
+    fn cache_lookup(&self, digest: &str, key: &str) -> Option<Arc<Value>> {
+        if let Some(entry) = Self::lock(&self.cache).get(digest) {
+            if entry.key == key {
+                return Some(Arc::clone(&entry.result));
+            }
+            return None; // the on-disk entry has the same digest and key
         }
         let dir = self.cache_dir.as_ref()?;
         let text = std::fs::read_to_string(dir.join(format!("{digest}.json"))).ok()?;
-        let v = Arc::new(Value::parse(&text).ok()?);
-        Self::lock(&self.cache).insert(digest.to_string(), Arc::clone(&v));
-        Some(v)
+        let wrapper = Value::parse(&text).ok()?;
+        if wrapper.get("key").and_then(Value::as_str) != Some(key) {
+            return None;
+        }
+        let result = Arc::new(wrapper.get("result")?.clone());
+        Self::lock(&self.cache).insert(
+            digest.to_string(),
+            CacheEntry { key: key.to_string(), result: Arc::clone(&result) },
+        );
+        Some(result)
     }
 
-    fn cache_store(&self, digest: &str, result: Value) -> Arc<Value> {
+    fn cache_store(&self, digest: &str, key: &str, result: Value) -> Arc<Value> {
         let v = Arc::new(result);
-        Self::lock(&self.cache).insert(digest.to_string(), Arc::clone(&v));
         if let Some(dir) = &self.cache_dir {
+            let wrapper = gsi_json::obj! { "key" => key, "result" => (*v).clone() };
             let _ = std::fs::create_dir_all(dir);
-            let _ = std::fs::write(dir.join(format!("{digest}.json")), v.to_string());
+            let _ = std::fs::write(dir.join(format!("{digest}.json")), wrapper.to_string());
         }
+        Self::lock(&self.cache).insert(
+            digest.to_string(),
+            CacheEntry { key: key.to_string(), result: Arc::clone(&v) },
+        );
         v
     }
 
@@ -342,10 +382,11 @@ impl Server {
             return Ok(false);
         }
 
-        let digest = req.digest();
+        let key = req.cache_key().to_string();
+        let digest = fnv1a128(&key);
         frame(out, gsi_json::obj! { "id" => req.id, "event" => "dispatched", "digest" => digest })?;
 
-        if let Some(hit) = self.cache_lookup(&digest) {
+        if let Some(hit) = self.cache_lookup(&digest, &key) {
             frame(
                 out,
                 gsi_json::obj! {
@@ -400,7 +441,14 @@ impl Server {
             let slice = self.slice;
             self.pool.dispatch(move || {
                 let _ = tx.send(JobEvent::Running);
-                let done = execute(&req, &digest, snapshot, &sims, slice, &tx);
+                // A panic anywhere in the job must still produce a
+                // terminal frame (and must not kill the pool runner), so
+                // the protocol invariant — every request ends in exactly
+                // one `result` or `error` — holds even for simulator bugs.
+                let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&req, &digest, snapshot, &sims, slice, &tx)
+                }))
+                .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_message(payload))));
                 let _ = tx.send(JobEvent::Done(done));
             });
         }
@@ -421,7 +469,7 @@ impl Server {
                     if let Some(snap) = output.snapshot {
                         self.snapshot_store(&digest, snap);
                     }
-                    let stored = self.cache_store(&digest, output.result);
+                    let stored = self.cache_store(&digest, &key, output.result);
                     frame(
                         out,
                         gsi_json::obj! {
@@ -456,23 +504,79 @@ impl Server {
         Ok(())
     }
 
-    /// Accept loop: serve TCP connections one at a time until a client
-    /// sends `shutdown`. Per-connection IO errors are dropped (a client
-    /// hanging up mid-stream must not kill the service).
+    /// Accept loop: serve TCP connections, each on its own thread, until a
+    /// client sends `shutdown` — an idle or slow connection never blocks
+    /// other clients. Per-connection IO errors are dropped (a client
+    /// hanging up mid-stream must not kill the service). On shutdown every
+    /// open connection is closed, so parked readers unblock and the loop
+    /// returns promptly.
     pub fn serve(&self, listener: &std::net::TcpListener) -> io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            // Frames are small and latency is the product; don't let
-            // Nagle hold the result frame behind the dispatched frame.
-            let _ = stream.set_nodelay(true);
-            if let Ok(reader) = stream.try_clone().map(io::BufReader::new) {
-                let _ = self.handle_connection(reader, &stream);
-            }
-            if self.is_shutdown() {
-                break;
-            }
+        let conns = ConnSet::default();
+        let conns = &conns;
+        std::thread::scope(|scope| {
+            let accept = || -> io::Result<()> {
+                for stream in listener.incoming() {
+                    let stream = stream?;
+                    if self.is_shutdown() {
+                        return Ok(());
+                    }
+                    // Frames are small and latency is the product; don't
+                    // let Nagle hold the result frame behind the
+                    // dispatched frame.
+                    let _ = stream.set_nodelay(true);
+                    let token = conns.track(&stream);
+                    scope.spawn(move || {
+                        if let Ok(reader) = stream.try_clone().map(io::BufReader::new) {
+                            let _ = self.handle_connection(reader, &stream);
+                        }
+                        conns.untrack(token);
+                        if self.is_shutdown() {
+                            // Unblock sibling connections parked on reads,
+                            // then nudge the accept loop awake so it sees
+                            // the flag and exits.
+                            conns.close_all();
+                            if let Ok(addr) = listener.local_addr() {
+                                let _ = std::net::TcpStream::connect(addr);
+                            }
+                        }
+                    });
+                }
+                Ok(())
+            };
+            let result = accept();
+            // Before the scope joins the connection threads, make sure
+            // none is parked on a dead loop (accept-error exit path).
+            conns.close_all();
+            result
+        })
+    }
+}
+
+/// The set of live client connections, so shutdown can close them all
+/// (readers blocked in `BufRead::lines` only wake on EOF).
+#[derive(Default)]
+struct ConnSet {
+    next: AtomicU64,
+    conns: Mutex<Vec<(u64, std::net::TcpStream)>>,
+}
+
+impl ConnSet {
+    fn track(&self, stream: &std::net::TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            Server::lock(&self.conns).push((id, clone));
         }
-        Ok(())
+        id
+    }
+
+    fn untrack(&self, id: u64) {
+        Server::lock(&self.conns).retain(|(i, _)| *i != id);
+    }
+
+    fn close_all(&self) {
+        for (_, conn) in Server::lock(&self.conns).drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -533,6 +637,12 @@ fn execute(
     slice: u64,
     tx: &mpsc::Sender<JobEvent>,
 ) -> Result<JobOutput, String> {
+    // Test hook: a workload that always panics, to pin the invariant that
+    // a panicking job still ends in an `error` frame (never a hang).
+    #[cfg(test)]
+    if req.workload == "__panic__" {
+        panic!("synthetic panic for tests");
+    }
     let prepared =
         registry::prepare(&req.workload, req.scale, req.protocol, req.engine, req.sms, req.mshr)?;
     match req.op {
@@ -643,11 +753,78 @@ mod tests {
         assert!(Request::parse("not json").unwrap_err().contains("bad request JSON"));
     }
 
+    fn frames(out: Vec<u8>) -> Vec<Value> {
+        String::from_utf8(out).unwrap().lines().map(|l| Value::parse(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn a_panicking_job_still_ends_in_an_error_frame() {
+        let server = Server::new(None);
+        let mut out = Vec::new();
+        let keep_open = server
+            .handle_line(r#"{"id":3,"op":"simulate","workload":"__panic__"}"#, &mut out)
+            .unwrap();
+        assert!(keep_open, "a job panic must not close the connection");
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("error"));
+        let message = last.get("message").and_then(Value::as_str).unwrap();
+        assert!(message.contains("panicked"), "{message}");
+        // The pool survives: the next request is served normally.
+        let mut out = Vec::new();
+        server.handle_line(r#"{"id":4,"op":"analyze","workload":"spmv"}"#, &mut out).unwrap();
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("result"));
+    }
+
+    #[test]
+    fn out_of_range_sms_is_an_error_frame_not_a_hang() {
+        // The original failure mode: "sms":0 tripped a SystemConfig
+        // assert on the pool runner and the client never got a frame.
+        let server = Server::new(None);
+        for bad in [
+            r#"{"op":"simulate","workload":"spmv","sms":0}"#,
+            r#"{"op":"simulate","workload":"spmv","sms":16}"#,
+            r#"{"op":"simulate","workload":"spmv","mshr":1099511627776}"#,
+        ] {
+            let mut out = Vec::new();
+            server.handle_line(bad, &mut out).unwrap();
+            let last = frames(out).pop().unwrap();
+            assert_eq!(last.get("event").and_then(Value::as_str), Some("error"), "{bad}");
+        }
+        assert_eq!(server.sims_run(), 0);
+    }
+
+    #[test]
+    fn a_colliding_cache_entry_is_a_miss_not_an_alias() {
+        let server = Server::new(None);
+        let req = Request::parse(r#"{"op":"analyze","workload":"spmv"}"#).unwrap();
+        // Poison the slot this request's digest maps to with an entry
+        // recorded under a different canonical key, as a digest collision
+        // would. The lookup must reject it and recompute.
+        Server::lock(&server.cache).insert(
+            req.digest(),
+            CacheEntry {
+                key: "{\"op\":\"other\"}".to_string(),
+                result: Arc::new(gsi_json::obj! { "wrong" => true }),
+            },
+        );
+        let mut out = Vec::new();
+        server.handle_line(r#"{"op":"analyze","workload":"spmv"}"#, &mut out).unwrap();
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("result"));
+        assert_eq!(
+            last.get("cached").and_then(Value::as_bool),
+            Some(false),
+            "a collision must miss, not alias"
+        );
+        assert!(last.get("result").unwrap().get("wrong").is_none(), "aliased payload served");
+    }
+
     #[test]
     fn fnv_matches_reference_vectors() {
-        // Standard FNV-1a 64 test vectors.
-        assert_eq!(fnv1a64(""), "cbf29ce484222325");
-        assert_eq!(fnv1a64("a"), "af63dc4c8601ec8c");
-        assert_eq!(fnv1a64("foobar"), "85944171f73967e8");
+        // Standard FNV-1a 128 test vectors.
+        assert_eq!(fnv1a128(""), "6c62272e07bb014262b821756295c58d");
+        assert_eq!(fnv1a128("a"), "d228cb696f1a8caf78912b704e4a8964");
+        assert_eq!(fnv1a128("foobar"), "343e1662793c64bf6f0d3597ba446f18");
     }
 }

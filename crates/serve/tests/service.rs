@@ -52,7 +52,7 @@ fn simulate_streams_frames_and_caches_repeats() {
 
     assert_eq!(event(&frames[0]), "dispatched");
     let digest = field(&frames[0], "digest").as_str().unwrap().to_string();
-    assert_eq!(digest.len(), 16);
+    assert_eq!(digest.len(), 32);
     assert_eq!(event(&frames[1]), "running");
     assert!(
         frames.iter().any(|f| event(f) == "progress"),
@@ -189,6 +189,47 @@ fn errors_are_frames_not_hangups() {
     assert!(field(errors[2], "message").as_str().unwrap().contains("bad request JSON"));
     assert_eq!(event(result_frame(&frames)), "result");
     assert_eq!(field(result_frame(&frames), "id").as_u64(), Some(11));
+}
+
+#[test]
+fn an_idle_connection_does_not_block_other_clients() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let server = Server::new(None);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        let serve = s.spawn(|| server.serve(&listener));
+
+        // A client that connects and never sends a byte must not starve
+        // the client behind it.
+        let idle = TcpStream::connect(addr).unwrap();
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.set_read_timeout(Some(std::time::Duration::from_secs(120))).unwrap();
+        writeln!(busy, r#"{{"op":"analyze","workload":"spmv"}}"#).unwrap();
+        busy.flush().unwrap();
+        let mut reader = BufReader::new(busy.try_clone().unwrap());
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up mid-request");
+            let frame = Value::parse(line.trim()).unwrap();
+            let ev = frame.get("event").and_then(Value::as_str).unwrap();
+            assert_ne!(ev, "error", "{frame}");
+            if ev == "result" {
+                break;
+            }
+        }
+
+        // Shutdown from a third client stops the whole service even
+        // though the idle connection never spoke.
+        let mut ctl = TcpStream::connect(addr).unwrap();
+        writeln!(ctl, r#"{{"op":"shutdown"}}"#).unwrap();
+        ctl.flush().unwrap();
+        serve.join().unwrap().unwrap();
+        assert!(server.is_shutdown());
+        drop(idle);
+    });
 }
 
 #[test]

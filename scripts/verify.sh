@@ -74,7 +74,7 @@ grep '"id":1' "$SERVE_DIR/client.log" | grep -q '"cached":false' \
     || { echo "serve: cold request unexpectedly cached" >&2; exit 1; }
 grep '"id":2' "$SERVE_DIR/client.log" | grep -q '"cached":true' \
     || { echo "serve: repeated request missed the cache" >&2; exit 1; }
-SNAP=$(sed -n 's/.*"snapshot":"\([0-9a-f]\{16\}\)".*/\1/p' "$SERVE_DIR/client.log" | head -n 1)
+SNAP=$(sed -n 's/.*"snapshot":"\([0-9a-f]\{32\}\)".*/\1/p' "$SERVE_DIR/client.log" | head -n 1)
 if [ -z "$SNAP" ]; then
     echo "serve: checkpoint returned no snapshot digest" >&2
     exit 1
