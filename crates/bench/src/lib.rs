@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod merge;
+pub mod plan;
 pub mod sweep;
 
 use gsi_core::report::Figure;

@@ -1,0 +1,406 @@
+//! Online incremental merging of sweep-unit outcomes into paper-style
+//! artifacts.
+//!
+//! The shard supervisor journals unit results as they land and folds each
+//! one into a [`MergedReport`]; after every completed unit it can rewrite
+//! the figure and row artifacts (atomically — see the supervisor) so a
+//! long sweep always has a current partial picture on disk.
+//!
+//! Everything rendered here is **deterministic**: content derives only
+//! from unit indices, names, and simulation output (cycles, instructions,
+//! stall breakdowns, NoC link counters), never wall-clock times, attempt
+//! counts, or worker identities. That is what makes "a chaos-interrupted
+//! resumed sweep produces byte-identical artifacts to a clean run" a
+//! testable property rather than an aspiration; the nondeterministic
+//! operational story lives in the supervisor's separate manifest.
+
+use gsi_core::report::Figure;
+use gsi_core::StallBreakdown;
+use gsi_json::{FromJson, JsonError, Value};
+use std::collections::BTreeMap;
+
+use crate::plan::{SweepPlan, WorkUnit};
+
+/// One NoC link's traffic counters, from a `trace-summary` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Flattened mesh node index.
+    pub node: u64,
+    /// Link direction: `N`/`E`/`S`/`W`.
+    pub dir: String,
+    /// Cycles the link spent transferring flits.
+    pub busy: u64,
+    /// Cycles messages spent queued behind the link.
+    pub queued: u64,
+}
+gsi_json::json_struct!(LinkLoad { node, dir, busy, queued });
+
+/// A successfully simulated unit, reduced to the fields the artifacts
+/// need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitResult {
+    /// The unit's index in plan expansion order.
+    pub index: usize,
+    /// The unit's display name (`spmv/denovo/mshr32`).
+    pub name: String,
+    /// Workload name — the figure grouping key.
+    pub workload: String,
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// The GSI stall breakdown (the paper's bar chart for this config).
+    pub breakdown: StallBreakdown,
+    /// NoC link loads; empty unless the plan op was `trace-summary`.
+    pub links: Vec<LinkLoad>,
+}
+gsi_json::json_struct!(UnitResult {
+    index,
+    name,
+    workload,
+    cycles,
+    instructions,
+    breakdown,
+    links,
+});
+
+impl UnitResult {
+    /// Reduce a serve `result` payload (the frame's `"result"` object)
+    /// to a [`UnitResult`] for the given unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the payload is missing `cycles`,
+    /// `instructions`, or a parseable `run.breakdown` — which would mean
+    /// the worker spoke a different protocol revision.
+    pub fn from_result(unit: &WorkUnit, result: &Value) -> Result<UnitResult, JsonError> {
+        let cycles = result
+            .req("cycles")?
+            .as_u64()
+            .ok_or_else(|| JsonError::new("`cycles` must be an unsigned integer"))?;
+        let instructions = result
+            .req("instructions")?
+            .as_u64()
+            .ok_or_else(|| JsonError::new("`instructions` must be an unsigned integer"))?;
+        let breakdown = StallBreakdown::from_json(result.req("run")?.req("breakdown")?)?;
+        let links = match result.get("trace_summary").and_then(|t| t.get("links")) {
+            Some(l) => Vec::<LinkLoad>::from_json(l)?,
+            None => Vec::new(),
+        };
+        Ok(UnitResult {
+            index: unit.index,
+            name: unit.name.clone(),
+            workload: unit.workload.clone(),
+            cycles,
+            instructions,
+            breakdown,
+            links,
+        })
+    }
+}
+
+/// A unit that deterministically failed (simulation error) or was
+/// quarantined as poisonous (kept killing workers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// The unit's index in plan expansion order.
+    pub index: usize,
+    /// The unit's display name.
+    pub name: String,
+    /// `failed` (typed error from the worker) or `poisoned`.
+    pub status: String,
+    /// The worker's error message or stderr tail.
+    pub message: String,
+}
+gsi_json::json_struct!(UnitFailure { index, name, status, message });
+
+/// Rolling merge of unit outcomes, renderable at any point.
+#[derive(Debug)]
+pub struct MergedReport {
+    plan_name: String,
+    plan_digest: String,
+    total_units: usize,
+    results: BTreeMap<usize, UnitResult>,
+    failures: BTreeMap<usize, UnitFailure>,
+}
+
+impl MergedReport {
+    /// An empty report for a plan.
+    pub fn new(plan: &SweepPlan) -> MergedReport {
+        MergedReport {
+            plan_name: plan.name.clone(),
+            plan_digest: plan.digest(),
+            total_units: plan.unit_count(),
+            results: BTreeMap::new(),
+            failures: BTreeMap::new(),
+        }
+    }
+
+    /// Fold in a successful unit. Returns `false` (and changes nothing)
+    /// if this unit index already has an outcome — the double-count
+    /// guard behind the journal's replay dedup.
+    pub fn insert(&mut self, result: UnitResult) -> bool {
+        let index = result.index;
+        if self.done(index) {
+            return false;
+        }
+        self.results.insert(index, result).is_none()
+    }
+
+    /// Fold in a failed or poisoned unit; same dedup contract as
+    /// [`MergedReport::insert`].
+    pub fn insert_failure(&mut self, failure: UnitFailure) -> bool {
+        let index = failure.index;
+        if self.done(index) {
+            return false;
+        }
+        self.failures.insert(index, failure).is_none()
+    }
+
+    /// Does this unit index already have a recorded outcome?
+    pub fn done(&self, index: usize) -> bool {
+        self.results.contains_key(&index) || self.failures.contains_key(&index)
+    }
+
+    /// Units with any outcome so far.
+    pub fn outcome_count(&self) -> usize {
+        self.results.len() + self.failures.len()
+    }
+
+    /// Have all plan units landed?
+    pub fn is_complete(&self) -> bool {
+        self.outcome_count() >= self.total_units
+    }
+
+    /// The deterministic row artifact: one object per unit, sorted by
+    /// index. This is what the verify harness byte-compares across a
+    /// clean run and a chaos-interrupted resumed run, and what lands in
+    /// `BENCH_PR<n>.json`.
+    pub fn rows_json(&self) -> Value {
+        let mut rows: Vec<(usize, Value)> = Vec::with_capacity(self.outcome_count());
+        for r in self.results.values() {
+            rows.push((
+                r.index,
+                gsi_json::obj! {
+                    "unit" => r.index,
+                    "name" => r.name,
+                    "status" => "ok",
+                    "cycles" => r.cycles,
+                    "instructions" => r.instructions,
+                },
+            ));
+        }
+        for f in self.failures.values() {
+            rows.push((
+                f.index,
+                gsi_json::obj! {
+                    "unit" => f.index,
+                    "name" => f.name,
+                    "status" => f.status,
+                    "message" => f.message,
+                },
+            ));
+        }
+        rows.sort_by_key(|(i, _)| *i);
+        gsi_json::obj! {
+            "plan" => self.plan_name,
+            "plan_digest" => self.plan_digest,
+            "total_units" => self.total_units,
+            "rows" => Value::Array(rows.into_iter().map(|(_, v)| v).collect()),
+        }
+    }
+
+    /// The deterministic figure artifact: per-workload stall-breakdown
+    /// figures (paper style, normalized to the workload's first listed
+    /// configuration), NoC heatmaps for units that carried link loads,
+    /// and a failed-unit section.
+    pub fn figures_text(&self) -> String {
+        let mut by_workload: BTreeMap<&str, Vec<&UnitResult>> = BTreeMap::new();
+        for r in self.results.values() {
+            by_workload.entry(&r.workload).or_default().push(r);
+        }
+        let mut out = format!(
+            "# {} — {}/{} units merged (plan {})\n",
+            self.plan_name,
+            self.outcome_count(),
+            self.total_units,
+            self.plan_digest
+        );
+        for (workload, units) in &by_workload {
+            let mut figure = Figure::new(format!("{} — {workload}", self.plan_name));
+            for u in units {
+                figure.push(u.name.clone(), u.breakdown.clone());
+            }
+            out.push('\n');
+            out.push_str(&figure.render_all(60));
+        }
+        let mut any_links = false;
+        for r in self.results.values() {
+            if r.links.is_empty() {
+                continue;
+            }
+            if !any_links {
+                out.push_str("\n## NoC link-busy heatmaps\n");
+                any_links = true;
+            }
+            out.push_str(&format!("\n### {}\n{}", r.name, render_heatmap(&r.links)));
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n## Units without results\n");
+            for f in self.failures.values() {
+                out.push_str(&format!(
+                    "- [{}] {} — {}: {}\n",
+                    f.index, f.name, f.status, f.message
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Density ramp for heatmap cells, dark to bright (same convention as the
+/// trace renderer's timeline view).
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render per-node total link busy-cycles as a square character grid.
+///
+/// The mesh side is recovered as `ceil(sqrt(max node + 1))` — the summary
+/// JSON only names loaded links, so this is the tightest square mesh that
+/// contains them all.
+pub fn render_heatmap(links: &[LinkLoad]) -> String {
+    let mut per_node: BTreeMap<u64, u64> = BTreeMap::new();
+    for l in links {
+        *per_node.entry(l.node).or_insert(0) += l.busy;
+    }
+    let Some(max_node) = per_node.keys().next_back().copied() else {
+        return String::from("(no link traffic)\n");
+    };
+    let mut side = 1u64;
+    while side * side < max_node + 1 {
+        side += 1;
+    }
+    let peak = per_node.values().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for row in 0..side {
+        for col in 0..side {
+            let busy = per_node.get(&(row * side + col)).copied().unwrap_or(0);
+            let frac = busy as f64 / peak as f64;
+            let idx = ((frac * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_json::ToJson;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::parse(r#"{"name":"t","workloads":["spmv","bfs"],"protocols":["gpu","denovo"]}"#)
+            .unwrap()
+    }
+
+    fn fake_result(cycles: u64) -> Value {
+        let breakdown = StallBreakdown::default().to_json();
+        gsi_json::obj! {
+            "workload" => "spmv",
+            "cycles" => cycles,
+            "instructions" => 10u64,
+            "run" => gsi_json::obj! { "breakdown" => breakdown },
+        }
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_unit_indices() {
+        let p = plan();
+        let units = p.units();
+        let mut merged = MergedReport::new(&p);
+        let r = UnitResult::from_result(&units[0], &fake_result(100)).unwrap();
+        assert!(merged.insert(r.clone()));
+        assert!(!merged.insert(r), "a unit must never merge twice");
+        // A failure for the same index is likewise a duplicate.
+        assert!(!merged.insert_failure(UnitFailure {
+            index: 0,
+            name: units[0].name.clone(),
+            status: "failed".into(),
+            message: "late".into(),
+        }));
+        assert_eq!(merged.outcome_count(), 1);
+        assert!(!merged.is_complete());
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deterministic() {
+        let p = plan();
+        let units = p.units();
+        let mut a = MergedReport::new(&p);
+        let mut b = MergedReport::new(&p);
+        // Insert in opposite orders; rendered artifacts must not care.
+        for i in [3usize, 0, 2, 1] {
+            let r = UnitResult::from_result(&units[i], &fake_result(100 + i as u64)).unwrap();
+            a.insert(r);
+        }
+        for (i, unit) in units.iter().enumerate().take(4) {
+            let r = UnitResult::from_result(unit, &fake_result(100 + i as u64)).unwrap();
+            b.insert(r);
+        }
+        assert!(a.is_complete());
+        assert_eq!(a.rows_json().to_string(), b.rows_json().to_string());
+        assert_eq!(a.figures_text(), b.figures_text());
+        let rows = a.rows_json();
+        let arr = rows.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[2].get("unit").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn figures_group_by_workload_and_list_failures() {
+        let p = plan();
+        let units = p.units();
+        let mut merged = MergedReport::new(&p);
+        merged.insert(UnitResult::from_result(&units[0], &fake_result(100)).unwrap());
+        merged.insert(UnitResult::from_result(&units[2], &fake_result(90)).unwrap());
+        merged.insert_failure(UnitFailure {
+            index: 3,
+            name: units[3].name.clone(),
+            status: "poisoned".into(),
+            message: "signal: 9".into(),
+        });
+        let text = merged.figures_text();
+        assert!(text.contains("t — spmv"), "missing spmv figure:\n{text}");
+        assert!(text.contains("t — bfs"), "missing bfs figure:\n{text}");
+        assert!(text.contains("poisoned"), "missing failure section:\n{text}");
+        assert!(text.contains("3/4 units merged"), "missing progress line:\n{text}");
+    }
+
+    #[test]
+    fn heatmap_recovers_mesh_geometry_from_link_indices() {
+        let links = vec![
+            LinkLoad { node: 0, dir: "N".into(), busy: 10, queued: 0 },
+            LinkLoad { node: 0, dir: "E".into(), busy: 10, queued: 0 },
+            LinkLoad { node: 8, dir: "S".into(), busy: 5, queued: 1 },
+        ];
+        let grid = render_heatmap(&links);
+        // max node 8 → 3×3 mesh; node 0 is the peak, node 8 half-bright.
+        let lines: Vec<&str> = grid.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 3));
+        assert_eq!(lines[0].chars().next(), Some('@'));
+        assert_eq!(render_heatmap(&[]), "(no link traffic)\n");
+    }
+
+    #[test]
+    fn unit_results_round_trip_through_json() {
+        let p = plan();
+        let units = p.units();
+        let r = UnitResult::from_result(&units[1], &fake_result(77)).unwrap();
+        let back = UnitResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // Malformed payloads are typed errors, not panics.
+        assert!(UnitResult::from_result(&units[0], &gsi_json::obj! {}).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Declarative sweep plans: a cross-product of scenario dimensions as
+//! *data*, expanded into an ordered list of work units.
+//!
+//! A plan is a gsi-json document naming the dimensions of a sweep —
+//! workloads, protocols, MSHR sizes, SM counts, cycle engines, chaos
+//! seeds — plus the operation and scale every unit runs at. Expansion is
+//! a deterministic cross-product: unit *i* always denotes the same
+//! `(workload, protocol, …)` combination for a given plan, which is what
+//! lets the shard journal identify completed units by index alone (the
+//! journal header pins the plan's content digest).
+//!
+//! Each unit carries the gsi-serve request line a worker process runs, so
+//! the plan layer stays transport-agnostic: anything that speaks the
+//! serve line-JSON protocol — an in-process [`crate::sweep`] runner, a
+//! worker subprocess, a remote service — can execute a unit.
+
+use gsi_json::{JsonError, Value};
+
+/// A declarative sweep: the cross-product of every listed dimension.
+///
+/// Dimensions with a single default (protocol `"gpu"`, registry-default
+/// MSHR/SMs/engine, chaos off) may be omitted from the plan document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Plan name; prefixes artifact files and journal headers.
+    pub name: String,
+    /// The serve operation every unit runs: `"simulate"`, `"blame"`, or
+    /// `"trace-summary"` (the latter also yields NoC link heatmaps).
+    pub op: String,
+    /// Workload scale: `"small"` or `"paper"`.
+    pub scale: String,
+    /// Registry workload names.
+    pub workloads: Vec<String>,
+    /// Coherence protocols: `"gpu"` / `"denovo"`.
+    pub protocols: Vec<String>,
+    /// MSHR sizes; `None` means the registry default.
+    pub mshrs: Vec<Option<u64>>,
+    /// SM counts; `None` means the registry default.
+    pub sms: Vec<Option<u64>>,
+    /// Cycle engines: `"event"` / `"dense"`; `None` means the default.
+    pub engines: Vec<Option<String>>,
+    /// Chaos seeds; `None` means fault injection off.
+    pub seeds: Vec<Option<u64>>,
+}
+
+/// One expanded unit of a plan: a stable index, a human-readable name,
+/// and the serve request that runs it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkUnit {
+    /// Position in plan expansion order; the journal's unit key.
+    pub index: usize,
+    /// Display name, e.g. `spmv/denovo/mshr32/seed7`.
+    pub name: String,
+    /// The workload this unit simulates (the figure grouping key).
+    pub workload: String,
+    /// The serve request (without an `id`; the executor assigns one).
+    pub request: Value,
+}
+
+impl WorkUnit {
+    /// The request as a line of wire JSON with the given correlation id.
+    pub fn request_line(&self, id: u64) -> String {
+        let mut req = self.request.clone();
+        req.set("id", id);
+        req.to_string()
+    }
+}
+
+fn string_list(v: &Value, key: &str) -> Result<Option<Vec<String>>, JsonError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => {
+            let items = x.as_array().ok_or_else(|| JsonError::expected("array", x))?;
+            items
+                .iter()
+                .map(|s| {
+                    s.as_str().map(str::to_string).ok_or_else(|| JsonError::expected("string", s))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+/// A list whose entries are unsigned integers or `null` (= default).
+fn opt_u64_list(v: &Value, key: &str) -> Result<Vec<Option<u64>>, JsonError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(vec![None]),
+        Some(x) => {
+            let items = x.as_array().ok_or_else(|| JsonError::expected("array", x))?;
+            items
+                .iter()
+                .map(|n| match n {
+                    Value::Null => Ok(None),
+                    other => other
+                        .as_u64()
+                        .map(Some)
+                        .ok_or_else(|| JsonError::expected("unsigned integer or null", other)),
+                })
+                .collect()
+        }
+    }
+}
+
+impl SweepPlan {
+    /// Parse a plan document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON, missing required
+    /// fields (`name`, `workloads`), bad types, or empty dimensions.
+    pub fn parse(text: &str) -> Result<SweepPlan, JsonError> {
+        Self::from_json(&Value::parse(text)?)
+    }
+
+    /// Build a plan from a parsed document (see [`SweepPlan::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing/ill-typed fields or empty
+    /// dimensions.
+    pub fn from_json(v: &Value) -> Result<SweepPlan, JsonError> {
+        let name = v
+            .req("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("`name` must be a string"))?
+            .to_string();
+        let op = match v.get("op") {
+            None => "simulate".to_string(),
+            Some(x) => match x.as_str() {
+                Some(op @ ("simulate" | "blame" | "trace-summary")) => op.to_string(),
+                _ => return Err(JsonError::new(format!("unsupported plan op {x}"))),
+            },
+        };
+        let scale = match v.get("scale") {
+            None => "small".to_string(),
+            Some(x) => match x.as_str() {
+                Some(s @ ("small" | "paper")) => s.to_string(),
+                _ => return Err(JsonError::new(format!("unknown scale {x}"))),
+            },
+        };
+        let workloads =
+            string_list(v, "workloads")?.ok_or_else(|| JsonError::missing("workloads"))?;
+        let protocols = string_list(v, "protocols")?.unwrap_or_else(|| vec!["gpu".to_string()]);
+        for p in &protocols {
+            if p != "gpu" && p != "denovo" {
+                return Err(JsonError::new(format!("unknown protocol {p:?}")));
+            }
+        }
+        let engines = match v.get("engines") {
+            None | Some(Value::Null) => vec![None],
+            Some(x) => {
+                let items = x.as_array().ok_or_else(|| JsonError::expected("array", x))?;
+                items
+                    .iter()
+                    .map(|e| match e {
+                        Value::Null => Ok(None),
+                        other => match other.as_str() {
+                            Some(s @ ("event" | "dense")) => Ok(Some(s.to_string())),
+                            _ => Err(JsonError::new(format!("unknown engine {other}"))),
+                        },
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        let plan = SweepPlan {
+            name,
+            op,
+            scale,
+            workloads,
+            protocols,
+            mshrs: opt_u64_list(v, "mshr")?,
+            sms: opt_u64_list(v, "sms")?,
+            engines,
+            seeds: opt_u64_list(v, "seeds")?,
+        };
+        if plan.workloads.is_empty() || plan.protocols.is_empty() {
+            return Err(JsonError::new("a plan dimension is empty"));
+        }
+        Ok(plan)
+    }
+
+    /// The canonical document: every dimension explicit, fixed field
+    /// order — the digest input.
+    pub fn to_json(&self) -> Value {
+        let opt_list = |xs: &[Option<u64>]| {
+            Value::Array(xs.iter().map(|x| x.map_or(Value::Null, Value::U64)).collect())
+        };
+        gsi_json::obj! {
+            "name" => self.name,
+            "op" => self.op,
+            "scale" => self.scale,
+            "workloads" => self.workloads,
+            "protocols" => self.protocols,
+            "mshr" => opt_list(&self.mshrs),
+            "sms" => opt_list(&self.sms),
+            "engines" => Value::Array(
+                self.engines
+                    .iter()
+                    .map(|e| e.as_ref().map_or(Value::Null, |s| Value::Str(s.clone())))
+                    .collect(),
+            ),
+            "seeds" => opt_list(&self.seeds),
+        }
+    }
+
+    /// Content digest of the canonical plan document. The shard journal
+    /// header records it so a resume against the wrong plan is a typed
+    /// error, not silently misattributed units.
+    pub fn digest(&self) -> String {
+        gsi_json::fnv1a128(&self.to_json().to_string())
+    }
+
+    /// Total units the plan expands to.
+    pub fn unit_count(&self) -> usize {
+        self.workloads.len()
+            * self.protocols.len()
+            * self.mshrs.len()
+            * self.sms.len()
+            * self.engines.len()
+            * self.seeds.len()
+    }
+
+    /// Expand the cross-product, in deterministic order (workload
+    /// outermost, seed innermost). Unit names spell only the
+    /// non-default dimensions, so a plan sweeping one protocol at default
+    /// MSHR reads as plain workload names.
+    pub fn units(&self) -> Vec<WorkUnit> {
+        let mut units = Vec::with_capacity(self.unit_count());
+        for w in &self.workloads {
+            for p in &self.protocols {
+                for e in &self.engines {
+                    for s in &self.sms {
+                        for m in &self.mshrs {
+                            for seed in &self.seeds {
+                                let mut name = w.clone();
+                                if self.protocols.len() > 1 || p != "gpu" {
+                                    name.push_str(&format!("/{p}"));
+                                }
+                                if let Some(e) = e {
+                                    name.push_str(&format!("/{e}"));
+                                }
+                                if let Some(s) = s {
+                                    name.push_str(&format!("/sms{s}"));
+                                }
+                                if let Some(m) = m {
+                                    name.push_str(&format!("/mshr{m}"));
+                                }
+                                if let Some(seed) = seed {
+                                    name.push_str(&format!("/seed{seed}"));
+                                }
+                                let mut request = gsi_json::obj! {
+                                    "op" => self.op,
+                                    "workload" => w,
+                                    "scale" => self.scale,
+                                    "protocol" => p,
+                                };
+                                if let Some(e) = e {
+                                    request.set("engine", e.as_str());
+                                }
+                                if let Some(s) = s {
+                                    request.set("sms", *s);
+                                }
+                                if let Some(m) = m {
+                                    request.set("mshr", *m);
+                                }
+                                if let Some(seed) = seed {
+                                    request.set("seed", *seed);
+                                }
+                                units.push(WorkUnit {
+                                    index: units.len(),
+                                    name,
+                                    workload: w.clone(),
+                                    request,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    const PLAN: &str = r#"{
+        "name": "demo",
+        "workloads": ["spmv", "bfs"],
+        "protocols": ["gpu", "denovo"],
+        "mshr": [8, 32]
+    }"#;
+
+    #[test]
+    fn expansion_is_a_deterministic_cross_product() {
+        let plan = SweepPlan::parse(PLAN).unwrap();
+        assert_eq!(plan.unit_count(), 8);
+        let units = plan.units();
+        assert_eq!(units.len(), 8);
+        assert_eq!(units[0].name, "spmv/gpu/mshr8");
+        assert_eq!(units[3].name, "spmv/denovo/mshr32");
+        assert_eq!(units[7].name, "bfs/denovo/mshr32");
+        for (i, u) in units.iter().enumerate() {
+            assert_eq!(u.index, i);
+        }
+        // Same plan, same expansion, same digest.
+        let again = SweepPlan::parse(PLAN).unwrap();
+        assert_eq!(again.units(), units);
+        assert_eq!(again.digest(), plan.digest());
+    }
+
+    #[test]
+    fn request_lines_parse_as_serve_requests() {
+        let plan = SweepPlan::parse(PLAN).unwrap();
+        let line = plan.units()[5].request_line(5);
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("simulate"));
+        assert_eq!(v.get("workload").and_then(Value::as_str), Some("bfs"));
+        assert_eq!(v.get("mshr").and_then(Value::as_u64), Some(32));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_dimension() {
+        let base = SweepPlan::parse(PLAN).unwrap();
+        let mut other = base.clone();
+        other.seeds = vec![Some(1)];
+        assert_ne!(base.digest(), other.digest());
+        let mut other = base.clone();
+        other.scale = "paper".to_string();
+        assert_ne!(base.digest(), other.digest());
+    }
+
+    #[test]
+    fn defaults_fill_in_and_bad_documents_are_typed_errors() {
+        let plan = SweepPlan::parse(r#"{"name":"n","workloads":["uts"]}"#).unwrap();
+        assert_eq!(plan.op, "simulate");
+        assert_eq!(plan.scale, "small");
+        assert_eq!(plan.unit_count(), 1);
+        assert_eq!(plan.units()[0].name, "uts");
+
+        for bad in [
+            "not json",
+            r#"{"workloads":["uts"]}"#,
+            r#"{"name":"n"}"#,
+            r#"{"name":"n","workloads":["uts"],"op":"fly"}"#,
+            r#"{"name":"n","workloads":["uts"],"protocols":["mesi"]}"#,
+            r#"{"name":"n","workloads":["uts"],"engines":["warp"]}"#,
+            r#"{"name":"n","workloads":["uts"],"mshr":["big"]}"#,
+            r#"{"name":"n","workloads":[],"protocols":["gpu"]}"#,
+        ] {
+            assert!(SweepPlan::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let plan = SweepPlan::parse(PLAN).unwrap();
+        let back = SweepPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.digest(), plan.digest());
+    }
+}

@@ -845,6 +845,27 @@ macro_rules! obj {
     };
 }
 
+/// FNV-1a 128-bit content digest, rendered as 32 lowercase hex digits.
+///
+/// The workspace's standard content-address: the serve cache keys results
+/// by the FNV-1a 128 of a request's canonical compact encoding, and the
+/// shard journal checksums every record with it. 128 bits keeps an
+/// accidental collision between two distinct documents out of reach; the
+/// consumers that must be collision-*proof* (the serve cache) additionally
+/// store and verify the full key.
+///
+/// ```
+/// assert_eq!(gsi_json::fnv1a128(""), "6c62272e07bb014262b821756295c58d");
+/// ```
+pub fn fnv1a128(text: &str) -> String {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for b in text.as_bytes() {
+        h ^= u128::from(*b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    format!("{h:032x}")
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -1002,6 +1023,14 @@ mod tests {
         assert_eq!(Kind::from_json(&Kind::B.to_json()).unwrap(), Kind::B);
         assert!(Kind::from_json(&Value::Str("C".into())).is_err());
         assert!(Outer::from_json(&Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 128 test vectors.
+        assert_eq!(fnv1a128(""), "6c62272e07bb014262b821756295c58d");
+        assert_eq!(fnv1a128("a"), "d228cb696f1a8caf78912b704e4a8964");
+        assert_eq!(fnv1a128("foobar"), "343e1662793c64bf6f0d3597ba446f18");
     }
 
     #[test]

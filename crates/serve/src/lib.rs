@@ -46,4 +46,4 @@ pub mod registry;
 pub mod server;
 
 pub use registry::{prepare, Prepared, Scale, MAX_MSHR_ENTRIES, WORKLOADS};
-pub use server::{Op, Request, Server};
+pub use server::{ConnLimits, Op, Request, Server};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gsi-serve --listen 127.0.0.1:0 [--cache-dir DIR] [--slice CYCLES]
+//!           [--max-line BYTES] [--idle-timeout SECS]
 //! gsi-serve --stdio [--cache-dir DIR]
 //! ```
 //!
@@ -9,14 +10,24 @@
 //! `LISTENING <addr>` (useful with port 0); frames go to the socket. In
 //! stdio mode frames go to stdout. The service exits after a client sends
 //! `{"op":"shutdown"}`.
+//!
+//! Request hygiene: request lines longer than `--max-line` (default
+//! 64 KiB) and TCP connections idle past `--idle-timeout` (default 300 s;
+//! 0 disables) get a typed error frame and the connection closes. Stdio
+//! mode — the shard workers' transport — never times out: the supervisor
+//! legitimately leaves workers idle between units.
 
-use gsi_serve::Server;
+use gsi_serve::{ConnLimits, Server};
 use std::io;
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: gsi-serve (--listen ADDR | --stdio) [--cache-dir DIR] [--slice CYCLES]");
+    eprintln!(
+        "usage: gsi-serve (--listen ADDR | --stdio) [--cache-dir DIR] [--slice CYCLES] \
+         [--max-line BYTES] [--idle-timeout SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -26,6 +37,8 @@ fn main() {
     let mut stdio = false;
     let mut cache_dir: Option<PathBuf> = None;
     let mut slice: Option<u64> = None;
+    let mut limits = ConnLimits::default();
+    let mut idle_secs: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,6 +48,21 @@ fn main() {
             "--slice" => {
                 slice = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--max-line" => {
+                limits.max_line = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .unwrap_or_else(|| usage())
+            }
+            "--idle-timeout" => {
+                idle_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&s| s >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -42,7 +70,20 @@ fn main() {
         usage(); // exactly one transport
     }
 
-    let mut server = Server::new(cache_dir);
+    // TCP defaults to a 300 s idle timeout; stdio (trusted pipe, shard
+    // worker mode) has none — workers wait arbitrarily long for the next
+    // unit.
+    limits.idle_timeout = if stdio {
+        None
+    } else {
+        match idle_secs {
+            Some(s) if s > 0.0 => Some(Duration::from_secs_f64(s)),
+            Some(_) => None, // 0 disables the timeout
+            None => Some(Duration::from_secs(300)),
+        }
+    };
+
+    let mut server = Server::new(cache_dir).with_limits(limits);
     if let Some(cycles) = slice {
         server = server.with_slice(cycles);
     }

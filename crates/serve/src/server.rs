@@ -187,17 +187,98 @@ fn engine_name(e: CycleEngine) -> &'static str {
     }
 }
 
-/// FNV-1a 128-bit, rendered as 32 hex digits. Wide enough that an
-/// accidental digest collision between two distinct requests — which
-/// would alias snapshot slots — is out of reach; the result cache
-/// additionally verifies the stored canonical key on every lookup.
-fn fnv1a128(text: &str) -> String {
-    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    for b in text.as_bytes() {
-        h ^= u128::from(*b);
-        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+// Request digests use the shared workspace FNV-1a 128 (`gsi_json::fnv1a128`):
+// wide enough that an accidental collision between two distinct requests —
+// which would alias snapshot slots — is out of reach; the result cache
+// additionally verifies the stored canonical key on every lookup.
+use gsi_json::fnv1a128;
+
+/// Crash-safe file publish: write the full contents to a temp file in the
+/// same directory, then rename it into place. A kill mid-write can leave a
+/// stale temp file behind, but never a truncated entry that a later lookup
+/// would read and trust. Concurrent stores of the same name are benign:
+/// entries are content-addressed, so both writers carry identical bytes.
+fn write_atomic(dir: &std::path::Path, name: &str, text: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// Per-connection request hygiene: bounds that keep one stuck or hostile
+/// client from pinning a connection thread forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnLimits {
+    /// Maximum accepted request-line length in bytes. A longer line gets a
+    /// typed `oversize` error frame and the connection is closed — the
+    /// thread never buffers an unbounded line.
+    pub max_line: usize,
+    /// How long a connection may sit idle between reads (TCP only; the
+    /// supervisor applies it via `set_read_timeout`). Expiry produces a
+    /// typed `idle-timeout` error frame, then the connection closes.
+    /// `None` disables the timeout (stdio mode, trusted pipes).
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ConnLimits {
+    fn default() -> Self {
+        // Requests are one-line JSON objects of a few hundred bytes; 64 KiB
+        // leaves two orders of magnitude of headroom.
+        ConnLimits { max_line: 64 * 1024, idle_timeout: None }
     }
-    format!("{h:032x}")
+}
+
+/// Why a bounded line read stopped without producing a request line.
+enum LineError {
+    /// The line exceeded [`ConnLimits::max_line`] before a newline.
+    Oversize,
+    /// The transport's read timeout expired while the line was idle.
+    IdleTimeout,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes. Returns `None` at
+/// EOF. Invalid UTF-8 is replaced rather than rejected — the JSON parser
+/// downstream produces the typed error.
+fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, LineError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(LineError::IdleTimeout)
+            }
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if chunk.is_empty() {
+            // EOF: a partial unterminated line still counts as a request
+            // (matches `BufRead::lines` behavior for final lines).
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+            };
+        }
+        let (line_end, used) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (true, i + 1),
+            None => (false, chunk.len()),
+        };
+        if buf.len() + used > max + 1 {
+            return Err(LineError::Oversize);
+        }
+        buf.extend_from_slice(&chunk[..used]);
+        reader.consume(used);
+        if line_end {
+            while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
 }
 
 /// Render a caught panic payload as a message.
@@ -244,6 +325,7 @@ pub struct Server {
     sims_run: Arc<AtomicU64>,
     shutdown: AtomicBool,
     slice: u64,
+    limits: ConnLimits,
 }
 
 /// Cycles per `run_until` slice between progress checks.
@@ -262,7 +344,15 @@ impl Server {
             sims_run: Arc::new(AtomicU64::new(0)),
             shutdown: AtomicBool::new(false),
             slice: DEFAULT_SLICE,
+            limits: ConnLimits::default(),
         }
+    }
+
+    /// Set the per-connection request-hygiene limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: ConnLimits) -> Server {
+        self.limits = ConnLimits { max_line: limits.max_line.max(2), ..limits };
+        self
     }
 
     /// Set the progress-slice length in cycles (tests shrink it to force
@@ -316,8 +406,7 @@ impl Server {
         let v = Arc::new(result);
         if let Some(dir) = &self.cache_dir {
             let wrapper = gsi_json::obj! { "key" => key, "result" => (*v).clone() };
-            let _ = std::fs::create_dir_all(dir);
-            let _ = std::fs::write(dir.join(format!("{digest}.json")), wrapper.to_string());
+            let _ = write_atomic(dir, &format!("{digest}.json"), &wrapper.to_string());
         }
         Self::lock(&self.cache).insert(
             digest.to_string(),
@@ -341,8 +430,7 @@ impl Server {
         let v = Arc::new(snapshot);
         Self::lock(&self.snapshots).insert(digest.to_string(), Arc::clone(&v));
         if let Some(dir) = &self.cache_dir {
-            let _ = std::fs::create_dir_all(dir);
-            let _ = std::fs::write(dir.join(format!("{digest}.snap.json")), v.to_string());
+            let _ = write_atomic(dir, &format!("{digest}.snap.json"), &v.to_string());
         }
     }
 
@@ -494,14 +582,51 @@ impl Server {
         Ok(true)
     }
 
-    /// Serve one connection: requests line by line until EOF or shutdown.
-    pub fn handle_connection(&self, reader: impl BufRead, mut out: impl Write) -> io::Result<()> {
-        for line in reader.lines() {
-            if !self.handle_line(&line?, &mut out)? {
-                break;
+    /// Serve one connection: requests line by line until EOF, shutdown, or
+    /// a hygiene violation. An oversize request line or an expired idle
+    /// timeout ends the connection with a typed error frame — one stuck or
+    /// hostile client can never pin the connection thread forever.
+    pub fn handle_connection(
+        &self,
+        mut reader: impl BufRead,
+        mut out: impl Write,
+    ) -> io::Result<()> {
+        loop {
+            match read_bounded_line(&mut reader, self.limits.max_line) {
+                Ok(None) => return Ok(()),
+                Ok(Some(line)) => {
+                    if !self.handle_line(&line, &mut out)? {
+                        return Ok(());
+                    }
+                }
+                Err(LineError::Oversize) => {
+                    return frame(
+                        &mut out,
+                        gsi_json::obj! {
+                            "id" => 0u64,
+                            "event" => "error",
+                            "kind" => "oversize",
+                            "message" => format!(
+                                "request line exceeds the {}-byte limit; closing",
+                                self.limits.max_line
+                            ),
+                        },
+                    );
+                }
+                Err(LineError::IdleTimeout) => {
+                    return frame(
+                        &mut out,
+                        gsi_json::obj! {
+                            "id" => 0u64,
+                            "event" => "error",
+                            "kind" => "idle-timeout",
+                            "message" => "connection idle past the read timeout; closing",
+                        },
+                    );
+                }
+                Err(LineError::Io(e)) => return Err(e),
             }
         }
-        Ok(())
     }
 
     /// Accept loop: serve TCP connections, each on its own thread, until a
@@ -524,6 +649,10 @@ impl Server {
                     // let Nagle hold the result frame behind the
                     // dispatched frame.
                     let _ = stream.set_nodelay(true);
+                    // Arm the idle-read timeout so a silent client's
+                    // connection thread frees itself (typed error frame,
+                    // then close) instead of parking forever.
+                    let _ = stream.set_read_timeout(self.limits.idle_timeout);
                     let token = conns.track(&stream);
                     scope.spawn(move || {
                         if let Ok(reader) = stream.try_clone().map(io::BufReader::new) {
@@ -826,5 +955,105 @@ mod tests {
         assert_eq!(fnv1a128(""), "6c62272e07bb014262b821756295c58d");
         assert_eq!(fnv1a128("a"), "d228cb696f1a8caf78912b704e4a8964");
         assert_eq!(fnv1a128("foobar"), "343e1662793c64bf6f0d3597ba446f18");
+    }
+
+    #[test]
+    fn oversize_request_line_is_a_typed_error_frame_not_a_hang() {
+        let server =
+            Server::new(None).with_limits(ConnLimits { max_line: 128, ..Default::default() });
+        // A "request" that never ends within the limit: the connection
+        // must get an `oversize` error frame and close, without the server
+        // ever buffering the whole line.
+        let big = format!("{{\"op\":\"simulate\",\"workload\":\"{}\"}}\n", "x".repeat(4096));
+        let mut out = Vec::new();
+        server.handle_connection(io::Cursor::new(big.into_bytes()), &mut out).unwrap();
+        let fs = frames(out);
+        assert_eq!(fs.len(), 1, "exactly one frame then close");
+        assert_eq!(fs[0].get("event").and_then(Value::as_str), Some("error"));
+        assert_eq!(fs[0].get("kind").and_then(Value::as_str), Some("oversize"));
+        // The server itself is unaffected: the next connection works.
+        let mut out = Vec::new();
+        server
+            .handle_connection(
+                io::Cursor::new(b"{\"op\":\"analyze\",\"workload\":\"spmv\"}\n".to_vec()),
+                &mut out,
+            )
+            .unwrap();
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("result"));
+    }
+
+    #[test]
+    fn bounded_reads_accept_normal_lines_and_final_unterminated_lines() {
+        let server =
+            Server::new(None).with_limits(ConnLimits { max_line: 256, ..Default::default() });
+        // Two requests, the second without a trailing newline (EOF ends it).
+        let input = b"{\"id\":1,\"op\":\"analyze\",\"workload\":\"spmv\"}\n\
+                      {\"id\":2,\"op\":\"analyze\",\"workload\":\"spmv\"}"
+            .to_vec();
+        let mut out = Vec::new();
+        server.handle_connection(io::Cursor::new(input), &mut out).unwrap();
+        let results: Vec<u64> = frames(out)
+            .iter()
+            .filter(|f| f.get("event").and_then(Value::as_str) == Some("result"))
+            .map(|f| f.get("id").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(results, vec![1, 2]);
+    }
+
+    #[test]
+    fn idle_timeout_produces_typed_error_frame_over_tcp() {
+        use std::io::Read;
+        let server = Arc::new(Server::new(None).with_limits(ConnLimits {
+            idle_timeout: Some(std::time::Duration::from_millis(100)),
+            ..Default::default()
+        }));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            let _ = srv.serve(&listener);
+        });
+        // Connect and send nothing: the read timeout must fire, the
+        // connection must get the typed frame and then EOF.
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap(); // returns only on EOF
+        let v = Value::parse(text.lines().next().expect("one frame")).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("idle-timeout"));
+        // A live client is unaffected within the window; shut down cleanly.
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        writeln!(conn, "{{\"op\":\"shutdown\"}}").unwrap();
+        let mut text = String::new();
+        let _ = conn.read_to_string(&mut text);
+        assert!(text.contains("\"result\""), "{text}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn cache_and_snapshot_files_are_published_atomically() {
+        let dir = std::env::temp_dir().join(format!("gsi_serve_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::new(Some(dir.clone()));
+        server.cache_store("deadbeef", "{\"op\":\"x\"}", gsi_json::obj! { "ok" => true });
+        server.snapshot_store("deadbeef", gsi_json::obj! { "cycle" => 9u64 });
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains(&"deadbeef.json".to_string()), "{names:?}");
+        assert!(names.contains(&"deadbeef.snap.json".to_string()), "{names:?}");
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "temp files must not survive a store: {names:?}"
+        );
+        // A torn write — the failure the temp-file/rename protocol makes
+        // impossible going forward — must be a miss, never trusted.
+        std::fs::write(dir.join("0badc0de.json"), "{\"key\":\"k\",\"res").unwrap();
+        std::fs::write(dir.join("0badc0de.snap.json"), "{\"cy").unwrap();
+        assert!(server.cache_lookup("0badc0de", "k").is_none());
+        assert!(server.snapshot_lookup("0badc0de").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,420 @@
+//! The append-only, fsync'd, checksummed outcome journal.
+//!
+//! One line per record: `{"digest":"<fnv1a128>","record":{...}}`, where
+//! the digest covers the record's canonical compact gsi-json encoding.
+//! The first record is always a header pinning the plan name, plan
+//! content digest, and unit count; every later record is one unit
+//! outcome (`ok`, `failed`, or `poisoned`). Appends are `sync_data`'d
+//! before the supervisor acts on them, so a journaled outcome survives
+//! SIGKILL of the supervisor itself.
+//!
+//! Recovery ([`replay`]) is prefix-based: records are validated in order
+//! (well-formed UTF-8 line, parseable JSON, digest matches the
+//! re-encoded record, record decodes) and replay stops at the *first*
+//! invalid byte — a torn final write, a flipped bit, or garbage
+//! appended by another process all simply end the valid prefix. Resuming
+//! truncates the file back to that prefix, so the journal is again
+//! well-formed before new appends land. Duplicate unit indices keep the
+//! first occurrence; a resumed sweep therefore never double-counts a
+//! unit no matter how the previous run died.
+
+use gsi_bench::merge::{UnitFailure, UnitResult};
+use gsi_bench::plan::SweepPlan;
+use gsi_json::{fnv1a128, FromJson, JsonError, ToJson, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// The first record of every journal: which plan this is.
+    Header {
+        /// Plan name.
+        plan: String,
+        /// Content digest of the plan's canonical encoding.
+        plan_digest: String,
+        /// How many units the plan expands to.
+        total_units: usize,
+    },
+    /// A unit completed with a simulation result.
+    Ok(UnitResult),
+    /// A unit was abandoned: deterministic failure or poison quarantine.
+    Failed(UnitFailure),
+}
+
+impl Record {
+    /// The canonical record encoding (digest input).
+    pub fn to_json(&self) -> Value {
+        match self {
+            Record::Header { plan, plan_digest, total_units } => gsi_json::obj! {
+                "type" => "header",
+                "plan" => plan,
+                "plan_digest" => plan_digest,
+                "total_units" => *total_units,
+            },
+            Record::Ok(r) => gsi_json::obj! { "type" => "ok", "unit" => r.to_json() },
+            Record::Failed(f) => gsi_json::obj! { "type" => "failed", "unit" => f.to_json() },
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<Record, JsonError> {
+        match v.req("type")?.as_str() {
+            Some("header") => Ok(Record::Header {
+                plan: String::from_json(v.req("plan")?)?,
+                plan_digest: String::from_json(v.req("plan_digest")?)?,
+                total_units: usize::from_json(v.req("total_units")?)?,
+            }),
+            Some("ok") => Ok(Record::Ok(UnitResult::from_json(v.req("unit")?)?)),
+            Some("failed") => Ok(Record::Failed(UnitFailure::from_json(v.req("unit")?)?)),
+            _ => Err(JsonError::new("unknown journal record type")),
+        }
+    }
+
+    /// The unit index this record settles, if it is a unit record.
+    pub fn unit_index(&self) -> Option<usize> {
+        match self {
+            Record::Header { .. } => None,
+            Record::Ok(r) => Some(r.index),
+            Record::Failed(f) => Some(f.index),
+        }
+    }
+
+    /// Encode as a journal line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let record = self.to_json();
+        gsi_json::obj! { "digest" => fnv1a128(&record.to_string()), "record" => record }.to_string()
+    }
+}
+
+/// Why a journal could not be opened for resumption.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// No valid header record — an empty, foreign, or corrupt-from-the-
+    /// first-byte file.
+    MissingHeader,
+    /// The journal belongs to a different plan than the one being
+    /// resumed; replaying it would misattribute every unit index.
+    PlanMismatch {
+        /// The digest of the plan being resumed.
+        expected: String,
+        /// The digest recorded in the journal header.
+        found: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::MissingHeader => {
+                write!(f, "journal has no valid header record; not resumable")
+            }
+            JournalError::PlanMismatch { expected, found } => {
+                write!(f, "journal belongs to plan {found}, not the requested plan {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The result of replaying journal bytes: the validated prefix.
+#[derive(Debug)]
+pub struct Replay {
+    /// Plan name from the header.
+    pub plan: String,
+    /// Plan content digest from the header.
+    pub plan_digest: String,
+    /// Unit count from the header.
+    pub total_units: usize,
+    /// Unit outcomes in journal order, deduplicated (first wins).
+    pub outcomes: Vec<Record>,
+    /// Bytes of the valid prefix (header + valid unit lines).
+    pub valid_bytes: u64,
+}
+
+/// Validate one journal line; `None` means the line (and therefore the
+/// rest of the file) is not part of the valid prefix.
+fn decode_line(bytes: &[u8]) -> Option<Record> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let v = Value::parse(text).ok()?;
+    let digest = v.get("digest")?.as_str()?;
+    let record = v.get("record")?;
+    if fnv1a128(&record.to_string()) != digest {
+        return None;
+    }
+    Record::from_json(record).ok()
+}
+
+/// Replay raw journal bytes into their longest valid prefix.
+///
+/// Pure (no I/O), so recovery behavior can be property-tested against
+/// every possible truncation and corruption offset.
+///
+/// # Errors
+///
+/// [`JournalError::MissingHeader`] if the first valid record is not a
+/// header (which includes the empty file).
+pub fn replay(bytes: &[u8]) -> Result<Replay, JournalError> {
+    let mut pos = 0usize;
+    let mut header: Option<(String, String, usize)> = None;
+    let mut outcomes: Vec<Record> = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    while pos < bytes.len() {
+        // A line without its newline is a torn final write: not valid.
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let Some(record) = decode_line(&bytes[pos..pos + nl]) else {
+            break;
+        };
+        match (&record, header.is_some()) {
+            (Record::Header { plan, plan_digest, total_units }, false) => {
+                header = Some((plan.clone(), plan_digest.clone(), *total_units));
+            }
+            // A second header, or units before any header, end the
+            // valid prefix — the file was spliced or overwritten.
+            (Record::Header { .. }, true) | (_, false) => break,
+            (_, true) => {
+                let index = record.unit_index().unwrap_or(usize::MAX);
+                if seen.insert(index) {
+                    outcomes.push(record);
+                }
+                // A replayed duplicate is dropped, not an error: the
+                // supervisor may legitimately have re-journaled after a
+                // crash between append and acknowledgment.
+            }
+        }
+        pos += nl + 1;
+    }
+    let (plan, plan_digest, total_units) = header.ok_or(JournalError::MissingHeader)?;
+    Ok(Replay { plan, plan_digest, total_units, outcomes, valid_bytes: pos as u64 })
+}
+
+/// An open journal, ready to append.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Start a fresh journal for a plan (truncating any existing file)
+    /// and durably write its header.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying file I/O error.
+    pub fn create(path: &Path, plan: &SweepPlan) -> io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = File::create(path)?;
+        let mut journal = Journal { file, path: path.to_path_buf() };
+        journal.append(&Record::Header {
+            plan: plan.name.clone(),
+            plan_digest: plan.digest(),
+            total_units: plan.unit_count(),
+        })?;
+        Ok(journal)
+    }
+
+    /// Resume an existing journal: replay its valid prefix, verify it
+    /// belongs to `plan`, truncate any torn/corrupt tail, and reopen
+    /// for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on file errors, [`JournalError::MissingHeader`]
+    /// /[`JournalError::PlanMismatch`] on unusable journals.
+    pub fn resume(path: &Path, plan: &SweepPlan) -> Result<(Journal, Replay), JournalError> {
+        let bytes = std::fs::read(path)?;
+        let replay = replay(&bytes)?;
+        let expected = plan.digest();
+        if replay.plan_digest != expected {
+            return Err(JournalError::PlanMismatch { expected, found: replay.plan_digest.clone() });
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(replay.valid_bytes)?;
+        // Re-seek to the new end: set_len does not move the cursor.
+        let file = {
+            drop(file);
+            OpenOptions::new().append(true).open(path)?
+        };
+        Ok((Journal { file, path: path.to_path_buf() }, replay))
+    }
+
+    /// Durably append one record: the write is `sync_data`'d before
+    /// returning, so callers may treat a returned `Ok` as "this outcome
+    /// survives any later crash".
+    ///
+    /// # Errors
+    ///
+    /// Any underlying file I/O error.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let mut line = record.encode();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::parse(r#"{"name":"j","workloads":["spmv","bfs"]}"#).unwrap()
+    }
+
+    fn ok_record(index: usize) -> Record {
+        Record::Ok(UnitResult {
+            index,
+            name: format!("u{index}"),
+            workload: "spmv".into(),
+            cycles: 100 + index as u64,
+            instructions: 10,
+            breakdown: gsi_core::StallBreakdown::default(),
+            links: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn create_append_resume_round_trips() {
+        let dir = std::env::temp_dir().join(format!("gsi-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let p = plan();
+        {
+            let mut j = Journal::create(&path, &p).unwrap();
+            j.append(&ok_record(0)).unwrap();
+            j.append(&Record::Failed(UnitFailure {
+                index: 1,
+                name: "u1".into(),
+                status: "poisoned".into(),
+                message: "signal: 9".into(),
+            }))
+            .unwrap();
+        }
+        let (_, replay) = Journal::resume(&path, &p).unwrap();
+        assert_eq!(replay.plan, "j");
+        assert_eq!(replay.total_units, 2);
+        assert_eq!(replay.outcomes.len(), 2);
+        assert_eq!(replay.outcomes[0].unit_index(), Some(0));
+        assert_eq!(replay.outcomes[1].unit_index(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_units_keep_the_first_record() {
+        let p = plan();
+        let mut bytes = Vec::new();
+        let header = Record::Header {
+            plan: p.name.clone(),
+            plan_digest: p.digest(),
+            total_units: p.unit_count(),
+        };
+        for r in [&header, &ok_record(0), &ok_record(0)] {
+            bytes.extend_from_slice(r.encode().as_bytes());
+            bytes.push(b'\n');
+        }
+        let replay = replay(&bytes).unwrap();
+        assert_eq!(replay.outcomes.len(), 1, "duplicate unit must not double-count");
+        assert_eq!(replay.valid_bytes, bytes.len() as u64, "dup is dropped, not corruption");
+    }
+
+    #[test]
+    fn resume_refuses_foreign_or_headerless_journals() {
+        let dir = std::env::temp_dir().join(format!("gsi-journal-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = plan();
+
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(matches!(Journal::resume(&empty, &p), Err(JournalError::MissingHeader)));
+
+        let garbage = dir.join("garbage.jsonl");
+        std::fs::write(&garbage, b"not a journal\n").unwrap();
+        assert!(matches!(Journal::resume(&garbage, &p), Err(JournalError::MissingHeader)));
+
+        let other = SweepPlan::parse(r#"{"name":"other","workloads":["uts"]}"#).unwrap();
+        let foreign = dir.join("foreign.jsonl");
+        Journal::create(&foreign, &other).unwrap();
+        assert!(matches!(Journal::resume(&foreign, &p), Err(JournalError::PlanMismatch { .. })));
+        // And the error message is presentable.
+        let msg = Journal::resume(&foreign, &p).unwrap_err().to_string();
+        assert!(msg.contains("plan"), "unhelpful message: {msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail_and_appends_cleanly() {
+        let dir = std::env::temp_dir().join(format!("gsi-journal-t-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let p = plan();
+        {
+            let mut j = Journal::create(&path, &p).unwrap();
+            j.append(&ok_record(0)).unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a torn write: half of a record, no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let torn = ok_record(1).encode();
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut j, replay) = Journal::resume(&path, &p).unwrap();
+        assert_eq!(replay.outcomes.len(), 1);
+        assert_eq!(replay.valid_bytes, clean_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len, "tail not truncated");
+        j.append(&ok_record(1)).unwrap();
+        drop(j);
+        let again = replay_file(&path);
+        assert_eq!(again.outcomes.len(), 2, "append after truncation must extend the prefix");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn replay_file(path: &Path) -> Replay {
+        replay(&std::fs::read(path).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn a_flipped_bit_ends_the_valid_prefix() {
+        let p = plan();
+        let mut bytes = Vec::new();
+        let header = Record::Header {
+            plan: p.name.clone(),
+            plan_digest: p.digest(),
+            total_units: p.unit_count(),
+        };
+        for r in [&header, &ok_record(0), &ok_record(1)] {
+            bytes.extend_from_slice(r.encode().as_bytes());
+            bytes.push(b'\n');
+        }
+        let header_len = header.encode().len() + 1;
+        // Flip a bit inside record 0's payload (past its digest field).
+        let mut corrupt = bytes.clone();
+        corrupt[header_len + 60] ^= 0x01;
+        let replay = replay(&corrupt).unwrap();
+        assert_eq!(replay.outcomes.len(), 0, "corrupt record must not replay");
+        assert_eq!(replay.valid_bytes as usize, header_len);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gsi-shard — fault-tolerant sharded sweep execution
+//!
+//! Takes a declarative [`SweepPlan`](gsi_bench::plan::SweepPlan), fans
+//! its work units out across a pool of worker subprocesses (each one the
+//! gsi-serve line-JSON protocol over stdio), and survives everything the
+//! environment throws at it:
+//!
+//! * workers that crash, hang, or go silent (heartbeats, deadlines,
+//!   SIGKILL + retry with exponential backoff);
+//! * units that *keep* killing workers (poison quarantine with the
+//!   worker's stderr tail, after a bounded number of strikes);
+//! * its own death at any instant (an append-only, fsync'd, checksummed
+//!   journal of outcomes; `--resume` replays the valid prefix, truncates
+//!   torn trailing records, and skips completed units);
+//! * adversarial testing (`--chaos-kill p` SIGKILLs the supervisor's own
+//!   workers on a deterministic, seeded draw).
+//!
+//! Outcomes merge online into paper-style stall-breakdown figures and
+//! NoC heatmaps (via [`gsi_bench::merge`]), rewritten atomically after
+//! every unit — so the artifact directory is always a consistent partial
+//! view, and a chaos-interrupted, resumed sweep produces byte-identical
+//! figures to a clean run of the same plan and seed.
+//!
+//! See `DESIGN.md` §15 for the failure model and journal format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod supervisor;
+pub mod worker;
+
+pub use journal::{replay, Journal, JournalError, Record, Replay};
+pub use supervisor::{run_plan, ShardConfig, ShardError, ShardOutcome};
+pub use worker::{Assignment, Worker, WorkerEvent};

@@ -1,0 +1,213 @@
+//! `gsi-shard` — supervise a sharded sweep, or be one of its workers.
+//!
+//! ```text
+//! gsi-shard --plan FILE [--out DIR] [--workers N] [--resume]
+//!           [--deadline SECS] [--heartbeat SECS] [--max-strikes K]
+//!           [--backoff-ms MS] [--chaos-kill P] [--chaos-seed S]
+//!           [--worker-cmd \"PROG ARGS...\"] [--bench FILE] [--quiet]
+//! gsi-shard --worker
+//! ```
+//!
+//! The supervisor writes three artifacts into `--out` (default
+//! `shard-out/`), each rewritten atomically after every completed unit:
+//!
+//! * `figures.txt` — merged paper-style stall breakdowns + NoC heatmaps
+//!   (deterministic: byte-identical across clean/chaos/resumed runs);
+//! * `rows.json` — one row per unit, sorted by unit index (same
+//!   determinism contract);
+//! * `manifest.json` — the operational story (attempts, chaos kills,
+//!   partial/degraded/complete status); *not* deterministic.
+//!
+//! The journal lives at `--out/journal.jsonl` unless overridden by
+//! `--journal`; `--resume` replays it and skips completed units.
+//!
+//! `--worker` runs the gsi-serve request loop on stdio and is what the
+//! supervisor spawns by default; `--worker-cmd` substitutes any other
+//! program speaking the same protocol (e.g. `gsi-serve --stdio`).
+//!
+//! Exit status: 0 on a fully successful sweep, 3 when the sweep finished
+//! but some units were quarantined (`failed`/`poisoned` — a *degraded*
+//! result with a typed manifest), 1 when the sweep could not run.
+
+use gsi_bench::plan::SweepPlan;
+use gsi_shard::{run_plan, ShardConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gsi-shard --plan FILE [--out DIR] [--journal FILE] [--workers N] [--resume]\n\
+         \x20                [--deadline SECS] [--heartbeat SECS] [--max-strikes K]\n\
+         \x20                [--backoff-ms MS] [--chaos-kill P] [--chaos-seed S]\n\
+         \x20                [--worker-cmd CMDLINE] [--bench FILE] [--quiet]\n\
+         \x20      gsi-shard --worker"
+    );
+    std::process::exit(2);
+}
+
+/// Append this sweep's deterministic rows to the benchmark ledger under
+/// the `shard` key (same merge discipline as the serve client).
+fn merge_bench(path: &str, rows_doc: &gsi_json::Value) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| gsi_json::Value::parse(&s).ok())
+        .unwrap_or_else(|| gsi_json::Value::Object(Vec::new()));
+    let mut all = doc
+        .get("shard")
+        .and_then(gsi_json::Value::as_array)
+        .map(<[gsi_json::Value]>::to_vec)
+        .unwrap_or_default();
+    all.push(rows_doc.clone());
+    doc.set("shard", gsi_json::Value::Array(all));
+    if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+        eprintln!("write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        // Worker mode: the serve request loop over stdio. No cache dir —
+        // the supervisor's journal is the system of record, and workers
+        // must stay stateless so killing one loses nothing.
+        let stdin = std::io::stdin();
+        let server = gsi_serve::Server::new(None);
+        if let Err(e) = server.handle_connection(stdin.lock(), std::io::stdout()) {
+            if e.kind() != std::io::ErrorKind::BrokenPipe {
+                eprintln!("worker error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut plan_path: Option<String> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut bench: Option<String> = None;
+    let mut cfg = ShardConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plan" => plan_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--out" => cfg.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--journal" => journal = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--resume" => cfg.resume = true,
+            "--deadline" => {
+                cfg.deadline = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|&s| s > 0.0)
+                    .map(Duration::from_secs_f64)
+                    .unwrap_or_else(|| usage())
+            }
+            "--heartbeat" => {
+                cfg.heartbeat = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|&s| s > 0.0)
+                    .map(Duration::from_secs_f64)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-strikes" => {
+                cfg.max_strikes = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--backoff-ms" => {
+                cfg.backoff_base = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos-kill" => {
+                cfg.chaos_kill = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos-seed" => {
+                cfg.chaos_seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--worker-cmd" => {
+                cfg.worker_cmd = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect();
+                if cfg.worker_cmd.is_empty() {
+                    usage();
+                }
+            }
+            "--bench" => bench = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--quiet" => cfg.quiet = true,
+            _ => usage(),
+        }
+    }
+    let Some(plan_path) = plan_path else { usage() };
+    cfg.journal_path = journal.unwrap_or_else(|| cfg.out_dir.join("journal.jsonl"));
+    if cfg.worker_cmd.is_empty() {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("cannot locate own executable for worker mode: {e}");
+            std::process::exit(1);
+        });
+        cfg.worker_cmd = vec![exe.to_string_lossy().into_owned(), "--worker".to_string()];
+    }
+
+    let text = std::fs::read_to_string(&plan_path).unwrap_or_else(|e| {
+        eprintln!("read {plan_path}: {e}");
+        std::process::exit(1);
+    });
+    let plan = SweepPlan::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{plan_path}: {e}");
+        std::process::exit(1);
+    });
+
+    let out_dir = cfg.out_dir.clone();
+    match run_plan(&plan, cfg) {
+        Ok(outcome) => {
+            eprintln!(
+                "gsi-shard: {}/{} units ok ({} failed, {} poisoned, {} resumed, \
+                 {} chaos kills, {} workers)",
+                outcome.ok,
+                outcome.total,
+                outcome.failed,
+                outcome.poisoned,
+                outcome.resumed_units,
+                outcome.chaos_kills,
+                outcome.workers_spawned,
+            );
+            if let Some(path) = bench {
+                match std::fs::read_to_string(out_dir.join("rows.json"))
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| gsi_json::Value::parse(&s).map_err(|e| e.to_string()))
+                {
+                    Ok(rows) => merge_bench(&path, &rows),
+                    Err(e) => {
+                        eprintln!("cannot merge bench rows: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if outcome.failed + outcome.poisoned > 0 {
+                std::process::exit(3); // degraded: see manifest.json
+            }
+        }
+        Err(e) => {
+            eprintln!("gsi-shard: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! The shard supervisor: plan in, fault-tolerant sweep out.
+//!
+//! The supervisor expands a [`SweepPlan`] into work units, spawns a pool
+//! of worker subprocesses (the gsi-serve protocol over stdio), and runs
+//! the scheduling loop:
+//!
+//! * **Dispatch** — idle workers get the lowest-index ready unit; the
+//!   request's protocol `id` is the unit index, so frames self-identify.
+//! * **Liveness** — every frame refreshes a per-worker heartbeat clock;
+//!   a worker silent past the heartbeat window, or a unit running past
+//!   its deadline, is SIGKILLed and its unit retried.
+//! * **Retries & quarantine** — deterministic error frames and worker
+//!   deaths are *strikes* with exponential backoff; a unit that reaches
+//!   `max_strikes` is journaled as `failed` (typed error) or `poisoned`
+//!   (it kept killing workers — the record carries the stderr tail) and
+//!   never retried again.
+//! * **Chaos** — with `--chaos-kill p`, each dispatch attempt is
+//!   pre-selected for a SIGKILL by a splitmix64 draw over
+//!   `(seed, unit, attempt)`. Chaos kills are self-inflicted: the unit
+//!   is requeued with **no** strike, so a chaos run completes the same
+//!   set of units as a clean run — the basis of the byte-identity
+//!   recovery tests.
+//! * **Durability** — every outcome is appended to the fsync'd
+//!   [`Journal`] *before* it is merged, and the merged figure/row
+//!   artifacts are atomically rewritten after every unit, so killing the
+//!   supervisor at any instant loses at most in-flight (re-runnable)
+//!   work. `resume` replays the journal and skips completed units.
+
+use crate::journal::{Journal, JournalError, Record};
+use crate::worker::{Assignment, Worker, WorkerEvent};
+use gsi_bench::merge::{MergedReport, UnitFailure, UnitResult};
+use gsi_bench::plan::{SweepPlan, WorkUnit};
+use gsi_json::Value;
+use gsi_workloads::hash::splitmix64;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Scheduler poll granularity; deadlines and heartbeats are checked at
+/// this resolution.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker process pool size.
+    pub workers: usize,
+    /// Worker command line (program + args); must speak the serve
+    /// protocol on stdio.
+    pub worker_cmd: Vec<String>,
+    /// Per-attempt wall-clock deadline before the worker is killed.
+    pub deadline: Duration,
+    /// Max silence (no frames) before a busy worker is presumed hung.
+    pub heartbeat: Duration,
+    /// Strikes before a unit is quarantined (`poisoned`/`failed`).
+    pub max_strikes: u32,
+    /// First retry backoff; doubles per strike.
+    pub backoff_base: Duration,
+    /// Probability that any given dispatch attempt is chaos-killed.
+    pub chaos_kill: f64,
+    /// Seed for the deterministic chaos draw.
+    pub chaos_seed: u64,
+    /// Artifact directory (`figures.txt`, `rows.json`, `manifest.json`).
+    pub out_dir: PathBuf,
+    /// Journal file path.
+    pub journal_path: PathBuf,
+    /// Replay an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: 2,
+            worker_cmd: Vec::new(),
+            deadline: Duration::from_secs(300),
+            heartbeat: Duration::from_secs(60),
+            max_strikes: 3,
+            backoff_base: Duration::from_millis(50),
+            chaos_kill: 0.0,
+            chaos_seed: 0,
+            out_dir: PathBuf::from("shard-out"),
+            journal_path: PathBuf::from("shard-out/journal.jsonl"),
+            resume: false,
+            quiet: false,
+        }
+    }
+}
+
+/// How a finished (or abandoned) sweep went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// Units with simulation results.
+    pub ok: usize,
+    /// Units quarantined with a typed worker error.
+    pub failed: usize,
+    /// Units quarantined for killing workers.
+    pub poisoned: usize,
+    /// Total plan units.
+    pub total: usize,
+    /// Units replayed from the journal rather than simulated.
+    pub resumed_units: usize,
+    /// Chaos SIGKILLs delivered.
+    pub chaos_kills: u64,
+    /// Worker processes spawned over the sweep's lifetime.
+    pub workers_spawned: usize,
+}
+
+/// A sweep that could not run at all (as opposed to one that degraded).
+#[derive(Debug)]
+pub enum ShardError {
+    /// Journal open/replay failed (corrupt beyond the header, foreign
+    /// plan, I/O).
+    Journal(JournalError),
+    /// Artifact or journal I/O failed mid-run.
+    Io(io::Error),
+    /// Workers die continuously without producing a single frame of
+    /// useful work — almost always a bad `worker_cmd`.
+    WorkersFailing {
+        /// Consecutive spontaneous worker deaths observed.
+        deaths: usize,
+        /// Stderr tail of the last corpse.
+        stderr: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Journal(e) => write!(f, "{e}"),
+            ShardError::Io(e) => write!(f, "shard I/O error: {e}"),
+            ShardError::WorkersFailing { deaths, stderr } => write!(
+                f,
+                "{deaths} consecutive worker deaths without progress; check the worker \
+                 command. last stderr:\n{stderr}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<JournalError> for ShardError {
+    fn from(e: JournalError) -> Self {
+        ShardError::Journal(e)
+    }
+}
+
+/// Atomically publish `text` at `dir/name` (write-temp-then-rename, same
+/// discipline as the serve cache).
+fn write_atomic(dir: &std::path::Path, name: &str, text: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// The deterministic chaos draw: is `(unit, attempt)` selected for a
+/// SIGKILL under this seed and probability?
+fn chaos_marked(seed: u64, p: f64, unit: usize, attempt: u32) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let x = splitmix64(
+        seed ^ (unit as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03),
+    );
+    (x as f64 / u64::MAX as f64) < p
+}
+
+struct Supervisor {
+    cfg: ShardConfig,
+    units: Vec<WorkUnit>,
+    merged: MergedReport,
+    journal: Journal,
+    /// `(not_before, unit)` retry queue; each pending unit appears once.
+    queue: Vec<(Instant, usize)>,
+    attempts: Vec<u32>,
+    strikes: Vec<u32>,
+    workers: BTreeMap<usize, Worker>,
+    next_worker_id: usize,
+    rx: Receiver<WorkerEvent>,
+    tx: Sender<WorkerEvent>,
+    resumed_units: usize,
+    chaos_kills: u64,
+    workers_spawned: usize,
+    /// Spontaneous worker deaths since the last useful frame.
+    deaths_in_a_row: usize,
+    last_stderr: String,
+}
+
+impl Supervisor {
+    fn log(&self, msg: &str) {
+        if !self.cfg.quiet {
+            eprintln!("gsi-shard: {msg}");
+        }
+    }
+
+    fn spawn_worker(&mut self) -> io::Result<()> {
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        let w = Worker::spawn(id, &self.cfg.worker_cmd, self.tx.clone())?;
+        self.workers.insert(id, w);
+        self.workers_spawned += 1;
+        Ok(())
+    }
+
+    /// Keep the pool at strength while useful work remains: one worker
+    /// per outstanding unit, up to the configured pool size.
+    fn top_up(&mut self) -> Result<(), ShardError> {
+        let outstanding =
+            self.queue.len() + self.workers.values().filter(|w| w.assignment.is_some()).count();
+        while self.workers.len() < self.cfg.workers.min(outstanding.max(1)) && outstanding > 0 {
+            self.spawn_worker()?;
+        }
+        Ok(())
+    }
+
+    /// Hand every idle worker the lowest-index ready unit.
+    fn dispatch(&mut self) {
+        let now = Instant::now();
+        let idle: Vec<usize> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.assignment.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        for wid in idle {
+            // Lowest unit index among ready entries, for a stable order.
+            let Some(qpos) = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, (nb, _))| *nb <= now)
+                .min_by_key(|(_, (_, u))| *u)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let (_, unit) = self.queue.swap_remove(qpos);
+            self.attempts[unit] += 1;
+            let attempt = self.attempts[unit];
+            let chaos = chaos_marked(self.cfg.chaos_seed, self.cfg.chaos_kill, unit, attempt);
+            let line = self.units[unit].request_line(unit as u64);
+            let send_result = match self.workers.get_mut(&wid) {
+                Some(w) => {
+                    w.assignment =
+                        Some(Assignment { unit, attempt, started: now, last_frame: now, chaos });
+                    w.send_line(&line)
+                }
+                None => continue,
+            };
+            if let Err(e) = send_result {
+                // The worker died between polls; put the unit back
+                // (no strike — it never ran) and let Eof bookkeeping
+                // retire the corpse.
+                self.log(&format!("worker {wid}: dispatch failed ({e}); requeueing unit {unit}"));
+                self.attempts[unit] -= 1;
+                self.queue.push((now, unit));
+                if let Some(mut w) = self.workers.remove(&wid) {
+                    w.kill();
+                    self.last_stderr = w.reap();
+                }
+                continue;
+            }
+            if chaos {
+                // Self-inflicted SIGKILL mid-flight. Retire the worker
+                // immediately so any frames it raced out are ignored,
+                // and requeue without a strike: chaos is not the unit's
+                // fault, which is what keeps a chaos run's merged output
+                // identical to a clean run's.
+                self.chaos_kills += 1;
+                self.log(&format!(
+                    "chaos: killing worker {wid} running unit {unit} (attempt {attempt})"
+                ));
+                if let Some(mut w) = self.workers.remove(&wid) {
+                    w.kill();
+                    w.reap();
+                }
+                self.queue.push((Instant::now(), unit));
+            }
+        }
+    }
+
+    /// A unit attempt failed; strike it and either requeue with backoff
+    /// or quarantine it (`status` = `failed` or `poisoned`).
+    fn strike(&mut self, unit: usize, status: &str, message: String) -> Result<(), ShardError> {
+        self.strikes[unit] += 1;
+        let strikes = self.strikes[unit];
+        if strikes >= self.cfg.max_strikes {
+            self.log(&format!(
+                "unit {unit} ({}) quarantined as {status} after {strikes} strikes: {message}",
+                self.units[unit].name
+            ));
+            self.settle(Record::Failed(UnitFailure {
+                index: unit,
+                name: self.units[unit].name.clone(),
+                status: status.to_string(),
+                message,
+            }))?;
+        } else {
+            let backoff = self.cfg.backoff_base * 2u32.saturating_pow(strikes - 1);
+            self.log(&format!(
+                "unit {unit} ({}) strike {strikes}/{}: {message}; retrying in {backoff:?}",
+                self.units[unit].name, self.cfg.max_strikes
+            ));
+            self.queue.push((Instant::now() + backoff, unit));
+        }
+        Ok(())
+    }
+
+    /// Journal an outcome (durably) and fold it into the merged report,
+    /// then republish the artifacts.
+    fn settle(&mut self, record: Record) -> Result<(), ShardError> {
+        let duplicate = match &record {
+            Record::Ok(r) => self.merged.done(r.index),
+            Record::Failed(f) => self.merged.done(f.index),
+            Record::Header { .. } => false,
+        };
+        if duplicate {
+            return Ok(());
+        }
+        // Journal first: an outcome is only acted on once it is durable.
+        self.journal.append(&record)?;
+        match record {
+            Record::Ok(r) => {
+                self.merged.insert(r);
+            }
+            Record::Failed(f) => {
+                self.merged.insert_failure(f);
+            }
+            Record::Header { .. } => {}
+        }
+        self.publish(false)?;
+        Ok(())
+    }
+
+    /// Atomically rewrite the figure, row, and manifest artifacts.
+    fn publish(&mut self, finished: bool) -> io::Result<()> {
+        write_atomic(&self.cfg.out_dir, "figures.txt", &self.merged.figures_text())?;
+        write_atomic(
+            &self.cfg.out_dir,
+            "rows.json",
+            &format!("{}\n", self.merged.rows_json().to_string_pretty()),
+        )?;
+        let rows = self.merged.rows_json();
+        let failures = rows
+            .get("rows")
+            .and_then(Value::as_array)
+            .map(|rs| {
+                rs.iter().filter(|r| r.get("status").and_then(Value::as_str) != Some("ok")).count()
+            })
+            .unwrap_or(0);
+        let status = if !finished && !self.merged.is_complete() {
+            "partial"
+        } else if failures > 0 {
+            "degraded"
+        } else {
+            "complete"
+        };
+        let manifest = gsi_json::obj! {
+            "status" => status,
+            "plan" => rows.get("plan").cloned().unwrap_or(Value::Null),
+            "plan_digest" => rows.get("plan_digest").cloned().unwrap_or(Value::Null),
+            "total_units" => self.units.len(),
+            "merged_units" => self.merged.outcome_count(),
+            "failed_units" => failures,
+            "resumed_units" => self.resumed_units,
+            "chaos_kills" => self.chaos_kills,
+            "workers_spawned" => self.workers_spawned,
+            "attempts" => self.attempts.clone(),
+        };
+        write_atomic(
+            &self.cfg.out_dir,
+            "manifest.json",
+            &format!("{}\n", manifest.to_string_pretty()),
+        )
+    }
+
+    fn handle_frame(&mut self, wid: usize, frame: Value) -> Result<(), ShardError> {
+        // Frames from retired workers (chaos/deadline kills) are stale.
+        let Some(worker) = self.workers.get_mut(&wid) else {
+            return Ok(());
+        };
+        let Some(assign) = worker.assignment.clone() else {
+            return Ok(());
+        };
+        if frame.get("id").and_then(Value::as_u64) != Some(assign.unit as u64) {
+            return Ok(());
+        }
+        if let Some(a) = worker.assignment.as_mut() {
+            a.last_frame = Instant::now();
+        }
+        self.deaths_in_a_row = 0;
+        match frame.get("event").and_then(Value::as_str) {
+            Some("result") => {
+                if let Some(w) = self.workers.get_mut(&wid) {
+                    w.assignment = None;
+                }
+                match frame
+                    .req("result")
+                    .and_then(|r| UnitResult::from_result(&self.units[assign.unit], r))
+                {
+                    Ok(result) => {
+                        self.log(&format!(
+                            "unit {} ({}) done: {} cycles",
+                            assign.unit, result.name, result.cycles
+                        ));
+                        self.settle(Record::Ok(result))?;
+                    }
+                    Err(e) => {
+                        self.strike(
+                            assign.unit,
+                            "failed",
+                            format!("malformed result payload: {e}"),
+                        )?;
+                    }
+                }
+            }
+            Some("error") => {
+                if let Some(w) = self.workers.get_mut(&wid) {
+                    w.assignment = None;
+                }
+                let message = frame
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("worker reported an untyped error")
+                    .to_string();
+                self.strike(assign.unit, "failed", message)?;
+            }
+            // dispatched / running / progress: heartbeat already updated.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn handle_eof(&mut self, wid: usize) -> Result<(), ShardError> {
+        let Some(worker) = self.workers.remove(&wid) else {
+            return Ok(()); // already retired by chaos or deadline
+        };
+        let assignment = worker.assignment.clone();
+        let stderr = worker.reap();
+        self.last_stderr = stderr.clone();
+        self.deaths_in_a_row += 1;
+        match assignment {
+            Some(a) if !self.merged.done(a.unit) => {
+                if a.chaos {
+                    // Shouldn't happen (chaos retires the worker map
+                    // entry first), but requeue harmlessly if it does.
+                    self.queue.push((Instant::now(), a.unit));
+                } else {
+                    let detail = if stderr.is_empty() {
+                        "worker died (no stderr)".to_string()
+                    } else {
+                        format!("worker died; stderr tail:\n{stderr}")
+                    };
+                    self.log(&format!("worker {wid} died running unit {}", a.unit));
+                    self.strike(a.unit, "poisoned", detail)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Kill workers that blew their deadline or went silent.
+    fn check_liveness(&mut self) -> Result<(), ShardError> {
+        let now = Instant::now();
+        let overdue: Vec<(usize, usize, &'static str)> = self
+            .workers
+            .iter()
+            .filter_map(|(&wid, w)| {
+                let a = w.assignment.as_ref()?;
+                if now.duration_since(a.started) >= self.cfg.deadline {
+                    Some((wid, a.unit, "deadline exceeded"))
+                } else if now.duration_since(a.last_frame) >= self.cfg.heartbeat {
+                    Some((wid, a.unit, "no heartbeat"))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (wid, unit, why) in overdue {
+            if let Some(mut w) = self.workers.remove(&wid) {
+                w.kill();
+                let stderr = w.reap();
+                self.log(&format!("worker {wid}: {why} on unit {unit}; killed"));
+                self.strike(unit, "poisoned", format!("{why}; stderr tail:\n{stderr}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<(), ShardError> {
+        // A worker pool that does nothing but die means the sweep can
+        // never progress; fail typed instead of spinning.
+        let death_limit = (2 * self.cfg.workers).max(10);
+        while !self.merged.is_complete() {
+            if self.deaths_in_a_row >= death_limit {
+                return Err(ShardError::WorkersFailing {
+                    deaths: self.deaths_in_a_row,
+                    stderr: self.last_stderr.clone(),
+                });
+            }
+            self.top_up()?;
+            self.dispatch();
+            match self.rx.recv_timeout(TICK) {
+                Ok(WorkerEvent::Frame(wid, frame)) => self.handle_frame(wid, frame)?,
+                Ok(WorkerEvent::Eof(wid)) => self.handle_eof(wid)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("supervisor holds a sender"),
+            }
+            self.check_liveness()?;
+        }
+        // Drain the pool: closing stdin ends each worker's request loop.
+        for (_, mut w) in std::mem::take(&mut self.workers) {
+            w.close_stdin();
+            w.reap();
+        }
+        self.publish(true)?;
+        Ok(())
+    }
+}
+
+/// Run a sweep plan under the supervisor. See the module docs for the
+/// failure model; this returns `Err` only when the sweep cannot run at
+/// all — individual unit failures degrade the [`ShardOutcome`] instead.
+///
+/// # Errors
+///
+/// [`ShardError::Journal`] for unusable journals, [`ShardError::Io`] for
+/// artifact/journal I/O, [`ShardError::WorkersFailing`] when the worker
+/// command never produces work.
+pub fn run_plan(plan: &SweepPlan, cfg: ShardConfig) -> Result<ShardOutcome, ShardError> {
+    let units = plan.units();
+    let mut merged = MergedReport::new(plan);
+    let mut resumed_units = 0usize;
+    let journal = if cfg.resume {
+        let (journal, replay) = Journal::resume(&cfg.journal_path, plan)?;
+        for record in replay.outcomes {
+            match record {
+                Record::Ok(r) => {
+                    if merged.insert(r) {
+                        resumed_units += 1;
+                    }
+                }
+                Record::Failed(f) => {
+                    if merged.insert_failure(f) {
+                        resumed_units += 1;
+                    }
+                }
+                Record::Header { .. } => {}
+            }
+        }
+        journal
+    } else {
+        Journal::create(&cfg.journal_path, plan)?
+    };
+
+    let (tx, rx) = channel();
+    let queue: Vec<(Instant, usize)> =
+        units.iter().filter(|u| !merged.done(u.index)).map(|u| (Instant::now(), u.index)).collect();
+    let total = units.len();
+    let mut sup = Supervisor {
+        attempts: vec![0; total],
+        strikes: vec![0; total],
+        units,
+        merged,
+        journal,
+        queue,
+        workers: BTreeMap::new(),
+        next_worker_id: 0,
+        rx,
+        tx,
+        resumed_units,
+        chaos_kills: 0,
+        workers_spawned: 0,
+        deaths_in_a_row: 0,
+        last_stderr: String::new(),
+        cfg,
+    };
+    sup.log(&format!(
+        "plan {} ({} units, {} already journaled)",
+        plan.name, total, sup.resumed_units
+    ));
+    let result = sup.run();
+    // Publish whatever we have even on a typed failure — graceful
+    // degradation means the partial manifest is always current.
+    let _ = sup.publish(false);
+    result?;
+
+    let rows = sup.merged.rows_json();
+    let count = |status: &str| {
+        rows.get("rows")
+            .and_then(Value::as_array)
+            .map(|rs| {
+                rs.iter()
+                    .filter(|r| r.get("status").and_then(Value::as_str) == Some(status))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    Ok(ShardOutcome {
+        ok: count("ok"),
+        failed: count("failed"),
+        poisoned: count("poisoned"),
+        total,
+        resumed_units: sup.resumed_units,
+        chaos_kills: sup.chaos_kills,
+        workers_spawned: sup.workers_spawned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn chaos_draw_is_deterministic_and_probability_shaped() {
+        for unit in 0..20 {
+            for attempt in 1..4 {
+                assert_eq!(
+                    chaos_marked(42, 0.3, unit, attempt),
+                    chaos_marked(42, 0.3, unit, attempt),
+                );
+                assert!(!chaos_marked(42, 0.0, unit, attempt));
+                assert!(chaos_marked(42, 1.0, unit, attempt));
+            }
+        }
+        // Roughly p of draws fire (loose bound; the draw is a hash).
+        let fired = (0..1000u64).filter(|&u| chaos_marked(7, 0.3, u as usize, 1)).count();
+        assert!((150..450).contains(&fired), "p=0.3 fired {fired}/1000");
+        // Different seeds decorrelate.
+        let fired_other = (0..1000u64).filter(|&u| chaos_marked(8, 0.3, u as usize, 1)).count();
+        assert_ne!(fired, 0);
+        assert_ne!(fired_other, 0);
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("gsi-shard-atomic-{}", std::process::id()));
+        write_atomic(&dir, "a.txt", "hello").unwrap();
+        write_atomic(&dir, "a.txt", "world").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("a.txt")).unwrap(), "world");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,243 @@
+//! Worker subprocess management.
+//!
+//! A worker is any process speaking the gsi-serve line-JSON protocol on
+//! stdin/stdout — by default `gsi-shard --worker`, which is the serve
+//! request loop in-process. The supervisor holds a [`Worker`] handle per
+//! process; a reader thread per worker forwards parsed stdout frames to
+//! the supervisor's single event channel (tagged with the worker id), and
+//! a second thread keeps a bounded tail of the worker's stderr so a
+//! poisoned unit's quarantine record can say *why* the worker died.
+
+use gsi_json::Value;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Lines of stderr kept per worker for poison-quarantine records.
+const STDERR_TAIL_LINES: usize = 20;
+
+/// An event from a worker's reader thread.
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// A parsed protocol frame from the worker's stdout.
+    Frame(usize, Value),
+    /// The worker's stdout closed: it exited or was killed.
+    Eof(usize),
+}
+
+/// The unit a busy worker is currently running.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Unit index (also the request's protocol `id`).
+    pub unit: usize,
+    /// Which dispatch attempt of the unit this is (1-based).
+    pub attempt: u32,
+    /// When the unit was dispatched (deadline clock).
+    pub started: Instant,
+    /// When the worker last produced a frame (heartbeat clock).
+    pub last_frame: Instant,
+    /// This attempt was pre-selected for a chaos kill.
+    pub chaos: bool,
+}
+
+/// A live worker subprocess.
+#[derive(Debug)]
+pub struct Worker {
+    /// Supervisor-assigned worker id (tags this worker's events).
+    pub id: usize,
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stderr_tail: Arc<Mutex<VecDeque<String>>>,
+    stderr_thread: Option<std::thread::JoinHandle<()>>,
+    /// The unit this worker is running, if busy.
+    pub assignment: Option<Assignment>,
+}
+
+impl Worker {
+    /// Spawn `cmd` with piped stdio and start its reader threads, which
+    /// send [`WorkerEvent`]s tagged with `id` to `events`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures (missing binary, fd exhaustion); an
+    /// empty `cmd` is rejected up front.
+    pub fn spawn(
+        id: usize,
+        cmd: &[String],
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Worker> {
+        let (program, args) = cmd.split_first().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty worker command")
+        })?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| std::io::Error::other("worker stdout not captured"))?;
+        let stderr = child.stderr.take();
+
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Ok(frame) = Value::parse(&line) {
+                    if events.send(WorkerEvent::Frame(id, frame)).is_err() {
+                        return; // supervisor gone
+                    }
+                }
+                // Unparseable stdout noise is ignored; liveness is
+                // tracked by frames, not raw bytes.
+            }
+            let _ = events.send(WorkerEvent::Eof(id));
+        });
+
+        let stderr_tail = Arc::new(Mutex::new(VecDeque::new()));
+        let mut stderr_thread = None;
+        if let Some(stderr) = stderr {
+            let tail = Arc::clone(&stderr_tail);
+            stderr_thread = Some(std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    if let Ok(mut tail) = tail.lock() {
+                        if tail.len() == STDERR_TAIL_LINES {
+                            tail.pop_front();
+                        }
+                        tail.push_back(line);
+                    }
+                }
+            }));
+        }
+
+        Ok(Worker { id, child, stdin, stderr_tail, stderr_thread, assignment: None })
+    }
+
+    /// Send one request line to the worker.
+    ///
+    /// # Errors
+    ///
+    /// A broken pipe here means the worker died; the supervisor will
+    /// also observe the `Eof` event.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        let stdin = self.stdin.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "worker stdin already closed")
+        })?;
+        stdin.write_all(line.as_bytes())?;
+        stdin.write_all(b"\n")?;
+        stdin.flush()
+    }
+
+    /// SIGKILL the worker. Idempotent; reaping happens in [`Worker::reap`].
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+    }
+
+    /// Close stdin (lets a well-behaved worker drain and exit) without
+    /// killing it.
+    pub fn close_stdin(&mut self) {
+        self.stdin = None;
+    }
+
+    /// Wait for the process to exit and return its stderr tail joined
+    /// with newlines (empty string if the worker said nothing). Joins
+    /// the stderr thread first so the tail is complete, not racy.
+    pub fn reap(mut self) -> String {
+        let _ = self.child.wait();
+        if let Some(t) = self.stderr_thread.take() {
+            let _ = t.join();
+        }
+        self.stderr_snapshot()
+    }
+
+    /// The current stderr tail without waiting for exit.
+    pub fn stderr_snapshot(&self) -> String {
+        self.stderr_tail
+            .lock()
+            .map(|t| t.iter().cloned().collect::<Vec<_>>().join("\n"))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn spawn_rejects_an_empty_command() {
+        let (tx, _rx) = channel();
+        assert!(Worker::spawn(0, &[], tx).is_err());
+    }
+
+    #[test]
+    fn frames_arrive_tagged_and_eof_follows() {
+        let (tx, rx) = channel();
+        // A worker that emits one frame, some noise, then exits.
+        let mut w = Worker::spawn(
+            7,
+            &[
+                "/bin/sh".to_string(),
+                "-c".to_string(),
+                r#"echo '{"id":1,"event":"result"}'; echo noise; echo oops >&2"#.to_string(),
+            ],
+            tx,
+        )
+        .unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            WorkerEvent::Frame(id, v) => {
+                assert_eq!(id, 7);
+                assert_eq!(v.get("event").and_then(Value::as_str), Some("result"));
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            WorkerEvent::Eof(id) => assert_eq!(id, 7),
+            other => panic!("expected eof, got {other:?}"),
+        }
+        w.close_stdin();
+        let tail = w.reap();
+        assert_eq!(tail, "oops");
+    }
+
+    #[test]
+    fn kill_produces_eof_and_stderr_tail_is_bounded() {
+        let (tx, rx) = channel();
+        let script = format!(
+            "i=0; while [ $i -lt {} ]; do echo line$i >&2; i=$((i+1)); done; exec sleep 60",
+            STDERR_TAIL_LINES + 5
+        );
+        let mut w =
+            Worker::spawn(0, &["/bin/sh".to_string(), "-c".to_string(), script], tx).unwrap();
+        // Give the stderr thread a moment to drain all lines.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            let tail = w.stderr_snapshot();
+            if tail.lines().count() == STDERR_TAIL_LINES
+                && tail.lines().last() == Some(&format!("line{}", STDERR_TAIL_LINES + 4))
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(w.stderr_snapshot().lines().count(), STDERR_TAIL_LINES);
+        w.kill();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            WorkerEvent::Eof(0) => {}
+            other => panic!("expected eof after kill, got {other:?}"),
+        }
+        w.reap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Worker-kill recovery: a sweep running under `--chaos-kill` with a
+//! pinned seed — workers SIGKILLed mid-unit, respawned, units retried —
+//! must merge to artifacts byte-identical to a failure-free run, with no
+//! unit simulated twice in the merged output. A journal interrupted
+//! partway and resumed must converge to the same bytes.
+
+#![allow(clippy::unwrap_used)]
+
+use gsi_bench::plan::SweepPlan;
+use gsi_json::Value;
+use gsi_shard::{run_plan, ShardConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_gsi-shard").to_string(), "--worker".to_string()]
+}
+
+fn plan() -> SweepPlan {
+    SweepPlan::parse(r#"{"name":"chaos","workloads":["spmv","bfs"],"protocols":["gpu","denovo"]}"#)
+        .unwrap()
+}
+
+fn config(out: &Path) -> ShardConfig {
+    ShardConfig {
+        workers: 2,
+        worker_cmd: worker_cmd(),
+        deadline: Duration::from_secs(120),
+        heartbeat: Duration::from_secs(60),
+        backoff_base: Duration::from_millis(5),
+        out_dir: out.to_path_buf(),
+        journal_path: out.join("journal.jsonl"),
+        quiet: true,
+        ..ShardConfig::default()
+    }
+}
+
+fn artifacts(out: &Path) -> (String, String) {
+    (
+        std::fs::read_to_string(out.join("figures.txt")).unwrap(),
+        std::fs::read_to_string(out.join("rows.json")).unwrap(),
+    )
+}
+
+fn unit_indices(out: &Path) -> Vec<u64> {
+    let rows = Value::parse(&std::fs::read_to_string(out.join("rows.json")).unwrap()).unwrap();
+    rows.get("rows")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.get("unit").unwrap().as_u64().unwrap())
+        .collect()
+}
+
+#[test]
+fn chaos_killed_sweep_merges_byte_identical_to_a_clean_run() {
+    let base = std::env::temp_dir().join(format!("gsi-chaos-{}", std::process::id()));
+    let clean_dir = base.join("clean");
+    let chaos_dir = base.join("chaos");
+    let p = plan();
+
+    let clean = run_plan(&p, config(&clean_dir)).unwrap();
+    assert_eq!(clean.ok, p.unit_count());
+    assert_eq!(clean.chaos_kills, 0);
+
+    // Seed 7 at p=0.8 is known to fire many kills on this plan (the
+    // draw is deterministic, so this stays true forever).
+    let cfg = ShardConfig { chaos_kill: 0.8, chaos_seed: 7, ..config(&chaos_dir) };
+    let chaos = run_plan(&p, cfg).unwrap();
+    assert_eq!(chaos.ok, p.unit_count(), "chaos must only delay units, not lose them");
+    assert!(chaos.chaos_kills > 0, "p=0.8 fired no kills; the chaos path went untested");
+    assert!(chaos.workers_spawned > clean.workers_spawned, "kills must have forced respawns");
+
+    let (clean_figs, clean_rows) = artifacts(&clean_dir);
+    let (chaos_figs, chaos_rows) = artifacts(&chaos_dir);
+    assert_eq!(clean_figs, chaos_figs, "figures differ between clean and chaos runs");
+    assert_eq!(clean_rows, chaos_rows, "rows differ between clean and chaos runs");
+
+    // No unit appears twice in the merged output.
+    let indices = unit_indices(&chaos_dir);
+    let unique: BTreeSet<u64> = indices.iter().copied().collect();
+    assert_eq!(indices.len(), unique.len(), "a unit was merged twice");
+    assert_eq!(unique.len(), p.unit_count());
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn interrupted_journal_resumes_to_byte_identical_artifacts() {
+    let base = std::env::temp_dir().join(format!("gsi-resume-{}", std::process::id()));
+    let clean_dir = base.join("clean");
+    let cut_dir = base.join("cut");
+    let p = plan();
+
+    run_plan(&p, config(&clean_dir)).unwrap();
+
+    // Simulate a supervisor SIGKILLed mid-sweep: keep the journal's
+    // header plus its first two outcome records (a prefix a real crash
+    // could leave — every append is fsync'd), plus a torn half-record
+    // the way an in-flight write would tear.
+    let journal = std::fs::read_to_string(clean_dir.join("journal.jsonl")).unwrap();
+    let mut lines = journal.lines();
+    let keep: Vec<&str> = lines.by_ref().take(3).collect();
+    assert_eq!(keep.len(), 3, "clean journal shorter than expected");
+    let torn = lines.next().unwrap();
+    let mut partial = keep.join("\n");
+    partial.push('\n');
+    partial.push_str(&torn[..torn.len() / 2]); // no trailing newline: torn
+    std::fs::create_dir_all(&cut_dir).unwrap();
+    let journal_path: PathBuf = cut_dir.join("journal.jsonl");
+    std::fs::write(&journal_path, partial).unwrap();
+
+    let cfg = ShardConfig { resume: true, chaos_kill: 0.5, chaos_seed: 11, ..config(&cut_dir) };
+    let resumed = run_plan(&p, cfg).unwrap();
+    assert_eq!(resumed.resumed_units, 2, "exactly the journaled prefix should be skipped");
+    assert_eq!(resumed.ok, p.unit_count());
+
+    let (clean_figs, clean_rows) = artifacts(&clean_dir);
+    let (cut_figs, cut_rows) = artifacts(&cut_dir);
+    assert_eq!(clean_figs, cut_figs, "figures differ after interrupt + resume");
+    assert_eq!(clean_rows, cut_rows, "rows differ after interrupt + resume");
+
+    // The resumed journal must also contain each unit exactly once.
+    let replayed = gsi_shard::replay(&std::fs::read(&journal_path).unwrap()).unwrap();
+    let indices: Vec<usize> =
+        replayed.outcomes.iter().filter_map(gsi_shard::Record::unit_index).collect();
+    let unique: BTreeSet<usize> = indices.iter().copied().collect();
+    assert_eq!(indices.len(), unique.len(), "journal double-counts a unit after resume");
+    assert_eq!(unique.len(), p.unit_count());
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn a_poisonous_worker_command_quarantines_not_hangs() {
+    let base = std::env::temp_dir().join(format!("gsi-poison-{}", std::process::id()));
+    let p = SweepPlan::parse(r#"{"name":"poison","workloads":["spmv"]}"#).unwrap();
+    // A worker that accepts the request then dies without answering.
+    let cfg = ShardConfig {
+        workers: 1,
+        worker_cmd: vec![
+            "/bin/sh".to_string(),
+            "-c".to_string(),
+            "read _line; echo doomed >&2; exit 7".to_string(),
+        ],
+        max_strikes: 2,
+        backoff_base: Duration::from_millis(5),
+        out_dir: base.clone(),
+        journal_path: base.join("journal.jsonl"),
+        quiet: true,
+        ..ShardConfig::default()
+    };
+    let outcome = run_plan(&p, cfg).unwrap();
+    assert_eq!(outcome.poisoned, 1, "the unit should be quarantined");
+    assert_eq!(outcome.ok, 0);
+    // The quarantine record carries the worker's stderr tail.
+    let journal = std::fs::read_to_string(base.join("journal.jsonl")).unwrap();
+    assert!(journal.contains("doomed"), "stderr tail missing from poison record:\n{journal}");
+    // And the manifest is typed about the degradation.
+    let manifest =
+        Value::parse(&std::fs::read_to_string(base.join("manifest.json")).unwrap()).unwrap();
+    assert_eq!(manifest.get("status").and_then(Value::as_str), Some("degraded"));
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,167 @@
+//! Journal recovery property tests: for *every* byte offset, a journal
+//! truncated or corrupted there either replays a valid prefix or reports
+//! a typed error — it never panics and never double-counts a unit.
+
+#![allow(clippy::unwrap_used)]
+
+use gsi_bench::merge::{UnitFailure, UnitResult};
+use gsi_bench::plan::SweepPlan;
+use gsi_shard::{replay, Journal, JournalError, Record};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn plan() -> SweepPlan {
+    SweepPlan::parse(
+        r#"{"name":"prop","workloads":["spmv","bfs","uts"],"protocols":["gpu","denovo"]}"#,
+    )
+    .unwrap()
+}
+
+/// A journal with a header and one record per unit (mixed outcomes).
+fn build_journal(plan: &SweepPlan) -> (Vec<u8>, Vec<Record>) {
+    let mut records = vec![Record::Header {
+        plan: plan.name.clone(),
+        plan_digest: plan.digest(),
+        total_units: plan.unit_count(),
+    }];
+    for unit in plan.units() {
+        records.push(if unit.index == 3 {
+            Record::Failed(UnitFailure {
+                index: unit.index,
+                name: unit.name.clone(),
+                status: "poisoned".into(),
+                message: "worker died; stderr tail:\nsignal: 9".into(),
+            })
+        } else {
+            Record::Ok(UnitResult {
+                index: unit.index,
+                name: unit.name.clone(),
+                workload: unit.workload.clone(),
+                cycles: 1000 + unit.index as u64,
+                instructions: 100,
+                breakdown: gsi_core::StallBreakdown::default(),
+                links: Vec::new(),
+            })
+        });
+    }
+    let mut bytes = Vec::new();
+    for r in &records {
+        bytes.extend_from_slice(r.encode().as_bytes());
+        bytes.push(b'\n');
+    }
+    (bytes, records)
+}
+
+/// The clean unit-record sequence (what full replay should yield).
+fn clean_outcomes(records: &[Record]) -> Vec<Record> {
+    records.iter().filter(|r| r.unit_index().is_some()).cloned().collect()
+}
+
+/// Replayed outcomes must be a prefix of the clean sequence with unique
+/// indices. Returns how many outcomes replayed.
+fn assert_valid_prefix(bytes: &[u8], clean: &[Record], context: &str) -> usize {
+    match replay(bytes) {
+        Err(JournalError::MissingHeader) => 0,
+        Err(e) => panic!("{context}: unexpected error kind {e}"),
+        Ok(r) => {
+            assert!(
+                r.valid_bytes as usize <= bytes.len(),
+                "{context}: valid prefix longer than input"
+            );
+            let mut seen = BTreeSet::new();
+            for (i, rec) in r.outcomes.iter().enumerate() {
+                let idx = rec.unit_index().unwrap();
+                assert!(seen.insert(idx), "{context}: unit {idx} double-counted");
+                assert_eq!(rec, &clean[i], "{context}: outcome {i} not a clean prefix");
+            }
+            r.outcomes.len()
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_offset_replays_a_valid_prefix() {
+    let p = plan();
+    let (bytes, records) = build_journal(&p);
+    let clean = clean_outcomes(&records);
+    assert_eq!(assert_valid_prefix(&bytes, &clean, "intact"), clean.len());
+    for cut in 0..bytes.len() {
+        let n = assert_valid_prefix(&bytes[..cut], &clean, &format!("truncated at {cut}"));
+        assert!(n <= clean.len());
+    }
+}
+
+#[test]
+fn corruption_at_every_byte_offset_replays_a_valid_prefix() {
+    let p = plan();
+    let (bytes, records) = build_journal(&p);
+    let clean = clean_outcomes(&records);
+    // Two corruption styles per offset: a flipped low bit (plausible
+    // media error) and a hard overwrite with an invalid UTF-8 byte.
+    for offset in 0..bytes.len() {
+        for (what, garbage) in [("bitflip", bytes[offset] ^ 0x01), ("overwrite", 0xFF)] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] = garbage;
+            assert_valid_prefix(&corrupt, &clean, &format!("{what} at {offset}"));
+        }
+    }
+}
+
+#[test]
+fn resume_after_corruption_truncates_and_never_double_counts() {
+    let p = plan();
+    let (bytes, records) = build_journal(&p);
+    let clean = clean_outcomes(&records);
+    let dir = std::env::temp_dir().join(format!("gsi-shard-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join("journal.jsonl");
+
+    // Corrupt midway through the file, resume, and append the missing
+    // outcomes again — replay must still see each unit exactly once.
+    let offset = bytes.len() * 2 / 3;
+    let mut corrupt = bytes.clone();
+    corrupt[offset] ^= 0x10;
+    std::fs::write(&path, &corrupt).unwrap();
+
+    let (mut journal, replayed) = Journal::resume(&path, &p).unwrap();
+    let survivors: BTreeSet<usize> =
+        replayed.outcomes.iter().filter_map(Record::unit_index).collect();
+    assert!(survivors.len() < clean.len(), "corruption should have cost some records");
+    // The file was truncated back to the valid prefix on disk.
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        replayed.valid_bytes,
+        "resume must truncate the corrupt tail"
+    );
+    for rec in &clean {
+        if !survivors.contains(&rec.unit_index().unwrap()) {
+            journal.append(rec).unwrap();
+        }
+    }
+    drop(journal);
+    let full = replay(&std::fs::read(&path).unwrap()).unwrap();
+    let indices: Vec<usize> = full.outcomes.iter().filter_map(Record::unit_index).collect();
+    let unique: BTreeSet<usize> = indices.iter().copied().collect();
+    assert_eq!(indices.len(), unique.len(), "double-counted units after resume");
+    assert_eq!(unique.len(), clean.len(), "resume + re-append must recover every unit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_against_the_wrong_plan_is_a_typed_error() {
+    let p = plan();
+    let (bytes, _) = build_journal(&p);
+    let dir = std::env::temp_dir().join(format!("gsi-shard-wrongplan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    std::fs::write(&path, &bytes).unwrap();
+    let other = SweepPlan::parse(r#"{"name":"prop","workloads":["spmv"]}"#).unwrap();
+    match Journal::resume(&path, &other) {
+        Err(JournalError::PlanMismatch { expected, found }) => {
+            assert_eq!(expected, other.digest());
+            assert_eq!(found, p.digest());
+        }
+        other => panic!("expected PlanMismatch, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -91,6 +91,47 @@ rm -rf "$SERVE_DIR"
 trap - EXIT
 echo "serve: cold, cached, checkpoint/resume, shutdown all OK"
 
+echo "== shard (chaos sweep, supervisor SIGKILL midway, resume, byte-identical) =="
+# The sharded sweep driver must survive everything at once: workers
+# randomly SIGKILLed (--chaos-kill, pinned seed), the supervisor itself
+# SIGKILLed mid-sweep, then a --resume that replays the fsync'd journal.
+# The recovered figures and rows must be byte-identical to a clean,
+# failure-free run of the same plan, with no unit merged twice. The
+# deterministic rows also land in BENCH_PR<n>.json under "shard".
+SHARD_DIR=$(mktemp -d /tmp/gsi_shard_verify.XXXXXX)
+trap 'rm -rf "$SHARD_DIR"' EXIT
+./target/release/gsi-shard --plan scripts/shard_plan_small.json \
+    --out "$SHARD_DIR/clean" --workers 2 --quiet
+./target/release/gsi-shard --plan scripts/shard_plan_small.json \
+    --out "$SHARD_DIR/chaos" --workers 1 --chaos-kill 0.3 --chaos-seed 20260808 \
+    --quiet &
+SHARD_PID=$!
+# Kill the supervisor once at least one outcome is journaled (header +
+# one unit record); best-effort — a very fast sweep may finish first,
+# in which case the resume below exercises the complete-journal path.
+for _ in $(seq 1 200); do
+    LINES=$(wc -l 2>/dev/null < "$SHARD_DIR/chaos/journal.jsonl" || echo 0)
+    [ "$LINES" -ge 2 ] && break
+    sleep 0.05
+done
+kill -9 "$SHARD_PID" 2>/dev/null || true
+wait "$SHARD_PID" 2>/dev/null || true
+./target/release/gsi-shard --plan scripts/shard_plan_small.json \
+    --out "$SHARD_DIR/chaos" --resume --workers 2 --chaos-kill 0.3 \
+    --chaos-seed 20260808 --quiet --bench "BENCH_PR${PR}.json"
+cmp "$SHARD_DIR/clean/figures.txt" "$SHARD_DIR/chaos/figures.txt" \
+    || { echo "shard: resumed figures differ from the clean run" >&2; exit 1; }
+cmp "$SHARD_DIR/clean/rows.json" "$SHARD_DIR/chaos/rows.json" \
+    || { echo "shard: resumed rows differ from the clean run" >&2; exit 1; }
+DUPES=$(grep -o '"unit": [0-9]*' "$SHARD_DIR/chaos/rows.json" | sort | uniq -d)
+[ -z "$DUPES" ] \
+    || { echo "shard: units merged twice: $DUPES" >&2; exit 1; }
+grep -q '"status": "complete"' "$SHARD_DIR/chaos/manifest.json" \
+    || { echo "shard: manifest not complete after resume" >&2; exit 1; }
+rm -rf "$SHARD_DIR"
+trap - EXIT
+echo "shard: chaos + supervisor kill + resume byte-identical to clean run"
+
 echo "== blame attribution (export + schema + conservation) =="
 # Two memory-bound workloads export a blame report each; blame-check
 # validates the schema and asserts the ranked shares sum to 100%.
