@@ -5,36 +5,68 @@
 //! with no completion barrier, or two overlapping transfers in flight), and
 //! the atomic-on-scratchpad lint.
 //!
-//! Every abstract value tracks whether it *varies across lanes* and
-//! whether it *varies across warps/blocks* (derived from probing the
-//! launch initializer). Warp-variant addresses are assumed partitioned —
-//! the universal GPU idiom of indexing local memory by thread id — so the
-//! race check only fires when two overlapping accesses are provably
+//! The domain is *parametric in the warp and block ids*: an [`AbsVal`]
+//! describes the value seen by symbolic thread `(w, b)` as the strided
+//! interval of thread `(0, 0)` shifted by `wcoef * w + bcoef * b`. Launch
+//! initializers that index memory affinely by warp or block id — the
+//! universal GPU idiom — are recovered exactly by [`EntryState::fit`] from
+//! a handful of probes, so footprint disjointness between two symbolic
+//! threads can be decided by stride/offset disequations (see `races.rs`)
+//! instead of enumeration. [`AbsVal::concretize`] folds the symbolic part
+//! back into a plain interval for the classic whole-range checks.
+//!
+//! Every abstract value also tracks whether it *varies across lanes* and
+//! whether it *varies across warps/blocks in some non-affine way*
+//! (`warp_dep`). Warp-variant addresses are assumed partitioned, so the
+//! local race check only fires when two overlapping accesses are provably
 //! warp-invariant, which keeps it silent on well-formed tiled kernels.
 
 use crate::cfg::{finding, Cfg};
 use crate::findings::{Finding, FindingKind, Severity};
 use gsi_isa::{AluOp, Instr, Operand, Program, NUM_REGS, WORD_BYTES};
 
-/// A strided interval: the value lies in `lo ..= hi` and (when exact
-/// tracking held up) steps by `stride`; `stride == 0` means a single known
-/// value. `lane_dep`/`warp_dep` record whether the value can differ across
-/// lanes of a warp, or across warps and blocks.
+/// The launch geometry the symbolic domain is parametric in: how many
+/// warp ids and block ids exist. `warps_per_block == 1` collapses the
+/// warp axis (and likewise for blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geom {
+    /// Number of warps per thread block (warp ids `0..warps_per_block`).
+    pub warps_per_block: u64,
+    /// Number of thread blocks in the grid (block ids `0..grid_blocks`).
+    pub grid_blocks: u64,
+}
+
+impl Geom {
+    /// The degenerate single-warp, single-block geometry.
+    pub const ONE: Geom = Geom { warps_per_block: 1, grid_blocks: 1 };
+}
+
+/// A strided interval, parametric in the warp/block id: symbolic thread
+/// `(w, b)` sees `lo ..= hi` (stepping by `stride`) shifted by
+/// `wcoef * w + bcoef * b`. `stride == 0` means a single known value per
+/// thread. `lane_dep` records whether the value can differ across lanes of
+/// a warp; `warp_dep` records *residual* cross-warp/cross-block variation
+/// the affine part does not capture (a value with nonzero coefficients and
+/// `warp_dep == false` is *exactly* affine in the thread ids).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbsVal {
-    /// Smallest possible value.
+    /// Smallest possible value for thread `(0, 0)`.
     pub lo: u64,
-    /// Largest possible value.
+    /// Largest possible value for thread `(0, 0)`.
     pub hi: u64,
     /// Step between possible values (0 = exactly `lo`; 1 = any in range).
     pub stride: u64,
     /// May differ between lanes of one warp.
     pub lane_dep: bool,
-    /// May differ between warps (or blocks).
+    /// May differ between warps or blocks beyond the affine coefficients.
     pub warp_dep: bool,
+    /// Per-warp-id shift: thread `(w, b)` adds `wcoef * w`.
+    pub wcoef: i64,
+    /// Per-block-id shift: thread `(w, b)` adds `bcoef * b`.
+    pub bcoef: i64,
 }
 
-fn gcd(a: u64, b: u64) -> u64 {
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
     let (mut a, mut b) = (a, b);
     while b != 0 {
         (a, b) = (b, a % b);
@@ -45,12 +77,14 @@ fn gcd(a: u64, b: u64) -> u64 {
 impl AbsVal {
     /// A single known, uniform value.
     pub const fn constant(v: u64) -> AbsVal {
-        AbsVal { lo: v, hi: v, stride: 0, lane_dep: false, warp_dep: false }
+        AbsVal { lo: v, hi: v, stride: 0, lane_dep: false, warp_dep: false, wcoef: 0, bcoef: 0 }
     }
 
-    /// The unknown value with the given variance.
+    /// The unknown value with the given variance. Top never carries
+    /// affine coefficients — an unknown base plus a known shift is still
+    /// unknown, and keeping it coefficient-free preserves soundness.
     pub const fn top(lane_dep: bool, warp_dep: bool) -> AbsVal {
-        AbsVal { lo: 0, hi: u64::MAX, stride: 1, lane_dep, warp_dep }
+        AbsVal { lo: 0, hi: u64::MAX, stride: 1, lane_dep, warp_dep, wcoef: 0, bcoef: 0 }
     }
 
     /// Whether the interval carries no information.
@@ -64,16 +98,68 @@ impl AbsVal {
         self.hi != u64::MAX
     }
 
+    /// Whether this is a single known value, identical for every thread.
+    pub fn is_scalar_const(&self) -> bool {
+        self.stride == 0 && self.wcoef == 0 && self.bcoef == 0
+    }
+
     fn with_deps(mut self, other: AbsVal) -> AbsVal {
         self.lane_dep |= other.lane_dep;
         self.warp_dep |= other.warp_dep;
         self
     }
 
-    /// Least upper bound of two values.
-    pub fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+    /// Fold the affine coefficients into the interval: the result covers
+    /// every thread `(w, b)` of `geom` as a plain strided interval. Any
+    /// folded-in coefficient marks the result `warp_dep` (the value really
+    /// does differ across warps/blocks); a span that over/underflows `u64`
+    /// means the fit observed wrapping arithmetic, so degrade to top.
+    pub fn concretize(self, geom: Geom) -> AbsVal {
+        if self.wcoef == 0 && self.bcoef == 0 {
+            return self;
+        }
+        let mut lo = self.lo as i128;
+        let mut hi = self.hi as i128;
+        let mut stride = self.stride;
+        let mut varies = false;
+        for (coef, n) in [(self.wcoef, geom.warps_per_block), (self.bcoef, geom.grid_blocks)] {
+            if coef == 0 || n <= 1 {
+                continue;
+            }
+            varies = true;
+            let span = (coef as i128) * ((n - 1) as i128);
+            if span >= 0 {
+                hi += span;
+            } else {
+                lo += span;
+            }
+            stride = gcd(stride, coef.unsigned_abs());
+        }
+        if lo < 0 || hi > u64::MAX as i128 {
+            return AbsVal::top(self.lane_dep, true);
+        }
+        let (lo, hi) = (lo as u64, hi as u64);
+        AbsVal {
+            lo,
+            hi,
+            stride: if lo == hi { 0 } else { stride.max(1) },
+            lane_dep: self.lane_dep,
+            warp_dep: self.warp_dep || varies,
+            wcoef: 0,
+            bcoef: 0,
+        }
+    }
+
+    /// Least upper bound of two values. Matching coefficients join
+    /// base-interval-wise and stay symbolic; mismatched coefficients are
+    /// concretized first (the join of two different shifts per warp is not
+    /// itself a single shift).
+    pub fn join(a: AbsVal, b: AbsVal, geom: Geom) -> AbsVal {
         if a == b {
             return a;
+        }
+        if a.wcoef != b.wcoef || a.bcoef != b.bcoef {
+            return Self::join(a.concretize(geom), b.concretize(geom), geom);
         }
         let lo = a.lo.min(b.lo);
         let hi = a.hi.max(b.hi);
@@ -85,10 +171,95 @@ impl AbsVal {
             stride: if lo == hi { 0 } else { stride.max(1) },
             lane_dep: a.lane_dep || b.lane_dep,
             warp_dep: a.warp_dep || b.warp_dep,
+            wcoef: a.wcoef,
+            bcoef: a.bcoef,
         }
     }
 
-    fn binop(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    /// The symbolic-aware cases of [`binop`]: operations under which the
+    /// affine coefficients transform exactly. `None` means "no exact
+    /// affine rule" and falls back to the concretized interval math.
+    fn binop_affine(op: AluOp, a: AbsVal, b: AbsVal) -> Option<AbsVal> {
+        if a.wcoef == 0 && a.bcoef == 0 && b.wcoef == 0 && b.bcoef == 0 {
+            return None; // plain interval math handles it
+        }
+        let deps = |v: AbsVal| (a.lane_dep || b.lane_dep || v.lane_dep, a.warp_dep || b.warp_dep);
+        let shaped = |lo: u64, hi: u64, stride: u64, wcoef: i64, bcoef: i64| {
+            let (lane_dep, warp_dep) = deps(AbsVal::constant(0));
+            Some(AbsVal {
+                lo,
+                hi,
+                stride: if lo == hi { 0 } else { stride.max(1) },
+                lane_dep,
+                warp_dep,
+                wcoef,
+                bcoef,
+            })
+        };
+        match op {
+            AluOp::Add => shaped(
+                a.lo.checked_add(b.lo)?,
+                a.hi.checked_add(b.hi)?,
+                gcd(a.stride, b.stride),
+                a.wcoef.checked_add(b.wcoef)?,
+                a.bcoef.checked_add(b.bcoef)?,
+            ),
+            AluOp::Sub => shaped(
+                a.lo.checked_sub(b.hi)?,
+                a.hi.checked_sub(b.lo)?,
+                gcd(a.stride, b.stride),
+                a.wcoef.checked_sub(b.wcoef)?,
+                a.bcoef.checked_sub(b.bcoef)?,
+            ),
+            AluOp::Mul => {
+                if b.is_scalar_const() {
+                    Self::scale_affine(a, b.lo)
+                } else if a.is_scalar_const() {
+                    Self::scale_affine(b, a.lo)
+                } else {
+                    None
+                }
+            }
+            AluOp::Shl => {
+                if b.is_scalar_const() && b.lo < 64 {
+                    Self::scale_affine(a, 1u64 << b.lo)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiply a symbolic value by a known constant, scaling base
+    /// interval and coefficients together. `None` on any overflow.
+    fn scale_affine(x: AbsVal, c: u64) -> Option<AbsVal> {
+        if c == 0 {
+            return Some(AbsVal::constant(0).with_deps(x));
+        }
+        let ci = i64::try_from(c).ok()?;
+        let lo = x.lo.checked_mul(c)?;
+        let hi = x.hi.checked_mul(c)?;
+        Some(AbsVal {
+            lo,
+            hi,
+            stride: if lo == hi { 0 } else { x.stride.checked_mul(c).unwrap_or(1).max(1) },
+            lane_dep: x.lane_dep,
+            warp_dep: x.warp_dep,
+            wcoef: x.wcoef.checked_mul(ci)?,
+            bcoef: x.bcoef.checked_mul(ci)?,
+        })
+    }
+
+    fn binop(op: AluOp, a: AbsVal, b: AbsVal, geom: Geom) -> AbsVal {
+        if let Some(v) = Self::binop_affine(op, a, b) {
+            return v;
+        }
+        Self::binop_interval(op, a.concretize(geom), b.concretize(geom))
+    }
+
+    /// Plain interval arithmetic; inputs are guaranteed coefficient-free.
+    fn binop_interval(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
         let top = AbsVal::top(a.lane_dep || b.lane_dep, a.warp_dep || b.warp_dep);
         let exact = |lo: Option<u64>, hi: Option<u64>, stride: u64| match (lo, hi) {
             (Some(lo), Some(hi)) => {
@@ -196,25 +367,43 @@ impl AbsVal {
                 stride: if lo == hi { 0 } else { a.stride.checked_mul(c).unwrap_or(1).max(1) },
                 lane_dep: a.lane_dep,
                 warp_dep: a.warp_dep,
+                wcoef: 0,
+                bcoef: 0,
             },
             _ => AbsVal::top(a.lane_dep, a.warp_dep),
         }
     }
 
     /// Add a signed byte offset (memory operands).
-    fn offset(self, off: i64) -> AbsVal {
+    pub(crate) fn offset(self, off: i64, geom: Geom) -> AbsVal {
         let c = AbsVal::constant(off.unsigned_abs());
         if off >= 0 {
-            Self::binop(AluOp::Add, self, c)
+            Self::binop(AluOp::Add, self, c, geom)
         } else {
-            Self::binop(AluOp::Sub, self, c)
+            Self::binop(AluOp::Sub, self, c, geom)
         }
     }
 }
 
+/// One observation of the launch initializer: the register file it
+/// produced for warp `warp` of block `block` (whatever the SM/slot
+/// placement of the probe was).
+#[derive(Debug, Clone, Copy)]
+pub struct EntryProbe<'a> {
+    /// Block id the initializer was called for.
+    pub block: u64,
+    /// Warp id within the block.
+    pub warp: u64,
+    /// `regs[lane][reg]`: the initial register file per lane.
+    pub regs: &'a [[u64; NUM_REGS]],
+    /// Bitmask of registers the initializer explicitly wrote.
+    pub set: u32,
+}
+
 /// The abstract entry state of a kernel: which registers the launch
-/// initializer provably sets, and the value envelope observed over a
-/// sample of (block, warp, SM, slot) probes.
+/// initializer provably sets, and the per-register value — either an
+/// affine-in-(warp, block) symbolic value recovered from the probes, or a
+/// joined envelope marked `warp_dep` when no affine fit explains them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EntryState {
     /// Bitmask of registers set by *every* probed initializer call.
@@ -231,6 +420,24 @@ impl Default for EntryState {
     }
 }
 
+/// The lane envelope of one probed register: a coefficient-free strided
+/// interval over the lanes of the probe.
+fn lane_envelope(regs: &[[u64; NUM_REGS]], r: usize) -> AbsVal {
+    let lanes = regs.iter().map(|lane| lane[r]);
+    let lo = lanes.clone().min().unwrap_or(0);
+    let hi = lanes.clone().max().unwrap_or(0);
+    let stride = regs.iter().map(|lane| lane[r] - lo).fold(0, gcd);
+    AbsVal {
+        lo,
+        hi,
+        stride: if lo == hi { 0 } else { stride.max(1) },
+        lane_dep: lo != hi,
+        warp_dep: false,
+        wcoef: 0,
+        bcoef: 0,
+    }
+}
+
 impl EntryState {
     /// Fold one probe of the launch initializer into the envelope:
     /// `regs[lane][reg]` is the initial register file the probe produced
@@ -239,23 +446,15 @@ impl EntryState {
     /// Intra-probe variation marks a register lane-dependent; variation
     /// between probes marks it warp-dependent. `defined` intersects across
     /// probes, so a register only some warps receive stays "uninitialized".
+    /// This is the coefficient-free legacy path; [`EntryState::fit`]
+    /// additionally recovers affine warp/block coefficients.
     pub fn add_probe(&mut self, regs: &[[u64; NUM_REGS]], set: u32, first: bool) {
         for r in 0..NUM_REGS {
-            let lanes = regs.iter().map(|lane| lane[r]);
-            let lo = lanes.clone().min().unwrap_or(0);
-            let hi = lanes.clone().max().unwrap_or(0);
-            let stride = regs.iter().map(|lane| lane[r] - lo).fold(0, gcd);
-            let probe = AbsVal {
-                lo,
-                hi,
-                stride: if lo == hi { 0 } else { stride.max(1) },
-                lane_dep: lo != hi,
-                warp_dep: false,
-            };
+            let probe = lane_envelope(regs, r);
             if first {
                 self.vals[r] = probe;
             } else if self.vals[r] != probe {
-                self.vals[r] = AbsVal::join(self.vals[r], probe);
+                self.vals[r] = AbsVal::join(self.vals[r], probe, Geom::ONE);
                 self.vals[r].warp_dep = true;
             }
         }
@@ -265,6 +464,77 @@ impl EntryState {
             self.defined &= set;
         }
     }
+
+    /// Fit an entry state to a set of initializer probes: per register,
+    /// try to explain every probe as the `(block, warp) == (0, 0)` lane
+    /// envelope shifted by `wcoef * warp + bcoef * block` (coefficients
+    /// read off the `(0, 1)` and `(1, 0)` probes, validated against *all*
+    /// probes with wrapping arithmetic — so placement-dependent values,
+    /// which vary between probes sharing the same ids, fail validation).
+    /// Registers no affine model explains fall back to the joined,
+    /// `warp_dep`-marked envelope [`add_probe`] would have produced.
+    pub fn fit(probes: &[EntryProbe<'_>], geom: Geom) -> EntryState {
+        let mut st = EntryState::default();
+        let Some(base_probe) = probes.iter().find(|p| p.block == 0 && p.warp == 0) else {
+            // No origin probe: fall back to the joined envelope.
+            for (i, p) in probes.iter().enumerate() {
+                st.add_probe(p.regs, p.set, i == 0);
+            }
+            return st;
+        };
+        st.defined = probes.iter().fold(u32::MAX, |acc, p| acc & p.set);
+        let wprobe = probes.iter().find(|p| p.block == 0 && p.warp == 1);
+        let bprobe = probes.iter().find(|p| p.block == 1 && p.warp == 0);
+        'reg: for r in 0..NUM_REGS {
+            let base = lane_envelope(base_probe.regs, r);
+            let wcoef = match (geom.warps_per_block > 1, wprobe) {
+                (true, Some(p)) => lane_envelope(p.regs, r).lo.wrapping_sub(base.lo) as i64,
+                (true, None) => {
+                    st.vals[r] = joined_envelope(probes, r);
+                    continue 'reg;
+                }
+                (false, _) => 0,
+            };
+            let bcoef = match (geom.grid_blocks > 1, bprobe) {
+                (true, Some(p)) => lane_envelope(p.regs, r).lo.wrapping_sub(base.lo) as i64,
+                (true, None) => {
+                    st.vals[r] = joined_envelope(probes, r);
+                    continue 'reg;
+                }
+                (false, _) => 0,
+            };
+            for p in probes {
+                let env = lane_envelope(p.regs, r);
+                let shape_ok = env.hi.wrapping_sub(env.lo) == base.hi.wrapping_sub(base.lo)
+                    && env.stride == base.stride
+                    && env.lane_dep == base.lane_dep;
+                let predicted = base
+                    .lo
+                    .wrapping_add((wcoef as u64).wrapping_mul(p.warp))
+                    .wrapping_add((bcoef as u64).wrapping_mul(p.block));
+                if !shape_ok || env.lo != predicted {
+                    st.vals[r] = joined_envelope(probes, r);
+                    continue 'reg;
+                }
+            }
+            st.vals[r] = AbsVal { wcoef, bcoef, ..base };
+        }
+        st
+    }
+}
+
+/// The joined (affine-fit-failed) envelope of one register over every
+/// probe: exactly what repeated [`EntryState::add_probe`] would produce.
+fn joined_envelope(probes: &[EntryProbe<'_>], r: usize) -> AbsVal {
+    let mut v = lane_envelope(probes[0].regs, r);
+    for p in &probes[1..] {
+        let e = lane_envelope(p.regs, r);
+        if v != e {
+            v = AbsVal::join(v, e, Geom::ONE);
+            v.warp_dep = true;
+        }
+    }
+    v
 }
 
 /// What the memory checks need to know about the system and launch.
@@ -298,23 +568,29 @@ struct DmaXfer {
     bounded: bool,
 }
 
-/// Run the abstract interpretation and every memory-hazard check.
+/// The abstract register file at the entry of every reachable pc, shared
+/// by the memory checks and the global race pass.
+pub(crate) type States = Vec<Option<[AbsVal; NUM_REGS]>>;
+
+pub(crate) fn reg_val(states: &States, pc: usize, r: gsi_isa::Reg) -> AbsVal {
+    states[pc].map_or_else(|| AbsVal::top(true, true), |s| s[r.0 as usize])
+}
+
+/// Run every scratchpad/DMA memory-hazard check over a precomputed
+/// fixpoint. Symbolic values are concretized over `geom` at each use, so
+/// the whole-range checks see the footprint of every warp and block.
 pub fn check_memory(
     program: &Program,
     cfg: &Cfg,
-    entry: &EntryState,
     model: &MemModel,
+    states: &States,
+    geom: Geom,
     findings: &mut Vec<Finding>,
 ) {
-    let states = fixpoint(program, cfg, entry);
     let instrs = program.instrs();
 
     let mut locals: Vec<LocalAccess> = Vec::new();
     let mut dmas: Vec<DmaXfer> = Vec::new();
-
-    let reg_val = |states: &Vec<Option<[AbsVal; NUM_REGS]>>, pc: usize, r: gsi_isa::Reg| {
-        states[pc].map_or_else(|| AbsVal::top(true, true), |s| s[r.0 as usize])
-    };
 
     for (pc, i) in instrs.iter().enumerate() {
         if !cfg.reachable[pc] || states[pc].is_none() {
@@ -322,7 +598,7 @@ pub fn check_memory(
         }
         match i {
             Instr::LdLocal { addr, offset, .. } | Instr::StLocal { addr, offset, .. } => {
-                let base = reg_val(&states, pc, *addr).offset(*offset);
+                let base = reg_val(states, pc, *addr).offset(*offset, geom).concretize(geom);
                 let write = matches!(i, Instr::StLocal { .. });
                 locals.push(LocalAccess {
                     pc,
@@ -334,7 +610,7 @@ pub fn check_memory(
                 });
             }
             Instr::DmaLoad { local, bytes, .. } | Instr::DmaStore { local, bytes, .. } => {
-                let base = reg_val(&states, pc, *local);
+                let base = reg_val(states, pc, *local).concretize(geom);
                 dmas.push(DmaXfer {
                     pc,
                     load: matches!(i, Instr::DmaLoad { .. }),
@@ -344,7 +620,7 @@ pub fn check_memory(
                 });
             }
             Instr::StashMap { local, bytes, .. } => {
-                let base = reg_val(&states, pc, *local);
+                let base = reg_val(states, pc, *local).concretize(geom);
                 if let Some(size) = model.scratch_bytes {
                     check_bounds(
                         program,
@@ -360,7 +636,7 @@ pub fn check_memory(
             }
             Instr::Atom { addr, .. } => {
                 if let Some(size) = model.scratch_bytes {
-                    let a = reg_val(&states, pc, *addr);
+                    let a = reg_val(states, pc, *addr).concretize(geom);
                     if a.bounded() && a.hi < size {
                         findings.push(finding(
                             program,
@@ -521,11 +797,12 @@ fn check_bounds(
 }
 
 /// Forward fixpoint: the abstract register file at the entry of every
-/// reachable instruction.
-fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState) -> Vec<Option<[AbsVal; NUM_REGS]>> {
+/// reachable instruction. Symbolic coefficients flow through the affine
+/// transfer rules, so the states stay parametric in the thread ids.
+pub(crate) fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState, geom: Geom) -> States {
     let instrs = program.instrs();
     let len = instrs.len();
-    let mut states: Vec<Option<[AbsVal; NUM_REGS]>> = vec![None; len];
+    let mut states: States = vec![None; len];
     let mut joins = vec![0u32; len];
     states[0] = Some(entry.vals);
     let mut worklist = vec![0usize];
@@ -535,7 +812,7 @@ fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState) -> Vec<Option<[Abs
     while let Some(pc) = worklist.pop() {
         on_list[pc] = false;
         let Some(state) = states[pc] else { continue };
-        let out = transfer(&instrs[pc], state);
+        let out = transfer(&instrs[pc], state, geom);
         for &succ in cfg.succs(pc) {
             let merged = match states[succ] {
                 None => out,
@@ -543,7 +820,7 @@ fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState) -> Vec<Option<[Abs
                     let mut m = [AbsVal::constant(0); NUM_REGS];
                     let widen = joins[succ] >= WIDEN_AFTER;
                     for r in 0..NUM_REGS {
-                        m[r] = AbsVal::join(old[r], out[r]);
+                        m[r] = AbsVal::join(old[r], out[r], geom);
                         if widen && m[r] != old[r] {
                             m[r] = AbsVal::top(m[r].lane_dep, m[r].warp_dep);
                         }
@@ -564,25 +841,24 @@ fn fixpoint(program: &Program, cfg: &Cfg, entry: &EntryState) -> Vec<Option<[Abs
     states
 }
 
-fn transfer(i: &Instr, mut s: [AbsVal; NUM_REGS]) -> [AbsVal; NUM_REGS] {
+fn transfer(i: &Instr, mut s: [AbsVal; NUM_REGS], geom: Geom) -> [AbsVal; NUM_REGS] {
     let operand = |s: &[AbsVal; NUM_REGS], o: &Operand| match o {
         Operand::Reg(r) => s[r.0 as usize],
         Operand::Imm(v) => AbsVal::constant(*v as u64),
     };
     match i {
         Instr::Alu { op, dst, a, b } => {
-            s[dst.0 as usize] = AbsVal::binop(*op, operand(&s, a), operand(&s, b));
+            s[dst.0 as usize] = AbsVal::binop(*op, operand(&s, a), operand(&s, b), geom);
         }
         Instr::Ldi { dst, imm } => s[dst.0 as usize] = AbsVal::constant(*imm),
         Instr::Sel { dst, cond, a, b } => {
             let c = s[cond.0 as usize];
-            s[dst.0 as usize] = AbsVal::join(operand(&s, a), operand(&s, b)).with_deps(AbsVal {
-                lo: 0,
-                hi: 0,
-                stride: 0,
-                lane_dep: c.lane_dep,
-                warp_dep: c.warp_dep,
-            });
+            s[dst.0 as usize] =
+                AbsVal::join(operand(&s, a), operand(&s, b), geom).with_deps(AbsVal {
+                    lane_dep: c.lane_dep,
+                    warp_dep: c.warp_dep,
+                    ..AbsVal::constant(0)
+                });
         }
         _ => {
             if let Some(dst) = i.writes_dest() {
@@ -598,7 +874,7 @@ fn transfer(i: &Instr, mut s: [AbsVal; NUM_REGS]) -> [AbsVal; NUM_REGS] {
 mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
-    use gsi_isa::{ProgramBuilder, Reg};
+    use gsi_isa::{Operand, ProgramBuilder, Reg};
 
     const SCRATCH: u64 = 16 * 1024;
 
@@ -614,7 +890,9 @@ mod tests {
         let cfg = Cfg::build(&p, &mut findings);
         findings.clear();
         let model = MemModel { scratch_bytes: Some(SCRATCH), warps_per_block: warps };
-        check_memory(&p, &cfg, entry, &model, &mut findings);
+        let geom = Geom { warps_per_block: warps as u64, grid_blocks: 1 };
+        let states = fixpoint(&p, &cfg, entry, geom);
+        check_memory(&p, &cfg, &model, &states, geom, &mut findings);
         findings
     }
 
@@ -640,7 +918,7 @@ mod tests {
         assert_eq!(e.vals[1].hi, 35);
         assert!(e.vals[1].lane_dep);
         assert!(e.vals[1].warp_dep);
-        let scaled = AbsVal::binop(AluOp::Shl, e.vals[1], AbsVal::constant(3));
+        let scaled = AbsVal::binop(AluOp::Shl, e.vals[1], AbsVal::constant(3), Geom::ONE);
         assert_eq!((scaled.lo, scaled.hi), (0, 280));
         assert_eq!(scaled.stride, 8);
         assert!(scaled.warp_dep);
@@ -680,8 +958,6 @@ mod tests {
         });
         assert!(findings.iter().all(|f| f.kind != FindingKind::LocalRace), "{findings:?}");
     }
-
-    use gsi_isa::Operand;
 
     #[test]
     fn warp_invariant_overlapping_writes_race() {
@@ -771,5 +1047,115 @@ mod tests {
         });
         // The widened address is unbounded: no OOB claim may be made.
         assert!(findings.iter().all(|f| f.kind != FindingKind::ScratchpadOob), "{findings:?}");
+    }
+
+    // ---- affine / symbolic-thread domain -------------------------------
+
+    const GEOM: Geom = Geom { warps_per_block: 4, grid_blocks: 2 };
+
+    /// r1 = 0x100 + 0x40*warp + 0x400*block, lane-invariant.
+    fn affine_probes() -> Vec<[[u64; NUM_REGS]; 2]> {
+        let mut out = Vec::new();
+        for (block, warp) in [(0u64, 0u64), (0, 1), (1, 0), (0, 3), (1, 3)] {
+            let mut regs = [[0u64; NUM_REGS]; 2];
+            for file in regs.iter_mut() {
+                file[1] = 0x100 + 0x40 * warp + 0x400 * block;
+            }
+            out.push(regs);
+        }
+        out
+    }
+
+    #[test]
+    fn fit_recovers_affine_warp_and_block_coefficients() {
+        let regs = affine_probes();
+        let ids = [(0u64, 0u64), (0, 1), (1, 0), (0, 3), (1, 3)];
+        let probes: Vec<EntryProbe<'_>> = ids
+            .iter()
+            .zip(&regs)
+            .map(|(&(block, warp), r)| EntryProbe { block, warp, regs: r, set: 1 << 1 })
+            .collect();
+        let e = EntryState::fit(&probes, GEOM);
+        let v = e.vals[1];
+        assert_eq!((v.lo, v.hi, v.stride), (0x100, 0x100, 0));
+        assert_eq!((v.wcoef, v.bcoef), (0x40, 0x400));
+        assert!(!v.warp_dep, "affine values are exact, not warp_dep");
+        assert_eq!(e.defined, 1 << 1);
+    }
+
+    #[test]
+    fn fit_falls_back_when_probes_defy_the_affine_model() {
+        // Placement-dependent value: two probes with the same (block, warp)
+        // coordinates would disagree, but even a non-linear progression
+        // over warp ids must be rejected.
+        let mut regs = affine_probes();
+        regs[3][0][1] = 0xdead; // warp 3 breaks the line
+        regs[3][1][1] = 0xdead;
+        let ids = [(0u64, 0u64), (0, 1), (1, 0), (0, 3), (1, 3)];
+        let probes: Vec<EntryProbe<'_>> = ids
+            .iter()
+            .zip(&regs)
+            .map(|(&(block, warp), r)| EntryProbe { block, warp, regs: r, set: 1 << 1 })
+            .collect();
+        let e = EntryState::fit(&probes, GEOM);
+        let v = e.vals[1];
+        assert!(v.warp_dep, "non-affine variation must be marked warp_dep");
+        assert_eq!((v.wcoef, v.bcoef), (0, 0));
+        assert!(v.lo <= 0x100 && v.hi >= 0xdead);
+    }
+
+    #[test]
+    fn concretize_folds_coefficient_spans() {
+        let v = AbsVal { wcoef: 0x40, bcoef: 0x400, ..AbsVal::constant(0x100) };
+        let c = v.concretize(GEOM);
+        assert_eq!(c.lo, 0x100);
+        assert_eq!(c.hi, 0x100 + 0x40 * 3 + 0x400);
+        assert_eq!(c.stride, 0x40);
+        assert!(c.warp_dep);
+        assert_eq!((c.wcoef, c.bcoef), (0, 0));
+        // Negative coefficient extends downward.
+        let n = AbsVal { wcoef: -0x40, ..AbsVal::constant(0x1000) };
+        let cn = n.concretize(GEOM);
+        assert_eq!((cn.lo, cn.hi), (0x1000 - 0x40 * 3, 0x1000));
+        // Underflow past zero means the fit saw wrapping: degrade to top.
+        let w = AbsVal { wcoef: -0x40, ..AbsVal::constant(0x20) };
+        assert!(w.concretize(GEOM).is_top());
+    }
+
+    #[test]
+    fn coefficients_flow_through_affine_arithmetic() {
+        let v = AbsVal { wcoef: 8, ..AbsVal::constant(0x100) };
+        let shifted = AbsVal::binop(AluOp::Shl, v, AbsVal::constant(2), GEOM);
+        assert_eq!((shifted.lo, shifted.wcoef), (0x400, 32));
+        let summed = AbsVal::binop(AluOp::Add, shifted, AbsVal::constant(0x10), GEOM);
+        assert_eq!((summed.lo, summed.wcoef), (0x410, 32));
+        let diff = AbsVal::binop(AluOp::Sub, summed, v, GEOM);
+        assert_eq!((diff.lo, diff.wcoef), (0x310, 24));
+        let scaled = AbsVal::binop(AluOp::Mul, v, AbsVal::constant(3), GEOM);
+        assert_eq!((scaled.lo, scaled.wcoef), (0x300, 24));
+    }
+
+    #[test]
+    fn non_affine_ops_concretize_before_interval_math() {
+        let v = AbsVal { wcoef: 0x40, ..AbsVal::constant(0x100) };
+        // Shr has no affine rule: the result must cover every warp's value.
+        let r = AbsVal::binop(AluOp::Shr, v, AbsVal::constant(4), GEOM);
+        assert_eq!((r.lo, r.hi), (0x10, (0x100 + 0x40 * 3) >> 4));
+        assert!(r.warp_dep);
+        assert_eq!((r.wcoef, r.bcoef), (0, 0));
+    }
+
+    #[test]
+    fn join_preserves_matching_coefficients_and_concretizes_mismatches() {
+        let a = AbsVal { wcoef: 8, ..AbsVal::constant(0x100) };
+        let b = AbsVal { wcoef: 8, ..AbsVal::constant(0x120) };
+        let j = AbsVal::join(a, b, GEOM);
+        assert_eq!((j.lo, j.hi, j.stride, j.wcoef), (0x100, 0x120, 0x20, 8));
+        assert!(!j.warp_dep);
+        let c = AbsVal { wcoef: 16, ..AbsVal::constant(0x100) };
+        let m = AbsVal::join(a, c, GEOM);
+        assert_eq!((m.wcoef, m.bcoef), (0, 0));
+        assert!(m.warp_dep, "mismatched coefficients concretize");
+        assert!(m.hi >= 0x100 + 16 * 3);
     }
 }

@@ -221,6 +221,8 @@ pub(crate) fn finding(
         location: gsi_isa::asm::location(program, pc),
         message,
         snippet: gsi_isa::asm::snippet(program, pc, 1),
+        corners: Vec::new(),
+        baselined: false,
     }
 }
 

@@ -1,8 +1,10 @@
 //! Findings and the analysis report: what the verifier has to say about a
 //! kernel, rendered for humans (text with disassembly snippets) and for
-//! machines (`gsi-json`).
+//! machines (`gsi-json`), plus the baseline suppression file that lets
+//! intentionally racy workloads pass the gate explicitly.
 
 use gsi_json::{ToJson, Value};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// How bad a finding is.
@@ -61,6 +63,15 @@ pub enum FindingKind {
     DmaOverlap,
     /// An atomic whose address lies inside the scratchpad address range.
     AtomicOnScratchpad,
+    /// Two warps of the same block can race on global memory with no
+    /// synchronization order between the accesses.
+    GlobalRaceInterWarp,
+    /// Warps of two different blocks can race on global memory (block
+    /// barriers never order distinct blocks).
+    GlobalRaceInterBlock,
+    /// A DMA/stash transfer's global region can race with warp code (or
+    /// another transfer) touching the same addresses.
+    GlobalRaceDma,
 }
 
 impl FindingKind {
@@ -78,7 +89,20 @@ impl FindingKind {
             FindingKind::DmaNoWait => "dma-no-wait",
             FindingKind::DmaOverlap => "dma-overlap",
             FindingKind::AtomicOnScratchpad => "atomic-on-scratchpad",
+            FindingKind::GlobalRaceInterWarp => "global-race-inter-warp",
+            FindingKind::GlobalRaceInterBlock => "global-race-inter-block",
+            FindingKind::GlobalRaceDma => "global-race-dma",
         }
+    }
+
+    /// Whether this is one of the whole-scenario global race kinds.
+    pub fn is_global_race(self) -> bool {
+        matches!(
+            self,
+            FindingKind::GlobalRaceInterWarp
+                | FindingKind::GlobalRaceInterBlock
+                | FindingKind::GlobalRaceDma
+        )
     }
 }
 
@@ -105,11 +129,22 @@ pub struct Finding {
     pub message: String,
     /// Disassembly snippet around `pc` with the subject line marked.
     pub snippet: String,
+    /// Witnessing corner configurations (e.g. `dwarp=1`), merged across
+    /// probes of the same defect; empty for non-parametric findings.
+    pub corners: Vec<String>,
+    /// Suppressed by a baseline entry: reported, but not counted by the
+    /// gate.
+    pub baselined: bool,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}[{}] at {}: {}", self.severity, self.kind, self.location, self.message)?;
+        let tag = if self.baselined { "baselined " } else { "" };
+        write!(f, "{tag}{}[{}] at {}: {}", self.severity, self.kind, self.location, self.message)?;
+        if !self.corners.is_empty() {
+            write!(f, " (witness: {})", self.corners.join(", "))?;
+        }
+        writeln!(f)?;
         f.write_str(&self.snippet)
     }
 }
@@ -122,14 +157,92 @@ impl ToJson for Finding {
             "pc" => self.pc as u64,
             "location" => self.location.as_str(),
             "message" => self.message.as_str(),
+            "corners" => Value::Array(
+                self.corners.iter().map(|c| Value::Str(c.clone())).collect()
+            ),
+            "baselined" => self.baselined,
         }
+    }
+}
+
+/// The stable content digest a [`Baseline`] entry matches a finding by:
+/// `fnv1a128` over the canonical gsi-json of the identifying fields.
+/// Location and snippet are deliberately excluded (they shift when
+/// unrelated lines move); kernel, kind, pc, and message pin the defect.
+pub fn finding_digest(kernel: &str, f: &Finding) -> String {
+    let canonical = gsi_json::obj! {
+        "kernel" => kernel,
+        "kind" => f.kind.as_str(),
+        "pc" => f.pc as u64,
+        "message" => f.message.as_str(),
+    };
+    gsi_json::fnv1a128(&canonical.to_string())
+}
+
+/// A suppression file: the set of finding digests the user has explicitly
+/// accepted. Baselined findings still appear in reports but stop counting
+/// toward the gate's error/warning totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    digests: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// An empty baseline (suppresses nothing).
+    pub fn new() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parse the canonical baseline file format:
+    /// `{"version": 1, "entries": [{"digest": "...", "comment": "..."}]}`.
+    /// Extra per-entry fields (kernel, kind, pc — kept for human readers)
+    /// are ignored; the digest alone identifies the finding.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = Value::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let version = v.get("version").and_then(Value::as_u64);
+        if version != Some(1) {
+            return Err(format!("baseline: unsupported version {version:?} (want 1)"));
+        }
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("baseline: missing `entries` array")?;
+        let mut digests = BTreeSet::new();
+        for e in entries {
+            let d = e
+                .get("digest")
+                .and_then(Value::as_str)
+                .ok_or("baseline: entry without a `digest` string")?;
+            digests.insert(d.to_string());
+        }
+        Ok(Baseline { digests })
+    }
+
+    /// Add one accepted digest.
+    pub fn insert(&mut self, digest: String) {
+        self.digests.insert(digest);
+    }
+
+    /// Whether `digest` is accepted.
+    pub fn contains(&self, digest: &str) -> bool {
+        self.digests.contains(digest)
+    }
+
+    /// Number of accepted digests.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when the baseline suppresses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
     }
 }
 
 /// Everything the analyzer found in one kernel, in a deterministic order
 /// (sorted by instruction index, then class, then message; duplicates
-/// collapsed). Rendering the same program twice yields byte-identical text
-/// and JSON.
+/// collapsed, with witnessing corners merged). Rendering the same program
+/// twice yields byte-identical text and JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisReport {
     kernel: String,
@@ -138,11 +251,31 @@ pub struct AnalysisReport {
 }
 
 impl AnalysisReport {
-    /// Assemble a report: sort, dedupe, freeze.
+    /// Assemble a report: sort, merge duplicate findings (unioning their
+    /// witnessing corners), freeze.
     pub(crate) fn new(kernel: String, instructions: usize, mut findings: Vec<Finding>) -> Self {
         findings.sort_by(|a, b| (a.pc, a.kind, &a.message).cmp(&(b.pc, b.kind, &b.message)));
-        findings.dedup();
-        AnalysisReport { kernel, instructions, findings }
+        let mut merged: Vec<Finding> = Vec::with_capacity(findings.len());
+        for mut f in findings {
+            f.corners.sort();
+            f.corners.dedup();
+            if let Some(last) = merged.last_mut() {
+                if last.kind == f.kind
+                    && last.severity == f.severity
+                    && last.pc == f.pc
+                    && last.location == f.location
+                    && last.message == f.message
+                {
+                    last.corners.append(&mut f.corners);
+                    last.corners.sort();
+                    last.corners.dedup();
+                    last.baselined |= f.baselined;
+                    continue;
+                }
+            }
+            merged.push(f);
+        }
+        AnalysisReport { kernel, instructions, findings: merged }
     }
 
     /// The analyzed kernel's name.
@@ -155,17 +288,39 @@ impl AnalysisReport {
         &self.findings
     }
 
-    /// Number of `Error`-severity findings (what the deny gate counts).
+    /// Mark every finding whose digest the baseline accepts; returns how
+    /// many findings are now suppressed. Baselined findings stay in the
+    /// report but no longer count toward [`error_count`](Self::error_count)
+    /// or [`warn_count`](Self::warn_count).
+    pub fn apply_baseline(&mut self, baseline: &Baseline) -> usize {
+        let mut suppressed = 0;
+        for f in &mut self.findings {
+            if !f.baselined && baseline.contains(&finding_digest(&self.kernel, f)) {
+                f.baselined = true;
+            }
+            suppressed += usize::from(f.baselined);
+        }
+        suppressed
+    }
+
+    /// Number of non-baselined `Error` findings (what the deny gate
+    /// counts).
     pub fn error_count(&self) -> usize {
-        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+        self.findings.iter().filter(|f| f.severity == Severity::Error && !f.baselined).count()
     }
 
-    /// Number of `Warn`-severity findings.
+    /// Number of non-baselined `Warn` findings.
     pub fn warn_count(&self) -> usize {
-        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+        self.findings.iter().filter(|f| f.severity == Severity::Warn && !f.baselined).count()
     }
 
-    /// True when nothing at all was flagged.
+    /// Number of findings a baseline has suppressed.
+    pub fn baselined_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.baselined).count()
+    }
+
+    /// True when nothing at all was flagged (baselined findings still
+    /// count as flagged — the defect exists, it is merely accepted).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
@@ -185,7 +340,7 @@ impl fmt::Display for AnalysisReport {
                 self.kernel, self.instructions
             );
         }
-        writeln!(
+        write!(
             f,
             "analysis of `{}` ({} instructions): {} error(s), {} warning(s)",
             self.kernel,
@@ -193,6 +348,10 @@ impl fmt::Display for AnalysisReport {
             self.error_count(),
             self.warn_count()
         )?;
+        if self.baselined_count() > 0 {
+            write!(f, ", {} baselined", self.baselined_count())?;
+        }
+        writeln!(f)?;
         for finding in &self.findings {
             writeln!(f)?;
             write!(f, "{finding}")?;
@@ -208,6 +367,7 @@ impl ToJson for AnalysisReport {
             "instructions" => self.instructions as u64,
             "errors" => self.error_count() as u64,
             "warnings" => self.warn_count() as u64,
+            "baselined" => self.baselined_count() as u64,
             "findings" => Value::Array(self.findings.iter().map(ToJson::to_json).collect()),
         }
     }
@@ -215,6 +375,7 @@ impl ToJson for AnalysisReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn finding(pc: usize, kind: FindingKind, severity: Severity, msg: &str) -> Finding {
@@ -225,6 +386,8 @@ mod tests {
             location: format!("k.gsi:{pc}"),
             message: msg.to_string(),
             snippet: String::new(),
+            corners: Vec::new(),
+            baselined: false,
         }
     }
 
@@ -247,5 +410,57 @@ mod tests {
         assert!(r.render().contains("clean"));
         let json = r.to_json();
         assert_eq!(json.get("errors").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn duplicate_findings_merge_their_corner_provenance() {
+        let mut a = finding(4, FindingKind::GlobalRaceInterWarp, Severity::Error, "race");
+        a.corners = vec!["dwarp=3".into()];
+        let mut b = a.clone();
+        b.corners = vec!["dwarp=1".into(), "dwarp=3".into()];
+        let r = AnalysisReport::new("k".into(), 8, vec![a, b]);
+        assert_eq!(r.findings().len(), 1, "{r}");
+        assert_eq!(r.findings()[0].corners, vec!["dwarp=1".to_string(), "dwarp=3".to_string()]);
+        assert!(r.render().contains("witness: dwarp=1, dwarp=3"));
+    }
+
+    #[test]
+    fn baseline_suppresses_by_digest_but_keeps_the_finding() {
+        let f = finding(7, FindingKind::GlobalRaceInterBlock, Severity::Error, "blocks collide");
+        let digest = finding_digest("k", &f);
+        let mut r = AnalysisReport::new("k".into(), 9, vec![f]);
+        assert_eq!(r.error_count(), 1);
+        let mut bl = Baseline::new();
+        bl.insert(digest.clone());
+        assert_eq!(r.apply_baseline(&bl), 1);
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(r.baselined_count(), 1);
+        assert!(!r.is_clean(), "a baselined defect still exists");
+        assert!(r.render().contains("baselined"));
+        // Round-trip through the file format.
+        let text = format!("{{\"version\":1,\"entries\":[{{\"digest\":\"{digest}\"}}]}}");
+        let parsed = Baseline::parse(&text).unwrap();
+        assert!(parsed.contains(&digest));
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn baseline_parse_rejects_malformed_files() {
+        assert!(Baseline::parse("{}").is_err(), "missing version");
+        assert!(Baseline::parse("{\"version\":2,\"entries\":[]}").is_err());
+        assert!(Baseline::parse("{\"version\":1}").is_err(), "missing entries");
+        assert!(Baseline::parse("{\"version\":1,\"entries\":[{}]}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"entries\":[]}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_location_independent() {
+        let mut f = finding(3, FindingKind::GlobalRaceDma, Severity::Warn, "dma overlap");
+        let d1 = finding_digest("k", &f);
+        f.location = "other.gsi:99".into();
+        f.snippet = "different".into();
+        assert_eq!(finding_digest("k", &f), d1, "location/snippet do not affect the digest");
+        f.message = "changed".into();
+        assert_ne!(finding_digest("k", &f), d1);
     }
 }

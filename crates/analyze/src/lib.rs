@@ -19,6 +19,18 @@
 //!    accesses, inter-warp races on local memory, DMA transfers whose
 //!    region is touched before a completion barrier, and atomics pointed
 //!    at the scratchpad address range.
+//! 5. **Whole-scenario global races** ([`sync`] + the race pass): a
+//!    happens-before verifier over the synchronization-order graph
+//!    (barriers, acquire/release atomics, launch boundaries) with
+//!    per-thread footprints that are *affine in the warp and block ids*,
+//!    so write/write and read/write conflicts between warps, between
+//!    blocks, and between warp code and DMA/stash transfers are decided by
+//!    stride/offset disequations, never by enumerating threads. DeNovo
+//!    self-invalidates at acquires and assumes data-race-freedom, so races
+//!    are [`Severity::Error`] under [`ProtocolClass::DeNovo`] and
+//!    [`Severity::Warn`] under baseline GPU coherence. Intentionally racy
+//!    workloads are admitted explicitly through a content-digested
+//!    [`Baseline`].
 //!
 //! The entry point is [`analyze`]; the simulator invokes it through its
 //! pre-flight gate (`sim::AnalysisGate`), and the `analyze` binary in
@@ -32,13 +44,30 @@ pub mod cfg;
 pub mod dataflow;
 pub mod defuse;
 pub mod findings;
+mod races;
+pub mod sync;
 
-pub use absint::{AbsVal, EntryState, MemModel};
+pub use absint::{AbsVal, EntryProbe, EntryState, Geom, MemModel};
 pub use cfg::Cfg;
 pub use defuse::{DefUseIndex, LAUNCH_DEF};
-pub use findings::{AnalysisReport, Finding, FindingKind, Severity};
+pub use findings::{finding_digest, AnalysisReport, Baseline, Finding, FindingKind, Severity};
+pub use sync::SyncGraph;
 
 use gsi_isa::Program;
+
+/// The coherence-protocol family the analyzed launch will run under.
+/// Controls the severity of global data races: DeNovo relies on
+/// data-race-freedom for correctness (self-invalidation at acquires reads
+/// stale data otherwise), so races deny the launch; conventional GPU
+/// coherence merely makes them suspicious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolClass {
+    /// Baseline GPU-style coherence: races are [`Severity::Warn`].
+    #[default]
+    GpuCoherence,
+    /// DeNovo-style self-invalidation: races are [`Severity::Error`].
+    DeNovo,
+}
 
 /// Everything [`analyze`] needs to know beyond the program itself.
 #[derive(Debug, Clone)]
@@ -49,13 +78,31 @@ pub struct AnalyzeOptions {
     /// Scratchpad size in bytes; `None` disables the local-memory bounds
     /// and atomic-address checks.
     pub scratch_bytes: Option<u64>,
-    /// Warps per thread block; races are only possible above 1.
+    /// Warps per thread block; inter-warp races are only possible above 1.
     pub warps_per_block: usize,
+    /// Thread blocks in the grid; inter-block races are only possible
+    /// above 1.
+    pub grid_blocks: u64,
+    /// Protocol family the launch targets (drives race severity).
+    pub protocol: ProtocolClass,
+    /// Whether to run the whole-scenario global race pass.
+    pub races: bool,
+    /// Accepted-findings baseline: matching findings stay in the report
+    /// but are marked and excluded from the error/warn counts.
+    pub baseline: Option<Baseline>,
 }
 
 impl Default for AnalyzeOptions {
     fn default() -> Self {
-        AnalyzeOptions { entry: EntryState::default(), scratch_bytes: None, warps_per_block: 1 }
+        AnalyzeOptions {
+            entry: EntryState::default(),
+            scratch_bytes: None,
+            warps_per_block: 1,
+            grid_blocks: 1,
+            protocol: ProtocolClass::default(),
+            races: true,
+            baseline: None,
+        }
     }
 }
 
@@ -66,10 +113,30 @@ pub fn analyze(program: &Program, opts: &AnalyzeOptions) -> AnalysisReport {
     let cfg = Cfg::build(program, &mut findings);
     cfg::check_barrier_divergence(program, &cfg, &mut findings);
     dataflow::check_def_before_use(program, &cfg, opts.entry.defined, &mut findings);
+    let geom = Geom {
+        warps_per_block: opts.warps_per_block.max(1) as u64,
+        grid_blocks: opts.grid_blocks.max(1),
+    };
+    let states = absint::fixpoint(program, &cfg, &opts.entry, geom);
     let model =
         MemModel { scratch_bytes: opts.scratch_bytes, warps_per_block: opts.warps_per_block };
-    absint::check_memory(program, &cfg, &opts.entry, &model, &mut findings);
-    AnalysisReport::new(program.name().to_string(), program.len(), findings)
+    absint::check_memory(program, &cfg, &model, &states, geom, &mut findings);
+    if opts.races {
+        races::check_races(
+            program,
+            &cfg,
+            &states,
+            geom,
+            opts.protocol,
+            opts.entry.defined,
+            &mut findings,
+        );
+    }
+    let mut report = AnalysisReport::new(program.name().to_string(), program.len(), findings);
+    if let Some(baseline) = &opts.baseline {
+        report.apply_baseline(baseline);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -112,5 +179,48 @@ mod tests {
         use gsi_json::ToJson;
         assert_eq!(a.to_json().to_string_pretty(), b2.to_json().to_string_pretty());
         assert!(a.error_count() >= 3, "{}", a.render());
+    }
+
+    #[test]
+    fn baseline_option_suppresses_a_known_race() {
+        let mut b = ProgramBuilder::new("racy");
+        b.ldi(Reg(1), 0x10_0000);
+        b.st_global(gsi_isa::Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let opts = AnalyzeOptions {
+            scratch_bytes: Some(16 * 1024),
+            warps_per_block: 2,
+            protocol: ProtocolClass::DeNovo,
+            ..AnalyzeOptions::default()
+        };
+        let first = analyze(&p, &opts);
+        assert_eq!(first.error_count(), 1, "{first}");
+        let mut baseline = Baseline::new();
+        for f in first.findings() {
+            baseline.insert(finding_digest(first.kernel(), f));
+        }
+        let opts = AnalyzeOptions { baseline: Some(baseline), ..opts };
+        let second = analyze(&p, &opts);
+        assert_eq!(second.error_count(), 0, "{second}");
+        assert!(!second.is_clean(), "the defect still exists, it is merely accepted");
+        assert_eq!(second.baselined_count(), 1);
+    }
+
+    #[test]
+    fn disabling_the_race_pass_drops_race_findings_only() {
+        let mut b = ProgramBuilder::new("racy");
+        b.ldi(Reg(1), 0x10_0000);
+        b.st_global(gsi_isa::Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let opts = AnalyzeOptions {
+            warps_per_block: 2,
+            races: false,
+            protocol: ProtocolClass::DeNovo,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&p, &opts);
+        assert!(report.findings().iter().all(|f| !f.kind.is_global_race()), "{report}");
     }
 }

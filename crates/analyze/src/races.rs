@@ -1,0 +1,718 @@
+//! Whole-scenario global-memory race verification: write/write and
+//! read/write conflicts between symbolic threads — warps of one block,
+//! warps of different blocks, and warp code versus DMA/stash transfers —
+//! decided by stride/offset disequations over the affine-parametric
+//! address domain of [`absint`](crate::absint), never by enumeration of
+//! thread ids.
+//!
+//! For a pair of accesses the question "can thread `t1`'s footprint touch
+//! thread `t2`'s?" reduces to: does
+//!
+//! ```text
+//! δ = (a.lo − b.lo) + (i·sa − j·sb) + c·k + e
+//! ```
+//!
+//! take a value in `(−width_a, width_b)` for some axis delta `k ≠ 0`?
+//! Here `sa`/`sb` are the lane strides, `c` the shared per-axis
+//! coefficient, and `e` the contribution of the *other* (free) axis. Both
+//! an interval window test and a residue (mod-gcd) test must pass — the
+//! residue test is what proves warp-interleaved layouts (`addr = base +
+//! elem·(lane·W + warp)`) disjoint even though their whole-range intervals
+//! fully overlap.
+//!
+//! Synchronization is consulted through [`SyncGraph`]: barrier phases
+//! suppress inter-warp pairs (but never inter-block ones — `bar` does not
+//! order distinct blocks), and pairs where *both* sides sit inside an
+//! acquire/release critical section are assumed mutually excluded.
+//! Atomics themselves are synchronization, not data accesses, so an
+//! atomic never races — in particular the polling read of a done-flag
+//! written by `atom.st` is not flagged.
+//!
+//! Severity is protocol-aware: DeNovo self-invalidates at acquires and
+//! relies on data-race-freedom for correctness, so a global race is an
+//! `Error` (deny-gated); under baseline GPU coherence the same race is
+//! merely suspicious (`Warn`).
+
+use crate::absint::{gcd, reg_val, AbsVal, Geom, States};
+use crate::cfg::{finding, Cfg};
+use crate::defuse::{DefUseIndex, LAUNCH_DEF};
+use crate::findings::{Finding, FindingKind, Severity};
+use crate::sync::SyncGraph;
+use crate::ProtocolClass;
+use gsi_isa::{Instr, Program, Reg, WORD_BYTES};
+
+/// One global-memory access with a symbolic per-thread footprint.
+struct GlobalAccess {
+    pc: usize,
+    write: bool,
+    dma: bool,
+    addr_reg: Reg,
+    /// Symbolic address of the first byte (affine in warp/block ids).
+    sym: AbsVal,
+    /// The same address concretized over the launch geometry.
+    conc: AbsVal,
+    /// Bytes covered from each address in the footprint.
+    width: u64,
+}
+
+fn gcd128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The disequation core for one access pair: can
+/// `δ = d0 + (i·sa − j·sb) + e` land in the open window `(−wa, wb)`?
+struct Diseq {
+    /// Achievable lattice-term range `[lmin + emin, lmax + emax]`.
+    slack_lo: i128,
+    slack_hi: i128,
+    /// Lattice: every achievable slack is `≡ 0 (mod g)`.
+    g: u128,
+    wa: i128,
+    wb: i128,
+}
+
+impl Diseq {
+    fn new(a: &GlobalAccess, b: &GlobalAccess, emin: i128, emax: i128, ge: u128) -> Diseq {
+        Diseq {
+            slack_lo: -((b.sym.hi - b.sym.lo) as i128) + emin,
+            slack_hi: (a.sym.hi - a.sym.lo) as i128 + emax,
+            g: gcd128(gcd128(a.sym.stride as u128, b.sym.stride as u128), ge),
+            wa: a.width as i128,
+            wb: b.width as i128,
+        }
+    }
+
+    /// Whether some achievable `δ = d0 + slack` overlaps the footprints:
+    /// `δ = posA − posB` touches common bytes iff `−wa < δ < wb`.
+    fn hit(&self, d0: i128) -> bool {
+        // Interval window: the achievable δ range must cross (−wa, wb).
+        if d0 + self.slack_hi <= -self.wa || d0 + self.slack_lo >= self.wb {
+            return false;
+        }
+        // Residue: δ ≡ d0 (mod g); some representative must be in-window.
+        if self.g == 0 {
+            return d0 > -self.wa && d0 < self.wb;
+        }
+        let r = d0.rem_euclid(self.g as i128) as u128;
+        r < self.wb as u128 || self.g - r < self.wa as u128
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Warp,
+    Block,
+}
+
+enum Verdict {
+    Disjoint,
+    /// Witnessing corner labels; empty when only a conservative claim
+    /// (mismatched per-axis coefficients) exists.
+    Races(Vec<String>),
+}
+
+/// Decide whether two accesses can conflict across `axis` (threads
+/// differing in that id, the other id free), and name witness deltas.
+fn check_axis(a: &GlobalAccess, b: &GlobalAccess, axis: Axis, geom: Geom) -> Verdict {
+    let (n, ca, cb) = match axis {
+        Axis::Warp => (geom.warps_per_block, a.sym.wcoef, b.sym.wcoef),
+        Axis::Block => (geom.grid_blocks, a.sym.bcoef, b.sym.bcoef),
+    };
+    if n <= 1 {
+        return Verdict::Disjoint;
+    }
+    if ca != cb {
+        // The two footprints shear at different per-id rates; no single
+        // delta disequation separates them. Conservatively a race (the
+        // concretized whole-range footprints already overlap).
+        return Verdict::Races(Vec::new());
+    }
+    let c = ca as i128;
+    // The free axis contributes e; its achievable range and lattice.
+    let (emin, emax, ge) = match axis {
+        Axis::Warp => {
+            // Same block for both threads: e = (a.bcoef − b.bcoef)·block.
+            let db = a.sym.bcoef as i128 - b.sym.bcoef as i128;
+            let span = db * (geom.grid_blocks as i128 - 1);
+            (span.min(0), span.max(0), db.unsigned_abs())
+        }
+        Axis::Block => {
+            // Warps are independent: e = a.wcoef·w1 − b.wcoef·w2.
+            let w = geom.warps_per_block as i128 - 1;
+            let (sa, sb) = (a.sym.wcoef as i128 * w, b.sym.wcoef as i128 * w);
+            (
+                sa.min(0) - sb.max(0),
+                sa.max(0) - sb.min(0),
+                gcd(a.sym.wcoef.unsigned_abs(), b.sym.wcoef.unsigned_abs()) as u128,
+            )
+        }
+    };
+    let dis = Diseq::new(a, b, emin, emax, ge);
+    let base = a.sym.lo as i128 - b.sym.lo as i128;
+    let hit_k = |k: u64| {
+        let d = c * k as i128;
+        dis.hit(base + d) || dis.hit(base - d)
+    };
+    let Some(kmin) = (1..n).find(|&k| hit_k(k)) else {
+        return Verdict::Disjoint;
+    };
+    let mut ks = vec![kmin];
+    if n - 1 != kmin && hit_k(n - 1) {
+        ks.push(n - 1);
+    }
+    let tag = match axis {
+        Axis::Warp => "dwarp",
+        Axis::Block => "dblock",
+    };
+    Verdict::Races(ks.into_iter().map(|k| format!("{tag}={k}")).collect())
+}
+
+/// Per-pc executor constraint for the *leader-warp idiom* (`branz r_warp,
+/// @skip` so only warp 0 issues a DMA/stash transfer): `Some(w)` when
+/// every path from the entry to the pc crosses a branch edge that implies
+/// `r == 0` for a register pinning the executing warp id to exactly `w`
+/// per block; `None` when any warp may execute. A must-dataflow: paths
+/// join with meet, and joining two different pinned warps (or a pinned
+/// and an unrestricted path) degrades to unrestricted.
+fn leader_warp_dataflow(program: &Program, cfg: &Cfg, states: &States) -> Vec<Option<i64>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Exec {
+        All,
+        One(i64),
+    }
+    fn meet(a: Exec, b: Exec) -> Exec {
+        match (a, b) {
+            (Exec::One(x), Exec::One(y)) if x == y => Exec::One(x),
+            _ => Exec::All,
+        }
+    }
+    // `r == 0` pins the warp id iff r is per-thread constant `c0 + cw·w`
+    // with cw ≠ 0 and no lane/block/residual variation.
+    let pin = |pc: usize, r: Reg| -> Option<i64> {
+        let v = reg_val(states, pc, r);
+        if v.stride != 0 || v.lane_dep || v.warp_dep || v.bcoef != 0 || v.wcoef == 0 {
+            return None;
+        }
+        let (c0, cw) = (v.lo as i64 as i128, v.wcoef as i128);
+        (c0 % cw == 0).then(|| i64::try_from(-c0 / cw).ok()).flatten()
+    };
+    let instrs = program.instrs();
+    let len = instrs.len();
+    let mut state: Vec<Option<Exec>> = vec![None; len];
+    if len == 0 {
+        return Vec::new();
+    }
+    state[0] = Some(Exec::All);
+    let mut work = vec![0usize];
+    let mut queued = vec![false; len];
+    queued[0] = true;
+    while let Some(pc) = work.pop() {
+        queued[pc] = false;
+        let Some(inb) = state[pc] else { continue };
+        // Which outgoing edge implies `r == 0`: the taken edge of `braz`,
+        // the fallthrough edge of `branz`. Degenerate branches whose
+        // target IS the fallthrough refine nothing.
+        let zero_edge = match &instrs[pc] {
+            Instr::Bra { cond, target } if *target != pc + 1 => match cond {
+                gsi_isa::BranchCond::Zero(r) => Some((*target, *r)),
+                gsi_isa::BranchCond::NonZero(r) => Some((pc + 1, *r)),
+            },
+            _ => None,
+        };
+        for &succ in cfg.succs(pc) {
+            let out = match zero_edge {
+                Some((edge, r)) if edge == succ => match pin(pc, r) {
+                    Some(w) => Exec::One(w),
+                    None => inb,
+                },
+                _ => inb,
+            };
+            let merged = match state[succ] {
+                None => out,
+                Some(old) => meet(old, out),
+            };
+            if state[succ] != Some(merged) {
+                state[succ] = Some(merged);
+                if !queued[succ] {
+                    queued[succ] = true;
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    state
+        .into_iter()
+        .map(|s| match s {
+            Some(Exec::One(w)) => Some(w),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether the *same* thread's two accesses can touch common bytes —
+/// meaningful only when one side is an asynchronous DMA/stash transfer,
+/// which program order does not complete.
+fn check_same_thread(a: &GlobalAccess, b: &GlobalAccess, geom: Geom) -> bool {
+    let dw = a.sym.wcoef as i128 - b.sym.wcoef as i128;
+    let db = a.sym.bcoef as i128 - b.sym.bcoef as i128;
+    let sw = dw * (geom.warps_per_block as i128 - 1);
+    let sb = db * (geom.grid_blocks as i128 - 1);
+    let (emin, emax) = (sw.min(0) + sb.min(0), sw.max(0) + sb.max(0));
+    let ge = gcd128(dw.unsigned_abs(), db.unsigned_abs());
+    let dis = Diseq::new(a, b, emin, emax, ge);
+    dis.hit(a.sym.lo as i128 - b.sym.lo as i128)
+}
+
+/// Run the whole-scenario race pass: collect symbolic global footprints,
+/// prune synchronized and provably partitioned pairs, and report the
+/// rest with witness-corner provenance and def-site annotations.
+pub(crate) fn check_races(
+    program: &Program,
+    cfg: &Cfg,
+    states: &States,
+    geom: Geom,
+    protocol: ProtocolClass,
+    entry_defined: u32,
+    findings: &mut Vec<Finding>,
+) {
+    if geom.warps_per_block <= 1 && geom.grid_blocks <= 1 {
+        return; // a single warp cannot race with itself
+    }
+    let instrs = program.instrs();
+    let mut accs: Vec<GlobalAccess> = Vec::new();
+    let mut push = |pc: usize, write: bool, dma: bool, addr_reg: Reg, sym: AbsVal, width: u64| {
+        // Non-affine per-thread variation (warp_dep) means the address is
+        // data-dependent or placement-dependent: assume partitioned, as
+        // the local-race check does, rather than flood with noise. An
+        // unbounded footprint likewise proves nothing.
+        let conc = sym.concretize(geom);
+        if sym.warp_dep || !conc.bounded() || width == 0 {
+            return;
+        }
+        accs.push(GlobalAccess { pc, write, dma, addr_reg, sym, conc, width });
+    };
+    for (pc, i) in instrs.iter().enumerate() {
+        if !cfg.reachable[pc] || states[pc].is_none() {
+            continue;
+        }
+        match i {
+            Instr::LdGlobal { addr, offset, .. } => {
+                let sym = reg_val(states, pc, *addr).offset(*offset, geom);
+                push(pc, false, false, *addr, sym, WORD_BYTES);
+            }
+            Instr::StGlobal { addr, offset, .. } => {
+                let sym = reg_val(states, pc, *addr).offset(*offset, geom);
+                push(pc, true, false, *addr, sym, WORD_BYTES);
+            }
+            Instr::DmaLoad { global, bytes, .. } => {
+                push(pc, false, true, *global, reg_val(states, pc, *global), *bytes);
+            }
+            Instr::DmaStore { global, bytes, .. } => {
+                push(pc, true, true, *global, reg_val(states, pc, *global), *bytes);
+            }
+            Instr::StashMap { global, bytes, writeback, .. } => {
+                let sym = reg_val(states, pc, *global);
+                push(pc, false, true, *global, sym, *bytes);
+                if *writeback {
+                    push(pc, true, true, *global, sym, *bytes);
+                }
+            }
+            _ => {}
+        }
+    }
+    if accs.is_empty() {
+        return;
+    }
+
+    let pcs: Vec<usize> = accs.iter().map(|a| a.pc).collect();
+    let sync = SyncGraph::build(program, cfg, &pcs);
+    let leader = leader_warp_dataflow(program, cfg, states);
+    let defuse = DefUseIndex::build(program, entry_defined);
+    let severity = match protocol {
+        ProtocolClass::DeNovo => Severity::Error,
+        ProtocolClass::GpuCoherence => Severity::Warn,
+    };
+
+    let mut emit = |a: &GlobalAccess, b: &GlobalAccess, how: &str, corners: Vec<String>| {
+        let (anchor, other) = if b.pc >= a.pc { (b, a) } else { (a, b) };
+        let kind = if a.dma || b.dma {
+            FindingKind::GlobalRaceDma
+        } else if how.contains("block") && !how.contains("warp") {
+            FindingKind::GlobalRaceInterBlock
+        } else {
+            FindingKind::GlobalRaceInterWarp
+        };
+        let verb = if a.write && b.write { "write/write" } else { "read/write" };
+        let defs = defuse.defs_of(anchor.pc as u32, anchor.addr_reg);
+        let def_note = match defs.iter().find(|&&d| d != LAUNCH_DEF) {
+            Some(&d) => {
+                format!("address computed at {}", gsi_isa::asm::location(program, d as usize))
+            }
+            None => "launch-defined address".to_string(),
+        };
+        let message = format!(
+            "{verb} global race: bytes {:#x}..={:#x} here can overlap \
+             {:#x}..={:#x} at {} {how}; {def_note}",
+            anchor.conc.lo,
+            anchor.conc.hi.saturating_add(anchor.width - 1),
+            other.conc.lo,
+            other.conc.hi.saturating_add(other.width - 1),
+            gsi_isa::asm::location(program, other.pc),
+        );
+        if corners.is_empty() {
+            findings.push(finding(program, kind, severity, anchor.pc, message));
+        } else {
+            for corner in corners {
+                let mut f = finding(program, kind, severity, anchor.pc, message.clone());
+                f.corners = vec![corner];
+                findings.push(f);
+            }
+        }
+    };
+
+    for i in 0..accs.len() {
+        for j in i..accs.len() {
+            let (a, b) = (&accs[i], &accs[j]);
+            if !(a.write || b.write) {
+                continue; // read/read never conflicts
+            }
+            if sync.guarded(a.pc) && sync.guarded(b.pc) {
+                continue; // both inside a critical section: mutually excluded
+            }
+            // Whole-range pre-filter over every thread's footprint.
+            let a_end = a.conc.hi.saturating_add(a.width - 1);
+            let b_end = b.conc.hi.saturating_add(b.width - 1);
+            if a.conc.lo > b_end || b.conc.lo > a_end {
+                continue;
+            }
+            // Both accesses issued by the same single leader warp of each
+            // block: no second warp exists to race with on the warp axis.
+            let same_leader = matches!((leader[a.pc], leader[b.pc]), (Some(x), Some(y)) if x == y);
+            if geom.warps_per_block > 1 && !same_leader && sync.same_phase(a.pc, b.pc) {
+                match check_axis(a, b, Axis::Warp, geom) {
+                    Verdict::Races(corners) => {
+                        emit(a, b, "from another warp of the same block", corners);
+                    }
+                    Verdict::Disjoint => {}
+                }
+            }
+            if geom.grid_blocks > 1 {
+                // Barriers never order distinct blocks: always concurrent.
+                match check_axis(a, b, Axis::Block, geom) {
+                    Verdict::Races(corners) => emit(a, b, "from another block", corners),
+                    Verdict::Disjoint => {}
+                }
+            }
+            if (a.dma || b.dma)
+                && a.pc != b.pc
+                && sync.same_phase(a.pc, b.pc)
+                && check_same_thread(a, b, geom)
+            {
+                emit(
+                    a,
+                    b,
+                    "with the warp's own asynchronous transfer still in flight",
+                    vec!["same-thread".to_string()],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::{analyze, AnalyzeOptions, EntryState};
+    use gsi_isa::{MemSem, Operand, ProgramBuilder, Reg};
+
+    const GLOBAL: u64 = 0x10_0000;
+
+    fn opts(warps: usize, blocks: u64, protocol: ProtocolClass) -> AnalyzeOptions {
+        AnalyzeOptions {
+            entry: EntryState::default(),
+            scratch_bytes: Some(16 * 1024),
+            warps_per_block: warps,
+            grid_blocks: blocks,
+            protocol,
+            ..AnalyzeOptions::default()
+        }
+    }
+
+    fn race_kinds(report: &crate::AnalysisReport) -> Vec<FindingKind> {
+        report.findings().iter().filter(|f| f.kind.is_global_race()).map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn uniform_address_stores_race_across_warps() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(2, 1, ProtocolClass::DeNovo));
+        let f = r
+            .findings()
+            .iter()
+            .find(|f| f.kind == FindingKind::GlobalRaceInterWarp)
+            .unwrap_or_else(|| panic!("{r}"));
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.pc, 1);
+        assert!(f.message.contains("write/write"), "{}", f.message);
+        assert_eq!(f.corners, vec!["dwarp=1".to_string()]);
+    }
+
+    #[test]
+    fn protocol_controls_severity() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let denovo = analyze(&p, &opts(2, 1, ProtocolClass::DeNovo));
+        let gpu = analyze(&p, &opts(2, 1, ProtocolClass::GpuCoherence));
+        assert_eq!(denovo.error_count(), 1, "{denovo}");
+        assert_eq!(denovo.warn_count(), 0);
+        assert_eq!(gpu.error_count(), 0, "{gpu}");
+        assert_eq!(gpu.warn_count(), 1);
+    }
+
+    #[test]
+    fn single_thread_geometry_cannot_race() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.st_global(Operand::Imm(2), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(1, 1, ProtocolClass::DeNovo));
+        assert!(race_kinds(&r).is_empty(), "{r}");
+    }
+
+    /// Entry state where r1 = GLOBAL + wcoef·warp + bcoef·block.
+    fn affine_entry(wcoef: i64, bcoef: i64) -> EntryState {
+        let mut e = EntryState { defined: 1 << 1, ..EntryState::default() };
+        e.vals[1] = AbsVal { wcoef, bcoef, ..AbsVal::constant(GLOBAL) };
+        e
+    }
+
+    #[test]
+    fn warp_partitioned_stores_are_proven_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut o = opts(4, 1, ProtocolClass::DeNovo);
+        o.entry = affine_entry(8, 0); // each warp owns its own word
+        let r = analyze(&p, &o);
+        assert!(race_kinds(&r).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn overlapping_warp_chunks_race_with_the_right_witness() {
+        let mut b = ProgramBuilder::new("t");
+        // Each warp writes [base+4·warp, base+4·warp+8): stride 4 < width 8.
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut o = opts(4, 1, ProtocolClass::DeNovo);
+        o.entry = affine_entry(4, 0);
+        let r = analyze(&p, &o);
+        let f = r
+            .findings()
+            .iter()
+            .find(|f| f.kind == FindingKind::GlobalRaceInterWarp)
+            .unwrap_or_else(|| panic!("{r}"));
+        assert_eq!(f.corners, vec!["dwarp=1".to_string()], "only adjacent warps overlap");
+    }
+
+    #[test]
+    fn block_partitioned_grid_is_clean_but_uniform_races_across_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        // Partitioned by block: clean.
+        let mut o = opts(1, 4, ProtocolClass::DeNovo);
+        o.entry = affine_entry(0, 8);
+        assert!(race_kinds(&analyze(&p, &o)).is_empty());
+        // Uniform across blocks: inter-block race even with one warp.
+        let mut o = opts(1, 4, ProtocolClass::DeNovo);
+        o.entry = affine_entry(0, 0);
+        let r = analyze(&p, &o);
+        let f = r
+            .findings()
+            .iter()
+            .find(|f| f.kind == FindingKind::GlobalRaceInterBlock)
+            .unwrap_or_else(|| panic!("{r}"));
+        assert_eq!(f.corners, vec!["dblock=1".to_string(), "dblock=3".to_string()]);
+    }
+
+    #[test]
+    fn interleaved_layout_is_proven_disjoint_by_the_residue_test() {
+        // addr = base + 8·(lane·W + warp): whole-range intervals of any two
+        // warps fully overlap, but residues mod 8·W never collide.
+        const W: u64 = 4;
+        let mut e = EntryState { defined: 1 << 1, ..EntryState::default() };
+        e.vals[1] = AbsVal {
+            lo: GLOBAL,
+            hi: GLOBAL + 8 * W * 31,
+            stride: 8 * W,
+            lane_dep: true,
+            warp_dep: false,
+            wcoef: 8,
+            bcoef: 0,
+        };
+        let mut b = ProgramBuilder::new("t");
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let mut o = opts(W as usize, 1, ProtocolClass::DeNovo);
+        o.entry = e;
+        let r = analyze(&p, &o);
+        assert!(race_kinds(&r).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn barrier_separates_warp_phases_but_not_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.st_global(Operand::Imm(1), Reg(1), 0); // 1
+        b.bar(); // 2
+        b.ld_global(Reg(2), Reg(1), 0); // 3
+        b.exit();
+        let p = b.build().unwrap();
+        // Two warps, one block: the barrier orders store and load; the
+        // store still write/write-races with itself? No — same pc, but a
+        // single store pc racing with itself across warps is real:
+        let r = analyze(&p, &opts(2, 1, ProtocolClass::DeNovo));
+        assert!(
+            r.findings()
+                .iter()
+                .filter(|f| f.kind == FindingKind::GlobalRaceInterWarp)
+                .all(|f| f.pc == 1),
+            "store/load pair is phase-separated; only the store self-pair remains: {r}"
+        );
+        // Two blocks: the barrier does not order them; the cross-phase
+        // read/write pair is a race again.
+        let r2 = analyze(&p, &opts(1, 2, ProtocolClass::DeNovo));
+        assert!(
+            r2.findings().iter().any(|f| f.kind == FindingKind::GlobalRaceInterBlock && f.pc == 3),
+            "{r2}"
+        );
+    }
+
+    #[test]
+    fn lock_guarded_sections_are_mutually_excluded() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL); // lock address
+        b.ldi(Reg(4), GLOBAL + 64); // shared data
+        let acq = b.here();
+        b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.bra_nz(Reg(2), acq);
+        b.ld_global(Reg(3), Reg(4), 0);
+        b.st_global(Reg(3), Reg(4), 0);
+        b.atom_store(Reg(1), Operand::Imm(0), MemSem::Release);
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(4, 2, ProtocolClass::DeNovo));
+        assert!(race_kinds(&r).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn unguarded_access_still_races_with_a_guarded_one() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.ldi(Reg(4), GLOBAL + 64);
+        b.st_global(Operand::Imm(9), Reg(4), 0); // 2: unguarded write
+        let acq = b.here();
+        b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire);
+        b.bra_nz(Reg(2), acq);
+        b.st_global(Operand::Imm(7), Reg(4), 0); // 5: guarded write
+        b.atom_store(Reg(1), Operand::Imm(0), MemSem::Release);
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(2, 1, ProtocolClass::DeNovo));
+        assert!(
+            r.findings().iter().any(|f| f.kind == FindingKind::GlobalRaceInterWarp && f.pc == 5),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn atomics_are_synchronization_not_data_accesses() {
+        // The done-flag idiom: one warp atomically stores a flag, others
+        // poll it with plain loads. Not a data race.
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.atom_store(Reg(1), Operand::Imm(1), MemSem::Release);
+        b.ld_global(Reg(2), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(4, 2, ProtocolClass::DeNovo));
+        assert!(race_kinds(&r).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn dma_store_races_with_plain_stores_into_its_region() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.ldi(Reg(2), 0);
+        b.dma_store(Reg(1), Reg(2), 256); // 2: writes GLOBAL..GLOBAL+256
+        b.st_global(Operand::Imm(7), Reg(1), 8); // 3: writes inside it
+        b.exit();
+        let p = b.build().unwrap();
+        let r = analyze(&p, &opts(2, 1, ProtocolClass::DeNovo));
+        // The dma-vs-store pair anchors at the later access (pc 3) and is
+        // reported both as an inter-warp conflict and as a conflict with
+        // the issuing warp's own in-flight transfer.
+        let dma: Vec<_> = r
+            .findings()
+            .iter()
+            .filter(|f| f.kind == FindingKind::GlobalRaceDma && f.pc == 3)
+            .collect();
+        assert!(!dma.is_empty(), "{r}");
+        assert!(dma.iter().all(|f| f.severity == Severity::Error));
+        assert!(dma.iter().any(|f| f.corners.iter().any(|c| c == "same-thread")), "{r}");
+        assert!(dma.iter().any(|f| f.corners.iter().any(|c| c == "dwarp=1")), "{r}");
+    }
+
+    #[test]
+    fn dma_races_with_its_own_thread_even_single_warp() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.ldi(Reg(2), 0);
+        b.dma_store(Reg(1), Reg(2), 256);
+        b.ld_global(Reg(3), Reg(1), 0); // reads while the transfer drains
+        b.exit();
+        let p = b.build().unwrap();
+        // Geometry 1×1 short-circuits: use 2 blocks to engage the pass,
+        // then confirm the same-thread witness is present.
+        let r = analyze(&p, &opts(1, 2, ProtocolClass::DeNovo));
+        assert!(
+            r.findings().iter().any(|f| f.kind == FindingKind::GlobalRaceDma
+                && f.corners.iter().any(|c| c == "same-thread")),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn witness_corners_merge_across_probes_deterministically() {
+        let mut b = ProgramBuilder::new("t");
+        b.ldi(Reg(1), GLOBAL);
+        b.st_global(Operand::Imm(1), Reg(1), 0);
+        b.exit();
+        let p = b.build().unwrap();
+        let o = opts(4, 1, ProtocolClass::DeNovo);
+        let r1 = analyze(&p, &o);
+        let r2 = analyze(&p, &o);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.render(), r2.render());
+        let f = r1.findings().iter().find(|f| f.kind == FindingKind::GlobalRaceInterWarp).unwrap();
+        assert_eq!(f.corners, vec!["dwarp=1".to_string(), "dwarp=3".to_string()]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The synchronization-order graph: which program points are ordered by
+//! the kernel's synchronization primitives, and which can run concurrently
+//! in different warps.
+//!
+//! Two facts are computed over the CFG:
+//!
+//! 1. **Barrier phases** ([`SyncGraph::same_phase`]): `bar` splits a
+//!    block's execution into phases every warp crosses together. Two
+//!    program points are in the same phase — and therefore concurrent
+//!    across warps of one block — when either can reach the other without
+//!    executing a barrier. Barriers do *not* order distinct blocks, so the
+//!    inter-block race check never consults this.
+//! 2. **Critical-section membership** ([`SyncGraph::guarded`]): a forward
+//!    *must* dataflow over acquire/release atomics. A point is guarded
+//!    when every path from the entry enters an acquire (`atom.*.Acquire` /
+//!    `AcqRel`) with no intervening release. Two conflicting accesses that
+//!    are both guarded are assumed mutually excluded by the lock the
+//!    acquire took — the analysis is lock-identity-blind, which keeps the
+//!    global-lock work-queue idiom (UTS) clean without modeling lock
+//!    values.
+//!
+//! Kernel launch and exit act as synchronization boundaries implicitly:
+//! the analysis only relates accesses of one kernel instance, and DMA
+//! drains at kernel end are therefore never racy with the *next* launch.
+
+use crate::cfg::Cfg;
+use gsi_isa::{Instr, Program};
+use std::collections::BTreeMap;
+
+/// Happens-before facts over one kernel's CFG (see the module docs).
+#[derive(Debug)]
+pub struct SyncGraph {
+    /// `guarded[pc]`: every path to `pc` holds an acquire with no release.
+    guarded: Vec<bool>,
+    /// Cached barrier-free reachability for the program points the race
+    /// pass asked about.
+    reach: BTreeMap<usize, Vec<bool>>,
+}
+
+impl SyncGraph {
+    /// Build the graph for `program`, caching barrier-free reachability
+    /// for each pc in `pcs` (the global accesses the race pass will ask
+    /// [`same_phase`](Self::same_phase) about).
+    pub fn build(program: &Program, cfg: &Cfg, pcs: &[usize]) -> SyncGraph {
+        let guarded = guarded_dataflow(program, cfg);
+        let mut reach = BTreeMap::new();
+        for &pc in pcs {
+            reach.entry(pc).or_insert_with(|| cfg.reach_without_barrier(pc, program));
+        }
+        SyncGraph { guarded, reach }
+    }
+
+    /// Whether every path from the entry to `pc` is inside an
+    /// acquire-release critical section.
+    pub fn guarded(&self, pc: usize) -> bool {
+        self.guarded.get(pc).copied().unwrap_or(false)
+    }
+
+    /// Whether warps of one block can execute `a` and `b` concurrently:
+    /// the same program point always races with itself across warps, and
+    /// two distinct points do unless a barrier separates them on every
+    /// path (neither reaches the other barrier-free).
+    pub fn same_phase(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let fwd = self.reach.get(&a).is_none_or(|r| r.get(b).copied().unwrap_or(true));
+        let bwd = self.reach.get(&b).is_none_or(|r| r.get(a).copied().unwrap_or(true));
+        fwd || bwd
+    }
+}
+
+/// Forward must-analysis: `Some(true)` = inside a critical section on
+/// every path, `Some(false)` = provably outside on some path structure,
+/// `None` = not yet visited (top). Meet is logical AND.
+fn guarded_dataflow(program: &Program, cfg: &Cfg) -> Vec<bool> {
+    let instrs = program.instrs();
+    let len = instrs.len();
+    let mut state: Vec<Option<bool>> = vec![None; len];
+    if len == 0 {
+        return Vec::new();
+    }
+    state[0] = Some(false);
+    let mut work = vec![0usize];
+    let mut queued = vec![false; len];
+    queued[0] = true;
+    while let Some(pc) = work.pop() {
+        queued[pc] = false;
+        let Some(inb) = state[pc] else { continue };
+        let out = match &instrs[pc] {
+            Instr::Atom { sem, .. } if sem.is_acquire() => true,
+            Instr::Atom { sem, .. } if sem.is_release() => false,
+            _ => inb,
+        };
+        for &succ in cfg.succs(pc) {
+            let merged = match state[succ] {
+                None => out,
+                Some(old) => old && out,
+            };
+            if state[succ] != Some(merged) {
+                state[succ] = Some(merged);
+                if !queued[succ] {
+                    queued[succ] = true;
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    state.into_iter().map(|s| s == Some(true)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use gsi_isa::{MemSem, Operand, ProgramBuilder, Reg};
+
+    fn graph(f: impl FnOnce(&mut ProgramBuilder)) -> (Program, SyncGraph) {
+        let mut b = ProgramBuilder::new("t");
+        f(&mut b);
+        let p = b.build().unwrap();
+        let mut findings = Vec::new();
+        let cfg = Cfg::build(&p, &mut findings);
+        let pcs: Vec<usize> = (0..p.len()).collect();
+        let g = SyncGraph::build(&p, &cfg, &pcs);
+        (p, g)
+    }
+
+    use gsi_isa::Program;
+
+    #[test]
+    fn acquire_release_brackets_guard_the_section() {
+        let (_, g) = graph(|b| {
+            b.ldi(Reg(1), 0x10_0000); // 0
+            let acq = b.here();
+            b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire); // 1
+            b.bra_nz(Reg(2), acq); // 2: spin
+            b.ld_global(Reg(3), Reg(1), 64); // 3: inside
+            b.st_global(Reg(3), Reg(1), 64); // 4: inside
+            b.atom_store(Reg(1), Operand::Imm(0), MemSem::Release); // 5
+            b.st_global(Reg(3), Reg(1), 128); // 6: outside again
+            b.exit(); // 7
+        });
+        assert!(!g.guarded(0));
+        assert!(!g.guarded(1), "the acquire itself runs unguarded");
+        assert!(g.guarded(2) && g.guarded(3) && g.guarded(4) && g.guarded(5));
+        assert!(!g.guarded(6), "the release ends the section");
+    }
+
+    #[test]
+    fn guarded_is_a_must_property_over_joins() {
+        // One path acquires, the other does not: the join is unguarded.
+        let (_, g) = graph(|b| {
+            let join = b.label();
+            b.ldi(Reg(1), 0x10_0000); // 0
+            b.bra_z(Reg(1), join); // 1
+            b.atom_cas(Reg(2), Reg(1), Operand::Imm(0), Operand::Imm(1), MemSem::Acquire); // 2
+            b.bind(join);
+            b.st_global(Reg(1), Reg(1), 0); // 3
+            b.exit(); // 4
+        });
+        assert!(!g.guarded(3), "only one incoming path holds the lock");
+    }
+
+    #[test]
+    fn barriers_split_phases_and_self_pairs_stay_concurrent() {
+        let (_, g) = graph(|b| {
+            b.st_global(Reg(1), Reg(1), 0); // 0
+            b.bar(); // 1
+            b.st_global(Reg(1), Reg(1), 0); // 2
+            b.exit(); // 3
+        });
+        assert!(!g.same_phase(0, 2), "the barrier orders the two stores");
+        assert!(g.same_phase(0, 0), "one pc races with itself across warps");
+        assert!(g.same_phase(2, 2));
+    }
+
+    #[test]
+    fn same_phase_without_barrier_in_either_direction() {
+        let (_, g) = graph(|b| {
+            b.st_global(Reg(1), Reg(1), 0); // 0
+            b.st_global(Reg(1), Reg(1), 8); // 1
+            b.exit(); // 2
+        });
+        assert!(g.same_phase(0, 1));
+        assert!(g.same_phase(1, 0));
+    }
+}

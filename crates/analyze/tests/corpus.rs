@@ -5,7 +5,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use gsi_analyze::{analyze, AnalyzeOptions, FindingKind, Severity};
+use gsi_analyze::{analyze, AnalyzeOptions, FindingKind, ProtocolClass, Severity};
 use gsi_isa::asm::parse_program;
 use gsi_isa::{Instr, Program};
 use gsi_json::ToJson;
@@ -52,6 +52,84 @@ fn every_corpus_kernel_is_flagged_at_the_right_place() {
     }
 }
 
+/// The global-race corpus: each case pins the launch geometry it races
+/// under and the exact (kind, severity, pc) set the verifier must emit —
+/// and, for the synchronized kernel, that nothing is emitted at all.
+#[test]
+fn race_corpus_kernels_pin_kind_severity_and_pc() {
+    struct Case {
+        file: &'static str,
+        warps: usize,
+        blocks: u64,
+        expect: &'static [(FindingKind, Severity, usize)],
+    }
+    let cases = [
+        Case {
+            file: "interwarp_race.gsi",
+            warps: 2,
+            blocks: 1,
+            expect: &[(FindingKind::GlobalRaceInterWarp, Severity::Error, 1)],
+        },
+        Case {
+            file: "interblock_race.gsi",
+            warps: 1,
+            blocks: 2,
+            expect: &[(FindingKind::GlobalRaceInterBlock, Severity::Error, 1)],
+        },
+        Case {
+            file: "dma_race.gsi",
+            warps: 2,
+            blocks: 1,
+            expect: &[
+                // The transfer races with its own copy in the other warp
+                // and with the plain store into its region.
+                (FindingKind::GlobalRaceDma, Severity::Error, 2),
+                (FindingKind::GlobalRaceDma, Severity::Error, 3),
+            ],
+        },
+        Case { file: "atomic_clean.gsi", warps: 4, blocks: 2, expect: &[] },
+    ];
+    for case in &cases {
+        let program = load(case.file);
+        let opts = AnalyzeOptions {
+            scratch_bytes: Some(SCRATCH),
+            warps_per_block: case.warps,
+            grid_blocks: case.blocks,
+            protocol: ProtocolClass::DeNovo,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&program, &opts);
+        if case.expect.is_empty() {
+            assert!(
+                report.findings().iter().all(|f| !f.kind.is_global_race()),
+                "{}: the atomic-synchronized kernel must carry no race findings:\n{}",
+                case.file,
+                report.render()
+            );
+            continue;
+        }
+        for &(kind, severity, pc) in case.expect {
+            let found = report
+                .findings()
+                .iter()
+                .find(|f| f.kind == kind && f.pc == pc)
+                .unwrap_or_else(|| {
+                    panic!("{}: expected {kind} at pc {pc}, got:\n{}", case.file, report.render())
+                });
+            assert_eq!(found.severity, severity, "{}: wrong severity", case.file);
+            assert_eq!(found.location, format!("{}.gsi:{pc}", program.name()));
+            assert!(!found.corners.is_empty(), "{}: race findings carry witnesses", case.file);
+        }
+        // The same race is a warning, not a denial, under GPU coherence.
+        let gpu = AnalyzeOptions { protocol: ProtocolClass::GpuCoherence, ..opts };
+        let report = analyze(&program, &gpu);
+        for &(kind, _, pc) in case.expect {
+            let found = report.findings().iter().find(|f| f.kind == kind && f.pc == pc).unwrap();
+            assert_eq!(found.severity, Severity::Warn, "{}: gpu coherence tolerates", case.file);
+        }
+    }
+}
+
 #[test]
 fn branch_out_of_range_is_flagged() {
     // The assembly parser validates targets, so this defect can only be
@@ -76,13 +154,21 @@ fn corpus_reports_are_deterministic() {
         "scratchpad_oob.gsi",
         "local_race.gsi",
         "dma_no_wait.gsi",
+        "interwarp_race.gsi",
+        "interblock_race.gsi",
+        "dma_race.gsi",
+        "atomic_clean.gsi",
     ] {
         let program = load(file);
-        let a = analyze(&program, &opts());
-        let b = analyze(&program, &opts());
-        assert_eq!(a, b, "{file}");
-        assert_eq!(a.render(), b.render(), "{file}");
-        assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty(), "{file}");
+        let race_opts =
+            AnalyzeOptions { grid_blocks: 2, protocol: ProtocolClass::DeNovo, ..opts() };
+        for o in [opts(), race_opts] {
+            let a = analyze(&program, &o);
+            let b = analyze(&program, &o);
+            assert_eq!(a, b, "{file}");
+            assert_eq!(a.render(), b.render(), "{file}");
+            assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty(), "{file}");
+        }
     }
 }
 
@@ -94,6 +180,10 @@ fn corpus_kernels_round_trip_through_the_disassembler() {
         "scratchpad_oob.gsi",
         "local_race.gsi",
         "dma_no_wait.gsi",
+        "interwarp_race.gsi",
+        "interblock_race.gsi",
+        "dma_race.gsi",
+        "atomic_clean.gsi",
     ] {
         let program = load(file);
         let text = gsi_isa::asm::disassemble(&program);

@@ -14,7 +14,9 @@
 use gsi_isa::asm::parse_program;
 use gsi_json::ToJson;
 use gsi_mem::Protocol;
-use gsi_sim::{analyze_launch, AnalysisReport, LaunchSpec, SystemConfig};
+use gsi_sim::{
+    analyze_launch_with, finding_digest, AnalysisReport, Baseline, LaunchSpec, SystemConfig,
+};
 use gsi_workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi_workloads::uts::{self, UtsConfig, Variant};
 use gsi_workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
@@ -39,6 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: analyze --all | --workload <{}|custom>\n\
          \x20      [--scale small|paper] [--protocol gpu|denovo] [--sms N]\n\
+         \x20      [--races|--no-races] [--baseline PATH] [--write-baseline PATH]\n\
          \x20      [--json PATH] [--quiet]\n\
          \x20      custom kernels: --asm FILE [--blocks N] [--warps N]\n\
          \x20      (r0 is preset to the flat thread id per lane)",
@@ -57,6 +60,9 @@ struct Options {
     asm: Option<String>,
     blocks: u64,
     warps: usize,
+    races: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -70,6 +76,9 @@ fn parse_args() -> Options {
         asm: None,
         blocks: 4,
         warps: 2,
+        races: true,
+        baseline: None,
+        write_baseline: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -98,6 +107,10 @@ fn parse_args() -> Options {
             "--asm" => o.asm = Some(next()),
             "--blocks" => o.blocks = next().parse().unwrap_or_else(|_| usage()),
             "--warps" => o.warps = next().parse().unwrap_or_else(|_| usage()),
+            "--races" => o.races = true,
+            "--no-races" => o.races = false,
+            "--baseline" => o.baseline = Some(next()),
+            "--write-baseline" => o.write_baseline = Some(next()),
             _ => usage(),
         }
     }
@@ -238,22 +251,37 @@ fn system_for(o: &Options, name: &str) -> SystemConfig {
 
 fn main() {
     let o = parse_args();
+    let baseline = o.baseline.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("read {path}: {e}");
+            std::process::exit(1);
+        });
+        Baseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        })
+    });
     let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
     for name in &o.workloads {
         let sys = system_for(&o, name);
         for spec in specs_for(&o, name) {
-            let report = analyze_launch(&spec, &sys);
+            let report = analyze_launch_with(&spec, &sys, baseline.as_ref(), o.races);
             reports.push((name.clone(), report));
         }
     }
 
     let total_errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
     let total_warnings: usize = reports.iter().map(|(_, r)| r.warn_count()).sum();
+    let total_baselined: usize = reports.iter().map(|(_, r)| r.baselined_count()).sum();
 
+    if let Some(path) = &o.write_baseline {
+        write_baseline(path, &reports);
+    }
     if let Some(path) = &o.json {
         let json = gsi_json::obj! {
             "errors" => total_errors as u64,
             "warnings" => total_warnings as u64,
+            "baselined" => total_baselined as u64,
             "reports" => gsi_json::Value::Array(
                 reports
                     .iter()
@@ -280,6 +308,43 @@ fn main() {
     if total_errors > 0 {
         std::process::exit(1);
     }
+}
+
+/// Emit every current finding (baselined or not) as an accepted baseline
+/// entry in the canonical `{"version":1,"entries":[...]}` format. Each
+/// entry carries the human-readable defect next to its digest so the file
+/// can be audited, and entries are digest-sorted so regeneration is
+/// byte-stable.
+fn write_baseline(path: &str, reports: &[(String, AnalysisReport)]) {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for (_, report) in reports {
+        for f in report.findings() {
+            let digest = finding_digest(report.kernel(), f);
+            let comment = format!(
+                "{} {}[{}] at {}: {}",
+                report.kernel(),
+                f.severity,
+                f.kind,
+                f.location,
+                f.message
+            );
+            entries.push((digest, comment));
+        }
+    }
+    entries.sort();
+    entries.dedup();
+    let json = gsi_json::obj! {
+        "version" => 1u64,
+        "entries" => gsi_json::Value::Array(
+            entries
+                .iter()
+                .map(|(digest, comment)| {
+                    gsi_json::obj! { "digest" => digest.as_str(), "comment" => comment.as_str() }
+                })
+                .collect(),
+        ),
+    };
+    std::fs::write(path, json.to_string_pretty()).expect("write baseline");
 }
 
 /// Print the per-kernel reports and the summary line, propagating stdout

@@ -256,6 +256,19 @@ pub fn prepare(
                 init: Box::new(move |sim| gemm::init_memory(sim, &cfg, &lay)),
             })
         }
+        // Test-only: a deliberately racy kernel (every warp of every block
+        // stores to one uniform global address) so service tests can see
+        // the whole-scenario race verifier's findings on the wire.
+        #[cfg(test)]
+        "__racy__" => {
+            use gsi_isa::{Operand, ProgramBuilder, Reg};
+            let mut b = ProgramBuilder::new("racy");
+            b.ldi(Reg(1), 0x10_0000);
+            b.st_global(Operand::Imm(1), Reg(1), 0);
+            b.exit();
+            let spec = LaunchSpec::new(b.build().expect("valid test kernel"), 2, 2);
+            Ok(Prepared { config: sys, spec, init: Box::new(|_| {}) })
+        }
         other => Err(format!("unknown workload {other:?}; known: {}", WORKLOADS.join(", "))),
     }
 }

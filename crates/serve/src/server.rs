@@ -924,6 +924,36 @@ mod tests {
     }
 
     #[test]
+    fn analyze_reports_race_findings_and_caches_them() {
+        // A denied launch is still an answer: the analyze op returns the
+        // report (race findings included) as a result frame, and the
+        // identical follow-up request is served from the content-addressed
+        // cache.
+        let server = Server::new(None);
+        let req = r#"{"op":"analyze","workload":"__racy__","protocol":"denovo"}"#;
+        let mut out = Vec::new();
+        server.handle_line(req, &mut out).unwrap();
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("result"));
+        assert_eq!(last.get("cached").and_then(Value::as_bool), Some(false));
+        let result = last.get("result").unwrap();
+        let analysis = result.get("analysis").unwrap();
+        assert!(analysis.get("errors").and_then(Value::as_u64).unwrap() > 0, "{analysis}");
+        let findings = analysis.get("findings").and_then(Value::as_array).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.get("kind").and_then(Value::as_str) == Some("global-race-inter-warp")),
+            "{analysis}"
+        );
+        let mut out = Vec::new();
+        server.handle_line(req, &mut out).unwrap();
+        let last = frames(out).pop().unwrap();
+        assert_eq!(last.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(server.sims_run(), 0, "analyze never simulates a cycle");
+    }
+
+    #[test]
     fn a_colliding_cache_entry_is_a_miss_not_an_alias() {
         let server = Server::new(None);
         let req = Request::parse(r#"{"op":"analyze","workload":"spmv"}"#).unwrap();

@@ -3,7 +3,9 @@
 use crate::config::{AnalysisGate, CycleEngine, SystemConfig};
 use crate::launch::{LaunchCtx, LaunchSpec};
 use crate::progress::{ProgressReport, SmProgress, TimeoutKind};
-use gsi_analyze::{AnalysisReport, AnalyzeOptions, EntryState};
+use gsi_analyze::{
+    AnalysisReport, AnalyzeOptions, Baseline, EntryProbe, EntryState, Geom, ProtocolClass,
+};
 use gsi_blame::{BlameCollector, BlameReport};
 use gsi_chaos::{ChaosEngine, ChaosStats, FaultPlan};
 use gsi_core::{ConservationError, StallBreakdown, StallCollector};
@@ -197,6 +199,7 @@ pub struct Simulator {
     trace: TraceBuffer,
     chaos_plan: FaultPlan,
     last_analysis: Option<AnalysisReport>,
+    baseline: Option<Baseline>,
     progress: Option<KernelProgress>,
 }
 
@@ -245,9 +248,19 @@ impl Simulator {
             trace: TraceBuffer::disabled(),
             chaos_plan: FaultPlan::disabled(),
             last_analysis: None,
+            baseline: None,
             progress: None,
             cfg,
         }
+    }
+
+    /// Install (or clear) the accepted-findings baseline the pre-flight
+    /// gate applies to every subsequent launch: findings whose content
+    /// digest the baseline lists stay in the report but stop counting
+    /// toward the gate's deny decision. This is how intentionally racy
+    /// kernels (e.g. a global-lock work queue) are admitted explicitly.
+    pub fn set_baseline(&mut self, baseline: Option<Baseline>) {
+        self.baseline = baseline;
     }
 
     /// Arm deterministic fault injection: derive decorrelated per-component
@@ -493,7 +506,7 @@ impl Simulator {
     pub fn begin_kernel(&mut self, spec: &LaunchSpec) -> Result<(), SimError> {
         assert!(self.progress.is_none(), "a kernel is already in progress");
         if self.cfg.analysis_gate != AnalysisGate::Off {
-            let report = analyze_launch(spec, &self.cfg);
+            let report = analyze_launch_with(spec, &self.cfg, self.baseline.as_ref(), true);
             let errors = report.error_count();
             let deny = self.cfg.analysis_gate == AnalysisGate::Deny && errors > 0;
             // The report stays queryable through `last_analysis` even when
@@ -930,50 +943,88 @@ impl Simulator {
 }
 
 /// Statically analyze a launch the way the simulator's pre-flight gate
-/// does: probe the launch initializer over a sample of (block, warp, SM,
-/// slot) placements to learn which registers the launch sets (and their
-/// value envelopes), then run [`gsi_analyze::analyze`] with the system's
-/// scratchpad size and the launch's warps-per-block.
-///
-/// Probing the grid corners (first/last block, first/last warp, first/last
-/// SM and block slot) captures both lane variation within a warp and
-/// value variation across placements without instantiating every warp of a
-/// large grid.
+/// does (without a baseline); see [`analyze_launch_with`].
 pub fn analyze_launch(spec: &LaunchSpec, cfg: &SystemConfig) -> AnalysisReport {
-    let mut entry = EntryState::default();
-    let mut first = true;
-    let mut probe = |block: u64, warp: usize, sm: u8, slot: usize| {
-        let init = spec.init_warp(block, warp, LaunchCtx { sm, slot });
-        entry.add_probe(&init.regs, init.set_mask, first);
-        first = false;
+    analyze_launch_with(spec, cfg, None, true)
+}
+
+/// Statically analyze a launch the way the simulator's pre-flight gate
+/// does: probe the launch initializer over a sample of (block, warp, SM,
+/// slot) placements, fit per-register values to an affine model in the
+/// warp and block ids ([`EntryState::fit`]), then run
+/// [`gsi_analyze::analyze`] with the system's scratchpad size, the
+/// launch geometry, and the protocol-derived race severity. `baseline`,
+/// when given, suppresses explicitly accepted findings from the gate's
+/// counts; `races: false` skips the whole-scenario race pass (the other
+/// checks still run).
+///
+/// The block and warp axes are probed at `{0, 1, last}`: the unit steps
+/// recover the per-axis coefficients, the far corner (and every other
+/// probe) validates the fit. SM and block-slot placements are probed at
+/// their corners too, so placement-dependent register values defeat the
+/// validation and degrade soundly to the joined envelope.
+pub fn analyze_launch_with(
+    spec: &LaunchSpec,
+    cfg: &SystemConfig,
+    baseline: Option<&Baseline>,
+    races: bool,
+) -> AnalysisReport {
+    let geom = Geom {
+        warps_per_block: spec.warps_per_block.max(1) as u64,
+        grid_blocks: spec.grid_blocks.max(1),
     };
-    let blocks = dedup2(0, spec.grid_blocks.saturating_sub(1));
-    let warps = dedup2(0, spec.warps_per_block.saturating_sub(1) as u64);
-    let sms = dedup2(0, cfg.gpu_cores.saturating_sub(1) as u64);
-    let slots = dedup2(0, cfg.sm.max_blocks.saturating_sub(1) as u64);
+    let blocks = axis3(spec.grid_blocks.saturating_sub(1));
+    let warps = axis3(spec.warps_per_block.saturating_sub(1) as u64);
+    let sms = axis2(cfg.gpu_cores.saturating_sub(1) as u64);
+    let slots = axis2(cfg.sm.max_blocks.saturating_sub(1) as u64);
+    let mut inits: Vec<(u64, u64, WarpInit)> = Vec::new();
     for &b in &blocks {
         for &w in &warps {
             for &s in &sms {
                 for &l in &slots {
-                    probe(b, w as usize, s as u8, l as usize);
+                    let ctx = LaunchCtx { sm: s as u8, slot: l as usize };
+                    inits.push((b, w, spec.init_warp(b, w as usize, ctx)));
                 }
             }
         }
     }
+    let probes: Vec<EntryProbe<'_>> = inits
+        .iter()
+        .map(|(b, w, i)| EntryProbe { block: *b, warp: *w, regs: &i.regs, set: i.set_mask })
+        .collect();
     let opts = AnalyzeOptions {
-        entry,
+        entry: EntryState::fit(&probes, geom),
         scratch_bytes: Some(cfg.mem.scratch_bytes),
         warps_per_block: spec.warps_per_block,
+        grid_blocks: spec.grid_blocks,
+        protocol: match cfg.mem.protocol {
+            gsi_mem::Protocol::DeNovo => ProtocolClass::DeNovo,
+            gsi_mem::Protocol::GpuCoherence => ProtocolClass::GpuCoherence,
+        },
+        races,
+        baseline: baseline.cloned(),
     };
     gsi_analyze::analyze(&spec.program, &opts)
 }
 
-/// The one- or two-element sample `{lo, hi}` of an inclusive range.
-fn dedup2(lo: u64, hi: u64) -> Vec<u64> {
-    if lo == hi {
-        vec![lo]
+/// The `{0, 1, hi}` sample of `0..=hi` (deduplicated, ascending).
+fn axis3(hi: u64) -> Vec<u64> {
+    let mut v = vec![0];
+    if hi >= 1 {
+        v.push(1);
+    }
+    if hi > 1 {
+        v.push(hi);
+    }
+    v
+}
+
+/// The `{0, hi}` sample of `0..=hi` (deduplicated).
+fn axis2(hi: u64) -> Vec<u64> {
+    if hi == 0 {
+        vec![0]
     } else {
-        vec![lo, hi]
+        vec![0, hi]
     }
 }
 

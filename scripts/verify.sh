@@ -69,11 +69,21 @@ fi
     --request '{"id":1,"op":"simulate","workload":"spmv"}' \
     --request '{"id":2,"op":"simulate","workload":"spmv"}' \
     --request '{"id":3,"op":"checkpoint","workload":"reduction","at_cycle":500}' \
+    --request '{"id":6,"op":"analyze","workload":"spmv","protocol":"denovo"}' \
+    --request '{"id":7,"op":"analyze","workload":"spmv","protocol":"denovo"}' \
     > "$SERVE_DIR/client.log"
 grep '"id":1' "$SERVE_DIR/client.log" | grep -q '"cached":false' \
     || { echo "serve: cold request unexpectedly cached" >&2; exit 1; }
 grep '"id":2' "$SERVE_DIR/client.log" | grep -q '"cached":true' \
     || { echo "serve: repeated request missed the cache" >&2; exit 1; }
+# The analyze op (race verifier included) answers over the wire and its
+# report participates in the content-addressed cache like any result.
+grep '"id":6' "$SERVE_DIR/client.log" | grep -q '"analysis"' \
+    || { echo "serve: analyze op returned no analysis report" >&2; exit 1; }
+grep '"id":6' "$SERVE_DIR/client.log" | grep -q '"cached":false' \
+    || { echo "serve: cold analyze unexpectedly cached" >&2; exit 1; }
+grep '"id":7' "$SERVE_DIR/client.log" | grep -q '"cached":true' \
+    || { echo "serve: repeated analyze missed the cache" >&2; exit 1; }
 SNAP=$(sed -n 's/.*"snapshot":"\([0-9a-f]\{32\}\)".*/\1/p' "$SERVE_DIR/client.log" | head -n 1)
 if [ -z "$SNAP" ]; then
     echo "serve: checkpoint returned no snapshot digest" >&2
@@ -150,12 +160,40 @@ GSI_CHAOS_SEED=20260805 cargo run --release --offline --quiet -p gsi-bench --bin
     --scale small --quiet --out /tmp/gsi_chaos_verify.json
 rm -f /tmp/gsi_chaos_verify.json
 
-echo "== static analysis (all workloads, both protocols, zero errors) =="
+echo "== static analysis (all workloads, both protocols, race gate on) =="
 # The deny gate must never refuse a legitimate launch: every in-tree
-# workload analyzes clean (exit 1 on any error-severity finding).
+# workload — including the whole-scenario race verifier — analyzes with
+# zero error-severity findings (exit 1 otherwise) under both coherence
+# protocols, with no baseline needed.
 cargo run --release --offline --quiet -p gsi-bench --bin analyze -- --all --quiet
 cargo run --release --offline --quiet -p gsi-bench --bin analyze -- \
+    --all --quiet --protocol denovo
+cargo run --release --offline --quiet -p gsi-bench --bin analyze -- \
     --all --quiet --protocol denovo --scale paper
+
+echo "== DRF gate + baseline round-trip (racy kernel denied, then admitted) =="
+# A deliberately racy kernel must be denied under DeNovo (exit 1), a
+# --write-baseline of its findings must admit it (exit 0), and disabling
+# the race pass must drop exactly the race findings.
+RACE_DIR=$(mktemp -d /tmp/gsi_race_verify.XXXXXX)
+trap 'rm -rf "$RACE_DIR"' EXIT
+printf '.kernel racy\n0: ldi r1, 1048576\n1: st.g [r1+0], 1\n2: exit\n' \
+    > "$RACE_DIR/racy.gsi"
+if ./target/release/analyze --workload custom --asm "$RACE_DIR/racy.gsi" \
+    --blocks 2 --warps 2 --protocol denovo --quiet \
+    --write-baseline "$RACE_DIR/baseline.json"; then
+    echo "race gate: racy kernel passed the DeNovo gate" >&2; exit 1
+fi
+./target/release/analyze --workload custom --asm "$RACE_DIR/racy.gsi" \
+    --blocks 2 --warps 2 --protocol denovo --quiet \
+    --baseline "$RACE_DIR/baseline.json" \
+    || { echo "race gate: baseline did not admit the racy kernel" >&2; exit 1; }
+./target/release/analyze --workload custom --asm "$RACE_DIR/racy.gsi" \
+    --blocks 2 --warps 2 --protocol denovo --quiet --no-races \
+    || { echo "race gate: --no-races still denied the kernel" >&2; exit 1; }
+rm -rf "$RACE_DIR"
+trap - EXIT
+echo "race gate: deny / baseline-admit / --no-races all OK"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy (-D warnings) =="

@@ -1,0 +1,98 @@
+//! The pre-flight gate must be pay-for-what-you-use: with
+//! [`AnalysisGate::Off`] no report is built, nothing is retained on the
+//! simulator, and launching allocates strictly less than with the gate
+//! enabled (the whole analyzer — CFG, fixpoint, race pass — never runs).
+//!
+//! Single `#[test]` so no concurrent test thread perturbs the allocation
+//! counter (same discipline as `alloc_free.rs`).
+
+#![allow(clippy::unwrap_used)] // test code asserts infallibility
+
+use gsi::isa::{Operand, ProgramBuilder, Reg};
+use gsi::sim::{AnalysisGate, LaunchSpec, Simulator, SystemConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    MEASURING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A kernel with enough surface (loop, global traffic, barrier) that the
+/// analyzer demonstrably does work when it runs.
+fn spec() -> LaunchSpec {
+    let mut b = ProgramBuilder::new("gate-cost");
+    b.ldi(Reg(1), 0x10_0000);
+    b.ldi(Reg(2), 8);
+    let top = b.here();
+    b.ld_global(Reg(3), Reg(1), 0);
+    b.st_global(Operand::Imm(1), Reg(1), 0);
+    b.subi(Reg(2), Reg(2), 1);
+    b.bra_nz(Reg(2), top);
+    b.bar();
+    b.exit();
+    LaunchSpec::new(b.build().unwrap(), 2, 2)
+}
+
+/// Allocations made by `begin_kernel` alone (the phase the gate lives in).
+fn launch_allocs(gate: AnalysisGate) -> (u64, bool) {
+    let cfg = SystemConfig::paper().with_gpu_cores(2).with_analysis_gate(gate);
+    let mut sim = Simulator::new(cfg);
+    let spec = spec();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    sim.begin_kernel(&spec).unwrap();
+    MEASURING.with(|m| m.set(false));
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    (allocs, sim.last_analysis().is_some())
+}
+
+#[test]
+fn disabled_gate_skips_the_analyzer_entirely() {
+    // Pre-warm libtest's lazily-initialized channel machinery (see
+    // alloc_free.rs).
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    tx.send(()).unwrap();
+    rx.recv().unwrap();
+
+    let (off_allocs, off_report) = launch_allocs(AnalysisGate::Off);
+    let (warn_allocs, warn_report) = launch_allocs(AnalysisGate::Warn);
+    assert!(!off_report, "Off must retain no analysis report");
+    assert!(warn_report, "Warn must retain the report");
+    assert!(
+        off_allocs < warn_allocs,
+        "the disabled gate must allocate strictly less than an enabled one \
+         (Off: {off_allocs}, Warn: {warn_allocs}): the analyzer ran anyway"
+    );
+}

@@ -1,11 +1,18 @@
 //! The static verifier must accept every in-tree workload: all nine
 //! kernels (plus the BFS level variants) under both coherence protocols
 //! analyze with zero `Error`-severity findings, so the simulator's default
-//! deny gate never refuses a legitimate launch.
+//! deny gate never refuses a legitimate launch. A deliberately racy
+//! kernel, by contrast, must be denied under DeNovo (which assumes
+//! data-race-freedom) yet merely warned about under GPU coherence — and a
+//! baseline must be able to admit it explicitly.
 
 #![allow(clippy::unwrap_used)]
 
-use gsi::sim::{analyze_launch, LaunchSpec, SystemConfig};
+use gsi::isa::{Operand, ProgramBuilder, Reg};
+use gsi::sim::{
+    analyze_launch, finding_digest, Baseline, FindingKind, LaunchSpec, Severity, SimError,
+    Simulator, SystemConfig,
+};
 use gsi::workloads::implicit::{self, ImplicitConfig, LocalMemStyle};
 use gsi::workloads::uts::{self, UtsConfig, Variant};
 use gsi::workloads::{bfs, gemm, histogram, reduction, spmv, stencil};
@@ -75,6 +82,68 @@ fn every_workload_passes_the_gate_under_both_protocols() {
             );
         }
     }
+}
+
+/// A uniform-address store from every warp of every block: the canonical
+/// global race.
+fn racy_spec() -> LaunchSpec {
+    let mut b = ProgramBuilder::new("racy");
+    b.ldi(Reg(1), 0x10_0000);
+    b.st_global(Operand::Imm(1), Reg(1), 0);
+    b.exit();
+    LaunchSpec::new(b.build().unwrap(), 2, 2)
+}
+
+#[test]
+fn a_racy_kernel_is_denied_under_denovo_but_tolerated_under_gpu_coherence() {
+    let spec = racy_spec();
+    // DeNovo relies on DRF: the default deny gate refuses the launch.
+    let cfg = SystemConfig::paper().with_gpu_cores(2).with_protocol(Protocol::DeNovo);
+    let mut sim = Simulator::new(cfg);
+    match sim.run_kernel(&spec) {
+        Err(SimError::Analysis { errors, report, .. }) => {
+            assert!(errors > 0);
+            assert!(
+                report
+                    .findings()
+                    .iter()
+                    .any(|f| f.kind == FindingKind::GlobalRaceInterWarp
+                        && f.severity == Severity::Error),
+                "{}",
+                report.render()
+            );
+        }
+        other => panic!("expected an analysis denial, got {other:?}"),
+    }
+    // The same kernel under GPU coherence launches; the race is a warning.
+    let cfg = SystemConfig::paper().with_gpu_cores(2).with_protocol(Protocol::GpuCoherence);
+    let mut sim = Simulator::new(cfg);
+    sim.run_kernel(&spec).unwrap();
+    let report = sim.last_analysis().unwrap();
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+    assert!(
+        report.findings().iter().any(|f| f.kind.is_global_race() && f.severity == Severity::Warn),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn a_baseline_admits_the_racy_kernel_under_denovo() {
+    let spec = racy_spec();
+    let cfg = SystemConfig::paper().with_gpu_cores(2).with_protocol(Protocol::DeNovo);
+    let report = analyze_launch(&spec, &cfg);
+    assert!(report.error_count() > 0, "{}", report.render());
+    let mut baseline = Baseline::new();
+    for f in report.findings() {
+        baseline.insert(finding_digest(report.kernel(), f));
+    }
+    let mut sim = Simulator::new(cfg);
+    sim.set_baseline(Some(baseline));
+    sim.run_kernel(&spec).unwrap();
+    let admitted = sim.last_analysis().unwrap();
+    assert_eq!(admitted.error_count(), 0);
+    assert!(admitted.baselined_count() > 0, "{}", admitted.render());
 }
 
 #[test]
